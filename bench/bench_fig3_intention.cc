@@ -1,0 +1,74 @@
+// Reproduces Figure 3: item prediction from user intentions on Games.
+// Compares DSSM (two-tower retrieval), LC-Rec, and LC-Rec (Zero-Shot):
+// the variant tuned WITHOUT the intention task (ITE), probing whether the
+// other alignment tasks alone link intentions to item indices.
+
+#include <cstdio>
+
+#include "baselines/dssm.h"
+#include "bench/bench_util.h"
+#include "rec/metrics.h"
+
+int main(int argc, char** argv) {
+  using namespace lcrec;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+
+  data::Dataset d =
+      data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
+  std::printf("Figure 3 analogue: intention-based item prediction on %s "
+              "(%d eval users)\n\n",
+              d.name().c_str(), flags.max_users);
+
+  // Test intentions are generated from the held-out test target of each
+  // user (stand-in for GPT-3.5 extraction from its review).
+  int users = std::min(flags.max_users, d.num_users());
+  core::Rng rng(flags.seed + 5);
+  std::vector<std::string> queries(static_cast<size_t>(users));
+  for (int u = 0; u < users; ++u) {
+    queries[static_cast<size_t>(u)] = d.IntentionFor(d.TestTarget(u), rng);
+  }
+
+  bench::PrintMetricsHeader();
+  {
+    baselines::Dssm::Options opt;
+    opt.epochs = flags.quick ? 10 : 30;
+    opt.seed = flags.seed + 6;
+    baselines::Dssm dssm(opt);
+    dssm.Fit(d);
+    rec::RankingMetrics acc;
+    for (int u = 0; u < users; ++u) {
+      acc.AddRank(rec::RankInList(
+          dssm.TopKIds(queries[static_cast<size_t>(u)], 10),
+          d.TestTarget(u)));
+    }
+    bench::PrintMetricsRow("DSSM", acc.Mean());
+  }
+  auto eval_lcrec = [&](rec::LcRec& model, const std::string& label) {
+    rec::RankingMetrics acc;
+    for (int u = 0; u < users; ++u) {
+      std::vector<int> ids;
+      for (const auto& s :
+           model.TopKFromIntention(queries[static_cast<size_t>(u)], 10)) {
+        ids.push_back(s.item);
+      }
+      acc.AddRank(rec::RankInList(ids, d.TestTarget(u)));
+    }
+    bench::PrintMetricsRow(label, acc.Mean());
+  };
+  {
+    rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);
+    cfg.mixture.ite = false;  // never trained on the intention task
+    rec::LcRec zero(cfg);
+    zero.Fit(d);
+    eval_lcrec(zero, "LC-Rec(ZeroShot)");
+  }
+  {
+    rec::LcRec full(bench::MakeLcRecConfig(flags));
+    full.Fit(d);
+    eval_lcrec(full, "LC-Rec");
+  }
+  std::printf(
+      "\nPaper (Figure 3): LC-Rec > DSSM; the zero-shot variant still links "
+      "intentions to indices well above chance.\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Figure 4: PCA visualization of LLM token embeddings. The
+// paper contrasts (a) tuning only with sequential item prediction — index
+// tokens form an isolated cluster away from language tokens — with (b)
+// full LC-Rec alignment tuning — index tokens mix into the language
+// semantic space. We print the 2-D PCA summary plus a quantitative
+// cluster-separation statistic (distance between centroids over mean
+// within-group spread); smaller = better integrated.
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/linalg.h"
+
+namespace {
+
+using lcrec::core::Pca;
+using lcrec::core::Tensor;
+
+struct Summary {
+  double cx, cy;       // centroid
+  double spread;       // mean distance to centroid
+};
+
+Summary Summarize(const Tensor& pts) {
+  Summary s{0.0, 0.0, 0.0};
+  int64_t n = pts.rows();
+  for (int64_t i = 0; i < n; ++i) {
+    s.cx += pts.at(i, 0);
+    s.cy += pts.at(i, 1);
+  }
+  s.cx /= static_cast<double>(n);
+  s.cy /= static_cast<double>(n);
+  for (int64_t i = 0; i < n; ++i) {
+    double dx = pts.at(i, 0) - s.cx, dy = pts.at(i, 1) - s.cy;
+    s.spread += std::sqrt(dx * dx + dy * dy);
+  }
+  s.spread /= static_cast<double>(n);
+  return s;
+}
+
+double SeparationScore(const Tensor& index_emb, const Tensor& text_emb) {
+  // Joint PCA to 2-D, then centroid distance / mean spread.
+  int64_t d = index_emb.cols();
+  Tensor all({index_emb.rows() + text_emb.rows(), d});
+  for (int64_t i = 0; i < index_emb.size(); ++i) all.at(i) = index_emb.at(i);
+  for (int64_t i = 0; i < text_emb.size(); ++i) {
+    all.at(index_emb.size() + i) = text_emb.at(i);
+  }
+  Pca pca(all, 2);
+  Tensor pi = pca.Transform(index_emb);
+  Tensor pt = pca.Transform(text_emb);
+  Summary si = Summarize(pi), st = Summarize(pt);
+  double dx = si.cx - st.cx, dy = si.cy - st.cy;
+  double dist = std::sqrt(dx * dx + dy * dy);
+  std::printf("  index tokens: centroid (%+.3f, %+.3f) spread %.3f  [%lld]\n",
+              si.cx, si.cy, si.spread, static_cast<long long>(pi.rows()));
+  std::printf("  text tokens : centroid (%+.3f, %+.3f) spread %.3f  [%lld]\n",
+              st.cx, st.cy, st.spread, static_cast<long long>(pt.rows()));
+  return dist / (0.5 * (si.spread + st.spread));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lcrec;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+
+  data::Dataset d =
+      data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
+  std::printf("Figure 4 analogue: token-embedding integration on %s\n\n",
+              d.name().c_str());
+
+  double sep_seq = 0.0, sep_full = 0.0;
+  {
+    std::printf("(a) Fine-tuning only with sequential item prediction:\n");
+    rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);
+    cfg.mixture = tasks::TaskMixture::SeqOnly();
+    rec::LcRec model(cfg);
+    model.Fit(d);
+    sep_seq = SeparationScore(model.IndexTokenEmbeddings(),
+                              model.TextTokenEmbeddings());
+    std::printf("  separation score: %.3f\n\n", sep_seq);
+  }
+  {
+    std::printf("(b) LC-Rec with the full alignment-task mixture:\n");
+    rec::LcRec model(bench::MakeLcRecConfig(flags));
+    model.Fit(d);
+    sep_full = SeparationScore(model.IndexTokenEmbeddings(),
+                               model.TextTokenEmbeddings());
+    std::printf("  separation score: %.3f\n\n", sep_full);
+  }
+  std::printf("separation SEQ-only %.3f vs LC-Rec %.3f -> %s\n", sep_seq,
+              sep_full,
+              sep_full < sep_seq
+                  ? "alignment tuning integrates index tokens (paper shape)"
+                  : "WARNING: expected LC-Rec to reduce separation");
+  std::printf(
+      "\nPaper (Figure 4): without alignment the index tokens form an "
+      "isolated cluster; with LC-Rec they overlap the language tokens.\n");
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Reproduces the case studies of Figures 5 and 6.
+//
+// Figure 5(a): generate an item's title conditioned on progressively more
+// of its index tokens — content should converge to the true title, with
+// coarse-to-fine refinement.
+// Figure 6: fraction of generated-content changes caused by each index
+// level — should decrease with level (level 1 carries the most
+// semantics).
+// Figure 5(b): related-item generation from indices vs. recall by text
+// embedding similarity.
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/linalg.h"
+#include "text/encoder.h"
+#include "text/vocab.h"
+
+namespace {
+
+/// Word-level edit distance, used to quantify generation changes.
+int EditDistance(const std::vector<std::string>& a,
+                 const std::vector<std::string>& b) {
+  size_t n = a.size(), m = b.size();
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lcrec;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+
+  data::Dataset d =
+      data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
+  rec::LcRec model(bench::MakeLcRecConfig(flags));
+  model.Fit(d);
+  int levels = model.indexing().levels();
+
+  std::printf("Figure 5(a) analogue: title generation from index prefixes\n");
+  for (int item : {0, 7, 21}) {
+    if (item >= d.num_items()) continue;
+    std::printf("\nitem %d true title: %s\n", item, d.item(item).title.c_str());
+    for (int lv = 1; lv <= levels; ++lv) {
+      std::printf("  %d level%s: %s\n", lv, lv > 1 ? "s" : " ",
+                  model.GenerateTitleFromIndices(item, lv).c_str());
+    }
+  }
+
+  // Figure 6: proportion of content change caused by each added level.
+  std::printf("\nFigure 6 analogue: content change per added index level\n");
+  int sample = std::min(60, d.num_items());
+  std::vector<double> change(static_cast<size_t>(levels), 0.0);
+  double total_change = 0.0;
+  for (int item = 0; item < sample; ++item) {
+    std::vector<std::string> prev;
+    for (int lv = 1; lv <= levels; ++lv) {
+      std::vector<std::string> words =
+          text::Tokenize(model.GenerateTitleFromIndices(item, lv));
+      if (lv > 1) {
+        int dist = EditDistance(prev, words);
+        change[static_cast<size_t>(lv - 1)] += dist;
+        total_change += dist;
+      } else {
+        change[0] += static_cast<double>(words.size());
+        total_change += static_cast<double>(words.size());
+      }
+      prev = std::move(words);
+    }
+  }
+  for (int lv = 0; lv < levels; ++lv) {
+    std::printf("  level %d: %.1f%% of content changes\n", lv + 1,
+                total_change > 0.0
+                    ? 100.0 * change[static_cast<size_t>(lv)] / total_change
+                    : 0.0);
+  }
+
+  // Figure 5(b): related item via generation vs text-embedding recall.
+  std::printf("\nFigure 5(b) analogue: related-item generation vs text "
+              "similarity recall\n");
+  text::TextEncoder enc(48, flags.seed);
+  std::vector<std::string> docs;
+  for (int i = 0; i < d.num_items(); ++i) docs.push_back(d.ItemDocument(i));
+  core::Tensor emb = enc.EncodeBatch(docs);
+  core::Tensor sim = core::CosineSimilarity(emb, emb);
+  int gen_same_subcat = 0, cos_same_subcat = 0, cases = 0;
+  for (int item = 0; item < std::min(40, d.num_items()); ++item) {
+    // Generated related item: top beam continuation after the source item.
+    auto related = model.TopK({item}, 2);
+    int gen = -1;
+    for (const auto& r : related) {
+      if (r.item != item) {
+        gen = r.item;
+        break;
+      }
+    }
+    // Text-similarity recall.
+    int cos = -1;
+    float best = -2.0f;
+    for (int j = 0; j < d.num_items(); ++j) {
+      if (j == item) continue;
+      float s = sim.at(static_cast<int64_t>(item) * d.num_items() + j);
+      if (s > best) {
+        best = s;
+        cos = j;
+      }
+    }
+    if (gen < 0 || cos < 0) continue;
+    ++cases;
+    gen_same_subcat += d.item(gen).subcategory == d.item(item).subcategory;
+    cos_same_subcat += d.item(cos).subcategory == d.item(item).subcategory;
+    if (item < 3) {
+      std::printf("  source: %s\n    generated: %s\n    cosine   : %s\n",
+                  d.item(item).title.c_str(), d.item(gen).title.c_str(),
+                  d.item(cos).title.c_str());
+    }
+  }
+  if (cases > 0) {
+    std::printf(
+        "  same-subcategory rate: generated %.1f%%  vs  cosine recall "
+        "%.1f%%  (%d cases)\n",
+        100.0 * gen_same_subcat / cases, 100.0 * cos_same_subcat / cases,
+        cases);
+  }
+  std::printf(
+      "\nPaper: content converges to the target title as levels are added; "
+      "change fraction decreases with level; generated related items fit "
+      "the recommendation context better than pure text recall.\n");
+  return 0;
+}

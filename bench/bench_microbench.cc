@@ -1,0 +1,113 @@
+// Micro-benchmarks of the core kernels (google-benchmark), including the
+// KV-cache claim of Section III-D2: incremental decoding with a KV cache
+// vs. re-encoding the full prefix at every generated token.
+
+#include <benchmark/benchmark.h>
+
+#include "core/graph.h"
+#include "core/linalg.h"
+#include "core/rng.h"
+#include "llm/minillm.h"
+#include "quant/rqvae.h"
+#include "quant/sinkhorn.h"
+
+namespace {
+
+using namespace lcrec;
+
+void BM_MatMul(benchmark::State& state) {
+  int64_t n = state.range(0);
+  core::Rng rng(1);
+  core::Tensor a = rng.GaussianTensor({n, n}, 1.0);
+  core::Tensor b = rng.GaussianTensor({n, n}, 1.0);
+  for (auto _ : state) {
+    core::Tensor c = core::MatMul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_Sinkhorn(benchmark::State& state) {
+  int64_t n = state.range(0);
+  core::Rng rng(2);
+  core::Tensor cost = rng.GaussianTensor({n, 64}, 1.0);
+  for (int64_t i = 0; i < cost.size(); ++i) cost.at(i) = std::abs(cost.at(i));
+  for (auto _ : state) {
+    core::Tensor q = quant::SinkhornKnopp(cost, 0.05, 50);
+    benchmark::DoNotOptimize(q.data());
+  }
+}
+BENCHMARK(BM_Sinkhorn)->Arg(128)->Arg(512);
+
+void BM_RqVaeQuantize(benchmark::State& state) {
+  core::Rng rng(3);
+  quant::RqVaeConfig cfg;
+  cfg.input_dim = 48;
+  cfg.levels = 4;
+  cfg.codebook_size = 64;
+  quant::RqVae vae(cfg);
+  core::Tensor data = rng.GaussianTensor({state.range(0), 48}, 1.0);
+  for (auto _ : state) {
+    auto q = vae.QuantizeAll(data);
+    benchmark::DoNotOptimize(q.codes.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RqVaeQuantize)->Arg(256)->Arg(1024);
+
+llm::MiniLlm& SharedModel() {
+  static llm::MiniLlm* model = [] {
+    llm::MiniLlmConfig cfg;
+    cfg.vocab_size = 512;
+    cfg.d_model = 48;
+    cfg.n_layers = 2;
+    cfg.n_heads = 4;
+    cfg.d_ff = 128;
+    cfg.max_seq = 160;
+    return new llm::MiniLlm(cfg);
+  }();
+  return *model;
+}
+
+/// Generate `gen` tokens after a prompt of length `T` using the KV cache:
+/// cost O(T + gen) forwards of one token.
+void BM_DecodeWithKvCache(benchmark::State& state) {
+  llm::MiniLlm& model = SharedModel();
+  int prompt_len = static_cast<int>(state.range(0));
+  const int kGen = 4;  // H = 4 index levels per item
+  std::vector<int> prompt(prompt_len, 5);
+  for (auto _ : state) {
+    llm::MiniLlm::KvCache cache = model.MakeCache();
+    core::Tensor logits = model.Forward(cache, prompt);
+    for (int g = 0; g < kGen; ++g) {
+      logits = model.Forward(cache, {7 + g});
+    }
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_DecodeWithKvCache)->Arg(32)->Arg(64)->Arg(128);
+
+/// The same generation re-encoding the whole prefix every step:
+/// O(H * T) token forwards (the paper's un-cached complexity).
+void BM_DecodeWithoutKvCache(benchmark::State& state) {
+  llm::MiniLlm& model = SharedModel();
+  int prompt_len = static_cast<int>(state.range(0));
+  const int kGen = 4;
+  std::vector<int> tokens(prompt_len, 5);
+  for (auto _ : state) {
+    core::Tensor logits;
+    for (int g = 0; g < kGen; ++g) {
+      llm::MiniLlm::KvCache cache = model.MakeCache();
+      logits = model.Forward(cache, tokens);
+      tokens.push_back(7 + g);
+    }
+    tokens.resize(static_cast<size_t>(prompt_len));
+    benchmark::DoNotOptimize(logits.data());
+  }
+}
+BENCHMARK(BM_DecodeWithoutKvCache)->Arg(32)->Arg(64)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,80 @@
+// Reproduces Table III: overall full-ranking performance of all baselines
+// and LC-Rec on the three datasets. Absolute numbers differ from the
+// paper (synthetic data, small substrate models); the comparison of
+// interest is the ordering: LC-Rec > generative index baselines (TIGER,
+// P5-CID) and feature-aware baselines (FDSA, S3-Rec) > ID-only models.
+
+#include <cstdio>
+#include <ctime>
+
+#include "bench/bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace lcrec;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  // The headline comparison runs at full dataset scale: the generative
+  // models need the full training-example pool to reach their asymptote.
+  if (!flags.scale_given) flags.scale = 1.0;
+
+  std::printf("Table III analogue: overall performance (scale %.2f, "
+              "%d eval users, beam 20)\n",
+              flags.scale, flags.max_users);
+  for (data::Domain dom : {data::Domain::kInstruments, data::Domain::kArts,
+                           data::Domain::kGames}) {
+    data::Dataset d = data::Dataset::Make(dom, flags.scale, flags.seed);
+    std::printf("\n=== %s (%d users, %d items) ===\n", d.name().c_str(),
+                d.num_users(), d.num_items());
+    bench::PrintMetricsHeader();
+
+    rec::RankingMetrics best_baseline;
+    // Traditional + feature-aware scoring baselines.
+    for (auto& model : bench::MakeScoringBaselines(flags)) {
+      std::clock_t t0 = std::clock();
+      model->Fit(d);
+      rec::RankingMetrics m =
+          rec::EvaluateScoring(*model, d, flags.max_users);
+      bench::PrintMetricsRow(model->name(), m);
+      if (m.ndcg10 > best_baseline.ndcg10) best_baseline = m;
+      (void)t0;
+    }
+    // Generative index-based baselines.
+    {
+      baselines::Tiger::Options opt = bench::MakeTigerOptions(flags);
+      opt.source = baselines::Tiger::IndexSource::kCollaborative;
+      baselines::Tiger p5(opt);
+      p5.Fit(d);
+      rec::RankingMetrics m = rec::EvaluateGenerative(
+          [&](const std::vector<int>& h) { return p5.TopKIds(h, 10); }, d,
+          flags.max_users);
+      bench::PrintMetricsRow(p5.name(), m);
+      if (m.ndcg10 > best_baseline.ndcg10) best_baseline = m;
+    }
+    {
+      baselines::Tiger tiger(bench::MakeTigerOptions(flags));
+      tiger.Fit(d);
+      rec::RankingMetrics m = rec::EvaluateGenerative(
+          [&](const std::vector<int>& h) { return tiger.TopKIds(h, 10); }, d,
+          flags.max_users);
+      bench::PrintMetricsRow(tiger.name(), m);
+      if (m.ndcg10 > best_baseline.ndcg10) best_baseline = m;
+    }
+    // LC-Rec.
+    {
+      rec::LcRec lcrec(bench::MakeLcRecConfig(flags));
+      lcrec.Fit(d);
+      rec::RankingMetrics m = rec::EvaluateGenerative(
+          [&](const std::vector<int>& h) { return lcrec.TopKIds(h, 10); }, d,
+          flags.max_users);
+      bench::PrintMetricsRow("LC-Rec", m);
+      if (best_baseline.ndcg10 > 0.0) {
+        std::printf("LC-Rec improvement over best baseline: NDCG@10 %+.1f%%\n",
+                    100.0 * (m.ndcg10 - best_baseline.ndcg10) /
+                        best_baseline.ndcg10);
+      }
+    }
+  }
+  std::printf(
+      "\nPaper (Table III): LC-Rec best on all datasets and metrics, average "
+      "+25.5%% over all baselines in full ranking.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table IV: ablation of the semantic alignment tasks on the
+// Arts and Games datasets. Rows add tasks cumulatively: SEQ, +MUT, +ASY,
+// +ITE, +PER. Expected shape: each added alignment task improves over
+// plain sequential tuning.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "tasks/instructions.h"
+
+int main(int argc, char** argv) {
+  using namespace lcrec;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+  if (!flags.llm_epochs_given) flags.llm_epochs = 10;  // internal comparison
+  if (!flags.scale_given) flags.scale = 0.5;
+  if (flags.max_users > 80) flags.max_users = 80;
+
+  std::vector<std::pair<std::string, tasks::TaskMixture>> rows;
+  tasks::TaskMixture m = tasks::TaskMixture::SeqOnly();
+  rows.emplace_back("SEQ", m);
+  m.mut = true;
+  rows.emplace_back("+MUT", m);
+  m.asy = true;
+  rows.emplace_back("+ASY", m);
+  m.ite = true;
+  rows.emplace_back("+ITE", m);
+  m.per = true;
+  rows.emplace_back("+PER", m);
+
+  std::printf("Table IV analogue: alignment-task ablation (scale %.2f, "
+              "%d eval users)\n",
+              flags.scale, flags.max_users);
+  for (data::Domain dom : {data::Domain::kArts, data::Domain::kGames}) {
+    data::Dataset d = data::Dataset::Make(dom, flags.scale, flags.seed);
+    std::printf("\n=== %s ===\n", d.name().c_str());
+    bench::PrintMetricsHeader();
+    for (const auto& [label, mixture] : rows) {
+      rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);
+      cfg.mixture = mixture;
+      rec::LcRec model(cfg);
+      model.Fit(d);
+      rec::RankingMetrics metrics = rec::EvaluateGenerative(
+          [&](const std::vector<int>& h) { return model.TopKIds(h, 10); }, d,
+          flags.max_users);
+      bench::PrintMetricsRow(label, metrics);
+    }
+  }
+  std::printf(
+      "\nPaper (Table IV): monotone improvement from SEQ to +PER on both "
+      "datasets (e.g. Games NDCG@10 0.0535 -> 0.0681).\n");
+  return 0;
+}

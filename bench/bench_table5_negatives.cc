@@ -1,0 +1,94 @@
+// Reproduces Table V: pairwise accuracy against semantically similar
+// negative items. For each test user the model must prefer the true next
+// item over (1) the language-similar negative (nearest neighbour under
+// text embeddings), (2) the collaboratively-similar negative (nearest
+// neighbour under trained SASRec item embeddings), (3) a random negative.
+// Rows: SASRec, LLaMA (zero-shot language LM analogue), ChatGPT (larger
+// zero-shot LM analogue), LC-Rec (Title), LC-Rec.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "rec/negatives.h"
+#include "rec/zeroshot.h"
+#include "text/encoder.h"
+
+int main(int argc, char** argv) {
+  using namespace lcrec;
+  bench::Flags flags = bench::Flags::Parse(argc, argv);
+
+  data::Dataset d =
+      data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
+  int users = std::min(flags.max_users, d.num_users());
+  std::printf("Table V analogue: accuracy vs hard negatives on %s "
+              "(%d users)\n\n",
+              d.name().c_str(), users);
+
+  // Negative sets.
+  text::TextEncoder enc(48, flags.seed);
+  std::vector<std::string> docs;
+  for (int i = 0; i < d.num_items(); ++i) docs.push_back(d.ItemDocument(i));
+  core::Tensor text_emb = enc.EncodeBatch(docs);
+  std::vector<int> lang_negs = rec::HardNegatives(d, text_emb);
+
+  baselines::SasRec sasrec(bench::MakeBaselineConfig(flags));
+  sasrec.Fit(d);
+  std::vector<int> collab_negs = rec::HardNegatives(d, *sasrec.ItemEmbeddings());
+
+  core::Rng rng(flags.seed + 7);
+  std::vector<int> rand_negs = rec::RandomNegatives(d, rng);
+
+  std::printf("%-16s  %10s  %14s  %10s\n", "model", "Language", "Collaborative",
+              "Random");
+  auto report = [&](const std::string& name,
+                    const std::function<float(const std::vector<int>&, int)>&
+                        scorer) {
+    double lang = rec::PairwiseAccuracy(scorer, d, lang_negs, users);
+    double collab = rec::PairwiseAccuracy(scorer, d, collab_negs, users);
+    double random = rec::PairwiseAccuracy(scorer, d, rand_negs, users);
+    std::printf("%-16s  %10.2f  %14.2f  %10.2f\n", name.c_str(), 100.0 * lang,
+                100.0 * collab, 100.0 * random);
+  };
+
+  report("SASRec", [&](const std::vector<int>& h, int item) {
+    return sasrec.ScoreAllItems(h)[static_cast<size_t>(item)];
+  });
+  {
+    rec::ZeroShotLm::Options opt;  // small budget = "LLaMA" analogue
+    opt.epochs = flags.quick ? 1 : 2;
+    opt.seed = flags.seed + 8;
+    rec::ZeroShotLm llama(opt);
+    llama.Fit(d);
+    report("LLaMA*", [&](const std::vector<int>& h, int item) {
+      return llama.ScoreCandidate(h, item);
+    });
+  }
+  {
+    rec::ZeroShotLm::Options opt;  // larger budget = "ChatGPT" analogue
+    opt.epochs = flags.quick ? 2 : 6;
+    opt.d_model = 48;
+    opt.d_ff = 128;
+    opt.seed = flags.seed + 9;
+    rec::ZeroShotLm chatgpt(opt);
+    chatgpt.Fit(d);
+    report("ChatGPT*", [&](const std::vector<int>& h, int item) {
+      return chatgpt.ScoreCandidate(h, item);
+    });
+  }
+  {
+    rec::LcRec lcrec(bench::MakeLcRecConfig(flags));
+    lcrec.Fit(d);
+    report("LC-Rec (Title)", [&](const std::vector<int>& h, int item) {
+      return lcrec.ScoreCandidate(h, item, /*by_title=*/true);
+    });
+    report("LC-Rec", [&](const std::vector<int>& h, int item) {
+      return lcrec.ScoreCandidate(h, item, /*by_title=*/false);
+    });
+  }
+  std::printf(
+      "\n* zero-shot rows use language-only pretrained stand-ins "
+      "(see DESIGN.md).\n"
+      "Paper (Table V): LC-Rec best on all three columns (75.7 / 60.0 / "
+      "90.2); zero-shot LLMs near chance on collaborative negatives.\n");
+  return 0;
+}

@@ -1,0 +1,131 @@
+#ifndef LCREC_BENCH_BENCH_UTIL_H_
+#define LCREC_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/bert4rec.h"
+#include "baselines/caser.h"
+#include "baselines/fdsa.h"
+#include "baselines/fmlp.h"
+#include "baselines/gru4rec.h"
+#include "baselines/hgn.h"
+#include "baselines/s3rec.h"
+#include "baselines/sasrec.h"
+#include "baselines/tiger.h"
+#include "data/dataset.h"
+#include "rec/lcrec.h"
+#include "rec/recommender.h"
+
+namespace lcrec::bench {
+
+/// Common command-line flags of the experiment binaries.
+///   --quick               quarter-size run for smoke testing
+///   --scale=X             dataset scale multiplier
+///   --users=N             max evaluated users per dataset
+///   --llm-epochs=N        LC-Rec / TIGER tuning epochs
+///   --baseline-epochs=N   scoring-baseline epochs
+///   --seed=N              global seed
+/// Binaries may pick per-experiment defaults (e.g. Table III runs at
+/// scale 1.0) when a flag is not given explicitly.
+struct Flags {
+  double scale = 0.6;
+  int max_users = 120;
+  int llm_epochs = 16;
+  int baseline_epochs = 25;
+  uint64_t seed = 19;
+  bool quick = false;
+  bool scale_given = false;       // --scale was passed explicitly
+  bool llm_epochs_given = false;  // --llm-epochs was passed explicitly
+
+  static Flags Parse(int argc, char** argv) {
+    Flags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strcmp(a, "--quick") == 0) {
+        f.quick = true;
+        f.scale = 0.2;
+        f.scale_given = true;
+        f.max_users = 60;
+        f.llm_epochs = 6;
+        f.llm_epochs_given = true;
+        f.baseline_epochs = 10;
+      } else if (std::strncmp(a, "--scale=", 8) == 0) {
+        f.scale = std::atof(a + 8);
+        f.scale_given = true;
+      } else if (std::strncmp(a, "--users=", 8) == 0) {
+        f.max_users = std::atoi(a + 8);
+      } else if (std::strncmp(a, "--llm-epochs=", 13) == 0) {
+        f.llm_epochs = std::atoi(a + 13);
+        f.llm_epochs_given = true;
+      } else if (std::strncmp(a, "--baseline-epochs=", 18) == 0) {
+        f.baseline_epochs = std::atoi(a + 18);
+      } else if (std::strncmp(a, "--seed=", 7) == 0) {
+        f.seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", a);
+        std::exit(2);
+      }
+    }
+    return f;
+  }
+};
+
+inline baselines::BaselineConfig MakeBaselineConfig(const Flags& f) {
+  baselines::BaselineConfig cfg;
+  cfg.d_model = 32;
+  cfg.d_ff = 64;
+  cfg.epochs = f.baseline_epochs;
+  cfg.seed = f.seed + 100;
+  return cfg;
+}
+
+inline rec::LcRecConfig MakeLcRecConfig(const Flags& f) {
+  rec::LcRecConfig cfg = rec::LcRecConfig::Small();
+  cfg.trainer.epochs = f.llm_epochs;
+  cfg.seed = f.seed + 200;
+  return cfg;
+}
+
+inline baselines::Tiger::Options MakeTigerOptions(const Flags& f) {
+  baselines::Tiger::Options opt;
+  opt.epochs = f.llm_epochs;
+  opt.seed = f.seed + 300;
+  return opt;
+}
+
+/// The scoring baselines of Table III, in the paper's column order.
+inline std::vector<std::unique_ptr<rec::ScoringRecommender>>
+MakeScoringBaselines(const Flags& f) {
+  baselines::BaselineConfig cfg = MakeBaselineConfig(f);
+  std::vector<std::unique_ptr<rec::ScoringRecommender>> models;
+  models.push_back(std::make_unique<baselines::Caser>(cfg));
+  models.push_back(std::make_unique<baselines::Hgn>(cfg));
+  models.push_back(std::make_unique<baselines::Gru4Rec>(cfg));
+  models.push_back(std::make_unique<baselines::Bert4Rec>(cfg));
+  models.push_back(std::make_unique<baselines::SasRec>(cfg));
+  models.push_back(std::make_unique<baselines::FmlpRec>(cfg));
+  models.push_back(std::make_unique<baselines::Fdsa>(cfg));
+  models.push_back(std::make_unique<baselines::S3Rec>(
+      cfg, f.quick ? 3 : 8));
+  return models;
+}
+
+inline void PrintMetricsRow(const std::string& name,
+                            const rec::RankingMetrics& m) {
+  std::printf("%-16s  %7.4f  %7.4f  %7.4f  %7.4f  %7.4f\n", name.c_str(),
+              m.hr1, m.hr5, m.hr10, m.ndcg5, m.ndcg10);
+}
+
+inline void PrintMetricsHeader() {
+  std::printf("%-16s  %7s  %7s  %7s  %7s  %7s\n", "model", "HR@1", "HR@5",
+              "HR@10", "NDCG@5", "NDCG@10");
+}
+
+}  // namespace lcrec::bench
+
+#endif  // LCREC_BENCH_BENCH_UTIL_H_

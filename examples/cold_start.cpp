@@ -1,0 +1,81 @@
+// Cold-start / extensibility demo: one advertised property of learned
+// semantic indices (Section III-B1) is that NEW items can be indexed
+// without retraining the quantizer — the trained RQ-VAE encoder simply
+// quantizes their text embeddings, and the new code sequences plug into
+// the prefix trie.
+//
+//   ./build/examples/cold_start
+
+#include <cstdio>
+
+#include "data/dataset.h"
+#include "quant/indexing.h"
+#include "quant/rqvae.h"
+#include "text/encoder.h"
+
+int main() {
+  using namespace lcrec;
+
+  // Train the quantizer on the first 80% of the catalog; hold out the
+  // rest as "cold" items the RQ-VAE has never seen.
+  data::Dataset dataset = data::Dataset::Make(data::Domain::kGames, 0.4, 29);
+  int n = dataset.num_items();
+  int n_warm = n * 8 / 10;
+  std::printf("catalog: %d items (%d warm, %d cold)\n", n, n_warm, n - n_warm);
+
+  text::TextEncoder encoder(48);
+  std::vector<std::string> docs;
+  for (int i = 0; i < n; ++i) docs.push_back(dataset.ItemDocument(i));
+  core::Tensor all_emb = encoder.EncodeBatch(docs);
+  core::Tensor warm_emb({n_warm, 48});
+  for (int i = 0; i < n_warm; ++i) {
+    for (int j = 0; j < 48; ++j) warm_emb.at(i, j) = all_emb.at(i, j);
+  }
+
+  quant::RqVaeConfig cfg;
+  cfg.input_dim = 48;
+  cfg.levels = 4;
+  cfg.codebook_size = 48;
+  cfg.epochs = 120;
+  quant::RqVae vae(cfg);
+  vae.Train(warm_emb);
+
+  // Quantize the FULL catalog with the warm-trained model. Cold items get
+  // valid, meaningful indices without any retraining.
+  auto q = vae.QuantizeAll(all_emb);
+  int64_t coherent = 0, total = 0;
+  for (int i = n_warm; i < n; ++i) {
+    // A cold index is "coherent" if some warm item with the same level-1
+    // code shares the cold item's subcategory.
+    bool ok = false;
+    for (int w = 0; w < n_warm; ++w) {
+      if (q.codes[static_cast<size_t>(w)][0] ==
+              q.codes[static_cast<size_t>(i)][0] &&
+          dataset.item(w).subcategory == dataset.item(i).subcategory) {
+        ok = true;
+        break;
+      }
+    }
+    coherent += ok;
+    ++total;
+  }
+  std::printf("cold items whose level-1 code matches a same-subcategory warm "
+              "item: %.1f%%\n",
+              100.0 * static_cast<double>(coherent) /
+                  static_cast<double>(total));
+
+  std::printf("\nsample cold-item indices:\n");
+  for (int i = n_warm; i < std::min(n, n_warm + 5); ++i) {
+    std::string tokens;
+    for (size_t h = 0; h < q.codes[static_cast<size_t>(i)].size(); ++h) {
+      tokens += quant::ItemIndexing::TokenString(
+          static_cast<int>(h), q.codes[static_cast<size_t>(i)][h]);
+    }
+    std::printf("  %-28s %s\n", tokens.c_str(),
+                dataset.item(i).title.c_str());
+  }
+  std::printf(
+      "\nVanilla IDs cannot do this: a new item would be out-of-vocabulary "
+      "(the OOV issue of Section III-B1).\n");
+  return 0;
+}

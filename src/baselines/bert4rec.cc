@@ -1,0 +1,67 @@
+#include "baselines/bert4rec.h"
+
+namespace lcrec::baselines {
+
+void Bert4Rec::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  mask_id_ = dataset.num_items();
+  emb_ = store().Create(
+      "emb", rng().GaussianTensor({dataset.num_items() + 1, d}, 0.05));
+  pos_ = store().Create(
+      "pos", rng().GaussianTensor({dataset.max_seq_len() + 1, d}, 0.05));
+  blocks_ = MakeEncoderBlocks(store(), "bert4rec", config().n_layers, d,
+                              config().d_ff, rng());
+}
+
+core::VarId Bert4Rec::Encode(core::Graph& g,
+                             const std::vector<int>& ids) const {
+  std::vector<int> positions(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) positions[i] = static_cast<int>(i);
+  core::VarId x = g.Add(g.Rows(g.Param(emb_), ids),
+                        g.Rows(g.Param(pos_), positions));
+  return ApplyEncoder(g, x, blocks_, config().n_heads, /*causal=*/false);
+}
+
+core::VarId Bert4Rec::BuildUserLoss(core::Graph& g,
+                                    const std::vector<int>& items) {
+  // Cloze objective: mask a random subset (at least one position; the
+  // final position is always a candidate so train matches inference).
+  std::vector<int> masked = items;
+  std::vector<int> targets(items.size(), core::Graph::kIgnore);
+  bool any = false;
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (rng().Bernoulli(mask_prob_)) {
+      targets[i] = items[i];
+      masked[i] = mask_id_;
+      any = true;
+    }
+  }
+  if (!any) {
+    size_t last = items.size() - 1;
+    targets[last] = items[last];
+    masked[last] = mask_id_;
+  }
+  core::VarId states = Encode(g, masked);
+  // Score against item embeddings only (exclude the mask row).
+  core::VarId item_rows = g.SliceRows(g.Param(emb_), 0, mask_id_);
+  core::VarId logits = g.MatMulNT(states, item_rows);
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> Bert4Rec::ScoreAllItems(
+    const std::vector<int>& history) const {
+  std::vector<int> ids = Clamp(history);
+  if (static_cast<int>(ids.size()) >= dataset()->max_seq_len() + 1) {
+    ids.erase(ids.begin());
+  }
+  ids.push_back(mask_id_);
+  core::Graph g;
+  core::VarId states = Encode(g, ids);
+  int64_t t = g.val(states).rows();
+  core::VarId last = g.SliceRows(states, t - 1, t);
+  std::vector<float> scores = DotScores(g.val(last), emb_->value);
+  scores.resize(static_cast<size_t>(mask_id_));  // drop the mask row score
+  return scores;
+}
+
+}  // namespace lcrec::baselines

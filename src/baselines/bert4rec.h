@@ -1,0 +1,43 @@
+#ifndef LCREC_BASELINES_BERT4REC_H_
+#define LCREC_BASELINES_BERT4REC_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/encoder_util.h"
+
+namespace lcrec::baselines {
+
+/// BERT4Rec [Sun et al. 2019]: bidirectional Transformer trained with the
+/// cloze (masked item) objective. Inference appends a [MASK] to the
+/// history and predicts at that position.
+class Bert4Rec : public NeuralRecommender {
+ public:
+  explicit Bert4Rec(const BaselineConfig& config)
+      : NeuralRecommender(config) {}
+
+  std::string name() const override { return "BERT4Rec"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+ private:
+  /// Bidirectionally encoded sequence [T, d]; ids may include mask_id_.
+  core::VarId Encode(core::Graph& g, const std::vector<int>& ids) const;
+
+  float mask_prob_ = 0.3f;
+  int mask_id_ = 0;  // = num_items (extra embedding row)
+  core::Parameter* emb_ = nullptr;
+  core::Parameter* pos_ = nullptr;
+  std::vector<EncoderBlock> blocks_;
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_BERT4REC_H_

@@ -1,0 +1,92 @@
+#include "baselines/caser.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lcrec::baselines {
+
+void Caser::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  pad_id_ = dataset.num_items();
+  emb_ = store().Create(
+      "emb", rng().GaussianTensor({dataset.num_items() + 1, d}, 0.05));
+  h_filters_.clear();
+  h_biases_.clear();
+  for (int h = 2; h <= 4; ++h) {
+    h_filters_.push_back(store().Create(
+        "hconv" + std::to_string(h),
+        rng().GaussianTensor({static_cast<int64_t>(h) * d, kFilters},
+                             1.0 / std::sqrt(h * d))));
+    h_biases_.push_back(store().Create("hconv_b" + std::to_string(h),
+                                       core::Tensor::Zeros({kFilters})));
+  }
+  v_filter_ = store().Create(
+      "vconv", rng().GaussianTensor({kWindow, kVertical},
+                                    1.0 / std::sqrt(kWindow)));
+  int feat = 3 * kFilters + kVertical * d;
+  fc_w_ = store().Create("fc_w",
+                         rng().GaussianTensor({feat, d}, 1.0 / std::sqrt(feat)));
+  fc_b_ = store().Create("fc_b", core::Tensor::Zeros({d}));
+}
+
+core::VarId Caser::UserState(core::Graph& g, const std::vector<int>& ctx) const {
+  int d = config().d_model;
+  // Left-pad to exactly kWindow ids.
+  std::vector<int> ids(kWindow, pad_id_);
+  int n = std::min<int>(kWindow, static_cast<int>(ctx.size()));
+  for (int i = 0; i < n; ++i) {
+    ids[kWindow - n + i] = ctx[ctx.size() - n + i];
+  }
+  core::VarId e = g.Rows(g.Param(emb_), ids);  // [L, d]
+  std::vector<core::VarId> features;
+  // Horizontal convolutions: window height h slides over rows; ReLU then
+  // max-over-time per filter.
+  for (size_t f = 0; f < h_filters_.size(); ++f) {
+    int h = static_cast<int>(f) + 2;
+    std::vector<core::VarId> windows;
+    for (int r = 0; r + h <= kWindow; ++r) {
+      core::VarId win = g.Reshape(g.SliceRows(e, r, r + h),
+                                  {1, static_cast<int64_t>(h) * d});
+      windows.push_back(win);
+    }
+    core::VarId stacked = g.ConcatRows(windows);  // [L-h+1, h*d]
+    core::VarId conv = g.Relu(g.AddBias(
+        g.MatMul(stacked, g.Param(h_filters_[f])), g.Param(h_biases_[f])));
+    features.push_back(g.Reshape(g.MaxOverRows(conv), {1, kFilters}));
+  }
+  // Vertical convolution: weighted sums over rows, one per filter.
+  core::VarId vt = g.MatMul(g.Transpose(g.Param(v_filter_)), e);  // [nv, d]
+  features.push_back(g.Reshape(vt, {1, kVertical * static_cast<int64_t>(d)}));
+  core::VarId cat = g.ConcatCols(features);
+  return g.Relu(g.AddBias(g.MatMul(cat, g.Param(fc_w_)), g.Param(fc_b_)));
+}
+
+core::VarId Caser::BuildUserLoss(core::Graph& g,
+                                 const std::vector<int>& items) {
+  // Sliding windows: predict items[t] from items[..t).
+  std::vector<core::VarId> states;
+  std::vector<int> targets;
+  int start = 1;
+  // Cap the number of windows per user to bound epoch cost.
+  int stride = std::max<int>(1, (static_cast<int>(items.size()) - 1) / 6);
+  for (int t = start; t < static_cast<int>(items.size()); t += stride) {
+    std::vector<int> ctx(items.begin(), items.begin() + t);
+    states.push_back(UserState(g, ctx));
+    targets.push_back(items[static_cast<size_t>(t)]);
+  }
+  core::VarId reprs = g.ConcatRows(states);
+  core::VarId item_rows = g.SliceRows(g.Param(emb_), 0, pad_id_);
+  core::VarId logits = g.MatMulNT(reprs, item_rows);
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> Caser::ScoreAllItems(
+    const std::vector<int>& history) const {
+  core::Graph g;
+  core::VarId state = UserState(g, history);
+  std::vector<float> scores = DotScores(g.val(state), emb_->value);
+  scores.resize(static_cast<size_t>(pad_id_));
+  return scores;
+}
+
+}  // namespace lcrec::baselines

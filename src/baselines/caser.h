@@ -1,0 +1,48 @@
+#ifndef LCREC_BASELINES_CASER_H_
+#define LCREC_BASELINES_CASER_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace lcrec::baselines {
+
+/// Caser [Tang & Wang 2018]: treats the last L item embeddings as an
+/// L x d "image" and applies horizontal (per-window) and vertical
+/// (per-dimension) convolutional filters, max-pooled and fed through a
+/// fully-connected layer to produce the user state.
+class Caser : public NeuralRecommender {
+ public:
+  explicit Caser(const BaselineConfig& config) : NeuralRecommender(config) {}
+
+  std::string name() const override { return "Caser"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+ private:
+  static constexpr int kWindow = 5;       // L
+  static constexpr int kFilters = 4;      // horizontal filters per height
+  static constexpr int kVertical = 2;     // vertical filters
+
+  /// User representation [1, d] from the last kWindow items (left-padded).
+  core::VarId UserState(core::Graph& g, const std::vector<int>& ctx) const;
+
+  int pad_id_ = 0;
+  core::Parameter* emb_ = nullptr;
+  std::vector<core::Parameter*> h_filters_;  // heights 2..4
+  std::vector<core::Parameter*> h_biases_;
+  core::Parameter* v_filter_ = nullptr;
+  core::Parameter* fc_w_ = nullptr;
+  core::Parameter* fc_b_ = nullptr;
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_CASER_H_

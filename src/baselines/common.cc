@@ -1,0 +1,82 @@
+#include "baselines/common.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+namespace lcrec::baselines {
+
+void NeuralRecommender::Fit(const data::Dataset& dataset) {
+  dataset_ = &dataset;
+  store_.Clear();
+  BuildModel(dataset);
+  optimizer_ = std::make_unique<core::AdamW>(store_.All(), 0.9f, 0.999f,
+                                             1e-8f, config_.weight_decay);
+  Pretrain(dataset);
+
+  std::vector<int64_t> order(static_cast<size_t>(dataset.num_users()));
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng_.Shuffle(order);
+    double total = 0.0;
+    int64_t count = 0;
+    int in_batch = 0;
+    store_.ZeroGrad();
+    for (int64_t u : order) {
+      std::vector<int> items = dataset.TrainItems(static_cast<int>(u));
+      if (static_cast<int>(items.size()) < 2) continue;
+      if (static_cast<int>(items.size()) > dataset.max_seq_len()) {
+        items.erase(items.begin(),
+                    items.end() - dataset.max_seq_len());
+      }
+      core::Graph g;
+      core::VarId loss = BuildUserLoss(g, items);
+      g.Backward(loss);
+      total += g.val(loss).item();
+      ++count;
+      ++in_batch;
+      if (in_batch == config_.batch_users || u == order.back()) {
+        float inv = 1.0f / static_cast<float>(in_batch);
+        for (core::Parameter* p : store_.All()) {
+          for (int64_t i = 0; i < p->grad.size(); ++i) p->grad.at(i) *= inv;
+        }
+        optimizer_->Step(config_.learning_rate);
+        store_.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (config_.verbose) {
+      std::fprintf(stderr, "[%s] epoch %d/%d loss %.4f\n", name().c_str(),
+                   epoch + 1, config_.epochs,
+                   total / std::max<int64_t>(1, count));
+    }
+  }
+}
+
+const core::Tensor* NeuralRecommender::ItemEmbeddings() const {
+  core::Parameter* p = ItemEmbeddingParam();
+  return p == nullptr ? nullptr : &p->value;
+}
+
+std::vector<int> NeuralRecommender::Clamp(
+    const std::vector<int>& history) const {
+  int max_len = dataset_->max_seq_len();
+  if (static_cast<int>(history.size()) <= max_len) return history;
+  return std::vector<int>(history.end() - max_len, history.end());
+}
+
+std::vector<float> DotScores(const core::Tensor& repr,
+                             const core::Tensor& item_embeddings) {
+  int64_t n = item_embeddings.rows(), d = item_embeddings.cols();
+  std::vector<float> scores(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < d; ++j) {
+      s += repr.at(j) * item_embeddings.at(i * d + j);
+    }
+    scores[static_cast<size_t>(i)] = s;
+  }
+  return scores;
+}
+
+}  // namespace lcrec::baselines

@@ -1,0 +1,83 @@
+#ifndef LCREC_BASELINES_COMMON_H_
+#define LCREC_BASELINES_COMMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/optim.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "rec/recommender.h"
+
+namespace lcrec::baselines {
+
+/// Shared hyper-parameters of the neural baselines (Table III rows).
+struct BaselineConfig {
+  int d_model = 48;
+  int n_layers = 2;
+  int n_heads = 2;
+  int d_ff = 96;
+  int epochs = 25;
+  float learning_rate = 2e-3f;
+  float weight_decay = 0.0f;
+  int batch_users = 16;  // gradient-accumulation group
+  uint64_t seed = 55;
+  bool verbose = false;
+};
+
+/// Base class implementing the shared training loop: per epoch, iterate
+/// users in random order, accumulate each user's loss gradient, and apply
+/// AdamW after every `batch_users` users. Subclasses define the parameter
+/// set, the per-user loss and the scoring forward pass.
+class NeuralRecommender : public rec::ScoringRecommender {
+ public:
+  explicit NeuralRecommender(const BaselineConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  void Fit(const data::Dataset& dataset) final;
+
+  const core::Tensor* ItemEmbeddings() const override;
+
+ protected:
+  /// Creates parameters; called once at the start of Fit.
+  virtual void BuildModel(const data::Dataset& dataset) = 0;
+
+  /// Scalar training loss for one user's training items (>= 3 items).
+  virtual core::VarId BuildUserLoss(core::Graph& g,
+                                    const std::vector<int>& items) = 0;
+
+  /// Hook for models with a pretraining stage (S3-Rec); default no-op.
+  virtual void Pretrain(const data::Dataset& dataset) {}
+
+  /// The item embedding parameter (used for scoring and for the Table V
+  /// collaborative negatives); may be null for models without one.
+  virtual core::Parameter* ItemEmbeddingParam() const = 0;
+
+  const BaselineConfig& config() const { return config_; }
+  const data::Dataset* dataset() const { return dataset_; }
+  core::ParamStore& store() { return store_; }
+  core::ParamStore& store() const { return store_; }
+  core::Rng& rng() { return rng_; }
+  int num_items() const { return dataset_->num_items(); }
+
+  /// Truncates a history to the dataset's max sequence length.
+  std::vector<int> Clamp(const std::vector<int>& history) const;
+
+ private:
+  BaselineConfig config_;
+  mutable core::Rng rng_;
+  mutable core::ParamStore store_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<core::AdamW> optimizer_;
+};
+
+/// Scores as the dot product of a user representation with every item
+/// embedding: scores = repr * E^T.
+std::vector<float> DotScores(const core::Tensor& repr,
+                             const core::Tensor& item_embeddings);
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_COMMON_H_

@@ -1,0 +1,140 @@
+#include "baselines/dssm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "core/linalg.h"
+#include "core/optim.h"
+
+namespace lcrec::baselines {
+
+namespace {
+core::Tensor MlpForward(const core::Tensor& x, const core::Tensor& w1,
+                        const core::Tensor& b1, const core::Tensor& w2) {
+  core::Tensor h = core::MatMul(x, w1);
+  int64_t m = h.rows(), n = h.cols();
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      h.at(i * n + j) = std::max(0.0f, h.at(i * n + j) + b1.at(j));
+    }
+  }
+  core::Tensor out = core::MatMul(h, w2);
+  // L2-normalize rows.
+  int64_t d = out.cols();
+  for (int64_t i = 0; i < out.rows(); ++i) {
+    float ss = 0.0f;
+    for (int64_t j = 0; j < d; ++j) ss += out.at(i * d + j) * out.at(i * d + j);
+    float inv = 1.0f / (std::sqrt(ss) + 1e-8f);
+    for (int64_t j = 0; j < d; ++j) out.at(i * d + j) *= inv;
+  }
+  return out;
+}
+}  // namespace
+
+void Dssm::Fit(const data::Dataset& dataset) {
+  dataset_ = &dataset;
+  encoder_ = std::make_unique<text::TextEncoder>(options_.text_dim,
+                                                 options_.seed);
+  core::Rng rng(options_.seed + 1);
+  auto init = [&](int fan_in, std::vector<int64_t> shape) {
+    return rng.GaussianTensor(std::move(shape), 1.0 / std::sqrt(fan_in));
+  };
+  store_.Clear();
+  qw1_ = store_.Create("qw1", init(options_.text_dim,
+                                   {options_.text_dim, options_.hidden}));
+  qb1_ = store_.Create("qb1", core::Tensor::Zeros({options_.hidden}));
+  qw2_ = store_.Create("qw2", init(options_.hidden,
+                                   {options_.hidden, options_.out_dim}));
+  iw1_ = store_.Create("iw1", init(options_.text_dim,
+                                   {options_.text_dim, options_.hidden}));
+  ib1_ = store_.Create("ib1", core::Tensor::Zeros({options_.hidden}));
+  iw2_ = store_.Create("iw2", init(options_.hidden,
+                                   {options_.hidden, options_.out_dim}));
+  core::AdamW opt(store_.All());
+
+  // Item title embeddings (fixed inputs to the item tower).
+  std::vector<std::string> titles;
+  for (int i = 0; i < dataset.num_items(); ++i) {
+    titles.push_back(dataset.item(i).title);
+  }
+  core::Tensor title_emb = encoder_->EncodeBatch(titles);
+
+  // Training pairs: (intention for an item in the training split, item).
+  std::vector<int> pool;
+  for (int u = 0; u < dataset.num_users(); ++u) {
+    for (int item : dataset.TrainItems(u)) pool.push_back(item);
+  }
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(pool);
+    double total = 0.0;
+    int64_t batches = 0;
+    for (size_t start = 0; start + options_.batch <= pool.size();
+         start += options_.batch) {
+      int b = options_.batch;
+      core::Tensor q_in({b, options_.text_dim});
+      core::Tensor i_in({b, options_.text_dim});
+      for (int r = 0; r < b; ++r) {
+        int item = pool[start + static_cast<size_t>(r)];
+        core::Tensor qe = encoder_->Encode(dataset.IntentionFor(item, rng));
+        for (int j = 0; j < options_.text_dim; ++j) {
+          q_in.at(static_cast<int64_t>(r) * options_.text_dim + j) = qe.at(j);
+          i_in.at(static_cast<int64_t>(r) * options_.text_dim + j) =
+              title_emb.at(static_cast<int64_t>(item) * options_.text_dim + j);
+        }
+      }
+      core::Graph g;
+      core::VarId q = g.NormalizeRows(g.MatMul(
+          g.Relu(g.AddBias(g.MatMul(g.Input(q_in), g.Param(qw1_)),
+                           g.Param(qb1_))),
+          g.Param(qw2_)));
+      core::VarId v = g.NormalizeRows(g.MatMul(
+          g.Relu(g.AddBias(g.MatMul(g.Input(i_in), g.Param(iw1_)),
+                           g.Param(ib1_))),
+          g.Param(iw2_)));
+      core::VarId logits = g.Scale(g.MatMulNT(q, v), options_.temperature);
+      std::vector<int> targets(static_cast<size_t>(b));
+      std::iota(targets.begin(), targets.end(), 0);
+      core::VarId loss = g.SoftmaxCrossEntropy(logits, targets);
+      store_.ZeroGrad();
+      g.Backward(loss);
+      opt.Step(options_.learning_rate);
+      total += g.val(loss).item();
+      ++batches;
+    }
+    if (options_.verbose) {
+      std::fprintf(stderr, "[DSSM] epoch %d/%d loss %.4f\n", epoch + 1,
+                   options_.epochs, total / std::max<int64_t>(1, batches));
+    }
+  }
+  item_vectors_ = MlpForward(title_emb, iw1_->value, ib1_->value, iw2_->value);
+}
+
+std::vector<float> Dssm::ScoreQuery(const std::string& query) const {
+  core::Tensor qe = encoder_->Encode(query).Reshaped({1, options_.text_dim});
+  core::Tensor q = MlpForward(qe, qw1_->value, qb1_->value, qw2_->value);
+  int64_t n = item_vectors_.rows(), d = item_vectors_.cols();
+  std::vector<float> scores(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < d; ++j) s += q.at(j) * item_vectors_.at(i * d + j);
+    scores[static_cast<size_t>(i)] = s;
+  }
+  return scores;
+}
+
+std::vector<int> Dssm::TopKIds(const std::string& query, int k) const {
+  std::vector<float> scores = ScoreQuery(query);
+  std::vector<int> ids(scores.size());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::partial_sort(ids.begin(), ids.begin() + std::min<size_t>(k, ids.size()),
+                    ids.end(), [&](int a, int b) {
+                      return scores[static_cast<size_t>(a)] >
+                             scores[static_cast<size_t>(b)];
+                    });
+  ids.resize(std::min<size_t>(static_cast<size_t>(k), ids.size()));
+  return ids;
+}
+
+}  // namespace lcrec::baselines

@@ -1,0 +1,61 @@
+#ifndef LCREC_BASELINES_DSSM_H_
+#define LCREC_BASELINES_DSSM_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "text/encoder.h"
+
+namespace lcrec::baselines {
+
+/// DSSM [Huang et al. 2013]: the two-tower retrieval baseline of
+/// Figure 3. A query tower and an item tower map text embeddings (the
+/// repo's deterministic encoder stands in for BERT) to a shared space;
+/// relevance is scaled cosine similarity, trained with in-batch softmax
+/// over (intention, target item) pairs from the training split.
+class Dssm {
+ public:
+  struct Options {
+    int text_dim = 48;
+    int hidden = 64;
+    int out_dim = 32;
+    int epochs = 30;
+    int batch = 32;
+    float learning_rate = 2e-3f;
+    float temperature = 10.0f;  // cosine scale
+    uint64_t seed = 111;
+    bool verbose = false;
+  };
+
+  explicit Dssm(const Options& options) : options_(options) {}
+
+  void Fit(const data::Dataset& dataset);
+
+  /// Scores every catalog item for a free-text query (higher = better).
+  std::vector<float> ScoreQuery(const std::string& query) const;
+
+  std::vector<int> TopKIds(const std::string& query, int k) const;
+
+ private:
+  core::Tensor Tower(const core::Tensor& input, bool query_tower) const;
+
+  Options options_;
+  const data::Dataset* dataset_ = nullptr;
+  std::unique_ptr<text::TextEncoder> encoder_;
+  core::ParamStore store_;
+  core::Parameter* qw1_ = nullptr;
+  core::Parameter* qb1_ = nullptr;
+  core::Parameter* qw2_ = nullptr;
+  core::Parameter* iw1_ = nullptr;
+  core::Parameter* ib1_ = nullptr;
+  core::Parameter* iw2_ = nullptr;
+  core::Tensor item_vectors_;  // [n, out_dim], unit rows, cached after Fit
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_DSSM_H_

@@ -1,0 +1,66 @@
+#include "baselines/encoder_util.h"
+
+#include <cmath>
+
+namespace lcrec::baselines {
+
+std::vector<EncoderBlock> MakeEncoderBlocks(core::ParamStore& store,
+                                            const std::string& prefix,
+                                            int n_layers, int d_model,
+                                            int d_ff, core::Rng& rng) {
+  std::vector<EncoderBlock> blocks;
+  auto init = [&](int fan_in, std::vector<int64_t> shape) {
+    return rng.GaussianTensor(std::move(shape), 1.0 / std::sqrt(fan_in));
+  };
+  for (int l = 0; l < n_layers; ++l) {
+    std::string p = prefix + ".block" + std::to_string(l) + ".";
+    EncoderBlock b;
+    b.wq = store.Create(p + "wq", init(d_model, {d_model, d_model}));
+    b.wk = store.Create(p + "wk", init(d_model, {d_model, d_model}));
+    b.wv = store.Create(p + "wv", init(d_model, {d_model, d_model}));
+    b.wo = store.Create(p + "wo", init(d_model, {d_model, d_model}));
+    b.ln1_g = store.Create(p + "ln1_g", core::Tensor::Ones({d_model}));
+    b.ln1_b = store.Create(p + "ln1_b", core::Tensor::Zeros({d_model}));
+    b.w1 = store.Create(p + "w1", init(d_model, {d_model, d_ff}));
+    b.b1 = store.Create(p + "b1", core::Tensor::Zeros({d_ff}));
+    b.w2 = store.Create(p + "w2", init(d_ff, {d_ff, d_model}));
+    b.b2 = store.Create(p + "b2", core::Tensor::Zeros({d_model}));
+    b.ln2_g = store.Create(p + "ln2_g", core::Tensor::Ones({d_model}));
+    b.ln2_b = store.Create(p + "ln2_b", core::Tensor::Zeros({d_model}));
+    blocks.push_back(b);
+  }
+  return blocks;
+}
+
+core::VarId ApplyEncoder(core::Graph& g, core::VarId x,
+                         const std::vector<EncoderBlock>& blocks, int n_heads,
+                         bool causal) {
+  int d = static_cast<int>(g.val(x).cols());
+  int dh = d / n_heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  for (const EncoderBlock& b : blocks) {
+    core::VarId q = g.MatMul(x, g.Param(b.wq));
+    core::VarId k = g.MatMul(x, g.Param(b.wk));
+    core::VarId v = g.MatMul(x, g.Param(b.wv));
+    std::vector<core::VarId> heads;
+    heads.reserve(static_cast<size_t>(n_heads));
+    for (int h = 0; h < n_heads; ++h) {
+      core::VarId qh = g.SliceCols(q, h * dh, (h + 1) * dh);
+      core::VarId kh = g.SliceCols(k, h * dh, (h + 1) * dh);
+      core::VarId vh = g.SliceCols(v, h * dh, (h + 1) * dh);
+      core::VarId scores = g.Scale(g.MatMulNT(qh, kh), scale);
+      core::VarId probs = causal ? g.CausalSoftmax(scores) : g.Softmax(scores);
+      heads.push_back(g.MatMul(probs, vh));
+    }
+    core::VarId attn = g.MatMul(g.ConcatCols(heads), g.Param(b.wo));
+    x = g.LayerNorm(g.Add(x, attn), g.Param(b.ln1_g), g.Param(b.ln1_b));
+    core::VarId ffn = g.MatMul(
+        g.Relu(g.AddBias(g.MatMul(x, g.Param(b.w1)), g.Param(b.b1))),
+        g.Param(b.w2));
+    ffn = g.AddBias(ffn, g.Param(b.b2));
+    x = g.LayerNorm(g.Add(x, ffn), g.Param(b.ln2_g), g.Param(b.ln2_b));
+  }
+  return x;
+}
+
+}  // namespace lcrec::baselines

@@ -1,0 +1,42 @@
+#ifndef LCREC_BASELINES_ENCODER_UTIL_H_
+#define LCREC_BASELINES_ENCODER_UTIL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/rng.h"
+
+namespace lcrec::baselines {
+
+/// Parameters of one post-LN Transformer encoder block (the SASRec /
+/// BERT4Rec / FDSA / S3-Rec building block).
+struct EncoderBlock {
+  core::Parameter* wq;
+  core::Parameter* wk;
+  core::Parameter* wv;
+  core::Parameter* wo;
+  core::Parameter* ln1_g;
+  core::Parameter* ln1_b;
+  core::Parameter* w1;
+  core::Parameter* b1;
+  core::Parameter* w2;
+  core::Parameter* b2;
+  core::Parameter* ln2_g;
+  core::Parameter* ln2_b;
+};
+
+/// Creates the parameters of `n_layers` encoder blocks under `prefix`.
+std::vector<EncoderBlock> MakeEncoderBlocks(core::ParamStore& store,
+                                            const std::string& prefix,
+                                            int n_layers, int d_model,
+                                            int d_ff, core::Rng& rng);
+
+/// Applies the blocks to x ([T, d]); `causal` selects the attention mask.
+core::VarId ApplyEncoder(core::Graph& g, core::VarId x,
+                         const std::vector<EncoderBlock>& blocks, int n_heads,
+                         bool causal);
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_ENCODER_UTIL_H_

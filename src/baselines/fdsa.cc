@@ -1,0 +1,75 @@
+#include "baselines/fdsa.h"
+
+#include <cmath>
+
+namespace lcrec::baselines {
+
+void Fdsa::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  emb_ = store().Create("emb",
+                        rng().GaussianTensor({dataset.num_items(), d}, 0.05));
+  attr_emb_ = store().Create(
+      "attr_emb", rng().GaussianTensor({dataset.num_attributes(), d}, 0.05));
+  pos_ = store().Create("pos",
+                        rng().GaussianTensor({dataset.max_seq_len(), d}, 0.05));
+  item_blocks_ = MakeEncoderBlocks(store(), "fdsa_item", config().n_layers, d,
+                                   config().d_ff, rng());
+  feat_blocks_ = MakeEncoderBlocks(store(), "fdsa_feat", 1, d, config().d_ff,
+                                   rng());
+  fuse_w_ = store().Create(
+      "fuse_w", rng().GaussianTensor({2 * static_cast<int64_t>(d), d},
+                                     1.0 / std::sqrt(2.0 * d)));
+  fuse_b_ = store().Create("fuse_b", core::Tensor::Zeros({d}));
+}
+
+core::VarId Fdsa::FeatureRows(core::Graph& g,
+                              const std::vector<int>& items) const {
+  // For each position, the sum of the item's attribute embeddings. Build
+  // by gathering all attribute rows then summing each item's slice.
+  std::vector<core::VarId> rows;
+  rows.reserve(items.size());
+  core::VarId table = g.Param(attr_emb_);
+  for (int item : items) {
+    const auto& attrs = dataset()->item(item).attributes;
+    core::VarId gathered = g.Rows(table, attrs);
+    rows.push_back(
+        g.Reshape(g.SumOverRows(gathered), {1, config().d_model}));
+  }
+  return g.ConcatRows(rows);
+}
+
+core::VarId Fdsa::EncodeSequence(core::Graph& g,
+                                 const std::vector<int>& items) const {
+  std::vector<int> positions(items.size());
+  for (size_t i = 0; i < items.size(); ++i) positions[i] = static_cast<int>(i);
+  core::VarId pos = g.Rows(g.Param(pos_), positions);
+  core::VarId item_x = g.Add(g.Rows(g.Param(emb_), items), pos);
+  core::VarId feat_x = g.Add(FeatureRows(g, items), pos);
+  core::VarId item_h =
+      ApplyEncoder(g, item_x, item_blocks_, config().n_heads, true);
+  core::VarId feat_h =
+      ApplyEncoder(g, feat_x, feat_blocks_, config().n_heads, true);
+  core::VarId fused = g.ConcatCols({item_h, feat_h});
+  return g.AddBias(g.MatMul(fused, g.Param(fuse_w_)), g.Param(fuse_b_));
+}
+
+core::VarId Fdsa::BuildUserLoss(core::Graph& g,
+                                const std::vector<int>& items) {
+  std::vector<int> inputs(items.begin(), items.end() - 1);
+  std::vector<int> targets(items.begin() + 1, items.end());
+  core::VarId states = EncodeSequence(g, inputs);
+  core::VarId logits = g.MatMulNT(states, g.Param(emb_));
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> Fdsa::ScoreAllItems(
+    const std::vector<int>& history) const {
+  std::vector<int> items = Clamp(history);
+  core::Graph g;
+  core::VarId states = EncodeSequence(g, items);
+  int64_t t = g.val(states).rows();
+  core::VarId last = g.SliceRows(states, t - 1, t);
+  return DotScores(g.val(last), emb_->value);
+}
+
+}  // namespace lcrec::baselines

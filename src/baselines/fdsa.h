@@ -1,0 +1,48 @@
+#ifndef LCREC_BASELINES_FDSA_H_
+#define LCREC_BASELINES_FDSA_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/encoder_util.h"
+
+namespace lcrec::baselines {
+
+/// FDSA [Zhang et al. 2019]: two self-attention streams — one over item
+/// embeddings, one over item-feature embeddings (here: the sum of each
+/// item's attribute embeddings) — whose final representations are
+/// concatenated and projected to score the next item.
+class Fdsa : public NeuralRecommender {
+ public:
+  explicit Fdsa(const BaselineConfig& config) : NeuralRecommender(config) {}
+
+  std::string name() const override { return "FDSA"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+ private:
+  /// Fused per-position representations [T, d].
+  core::VarId EncodeSequence(core::Graph& g,
+                             const std::vector<int>& items) const;
+  /// Feature embedding of a sequence: sum of attribute embeddings per item.
+  core::VarId FeatureRows(core::Graph& g, const std::vector<int>& items) const;
+
+  core::Parameter* emb_ = nullptr;
+  core::Parameter* attr_emb_ = nullptr;
+  core::Parameter* pos_ = nullptr;
+  core::Parameter* fuse_w_ = nullptr;
+  core::Parameter* fuse_b_ = nullptr;
+  std::vector<EncoderBlock> item_blocks_;
+  std::vector<EncoderBlock> feat_blocks_;
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_FDSA_H_

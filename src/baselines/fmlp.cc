@@ -1,0 +1,96 @@
+#include "baselines/fmlp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lcrec::baselines {
+
+void FmlpRec::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  window_ = dataset.max_seq_len();
+  pad_id_ = dataset.num_items();
+  emb_ = store().Create(
+      "emb", rng().GaussianTensor({dataset.num_items() + 1, d}, 0.05));
+  pos_ = store().Create("pos", rng().GaussianTensor({window_, d}, 0.05));
+  blocks_.clear();
+  for (int l = 0; l < config().n_layers; ++l) {
+    std::string p = "fmlp.block" + std::to_string(l) + ".";
+    Block b;
+    // Identity-ish filter initialization (W ~ 1 + noise) keeps early
+    // training close to a pass-through.
+    core::Tensor wre = core::Tensor::Ones({window_, d});
+    core::Tensor noise = rng().GaussianTensor({window_, d}, 0.02);
+    wre.Axpy(1.0f, noise);
+    b.w_re = store().Create(p + "w_re", wre);
+    b.w_im = store().Create(p + "w_im",
+                            rng().GaussianTensor({window_, d}, 0.02));
+    b.ln1_g = store().Create(p + "ln1_g", core::Tensor::Ones({d}));
+    b.ln1_b = store().Create(p + "ln1_b", core::Tensor::Zeros({d}));
+    b.w1 = store().Create(
+        p + "w1", rng().GaussianTensor({d, config().d_ff},
+                                       1.0 / std::sqrt(d)));
+    b.b1 = store().Create(p + "b1", core::Tensor::Zeros({config().d_ff}));
+    b.w2 = store().Create(
+        p + "w2", rng().GaussianTensor({config().d_ff, d},
+                                       1.0 / std::sqrt(config().d_ff)));
+    b.b2 = store().Create(p + "b2", core::Tensor::Zeros({d}));
+    b.ln2_g = store().Create(p + "ln2_g", core::Tensor::Ones({d}));
+    b.ln2_b = store().Create(p + "ln2_b", core::Tensor::Zeros({d}));
+    blocks_.push_back(b);
+  }
+}
+
+core::VarId FmlpRec::EncodeLast(core::Graph& g,
+                                const std::vector<int>& ctx) const {
+  // Left-pad to exactly window_ ids so the learned filters see a fixed
+  // sequence length.
+  std::vector<int> ids(static_cast<size_t>(window_), pad_id_);
+  int n = std::min<int>(window_, static_cast<int>(ctx.size()));
+  for (int i = 0; i < n; ++i) {
+    ids[static_cast<size_t>(window_ - n + i)] = ctx[ctx.size() - n + i];
+  }
+  std::vector<int> positions(static_cast<size_t>(window_));
+  for (int i = 0; i < window_; ++i) positions[static_cast<size_t>(i)] = i;
+  core::VarId x = g.Add(g.Rows(g.Param(emb_), ids),
+                        g.Rows(g.Param(pos_), positions));
+  for (const Block& b : blocks_) {
+    core::VarId filtered = g.DftFilter(x, g.Param(b.w_re), g.Param(b.w_im));
+    x = g.LayerNorm(g.Add(x, filtered), g.Param(b.ln1_g), g.Param(b.ln1_b));
+    core::VarId ffn = g.AddBias(
+        g.MatMul(g.Relu(g.AddBias(g.MatMul(x, g.Param(b.w1)), g.Param(b.b1))),
+                 g.Param(b.w2)),
+        g.Param(b.b2));
+    x = g.LayerNorm(g.Add(x, ffn), g.Param(b.ln2_g), g.Param(b.ln2_b));
+  }
+  return g.SliceRows(x, window_ - 1, window_);
+}
+
+core::VarId FmlpRec::BuildUserLoss(core::Graph& g,
+                                   const std::vector<int>& items) {
+  // Non-causal mixing: supervise the final position only, on a couple of
+  // sampled prefixes per user.
+  std::vector<core::VarId> states;
+  std::vector<int> targets;
+  int len = static_cast<int>(items.size());
+  std::vector<int> cut_points = {len - 1};
+  if (len > 3) cut_points.push_back(1 + static_cast<int>(rng().Below(len - 2)));
+  for (int t : cut_points) {
+    std::vector<int> ctx(items.begin(), items.begin() + t);
+    states.push_back(EncodeLast(g, ctx));
+    targets.push_back(items[static_cast<size_t>(t)]);
+  }
+  core::VarId item_rows = g.SliceRows(g.Param(emb_), 0, pad_id_);
+  core::VarId logits = g.MatMulNT(g.ConcatRows(states), item_rows);
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> FmlpRec::ScoreAllItems(
+    const std::vector<int>& history) const {
+  core::Graph g;
+  core::VarId state = EncodeLast(g, history);
+  std::vector<float> scores = DotScores(g.val(state), emb_->value);
+  scores.resize(static_cast<size_t>(pad_id_));
+  return scores;
+}
+
+}  // namespace lcrec::baselines

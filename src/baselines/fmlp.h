@@ -1,0 +1,57 @@
+#ifndef LCREC_BASELINES_FMLP_H_
+#define LCREC_BASELINES_FMLP_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace lcrec::baselines {
+
+/// FMLP-Rec [Zhou et al. 2022]: an all-MLP model whose mixing layer is a
+/// learnable filter in the frequency domain (DFT -> complex elementwise
+/// filter -> inverse DFT), followed by a feed-forward block, both with
+/// residual connections and LayerNorm. Since frequency filtering is
+/// non-causal, training supervises only the final position.
+class FmlpRec : public NeuralRecommender {
+ public:
+  explicit FmlpRec(const BaselineConfig& config) : NeuralRecommender(config) {}
+
+  std::string name() const override { return "FMLP-Rec"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+ private:
+  struct Block {
+    core::Parameter* w_re;
+    core::Parameter* w_im;
+    core::Parameter* ln1_g;
+    core::Parameter* ln1_b;
+    core::Parameter* w1;
+    core::Parameter* b1;
+    core::Parameter* w2;
+    core::Parameter* b2;
+    core::Parameter* ln2_g;
+    core::Parameter* ln2_b;
+  };
+
+  /// Encodes a fixed-length (left-padded) window, returns the final
+  /// position's representation [1, d].
+  core::VarId EncodeLast(core::Graph& g, const std::vector<int>& ctx) const;
+
+  int window_ = 0;  // fixed filter length (= max_seq_len)
+  int pad_id_ = 0;
+  core::Parameter* emb_ = nullptr;
+  core::Parameter* pos_ = nullptr;
+  std::vector<Block> blocks_;
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_FMLP_H_

@@ -1,0 +1,72 @@
+#include "baselines/gru4rec.h"
+
+#include <cmath>
+
+namespace lcrec::baselines {
+
+void Gru4Rec::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  auto init = [&](std::vector<int64_t> shape) {
+    return rng().GaussianTensor(std::move(shape), 1.0 / std::sqrt(d));
+  };
+  emb_ = store().Create("emb",
+                        rng().GaussianTensor({dataset.num_items(), d}, 0.05));
+  wz_ = store().Create("wz", init({d, d}));
+  wr_ = store().Create("wr", init({d, d}));
+  wh_ = store().Create("wh", init({d, d}));
+  uz_ = store().Create("uz", init({d, d}));
+  ur_ = store().Create("ur", init({d, d}));
+  uh_ = store().Create("uh", init({d, d}));
+  bz_ = store().Create("bz", core::Tensor::Zeros({d}));
+  br_ = store().Create("br", core::Tensor::Zeros({d}));
+  bh_ = store().Create("bh", core::Tensor::Zeros({d}));
+}
+
+core::VarId Gru4Rec::RunGru(core::Graph& g,
+                            const std::vector<int>& items) const {
+  int d = config().d_model;
+  core::VarId x = g.Rows(g.Param(emb_), items);
+  core::VarId h = g.Input(core::Tensor::Zeros({1, d}));
+  core::VarId wz = g.Param(wz_), wr = g.Param(wr_), wh = g.Param(wh_);
+  core::VarId uz = g.Param(uz_), ur = g.Param(ur_), uh = g.Param(uh_);
+  core::VarId bz = g.Param(bz_), br = g.Param(br_), bh = g.Param(bh_);
+  std::vector<core::VarId> states;
+  states.reserve(items.size());
+  for (size_t t = 0; t < items.size(); ++t) {
+    core::VarId xt = g.SliceRows(x, static_cast<int64_t>(t),
+                                 static_cast<int64_t>(t) + 1);
+    core::VarId z = g.Sigmoid(
+        g.AddBias(g.Add(g.MatMul(xt, wz), g.MatMul(h, uz)), bz));
+    core::VarId r = g.Sigmoid(
+        g.AddBias(g.Add(g.MatMul(xt, wr), g.MatMul(h, ur)), br));
+    core::VarId cand = g.Tanh(g.AddBias(
+        g.Add(g.MatMul(xt, wh), g.MatMul(g.Mul(r, h), uh)), bh));
+    // h = (1 - z) * h + z * cand
+    core::VarId one_minus_z = g.Sub(g.Input(core::Tensor::Ones({1, d})), z);
+    h = g.Add(g.Mul(one_minus_z, h), g.Mul(z, cand));
+    states.push_back(h);
+  }
+  return g.ConcatRows(states);
+}
+
+core::VarId Gru4Rec::BuildUserLoss(core::Graph& g,
+                                   const std::vector<int>& items) {
+  // Inputs x_1..x_{T-1}, targets x_2..x_T.
+  std::vector<int> inputs(items.begin(), items.end() - 1);
+  std::vector<int> targets(items.begin() + 1, items.end());
+  core::VarId states = RunGru(g, inputs);
+  core::VarId logits = g.MatMulNT(states, g.Param(emb_));
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> Gru4Rec::ScoreAllItems(
+    const std::vector<int>& history) const {
+  std::vector<int> items = Clamp(history);
+  core::Graph g;
+  core::VarId states = RunGru(g, items);
+  int64_t t = g.val(states).rows();
+  core::VarId last = g.SliceRows(states, t - 1, t);
+  return DotScores(g.val(last), emb_->value);
+}
+
+}  // namespace lcrec::baselines

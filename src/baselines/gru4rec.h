@@ -1,0 +1,46 @@
+#ifndef LCREC_BASELINES_GRU4REC_H_
+#define LCREC_BASELINES_GRU4REC_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace lcrec::baselines {
+
+/// GRU4Rec [Hidasi et al. 2015]: a GRU over the item-id sequence; the
+/// hidden state after the last interaction scores every item by inner
+/// product with the item embedding table.
+class Gru4Rec : public NeuralRecommender {
+ public:
+  explicit Gru4Rec(const BaselineConfig& config) : NeuralRecommender(config) {}
+
+  std::string name() const override { return "GRU4Rec"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+ private:
+  /// Runs the GRU over `items`, returning per-step hidden states [T, d].
+  core::VarId RunGru(core::Graph& g, const std::vector<int>& items) const;
+
+  core::Parameter* emb_ = nullptr;
+  core::Parameter* wz_ = nullptr;
+  core::Parameter* wr_ = nullptr;
+  core::Parameter* wh_ = nullptr;
+  core::Parameter* uz_ = nullptr;
+  core::Parameter* ur_ = nullptr;
+  core::Parameter* uh_ = nullptr;
+  core::Parameter* bz_ = nullptr;
+  core::Parameter* br_ = nullptr;
+  core::Parameter* bh_ = nullptr;
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_GRU4REC_H_

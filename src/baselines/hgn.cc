@@ -1,0 +1,67 @@
+#include "baselines/hgn.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lcrec::baselines {
+
+void Hgn::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  auto init = [&](std::vector<int64_t> shape, double fan) {
+    return rng().GaussianTensor(std::move(shape), 1.0 / std::sqrt(fan));
+  };
+  emb_ = store().Create("emb",
+                        rng().GaussianTensor({dataset.num_items(), d}, 0.05));
+  w_feat_x_ = store().Create("w_feat_x", init({d, d}, d));
+  w_feat_u_ = store().Create("w_feat_u", init({d, d}, d));
+  w_inst_ = store().Create("w_inst", init({d, 1}, d));
+  w_inst_u_ = store().Create("w_inst_u", init({d, 1}, d));
+}
+
+core::VarId Hgn::UserState(core::Graph& g, const std::vector<int>& ctx) const {
+  int d = config().d_model;
+  constexpr int kWindow = 8;
+  int n = std::min<int>(kWindow, static_cast<int>(ctx.size()));
+  std::vector<int> ids(ctx.end() - n, ctx.end());
+  core::VarId e = g.Rows(g.Param(emb_), ids);  // [n, d]
+  core::VarId u = g.Reshape(g.MeanOverRows(e), {1, d});
+  // Feature gating: Ef = E .* sigmoid(E Wx + u Wu).
+  core::VarId gate_bias =
+      g.Reshape(g.MatMul(u, g.Param(w_feat_u_)), {d});
+  core::VarId gate = g.Sigmoid(
+      g.AddBias(g.MatMul(e, g.Param(w_feat_x_)), gate_bias));
+  core::VarId ef = g.Mul(e, gate);
+  // Instance gating: a = sigmoid(Ef w + u wu), pooled = a^T Ef.
+  core::VarId inst_bias =
+      g.Reshape(g.MatMul(u, g.Param(w_inst_u_)), {1});
+  core::VarId a = g.Sigmoid(
+      g.AddBias(g.MatMul(ef, g.Param(w_inst_)), inst_bias));  // [n,1]
+  core::VarId pooled = g.MatMul(g.Transpose(a), ef);  // [1, d]
+  core::VarId pooled_mean = g.Scale(pooled, 1.0f / static_cast<float>(n));
+  // Item-item term: the sum of raw window embeddings.
+  core::VarId sum_raw =
+      g.Scale(g.Reshape(g.SumOverRows(e), {1, d}),
+              1.0f / static_cast<float>(n));
+  return g.Add(g.Add(u, pooled_mean), sum_raw);
+}
+
+core::VarId Hgn::BuildUserLoss(core::Graph& g, const std::vector<int>& items) {
+  std::vector<core::VarId> states;
+  std::vector<int> targets;
+  int stride = std::max<int>(1, (static_cast<int>(items.size()) - 1) / 6);
+  for (int t = 1; t < static_cast<int>(items.size()); t += stride) {
+    std::vector<int> ctx(items.begin(), items.begin() + t);
+    states.push_back(UserState(g, ctx));
+    targets.push_back(items[static_cast<size_t>(t)]);
+  }
+  core::VarId logits = g.MatMulNT(g.ConcatRows(states), g.Param(emb_));
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> Hgn::ScoreAllItems(const std::vector<int>& history) const {
+  core::Graph g;
+  core::VarId state = UserState(g, history);
+  return DotScores(g.val(state), emb_->value);
+}
+
+}  // namespace lcrec::baselines

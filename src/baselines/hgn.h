@@ -1,0 +1,45 @@
+#ifndef LCREC_BASELINES_HGN_H_
+#define LCREC_BASELINES_HGN_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+
+namespace lcrec::baselines {
+
+/// HGN [Ma et al. 2019]: hierarchical gating — a feature gate modulating
+/// embedding dimensions and an instance gate weighting items in the
+/// window — plus an item-item product term. The user context vector is
+/// the mean of the history embeddings (stand-in for the user embedding,
+/// which the leave-one-out full-ranking protocol cannot personalize for
+/// unseen histories).
+class Hgn : public NeuralRecommender {
+ public:
+  explicit Hgn(const BaselineConfig& config) : NeuralRecommender(config) {}
+
+  std::string name() const override { return "HGN"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+ private:
+  /// Combined user state [1, d]: gated pooled window + mean context +
+  /// sum of raw window embeddings (item-item term).
+  core::VarId UserState(core::Graph& g, const std::vector<int>& ctx) const;
+
+  core::Parameter* emb_ = nullptr;
+  core::Parameter* w_feat_x_ = nullptr;  // feature gate (item side)
+  core::Parameter* w_feat_u_ = nullptr;  // feature gate (user side)
+  core::Parameter* w_inst_ = nullptr;    // instance gate vector [d]
+  core::Parameter* w_inst_u_ = nullptr;  // instance gate (user side) [d]
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_HGN_H_

@@ -1,0 +1,124 @@
+#include "baselines/s3rec.h"
+
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+namespace lcrec::baselines {
+
+void S3Rec::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  mask_id_ = dataset.num_items();
+  emb_ = store().Create(
+      "emb", rng().GaussianTensor({dataset.num_items() + 1, d}, 0.05));
+  pos_ = store().Create("pos",
+                        rng().GaussianTensor({dataset.max_seq_len(), d}, 0.05));
+  attr_w_ = store().Create(
+      "attr_w", rng().GaussianTensor({d, dataset.num_attributes()},
+                                     1.0 / std::sqrt(d)));
+  blocks_ = MakeEncoderBlocks(store(), "s3rec", config().n_layers, d,
+                              config().d_ff, rng());
+}
+
+core::VarId S3Rec::EncodeSequence(core::Graph& g, const std::vector<int>& ids,
+                                  bool causal) const {
+  std::vector<int> positions(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) positions[i] = static_cast<int>(i);
+  core::VarId x = g.Add(g.Rows(g.Param(emb_), ids),
+                        g.Rows(g.Param(pos_), positions));
+  return ApplyEncoder(g, x, blocks_, config().n_heads, causal);
+}
+
+void S3Rec::Pretrain(const data::Dataset& dataset) {
+  core::AdamW opt(store().All(), 0.9f, 0.999f, 1e-8f, 0.0f);
+  std::vector<int64_t> order(static_cast<size_t>(dataset.num_users()));
+  std::iota(order.begin(), order.end(), 0);
+  for (int epoch = 0; epoch < pretrain_epochs_; ++epoch) {
+    rng().Shuffle(order);
+    double total = 0.0;
+    int64_t count = 0;
+    int in_batch = 0;
+    store().ZeroGrad();
+    for (int64_t u : order) {
+      std::vector<int> items = dataset.TrainItems(static_cast<int>(u));
+      if (static_cast<int>(items.size()) < 3) continue;
+      if (static_cast<int>(items.size()) > dataset.max_seq_len()) {
+        items.erase(items.begin(), items.end() - dataset.max_seq_len());
+      }
+      core::Graph g;
+      // MIP: bidirectional cloze over the sequence.
+      std::vector<int> masked = items;
+      std::vector<int> targets(items.size(), core::Graph::kIgnore);
+      bool any = false;
+      for (size_t i = 0; i < items.size(); ++i) {
+        if (rng().Bernoulli(0.25)) {
+          targets[i] = items[i];
+          masked[i] = mask_id_;
+          any = true;
+        }
+      }
+      if (!any) {
+        targets[0] = items[0];
+        masked[0] = mask_id_;
+      }
+      core::VarId states = EncodeSequence(g, masked, /*causal=*/false);
+      core::VarId item_rows = g.SliceRows(g.Param(emb_), 0, mask_id_);
+      core::VarId mip =
+          g.SoftmaxCrossEntropy(g.MatMulNT(states, item_rows), targets);
+      // AAP: predict each item's attribute multi-hot from its embedding.
+      core::VarId item_emb_rows = g.Rows(g.Param(emb_), items);
+      core::VarId attr_logits = g.MatMul(item_emb_rows, g.Param(attr_w_));
+      core::Tensor attr_targets(
+          {static_cast<int64_t>(items.size()), dataset.num_attributes()});
+      for (size_t i = 0; i < items.size(); ++i) {
+        for (int a : dataset.item(items[i]).attributes) {
+          attr_targets.at(static_cast<int64_t>(i) * dataset.num_attributes() +
+                          a) = 1.0f;
+        }
+      }
+      core::VarId aap = g.SigmoidBCE(attr_logits, attr_targets);
+      core::VarId loss = g.Add(mip, g.Scale(aap, 0.5f));
+      g.Backward(loss);
+      total += g.val(loss).item();
+      ++count;
+      if (++in_batch == config().batch_users) {
+        float inv = 1.0f / static_cast<float>(in_batch);
+        for (core::Parameter* p : store().All()) {
+          for (int64_t i = 0; i < p->grad.size(); ++i) p->grad.at(i) *= inv;
+        }
+        opt.Step(config().learning_rate);
+        store().ZeroGrad();
+        in_batch = 0;
+      }
+    }
+    if (config().verbose) {
+      std::fprintf(stderr, "[S3-Rec pretrain] epoch %d/%d loss %.4f\n",
+                   epoch + 1, pretrain_epochs_,
+                   total / std::max<int64_t>(1, count));
+    }
+  }
+}
+
+core::VarId S3Rec::BuildUserLoss(core::Graph& g,
+                                 const std::vector<int>& items) {
+  std::vector<int> inputs(items.begin(), items.end() - 1);
+  std::vector<int> targets(items.begin() + 1, items.end());
+  core::VarId states = EncodeSequence(g, inputs, /*causal=*/true);
+  core::VarId item_rows = g.SliceRows(g.Param(emb_), 0, mask_id_);
+  core::VarId logits = g.MatMulNT(states, item_rows);
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> S3Rec::ScoreAllItems(
+    const std::vector<int>& history) const {
+  std::vector<int> items = Clamp(history);
+  core::Graph g;
+  core::VarId states = EncodeSequence(g, items, /*causal=*/true);
+  int64_t t = g.val(states).rows();
+  core::VarId last = g.SliceRows(states, t - 1, t);
+  std::vector<float> scores = DotScores(g.val(last), emb_->value);
+  scores.resize(static_cast<size_t>(mask_id_));
+  return scores;
+}
+
+}  // namespace lcrec::baselines

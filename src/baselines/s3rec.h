@@ -1,0 +1,48 @@
+#ifndef LCREC_BASELINES_S3REC_H_
+#define LCREC_BASELINES_S3REC_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/encoder_util.h"
+
+namespace lcrec::baselines {
+
+/// S3-Rec [Zhou et al. 2020]: a SASRec-style backbone with a self-
+/// supervised pretraining stage via mutual-information maximization. This
+/// implementation keeps the two MIM objectives that apply to our data:
+/// masked item prediction (MIP) and item-attribute prediction (AAP,
+/// realized as a multi-label BCE from item embeddings to attributes),
+/// followed by next-item fine-tuning.
+class S3Rec : public NeuralRecommender {
+ public:
+  explicit S3Rec(const BaselineConfig& config, int pretrain_epochs = 10)
+      : NeuralRecommender(config), pretrain_epochs_(pretrain_epochs) {}
+
+  std::string name() const override { return "S3-Rec"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  void Pretrain(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+ private:
+  core::VarId EncodeSequence(core::Graph& g, const std::vector<int>& ids,
+                             bool causal) const;
+
+  int pretrain_epochs_;
+  int mask_id_ = 0;
+  core::Parameter* emb_ = nullptr;
+  core::Parameter* pos_ = nullptr;
+  core::Parameter* attr_w_ = nullptr;  // item repr -> attribute logits
+  std::vector<EncoderBlock> blocks_;
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_S3REC_H_

@@ -1,0 +1,45 @@
+#include "baselines/sasrec.h"
+
+namespace lcrec::baselines {
+
+void SasRec::BuildModel(const data::Dataset& dataset) {
+  int d = config().d_model;
+  emb_ = store().Create("emb",
+                        rng().GaussianTensor({dataset.num_items(), d}, 0.05));
+  pos_ = store().Create("pos",
+                        rng().GaussianTensor({dataset.max_seq_len(), d}, 0.05));
+  blocks_ = MakeEncoderBlocks(store(), "sasrec", config().n_layers, d,
+                              config().d_ff, rng());
+}
+
+core::VarId SasRec::EncodeSequence(core::Graph& g,
+                                   const std::vector<int>& items) const {
+  std::vector<int> positions(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    positions[i] = static_cast<int>(i);
+  }
+  core::VarId x = g.Add(g.Rows(g.Param(emb_), items),
+                        g.Rows(g.Param(pos_), positions));
+  return ApplyEncoder(g, x, blocks_, config().n_heads, /*causal=*/true);
+}
+
+core::VarId SasRec::BuildUserLoss(core::Graph& g,
+                                  const std::vector<int>& items) {
+  std::vector<int> inputs(items.begin(), items.end() - 1);
+  std::vector<int> targets(items.begin() + 1, items.end());
+  core::VarId states = EncodeSequence(g, inputs);
+  core::VarId logits = g.MatMulNT(states, g.Param(emb_));
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+std::vector<float> SasRec::ScoreAllItems(
+    const std::vector<int>& history) const {
+  std::vector<int> items = Clamp(history);
+  core::Graph g;
+  core::VarId states = EncodeSequence(g, items);
+  int64_t t = g.val(states).rows();
+  core::VarId last = g.SliceRows(states, t - 1, t);
+  return DotScores(g.val(last), emb_->value);
+}
+
+}  // namespace lcrec::baselines

@@ -1,0 +1,41 @@
+#ifndef LCREC_BASELINES_SASREC_H_
+#define LCREC_BASELINES_SASREC_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/encoder_util.h"
+
+namespace lcrec::baselines {
+
+/// SASRec [Kang & McAuley 2018]: unidirectional Transformer over the item
+/// sequence, next-item prediction at every position, scoring by inner
+/// product between the last position's representation and the (shared)
+/// item embeddings.
+class SasRec : public NeuralRecommender {
+ public:
+  explicit SasRec(const BaselineConfig& config) : NeuralRecommender(config) {}
+
+  std::string name() const override { return "SASRec"; }
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+ protected:
+  void BuildModel(const data::Dataset& dataset) override;
+  core::VarId BuildUserLoss(core::Graph& g,
+                            const std::vector<int>& items) override;
+  core::Parameter* ItemEmbeddingParam() const override { return emb_; }
+
+  /// Encoded sequence representations [T, d] (shared with S3-Rec).
+  core::VarId EncodeSequence(core::Graph& g,
+                             const std::vector<int>& items) const;
+
+  core::Parameter* emb_ = nullptr;
+  core::Parameter* pos_ = nullptr;
+  std::vector<EncoderBlock> blocks_;
+};
+
+}  // namespace lcrec::baselines
+
+#endif  // LCREC_BASELINES_SASREC_H_

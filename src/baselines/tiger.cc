@@ -1,0 +1,170 @@
+#include "baselines/tiger.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+#include "core/linalg.h"
+#include "llm/trainer.h"
+#include "text/encoder.h"
+
+namespace lcrec::baselines {
+
+core::Tensor Tiger::BuildSourceEmbeddings(
+    const data::Dataset& dataset) const {
+  if (options_.source == IndexSource::kText) {
+    text::TextEncoder encoder(options_.text_dim, options_.seed);
+    std::vector<std::string> docs;
+    for (int i = 0; i < dataset.num_items(); ++i) {
+      docs.push_back(dataset.ItemDocument(i));
+    }
+    return encoder.EncodeBatch(docs);
+  }
+  // Collaborative indexing: co-occurrence rows within a sliding window of
+  // the training sequences, PCA-reduced to text_dim.
+  int n = dataset.num_items();
+  core::Tensor cooc({n, n});
+  constexpr int kWindow = 3;
+  for (int u = 0; u < dataset.num_users(); ++u) {
+    std::vector<int> items = dataset.TrainItems(u);
+    for (size_t i = 0; i < items.size(); ++i) {
+      for (size_t j = i + 1; j < items.size() && j <= i + kWindow; ++j) {
+        cooc.at(static_cast<int64_t>(items[i]) * n + items[j]) += 1.0f;
+        cooc.at(static_cast<int64_t>(items[j]) * n + items[i]) += 1.0f;
+      }
+    }
+  }
+  // Row-normalize so popularity does not dominate the geometry.
+  for (int i = 0; i < n; ++i) {
+    float s = 0.0f;
+    for (int j = 0; j < n; ++j) s += cooc.at(static_cast<int64_t>(i) * n + j);
+    if (s > 0.0f) {
+      for (int j = 0; j < n; ++j) {
+        cooc.at(static_cast<int64_t>(i) * n + j) /= s;
+      }
+    }
+  }
+  int dim = std::min<int>(options_.text_dim, n - 1);
+  core::Pca pca(cooc, dim);
+  return pca.Transform(cooc);
+}
+
+void Tiger::Fit(const data::Dataset& dataset) {
+  dataset_ = &dataset;
+  core::Tensor embeddings = BuildSourceEmbeddings(dataset);
+
+  quant::RqVaeConfig vq;
+  vq.input_dim = static_cast<int>(embeddings.cols());
+  vq.hidden_dim = 64;
+  vq.latent_dim = 24;
+  vq.levels = options_.levels;
+  vq.codebook_size = options_.codebook_size;
+  vq.epochs = options_.rqvae_epochs;
+  vq.seed = options_.seed + 1;
+  quant::RqVae vae(vq);
+  vae.Train(embeddings);
+  // TIGER-style conflict handling: supplementary disambiguation level.
+  indexing_ = quant::ItemIndexing::FromRqVae(vae, embeddings,
+                                             /*uniform_semantic_mapping=*/false);
+  trie_ = std::make_unique<quant::PrefixTrie>(indexing_);
+
+  vocab_ = text::Vocabulary();
+  for (const std::string& tok : indexing_.AllTokenStrings()) {
+    vocab_.AddToken(tok);
+  }
+  llm::MiniLlmConfig mc;
+  mc.vocab_size = vocab_.size();
+  mc.d_model = options_.d_model;
+  mc.n_layers = options_.n_layers;
+  mc.n_heads = options_.n_heads;
+  mc.d_ff = options_.d_ff;
+  // Long enough for max_history items of (levels + 1) tokens + target.
+  mc.max_seq = (options_.max_history + 2) * (options_.levels + 2) + 4;
+  mc.seed = options_.seed + 2;
+  model_ = std::make_unique<llm::MiniLlm>(mc);
+  token_map_ = std::make_unique<llm::IndexTokenMap>(indexing_, vocab_);
+
+  llm::TrainerOptions topt;
+  topt.epochs = 1;  // driven manually per epoch below
+  topt.batch_size = 8;
+  topt.learning_rate = options_.learning_rate;
+  topt.seed = options_.seed + 3;
+  topt.verbose = options_.verbose;
+  llm::LlmTrainer trainer(model_.get(), topt);
+  core::Rng rng(options_.seed + 4);
+  int64_t updates =
+      static_cast<int64_t>(dataset.num_users()) *
+      options_.seq_targets_per_user / topt.batch_size;
+  trainer.SetTotalUpdates(std::max<int64_t>(1, updates) * options_.epochs);
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    std::vector<llm::TrainExample> examples;
+    for (int u = 0; u < dataset.num_users(); ++u) {
+      std::vector<int> items = dataset.TrainItems(u);
+      int len = static_cast<int>(items.size());
+      if (len < 2) continue;
+      std::vector<int> positions = {len - 1};
+      for (int s = 0; s < options_.seq_targets_per_user - 1 && len > 2; ++s) {
+        positions.push_back(1 + static_cast<int>(rng.Below(len - 1)));
+      }
+      std::sort(positions.begin(), positions.end());
+      positions.erase(std::unique(positions.begin(), positions.end()),
+                      positions.end());
+      for (int pos : positions) {
+        llm::TrainExample ex;
+        ex.task = "tiger";
+        std::vector<int> hist(items.begin(), items.begin() + pos);
+        ex.prompt = HistoryTokens(hist);
+        for (const std::string& tok : indexing_.ItemTokens(items[pos])) {
+          ex.response.push_back(vocab_.Id(tok));
+        }
+        examples.push_back(std::move(ex));
+      }
+    }
+    rng.Shuffle(examples);
+    trainer.TrainEpoch(examples);
+  }
+}
+
+std::vector<int> Tiger::HistoryTokens(const std::vector<int>& history) const {
+  int keep = std::min<int>(options_.max_history,
+                           static_cast<int>(history.size()));
+  std::vector<int> tokens;
+  for (size_t i = history.size() - static_cast<size_t>(keep);
+       i < history.size(); ++i) {
+    for (const std::string& tok : indexing_.ItemTokens(history[i])) {
+      tokens.push_back(vocab_.Id(tok));
+    }
+  }
+  return tokens;
+}
+
+std::vector<int> Tiger::TopKIds(const std::vector<int>& history, int k) const {
+  assert(model_ != nullptr);
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  std::vector<int> hist = HistoryTokens(history);
+  prompt.insert(prompt.end(), hist.begin(), hist.end());
+  std::vector<int> ids;
+  for (const llm::ScoredItem& s :
+       llm::GenerateItems(*model_, prompt, *trie_, *token_map_,
+                          options_.beam_size, k)) {
+    ids.push_back(s.item);
+  }
+  return ids;
+}
+
+std::vector<float> Tiger::ScoreAllItems(
+    const std::vector<int>& history) const {
+  std::vector<float> scores(static_cast<size_t>(dataset_->num_items()),
+                            -std::numeric_limits<float>::infinity());
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  std::vector<int> hist = HistoryTokens(history);
+  prompt.insert(prompt.end(), hist.begin(), hist.end());
+  for (const llm::ScoredItem& s :
+       llm::GenerateItems(*model_, prompt, *trie_, *token_map_,
+                          options_.beam_size, options_.beam_size)) {
+    scores[static_cast<size_t>(s.item)] = s.logprob;
+  }
+  return scores;
+}
+
+}  // namespace lcrec::baselines

@@ -1,0 +1,1046 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace lcrec::core {
+
+namespace {
+
+// C += A[m,k] * B[k,n]
+void MmAccum(const float* a, const float* b, float* c, int64_t m, int64_t k,
+             int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (int64_t p = 0; p < k; ++p) {
+      float aip = ai[p];
+      if (aip == 0.0f) continue;
+      const float* bp = b + p * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+// C += A[m,k] * B[n,k]^T
+void MmNtAccum(const float* a, const float* b, float* c, int64_t m, int64_t k,
+               int64_t n) {
+  for (int64_t i = 0; i < m; ++i) {
+    const float* ai = a + i * k;
+    float* ci = c + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const float* bj = b + j * k;
+      float s = 0.0f;
+      for (int64_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] += s;
+    }
+  }
+}
+
+// C += A[k,m]^T * B[k,n]
+void MmTnAccum(const float* a, const float* b, float* c, int64_t k, int64_t m,
+               int64_t n) {
+  for (int64_t p = 0; p < k; ++p) {
+    const float* ap = a + p * m;
+    const float* bp = b + p * n;
+    for (int64_t i = 0; i < m; ++i) {
+      float aip = ap[i];
+      if (aip == 0.0f) continue;
+      float* ci = c + i * n;
+      for (int64_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// ParamStore
+// ---------------------------------------------------------------------------
+
+Parameter* ParamStore::Create(const std::string& name, Tensor init) {
+  params_.push_back(Parameter{name, std::move(init), Tensor()});
+  Parameter& p = params_.back();
+  p.grad = Tensor::Zeros(p.value.shape());
+  return &p;
+}
+
+std::vector<Parameter*> ParamStore::All() {
+  std::vector<Parameter*> out;
+  out.reserve(params_.size());
+  for (Parameter& p : params_) out.push_back(&p);
+  return out;
+}
+
+void ParamStore::ZeroGrad() {
+  for (Parameter& p : params_) p.grad.Fill(0.0f);
+}
+
+int64_t ParamStore::TotalSize() const {
+  int64_t n = 0;
+  for (const Parameter& p : params_) n += p.value.size();
+  return n;
+}
+
+Parameter* ParamStore::Find(const std::string& name) {
+  for (Parameter& p : params_) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+// ---------------------------------------------------------------------------
+// Graph basics
+// ---------------------------------------------------------------------------
+
+VarId Graph::AddNode(Tensor value, std::function<void(Graph&)> backfn) {
+  nodes_.push_back(Node{std::move(value), Tensor(), nullptr, std::move(backfn)});
+  return static_cast<VarId>(nodes_.size()) - 1;
+}
+
+const Tensor& Graph::val(VarId id) const { return nodes_[id].value; }
+
+const Tensor& Graph::grad_of(VarId id) const { return nodes_[id].grad; }
+
+Tensor& Graph::GradRef(VarId id) {
+  Node& n = nodes_[id];
+  if (n.grad.empty() && n.value.size() > 0) {
+    n.grad = Tensor::Zeros(n.value.shape());
+  }
+  return n.grad;
+}
+
+bool Graph::HasGrad(VarId id) const { return !nodes_[id].grad.empty(); }
+
+VarId Graph::Input(Tensor value) { return AddNode(std::move(value), {}); }
+
+VarId Graph::Param(Parameter* p) {
+  VarId id = AddNode(p->value, {});
+  nodes_[id].param = p;
+  return id;
+}
+
+void Graph::Backward(VarId root) {
+  assert(nodes_[root].value.size() == 1);
+  GradRef(root).Fill(1.0f);
+  for (VarId i = static_cast<VarId>(nodes_.size()) - 1; i >= 0; --i) {
+    Node& n = nodes_[i];
+    if (n.grad.empty()) continue;  // no gradient flowed here
+    if (n.backfn) n.backfn(*this);
+    if (n.param != nullptr) n.param->grad.Axpy(1.0f, n.grad);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise
+// ---------------------------------------------------------------------------
+
+VarId Graph::Add(VarId a, VarId b) {
+  assert(SameShape(val(a), val(b)));
+  Tensor out = val(a);
+  out.Axpy(1.0f, val(b));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, b](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    g.GradRef(a).Axpy(1.0f, gout);
+    g.GradRef(b).Axpy(1.0f, gout);
+  };
+  return id;
+}
+
+VarId Graph::Sub(VarId a, VarId b) {
+  assert(SameShape(val(a), val(b)));
+  Tensor out = val(a);
+  out.Axpy(-1.0f, val(b));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, b](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    g.GradRef(a).Axpy(1.0f, gout);
+    g.GradRef(b).Axpy(-1.0f, gout);
+  };
+  return id;
+}
+
+VarId Graph::Mul(VarId a, VarId b) {
+  assert(SameShape(val(a), val(b)));
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) *= val(b).at(i);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, b](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& ga = g.GradRef(a);
+    Tensor& gb = g.GradRef(b);
+    const Tensor& va = g.val(a);
+    const Tensor& vb = g.val(b);
+    for (int64_t i = 0; i < gout.size(); ++i) {
+      ga.at(i) += gout.at(i) * vb.at(i);
+      gb.at(i) += gout.at(i) * va.at(i);
+    }
+  };
+  return id;
+}
+
+VarId Graph::Scale(VarId a, float c) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) *= c;
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, c](Graph& g) {
+    g.GradRef(a).Axpy(c, g.nodes_[id].grad);
+  };
+  return id;
+}
+
+VarId Graph::AddScalar(VarId a, float c) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) += c;
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    g.GradRef(a).Axpy(1.0f, g.nodes_[id].grad);
+  };
+  return id;
+}
+
+VarId Graph::AddBias(VarId a, VarId bias) {
+  const Tensor& va = val(a);
+  const Tensor& vb = val(bias);
+  assert(vb.size() == va.cols());
+  Tensor out = va;
+  int64_t m = va.rows(), n = va.cols();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out.at(i * n + j) += vb.at(j);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, bias](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    g.GradRef(a).Axpy(1.0f, gout);
+    Tensor& gb = g.GradRef(bias);
+    int64_t m = gout.rows(), n = gout.cols();
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) gb.at(j) += gout.at(i * n + j);
+  };
+  return id;
+}
+
+VarId Graph::MulRowBroadcast(VarId a, VarId row) {
+  const Tensor& va = val(a);
+  const Tensor& vr = val(row);
+  assert(vr.size() == va.cols());
+  Tensor out = va;
+  int64_t m = va.rows(), n = va.cols();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out.at(i * n + j) *= vr.at(j);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, row](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& va = g.val(a);
+    const Tensor& vr = g.val(row);
+    Tensor& ga = g.GradRef(a);
+    Tensor& gr = g.GradRef(row);
+    int64_t m = gout.rows(), n = gout.cols();
+    for (int64_t i = 0; i < m; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        ga.at(i * n + j) += gout.at(i * n + j) * vr.at(j);
+        gr.at(j) += gout.at(i * n + j) * va.at(i * n + j);
+      }
+    }
+  };
+  return id;
+}
+
+VarId Graph::Relu(VarId a) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = std::max(0.0f, out.at(i));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& va = g.val(a);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < gout.size(); ++i)
+      if (va.at(i) > 0.0f) ga.at(i) += gout.at(i);
+  };
+  return id;
+}
+
+VarId Graph::Sigmoid(VarId a) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i)
+    out.at(i) = 1.0f / (1.0f + std::exp(-out.at(i)));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& y = g.val(id);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < gout.size(); ++i)
+      ga.at(i) += gout.at(i) * y.at(i) * (1.0f - y.at(i));
+  };
+  return id;
+}
+
+VarId Graph::Tanh(VarId a) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = std::tanh(out.at(i));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& y = g.val(id);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < gout.size(); ++i)
+      ga.at(i) += gout.at(i) * (1.0f - y.at(i) * y.at(i));
+  };
+  return id;
+}
+
+VarId Graph::Silu(VarId a) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    float x = out.at(i);
+    out.at(i) = x / (1.0f + std::exp(-x));
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& va = g.val(a);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < gout.size(); ++i) {
+      float x = va.at(i);
+      float s = 1.0f / (1.0f + std::exp(-x));
+      ga.at(i) += gout.at(i) * (s + x * s * (1.0f - s));
+    }
+  };
+  return id;
+}
+
+VarId Graph::Gelu(VarId a) {
+  constexpr float kC = 0.7978845608f;  // sqrt(2/pi)
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) {
+    float x = out.at(i);
+    out.at(i) = 0.5f * x * (1.0f + std::tanh(kC * (x + 0.044715f * x * x * x)));
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& va = g.val(a);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < gout.size(); ++i) {
+      float x = va.at(i);
+      float u = kC * (x + 0.044715f * x * x * x);
+      float t = std::tanh(u);
+      float du = kC * (1.0f + 3.0f * 0.044715f * x * x);
+      float d = 0.5f * (1.0f + t) + 0.5f * x * (1.0f - t * t) * du;
+      ga.at(i) += gout.at(i) * d;
+    }
+  };
+  return id;
+}
+
+VarId Graph::Exp(VarId a) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = std::exp(out.at(i));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& y = g.val(id);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < gout.size(); ++i) ga.at(i) += gout.at(i) * y.at(i);
+  };
+  return id;
+}
+
+VarId Graph::Log(VarId a) {
+  Tensor out = val(a);
+  for (int64_t i = 0; i < out.size(); ++i) out.at(i) = std::log(out.at(i));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& va = g.val(a);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < gout.size(); ++i) ga.at(i) += gout.at(i) / va.at(i);
+  };
+  return id;
+}
+
+VarId Graph::Square(VarId a) { return Mul(a, a); }
+
+// ---------------------------------------------------------------------------
+// Linear algebra
+// ---------------------------------------------------------------------------
+
+VarId Graph::MatMul(VarId a, VarId b) {
+  const Tensor& va = val(a);
+  const Tensor& vb = val(b);
+  int64_t m = va.rows(), k = va.cols(), n = vb.cols();
+  assert(vb.rows() == k);
+  Tensor out({m, n});
+  MmAccum(va.data(), vb.data(), out.data(), m, k, n);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, b, m, k, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    // dA += dC * B^T ; dB += A^T * dC
+    MmNtAccum(gout.data(), g.val(b).data(), g.GradRef(a).data(), m, n, k);
+    MmTnAccum(g.val(a).data(), gout.data(), g.GradRef(b).data(), m, k, n);
+  };
+  return id;
+}
+
+VarId Graph::MatMulNT(VarId a, VarId b) {
+  const Tensor& va = val(a);
+  const Tensor& vb = val(b);
+  int64_t m = va.rows(), k = va.cols(), n = vb.rows();
+  assert(vb.cols() == k);
+  Tensor out({m, n});
+  MmNtAccum(va.data(), vb.data(), out.data(), m, k, n);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, b, m, k, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    // C = A * B^T: dA += dC * B ; dB += dC^T * A
+    MmAccum(gout.data(), g.val(b).data(), g.GradRef(a).data(), m, n, k);
+    MmTnAccum(gout.data(), g.val(a).data(), g.GradRef(b).data(), m, n, k);
+  };
+  return id;
+}
+
+VarId Graph::Transpose(VarId a) {
+  const Tensor& va = val(a);
+  int64_t m = va.rows(), n = va.cols();
+  Tensor out({n, m});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out.at(j * m + i) = va.at(i * n + j);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, m, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) ga.at(i * n + j) += gout.at(j * m + i);
+  };
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Shape ops
+// ---------------------------------------------------------------------------
+
+VarId Graph::Reshape(VarId a, std::vector<int64_t> shape) {
+  Tensor out = val(a).Reshaped(std::move(shape));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    g.GradRef(a).Axpy(1.0f, g.nodes_[id].grad.Reshaped(g.val(a).shape()));
+  };
+  return id;
+}
+
+VarId Graph::SliceRows(VarId a, int64_t r0, int64_t r1) {
+  const Tensor& va = val(a);
+  int64_t n = va.cols();
+  assert(0 <= r0 && r0 <= r1 && r1 <= va.rows());
+  Tensor out({r1 - r0, n});
+  std::memcpy(out.data(), va.data() + r0 * n,
+              sizeof(float) * static_cast<size_t>((r1 - r0) * n));
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, r0, r1, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < r1 - r0; ++i)
+      for (int64_t j = 0; j < n; ++j)
+        ga.at((r0 + i) * n + j) += gout.at(i * n + j);
+  };
+  return id;
+}
+
+VarId Graph::SliceCols(VarId a, int64_t c0, int64_t c1) {
+  const Tensor& va = val(a);
+  int64_t m = va.rows(), n = va.cols();
+  assert(0 <= c0 && c0 <= c1 && c1 <= n);
+  Tensor out({m, c1 - c0});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = c0; j < c1; ++j)
+      out.at(i * (c1 - c0) + (j - c0)) = va.at(i * n + j);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, c0, c1, m, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = c0; j < c1; ++j)
+        ga.at(i * n + j) += gout.at(i * (c1 - c0) + (j - c0));
+  };
+  return id;
+}
+
+VarId Graph::ConcatRows(const std::vector<VarId>& parts) {
+  assert(!parts.empty());
+  int64_t n = val(parts[0]).cols();
+  int64_t m = 0;
+  for (VarId p : parts) {
+    assert(val(p).cols() == n);
+    m += val(p).rows();
+  }
+  Tensor out({m, n});
+  int64_t r = 0;
+  for (VarId p : parts) {
+    const Tensor& vp = val(p);
+    std::memcpy(out.data() + r * n, vp.data(),
+                sizeof(float) * static_cast<size_t>(vp.size()));
+    r += vp.rows();
+  }
+  VarId id = AddNode(std::move(out), {});
+  std::vector<VarId> ps = parts;
+  nodes_[id].backfn = [id, ps, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    int64_t r = 0;
+    for (VarId p : ps) {
+      Tensor& gp = g.GradRef(p);
+      int64_t rows = g.val(p).rows();
+      for (int64_t i = 0; i < rows * n; ++i) gp.at(i) += gout.at(r * n + i);
+      r += rows;
+    }
+  };
+  return id;
+}
+
+VarId Graph::ConcatCols(const std::vector<VarId>& parts) {
+  assert(!parts.empty());
+  int64_t m = val(parts[0]).rows();
+  int64_t n = 0;
+  for (VarId p : parts) {
+    assert(val(p).rows() == m);
+    n += val(p).cols();
+  }
+  Tensor out({m, n});
+  int64_t c = 0;
+  for (VarId p : parts) {
+    const Tensor& vp = val(p);
+    int64_t pc = vp.cols();
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < pc; ++j) out.at(i * n + c + j) = vp.at(i * pc + j);
+    c += pc;
+  }
+  VarId id = AddNode(std::move(out), {});
+  std::vector<VarId> ps = parts;
+  nodes_[id].backfn = [id, ps, m, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    int64_t c = 0;
+    for (VarId p : ps) {
+      Tensor& gp = g.GradRef(p);
+      int64_t pc = g.val(p).cols();
+      for (int64_t i = 0; i < m; ++i)
+        for (int64_t j = 0; j < pc; ++j)
+          gp.at(i * pc + j) += gout.at(i * n + c + j);
+      c += pc;
+    }
+  };
+  return id;
+}
+
+VarId Graph::Rows(VarId table, const std::vector<int>& ids) {
+  const Tensor& vt = val(table);
+  int64_t n = vt.cols();
+  Tensor out({static_cast<int64_t>(ids.size()), n});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    assert(ids[i] >= 0 && ids[i] < vt.rows());
+    std::memcpy(out.data() + static_cast<int64_t>(i) * n,
+                vt.data() + static_cast<int64_t>(ids[i]) * n,
+                sizeof(float) * static_cast<size_t>(n));
+  }
+  VarId id = AddNode(std::move(out), {});
+  std::vector<int> ids_copy = ids;
+  nodes_[id].backfn = [id, table, ids_copy, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& gt = g.GradRef(table);
+    for (size_t i = 0; i < ids_copy.size(); ++i)
+      for (int64_t j = 0; j < n; ++j)
+        gt.at(static_cast<int64_t>(ids_copy[i]) * n + j) +=
+            gout.at(static_cast<int64_t>(i) * n + j);
+  };
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Reductions
+// ---------------------------------------------------------------------------
+
+VarId Graph::Sum(VarId a) {
+  float s = 0.0f;
+  for (int64_t i = 0; i < val(a).size(); ++i) s += val(a).at(i);
+  VarId id = AddNode(Tensor::Scalar(s), {});
+  nodes_[id].backfn = [id, a](Graph& g) {
+    float go = g.nodes_[id].grad.item();
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < ga.size(); ++i) ga.at(i) += go;
+  };
+  return id;
+}
+
+VarId Graph::Mean(VarId a) {
+  int64_t sz = val(a).size();
+  return Scale(Sum(a), 1.0f / static_cast<float>(sz));
+}
+
+VarId Graph::MeanOverRows(VarId a) {
+  int64_t m = val(a).rows();
+  return Scale(SumOverRows(a), 1.0f / static_cast<float>(m));
+}
+
+VarId Graph::SumOverRows(VarId a) {
+  const Tensor& va = val(a);
+  int64_t m = va.rows(), n = va.cols();
+  Tensor out({n});
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out.at(j) += va.at(i * n + j);
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, m, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) ga.at(i * n + j) += gout.at(j);
+  };
+  return id;
+}
+
+VarId Graph::MaxOverRows(VarId a) {
+  const Tensor& va = val(a);
+  int64_t m = va.rows(), n = va.cols();
+  assert(m > 0);
+  Tensor out({n});
+  std::vector<int64_t> argmax(n, 0);
+  for (int64_t j = 0; j < n; ++j) {
+    float best = va.at(j);
+    for (int64_t i = 1; i < m; ++i) {
+      if (va.at(i * n + j) > best) {
+        best = va.at(i * n + j);
+        argmax[j] = i;
+      }
+    }
+    out.at(j) = best;
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, argmax, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& ga = g.GradRef(a);
+    for (int64_t j = 0; j < n; ++j) ga.at(argmax[j] * n + j) += gout.at(j);
+  };
+  return id;
+}
+
+VarId Graph::RowSums(VarId a) {
+  const Tensor& va = val(a);
+  int64_t m = va.rows(), n = va.cols();
+  Tensor out({m});
+  for (int64_t i = 0; i < m; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < n; ++j) s += va.at(i * n + j);
+    out.at(i) = s;
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, m, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < m; ++i)
+      for (int64_t j = 0; j < n; ++j) ga.at(i * n + j) += gout.at(i);
+  };
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Normalization
+// ---------------------------------------------------------------------------
+
+VarId Graph::LayerNorm(VarId x, VarId gamma, VarId beta, float eps) {
+  const Tensor& vx = val(x);
+  int64_t m = vx.rows(), n = vx.cols();
+  assert(val(gamma).size() == n && val(beta).size() == n);
+  Tensor out({m, n});
+  std::vector<float> inv_std(m), mean(m);
+  for (int64_t i = 0; i < m; ++i) {
+    float mu = 0.0f;
+    for (int64_t j = 0; j < n; ++j) mu += vx.at(i * n + j);
+    mu /= static_cast<float>(n);
+    float var = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      float d = vx.at(i * n + j) - mu;
+      var += d * d;
+    }
+    var /= static_cast<float>(n);
+    float is = 1.0f / std::sqrt(var + eps);
+    mean[i] = mu;
+    inv_std[i] = is;
+    for (int64_t j = 0; j < n; ++j) {
+      float xhat = (vx.at(i * n + j) - mu) * is;
+      out.at(i * n + j) = xhat * val(gamma).at(j) + val(beta).at(j);
+    }
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, x, gamma, beta, eps, m, n, mean,
+                       inv_std](Graph& g) {
+    (void)eps;
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& vx = g.val(x);
+    const Tensor& vg = g.val(gamma);
+    Tensor& gx = g.GradRef(x);
+    Tensor& gg = g.GradRef(gamma);
+    Tensor& gb = g.GradRef(beta);
+    for (int64_t i = 0; i < m; ++i) {
+      float is = inv_std[i], mu = mean[i];
+      // dxhat_j = gout_j * gamma_j
+      float sum_dxhat = 0.0f, sum_dxhat_xhat = 0.0f;
+      for (int64_t j = 0; j < n; ++j) {
+        float xhat = (vx.at(i * n + j) - mu) * is;
+        float dxhat = gout.at(i * n + j) * vg.at(j);
+        sum_dxhat += dxhat;
+        sum_dxhat_xhat += dxhat * xhat;
+        gg.at(j) += gout.at(i * n + j) * xhat;
+        gb.at(j) += gout.at(i * n + j);
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        float xhat = (vx.at(i * n + j) - mu) * is;
+        float dxhat = gout.at(i * n + j) * vg.at(j);
+        gx.at(i * n + j) += is * (dxhat - sum_dxhat / static_cast<float>(n) -
+                                  xhat * sum_dxhat_xhat / static_cast<float>(n));
+      }
+    }
+  };
+  return id;
+}
+
+VarId Graph::RmsNorm(VarId x, VarId gamma, float eps) {
+  const Tensor& vx = val(x);
+  int64_t m = vx.rows(), n = vx.cols();
+  assert(val(gamma).size() == n);
+  Tensor out({m, n});
+  std::vector<float> inv_rms(m);
+  for (int64_t i = 0; i < m; ++i) {
+    float ss = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      float v = vx.at(i * n + j);
+      ss += v * v;
+    }
+    float ir = 1.0f / std::sqrt(ss / static_cast<float>(n) + eps);
+    inv_rms[i] = ir;
+    for (int64_t j = 0; j < n; ++j)
+      out.at(i * n + j) = vx.at(i * n + j) * ir * val(gamma).at(j);
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, x, gamma, m, n, inv_rms](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& vx = g.val(x);
+    const Tensor& vg = g.val(gamma);
+    Tensor& gx = g.GradRef(x);
+    Tensor& gg = g.GradRef(gamma);
+    for (int64_t i = 0; i < m; ++i) {
+      float ir = inv_rms[i];
+      float dot = 0.0f;  // sum_j gout_j * gamma_j * x_j
+      for (int64_t j = 0; j < n; ++j) {
+        dot += gout.at(i * n + j) * vg.at(j) * vx.at(i * n + j);
+        gg.at(j) += gout.at(i * n + j) * vx.at(i * n + j) * ir;
+      }
+      for (int64_t j = 0; j < n; ++j) {
+        gx.at(i * n + j) +=
+            ir * (gout.at(i * n + j) * vg.at(j) -
+                  vx.at(i * n + j) * ir * ir * dot / static_cast<float>(n));
+      }
+    }
+  };
+  return id;
+}
+
+VarId Graph::NormalizeRows(VarId x, float eps) {
+  const Tensor& vx = val(x);
+  int64_t m = vx.rows(), n = vx.cols();
+  Tensor out({m, n});
+  std::vector<float> inv_norm(m);
+  for (int64_t i = 0; i < m; ++i) {
+    float ss = 0.0f;
+    for (int64_t j = 0; j < n; ++j) ss += vx.at(i * n + j) * vx.at(i * n + j);
+    float in = 1.0f / (std::sqrt(ss) + eps);
+    inv_norm[i] = in;
+    for (int64_t j = 0; j < n; ++j) out.at(i * n + j) = vx.at(i * n + j) * in;
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, x, m, n, inv_norm](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& y = g.val(id);
+    Tensor& gx = g.GradRef(x);
+    for (int64_t i = 0; i < m; ++i) {
+      float in = inv_norm[i];
+      float dot = 0.0f;
+      for (int64_t j = 0; j < n; ++j) dot += gout.at(i * n + j) * y.at(i * n + j);
+      for (int64_t j = 0; j < n; ++j)
+        gx.at(i * n + j) += in * (gout.at(i * n + j) - y.at(i * n + j) * dot);
+    }
+  };
+  return id;
+}
+
+VarId Graph::Dropout(VarId x, float p, Rng& rng, bool train) {
+  if (!train || p <= 0.0f) return x;
+  const Tensor& vx = val(x);
+  Tensor out = vx;
+  std::vector<float> mask(static_cast<size_t>(vx.size()));
+  float scale = 1.0f / (1.0f - p);
+  for (int64_t i = 0; i < vx.size(); ++i) {
+    mask[i] = rng.Bernoulli(p) ? 0.0f : scale;
+    out.at(i) *= mask[i];
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, x, mask](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    Tensor& gx = g.GradRef(x);
+    for (int64_t i = 0; i < gout.size(); ++i)
+      gx.at(i) += gout.at(i) * mask[i];
+  };
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// Softmax family
+// ---------------------------------------------------------------------------
+
+VarId Graph::Softmax(VarId a) {
+  int64_t m = val(a).rows(), n = val(a).cols();
+  std::vector<int> full(m, static_cast<int>(n));
+  return MaskedSoftmax(a, std::move(full));
+}
+
+VarId Graph::CausalSoftmax(VarId a) {
+  int64_t m = val(a).rows();
+  assert(val(a).cols() >= m);
+  // Row i attends to columns [0, offset + i] where offset handles the case
+  // of incremental decoding (cols > rows).
+  int64_t offset = val(a).cols() - m;
+  std::vector<int> lens(m);
+  for (int64_t i = 0; i < m; ++i) lens[i] = static_cast<int>(offset + i + 1);
+  return MaskedSoftmax(a, std::move(lens));
+}
+
+VarId Graph::MaskedSoftmax(VarId a, std::vector<int> valid_len) {
+  const Tensor& va = val(a);
+  int64_t m = va.rows(), n = va.cols();
+  assert(static_cast<int64_t>(valid_len.size()) == m);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    int len = valid_len[i];
+    assert(len >= 1 && len <= n);
+    float mx = va.at(i * n);
+    for (int j = 1; j < len; ++j) mx = std::max(mx, va.at(i * n + j));
+    float z = 0.0f;
+    for (int j = 0; j < len; ++j) {
+      float e = std::exp(va.at(i * n + j) - mx);
+      out.at(i * n + j) = e;
+      z += e;
+    }
+    for (int j = 0; j < len; ++j) out.at(i * n + j) /= z;
+    for (int64_t j = len; j < n; ++j) out.at(i * n + j) = 0.0f;
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, a, valid_len, m, n](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    const Tensor& y = g.val(id);
+    Tensor& ga = g.GradRef(a);
+    for (int64_t i = 0; i < m; ++i) {
+      int len = valid_len[i];
+      float dot = 0.0f;
+      for (int j = 0; j < len; ++j) dot += gout.at(i * n + j) * y.at(i * n + j);
+      for (int j = 0; j < len; ++j)
+        ga.at(i * n + j) += y.at(i * n + j) * (gout.at(i * n + j) - dot);
+    }
+  };
+  return id;
+}
+
+VarId Graph::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
+  const Tensor& vl = val(logits);
+  int64_t m = vl.rows(), n = vl.cols();
+  assert(static_cast<int64_t>(targets.size()) == m);
+  Tensor probs({m, n});
+  double loss = 0.0;
+  int64_t count = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    float mx = vl.at(i * n);
+    for (int64_t j = 1; j < n; ++j) mx = std::max(mx, vl.at(i * n + j));
+    float z = 0.0f;
+    for (int64_t j = 0; j < n; ++j) {
+      float e = std::exp(vl.at(i * n + j) - mx);
+      probs.at(i * n + j) = e;
+      z += e;
+    }
+    for (int64_t j = 0; j < n; ++j) probs.at(i * n + j) /= z;
+    int t = targets[i];
+    if (t == kIgnore) continue;
+    assert(t >= 0 && t < n);
+    loss -= std::log(std::max(1e-12f, probs.at(i * n + t)));
+    ++count;
+  }
+  if (count == 0) count = 1;
+  VarId id =
+      AddNode(Tensor::Scalar(static_cast<float>(loss / count)), {});
+  nodes_[id].backfn = [id, logits, targets, probs, m, n, count](Graph& g) {
+    float go = g.nodes_[id].grad.item() / static_cast<float>(count);
+    Tensor& gl = g.GradRef(logits);
+    for (int64_t i = 0; i < m; ++i) {
+      int t = targets[i];
+      if (t == kIgnore) continue;
+      for (int64_t j = 0; j < n; ++j)
+        gl.at(i * n + j) += go * (probs.at(i * n + j) - (j == t ? 1.0f : 0.0f));
+    }
+  };
+  return id;
+}
+
+VarId Graph::SigmoidBCE(VarId logits, Tensor targets) {
+  const Tensor& vl = val(logits);
+  assert(SameShape(vl, targets));
+  int64_t sz = vl.size();
+  double loss = 0.0;
+  Tensor sig(vl.shape());
+  for (int64_t i = 0; i < sz; ++i) {
+    float x = vl.at(i);
+    float s = 1.0f / (1.0f + std::exp(-x));
+    sig.at(i) = s;
+    float t = targets.at(i);
+    // Numerically stable: log(1+exp(-|x|)) + max(x,0) - t*x
+    loss += std::log1p(std::exp(-std::abs(x))) + std::max(x, 0.0f) - t * x;
+  }
+  VarId id = AddNode(Tensor::Scalar(static_cast<float>(loss / sz)), {});
+  nodes_[id].backfn = [id, logits, targets, sig, sz](Graph& g) {
+    float go = g.nodes_[id].grad.item() / static_cast<float>(sz);
+    Tensor& gl = g.GradRef(logits);
+    for (int64_t i = 0; i < sz; ++i)
+      gl.at(i) += go * (sig.at(i) - targets.at(i));
+  };
+  return id;
+}
+
+VarId Graph::MseLoss(VarId pred, Tensor target) {
+  const Tensor& vp = val(pred);
+  assert(SameShape(vp, target));
+  int64_t sz = vp.size();
+  double loss = 0.0;
+  for (int64_t i = 0; i < sz; ++i) {
+    float d = vp.at(i) - target.at(i);
+    loss += d * d;
+  }
+  VarId id = AddNode(Tensor::Scalar(static_cast<float>(loss / sz)), {});
+  nodes_[id].backfn = [id, pred, target, sz](Graph& g) {
+    float go = g.nodes_[id].grad.item() * 2.0f / static_cast<float>(sz);
+    const Tensor& vp = g.val(pred);
+    Tensor& gp = g.GradRef(pred);
+    for (int64_t i = 0; i < sz; ++i)
+      gp.at(i) += go * (vp.at(i) - target.at(i));
+  };
+  return id;
+}
+
+VarId Graph::MseLossVar(VarId pred, VarId target) {
+  VarId diff = Sub(pred, target);
+  return Mean(Mul(diff, diff));
+}
+
+// ---------------------------------------------------------------------------
+// Special ops
+// ---------------------------------------------------------------------------
+
+VarId Graph::StopGradient(VarId a) {
+  return AddNode(val(a), {});  // value copy, no backward
+}
+
+VarId Graph::DftFilter(VarId x, VarId w_re, VarId w_im) {
+  const Tensor& vx = val(x);
+  int64_t L = vx.rows(), d = vx.cols();
+  assert(val(w_re).rows() == L && val(w_re).cols() == d);
+  assert(val(w_im).rows() == L && val(w_im).cols() == d);
+
+  // Precompute DFT cos/sin tables: C[k][t] = cos(2*pi*k*t/L).
+  std::vector<float> ct(static_cast<size_t>(L * L)),
+      st(static_cast<size_t>(L * L));
+  const double two_pi = 6.283185307179586;
+  for (int64_t k = 0; k < L; ++k) {
+    for (int64_t t = 0; t < L; ++t) {
+      double ang = two_pi * static_cast<double>(k * t) / static_cast<double>(L);
+      ct[k * L + t] = static_cast<float>(std::cos(ang));
+      st[k * L + t] = static_cast<float>(std::sin(ang));
+    }
+  }
+  // Forward DFT along rows (sequence axis), per column.
+  auto dft = [&](const Tensor& in, Tensor& out_re, Tensor& out_im) {
+    for (int64_t k = 0; k < L; ++k) {
+      for (int64_t j = 0; j < d; ++j) {
+        float re = 0.0f, im = 0.0f;
+        for (int64_t t = 0; t < L; ++t) {
+          float v = in.at(t * d + j);
+          re += ct[k * L + t] * v;
+          im -= st[k * L + t] * v;
+        }
+        out_re.at(k * d + j) = re;
+        out_im.at(k * d + j) = im;
+      }
+    }
+  };
+  Tensor xre({L, d}), xim({L, d});
+  dft(vx, xre, xim);
+  // Y = W .* X (complex)
+  const Tensor& wre = val(w_re);
+  const Tensor& wim = val(w_im);
+  Tensor yre({L, d}), yim({L, d});
+  for (int64_t i = 0; i < L * d; ++i) {
+    yre.at(i) = wre.at(i) * xre.at(i) - wim.at(i) * xim.at(i);
+    yim.at(i) = wre.at(i) * xim.at(i) + wim.at(i) * xre.at(i);
+  }
+  // y = Re(IDFT(Y)) = (1/L) sum_k [cos * Yre - sin * Yim]
+  Tensor out({L, d});
+  float inv_l = 1.0f / static_cast<float>(L);
+  for (int64_t t = 0; t < L; ++t) {
+    for (int64_t j = 0; j < d; ++j) {
+      float s = 0.0f;
+      for (int64_t k = 0; k < L; ++k) {
+        s += ct[k * L + t] * yre.at(k * d + j) - st[k * L + t] * yim.at(k * d + j);
+      }
+      out.at(t * d + j) = s * inv_l;
+    }
+  }
+  VarId id = AddNode(std::move(out), {});
+  nodes_[id].backfn = [id, x, w_re, w_im, L, d, ct, st, xre, xim](Graph& g) {
+    const Tensor& gout = g.nodes_[id].grad;
+    float inv_l = 1.0f / static_cast<float>(L);
+    // Adjoint of y = (1/L)(Dre Yre - Dim Yim), Dre[t][k]=cos, Dim[t][k]=sin:
+    // dYre[k] = (1/L) sum_t cos(kt) * dy[t]; dYim[k] = -(1/L) sum_t sin(kt)*dy[t]
+    Tensor dyre({L, d}), dyim({L, d});
+    for (int64_t k = 0; k < L; ++k) {
+      for (int64_t j = 0; j < d; ++j) {
+        float re = 0.0f, im = 0.0f;
+        for (int64_t t = 0; t < L; ++t) {
+          re += ct[k * L + t] * gout.at(t * d + j);
+          im -= st[k * L + t] * gout.at(t * d + j);
+        }
+        dyre.at(k * d + j) = re * inv_l;
+        dyim.at(k * d + j) = im * inv_l;
+      }
+    }
+    // Adjoint of complex multiply Y = W .* X:
+    const Tensor& wre = g.val(w_re);
+    const Tensor& wim = g.val(w_im);
+    Tensor& gwre = g.GradRef(w_re);
+    Tensor& gwim = g.GradRef(w_im);
+    Tensor dxre({L, d}), dxim({L, d});
+    for (int64_t i = 0; i < L * d; ++i) {
+      gwre.at(i) += dyre.at(i) * xre.at(i) + dyim.at(i) * xim.at(i);
+      gwim.at(i) += -dyre.at(i) * xim.at(i) + dyim.at(i) * xre.at(i);
+      dxre.at(i) = dyre.at(i) * wre.at(i) + dyim.at(i) * wim.at(i);
+      dxim.at(i) = -dyre.at(i) * wim.at(i) + dyim.at(i) * wre.at(i);
+    }
+    // Adjoint of forward DFT Xre = Cre x, Xim = Cim x with
+    // Cre[k][t]=cos(kt), Cim[k][t]=-sin(kt):
+    Tensor& gx = g.GradRef(x);
+    for (int64_t t = 0; t < L; ++t) {
+      for (int64_t j = 0; j < d; ++j) {
+        float s = 0.0f;
+        for (int64_t k = 0; k < L; ++k) {
+          s += ct[k * L + t] * dxre.at(k * d + j) -
+               st[k * L + t] * dxim.at(k * d + j);
+        }
+        gx.at(t * d + j) += s;
+      }
+    }
+  };
+  return id;
+}
+
+}  // namespace lcrec::core

@@ -1,0 +1,203 @@
+#ifndef LCREC_CORE_GRAPH_H_
+#define LCREC_CORE_GRAPH_H_
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace lcrec::core {
+
+/// A trainable parameter: value plus accumulated gradient. Parameters are
+/// owned by a ParamStore and referenced by Graphs built per training step.
+struct Parameter {
+  std::string name;
+  Tensor value;
+  Tensor grad;  // Same shape as value; zeroed by ParamStore::ZeroGrad().
+};
+
+/// Owns the parameters of a model. Pointer stability is guaranteed
+/// (std::deque), so Parameter* handles remain valid for the store's
+/// lifetime.
+class ParamStore {
+ public:
+  ParamStore() = default;
+  ParamStore(const ParamStore&) = delete;
+  ParamStore& operator=(const ParamStore&) = delete;
+
+  /// Creates a parameter initialized with `init`; gradient starts at zero.
+  Parameter* Create(const std::string& name, Tensor init);
+
+  /// All parameters in creation order.
+  std::vector<Parameter*> All();
+
+  void ZeroGrad();
+
+  /// Total number of scalar parameters.
+  int64_t TotalSize() const;
+
+  size_t Count() const { return params_.size(); }
+
+  /// Finds a parameter by name; returns nullptr if absent.
+  Parameter* Find(const std::string& name);
+
+  /// Removes every parameter (invalidates previously returned pointers).
+  void Clear() { params_.clear(); }
+
+ private:
+  std::deque<Parameter> params_;
+};
+
+/// Variable handle inside a Graph.
+using VarId = int32_t;
+
+/// Dynamic reverse-mode automatic differentiation over Tensors.
+///
+/// Usage: build a fresh Graph per training step, call ops to construct the
+/// forward computation (values are computed eagerly), then call
+/// Backward(loss) to propagate gradients into every Parameter that
+/// participated. All ops validate shapes with assert.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  // --- Leaf creation -----------------------------------------------------
+
+  /// A constant input (no gradient tracked).
+  VarId Input(Tensor value);
+
+  /// A trainable parameter; Backward accumulates into p->grad.
+  VarId Param(Parameter* p);
+
+  // --- Elementwise / arithmetic ------------------------------------------
+
+  VarId Add(VarId a, VarId b);          // same shape
+  VarId Sub(VarId a, VarId b);          // same shape
+  VarId Mul(VarId a, VarId b);          // elementwise, same shape
+  VarId Scale(VarId a, float c);        // c * a
+  VarId AddScalar(VarId a, float c);    // a + c
+  VarId AddBias(VarId a, VarId bias);   // [m,n] + [n] broadcast over rows
+  VarId MulRowBroadcast(VarId a, VarId row);  // [m,n] * [n] per row
+
+  VarId Relu(VarId a);
+  VarId Sigmoid(VarId a);
+  VarId Tanh(VarId a);
+  VarId Silu(VarId a);  // x * sigmoid(x)
+  VarId Gelu(VarId a);  // tanh approximation
+  VarId Exp(VarId a);
+  VarId Log(VarId a);   // requires positive inputs
+  VarId Square(VarId a);
+
+  // --- Linear algebra ----------------------------------------------------
+
+  VarId MatMul(VarId a, VarId b);    // [m,k] x [k,n] -> [m,n]
+  VarId MatMulNT(VarId a, VarId b);  // [m,k] x [n,k]^T -> [m,n]
+  VarId Transpose(VarId a);          // [m,n] -> [n,m]
+
+  // --- Shape ops ----------------------------------------------------------
+
+  VarId Reshape(VarId a, std::vector<int64_t> shape);
+  VarId SliceRows(VarId a, int64_t r0, int64_t r1);  // rows [r0, r1)
+  VarId SliceCols(VarId a, int64_t c0, int64_t c1);  // cols [c0, c1)
+  VarId ConcatRows(const std::vector<VarId>& parts);  // same #cols
+  VarId ConcatCols(const std::vector<VarId>& parts);  // same #rows
+
+  /// Gathers rows of `table` by index (with repetitions allowed). Works
+  /// for any var, in particular embedding tables: backward scatter-adds.
+  VarId Rows(VarId table, const std::vector<int>& ids);
+
+  // --- Reductions ----------------------------------------------------------
+
+  VarId Sum(VarId a);           // -> scalar
+  VarId Mean(VarId a);          // -> scalar
+  VarId MeanOverRows(VarId a);  // [m,n] -> [n]
+  VarId SumOverRows(VarId a);   // [m,n] -> [n]
+  VarId MaxOverRows(VarId a);   // [m,n] -> [n], argmax routing in backward
+  VarId RowSums(VarId a);       // [m,n] -> [m]
+
+  // --- Normalization / regularization --------------------------------------
+
+  /// Row-wise layer norm with learnable gain/bias (both shape [n]).
+  VarId LayerNorm(VarId x, VarId gamma, VarId beta, float eps = 1e-5f);
+
+  /// Row-wise RMS norm with learnable gain (shape [n]).
+  VarId RmsNorm(VarId x, VarId gamma, float eps = 1e-6f);
+
+  /// L2-normalizes each row to unit norm.
+  VarId NormalizeRows(VarId x, float eps = 1e-8f);
+
+  /// Inverted dropout; identity when !train or p == 0.
+  VarId Dropout(VarId x, float p, Rng& rng, bool train);
+
+  // --- Softmax / losses -----------------------------------------------------
+
+  /// Row-wise softmax over the full row.
+  VarId Softmax(VarId a);
+
+  /// Row-wise softmax where row i attends only to columns [0, i] (causal
+  /// self-attention mask on a square score matrix).
+  VarId CausalSoftmax(VarId a);
+
+  /// Row-wise softmax with an explicit per-row valid length; columns at or
+  /// beyond the length get probability 0.
+  VarId MaskedSoftmax(VarId a, std::vector<int> valid_len);
+
+  /// Mean softmax cross-entropy. `targets[i]` is the class of row i, or
+  /// kIgnore to exclude the row from the loss. Returns a scalar.
+  static constexpr int kIgnore = -1;
+  VarId SoftmaxCrossEntropy(VarId logits, std::vector<int> targets);
+
+  /// Mean binary cross-entropy with logits against a dense 0/1 target.
+  VarId SigmoidBCE(VarId logits, Tensor targets);
+
+  /// Mean squared error (mean over all elements) against a constant.
+  VarId MseLoss(VarId pred, Tensor target);
+
+  /// Mean squared error between two vars.
+  VarId MseLossVar(VarId pred, VarId target);
+
+  // --- Special ops -----------------------------------------------------------
+
+  /// Identity forward, zero backward (the sg[.] operator of Eq. 4).
+  VarId StopGradient(VarId a);
+
+  /// FMLP-Rec learnable frequency-domain filter: y = Re(IDFT(W .* DFT(x)))
+  /// along the row (sequence) axis. `w_re`/`w_im` have the same shape as x.
+  VarId DftFilter(VarId x, VarId w_re, VarId w_im);
+
+  // --- Execution ---------------------------------------------------------------
+
+  /// Runs reverse-mode accumulation from `root` (must be scalar) and
+  /// flushes gradients of Param leaves into their Parameter::grad.
+  void Backward(VarId root);
+
+  const Tensor& val(VarId id) const;
+  /// Gradient of a var after Backward; empty tensor if it received none.
+  const Tensor& grad_of(VarId id) const;
+
+  size_t NodeCount() const { return nodes_.size(); }
+
+ private:
+  struct Node {
+    Tensor value;
+    Tensor grad;  // lazily allocated
+    Parameter* param = nullptr;
+    std::function<void(Graph&)> backfn;  // may be empty for leaves
+  };
+
+  VarId AddNode(Tensor value, std::function<void(Graph&)> backfn);
+  Tensor& GradRef(VarId id);  // allocates zeros on first touch
+  bool HasGrad(VarId id) const;
+
+  std::deque<Node> nodes_;
+};
+
+}  // namespace lcrec::core
+
+#endif  // LCREC_CORE_GRAPH_H_

@@ -1,0 +1,175 @@
+#include "core/linalg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lcrec::core {
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  int64_t m = a.rows(), k = a.cols(), n = b.cols();
+  assert(b.rows() == k);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p) {
+      float aip = a.at(i * k + p);
+      if (aip == 0.0f) continue;
+      for (int64_t j = 0; j < n; ++j)
+        out.at(i * n + j) += aip * b.at(p * n + j);
+    }
+  }
+  return out;
+}
+
+Tensor MatMulNT(const Tensor& a, const Tensor& b) {
+  int64_t m = a.rows(), k = a.cols(), n = b.rows();
+  assert(b.cols() == k);
+  Tensor out({m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (int64_t p = 0; p < k; ++p) s += a.at(i * k + p) * b.at(j * k + p);
+      out.at(i * n + j) = s;
+    }
+  }
+  return out;
+}
+
+Tensor CosineSimilarity(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols());
+  int64_t ma = a.rows(), mb = b.rows(), d = a.cols();
+  std::vector<float> na(ma), nb(mb);
+  for (int64_t i = 0; i < ma; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < d; ++j) s += a.at(i * d + j) * a.at(i * d + j);
+    na[i] = std::sqrt(s) + 1e-12f;
+  }
+  for (int64_t i = 0; i < mb; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < d; ++j) s += b.at(i * d + j) * b.at(i * d + j);
+    nb[i] = std::sqrt(s) + 1e-12f;
+  }
+  Tensor out = MatMulNT(a, b);
+  for (int64_t i = 0; i < ma; ++i)
+    for (int64_t j = 0; j < mb; ++j) out.at(i * mb + j) /= na[i] * nb[j];
+  return out;
+}
+
+Tensor SquaredDistances(const Tensor& a, const Tensor& b) {
+  assert(a.cols() == b.cols());
+  int64_t ma = a.rows(), mb = b.rows(), d = a.cols();
+  Tensor out({ma, mb});
+  for (int64_t i = 0; i < ma; ++i) {
+    for (int64_t j = 0; j < mb; ++j) {
+      float s = 0.0f;
+      for (int64_t p = 0; p < d; ++p) {
+        float diff = a.at(i * d + p) - b.at(j * d + p);
+        s += diff * diff;
+      }
+      out.at(i * mb + j) = s;
+    }
+  }
+  return out;
+}
+
+void SymmetricEigen(const Tensor& a, std::vector<float>* values,
+                    Tensor* vectors, int max_sweeps) {
+  int64_t n = a.rows();
+  assert(a.cols() == n);
+  // Work in double for numerical robustness.
+  std::vector<double> m(static_cast<size_t>(n * n));
+  for (int64_t i = 0; i < n * n; ++i) m[i] = a.at(i);
+  std::vector<double> v(static_cast<size_t>(n * n), 0.0);
+  for (int64_t i = 0; i < n; ++i) v[i * n + i] = 1.0;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (int64_t p = 0; p < n; ++p)
+      for (int64_t q = p + 1; q < n; ++q) off += m[p * n + q] * m[p * n + q];
+    if (off < 1e-20) break;
+    for (int64_t p = 0; p < n; ++p) {
+      for (int64_t q = p + 1; q < n; ++q) {
+        double apq = m[p * n + q];
+        if (std::abs(apq) < 1e-18) continue;
+        double app = m[p * n + p], aqq = m[q * n + q];
+        double theta = 0.5 * (aqq - app) / apq;
+        double t = (theta >= 0 ? 1.0 : -1.0) /
+                   (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        double c = 1.0 / std::sqrt(t * t + 1.0);
+        double s = t * c;
+        for (int64_t i = 0; i < n; ++i) {
+          double mip = m[i * n + p], miq = m[i * n + q];
+          m[i * n + p] = c * mip - s * miq;
+          m[i * n + q] = s * mip + c * miq;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          double mpi = m[p * n + i], mqi = m[q * n + i];
+          m[p * n + i] = c * mpi - s * mqi;
+          m[q * n + i] = s * mpi + c * mqi;
+        }
+        for (int64_t i = 0; i < n; ++i) {
+          double vip = v[i * n + p], viq = v[i * n + q];
+          v[i * n + p] = c * vip - s * viq;
+          v[i * n + q] = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  // Sort by eigenvalue descending.
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](int64_t x, int64_t y) {
+    return m[x * n + x] > m[y * n + y];
+  });
+  values->resize(n);
+  *vectors = Tensor({n, n});
+  for (int64_t r = 0; r < n; ++r) {
+    int64_t src = order[r];
+    (*values)[r] = static_cast<float>(m[src * n + src]);
+    for (int64_t i = 0; i < n; ++i)
+      vectors->at(r * n + i) = static_cast<float>(v[i * n + src]);
+  }
+}
+
+Pca::Pca(const Tensor& data, int k) : k_(k) {
+  int64_t n = data.rows(), d = data.cols();
+  assert(n >= 2 && k >= 1 && k <= d);
+  mean_.assign(static_cast<size_t>(d), 0.0f);
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < d; ++j) mean_[j] += data.at(i * d + j);
+  for (int64_t j = 0; j < d; ++j) mean_[j] /= static_cast<float>(n);
+
+  Tensor cov({d, d});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t p = 0; p < d; ++p) {
+      float xp = data.at(i * d + p) - mean_[p];
+      if (xp == 0.0f) continue;
+      for (int64_t q = 0; q < d; ++q) {
+        cov.at(p * d + q) += xp * (data.at(i * d + q) - mean_[q]);
+      }
+    }
+  }
+  for (int64_t i = 0; i < d * d; ++i) cov.at(i) /= static_cast<float>(n - 1);
+
+  std::vector<float> values;
+  Tensor vectors;
+  SymmetricEigen(cov, &values, &vectors);
+  eigvals_.assign(values.begin(), values.begin() + k_);
+  components_ = Tensor({k_, d});
+  for (int64_t r = 0; r < k_; ++r)
+    for (int64_t j = 0; j < d; ++j)
+      components_.at(r * d + j) = vectors.at(r * d + j);
+}
+
+Tensor Pca::Transform(const Tensor& data) const {
+  int64_t n = data.rows(), d = data.cols();
+  assert(d == static_cast<int64_t>(mean_.size()));
+  Tensor centered({n, d});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < d; ++j)
+      centered.at(i * d + j) = data.at(i * d + j) - mean_[j];
+  return MatMulNT(centered, components_);
+}
+
+}  // namespace lcrec::core

@@ -1,0 +1,57 @@
+#ifndef LCREC_CORE_LINALG_H_
+#define LCREC_CORE_LINALG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace lcrec::core {
+
+/// Plain (non-autograd) helpers used by evaluation, indexing and analysis
+/// code paths.
+
+/// out = a[m,k] * b[k,n].
+Tensor MatMul(const Tensor& a, const Tensor& b);
+
+/// out = a[m,k] * b[n,k]^T.
+Tensor MatMulNT(const Tensor& a, const Tensor& b);
+
+/// Cosine similarity between rows of `a` and rows of `b` -> [ma, mb].
+Tensor CosineSimilarity(const Tensor& a, const Tensor& b);
+
+/// Squared euclidean distances between rows of `a` and rows of `b`.
+Tensor SquaredDistances(const Tensor& a, const Tensor& b);
+
+/// Principal component analysis via covariance + Jacobi eigen-solver.
+/// Returns the top-k components and can project data onto them.
+class Pca {
+ public:
+  /// Fits on the rows of `data` ([n, d], n >= 2).
+  Pca(const Tensor& data, int k);
+
+  /// Projects rows of `data` onto the fitted components -> [n, k].
+  Tensor Transform(const Tensor& data) const;
+
+  /// Explained variance of each kept component (descending).
+  const std::vector<float>& explained_variance() const { return eigvals_; }
+
+  /// Component matrix [k, d].
+  const Tensor& components() const { return components_; }
+
+ private:
+  int k_;
+  std::vector<float> mean_;
+  std::vector<float> eigvals_;
+  Tensor components_;
+};
+
+/// Symmetric eigen-decomposition by cyclic Jacobi rotations.
+/// `a` is [n,n] symmetric; outputs eigenvalues (descending) and the
+/// corresponding eigenvectors as rows of `vectors`.
+void SymmetricEigen(const Tensor& a, std::vector<float>* values,
+                    Tensor* vectors, int max_sweeps = 50);
+
+}  // namespace lcrec::core
+
+#endif  // LCREC_CORE_LINALG_H_

@@ -1,0 +1,98 @@
+#include "core/optim.h"
+
+#include <cmath>
+
+namespace lcrec::core {
+
+CosineSchedule::CosineSchedule(float peak_lr, int64_t warmup_steps,
+                               int64_t total_steps, float min_lr)
+    : peak_lr_(peak_lr),
+      warmup_steps_(warmup_steps),
+      total_steps_(total_steps),
+      min_lr_(min_lr) {}
+
+float CosineSchedule::LrAt(int64_t step) const {
+  if (warmup_steps_ > 0 && step < warmup_steps_) {
+    return peak_lr_ * static_cast<float>(step + 1) /
+           static_cast<float>(warmup_steps_);
+  }
+  if (step >= total_steps_) return min_lr_;
+  double progress = static_cast<double>(step - warmup_steps_) /
+                    static_cast<double>(std::max<int64_t>(1, total_steps_ - warmup_steps_));
+  double cos_factor = 0.5 * (1.0 + std::cos(3.141592653589793 * progress));
+  return static_cast<float>(min_lr_ + (peak_lr_ - min_lr_) * cos_factor);
+}
+
+float Optimizer::ClipGradNorm(float max_norm) {
+  double total = 0.0;
+  for (Parameter* p : params_) total += p->grad.SquaredNorm();
+  float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm && norm > 0.0f) {
+    float scale = max_norm / norm;
+    for (Parameter* p : params_) {
+      for (int64_t i = 0; i < p->grad.size(); ++i) p->grad.at(i) *= scale;
+    }
+  }
+  return norm;
+}
+
+Sgd::Sgd(std::vector<Parameter*> params, float momentum)
+    : Optimizer(std::move(params)), momentum_(momentum) {
+  if (momentum_ > 0.0f) {
+    velocity_.reserve(params_.size());
+    for (Parameter* p : params_) velocity_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void Sgd::Step(float lr) {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    if (momentum_ > 0.0f) {
+      Tensor& v = velocity_[i];
+      for (int64_t j = 0; j < v.size(); ++j) {
+        v.at(j) = momentum_ * v.at(j) + p->grad.at(j);
+        p->value.at(j) -= lr * v.at(j);
+      }
+    } else {
+      p->value.Axpy(-lr, p->grad);
+    }
+  }
+}
+
+AdamW::AdamW(std::vector<Parameter*> params, float beta1, float beta2,
+             float eps, float weight_decay)
+    : Optimizer(std::move(params)),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (Parameter* p : params_) {
+    m_.push_back(Tensor::Zeros(p->value.shape()));
+    v_.push_back(Tensor::Zeros(p->value.shape()));
+  }
+}
+
+void AdamW::Step(float lr) {
+  ++t_;
+  float bc1 = 1.0f - std::pow(beta1_, static_cast<float>(t_));
+  float bc2 = 1.0f - std::pow(beta2_, static_cast<float>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    Parameter* p = params_[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    for (int64_t j = 0; j < p->value.size(); ++j) {
+      float g = p->grad.at(j);
+      m.at(j) = beta1_ * m.at(j) + (1.0f - beta1_) * g;
+      v.at(j) = beta2_ * v.at(j) + (1.0f - beta2_) * g * g;
+      float mhat = m.at(j) / bc1;
+      float vhat = v.at(j) / bc2;
+      // Decoupled weight decay (AdamW): applied directly to the weights.
+      p->value.at(j) -= lr * (mhat / (std::sqrt(vhat) + eps_) +
+                              weight_decay_ * p->value.at(j));
+    }
+  }
+}
+
+}  // namespace lcrec::core

@@ -1,0 +1,74 @@
+#ifndef LCREC_CORE_OPTIM_H_
+#define LCREC_CORE_OPTIM_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/tensor.h"
+
+namespace lcrec::core {
+
+/// Cosine learning-rate schedule with linear warmup, as used for the
+/// LC-Rec fine-tuning runs (Section IV-A4).
+class CosineSchedule {
+ public:
+  CosineSchedule(float peak_lr, int64_t warmup_steps, int64_t total_steps,
+                 float min_lr = 0.0f);
+
+  float LrAt(int64_t step) const;
+
+ private:
+  float peak_lr_;
+  int64_t warmup_steps_;
+  int64_t total_steps_;
+  float min_lr_;
+};
+
+/// Abstract optimizer over a fixed set of parameters.
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<Parameter*> params)
+      : params_(std::move(params)) {}
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using the gradients currently stored in the
+  /// parameters, then the caller is expected to ZeroGrad().
+  virtual void Step(float lr) = 0;
+
+  /// Clips the global gradient norm to `max_norm`; returns the pre-clip norm.
+  float ClipGradNorm(float max_norm);
+
+ protected:
+  std::vector<Parameter*> params_;
+};
+
+/// Plain SGD (optionally with momentum).
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(std::vector<Parameter*> params, float momentum = 0.0f);
+  void Step(float lr) override;
+
+ private:
+  float momentum_;
+  std::vector<Tensor> velocity_;
+};
+
+/// AdamW: Adam with decoupled weight decay, the optimizer used for both
+/// the RQ-VAE (lr 1e-3) and the LLM fine-tuning (lr 5e-5, wd 0.01).
+class AdamW : public Optimizer {
+ public:
+  AdamW(std::vector<Parameter*> params, float beta1 = 0.9f,
+        float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
+  void Step(float lr) override;
+
+ private:
+  float beta1_, beta2_, eps_, weight_decay_;
+  int64_t t_ = 0;
+  std::vector<Tensor> m_, v_;
+};
+
+}  // namespace lcrec::core
+
+#endif  // LCREC_CORE_OPTIM_H_

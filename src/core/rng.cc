@@ -1,0 +1,49 @@
+#include "core/rng.h"
+
+#include <cassert>
+#include <numeric>
+
+namespace lcrec::core {
+
+int64_t Rng::Categorical(const std::vector<double>& weights) {
+  assert(!weights.empty());
+  double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  assert(total > 0.0);
+  double u = Uniform() * total;
+  double acc = 0.0;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    if (u < acc) return static_cast<int64_t>(i);
+  }
+  return static_cast<int64_t>(weights.size()) - 1;
+}
+
+std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
+  assert(k <= n);
+  std::vector<int64_t> idx(n);
+  std::iota(idx.begin(), idx.end(), 0);
+  // Partial Fisher-Yates: only the first k positions need shuffling.
+  for (int64_t i = 0; i < k; ++i) {
+    std::swap(idx[i], idx[i + Below(n - i)]);
+  }
+  idx.resize(k);
+  return idx;
+}
+
+Tensor Rng::GaussianTensor(std::vector<int64_t> shape, double stddev) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = static_cast<float>(Gaussian(0.0, stddev));
+  }
+  return t;
+}
+
+Tensor Rng::UniformTensor(std::vector<int64_t> shape, double a) {
+  Tensor t(std::move(shape));
+  for (int64_t i = 0; i < t.size(); ++i) {
+    t.at(i) = static_cast<float>(Uniform(-a, a));
+  }
+  return t;
+}
+
+}  // namespace lcrec::core

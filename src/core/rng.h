@@ -1,0 +1,71 @@
+#ifndef LCREC_CORE_RNG_H_
+#define LCREC_CORE_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace lcrec::core {
+
+/// Deterministic random number generator used across the whole project.
+/// Every dataset, model init and training loop takes an explicit Rng (or
+/// seed) so that all experiments are exactly reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : gen_(seed) {}
+
+  /// Uniform in [0, 1).
+  double Uniform() { return unit_(gen_); }
+
+  /// Uniform in [lo, hi).
+  double Uniform(double lo, double hi) { return lo + (hi - lo) * Uniform(); }
+
+  /// Standard normal.
+  double Gaussian() { return normal_(gen_); }
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * Gaussian();
+  }
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  int64_t Below(int64_t n) {
+    return static_cast<int64_t>(gen_() % static_cast<uint64_t>(n));
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Between(int64_t lo, int64_t hi) { return lo + Below(hi - lo + 1); }
+
+  bool Bernoulli(double p) { return Uniform() < p; }
+
+  /// Samples an index from an (unnormalized, non-negative) weight vector.
+  int64_t Categorical(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (int64_t i = static_cast<int64_t>(v.size()) - 1; i > 0; --i) {
+      std::swap(v[i], v[Below(i + 1)]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n). Requires k <= n.
+  std::vector<int64_t> SampleWithoutReplacement(int64_t n, int64_t k);
+
+  /// Tensor filled with N(0, stddev^2).
+  Tensor GaussianTensor(std::vector<int64_t> shape, double stddev);
+
+  /// Tensor filled with U(-a, a).
+  Tensor UniformTensor(std::vector<int64_t> shape, double a);
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+  std::normal_distribution<double> normal_{0.0, 1.0};
+};
+
+}  // namespace lcrec::core
+
+#endif  // LCREC_CORE_RNG_H_

@@ -1,0 +1,70 @@
+#include "core/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+#include <vector>
+
+namespace lcrec::core {
+
+namespace {
+constexpr uint32_t kMagic = 0x4C435243;  // "LCRC"
+
+void WriteU64(std::ostream& os, uint64_t v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool ReadU64(std::istream& is, uint64_t* v) {
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+}  // namespace
+
+bool SaveParams(ParamStore& store, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  uint32_t magic = kMagic;
+  os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+  auto params = store.All();
+  WriteU64(os, params.size());
+  for (Parameter* p : params) {
+    WriteU64(os, p->name.size());
+    os.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WriteU64(os, p->value.shape().size());
+    for (int64_t d : p->value.shape()) WriteU64(os, static_cast<uint64_t>(d));
+    os.write(reinterpret_cast<const char*>(p->value.data()),
+             static_cast<std::streamsize>(sizeof(float) * p->value.size()));
+  }
+  return static_cast<bool>(os);
+}
+
+bool LoadParams(ParamStore& store, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) return false;
+  uint32_t magic = 0;
+  is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+  if (!is || magic != kMagic) return false;
+  uint64_t count = 0;
+  if (!ReadU64(is, &count)) return false;
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0;
+    if (!ReadU64(is, &name_len)) return false;
+    std::string name(name_len, '\0');
+    is.read(name.data(), static_cast<std::streamsize>(name_len));
+    uint64_t rank = 0;
+    if (!ReadU64(is, &rank)) return false;
+    std::vector<int64_t> shape(rank);
+    for (uint64_t r = 0; r < rank; ++r) {
+      uint64_t d = 0;
+      if (!ReadU64(is, &d)) return false;
+      shape[r] = static_cast<int64_t>(d);
+    }
+    Parameter* p = store.Find(name);
+    if (p == nullptr || p->value.shape() != shape) return false;
+    is.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(sizeof(float) * p->value.size()));
+    if (!is) return false;
+  }
+  return true;
+}
+
+}  // namespace lcrec::core

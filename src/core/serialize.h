@@ -1,0 +1,21 @@
+#ifndef LCREC_CORE_SERIALIZE_H_
+#define LCREC_CORE_SERIALIZE_H_
+
+#include <string>
+
+#include "core/graph.h"
+
+namespace lcrec::core {
+
+/// Saves every parameter (name, shape, data) to a binary checkpoint file.
+/// Returns false on I/O failure.
+bool SaveParams(ParamStore& store, const std::string& path);
+
+/// Loads a checkpoint produced by SaveParams. Parameters are matched by
+/// name; shapes must agree. Returns false on I/O failure, unknown
+/// parameter, or shape mismatch.
+bool LoadParams(ParamStore& store, const std::string& path);
+
+}  // namespace lcrec::core
+
+#endif  // LCREC_CORE_SERIALIZE_H_

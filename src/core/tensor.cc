@@ -1,0 +1,94 @@
+#include "core/tensor.h"
+
+#include <numeric>
+#include <sstream>
+
+namespace lcrec::core {
+
+namespace {
+int64_t NumElements(const std::vector<int64_t>& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    assert(d >= 0);
+    n *= d;
+  }
+  return n;
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<int64_t> shape)
+    : shape_(std::move(shape)), data_(NumElements(shape_), 0.0f) {}
+
+Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(static_cast<int64_t>(data_.size()) == NumElements(shape_));
+}
+
+Tensor Tensor::Scalar(float v) { return Tensor({}, {v}); }
+
+Tensor Tensor::Zeros(std::vector<int64_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::Ones(std::vector<int64_t> shape) {
+  return Full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::Full(std::vector<int64_t> shape, float v) {
+  Tensor t(std::move(shape));
+  t.Fill(v);
+  return t;
+}
+
+int64_t Tensor::rows() const {
+  if (shape_.empty()) return 1;
+  if (shape_.size() == 1) return 1;
+  return shape_[0];
+}
+
+int64_t Tensor::cols() const {
+  if (shape_.empty()) return 1;
+  return shape_.back();
+}
+
+float Tensor::item() const {
+  assert(data_.size() == 1);
+  return data_[0];
+}
+
+Tensor Tensor::Reshaped(std::vector<int64_t> shape) const {
+  assert(NumElements(shape) == size());
+  return Tensor(std::move(shape), data_);
+}
+
+void Tensor::Fill(float v) {
+  for (float& x : data_) x = v;
+}
+
+void Tensor::Axpy(float alpha, const Tensor& other) {
+  assert(size() == other.size());
+  for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
+}
+
+float Tensor::SquaredNorm() const {
+  float s = 0.0f;
+  for (float x : data_) s += x * x;
+  return s;
+}
+
+std::string Tensor::ShapeString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ",";
+    os << shape_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+bool SameShape(const Tensor& a, const Tensor& b) {
+  return a.shape() == b.shape();
+}
+
+}  // namespace lcrec::core

@@ -1,0 +1,84 @@
+#ifndef LCREC_CORE_TENSOR_H_
+#define LCREC_CORE_TENSOR_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcrec::core {
+
+/// Dense row-major float32 tensor. Supports rank 0 (scalar), 1 (vector)
+/// and 2 (matrix); rank-2 is the workhorse for every model in this repo.
+///
+/// The class is a passive value type: all learning machinery (gradients,
+/// graph bookkeeping) lives in `Graph` (graph.h), not here.
+class Tensor {
+ public:
+  Tensor() = default;
+
+  /// Creates a zero-filled tensor of the given shape.
+  explicit Tensor(std::vector<int64_t> shape);
+
+  /// Creates a tensor of the given shape from a flat row-major buffer.
+  Tensor(std::vector<int64_t> shape, std::vector<float> data);
+
+  /// Convenience factories.
+  static Tensor Scalar(float v);
+  static Tensor Zeros(std::vector<int64_t> shape);
+  static Tensor Ones(std::vector<int64_t> shape);
+  static Tensor Full(std::vector<int64_t> shape, float v);
+
+  Tensor(const Tensor&) = default;
+  Tensor& operator=(const Tensor&) = default;
+  Tensor(Tensor&&) = default;
+  Tensor& operator=(Tensor&&) = default;
+
+  bool empty() const { return data_.empty() && shape_.empty(); }
+  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  int rank() const { return static_cast<int>(shape_.size()); }
+  const std::vector<int64_t>& shape() const { return shape_; }
+  int64_t dim(int i) const { return shape_.at(i); }
+
+  /// Number of rows/cols when viewed as a matrix. A rank-1 tensor is
+  /// treated as a single row; a scalar as 1x1.
+  int64_t rows() const;
+  int64_t cols() const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& at(int64_t i) { return data_[i]; }
+  float at(int64_t i) const { return data_[i]; }
+  float& at(int64_t r, int64_t c) { return data_[r * cols() + c]; }
+  float at(int64_t r, int64_t c) const { return data_[r * cols() + c]; }
+
+  /// Scalar access; requires size() == 1.
+  float item() const;
+
+  /// Returns a tensor with identical data and a new shape (same size).
+  Tensor Reshaped(std::vector<int64_t> shape) const;
+
+  void Fill(float v);
+
+  /// In-place axpy: this += alpha * other. Shapes must match.
+  void Axpy(float alpha, const Tensor& other);
+
+  /// Squared L2 norm of all elements.
+  float SquaredNorm() const;
+
+  std::string ShapeString() const;
+
+ private:
+  std::vector<int64_t> shape_;
+  std::vector<float> data_;
+};
+
+/// True if the two shapes are identical.
+bool SameShape(const Tensor& a, const Tensor& b);
+
+}  // namespace lcrec::core
+
+#endif  // LCREC_CORE_TENSOR_H_

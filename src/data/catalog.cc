@@ -1,0 +1,265 @@
+#include "data/catalog.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace lcrec::data {
+
+namespace {
+
+struct DomainPools {
+  std::vector<std::string> category_nouns;
+  std::vector<std::vector<std::string>> subcat_adjectives;  // 4 per category
+  std::vector<std::string> feature_words;  // shared pool, sliced per subcat
+  std::vector<std::string> usage_words;
+  std::vector<std::string> platforms;
+};
+
+DomainPools PoolsFor(Domain domain) {
+  DomainPools p;
+  switch (domain) {
+    case Domain::kInstruments:
+      p.category_nouns = {"guitar", "keyboard", "drum",      "violin",
+                          "microphone", "amplifier", "ukulele", "saxophone"};
+      p.subcat_adjectives = {
+          {"acoustic", "electric", "classical", "bass"},
+          {"digital", "stage", "portable", "weighted"},
+          {"electronic", "snare", "practice", "junior"},
+          {"student", "professional", "intermediate", "silent"},
+          {"condenser", "dynamic", "wireless", "studio"},
+          {"tube", "solid", "mini", "stereo"},
+          {"soprano", "concert", "tenor", "baritone"},
+          {"alto", "curved", "vintage", "lacquered"}};
+      p.feature_words = {
+          "rosewood",  "maple",    "sustain",   "pickup",   "fretboard",
+          "polyphony", "pedal",    "hammer",    "midi",     "cymbal",
+          "kickdrum",  "mesh",     "bow",       "string",   "chinrest",
+          "cardioid",  "shockmount", "phantom", "preamp",   "gain",
+          "reverb",    "overdrive", "wattage",  "tremolo",  "mahogany",
+          "aquila",    "geared",   "reed",      "mouthpiece", "engraving",
+          "brass",     "keys"};
+      p.usage_words = {"practice", "recording", "gigs",     "lessons",
+                       "studio",   "touring",   "beginners", "orchestra"};
+      p.platforms = {"series one", "series two", "pro line", "studio line",
+                     "classic line"};
+      break;
+    case Domain::kArts:
+      p.category_nouns = {"paint",  "brush",  "canvas", "yarn",
+                          "marker", "clay",   "fabric", "sketchbook"};
+      p.subcat_adjectives = {
+          {"acrylic", "watercolor", "oil", "gouache"},
+          {"round", "flat", "detail", "fan"},
+          {"stretched", "rolled", "panel", "linen"},
+          {"wool", "cotton", "chunky", "sock"},
+          {"alcohol", "chalk", "fine", "brushtip"},
+          {"polymer", "air", "ceramic", "modeling"},
+          {"quilting", "felt", "denim", "printed"},
+          {"spiral", "hardcover", "toned", "mixed"}};
+      p.feature_words = {
+          "pigment",  "lightfast", "viscosity", "bristle", "ferrule",
+          "handle",   "gesso",     "primed",    "weave",   "skein",
+          "ply",      "gauge",     "nib",       "blendable", "archival",
+          "kiln",     "glaze",     "texture",   "bolt",    "selvage",
+          "gsm",      "spiralbound", "acidfree", "palette", "varnish",
+          "medium",   "swatch",    "stencil",   "easel",   "fixative",
+          "crochet",  "needle"};
+      p.usage_words = {"portraits", "landscapes", "crafting", "knitting",
+                       "journaling", "sculpting", "quilting", "sketching"};
+      p.platforms = {"starter kit", "studio set", "artist set", "value pack",
+                     "premium kit"};
+      break;
+    case Domain::kGames:
+      p.category_nouns = {"action",  "adventure", "puzzle", "racing",
+                          "sports",  "strategy",  "shooter", "roleplaying"};
+      p.subcat_adjectives = {
+          {"stealth", "platformer", "hack", "openworld"},
+          {"narrative", "survival", "pointclick", "exploration"},
+          {"logic", "match", "physics", "word"},
+          {"arcade", "simulation", "kart", "rally"},
+          {"basketball", "soccer", "skateboarding", "golf"},
+          {"turnbased", "realtime", "citybuilder", "tower"},
+          {"tactical", "arena", "looter", "retro"},
+          {"fantasy", "scifi", "dungeon", "collector"}};
+      p.feature_words = {
+          "multiplayer", "campaign",  "coop",      "crafting", "skilltree",
+          "bosses",      "sidequests", "leaderboard", "drift",  "nitro",
+          "stadium",     "roster",    "season",    "hexgrid",  "resources",
+          "loadout",     "ranked",    "respawn",   "dungeons", "loot",
+          "classes",     "mounts",    "photomode", "sandbox",  "speedrun",
+          "achievements", "checkpoints", "powerups", "combo",  "physics",
+          "roguelike",   "permadeath"};
+      p.usage_words = {"families", "veterans", "casuals",   "collectors",
+                       "speedrunners", "parties", "completionists", "kids"};
+      p.platforms = {"playstation", "xbox", "switch", "pc", "handheld"};
+      break;
+  }
+  return p;
+}
+
+std::vector<std::string> MakeBrandNames(Domain domain, int n, core::Rng& rng) {
+  static const char* kPrefix[] = {"nova", "astra", "peak", "blue", "iron",
+                                  "lumen", "echo",  "terra", "vivid", "solar",
+                                  "zephyr", "ember", "quartz", "raven", "atlas",
+                                  "orion"};
+  static const char* kSuffix[] = {"works", "craft", "sonic", "forge",
+                                  "labs",  "line",  "gear",  "studio"};
+  (void)domain;
+  std::vector<std::string> names;
+  names.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    std::string name = std::string(kPrefix[i % 16]) +
+                       kSuffix[(i / 16 + static_cast<int>(rng.Below(8))) % 8];
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string DomainName(Domain d) {
+  switch (d) {
+    case Domain::kInstruments: return "Instruments";
+    case Domain::kArts: return "Arts";
+    case Domain::kGames: return "Games";
+  }
+  return "Unknown";
+}
+
+Catalog Catalog::Generate(const CatalogConfig& config) {
+  Catalog c;
+  c.config_ = config;
+  core::Rng rng(config.seed);
+  DomainPools pools = PoolsFor(config.domain);
+
+  int num_cat = static_cast<int>(pools.category_nouns.size());
+  int sub_per_cat = static_cast<int>(pools.subcat_adjectives[0].size());
+  c.num_categories_ = num_cat;
+  c.num_subcategories_ = num_cat * sub_per_cat;
+  c.category_nouns_ = pools.category_nouns;
+  c.subcat_adjectives_ = pools.subcat_adjectives;
+  c.brand_names_ = MakeBrandNames(config.domain, config.num_brands, rng);
+  c.platform_names_ = pools.platforms;
+
+  // Each global subcategory gets a signature slice of feature words so
+  // textual similarity mirrors the latent hierarchy.
+  c.subcat_features_.resize(c.num_subcategories_);
+  int fw = static_cast<int>(pools.feature_words.size());
+  for (int s = 0; s < c.num_subcategories_; ++s) {
+    for (int k = 0; k < 4; ++k) {
+      c.subcat_features_[s].push_back(pools.feature_words[(s * 3 + k) % fw]);
+    }
+  }
+
+  // Attribute id space: categories, then subcategories, then brands, then
+  // platforms.
+  int attr_cat0 = 0;
+  int attr_sub0 = num_cat;
+  int attr_brand0 = attr_sub0 + c.num_subcategories_;
+  int attr_plat0 = attr_brand0 + config.num_brands;
+  c.num_attributes_ =
+      attr_plat0 + static_cast<int>(c.platform_names_.size());
+
+  c.items_.reserve(config.num_items);
+  int num_plat = static_cast<int>(c.platform_names_.size());
+  for (int i = 0; i < config.num_items; ++i) {
+    Item item;
+    item.id = i;
+    item.category = static_cast<int>(rng.Below(num_cat));
+    int local_sub = static_cast<int>(rng.Below(sub_per_cat));
+    item.subcategory = item.category * sub_per_cat + local_sub;
+    item.brand = static_cast<int>(rng.Below(config.num_brands));
+    item.platform = static_cast<int>(rng.Below(num_plat));
+    item.attributes = {attr_cat0 + item.category, attr_sub0 + item.subcategory,
+                       attr_brand0 + item.brand, attr_plat0 + item.platform};
+
+    const std::string& noun = pools.category_nouns[item.category];
+    const std::string& adj = pools.subcat_adjectives[item.category][local_sub];
+    const std::string& brand = c.brand_names_[item.brand];
+    const std::string& plat = c.platform_names_[item.platform];
+    const auto& feats = c.subcat_features_[item.subcategory];
+
+    std::ostringstream title;
+    title << brand << " " << adj << " " << noun << " " << plat << " edition "
+          << (i % 97 + 1);
+    item.title = title.str();
+
+    std::ostringstream desc;
+    desc << "the " << adj << " " << noun << " from " << brand
+         << " comes with " << feats[rng.Below(feats.size())] << " and "
+         << feats[rng.Below(feats.size())] << ". this " << adj << " " << noun
+         << " offers " << feats[rng.Below(feats.size())] << " plus "
+         << feats[rng.Below(feats.size())] << " designed for "
+         << pools.usage_words[rng.Below(pools.usage_words.size())]
+         << ". part of the " << plat << " lineup.";
+    item.description = desc.str();
+
+    c.items_.push_back(std::move(item));
+  }
+  return c;
+}
+
+std::string Catalog::ItemDocument(int id) const {
+  const Item& it = items_.at(id);
+  return it.title + " . " + it.description;
+}
+
+std::string Catalog::IntentionFor(int id, core::Rng& rng) const {
+  const Item& it = items_.at(id);
+  int local_sub = it.subcategory % static_cast<int>(subcat_adjectives_[0].size());
+  const auto& feats = subcat_features_[it.subcategory];
+  std::ostringstream os;
+  static const char* kLead[] = {"looking for", "i want", "searching for",
+                                "need"};
+  os << kLead[rng.Below(4)] << " a "
+     << subcat_adjectives_[it.category][local_sub] << " "
+     << category_nouns_[it.category] << " with "
+     << feats[rng.Below(feats.size())] << " and "
+     << feats[rng.Below(feats.size())];
+  if (rng.Bernoulli(0.5)) {
+    os << " from the " << platform_names_[it.platform] << " lineup";
+  }
+  return os.str();
+}
+
+std::string Catalog::ReviewFor(int id, core::Rng& rng) const {
+  const Item& it = items_.at(id);
+  const auto& feats = subcat_features_[it.subcategory];
+  std::ostringstream os;
+  static const char* kOpen[] = {"i love this", "really enjoy this",
+                                "great", "solid"};
+  int local_sub = it.subcategory % static_cast<int>(subcat_adjectives_[0].size());
+  os << kOpen[rng.Below(4)] << " "
+     << subcat_adjectives_[it.category][local_sub] << " "
+     << category_nouns_[it.category] << " because of the "
+     << feats[rng.Below(feats.size())] << ". the "
+     << feats[rng.Below(feats.size())] << " works well.";
+  return os.str();
+}
+
+std::string Catalog::PreferenceSummary(const std::vector<int>& item_ids,
+                                       core::Rng& rng) const {
+  // Tally the dominant category/subcategory of the history, then render a
+  // summary sentence naming their signature vocabulary.
+  std::vector<int> cat_count(num_categories_, 0);
+  std::vector<int> sub_count(num_subcategories_, 0);
+  for (int id : item_ids) {
+    const Item& it = items_.at(id);
+    ++cat_count[it.category];
+    ++sub_count[it.subcategory];
+  }
+  int best_cat = 0, best_sub = 0;
+  for (int i = 0; i < num_categories_; ++i)
+    if (cat_count[i] > cat_count[best_cat]) best_cat = i;
+  for (int s = 0; s < num_subcategories_; ++s)
+    if (sub_count[s] > sub_count[best_sub]) best_sub = s;
+  int local_sub = best_sub % static_cast<int>(subcat_adjectives_[0].size());
+  int sub_cat = best_sub / static_cast<int>(subcat_adjectives_[0].size());
+  const auto& feats = subcat_features_[best_sub];
+  std::ostringstream os;
+  os << "the user mostly enjoys " << category_nouns_[best_cat]
+     << " items and prefers " << subcat_adjectives_[sub_cat][local_sub]
+     << " styles featuring " << feats[rng.Below(feats.size())];
+  return os.str();
+}
+
+}  // namespace lcrec::data

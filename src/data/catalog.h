@@ -1,0 +1,90 @@
+#ifndef LCREC_DATA_CATALOG_H_
+#define LCREC_DATA_CATALOG_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace lcrec::data {
+
+/// The three evaluation domains, analogues of the paper's Amazon subsets
+/// "Musical Instruments", "Arts, Crafts and Sewing" and "Video Games"
+/// (Table II).
+enum class Domain { kInstruments, kArts, kGames };
+
+std::string DomainName(Domain d);
+
+/// An item with latent structure (category/subcategory/brand/platform)
+/// and generated text. The latent fields drive both the text generator
+/// (language semantics) and the interaction generator (collaborative
+/// semantics), so the two semantic spaces are correlated but not
+/// identical — the property probed by the paper's Table V.
+struct Item {
+  int id = 0;
+  int category = 0;
+  int subcategory = 0;  // global subcategory id
+  int brand = 0;
+  int platform = 0;
+  std::vector<int> attributes;  // global attribute ids (for FDSA/S3-Rec)
+  std::string title;
+  std::string description;
+};
+
+struct CatalogConfig {
+  Domain domain = Domain::kGames;
+  int num_items = 400;
+  int num_brands = 12;
+  uint64_t seed = 42;
+};
+
+/// A generated item catalog.
+class Catalog {
+ public:
+  static Catalog Generate(const CatalogConfig& config);
+
+  const std::vector<Item>& items() const { return items_; }
+  const Item& item(int id) const { return items_.at(id); }
+  int size() const { return static_cast<int>(items_.size()); }
+
+  int num_categories() const { return num_categories_; }
+  int num_subcategories() const { return num_subcategories_; }
+  int num_attributes() const { return num_attributes_; }
+  Domain domain() const { return config_.domain; }
+
+  /// Title + description, the document embedded for index learning.
+  std::string ItemDocument(int id) const;
+
+  /// A synthetic user-intention query for the item, standing in for the
+  /// GPT-3.5-extracted intentions of Section III-C3b. Mentions the item's
+  /// latent feature words plus noise, so it is correlated with — but not a
+  /// copy of — the description.
+  std::string IntentionFor(int id, core::Rng& rng) const;
+
+  /// A short review for the item (source text the paper distills with
+  /// GPT-3.5; kept for completeness and used by tests).
+  std::string ReviewFor(int id, core::Rng& rng) const;
+
+  /// A preference summary for a set of items (Section III-C3c analogue).
+  std::string PreferenceSummary(const std::vector<int>& item_ids,
+                                core::Rng& rng) const;
+
+ private:
+  CatalogConfig config_;
+  std::vector<Item> items_;
+  int num_categories_ = 0;
+  int num_subcategories_ = 0;
+  int num_attributes_ = 0;
+
+  // Word pools (filled by Generate).
+  std::vector<std::string> category_nouns_;
+  std::vector<std::vector<std::string>> subcat_adjectives_;  // per category
+  std::vector<std::vector<std::string>> subcat_features_;    // per global subcat
+  std::vector<std::string> brand_names_;
+  std::vector<std::string> platform_names_;
+};
+
+}  // namespace lcrec::data
+
+#endif  // LCREC_DATA_CATALOG_H_

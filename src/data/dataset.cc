@@ -1,0 +1,238 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+namespace lcrec::data {
+
+std::vector<std::vector<int>> GenerateInteractions(
+    const Catalog& catalog, const InteractionConfig& config) {
+  core::Rng rng(config.seed);
+  int num_sub = catalog.num_subcategories();
+
+  // Bucket items by subcategory with Zipf popularity inside each bucket.
+  std::vector<std::vector<int>> by_sub(num_sub);
+  for (const Item& it : catalog.items()) by_sub[it.subcategory].push_back(it.id);
+  std::vector<std::vector<double>> pop(num_sub);
+  for (int s = 0; s < num_sub; ++s) {
+    pop[s].resize(by_sub[s].size());
+    for (size_t r = 0; r < by_sub[s].size(); ++r) {
+      pop[s][r] = 1.0 / std::pow(static_cast<double>(r + 1),
+                                 config.pop_exponent);
+    }
+  }
+
+  std::vector<std::vector<int>> sequences;
+  sequences.reserve(config.num_users);
+  for (int u = 0; u < config.num_users; ++u) {
+    // Preferred subcategories (non-empty ones only).
+    std::vector<int> prefs;
+    int guard = 0;
+    while (static_cast<int>(prefs.size()) < config.prefs_per_user &&
+           guard++ < 1000) {
+      int s = static_cast<int>(rng.Below(num_sub));
+      if (by_sub[s].empty()) continue;
+      if (std::find(prefs.begin(), prefs.end(), s) == prefs.end())
+        prefs.push_back(s);
+    }
+    if (prefs.empty()) continue;
+
+    int len = config.min_len;
+    // Geometric tail with the configured mean.
+    double p = 1.0 / (1.0 + config.mean_extra_len);
+    while (len < config.max_len && !rng.Bernoulli(p)) ++len;
+
+    std::vector<int> seq;
+    seq.reserve(len);
+    int cur_sub = prefs[rng.Below(prefs.size())];
+    int last_item = -1;
+    for (int t = 0; t < len; ++t) {
+      if (t > 0 && !rng.Bernoulli(config.stay_prob)) {
+        cur_sub = prefs[rng.Below(prefs.size())];
+      }
+      const auto& bucket = by_sub[cur_sub];
+      int item = bucket[rng.Categorical(pop[cur_sub])];
+      if (item == last_item && bucket.size() > 1) {
+        item = bucket[rng.Categorical(pop[cur_sub])];
+      }
+      seq.push_back(item);
+      last_item = item;
+    }
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+std::vector<std::vector<int>> KCoreFilter(
+    std::vector<std::vector<int>> sequences, int min_count) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    std::unordered_map<int, int> item_count;
+    for (const auto& seq : sequences)
+      for (int it : seq) ++item_count[it];
+    // Drop rare items from sequences.
+    for (auto& seq : sequences) {
+      size_t before = seq.size();
+      seq.erase(std::remove_if(seq.begin(), seq.end(),
+                               [&](int it) {
+                                 return item_count[it] < min_count;
+                               }),
+                seq.end());
+      if (seq.size() != before) changed = true;
+    }
+    // Drop short users.
+    size_t before_users = sequences.size();
+    sequences.erase(
+        std::remove_if(sequences.begin(), sequences.end(),
+                       [&](const std::vector<int>& s) {
+                         return static_cast<int>(s.size()) < min_count;
+                       }),
+        sequences.end());
+    if (sequences.size() != before_users) changed = true;
+  }
+  return sequences;
+}
+
+Dataset Dataset::Make(Domain domain, double scale, uint64_t seed) {
+  CatalogConfig cc;
+  cc.domain = domain;
+  cc.seed = seed;
+  InteractionConfig ic;
+  ic.seed = seed + 1;
+  // Long-tail regime matching the paper's operating point: item count on
+  // the order of the user count and a flat within-subcategory popularity,
+  // so many items have only a handful of interactions. This is the regime
+  // where semantic indices share statistical strength across items while
+  // per-item ID embeddings starve (the paper's sparsity is 99.9%+ with
+  // ~20 interactions per item).
+  ic.pop_exponent = 0.45;
+  ic.stay_prob = 0.65;
+  // Relative sizes mirror Table II: Games > Arts > Instruments.
+  switch (domain) {
+    case Domain::kInstruments:
+      cc.num_items = static_cast<int>(300 * scale);
+      ic.num_users = static_cast<int>(320 * scale);
+      break;
+    case Domain::kArts:
+      cc.num_items = static_cast<int>(500 * scale);
+      ic.num_users = static_cast<int>(480 * scale);
+      break;
+    case Domain::kGames:
+      cc.num_items = static_cast<int>(420 * scale);
+      ic.num_users = static_cast<int>(420 * scale);
+      ic.mean_extra_len = 5.5;
+      break;
+  }
+  Catalog catalog = Catalog::Generate(cc);
+  auto sequences = GenerateInteractions(catalog, ic);
+  sequences = KCoreFilter(std::move(sequences), 5);
+  return Build(catalog, std::move(sequences));
+}
+
+Dataset Dataset::Build(const Catalog& catalog,
+                       std::vector<std::vector<int>> sequences,
+                       int max_seq_len) {
+  Dataset d;
+  d.domain_ = catalog.domain();
+  d.name_ = DomainName(catalog.domain());
+  d.catalog_ = catalog;
+  d.max_seq_len_ = max_seq_len;
+  d.num_categories_ = catalog.num_categories();
+  d.num_subcategories_ = catalog.num_subcategories();
+  d.num_attributes_ = catalog.num_attributes();
+
+  // Remap surviving items to a dense id range.
+  std::unordered_map<int, int> remap;
+  for (const auto& seq : sequences) {
+    for (int it : seq) {
+      if (!remap.count(it)) {
+        int new_id = static_cast<int>(remap.size());
+        remap.emplace(it, new_id);
+      }
+    }
+  }
+  d.items_.resize(remap.size());
+  d.original_ids_.resize(remap.size());
+  for (const auto& [orig, mapped] : remap) {
+    Item item = catalog.item(orig);
+    item.id = mapped;
+    d.items_[mapped] = std::move(item);
+    d.original_ids_[mapped] = orig;
+  }
+  d.sequences_ = std::move(sequences);
+  for (auto& seq : d.sequences_)
+    for (int& it : seq) it = remap.at(it);
+  return d;
+}
+
+namespace {
+std::vector<int> Tail(const std::vector<int>& v, size_t drop_back,
+                      int max_len) {
+  assert(v.size() >= drop_back);
+  size_t end = v.size() - drop_back;
+  size_t start = end > static_cast<size_t>(max_len)
+                     ? end - static_cast<size_t>(max_len)
+                     : 0;
+  return std::vector<int>(v.begin() + static_cast<int64_t>(start),
+                          v.begin() + static_cast<int64_t>(end));
+}
+}  // namespace
+
+std::vector<int> Dataset::TrainContext(int user) const {
+  return Tail(sequences_.at(user), 2, max_seq_len_);
+}
+
+std::vector<int> Dataset::TrainItems(int user) const {
+  const auto& seq = sequences_.at(user);
+  return std::vector<int>(seq.begin(), seq.end() - 2);
+}
+
+int Dataset::ValidTarget(int user) const {
+  const auto& seq = sequences_.at(user);
+  return seq[seq.size() - 2];
+}
+
+std::vector<int> Dataset::TestContext(int user) const {
+  return Tail(sequences_.at(user), 1, max_seq_len_);
+}
+
+int Dataset::TestTarget(int user) const { return sequences_.at(user).back(); }
+
+std::string Dataset::ItemDocument(int id) const {
+  const Item& it = items_.at(id);
+  return it.title + " . " + it.description;
+}
+
+std::string Dataset::IntentionFor(int id, core::Rng& rng) const {
+  return catalog_.IntentionFor(original_ids_.at(id), rng);
+}
+
+std::string Dataset::ReviewFor(int id, core::Rng& rng) const {
+  return catalog_.ReviewFor(original_ids_.at(id), rng);
+}
+
+std::string Dataset::PreferenceSummary(const std::vector<int>& ids,
+                                       core::Rng& rng) const {
+  std::vector<int> orig;
+  orig.reserve(ids.size());
+  for (int id : ids) orig.push_back(original_ids_.at(id));
+  return catalog_.PreferenceSummary(orig, rng);
+}
+
+DatasetStats Dataset::Stats() const {
+  DatasetStats s;
+  s.num_users = num_users();
+  s.num_items = num_items();
+  for (const auto& seq : sequences_) s.num_interactions += seq.size();
+  if (s.num_users > 0 && s.num_items > 0) {
+    s.sparsity = 1.0 - static_cast<double>(s.num_interactions) /
+                           (static_cast<double>(s.num_users) * s.num_items);
+    s.avg_len = static_cast<double>(s.num_interactions) / s.num_users;
+  }
+  return s;
+}
+
+}  // namespace lcrec::data

@@ -1,0 +1,117 @@
+#ifndef LCREC_DATA_DATASET_H_
+#define LCREC_DATA_DATASET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/catalog.h"
+
+namespace lcrec::data {
+
+struct InteractionConfig {
+  int num_users = 800;
+  double mean_extra_len = 5.0;  // sequence length is min_len + Geometric(mean)
+  int min_len = 5;
+  int max_len = 40;
+  double stay_prob = 0.62;      // Markov probability of staying in the same
+                                // subcategory between consecutive interactions
+  double pop_exponent = 0.9;    // Zipf popularity skew within a subcategory
+  int prefs_per_user = 3;       // number of preferred subcategories per user
+  uint64_t seed = 7;
+};
+
+/// Generates user interaction sequences over a catalog. Each user has a
+/// small set of preferred subcategories; consecutive interactions stay in
+/// the same subcategory with `stay_prob` (the sequential/collaborative
+/// signal every baseline learns) and item choice within a subcategory is
+/// popularity-skewed.
+std::vector<std::vector<int>> GenerateInteractions(
+    const Catalog& catalog, const InteractionConfig& config);
+
+/// Iterative 5-core filtering: repeatedly drops users with fewer than
+/// `min_count` interactions and items with fewer than `min_count`
+/// occurrences (Section IV-A1). Item ids are NOT remapped here.
+std::vector<std::vector<int>> KCoreFilter(
+    std::vector<std::vector<int>> sequences, int min_count = 5);
+
+struct DatasetStats {
+  int num_users = 0;
+  int num_items = 0;
+  int64_t num_interactions = 0;
+  double sparsity = 0.0;  // 1 - interactions / (users * items)
+  double avg_len = 0.0;
+};
+
+/// A fully prepared evaluation dataset: filtered catalog (item ids
+/// remapped to a dense range), user sequences, and the leave-one-out
+/// protocol of Section IV-A3.
+class Dataset {
+ public:
+  /// Builds a dataset for one of the three domains: generates the
+  /// catalog, samples interactions, 5-core filters, and remaps item ids.
+  /// `scale` multiplies users/items relative to the default config
+  /// (1.0 keeps bench runs laptop-sized).
+  static Dataset Make(Domain domain, double scale = 1.0, uint64_t seed = 7);
+
+  /// Builds from explicit configs (used by tests).
+  static Dataset Build(const Catalog& catalog,
+                       std::vector<std::vector<int>> sequences,
+                       int max_seq_len = 20);
+
+  const std::string& name() const { return name_; }
+  const std::vector<Item>& items() const { return items_; }
+  const Item& item(int id) const { return items_.at(id); }
+  int num_items() const { return static_cast<int>(items_.size()); }
+  int num_users() const { return static_cast<int>(sequences_.size()); }
+  int num_categories() const { return num_categories_; }
+  int num_subcategories() const { return num_subcategories_; }
+  int num_attributes() const { return num_attributes_; }
+  int max_seq_len() const { return max_seq_len_; }
+  Domain domain() const { return domain_; }
+
+  /// Full chronological sequence of a user (length >= 5).
+  const std::vector<int>& sequence(int user) const {
+    return sequences_.at(user);
+  }
+
+  // Leave-one-out protocol (Section IV-A3): last item = test, second to
+  // last = validation, rest = training. All contexts are truncated to the
+  // most recent `max_seq_len` items.
+
+  /// Training context for predicting the validation item.
+  std::vector<int> TrainContext(int user) const;
+  /// All items available for training (sequence minus the last two).
+  std::vector<int> TrainItems(int user) const;
+  int ValidTarget(int user) const;
+  /// Context for the test prediction (everything but the last item).
+  std::vector<int> TestContext(int user) const;
+  int TestTarget(int user) const;
+
+  std::string ItemDocument(int id) const;
+  std::string IntentionFor(int id, core::Rng& rng) const;
+  std::string ReviewFor(int id, core::Rng& rng) const;
+  std::string PreferenceSummary(const std::vector<int>& ids,
+                                core::Rng& rng) const;
+  const Catalog& catalog() const { return catalog_; }
+  /// Maps a dataset item id back to the id in the original catalog.
+  int OriginalId(int id) const { return original_ids_.at(id); }
+
+  DatasetStats Stats() const;
+
+ private:
+  std::string name_;
+  Domain domain_ = Domain::kGames;
+  Catalog catalog_;  // original (unfiltered) catalog, kept for text utils
+  std::vector<Item> items_;
+  std::vector<int> original_ids_;
+  std::vector<std::vector<int>> sequences_;
+  int max_seq_len_ = 20;
+  int num_categories_ = 0;
+  int num_subcategories_ = 0;
+  int num_attributes_ = 0;
+};
+
+}  // namespace lcrec::data
+
+#endif  // LCREC_DATA_DATASET_H_

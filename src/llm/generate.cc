@@ -1,0 +1,169 @@
+#include "llm/generate.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace lcrec::llm {
+
+namespace {
+
+/// log softmax normalizer of a [1, vocab] logits row.
+float LogSumExp(const core::Tensor& logits) {
+  int64_t n = logits.size();
+  float mx = logits.at(0);
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, logits.at(i));
+  double z = 0.0;
+  for (int64_t i = 0; i < n; ++i) z += std::exp(logits.at(i) - mx);
+  return mx + static_cast<float>(std::log(z));
+}
+
+}  // namespace
+
+IndexTokenMap::IndexTokenMap(const quant::ItemIndexing& indexing,
+                             const text::Vocabulary& vocab) {
+  for (int item = 0; item < indexing.num_items(); ++item) {
+    const auto& codes = indexing.codes(item);
+    if (maps_.size() < codes.size()) maps_.resize(codes.size());
+    for (size_t level = 0; level < codes.size(); ++level) {
+      std::string tok = quant::ItemIndexing::TokenString(
+          static_cast<int>(level), codes[level]);
+      assert(vocab.Contains(tok) && "index tokens must be in the vocabulary");
+      maps_[level][codes[level]] = vocab.Id(tok);
+    }
+  }
+}
+
+int IndexTokenMap::TokenId(int level, int code) const {
+  if (level < 0 || level >= static_cast<int>(maps_.size())) return -1;
+  auto it = maps_[level].find(code);
+  return it == maps_[level].end() ? -1 : it->second;
+}
+
+std::vector<int> IndexTokenMap::ItemTokenIds(
+    const quant::ItemIndexing& indexing, int item) const {
+  const auto& codes = indexing.codes(item);
+  std::vector<int> out;
+  out.reserve(codes.size());
+  for (size_t level = 0; level < codes.size(); ++level) {
+    int id = TokenId(static_cast<int>(level), codes[level]);
+    assert(id >= 0);
+    out.push_back(id);
+  }
+  return out;
+}
+
+std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
+                                      const std::vector<int>& prompt,
+                                      const quant::PrefixTrie& trie,
+                                      const IndexTokenMap& token_map,
+                                      int beam_size, int top_n) {
+  assert(!prompt.empty());
+  struct Beam {
+    std::vector<int> codes;
+    float logp = 0.0f;
+    MiniLlm::KvCache cache;
+    core::Tensor logits;  // [1, vocab] after the last fed token
+  };
+
+  Beam root;
+  root.cache = model.MakeCache();
+  root.logits = model.Forward(root.cache, prompt);
+  std::vector<Beam> active;
+  active.push_back(std::move(root));
+  std::vector<ScoredItem> done;
+
+  int max_depth = token_map.levels();
+  for (int depth = 0; depth < max_depth && !active.empty(); ++depth) {
+    struct Candidate {
+      int beam;
+      int code;
+      int token;
+      float logp;
+    };
+    std::vector<Candidate> candidates;
+    for (size_t b = 0; b < active.size(); ++b) {
+      Beam& beam = active[b];
+      std::vector<int> next = trie.NextCodes(beam.codes);
+      if (next.empty()) continue;  // defensive; completed beams are removed
+      float lse = LogSumExp(beam.logits);
+      int level = static_cast<int>(beam.codes.size());
+      for (int code : next) {
+        int tok = token_map.TokenId(level, code);
+        if (tok < 0) continue;
+        float lp = beam.logp + (beam.logits.at(tok) - lse);
+        candidates.push_back({static_cast<int>(b), code, tok, lp});
+      }
+    }
+    std::sort(candidates.begin(), candidates.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.logp > b.logp;
+              });
+    if (static_cast<int>(candidates.size()) > beam_size) {
+      candidates.resize(beam_size);
+    }
+    std::vector<Beam> next_active;
+    next_active.reserve(candidates.size());
+    for (const Candidate& c : candidates) {
+      Beam child;
+      child.codes = active[c.beam].codes;
+      child.codes.push_back(c.code);
+      child.logp = c.logp;
+      child.cache = active[c.beam].cache;  // copy
+      child.logits = model.Forward(child.cache, {c.token});
+      int item = trie.ItemAt(child.codes);
+      if (item >= 0 && trie.NextCodes(child.codes).empty()) {
+        done.push_back({item, child.logp});
+      } else {
+        next_active.push_back(std::move(child));
+      }
+    }
+    active = std::move(next_active);
+  }
+  std::sort(done.begin(), done.end(),
+            [](const ScoredItem& a, const ScoredItem& b) {
+              return a.logprob > b.logprob;
+            });
+  if (static_cast<int>(done.size()) > top_n) done.resize(top_n);
+  return done;
+}
+
+float ScoreContinuation(const MiniLlm& model, const std::vector<int>& prompt,
+                        const std::vector<int>& continuation) {
+  assert(!prompt.empty() && !continuation.empty());
+  MiniLlm::KvCache cache = model.MakeCache();
+  core::Tensor logits = model.Forward(cache, prompt);
+  float total = 0.0f;
+  for (size_t i = 0; i < continuation.size(); ++i) {
+    total += logits.at(continuation[i]) - LogSumExp(logits);
+    if (i + 1 < continuation.size()) {
+      logits = model.Forward(cache, {continuation[i]});
+    }
+  }
+  return total;
+}
+
+std::vector<int> GenerateText(const MiniLlm& model,
+                              const std::vector<int>& prompt, int max_new,
+                              int eos_id) {
+  assert(!prompt.empty());
+  MiniLlm::KvCache cache = model.MakeCache();
+  core::Tensor logits = model.Forward(cache, prompt);
+  std::vector<int> out;
+  for (int step = 0; step < max_new; ++step) {
+    int best = 0;
+    for (int64_t i = 1; i < logits.size(); ++i) {
+      if (logits.at(i) > logits.at(best)) best = static_cast<int>(i);
+    }
+    if (best == eos_id) break;
+    out.push_back(best);
+    if (step + 1 < max_new && cache.length + 1 <= model.config().max_seq) {
+      logits = model.Forward(cache, {best});
+    } else {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lcrec::llm

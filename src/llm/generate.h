@@ -1,0 +1,62 @@
+#ifndef LCREC_LLM_GENERATE_H_
+#define LCREC_LLM_GENERATE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "llm/minillm.h"
+#include "quant/indexing.h"
+#include "text/vocab.h"
+
+namespace lcrec::llm {
+
+/// Maps (level, code) pairs of an ItemIndexing to LLM vocabulary token
+/// ids. The index tokens must already be registered in the vocabulary.
+class IndexTokenMap {
+ public:
+  IndexTokenMap(const quant::ItemIndexing& indexing,
+                const text::Vocabulary& vocab);
+
+  /// Vocabulary id of the token for (level, code), or -1 if unknown.
+  int TokenId(int level, int code) const;
+
+  /// Encodes an item's code sequence into vocabulary token ids.
+  std::vector<int> ItemTokenIds(const quant::ItemIndexing& indexing,
+                                int item) const;
+
+  int levels() const { return static_cast<int>(maps_.size()); }
+
+ private:
+  std::vector<std::unordered_map<int, int>> maps_;  // per level: code -> id
+};
+
+struct ScoredItem {
+  int item = -1;
+  float logprob = 0.0f;
+};
+
+/// Trie-constrained beam search over item-index tokens (Section III-D2):
+/// at every step, only tokens continuing a valid item prefix keep their
+/// probability; everything else is masked. Returns up to `top_n` complete
+/// items ranked by sequence log-probability.
+std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
+                                      const std::vector<int>& prompt,
+                                      const quant::PrefixTrie& trie,
+                                      const IndexTokenMap& token_map,
+                                      int beam_size = 20, int top_n = 10);
+
+/// Total log-likelihood of `continuation` given `prompt` (teacher-forced),
+/// used for the pairwise ranking probes of Table V.
+float ScoreContinuation(const MiniLlm& model, const std::vector<int>& prompt,
+                        const std::vector<int>& continuation);
+
+/// Greedy free-text generation until `eos_id` or `max_new` tokens; returns
+/// the generated ids (without the prompt, without eos). Used by the case
+/// studies of Figures 5-6.
+std::vector<int> GenerateText(const MiniLlm& model,
+                              const std::vector<int>& prompt, int max_new,
+                              int eos_id);
+
+}  // namespace lcrec::llm
+
+#endif  // LCREC_LLM_GENERATE_H_

@@ -1,0 +1,206 @@
+#include "llm/minillm.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace lcrec::llm {
+
+MiniLlm::MiniLlm(const MiniLlmConfig& config)
+    : config_(config), rng_(config.seed) {
+  assert(config_.vocab_size > 0);
+  assert(config_.d_model % config_.n_heads == 0);
+  int d = config_.d_model, ff = config_.d_ff;
+  auto init = [&](int fan_in, std::vector<int64_t> shape) {
+    return rng_.GaussianTensor(std::move(shape), 1.0 / std::sqrt(fan_in));
+  };
+  tok_emb_ = store_.Create("tok_emb",
+                           rng_.GaussianTensor({config_.vocab_size, d}, 0.02));
+  pos_emb_ =
+      store_.Create("pos_emb", rng_.GaussianTensor({config_.max_seq, d}, 0.02));
+  final_norm_ = store_.Create("final_norm", core::Tensor::Ones({d}));
+  for (int l = 0; l < config_.n_layers; ++l) {
+    std::string p = "layer" + std::to_string(l) + ".";
+    Layer layer;
+    layer.attn_norm = store_.Create(p + "attn_norm", core::Tensor::Ones({d}));
+    layer.wq = store_.Create(p + "wq", init(d, {d, d}));
+    layer.wk = store_.Create(p + "wk", init(d, {d, d}));
+    layer.wv = store_.Create(p + "wv", init(d, {d, d}));
+    layer.wo = store_.Create(p + "wo", init(d, {d, d}));
+    layer.ffn_norm = store_.Create(p + "ffn_norm", core::Tensor::Ones({d}));
+    layer.w1 = store_.Create(p + "w1", init(d, {d, ff}));
+    layer.w3 = store_.Create(p + "w3", init(d, {d, ff}));
+    layer.w2 = store_.Create(p + "w2", init(ff, {ff, d}));
+    layers_.push_back(layer);
+  }
+}
+
+core::VarId MiniLlm::BuildLogits(core::Graph& g,
+                                 const std::vector<int>& tokens, bool train) {
+  int t = static_cast<int>(tokens.size());
+  assert(t > 0 && t <= config_.max_seq);
+  int heads = config_.n_heads;
+  int dh = config_.d_model / heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+
+  core::VarId emb_table = g.Param(tok_emb_);
+  std::vector<int> positions(t);
+  for (int i = 0; i < t; ++i) positions[i] = i;
+  core::VarId x = g.Add(g.Rows(emb_table, tokens),
+                        g.Rows(g.Param(pos_emb_), positions));
+  for (const Layer& layer : layers_) {
+    core::VarId xn = g.RmsNorm(x, g.Param(layer.attn_norm));
+    core::VarId q = g.MatMul(xn, g.Param(layer.wq));
+    core::VarId k = g.MatMul(xn, g.Param(layer.wk));
+    core::VarId v = g.MatMul(xn, g.Param(layer.wv));
+    std::vector<core::VarId> head_outs;
+    head_outs.reserve(heads);
+    for (int h = 0; h < heads; ++h) {
+      core::VarId qh = g.SliceCols(q, h * dh, (h + 1) * dh);
+      core::VarId kh = g.SliceCols(k, h * dh, (h + 1) * dh);
+      core::VarId vh = g.SliceCols(v, h * dh, (h + 1) * dh);
+      core::VarId scores = g.Scale(g.MatMulNT(qh, kh), scale);
+      core::VarId probs = g.CausalSoftmax(scores);
+      if (train && config_.dropout > 0.0f) {
+        probs = g.Dropout(probs, config_.dropout, rng_, train);
+      }
+      head_outs.push_back(g.MatMul(probs, vh));
+    }
+    core::VarId attn = g.MatMul(g.ConcatCols(head_outs), g.Param(layer.wo));
+    x = g.Add(x, attn);
+    core::VarId fn = g.RmsNorm(x, g.Param(layer.ffn_norm));
+    core::VarId gate = g.Silu(g.MatMul(fn, g.Param(layer.w1)));
+    core::VarId up = g.MatMul(fn, g.Param(layer.w3));
+    core::VarId ffn = g.MatMul(g.Mul(gate, up), g.Param(layer.w2));
+    x = g.Add(x, ffn);
+  }
+  core::VarId xf = g.RmsNorm(x, g.Param(final_norm_));
+  // Weight-tied output head: logits = X_f * E^T.
+  return g.MatMulNT(xf, emb_table);
+}
+
+core::VarId MiniLlm::BuildLoss(core::Graph& g, const std::vector<int>& tokens,
+                               const std::vector<int>& targets, bool train) {
+  assert(tokens.size() == targets.size());
+  core::VarId logits = BuildLogits(g, tokens, train);
+  return g.SoftmaxCrossEntropy(logits, targets);
+}
+
+MiniLlm::KvCache MiniLlm::MakeCache() const {
+  KvCache cache;
+  cache.k.resize(config_.n_layers);
+  cache.v.resize(config_.n_layers);
+  return cache;
+}
+
+namespace {
+
+// y[n] = x[d] * W[d, n]
+void VecMat(const float* x, const core::Tensor& w, float* y) {
+  int64_t d = w.rows(), n = w.cols();
+  std::memset(y, 0, sizeof(float) * static_cast<size_t>(n));
+  for (int64_t p = 0; p < d; ++p) {
+    float xp = x[p];
+    if (xp == 0.0f) continue;
+    const float* wp = w.data() + p * n;
+    for (int64_t j = 0; j < n; ++j) y[j] += xp * wp[j];
+  }
+}
+
+void RmsNormVec(const float* x, const core::Tensor& gamma, int d, float* y) {
+  float ss = 0.0f;
+  for (int i = 0; i < d; ++i) ss += x[i] * x[i];
+  float ir = 1.0f / std::sqrt(ss / static_cast<float>(d) + 1e-6f);
+  for (int i = 0; i < d; ++i) y[i] = x[i] * ir * gamma.at(i);
+}
+
+}  // namespace
+
+core::Tensor MiniLlm::Forward(KvCache& cache, const std::vector<int>& tokens,
+                              bool all_logits) const {
+  int d = config_.d_model, heads = config_.n_heads;
+  int dh = d / heads;
+  float scale = 1.0f / std::sqrt(static_cast<float>(dh));
+  int n_new = static_cast<int>(tokens.size());
+  assert(n_new > 0);
+  assert(cache.length + n_new <= config_.max_seq);
+  int vocab = config_.vocab_size;
+  core::Tensor out({all_logits ? n_new : 1, vocab});
+
+  std::vector<float> x(d), xn(d), q(d), kvec(d), vvec(d), attn(d), proj(d);
+  std::vector<float> gate(config_.d_ff), up(config_.d_ff), down(d);
+
+  for (int idx = 0; idx < n_new; ++idx) {
+    int tok = tokens[idx];
+    int pos = cache.length;
+    assert(tok >= 0 && tok < vocab);
+    for (int i = 0; i < d; ++i) {
+      x[i] = tok_emb_->value.at(static_cast<int64_t>(tok) * d + i) +
+             pos_emb_->value.at(static_cast<int64_t>(pos) * d + i);
+    }
+    for (int l = 0; l < config_.n_layers; ++l) {
+      const Layer& layer = layers_[l];
+      RmsNormVec(x.data(), layer.attn_norm->value, d, xn.data());
+      VecMat(xn.data(), layer.wq->value, q.data());
+      VecMat(xn.data(), layer.wk->value, kvec.data());
+      VecMat(xn.data(), layer.wv->value, vvec.data());
+      cache.k[l].insert(cache.k[l].end(), kvec.begin(), kvec.end());
+      cache.v[l].insert(cache.v[l].end(), vvec.begin(), vvec.end());
+      int ctx = pos + 1;  // rows available in the cache for this layer
+      const float* kc = cache.k[l].data();
+      const float* vc = cache.v[l].data();
+      for (int h = 0; h < heads; ++h) {
+        const float* qh = q.data() + h * dh;
+        // Scores over all cached positions for this head.
+        std::vector<float> s(ctx);
+        float mx = -1e30f;
+        for (int t = 0; t < ctx; ++t) {
+          const float* kh = kc + static_cast<int64_t>(t) * d + h * dh;
+          float dot = 0.0f;
+          for (int c = 0; c < dh; ++c) dot += qh[c] * kh[c];
+          s[t] = dot * scale;
+          mx = std::max(mx, s[t]);
+        }
+        float z = 0.0f;
+        for (int t = 0; t < ctx; ++t) {
+          s[t] = std::exp(s[t] - mx);
+          z += s[t];
+        }
+        float* ah = attn.data() + h * dh;
+        std::memset(ah, 0, sizeof(float) * static_cast<size_t>(dh));
+        for (int t = 0; t < ctx; ++t) {
+          float w = s[t] / z;
+          const float* vh = vc + static_cast<int64_t>(t) * d + h * dh;
+          for (int c = 0; c < dh; ++c) ah[c] += w * vh[c];
+        }
+      }
+      VecMat(attn.data(), layer.wo->value, proj.data());
+      for (int i = 0; i < d; ++i) x[i] += proj[i];
+      RmsNormVec(x.data(), layer.ffn_norm->value, d, xn.data());
+      VecMat(xn.data(), layer.w1->value, gate.data());
+      VecMat(xn.data(), layer.w3->value, up.data());
+      for (int i = 0; i < config_.d_ff; ++i) {
+        float g = gate[i];
+        gate[i] = g / (1.0f + std::exp(-g)) * up[i];
+      }
+      VecMat(gate.data(), layer.w2->value, down.data());
+      for (int i = 0; i < d; ++i) x[i] += down[i];
+    }
+    ++cache.length;
+    bool want = all_logits || idx == n_new - 1;
+    if (want) {
+      RmsNormVec(x.data(), final_norm_->value, d, xn.data());
+      int64_t row = all_logits ? idx : 0;
+      const core::Tensor& e = tok_emb_->value;
+      for (int vtok = 0; vtok < vocab; ++vtok) {
+        float dot = 0.0f;
+        const float* ev = e.data() + static_cast<int64_t>(vtok) * d;
+        for (int i = 0; i < d; ++i) dot += xn[i] * ev[i];
+        out.at(row * vocab + vtok) = dot;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lcrec::llm

@@ -1,0 +1,121 @@
+#include "llm/trainer.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+
+#include "text/vocab.h"
+
+namespace lcrec::llm {
+
+LlmTrainer::LlmTrainer(MiniLlm* model, const TrainerOptions& options)
+    : model_(model),
+      options_(options),
+      rng_(options.seed),
+      optimizer_(model->params().All(), 0.9f, 0.999f, 1e-8f,
+                 options.weight_decay) {}
+
+void LlmTrainer::AssembleTokens(const TrainExample& example, int max_seq,
+                                std::vector<int>* tokens,
+                                std::vector<int>* targets) {
+  // Budget: 1 (<bos>) + prompt + response + 1 (<eos>) <= max_seq.
+  int response_len = static_cast<int>(example.response.size());
+  int budget = max_seq - 2 - response_len;
+  assert(budget > 0 && "response alone exceeds the context window");
+  int prompt_len = static_cast<int>(example.prompt.size());
+  int keep = std::min(prompt_len, budget);
+  tokens->clear();
+  tokens->push_back(text::Vocabulary::kBos);
+  tokens->insert(tokens->end(), example.prompt.end() - keep,
+                 example.prompt.end());
+  int response_start = static_cast<int>(tokens->size());
+  tokens->insert(tokens->end(), example.response.begin(),
+                 example.response.end());
+  tokens->push_back(text::Vocabulary::kEos);
+
+  int n = static_cast<int>(tokens->size());
+  targets->assign(n, core::Graph::kIgnore);
+  // Position i predicts token i+1; supervise predictions of the response
+  // tokens and the final <eos>.
+  for (int i = response_start - 1; i < n - 1; ++i) {
+    (*targets)[i] = (*tokens)[i + 1];
+  }
+}
+
+float LlmTrainer::CurrentLr() const {
+  if (total_steps_ <= 0) return options_.learning_rate;
+  core::CosineSchedule sched(
+      options_.learning_rate,
+      static_cast<int64_t>(options_.warmup_fraction *
+                           static_cast<float>(total_steps_)),
+      total_steps_);
+  return sched.LrAt(step_);
+}
+
+float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
+  std::vector<int64_t> order(examples.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(order);
+
+  double total_loss = 0.0;
+  int64_t count = 0;
+  int in_batch = 0;
+  model_->params().ZeroGrad();
+  std::vector<int> tokens, targets;
+  for (int64_t idx : order) {
+    AssembleTokens(examples[idx], model_->config().max_seq, &tokens, &targets);
+    core::Graph g;
+    core::VarId loss = model_->BuildLoss(g, tokens, targets, /*train=*/true);
+    g.Backward(loss);
+    total_loss += g.val(loss).item();
+    ++count;
+    ++in_batch;
+    if (in_batch == options_.batch_size || count == static_cast<int64_t>(order.size())) {
+      // Average the accumulated gradients over the batch.
+      float inv = 1.0f / static_cast<float>(in_batch);
+      for (core::Parameter* p : model_->params().All()) {
+        for (int64_t i = 0; i < p->grad.size(); ++i) p->grad.at(i) *= inv;
+      }
+      if (options_.clip_norm > 0.0f) optimizer_.ClipGradNorm(options_.clip_norm);
+      optimizer_.Step(CurrentLr());
+      model_->params().ZeroGrad();
+      in_batch = 0;
+      ++step_;
+    }
+  }
+  float mean = static_cast<float>(total_loss / std::max<int64_t>(1, count));
+  epoch_losses_.push_back(mean);
+  return mean;
+}
+
+float LlmTrainer::Train(const std::vector<TrainExample>& examples) {
+  int64_t updates_per_epoch =
+      (static_cast<int64_t>(examples.size()) + options_.batch_size - 1) /
+      options_.batch_size;
+  total_steps_ = updates_per_epoch * options_.epochs;
+  float last = 0.0f;
+  for (int e = 0; e < options_.epochs; ++e) {
+    last = TrainEpoch(examples);
+    if (options_.verbose) {
+      std::fprintf(stderr, "[llm] epoch %d/%d loss %.4f lr %.2e\n", e + 1,
+                   options_.epochs, last, static_cast<double>(CurrentLr()));
+    }
+  }
+  return last;
+}
+
+float LlmTrainer::EvalLoss(const std::vector<TrainExample>& examples) {
+  double total = 0.0;
+  std::vector<int> tokens, targets;
+  for (const TrainExample& ex : examples) {
+    AssembleTokens(ex, model_->config().max_seq, &tokens, &targets);
+    core::Graph g;
+    core::VarId loss = model_->BuildLoss(g, tokens, targets, /*train=*/false);
+    total += g.val(loss).item();
+  }
+  return static_cast<float>(total / std::max<size_t>(1, examples.size()));
+}
+
+}  // namespace lcrec::llm

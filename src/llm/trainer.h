@@ -1,0 +1,78 @@
+#ifndef LCREC_LLM_TRAINER_H_
+#define LCREC_LLM_TRAINER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/optim.h"
+#include "llm/minillm.h"
+
+namespace lcrec::llm {
+
+/// One instruction-tuning example: prompt and target response, both as
+/// vocabulary token ids. The loss covers only the response (and eos), as
+/// in standard instruction tuning (Eq. 7's conditional NLL).
+struct TrainExample {
+  std::vector<int> prompt;
+  std::vector<int> response;
+  std::string task;  // diagnostic label ("seq", "mut", "asy", ...)
+};
+
+struct TrainerOptions {
+  int epochs = 3;
+  int batch_size = 8;       // gradient accumulation steps per update
+  float learning_rate = 3e-3f;
+  float weight_decay = 0.01f;
+  float warmup_fraction = 0.03f;  // cosine schedule with warmup (IV-A4)
+  float clip_norm = 1.0f;
+  uint64_t seed = 31;
+  bool verbose = false;
+};
+
+/// Instruction-tuning trainer for MiniLlm: AdamW, cosine LR with warmup,
+/// gradient accumulation, per-epoch shuffling.
+class LlmTrainer {
+ public:
+  LlmTrainer(MiniLlm* model, const TrainerOptions& options);
+
+  /// Runs the configured number of epochs; returns the last epoch's mean
+  /// loss. Per-epoch means are kept in epoch_losses().
+  float Train(const std::vector<TrainExample>& examples);
+
+  /// One pass over the examples (shuffled); returns mean loss.
+  float TrainEpoch(const std::vector<TrainExample>& examples);
+
+  /// Declares the total number of optimizer updates the caller will drive
+  /// across all TrainEpoch calls, enabling the cosine schedule when the
+  /// caller regenerates examples per epoch (the paper's one-template-per-
+  /// example-per-epoch rule).
+  void SetTotalUpdates(int64_t updates) { total_steps_ = updates; }
+
+  /// Mean loss without updating (evaluation pass).
+  float EvalLoss(const std::vector<TrainExample>& examples);
+
+  const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+
+  /// Builds the token/target arrays for one example:
+  /// tokens = <bos> prompt response <eos>, loss only on response + eos.
+  /// Prompts longer than max_seq are truncated from the left, keeping the
+  /// most recent context.
+  static void AssembleTokens(const TrainExample& example, int max_seq,
+                             std::vector<int>* tokens,
+                             std::vector<int>* targets);
+
+ private:
+  float CurrentLr() const;
+
+  MiniLlm* model_;
+  TrainerOptions options_;
+  core::Rng rng_;
+  core::AdamW optimizer_;
+  int64_t step_ = 0;
+  int64_t total_steps_ = 0;  // set by Train(); 0 => constant lr
+  std::vector<float> epoch_losses_;
+};
+
+}  // namespace lcrec::llm
+
+#endif  // LCREC_LLM_TRAINER_H_

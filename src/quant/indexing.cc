@@ -1,0 +1,234 @@
+#include "quant/indexing.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "core/linalg.h"
+#include "quant/sinkhorn.h"
+
+namespace lcrec::quant {
+
+std::string IndexSchemeName(IndexScheme scheme) {
+  switch (scheme) {
+    case IndexScheme::kLcRec: return "LC-Rec";
+    case IndexScheme::kNoUsm: return "LC-Rec w/o USM";
+    case IndexScheme::kRandom: return "Random Indices";
+    case IndexScheme::kVanillaId: return "Vanilla ID";
+  }
+  return "Unknown";
+}
+
+ItemIndexing ItemIndexing::FromRqVae(const RqVae& vae,
+                                     const core::Tensor& embeddings,
+                                     bool uniform_semantic_mapping) {
+  RqVae::QuantizeResult q = vae.QuantizeAll(embeddings);
+  int n = static_cast<int>(q.codes.size());
+  int levels = vae.config().levels;
+  int k = vae.config().codebook_size;
+  int lat = vae.config().latent_dim;
+
+  ItemIndexing idx;
+  idx.codes_ = q.codes;
+  idx.levels_ = levels;
+  idx.codebook_size_ = k;
+
+  // Group items by full code sequence to find conflicts.
+  std::map<std::vector<int>, std::vector<int>> groups;
+  for (int i = 0; i < n; ++i) groups[q.codes[i]].push_back(i);
+
+  if (uniform_semantic_mapping) {
+    // Section III-B2 two-stage process: for each group of conflicting
+    // items, redistribute the last-level codewords by solving Eq. (6)
+    // restricted to that group's residual vectors.
+    // Groups are keyed by the shared (levels-1)-prefix so that items that
+    // would collide after reassignment are handled together.
+    std::map<std::vector<int>, std::vector<int>> by_prefix;
+    for (const auto& [code, members] : groups) {
+      if (members.size() < 2) continue;  // no conflict
+      std::vector<int> prefix(code.begin(), code.end() - 1);
+      auto& bucket = by_prefix[prefix];
+      bucket.insert(bucket.end(), members.begin(), members.end());
+    }
+    const core::Tensor& cb = vae.codebook(levels - 1);
+    for (const auto& [prefix, members] : by_prefix) {
+      (void)prefix;
+      // Include every item sharing this prefix (also currently unique
+      // ones) so reassignment cannot create new collisions.
+      std::set<int> taken;  // codes already used by non-conflicting items
+      for (int i = 0; i < n; ++i) {
+        if (std::equal(prefix.begin(), prefix.end(), q.codes[i].begin()) &&
+            std::find(members.begin(), members.end(), i) == members.end()) {
+          taken.insert(q.codes[i].back());
+        }
+      }
+      // Candidate codes: all codes not taken by unique holders.
+      std::vector<int> candidates;
+      for (int c = 0; c < k; ++c)
+        if (!taken.count(c)) candidates.push_back(c);
+      if (candidates.empty()) continue;  // degenerate; keep conflicts
+      int m = static_cast<int>(members.size());
+      core::Tensor cost({m, static_cast<int64_t>(candidates.size())});
+      for (int r = 0; r < m; ++r) {
+        for (size_t c = 0; c < candidates.size(); ++c) {
+          float s = 0.0f;
+          for (int d = 0; d < lat; ++d) {
+            float diff =
+                q.last_residuals.at(static_cast<int64_t>(members[r]) * lat + d) -
+                cb.at(static_cast<int64_t>(candidates[c]) * lat + d);
+            s += diff * diff;
+          }
+          cost.at(r * static_cast<int64_t>(candidates.size()) +
+                  static_cast<int64_t>(c)) = s;
+        }
+      }
+      int capacity = (m + static_cast<int>(candidates.size()) - 1) /
+                     static_cast<int>(candidates.size());
+      core::Tensor plan = SinkhornKnopp(cost, 0.05, 60);
+      std::vector<int> assign = BalancedAssign(plan, capacity);
+      for (int r = 0; r < m; ++r)
+        idx.codes_[members[r]].back() = candidates[assign[r]];
+    }
+  } else {
+    // TIGER-style conflict handling: append a supplementary level that
+    // enumerates the members of each conflicting leaf.
+    for (auto& [code, members] : groups) {
+      (void)code;
+      if (members.size() < 2) continue;
+      for (size_t r = 0; r < members.size(); ++r) {
+        idx.codes_[members[r]].push_back(static_cast<int>(r));
+      }
+    }
+    idx.levels_ = levels + 1;  // worst-case depth
+  }
+  return idx;
+}
+
+ItemIndexing ItemIndexing::Random(int num_items, int levels, int codebook_size,
+                                  core::Rng& rng) {
+  ItemIndexing idx;
+  idx.levels_ = levels;
+  idx.codebook_size_ = codebook_size;
+  std::set<std::vector<int>> seen;
+  idx.codes_.reserve(num_items);
+  for (int i = 0; i < num_items; ++i) {
+    std::vector<int> code(levels);
+    do {
+      for (int h = 0; h < levels; ++h)
+        code[h] = static_cast<int>(rng.Below(codebook_size));
+    } while (seen.count(code));
+    seen.insert(code);
+    idx.codes_.push_back(std::move(code));
+  }
+  return idx;
+}
+
+ItemIndexing ItemIndexing::VanillaId(int num_items) {
+  ItemIndexing idx;
+  idx.levels_ = 1;
+  idx.codebook_size_ = num_items;
+  idx.codes_.reserve(num_items);
+  for (int i = 0; i < num_items; ++i) idx.codes_.push_back({i});
+  return idx;
+}
+
+int ItemIndexing::ConflictCount() const {
+  std::map<std::vector<int>, int> counts;
+  for (const auto& c : codes_) ++counts[c];
+  int conflicts = 0;
+  for (const auto& [c, n] : counts) {
+    (void)c;
+    if (n > 1) conflicts += n;
+  }
+  return conflicts;
+}
+
+std::string ItemIndexing::TokenString(int level, int code) {
+  std::ostringstream os;
+  os << "<" << static_cast<char>('a' + level) << "_" << code << ">";
+  return os.str();
+}
+
+std::vector<std::string> ItemIndexing::AllTokenStrings() const {
+  std::set<std::pair<int, int>> used;
+  for (const auto& code : codes_) {
+    for (size_t h = 0; h < code.size(); ++h)
+      used.insert({static_cast<int>(h), code[h]});
+  }
+  std::vector<std::string> out;
+  out.reserve(used.size());
+  for (const auto& [level, c] : used) out.push_back(TokenString(level, c));
+  return out;
+}
+
+std::vector<std::string> ItemIndexing::ItemTokens(int item) const {
+  const auto& code = codes_.at(item);
+  std::vector<std::string> out;
+  out.reserve(code.size());
+  for (size_t h = 0; h < code.size(); ++h)
+    out.push_back(TokenString(static_cast<int>(h), code[h]));
+  return out;
+}
+
+std::string ItemIndexing::ItemTokenText(int item) const {
+  std::string out;
+  for (const std::string& tok : ItemTokens(item)) out += tok;
+  return out;
+}
+
+PrefixTrie::PrefixTrie(const ItemIndexing& indexing) {
+  nodes_.push_back(TrieNode{});
+  num_items_ = indexing.num_items();
+  for (int item = 0; item < indexing.num_items(); ++item) {
+    int node = 0;
+    for (int code : indexing.codes(item)) {
+      auto it = nodes_[node].children.find(code);
+      if (it == nodes_[node].children.end()) {
+        int next = static_cast<int>(nodes_.size());
+        nodes_[node].children.emplace(code, next);
+        nodes_.push_back(TrieNode{});
+        node = next;
+      } else {
+        node = it->second;
+      }
+    }
+    // If two items share a full code sequence (unresolved conflict), the
+    // later one wins; ConflictCount() on the indexing reports this.
+    nodes_[node].item = item;
+  }
+}
+
+int PrefixTrie::Walk(const std::vector<int>& prefix) const {
+  int node = 0;
+  for (int code : prefix) {
+    auto it = nodes_[node].children.find(code);
+    if (it == nodes_[node].children.end()) return -1;
+    node = it->second;
+  }
+  return node;
+}
+
+std::vector<int> PrefixTrie::NextCodes(const std::vector<int>& prefix) const {
+  int node = Walk(prefix);
+  std::vector<int> out;
+  if (node < 0) return out;
+  out.reserve(nodes_[node].children.size());
+  for (const auto& [code, child] : nodes_[node].children) {
+    (void)child;
+    out.push_back(code);
+  }
+  return out;
+}
+
+int PrefixTrie::ItemAt(const std::vector<int>& codes) const {
+  int node = Walk(codes);
+  return node < 0 ? -1 : nodes_[node].item;
+}
+
+bool PrefixTrie::IsValidPrefix(const std::vector<int>& prefix) const {
+  return Walk(prefix) >= 0;
+}
+
+}  // namespace lcrec::quant

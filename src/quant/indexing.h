@@ -1,0 +1,105 @@
+#ifndef LCREC_QUANT_INDEXING_H_
+#define LCREC_QUANT_INDEXING_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "quant/rqvae.h"
+
+namespace lcrec::quant {
+
+/// How the last-level conflicts of the RQ index tree are handled
+/// (Figure 2's ablation axis) or which non-semantic scheme is used.
+enum class IndexScheme {
+  kLcRec,          // RQ-VAE + uniform semantic mapping (the paper's method)
+  kNoUsm,          // RQ-VAE + supplementary disambiguation level (TIGER-style)
+  kRandom,         // multi-level random codes, conflict-free by construction
+  kVanillaId,      // one unique single-level id per item
+};
+
+std::string IndexSchemeName(IndexScheme scheme);
+
+/// The learned index of a full item set: each item maps to a short code
+/// sequence ("item indices", e.g. <a_66><b_197><c_236><d_223>). Code
+/// sequences may have different lengths across schemes (kNoUsm appends a
+/// disambiguation level to conflicting items only).
+class ItemIndexing {
+ public:
+  /// Builds the paper's indexing from a trained RQ-VAE: quantize all item
+  /// embeddings (Eq. 1), then redistribute the last-level codewords of
+  /// each group of conflicting items via Sinkhorn-Knopp (Eq. 6).
+  static ItemIndexing FromRqVae(const RqVae& vae,
+                                const core::Tensor& embeddings,
+                                bool uniform_semantic_mapping = true);
+
+  /// Multi-level random indices (ablation baseline in Figure 2). Codes
+  /// are resampled until every item is unique.
+  static ItemIndexing Random(int num_items, int levels, int codebook_size,
+                             core::Rng& rng);
+
+  /// Traditional vanilla item ids: one level, one distinct code per item.
+  static ItemIndexing VanillaId(int num_items);
+
+  int num_items() const { return static_cast<int>(codes_.size()); }
+  int levels() const { return levels_; }
+  int codebook_size() const { return codebook_size_; }
+
+  const std::vector<int>& codes(int item) const { return codes_.at(item); }
+
+  /// Number of items whose code sequence equals another item's.
+  int ConflictCount() const;
+
+  /// Token string for level `level`, code `code`: "<a_12>", "<b_7>", ...
+  static std::string TokenString(int level, int code);
+
+  /// All distinct token strings used by this indexing, level-major.
+  std::vector<std::string> AllTokenStrings() const;
+
+  /// Token strings of one item's code sequence.
+  std::vector<std::string> ItemTokens(int item) const;
+
+  /// Item tokens concatenated, e.g. "<a_66><b_197><c_236><d_223>".
+  std::string ItemTokenText(int item) const;
+
+ private:
+  std::vector<std::vector<int>> codes_;
+  int levels_ = 0;
+  int codebook_size_ = 0;
+};
+
+/// Prefix tree over the code sequences of an ItemIndexing, used for
+/// constrained beam search (Section III-D2: probabilities of tokens that
+/// would produce illegal item indices are masked out).
+class PrefixTrie {
+ public:
+  explicit PrefixTrie(const ItemIndexing& indexing);
+
+  /// Valid next codes after the given prefix; empty if the prefix is
+  /// complete or invalid.
+  std::vector<int> NextCodes(const std::vector<int>& prefix) const;
+
+  /// Item id for a complete code sequence, or -1.
+  int ItemAt(const std::vector<int>& codes) const;
+
+  /// True if `prefix` is a prefix (proper or complete) of some item.
+  bool IsValidPrefix(const std::vector<int>& prefix) const;
+
+  int num_items() const { return num_items_; }
+
+ private:
+  struct TrieNode {
+    std::map<int, int> children;  // code -> node index
+    int item = -1;                // complete item id at this node
+  };
+  int Walk(const std::vector<int>& prefix) const;  // node index or -1
+
+  std::vector<TrieNode> nodes_;
+  int num_items_ = 0;
+};
+
+}  // namespace lcrec::quant
+
+#endif  // LCREC_QUANT_INDEXING_H_

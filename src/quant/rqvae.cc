@@ -1,0 +1,320 @@
+#include "quant/rqvae.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "core/linalg.h"
+#include "quant/sinkhorn.h"
+
+namespace lcrec::quant {
+
+namespace {
+
+/// Plain (non-autograd) affine + ReLU helpers for inference paths.
+core::Tensor Affine(const core::Tensor& x, const core::Tensor& w,
+                    const core::Tensor& b) {
+  core::Tensor out = core::MatMul(x, w);
+  int64_t m = out.rows(), n = out.cols();
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) out.at(i * n + j) += b.at(j);
+  return out;
+}
+
+void ReluInPlace(core::Tensor& t) {
+  for (int64_t i = 0; i < t.size(); ++i) t.at(i) = std::max(0.0f, t.at(i));
+}
+
+/// Nearest codebook row for each row of `r` under squared L2.
+std::vector<int> NearestCode(const core::Tensor& r, const core::Tensor& cb) {
+  core::Tensor d = core::SquaredDistances(r, cb);
+  int64_t n = d.rows(), k = d.cols();
+  std::vector<int> codes(n);
+  for (int64_t i = 0; i < n; ++i) {
+    int best = 0;
+    float bv = d.at(i * k);
+    for (int64_t j = 1; j < k; ++j) {
+      if (d.at(i * k + j) < bv) {
+        bv = d.at(i * k + j);
+        best = static_cast<int>(j);
+      }
+    }
+    codes[i] = best;
+  }
+  return codes;
+}
+
+}  // namespace
+
+RqVae::RqVae(const RqVaeConfig& config) : config_(config), rng_(config.seed) {
+  int in = config_.input_dim, hid = config_.hidden_dim, lat = config_.latent_dim;
+  auto init = [&](int fan_in, std::vector<int64_t> shape) {
+    return rng_.GaussianTensor(std::move(shape), 1.0 / std::sqrt(fan_in));
+  };
+  enc_w1_ = store_.Create("enc_w1", init(in, {in, hid}));
+  enc_b1_ = store_.Create("enc_b1", core::Tensor::Zeros({hid}));
+  enc_w2_ = store_.Create("enc_w2", init(hid, {hid, lat}));
+  enc_b2_ = store_.Create("enc_b2", core::Tensor::Zeros({lat}));
+  dec_w1_ = store_.Create("dec_w1", init(lat, {lat, hid}));
+  dec_b1_ = store_.Create("dec_b1", core::Tensor::Zeros({hid}));
+  dec_w2_ = store_.Create("dec_w2", init(hid, {hid, in}));
+  dec_b2_ = store_.Create("dec_b2", core::Tensor::Zeros({in}));
+  for (int h = 0; h < config_.levels; ++h) {
+    codebooks_.push_back(store_.Create(
+        "codebook_" + std::to_string(h),
+        rng_.GaussianTensor({config_.codebook_size, lat}, 0.05)));
+  }
+  optimizer_ = std::make_unique<core::AdamW>(store_.All(), 0.9f, 0.999f,
+                                             1e-8f, 0.0f);
+}
+
+core::Tensor RqVae::EncodeLatent(const core::Tensor& embeddings) const {
+  core::Tensor h = Affine(embeddings, enc_w1_->value, enc_b1_->value);
+  ReluInPlace(h);
+  return Affine(h, enc_w2_->value, enc_b2_->value);
+}
+
+core::Tensor RqVae::DecodeLatent(const core::Tensor& z_hat) const {
+  core::Tensor h = Affine(z_hat, dec_w1_->value, dec_b1_->value);
+  ReluInPlace(h);
+  return Affine(h, dec_w2_->value, dec_b2_->value);
+}
+
+void RqVae::InitializeCodebooks(const core::Tensor& embeddings) {
+  // Residual k-means initialization: at each level, run Lloyd iterations
+  // (k-means++-style seeding) on the current residuals so the codebooks
+  // start as genuine cluster centers — this is what makes the level-1
+  // codes capture coarse semantics (category/subcategory structure).
+  core::Tensor r = EncodeLatent(embeddings);
+  int64_t n = r.rows();
+  int lat = config_.latent_dim, k = config_.codebook_size;
+  for (int h = 0; h < config_.levels; ++h) {
+    core::Tensor& cb = codebooks_[h]->value;
+    // k-means++ seeding: first center random, rest sampled proportional to
+    // squared distance from the nearest chosen center.
+    std::vector<int64_t> seeds;
+    seeds.push_back(rng_.Below(n));
+    std::vector<double> best_d(static_cast<size_t>(n),
+                               std::numeric_limits<double>::max());
+    auto update_best = [&](int64_t center_row) {
+      for (int64_t i = 0; i < n; ++i) {
+        double s = 0.0;
+        for (int c = 0; c < lat; ++c) {
+          double diff = r.at(i * lat + c) - r.at(center_row * lat + c);
+          s += diff * diff;
+        }
+        best_d[static_cast<size_t>(i)] =
+            std::min(best_d[static_cast<size_t>(i)], s);
+      }
+    };
+    update_best(seeds[0]);
+    while (static_cast<int>(seeds.size()) < k) {
+      double total = 0.0;
+      for (double w : best_d) total += w;
+      int64_t pick;
+      if (total <= 1e-20) {
+        pick = rng_.Below(n);
+      } else {
+        pick = rng_.Categorical(best_d);
+      }
+      seeds.push_back(pick);
+      update_best(pick);
+    }
+    for (int j = 0; j < k; ++j) {
+      for (int c = 0; c < lat; ++c) {
+        cb.at(static_cast<int64_t>(j) * lat + c) =
+            r.at(seeds[static_cast<size_t>(j)] * lat + c) +
+            static_cast<float>(rng_.Gaussian(0.0, 1e-4));
+      }
+    }
+    // Lloyd iterations.
+    std::vector<int> codes;
+    for (int iter = 0; iter < 15; ++iter) {
+      codes = NearestCode(r, cb);
+      core::Tensor sums({k, lat});
+      std::vector<int64_t> counts(static_cast<size_t>(k), 0);
+      for (int64_t i = 0; i < n; ++i) {
+        ++counts[static_cast<size_t>(codes[i])];
+        for (int c = 0; c < lat; ++c) {
+          sums.at(static_cast<int64_t>(codes[i]) * lat + c) +=
+              r.at(i * lat + c);
+        }
+      }
+      for (int j = 0; j < k; ++j) {
+        if (counts[static_cast<size_t>(j)] == 0) continue;  // keep seed
+        for (int c = 0; c < lat; ++c) {
+          cb.at(static_cast<int64_t>(j) * lat + c) =
+              sums.at(static_cast<int64_t>(j) * lat + c) /
+              static_cast<float>(counts[static_cast<size_t>(j)]);
+        }
+      }
+    }
+    codes = NearestCode(r, cb);
+    for (int64_t i = 0; i < n; ++i) {
+      for (int c = 0; c < lat; ++c) {
+        r.at(i * lat + c) -= cb.at(static_cast<int64_t>(codes[i]) * lat + c);
+      }
+    }
+  }
+  codebooks_initialized_ = true;
+}
+
+float RqVae::TrainBatch(const core::Tensor& batch) {
+  int64_t n = batch.rows();
+  int lat = config_.latent_dim;
+  core::Graph g;
+  core::VarId e = g.Input(batch);
+  core::VarId h1 = g.Relu(g.AddBias(g.MatMul(e, g.Param(enc_w1_)),
+                                    g.Param(enc_b1_)));
+  core::VarId z = g.AddBias(g.MatMul(h1, g.Param(enc_w2_)), g.Param(enc_b2_));
+
+  core::VarId r = z;
+  core::VarId rq_loss = g.Input(core::Tensor::Scalar(0.0f));
+  core::Tensor z_hat_val({n, lat});
+  for (int level = 0; level < config_.levels; ++level) {
+    const core::Tensor& r_val = g.val(r);
+    const core::Tensor& cb_val = codebooks_[level]->value;
+    std::vector<int> codes;
+    bool last = level == config_.levels - 1;
+    if (last && config_.uniform_last_level &&
+        n <= static_cast<int64_t>(config_.codebook_size) *
+                 ((n + config_.codebook_size - 1) / config_.codebook_size)) {
+      // Algorithm 1 line 6: solve Eq. (6) over the batch via Sinkhorn-Knopp.
+      core::Tensor cost = core::SquaredDistances(r_val, cb_val);
+      core::Tensor plan = SinkhornKnopp(cost, config_.sinkhorn_epsilon,
+                                        config_.sinkhorn_iterations);
+      int capacity = static_cast<int>((n + config_.codebook_size - 1) /
+                                      config_.codebook_size);
+      codes = BalancedAssign(plan, capacity);
+    } else {
+      codes = NearestCode(r_val, cb_val);
+    }
+    core::VarId cb = g.Param(codebooks_[level]);
+    core::VarId v = g.Rows(cb, codes);
+    // Eq. (4): codebook term pulls centers to residuals; commitment term
+    // pulls residuals to centers.
+    core::VarId codebook_term = g.MseLossVar(g.StopGradient(r), v);
+    core::VarId commit_term = g.MseLossVar(r, g.StopGradient(v));
+    rq_loss = g.Add(rq_loss,
+                    g.Add(codebook_term, g.Scale(commit_term, config_.beta)));
+    // Accumulate z_hat (values only; decoder gradient bypasses the
+    // quantizer via the straight-through estimator below).
+    const core::Tensor& v_val = g.val(v);
+    for (int64_t i = 0; i < n * lat; ++i) z_hat_val.at(i) += v_val.at(i);
+    r = g.Sub(r, g.StopGradient(v));
+  }
+
+  // Straight-through: decoder input = z + sg(z_hat - z).
+  core::Tensor delta = z_hat_val;
+  delta.Axpy(-1.0f, g.val(z));
+  core::VarId dec_in = g.Add(z, g.Input(delta));
+  core::VarId d1 = g.Relu(g.AddBias(g.MatMul(dec_in, g.Param(dec_w1_)),
+                                    g.Param(dec_b1_)));
+  core::VarId e_hat = g.AddBias(g.MatMul(d1, g.Param(dec_w2_)),
+                                g.Param(dec_b2_));
+  core::VarId recon = g.MseLoss(e_hat, batch);
+  core::VarId loss = g.Add(recon, rq_loss);
+
+  store_.ZeroGrad();
+  g.Backward(loss);
+  optimizer_->Step(config_.learning_rate);
+  return g.val(loss).item();
+}
+
+float RqVae::TrainEpoch(const core::Tensor& embeddings) {
+  if (!codebooks_initialized_) InitializeCodebooks(embeddings);
+  int64_t n = embeddings.rows();
+  int in = config_.input_dim;
+  std::vector<int64_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng_.Shuffle(order);
+  float total = 0.0f;
+  int batches = 0;
+  for (int64_t start = 0; start < n; start += config_.batch_size) {
+    int64_t end = std::min<int64_t>(n, start + config_.batch_size);
+    core::Tensor batch({end - start, in});
+    for (int64_t i = start; i < end; ++i)
+      for (int j = 0; j < in; ++j)
+        batch.at((i - start) * in + j) = embeddings.at(order[i] * in + j);
+    total += TrainBatch(batch);
+    ++batches;
+  }
+  return total / static_cast<float>(std::max(1, batches));
+}
+
+float RqVae::TrainAutoencoderBatch(const core::Tensor& batch) {
+  core::Graph g;
+  core::VarId e = g.Input(batch);
+  core::VarId h1 = g.Relu(g.AddBias(g.MatMul(e, g.Param(enc_w1_)),
+                                    g.Param(enc_b1_)));
+  core::VarId z = g.AddBias(g.MatMul(h1, g.Param(enc_w2_)), g.Param(enc_b2_));
+  core::VarId d1 = g.Relu(g.AddBias(g.MatMul(z, g.Param(dec_w1_)),
+                                    g.Param(dec_b1_)));
+  core::VarId e_hat = g.AddBias(g.MatMul(d1, g.Param(dec_w2_)),
+                                g.Param(dec_b2_));
+  core::VarId loss = g.MseLoss(e_hat, batch);
+  store_.ZeroGrad();
+  g.Backward(loss);
+  optimizer_->Step(config_.learning_rate);
+  return g.val(loss).item();
+}
+
+float RqVae::Train(const core::Tensor& embeddings) {
+  // Warmup: train the autoencoder alone so the latent space preserves the
+  // input geometry; only then seed the codebooks by residual k-means.
+  for (int epoch = 0; epoch < config_.warmup_epochs && !codebooks_initialized_;
+       ++epoch) {
+    TrainAutoencoderBatch(embeddings);
+  }
+  float last = 0.0f;
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    last = TrainEpoch(embeddings);
+  }
+  return last;
+}
+
+RqVae::QuantizeResult RqVae::QuantizeAll(const core::Tensor& embeddings) const {
+  core::Tensor r = EncodeLatent(embeddings);
+  int64_t n = r.rows();
+  int lat = config_.latent_dim;
+  QuantizeResult result;
+  result.codes.assign(static_cast<size_t>(n),
+                      std::vector<int>(config_.levels, 0));
+  for (int h = 0; h < config_.levels; ++h) {
+    if (h == config_.levels - 1) result.last_residuals = r;
+    const core::Tensor& cb = codebooks_[h]->value;
+    std::vector<int> codes = NearestCode(r, cb);
+    for (int64_t i = 0; i < n; ++i) {
+      result.codes[i][h] = codes[i];
+      for (int c = 0; c < lat; ++c)
+        r.at(i * lat + c) -= cb.at(static_cast<int64_t>(codes[i]) * lat + c);
+    }
+  }
+  return result;
+}
+
+float RqVae::ReconstructionError(const core::Tensor& embeddings) const {
+  QuantizeResult q = QuantizeAll(embeddings);
+  int64_t n = embeddings.rows();
+  int lat = config_.latent_dim;
+  core::Tensor z_hat({n, lat});
+  for (int64_t i = 0; i < n; ++i) {
+    for (int h = 0; h < config_.levels; ++h) {
+      const core::Tensor& cb = codebooks_[h]->value;
+      for (int c = 0; c < lat; ++c)
+        z_hat.at(i * lat + c) +=
+            cb.at(static_cast<int64_t>(q.codes[i][h]) * lat + c);
+    }
+  }
+  core::Tensor e_hat = DecodeLatent(z_hat);
+  double mse = 0.0;
+  for (int64_t i = 0; i < embeddings.size(); ++i) {
+    double d = e_hat.at(i) - embeddings.at(i);
+    mse += d * d;
+  }
+  return static_cast<float>(mse / embeddings.size());
+}
+
+}  // namespace lcrec::quant

@@ -1,0 +1,100 @@
+#ifndef LCREC_QUANT_RQVAE_H_
+#define LCREC_QUANT_RQVAE_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/optim.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace lcrec::quant {
+
+struct RqVaeConfig {
+  int input_dim = 64;
+  int hidden_dim = 96;
+  int latent_dim = 32;   // paper: codebook vector dimension 32
+  int levels = 4;        // paper: H = 4 index levels
+  int codebook_size = 64;  // paper: 256; smaller default fits small catalogs
+  float beta = 0.25f;    // commitment coefficient of Eq. (4)
+  bool uniform_last_level = true;  // train-time USM at level H (Algorithm 1)
+  double sinkhorn_epsilon = 0.05;
+  int sinkhorn_iterations = 50;
+  int epochs = 150;
+  int warmup_epochs = 200;  // plain autoencoder warmup before quantization
+  int batch_size = 1024;
+  float learning_rate = 1e-3f;
+  uint64_t seed = 17;
+};
+
+/// Residual-Quantized Variational AutoEncoder (Section III-B1) with the
+/// uniform-semantic-mapping variant of the last quantization level
+/// (Section III-B2, Algorithm 1).
+///
+/// The encoder/decoder are MLPs with ReLU activations; codebooks are
+/// H x [K, latent] learnable cluster centers. Training optimizes
+/// L = ||e - e_hat||^2 + sum_h ||sg[r_h] - v_h||^2 + beta ||r_h - sg[v_h]||^2
+/// (Eqs. 3-5) with a straight-through estimator feeding the decoder.
+class RqVae {
+ public:
+  explicit RqVae(const RqVaeConfig& config);
+
+  /// Result of quantizing a batch: per-row codes at each level plus the
+  /// residual vectors entering the last level (used for conflict
+  /// resolution downstream).
+  struct QuantizeResult {
+    std::vector<std::vector<int>> codes;  // [n][levels]
+    core::Tensor last_residuals;          // [n, latent]
+  };
+
+  /// Initializes codebooks from data (greedy residual sampling), then
+  /// trains for config.epochs. Returns the final epoch's average loss.
+  float Train(const core::Tensor& embeddings);
+
+  /// One epoch over shuffled batches; returns mean total loss.
+  float TrainEpoch(const core::Tensor& embeddings);
+
+  /// Encodes inputs to latent space (no gradients).
+  core::Tensor EncodeLatent(const core::Tensor& embeddings) const;
+
+  /// Nearest-neighbour residual quantization, Eq. (1)-(2) (no USM).
+  QuantizeResult QuantizeAll(const core::Tensor& embeddings) const;
+
+  /// Mean reconstruction MSE through quantize + decode.
+  float ReconstructionError(const core::Tensor& embeddings) const;
+
+  /// Decodes quantized latents back to the embedding space.
+  core::Tensor DecodeLatent(const core::Tensor& z_hat) const;
+
+  const core::Tensor& codebook(int level) const {
+    return codebooks_.at(level)->value;
+  }
+  const RqVaeConfig& config() const { return config_; }
+
+ private:
+  void InitializeCodebooks(const core::Tensor& embeddings);
+  float TrainBatch(const core::Tensor& batch);
+  /// Reconstruction-only step (no quantization), used during warmup so the
+  /// latent space is information-preserving before codebooks are seeded.
+  float TrainAutoencoderBatch(const core::Tensor& batch);
+
+  RqVaeConfig config_;
+  core::Rng rng_;
+  core::ParamStore store_;
+  core::Parameter* enc_w1_;
+  core::Parameter* enc_b1_;
+  core::Parameter* enc_w2_;
+  core::Parameter* enc_b2_;
+  core::Parameter* dec_w1_;
+  core::Parameter* dec_b1_;
+  core::Parameter* dec_w2_;
+  core::Parameter* dec_b2_;
+  std::vector<core::Parameter*> codebooks_;
+  std::unique_ptr<core::AdamW> optimizer_;
+  bool codebooks_initialized_ = false;
+};
+
+}  // namespace lcrec::quant
+
+#endif  // LCREC_QUANT_RQVAE_H_

@@ -1,0 +1,76 @@
+#include "quant/sinkhorn.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace lcrec::quant {
+
+core::Tensor SinkhornKnopp(const core::Tensor& cost, double epsilon,
+                           int iterations) {
+  int64_t n = cost.rows(), k = cost.cols();
+  assert(n > 0 && k > 0);
+  // Work in double; shift costs per row for numerical stability.
+  std::vector<double> g(static_cast<size_t>(n * k));
+  for (int64_t i = 0; i < n; ++i) {
+    double row_min = cost.at(i * k);
+    for (int64_t j = 1; j < k; ++j)
+      row_min = std::min(row_min, static_cast<double>(cost.at(i * k + j)));
+    for (int64_t j = 0; j < k; ++j)
+      g[i * k + j] = std::exp(-(cost.at(i * k + j) - row_min) / epsilon);
+  }
+  std::vector<double> u(n, 1.0), v(k, 1.0);
+  double col_target = static_cast<double>(n) / static_cast<double>(k);
+  for (int it = 0; it < iterations; ++it) {
+    // Column scaling: sum_i u_i g_ik v_k = n/K.
+    for (int64_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (int64_t i = 0; i < n; ++i) s += u[i] * g[i * k + j];
+      v[j] = s > 1e-300 ? col_target / s : 0.0;
+    }
+    // Row scaling: sum_k u_i g_ik v_k = 1.
+    for (int64_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int64_t j = 0; j < k; ++j) s += g[i * k + j] * v[j];
+      u[i] = s > 1e-300 ? 1.0 / s : 0.0;
+    }
+  }
+  core::Tensor q({n, k});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < k; ++j)
+      q.at(i * k + j) = static_cast<float>(u[i] * g[i * k + j] * v[j]);
+  return q;
+}
+
+std::vector<int> BalancedAssign(const core::Tensor& plan, int capacity) {
+  int64_t n = plan.rows(), k = plan.cols();
+  assert(n <= k * static_cast<int64_t>(capacity));
+  struct Entry {
+    float weight;
+    int row;
+    int col;
+  };
+  std::vector<Entry> entries;
+  entries.reserve(static_cast<size_t>(n * k));
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < k; ++j)
+      entries.push_back({plan.at(i * k + j), static_cast<int>(i),
+                         static_cast<int>(j)});
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.weight > b.weight; });
+  std::vector<int> assignment(n, -1);
+  std::vector<int> load(k, 0);
+  int64_t assigned = 0;
+  for (const Entry& e : entries) {
+    if (assigned == n) break;
+    if (assignment[e.row] != -1 || load[e.col] >= capacity) continue;
+    assignment[e.row] = e.col;
+    ++load[e.col];
+    ++assigned;
+  }
+  assert(assigned == n);
+  return assignment;
+}
+
+}  // namespace lcrec::quant

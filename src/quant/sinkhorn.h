@@ -1,0 +1,30 @@
+#ifndef LCREC_QUANT_SINKHORN_H_
+#define LCREC_QUANT_SINKHORN_H_
+
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace lcrec::quant {
+
+/// Solves the entropy-regularized optimal-transport problem of Eq. (6):
+///
+///   min_Q  sum_{i,k} Q[i,k] * cost[i,k]
+///   s.t.   sum_k Q[i,k] = 1        (each residual fully assigned)
+///          sum_i Q[i,k] = n / K    (uniform codeword usage)
+///
+/// via the Sinkhorn-Knopp algorithm [Cuturi 2013]: Q = diag(u) G diag(v)
+/// with G = exp(-cost / epsilon), alternately scaling rows and columns.
+/// Returns the transport plan Q ([n, K], rows sum to 1).
+core::Tensor SinkhornKnopp(const core::Tensor& cost, double epsilon = 0.05,
+                           int iterations = 60);
+
+/// Converts a transport plan into a hard balanced assignment: processes
+/// (row, column) pairs by descending plan weight and gives each row its
+/// best still-available column, where each column can hold at most
+/// `capacity` rows. Requires n <= K * capacity.
+std::vector<int> BalancedAssign(const core::Tensor& plan, int capacity);
+
+}  // namespace lcrec::quant
+
+#endif  // LCREC_QUANT_SINKHORN_H_

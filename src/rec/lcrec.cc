@@ -1,0 +1,217 @@
+#include "rec/lcrec.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <limits>
+
+namespace lcrec::rec {
+
+LcRecConfig LcRecConfig::Small() {
+  LcRecConfig cfg;
+  cfg.text_embedding_dim = 48;
+  cfg.rqvae.input_dim = 48;
+  cfg.rqvae.hidden_dim = 64;
+  cfg.rqvae.latent_dim = 24;
+  cfg.rqvae.levels = 4;
+  cfg.rqvae.codebook_size = 48;
+  cfg.rqvae.epochs = 120;
+  cfg.llm.d_model = 32;
+  cfg.llm.n_heads = 4;
+  cfg.llm.n_layers = 2;
+  cfg.llm.d_ff = 96;
+  cfg.llm.max_seq = 96;
+  cfg.trainer.epochs = 16;
+  cfg.trainer.batch_size = 8;
+  cfg.trainer.learning_rate = 5e-3f;
+  cfg.instructions.max_history = 8;
+  cfg.instructions.seq_targets_per_user = 5;
+  return cfg;
+}
+
+LcRec::LcRec(const LcRecConfig& config) : config_(config) {}
+
+void LcRec::BuildIndexing(const data::Dataset& dataset) {
+  core::Rng rng(config_.seed + 3);
+  switch (config_.scheme) {
+    case quant::IndexScheme::kLcRec:
+    case quant::IndexScheme::kNoUsm: {
+      quant::RqVaeConfig vq = config_.rqvae;
+      vq.input_dim = config_.text_embedding_dim;
+      vq.seed = config_.seed + 1;
+      rqvae_ = std::make_unique<quant::RqVae>(vq);
+      rqvae_->Train(text_embeddings_);
+      indexing_ = quant::ItemIndexing::FromRqVae(
+          *rqvae_, text_embeddings_,
+          config_.scheme == quant::IndexScheme::kLcRec);
+      break;
+    }
+    case quant::IndexScheme::kRandom:
+      indexing_ = quant::ItemIndexing::Random(
+          dataset.num_items(), config_.rqvae.levels,
+          config_.rqvae.codebook_size, rng);
+      break;
+    case quant::IndexScheme::kVanillaId:
+      indexing_ = quant::ItemIndexing::VanillaId(dataset.num_items());
+      break;
+  }
+}
+
+void LcRec::Fit(const data::Dataset& dataset) {
+  dataset_ = &dataset;
+
+  // Step 1: item text embeddings (stand-in for frozen LLaMA encodings).
+  text::TextEncoder encoder(config_.text_embedding_dim, config_.seed);
+  std::vector<std::string> docs;
+  docs.reserve(dataset.num_items());
+  for (int i = 0; i < dataset.num_items(); ++i) {
+    docs.push_back(dataset.ItemDocument(i));
+  }
+  text_embeddings_ = encoder.EncodeBatch(docs);
+
+  // Step 2: item indices (Section III-B).
+  BuildIndexing(dataset);
+  trie_ = std::make_unique<quant::PrefixTrie>(indexing_);
+
+  // Step 3: vocabulary = language tokens + OOV index tokens.
+  vocab_ = text::Vocabulary();
+  builder_ = std::make_unique<tasks::InstructionBuilder>(
+      &dataset, &indexing_, &vocab_, config_.instructions);
+  builder_->RegisterVocabulary();
+
+  // Step 4: the LLM backbone over the extended vocabulary.
+  llm::MiniLlmConfig mc = config_.llm;
+  mc.vocab_size = vocab_.size();
+  mc.seed = config_.seed + 2;
+  model_ = std::make_unique<llm::MiniLlm>(mc);
+  token_map_ = std::make_unique<llm::IndexTokenMap>(indexing_, vocab_);
+
+  // Step 5: alignment tuning (Section III-C). Each epoch re-renders every
+  // example with a freshly sampled template (Section IV-A4).
+  llm::LlmTrainer trainer(model_.get(), config_.trainer);
+  core::Rng rng(config_.seed + 4);
+  std::vector<llm::TrainExample> probe =
+      builder_->BuildEpoch(config_.mixture, rng);
+  int64_t updates_per_epoch =
+      (static_cast<int64_t>(probe.size()) + config_.trainer.batch_size - 1) /
+      config_.trainer.batch_size;
+  trainer.SetTotalUpdates(updates_per_epoch * config_.trainer.epochs);
+  for (int epoch = 0; epoch < config_.trainer.epochs; ++epoch) {
+    std::vector<llm::TrainExample> examples =
+        epoch == 0 ? std::move(probe) : builder_->BuildEpoch(config_.mixture, rng);
+    float loss = trainer.TrainEpoch(examples);
+    if (config_.verbose) {
+      std::fprintf(stderr, "[lcrec %s] epoch %d/%d  %zu examples  loss %.4f\n",
+                   config_.mixture.Name().c_str(), epoch + 1,
+                   config_.trainer.epochs, examples.size(), loss);
+    }
+  }
+}
+
+std::vector<llm::ScoredItem> LcRec::TopK(const std::vector<int>& history,
+                                         int k) const {
+  assert(model_ != nullptr && "Fit() must run first");
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  std::vector<int> body = builder_->SeqPrompt(history);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  return llm::GenerateItems(*model_, prompt, *trie_, *token_map_,
+                            config_.beam_size, k);
+}
+
+std::vector<int> LcRec::TopKIds(const std::vector<int>& history, int k) const {
+  std::vector<int> ids;
+  for (const llm::ScoredItem& s : TopK(history, k)) ids.push_back(s.item);
+  return ids;
+}
+
+std::vector<llm::ScoredItem> LcRec::TopKFromIntention(
+    const std::string& intention, int k) const {
+  assert(model_ != nullptr);
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  std::vector<int> body = builder_->IntentionPrompt(intention);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  return llm::GenerateItems(*model_, prompt, *trie_, *token_map_,
+                            config_.beam_size, k);
+}
+
+std::vector<float> LcRec::ScoreAllItems(const std::vector<int>& history) const {
+  assert(dataset_ != nullptr);
+  std::vector<float> scores(static_cast<size_t>(dataset_->num_items()),
+                            -std::numeric_limits<float>::infinity());
+  for (const llm::ScoredItem& s : TopK(history, config_.beam_size)) {
+    scores[static_cast<size_t>(s.item)] = s.logprob;
+  }
+  return scores;
+}
+
+float LcRec::ScoreCandidate(const std::vector<int>& history, int item,
+                            bool by_title) const {
+  assert(model_ != nullptr);
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  std::vector<int> body = builder_->NextItemPrompt(history, by_title);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  std::vector<int> continuation = by_title
+                                      ? builder_->ItemTitleTokens(item)
+                                      : builder_->ItemIndexTokens(item);
+  float total = llm::ScoreContinuation(*model_, prompt, continuation);
+  return total / static_cast<float>(continuation.size());
+}
+
+std::string LcRec::GenerateTitleFromIndices(int item, int levels) const {
+  assert(model_ != nullptr);
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  std::vector<int> body = builder_->TitleOfItemPrompt(item, levels);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  std::vector<int> out =
+      llm::GenerateText(*model_, prompt, 12, text::Vocabulary::kEos);
+  return vocab_.Decode(out);
+}
+
+core::Tensor LcRec::IndexTokenEmbeddings() const {
+  assert(model_ != nullptr);
+  const core::Tensor& table = model_->TokenEmbeddings();
+  int d = model_->config().d_model;
+  std::vector<int> ids;
+  for (const std::string& tok : indexing_.AllTokenStrings()) {
+    ids.push_back(vocab_.Id(tok));
+  }
+  core::Tensor out({static_cast<int64_t>(ids.size()), d});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (int j = 0; j < d; ++j) {
+      out.at(static_cast<int64_t>(i) * d + j) =
+          table.at(static_cast<int64_t>(ids[i]) * d + j);
+    }
+  }
+  return out;
+}
+
+core::Tensor LcRec::TextTokenEmbeddings(int max_tokens) const {
+  assert(model_ != nullptr && dataset_ != nullptr);
+  const core::Tensor& table = model_->TokenEmbeddings();
+  int d = model_->config().d_model;
+  // Tokens appearing in item texts (titles + descriptions).
+  std::vector<int> ids;
+  std::vector<bool> seen(static_cast<size_t>(vocab_.size()), false);
+  for (int i = 0;
+       i < dataset_->num_items() && static_cast<int>(ids.size()) < max_tokens;
+       ++i) {
+    for (int id : vocab_.Encode(dataset_->ItemDocument(i))) {
+      if (id <= text::Vocabulary::kUnk || seen[static_cast<size_t>(id)]) {
+        continue;
+      }
+      seen[static_cast<size_t>(id)] = true;
+      ids.push_back(id);
+      if (static_cast<int>(ids.size()) >= max_tokens) break;
+    }
+  }
+  core::Tensor out({static_cast<int64_t>(ids.size()), d});
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (int j = 0; j < d; ++j) {
+      out.at(static_cast<int64_t>(i) * d + j) =
+          table.at(static_cast<int64_t>(ids[i]) * d + j);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcrec::rec

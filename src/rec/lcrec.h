@@ -1,0 +1,103 @@
+#ifndef LCREC_REC_LCREC_H_
+#define LCREC_REC_LCREC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "llm/generate.h"
+#include "llm/minillm.h"
+#include "llm/trainer.h"
+#include "quant/indexing.h"
+#include "quant/rqvae.h"
+#include "rec/recommender.h"
+#include "tasks/instructions.h"
+#include "text/encoder.h"
+#include "text/vocab.h"
+
+namespace lcrec::rec {
+
+/// End-to-end configuration of the LC-Rec system. The defaults are
+/// laptop-scale stand-ins for the paper's setting (LLaMA-7B, H=4 levels of
+/// 256 codes, beam 20); see DESIGN.md for the substitution rationale.
+struct LcRecConfig {
+  quant::IndexScheme scheme = quant::IndexScheme::kLcRec;
+  tasks::TaskMixture mixture = tasks::TaskMixture::All();
+  tasks::InstructionConfig instructions;
+  int text_embedding_dim = 48;
+  quant::RqVaeConfig rqvae;       // input_dim overwritten by Fit()
+  llm::MiniLlmConfig llm;         // vocab_size overwritten by Fit()
+  llm::TrainerOptions trainer;
+  int beam_size = 20;             // Section IV-A3: beam size 20
+  uint64_t seed = 77;
+  bool verbose = false;
+
+  /// A configuration sized for the bundled synthetic datasets.
+  static LcRecConfig Small();
+};
+
+/// The LC-Rec model (Figure 1): learned item indices (RQ-VAE + USM)
+/// integrated into an LLM vocabulary, tuned with the alignment-task
+/// mixture, generating recommendations by trie-constrained beam search.
+class LcRec : public ScoringRecommender {
+ public:
+  explicit LcRec(const LcRecConfig& config);
+
+  // ScoringRecommender interface (scores derived from the beam; items
+  // outside the beam get -inf). Prefer TopK for generative evaluation.
+  std::string name() const override { return "LC-Rec"; }
+  void Fit(const data::Dataset& dataset) override;
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override;
+
+  /// Top-k items from constrained beam search over the index trie.
+  std::vector<llm::ScoredItem> TopK(const std::vector<int>& history,
+                                    int k) const;
+  /// Ranked item ids (convenience for EvaluateGenerative).
+  std::vector<int> TopKIds(const std::vector<int>& history, int k) const;
+
+  /// Item retrieval from a free-text intention query (Figure 3).
+  std::vector<llm::ScoredItem> TopKFromIntention(const std::string& intention,
+                                                 int k) const;
+
+  /// Mean per-token log-likelihood of `item` as the next recommendation.
+  /// `by_title` scores the item's title instead of its indices — the
+  /// "LC-Rec (Title)" variant of Table V.
+  float ScoreCandidate(const std::vector<int>& history, int item,
+                       bool by_title) const;
+
+  /// Generates an item title conditioned on the first `levels` index
+  /// tokens of `item` (Figure 5a / Figure 6 case study).
+  std::string GenerateTitleFromIndices(int item, int levels) const;
+
+  /// Embeddings of all item-index tokens / of the catalog's text tokens,
+  /// for the PCA visualization of Figure 4.
+  core::Tensor IndexTokenEmbeddings() const;
+  core::Tensor TextTokenEmbeddings(int max_tokens = 400) const;
+
+  const quant::ItemIndexing& indexing() const { return indexing_; }
+  const llm::MiniLlm& model() const { return *model_; }
+  const text::Vocabulary& vocab() const { return vocab_; }
+  const tasks::InstructionBuilder& instructions() const { return *builder_; }
+  const core::Tensor& text_embeddings() const { return text_embeddings_; }
+  const LcRecConfig& config() const { return config_; }
+
+ private:
+  void BuildIndexing(const data::Dataset& dataset);
+
+  LcRecConfig config_;
+  const data::Dataset* dataset_ = nullptr;
+  core::Tensor text_embeddings_;
+  std::unique_ptr<quant::RqVae> rqvae_;
+  quant::ItemIndexing indexing_ = quant::ItemIndexing::VanillaId(1);
+  std::unique_ptr<quant::PrefixTrie> trie_;
+  text::Vocabulary vocab_;
+  std::unique_ptr<tasks::InstructionBuilder> builder_;
+  std::unique_ptr<llm::MiniLlm> model_;
+  std::unique_ptr<llm::IndexTokenMap> token_map_;
+};
+
+}  // namespace lcrec::rec
+
+#endif  // LCREC_REC_LCREC_H_

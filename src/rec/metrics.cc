@@ -1,0 +1,63 @@
+#include "rec/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace lcrec::rec {
+
+void RankingMetrics::AddRank(int rank) {
+  ++count;
+  if (rank < 0) return;
+  double gain = 1.0 / std::log2(static_cast<double>(rank) + 2.0);
+  if (rank < 1) hr1 += 1.0;
+  if (rank < 5) {
+    hr5 += 1.0;
+    ndcg5 += gain;
+  }
+  if (rank < 10) {
+    hr10 += 1.0;
+    ndcg10 += gain;
+  }
+}
+
+RankingMetrics RankingMetrics::Mean() const {
+  RankingMetrics m = *this;
+  if (count > 0) {
+    double inv = 1.0 / static_cast<double>(count);
+    m.hr1 *= inv;
+    m.hr5 *= inv;
+    m.hr10 *= inv;
+    m.ndcg5 *= inv;
+    m.ndcg10 *= inv;
+  }
+  return m;
+}
+
+std::string RankingMetrics::ToString() const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "HR@1 %.4f  HR@5 %.4f  HR@10 %.4f  NDCG@5 %.4f  NDCG@10 %.4f",
+                hr1, hr5, hr10, ndcg5, ndcg10);
+  return buf;
+}
+
+int RankOf(const std::vector<float>& scores, int target) {
+  float t = scores[static_cast<size_t>(target)];
+  int rank = 0;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    if (static_cast<int>(i) == target) continue;
+    if (scores[i] > t || (scores[i] == t && static_cast<int>(i) < target)) {
+      ++rank;
+    }
+  }
+  return rank;
+}
+
+int RankInList(const std::vector<int>& ranked, int target) {
+  for (size_t i = 0; i < ranked.size(); ++i) {
+    if (ranked[i] == target) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+}  // namespace lcrec::rec

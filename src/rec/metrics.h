@@ -1,0 +1,37 @@
+#ifndef LCREC_REC_METRICS_H_
+#define LCREC_REC_METRICS_H_
+
+#include <string>
+#include <vector>
+
+namespace lcrec::rec {
+
+/// Top-K ranking metrics of Section IV-A3: HR@{1,5,10} and NDCG@{5,10}.
+struct RankingMetrics {
+  double hr1 = 0.0;
+  double hr5 = 0.0;
+  double hr10 = 0.0;
+  double ndcg5 = 0.0;
+  double ndcg10 = 0.0;
+  int64_t count = 0;
+
+  /// Accumulates one evaluation instance given the 0-based rank of the
+  /// ground-truth item (negative = not ranked / outside the beam).
+  void AddRank(int rank);
+
+  /// Divides the accumulators by count, producing the mean metrics.
+  RankingMetrics Mean() const;
+
+  std::string ToString() const;
+};
+
+/// 0-based rank of `target` under descending `scores`; ties broken by
+/// item id (deterministic).
+int RankOf(const std::vector<float>& scores, int target);
+
+/// 0-based position of `target` in a ranked id list, or -1.
+int RankInList(const std::vector<int>& ranked, int target);
+
+}  // namespace lcrec::rec
+
+#endif  // LCREC_REC_METRICS_H_

@@ -1,0 +1,68 @@
+#include "rec/negatives.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/linalg.h"
+
+namespace lcrec::rec {
+
+std::vector<int> HardNegatives(const data::Dataset& dataset,
+                               const core::Tensor& item_embeddings) {
+  assert(item_embeddings.rows() == dataset.num_items());
+  core::Tensor sim = core::CosineSimilarity(item_embeddings, item_embeddings);
+  int n = dataset.num_items();
+  std::vector<int> negatives(static_cast<size_t>(dataset.num_users()));
+  for (int u = 0; u < dataset.num_users(); ++u) {
+    int target = dataset.TestTarget(u);
+    int best = -1;
+    float best_sim = -2.0f;
+    for (int j = 0; j < n; ++j) {
+      if (j == target) continue;
+      float s = sim.at(static_cast<int64_t>(target) * n + j);
+      if (s > best_sim) {
+        best_sim = s;
+        best = j;
+      }
+    }
+    negatives[static_cast<size_t>(u)] = best;
+  }
+  return negatives;
+}
+
+std::vector<int> RandomNegatives(const data::Dataset& dataset,
+                                 core::Rng& rng) {
+  std::vector<int> negatives(static_cast<size_t>(dataset.num_users()));
+  for (int u = 0; u < dataset.num_users(); ++u) {
+    int target = dataset.TestTarget(u);
+    int neg = target;
+    while (neg == target) {
+      neg = static_cast<int>(rng.Below(dataset.num_items()));
+    }
+    negatives[static_cast<size_t>(u)] = neg;
+  }
+  return negatives;
+}
+
+double PairwiseAccuracy(
+    const std::function<float(const std::vector<int>&, int)>& scorer,
+    const data::Dataset& dataset, const std::vector<int>& negatives,
+    int max_users) {
+  int users = dataset.num_users();
+  if (max_users > 0) users = std::min(users, max_users);
+  assert(static_cast<int>(negatives.size()) >= users);
+  double correct = 0.0;
+  for (int u = 0; u < users; ++u) {
+    std::vector<int> history = dataset.TestContext(u);
+    float pos = scorer(history, dataset.TestTarget(u));
+    float neg = scorer(history, negatives[static_cast<size_t>(u)]);
+    if (pos > neg) {
+      correct += 1.0;
+    } else if (pos == neg) {
+      correct += 0.5;
+    }
+  }
+  return users > 0 ? correct / users : 0.0;
+}
+
+}  // namespace lcrec::rec

@@ -1,0 +1,35 @@
+#ifndef LCREC_REC_NEGATIVES_H_
+#define LCREC_REC_NEGATIVES_H_
+
+#include <functional>
+#include <vector>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "data/dataset.h"
+
+namespace lcrec::rec {
+
+/// Per-user hard negatives for the Table V probe: for each user, the item
+/// most similar (cosine) to the test target under `item_embeddings`
+/// ([num_items, d]) that is not the target itself. With text embeddings
+/// this yields "language" negatives; with a trained SASRec's item
+/// embeddings, "collaborative" negatives.
+std::vector<int> HardNegatives(const data::Dataset& dataset,
+                               const core::Tensor& item_embeddings);
+
+/// Per-user uniformly random negatives (!= target).
+std::vector<int> RandomNegatives(const data::Dataset& dataset,
+                                 core::Rng& rng);
+
+/// Fraction of users for which `scorer(history, target)` exceeds
+/// `scorer(history, negative)` (ties count half). `max_users` <= 0
+/// evaluates everyone.
+double PairwiseAccuracy(
+    const std::function<float(const std::vector<int>&, int)>& scorer,
+    const data::Dataset& dataset, const std::vector<int>& negatives,
+    int max_users = -1);
+
+}  // namespace lcrec::rec
+
+#endif  // LCREC_REC_NEGATIVES_H_

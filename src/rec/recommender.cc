@@ -1,0 +1,32 @@
+#include "rec/recommender.h"
+
+#include <algorithm>
+
+namespace lcrec::rec {
+
+RankingMetrics EvaluateScoring(const ScoringRecommender& model,
+                               const data::Dataset& dataset, int max_users) {
+  RankingMetrics acc;
+  int users = dataset.num_users();
+  if (max_users > 0) users = std::min(users, max_users);
+  for (int u = 0; u < users; ++u) {
+    std::vector<float> scores = model.ScoreAllItems(dataset.TestContext(u));
+    acc.AddRank(RankOf(scores, dataset.TestTarget(u)));
+  }
+  return acc.Mean();
+}
+
+RankingMetrics EvaluateGenerative(
+    const std::function<std::vector<int>(const std::vector<int>&)>& top_items,
+    const data::Dataset& dataset, int max_users) {
+  RankingMetrics acc;
+  int users = dataset.num_users();
+  if (max_users > 0) users = std::min(users, max_users);
+  for (int u = 0; u < users; ++u) {
+    std::vector<int> ranked = top_items(dataset.TestContext(u));
+    acc.AddRank(RankInList(ranked, dataset.TestTarget(u)));
+  }
+  return acc.Mean();
+}
+
+}  // namespace lcrec::rec

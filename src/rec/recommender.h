@@ -1,0 +1,46 @@
+#ifndef LCREC_REC_RECOMMENDER_H_
+#define LCREC_REC_RECOMMENDER_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/tensor.h"
+#include "data/dataset.h"
+#include "rec/metrics.h"
+
+namespace lcrec::rec {
+
+/// Common interface of every score-based sequential recommender (all the
+/// Table III baselines). Fit() trains on the leave-one-out training split;
+/// ScoreAllItems() produces one score per catalog item for full ranking.
+class ScoringRecommender {
+ public:
+  virtual ~ScoringRecommender() = default;
+
+  virtual std::string name() const = 0;
+  virtual void Fit(const data::Dataset& dataset) = 0;
+  virtual std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const = 0;
+
+  /// Learned item embedding matrix if the model has one (used to build
+  /// the collaborative hard negatives of Table V); nullptr otherwise.
+  virtual const core::Tensor* ItemEmbeddings() const { return nullptr; }
+};
+
+/// Full-ranking evaluation of a scoring model over the test split.
+/// `max_users` bounds the evaluated users (<=0: all).
+RankingMetrics EvaluateScoring(const ScoringRecommender& model,
+                               const data::Dataset& dataset,
+                               int max_users = -1);
+
+/// Full-ranking evaluation of a generative model: `top_items` maps a test
+/// context to a ranked list of item ids (e.g. from constrained beam
+/// search); items absent from the list count as unranked.
+RankingMetrics EvaluateGenerative(
+    const std::function<std::vector<int>(const std::vector<int>&)>& top_items,
+    const data::Dataset& dataset, int max_users = -1);
+
+}  // namespace lcrec::rec
+
+#endif  // LCREC_REC_RECOMMENDER_H_

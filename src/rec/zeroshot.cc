@@ -1,0 +1,79 @@
+#include "rec/zeroshot.h"
+
+#include <algorithm>
+
+#include "llm/generate.h"
+#include "llm/trainer.h"
+
+namespace lcrec::rec {
+
+void ZeroShotLm::Fit(const data::Dataset& dataset) {
+  dataset_ = &dataset;
+  vocab_ = text::Vocabulary();
+  vocab_.AddToken("item");
+  vocab_.AddToken("description");
+  vocab_.AddToken("then");
+  vocab_.AddToken("next");
+  for (int i = 0; i < dataset.num_items(); ++i) {
+    for (const std::string& tok : text::Tokenize(dataset.ItemDocument(i))) {
+      vocab_.AddToken(tok);
+    }
+  }
+  llm::MiniLlmConfig cfg;
+  cfg.vocab_size = vocab_.size();
+  cfg.d_model = options_.d_model;
+  cfg.n_layers = options_.n_layers;
+  cfg.n_heads = options_.n_heads;
+  cfg.d_ff = options_.d_ff;
+  cfg.max_seq = options_.max_seq;
+  cfg.seed = options_.seed;
+  model_ = std::make_unique<llm::MiniLlm>(cfg);
+
+  std::vector<llm::TrainExample> examples;
+  for (int i = 0; i < dataset.num_items(); ++i) {
+    llm::TrainExample ex;
+    ex.task = "lm";
+    ex.prompt = vocab_.Encode("item " + dataset.item(i).title +
+                              " description");
+    ex.response = vocab_.Encode(dataset.item(i).description);
+    if (static_cast<int>(ex.response.size()) > 20) ex.response.resize(20);
+    examples.push_back(std::move(ex));
+  }
+  llm::TrainerOptions topt;
+  topt.epochs = options_.epochs;
+  topt.batch_size = 8;
+  topt.learning_rate = options_.learning_rate;
+  topt.seed = options_.seed + 1;
+  llm::LlmTrainer trainer(model_.get(), topt);
+  trainer.Train(examples);
+}
+
+float ZeroShotLm::ScoreCandidate(const std::vector<int>& history,
+                                 int item) const {
+  // Prompt: the last few history titles; continuation: candidate title.
+  std::string prompt_text;
+  int keep = std::min<int>(options_.max_history,
+                           static_cast<int>(history.size()));
+  for (int i = static_cast<int>(history.size()) - keep;
+       i < static_cast<int>(history.size()); ++i) {
+    prompt_text += "item " + dataset_->item(history[static_cast<size_t>(i)]).title + " then ";
+  }
+  prompt_text += "next item";
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  for (int id : vocab_.Encode(prompt_text)) prompt.push_back(id);
+  // Keep the prompt inside the context window.
+  int budget = options_.max_seq - 24;
+  if (static_cast<int>(prompt.size()) > budget) {
+    prompt.erase(prompt.begin() + 1,
+                 prompt.begin() + 1 + (static_cast<int>(prompt.size()) - budget));
+  }
+  std::vector<int> cont = vocab_.Encode(dataset_->item(item).title);
+  if (cont.empty()) return -1e9f;
+  if (static_cast<int>(prompt.size() + cont.size()) >= options_.max_seq) {
+    cont.resize(static_cast<size_t>(options_.max_seq - prompt.size() - 1));
+  }
+  float total = llm::ScoreContinuation(*model_, prompt, cont);
+  return total / static_cast<float>(cont.size());
+}
+
+}  // namespace lcrec::rec

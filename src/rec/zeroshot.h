@@ -1,0 +1,52 @@
+#ifndef LCREC_REC_ZEROSHOT_H_
+#define LCREC_REC_ZEROSHOT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "llm/minillm.h"
+#include "text/vocab.h"
+
+namespace lcrec::rec {
+
+/// A language-only LM standing in for the paper's zero-shot LLaMA/ChatGPT
+/// rows of Table V: it is pretrained on the item text corpus (so it knows
+/// the domain's language semantics) but never sees an interaction, a
+/// collaborative signal, or an index token. Candidates are scored by the
+/// mean log-likelihood of their title given a title-sequence prompt.
+class ZeroShotLm {
+ public:
+  struct Options {
+    int d_model = 32;
+    int n_layers = 2;
+    int n_heads = 4;
+    int d_ff = 96;
+    int max_seq = 96;
+    int epochs = 2;           // "LLaMA" = 2, "ChatGPT" = larger budget
+    float learning_rate = 3e-3f;
+    int max_history = 5;
+    uint64_t seed = 101;
+  };
+
+  explicit ZeroShotLm(const Options& options) : options_(options) {}
+
+  /// Pretrains on title -> description language modelling over the
+  /// catalog (no interactions).
+  void Fit(const data::Dataset& dataset);
+
+  /// Mean per-token log-likelihood of the candidate's title following a
+  /// prompt that lists the user's history titles.
+  float ScoreCandidate(const std::vector<int>& history, int item) const;
+
+ private:
+  Options options_;
+  const data::Dataset* dataset_ = nullptr;
+  text::Vocabulary vocab_;
+  std::unique_ptr<llm::MiniLlm> model_;
+};
+
+}  // namespace lcrec::rec
+
+#endif  // LCREC_REC_ZEROSHOT_H_

@@ -1,0 +1,387 @@
+#include "tasks/instructions.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace lcrec::tasks {
+
+namespace {
+
+/// Template pools. Placeholders: {hist} {titles} {title} {desc} {query}
+/// are substituted by the builders; index tokens survive tokenization.
+const std::vector<std::string>& SeqTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "user history : {hist} . recommend the next item",
+      "here are the user's historical interactions : {hist} . try to "
+      "recommend another item to the user",
+      "the user interacted with {hist} in order . predict the next item",
+      "given interactions {hist} , what item comes next",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& MutToIndexTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "an item is called {title} and described as {desc} . which item is it",
+      "which item has the title {title} and description {desc}",
+      "identify the item named {title} . {desc}",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& MutToItemTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "please tell me the title of item {item}",
+      "what is item {item} called",
+      "give the name of the item {item}",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& AsyTitleTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "based on the user's interactions {hist} , predict the title of the "
+      "next item",
+      "history {hist} . name the item the user may need next",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& AsyDescTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "here is the interaction history {hist} . what features does the user "
+      "expect from the next item",
+      "history {hist} . describe the features of the next item",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& AsyTitleHistTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "given the title sequence {titles} , recommend a suitable next item",
+      "the user bought {titles} . predict the next item",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& IteQueryTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "suppose you are a search engine . a user searches {query} . select "
+      "an item for the query",
+      "a user wants {query} . respond with an item",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& IteHistTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "the user interacted with {hist} and now wants {query} . recommend an "
+      "item meeting these criteria",
+      "history {hist} . the user desires {query} . pick an item",
+  };
+  return kTemplates;
+}
+
+const std::vector<std::string>& PerTemplates() {
+  static const std::vector<std::string> kTemplates = {
+      "estimate the user's preferences from the history {hist}",
+      "using the interactions {hist} , describe what the user prefers",
+  };
+  return kTemplates;
+}
+
+std::string Substitute(std::string tmpl, const std::string& key,
+                       const std::string& value) {
+  size_t pos;
+  while ((pos = tmpl.find(key)) != std::string::npos) {
+    tmpl.replace(pos, key.size(), value);
+  }
+  return tmpl;
+}
+
+std::string Pick(const std::vector<std::string>& pool, core::Rng& rng) {
+  return pool[static_cast<size_t>(rng.Below(pool.size()))];
+}
+
+}  // namespace
+
+std::string TaskMixture::Name() const {
+  if (!mut && !asy && !ite && !per) return "SEQ";
+  std::string name = "SEQ";
+  if (mut) name += "+MUT";
+  if (asy) name += "+ASY";
+  if (ite) name += "+ITE";
+  if (per) name += "+PER";
+  return name;
+}
+
+InstructionBuilder::InstructionBuilder(const data::Dataset* dataset,
+                                       const quant::ItemIndexing* indexing,
+                                       text::Vocabulary* vocab,
+                                       const InstructionConfig& config)
+    : dataset_(dataset), indexing_(indexing), vocab_(vocab), config_(config) {}
+
+void InstructionBuilder::RegisterVocabulary() {
+  auto add_all = [&](const std::string& s) {
+    for (const std::string& tok : text::Tokenize(s)) vocab_->AddToken(tok);
+  };
+  for (const auto& pool :
+       {SeqTemplates(), MutToIndexTemplates(), MutToItemTemplates(),
+        AsyTitleTemplates(), AsyDescTemplates(), AsyTitleHistTemplates(),
+        IteQueryTemplates(), IteHistTemplates(), PerTemplates()}) {
+    for (const std::string& t : pool) add_all(t);
+  }
+  core::Rng rng(99);
+  for (int i = 0; i < dataset_->num_items(); ++i) {
+    add_all(dataset_->ItemDocument(i));
+    // Sample the stochastic generators a few times so every lead/connector
+    // word in their pools is registered.
+    for (int r = 0; r < 4; ++r) {
+      add_all(dataset_->IntentionFor(i, rng));
+      add_all(dataset_->ReviewFor(i, rng));
+    }
+  }
+  for (int u = 0; u < std::min(dataset_->num_users(), 64); ++u) {
+    add_all(dataset_->PreferenceSummary(dataset_->TrainItems(u), rng));
+  }
+  for (const std::string& tok : indexing_->AllTokenStrings()) {
+    vocab_->AddToken(tok);
+  }
+}
+
+std::vector<int> InstructionBuilder::Encode(const std::string& s) const {
+  return vocab_->Encode(s);
+}
+
+std::vector<int> InstructionBuilder::EncodeResponse(const std::string& s) const {
+  std::vector<int> ids = vocab_->Encode(s);
+  if (static_cast<int>(ids.size()) > config_.max_text_response) {
+    ids.resize(config_.max_text_response);
+  }
+  return ids;
+}
+
+std::vector<int> InstructionBuilder::ClampHistory(
+    const std::vector<int>& history) const {
+  int keep = std::min<int>(config_.max_history,
+                           static_cast<int>(history.size()));
+  return std::vector<int>(history.end() - keep, history.end());
+}
+
+std::string InstructionBuilder::HistoryIndexText(
+    const std::vector<int>& history) const {
+  std::string out;
+  for (int item : ClampHistory(history)) out += indexing_->ItemTokenText(item);
+  return out;
+}
+
+std::string InstructionBuilder::HistoryTitleText(
+    const std::vector<int>& history) const {
+  std::string out;
+  bool first = true;
+  for (int item : ClampHistory(history)) {
+    if (!first) out += " , ";
+    out += dataset_->item(item).title;
+    first = false;
+  }
+  return out;
+}
+
+std::vector<int> InstructionBuilder::ItemIndexTokens(int item) const {
+  std::vector<int> ids;
+  for (const std::string& tok : indexing_->ItemTokens(item)) {
+    assert(vocab_->Contains(tok));
+    ids.push_back(vocab_->Id(tok));
+  }
+  return ids;
+}
+
+std::vector<int> InstructionBuilder::ItemTitleTokens(int item) const {
+  return EncodeResponse(dataset_->item(item).title);
+}
+
+llm::TrainExample InstructionBuilder::SeqExample(
+    const std::vector<int>& history, int target, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "seq";
+  ex.prompt = Encode(Substitute(Pick(SeqTemplates(), rng), "{hist}",
+                                HistoryIndexText(history)));
+  ex.response = ItemIndexTokens(target);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::MutItemToIndexExample(
+    int item, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "mut";
+  std::string t = Pick(MutToIndexTemplates(), rng);
+  t = Substitute(t, "{title}", dataset_->item(item).title);
+  t = Substitute(t, "{desc}", dataset_->item(item).description);
+  ex.prompt = Encode(t);
+  ex.response = ItemIndexTokens(item);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::MutIndexToItemExample(
+    int item, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "mut";
+  ex.prompt = Encode(Substitute(Pick(MutToItemTemplates(), rng), "{item}",
+                                indexing_->ItemTokenText(item)));
+  ex.response = ItemTitleTokens(item);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::AsyTitleExample(
+    const std::vector<int>& history, int target, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "asy";
+  ex.prompt = Encode(Substitute(Pick(AsyTitleTemplates(), rng), "{hist}",
+                                HistoryIndexText(history)));
+  ex.response = ItemTitleTokens(target);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::AsyDescriptionExample(
+    const std::vector<int>& history, int target, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "asy";
+  ex.prompt = Encode(Substitute(Pick(AsyDescTemplates(), rng), "{hist}",
+                                HistoryIndexText(history)));
+  ex.response = EncodeResponse(dataset_->item(target).description);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::AsyTitleHistoryExample(
+    const std::vector<int>& history, int target, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "asy";
+  ex.prompt = Encode(Substitute(Pick(AsyTitleHistTemplates(), rng), "{titles}",
+                                HistoryTitleText(history)));
+  ex.response = ItemIndexTokens(target);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::IteQueryExample(int target,
+                                                      core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "ite";
+  ex.prompt = Encode(Substitute(Pick(IteQueryTemplates(), rng), "{query}",
+                                dataset_->IntentionFor(target, rng)));
+  ex.response = ItemIndexTokens(target);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::IteHistoryExample(
+    const std::vector<int>& history, int target, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "ite";
+  std::string t = Pick(IteHistTemplates(), rng);
+  t = Substitute(t, "{hist}", HistoryIndexText(history));
+  t = Substitute(t, "{query}", dataset_->IntentionFor(target, rng));
+  ex.prompt = Encode(t);
+  ex.response = ItemIndexTokens(target);
+  return ex;
+}
+
+llm::TrainExample InstructionBuilder::PerExample(
+    const std::vector<int>& history, core::Rng& rng) const {
+  llm::TrainExample ex;
+  ex.task = "per";
+  ex.prompt = Encode(Substitute(Pick(PerTemplates(), rng), "{hist}",
+                                HistoryIndexText(history)));
+  ex.response = EncodeResponse(dataset_->PreferenceSummary(
+      ClampHistory(history), rng));
+  return ex;
+}
+
+std::vector<llm::TrainExample> InstructionBuilder::BuildEpoch(
+    const TaskMixture& mixture, core::Rng& rng) const {
+  std::vector<llm::TrainExample> out;
+  const int users = dataset_->num_users();
+  for (int u = 0; u < users; ++u) {
+    std::vector<int> items = dataset_->TrainItems(u);
+    int len = static_cast<int>(items.size());
+    if (mixture.seq) {
+      // The final training position is always included; earlier positions
+      // are sampled to bound the epoch size.
+      std::vector<int> positions;
+      positions.push_back(len - 1);
+      for (int s = 0; s < config_.seq_targets_per_user - 1 && len > 2; ++s) {
+        positions.push_back(1 + static_cast<int>(rng.Below(len - 1)));
+      }
+      std::sort(positions.begin(), positions.end());
+      positions.erase(std::unique(positions.begin(), positions.end()),
+                      positions.end());
+      for (int pos : positions) {
+        std::vector<int> hist(items.begin(), items.begin() + pos);
+        out.push_back(SeqExample(hist, items[pos], rng));
+      }
+    }
+    if (mixture.asy && len >= 2) {
+      std::vector<int> hist(items.begin(), items.end() - 1);
+      int target = items.back();
+      switch (rng.Below(3)) {
+        case 0: out.push_back(AsyTitleExample(hist, target, rng)); break;
+        case 1: out.push_back(AsyDescriptionExample(hist, target, rng)); break;
+        default: out.push_back(AsyTitleHistoryExample(hist, target, rng));
+      }
+    }
+    if (mixture.ite && len >= 2) {
+      std::vector<int> hist(items.begin(), items.end() - 1);
+      int target = items.back();
+      if (rng.Bernoulli(0.5)) {
+        out.push_back(IteQueryExample(target, rng));
+      } else {
+        out.push_back(IteHistoryExample(hist, target, rng));
+      }
+    }
+    if (mixture.per) {
+      out.push_back(PerExample(items, rng));
+    }
+  }
+  if (mixture.mut) {
+    for (int item = 0; item < dataset_->num_items(); ++item) {
+      if (rng.Bernoulli(0.5)) {
+        out.push_back(MutItemToIndexExample(item, rng));
+      } else {
+        out.push_back(MutIndexToItemExample(item, rng));
+      }
+    }
+  }
+  rng.Shuffle(out);
+  return out;
+}
+
+std::vector<int> InstructionBuilder::SeqPrompt(
+    const std::vector<int>& history) const {
+  return Encode(Substitute(SeqTemplates()[0], "{hist}",
+                           HistoryIndexText(history)));
+}
+
+std::vector<int> InstructionBuilder::IntentionPrompt(
+    const std::string& intention) const {
+  return Encode(Substitute(IteQueryTemplates()[0], "{query}", intention));
+}
+
+std::vector<int> InstructionBuilder::TitleOfItemPrompt(int item,
+                                                       int levels) const {
+  const auto& codes = indexing_->codes(item);
+  int keep = std::min<int>(levels, static_cast<int>(codes.size()));
+  std::string prefix;
+  for (int h = 0; h < keep; ++h) {
+    prefix += quant::ItemIndexing::TokenString(h, codes[h]);
+  }
+  return Encode(Substitute(MutToItemTemplates()[0], "{item}", prefix));
+}
+
+std::vector<int> InstructionBuilder::NextItemPrompt(
+    const std::vector<int>& history, bool titles) const {
+  if (titles) {
+    return Encode(Substitute(AsyTitleHistTemplates()[0], "{titles}",
+                             HistoryTitleText(history)));
+  }
+  return SeqPrompt(history);
+}
+
+}  // namespace lcrec::tasks

@@ -1,0 +1,122 @@
+#ifndef LCREC_TASKS_INSTRUCTIONS_H_
+#define LCREC_TASKS_INSTRUCTIONS_H_
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "llm/trainer.h"
+#include "quant/indexing.h"
+#include "text/vocab.h"
+
+namespace lcrec::tasks {
+
+/// Which alignment tasks participate in the tuning mixture. The five
+/// flags correspond to the rows of Table IV: SEQ, +MUT, +ASY, +ITE, +PER.
+struct TaskMixture {
+  bool seq = true;   // III-C1  sequential item prediction
+  bool mut = false;  // III-C2  explicit index<->language alignment
+  bool asy = false;  // III-C3a asymmetric item prediction
+  bool ite = false;  // III-C3b item prediction from user intention
+  bool per = false;  // III-C3c personalized preference inference
+
+  static TaskMixture SeqOnly() { return TaskMixture{}; }
+  static TaskMixture All() { return TaskMixture{true, true, true, true, true}; }
+  std::string Name() const;
+};
+
+struct InstructionConfig {
+  int max_history = 10;       // items rendered into a history prompt
+  int seq_targets_per_user = 3;  // sampled SEQ positions per user per epoch
+  int max_text_response = 14;    // cap on text-response token count
+};
+
+/// Renders instruction-tuning examples for every task of Section III-C and
+/// the evaluation prompts, and owns the shared vocabulary registration.
+///
+/// Section III-D1 / IV-A4 sampling rule: each task has several templates;
+/// within an epoch every example is rendered with exactly one randomly
+/// sampled template ("a single data is combined with one sampled
+/// instruction template and appears only once").
+class InstructionBuilder {
+ public:
+  InstructionBuilder(const data::Dataset* dataset,
+                     const quant::ItemIndexing* indexing,
+                     text::Vocabulary* vocab,
+                     const InstructionConfig& config = {});
+
+  /// Registers every template word, catalog word, generator word and item
+  /// index token in the vocabulary. Must run before the LLM is built.
+  void RegisterVocabulary();
+
+  /// Builds one epoch of examples under the mixture, freshly sampling
+  /// templates (and stochastic text) each call.
+  std::vector<llm::TrainExample> BuildEpoch(const TaskMixture& mixture,
+                                            core::Rng& rng) const;
+
+  // --- Per-task example builders (also used directly by tests) -----------
+
+  /// SEQ: index history -> next item indices.
+  llm::TrainExample SeqExample(const std::vector<int>& history, int target,
+                               core::Rng& rng) const;
+  /// MUT forward: title/description -> indices.
+  llm::TrainExample MutItemToIndexExample(int item, core::Rng& rng) const;
+  /// MUT backward: indices -> title.
+  llm::TrainExample MutIndexToItemExample(int item, core::Rng& rng) const;
+  /// ASY 1: index history -> target title.
+  llm::TrainExample AsyTitleExample(const std::vector<int>& history,
+                                    int target, core::Rng& rng) const;
+  /// ASY 2: index history -> expected item description/features.
+  llm::TrainExample AsyDescriptionExample(const std::vector<int>& history,
+                                          int target, core::Rng& rng) const;
+  /// ASY 3: title history -> target indices.
+  llm::TrainExample AsyTitleHistoryExample(const std::vector<int>& history,
+                                           int target, core::Rng& rng) const;
+  /// ITE 1: instant intention query -> indices.
+  llm::TrainExample IteQueryExample(int target, core::Rng& rng) const;
+  /// ITE 2: history + intention -> indices.
+  llm::TrainExample IteHistoryExample(const std::vector<int>& history,
+                                      int target, core::Rng& rng) const;
+  /// PER: index history -> preference summary text.
+  llm::TrainExample PerExample(const std::vector<int>& history,
+                               core::Rng& rng) const;
+
+  // --- Evaluation prompts --------------------------------------------------
+
+  /// Canonical SEQ prompt for full-ranking evaluation.
+  std::vector<int> SeqPrompt(const std::vector<int>& history) const;
+  /// Intention-retrieval prompt (Figure 3).
+  std::vector<int> IntentionPrompt(const std::string& intention) const;
+  /// "what is the title of item {indices}" prompt, truncated to the first
+  /// `levels` index tokens (Figure 5a / Figure 6 case study).
+  std::vector<int> TitleOfItemPrompt(int item, int levels) const;
+  /// Ranking prompt asking to pick the next item; candidates appended by
+  /// the Table V probe via ScoreContinuation.
+  std::vector<int> NextItemPrompt(const std::vector<int>& history,
+                                  bool titles) const;
+
+  /// Index token ids of an item (the generation target).
+  std::vector<int> ItemIndexTokens(int item) const;
+  /// Title token ids of an item.
+  std::vector<int> ItemTitleTokens(int item) const;
+
+  const text::Vocabulary& vocab() const { return *vocab_; }
+  const InstructionConfig& config() const { return config_; }
+
+ private:
+  std::string HistoryIndexText(const std::vector<int>& history) const;
+  std::string HistoryTitleText(const std::vector<int>& history) const;
+  std::vector<int> Encode(const std::string& s) const;
+  std::vector<int> EncodeResponse(const std::string& s) const;
+  std::vector<int> ClampHistory(const std::vector<int>& history) const;
+
+  const data::Dataset* dataset_;
+  const quant::ItemIndexing* indexing_;
+  text::Vocabulary* vocab_;
+  InstructionConfig config_;
+};
+
+}  // namespace lcrec::tasks
+
+#endif  // LCREC_TASKS_INSTRUCTIONS_H_

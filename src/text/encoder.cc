@@ -1,0 +1,64 @@
+#include "text/encoder.h"
+
+#include <cmath>
+#include <unordered_map>
+
+#include "core/rng.h"
+#include "text/vocab.h"
+
+namespace lcrec::text {
+
+namespace {
+uint64_t HashString(const std::string& s, uint64_t seed) {
+  // FNV-1a with seed mixing.
+  uint64_t h = 1469598103934665603ull ^ (seed * 0x9E3779B97F4A7C15ull);
+  for (char c : s) {
+    h ^= static_cast<uint64_t>(static_cast<unsigned char>(c));
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+}  // namespace
+
+TextEncoder::TextEncoder(int dim, uint64_t seed) : dim_(dim), seed_(seed) {}
+
+core::Tensor TextEncoder::WordVector(const std::string& word) const {
+  auto it = cache_.find(word);
+  if (it != cache_.end()) return it->second;
+  core::Rng rng(HashString(word, seed_));
+  core::Tensor v = rng.GaussianTensor({dim_}, 1.0);
+  cache_.emplace(word, v);
+  return v;
+}
+
+core::Tensor TextEncoder::Encode(const std::string& doc) const {
+  std::vector<std::string> words = Tokenize(doc);
+  core::Tensor out({dim_});
+  if (words.empty()) return out;
+  // Damped term frequency: each word contributes sqrt(count) times its
+  // unit direction, which keeps highly repeated words from dominating.
+  std::unordered_map<std::string, int> counts;
+  for (const std::string& w : words) ++counts[w];
+  for (const auto& [w, c] : counts) {
+    core::Tensor v = WordVector(w);
+    float weight = std::sqrt(static_cast<float>(c));
+    out.Axpy(weight, v);
+  }
+  float norm = std::sqrt(out.SquaredNorm());
+  if (norm > 1e-12f) {
+    for (int64_t i = 0; i < out.size(); ++i) out.at(i) /= norm;
+  }
+  return out;
+}
+
+core::Tensor TextEncoder::EncodeBatch(const std::vector<std::string>& docs) const {
+  core::Tensor out({static_cast<int64_t>(docs.size()), dim_});
+  for (size_t i = 0; i < docs.size(); ++i) {
+    core::Tensor e = Encode(docs[i]);
+    for (int j = 0; j < dim_; ++j)
+      out.at(static_cast<int64_t>(i) * dim_ + j) = e.at(j);
+  }
+  return out;
+}
+
+}  // namespace lcrec::text

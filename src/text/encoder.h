@@ -1,0 +1,45 @@
+#ifndef LCREC_TEXT_ENCODER_H_
+#define LCREC_TEXT_ENCODER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/tensor.h"
+
+namespace lcrec::text {
+
+/// Deterministic text-embedding model standing in for the frozen LLaMA
+/// encoder used by the paper to embed item titles + descriptions
+/// (Section IV-A4: "utilize LLaMA to encode the title and description of
+/// the item ... and use mean pooling").
+///
+/// Each distinct word is assigned a fixed Gaussian vector from a hash-
+/// seeded RNG; a document embedding is the tf-damped mean of its word
+/// vectors, L2-normalized. Documents that share many words (items in the
+/// same synthetic category/platform) therefore land close together, which
+/// is the only property the downstream RQ-VAE relies on.
+class TextEncoder {
+ public:
+  /// `dim` is the output embedding size; `seed` fixes all word vectors.
+  explicit TextEncoder(int dim = 64, uint64_t seed = 1234);
+
+  /// Embeds a document (title + description concatenation).
+  core::Tensor Encode(const std::string& doc) const;
+
+  /// Embeds a batch of documents into a [n, dim] matrix.
+  core::Tensor EncodeBatch(const std::vector<std::string>& docs) const;
+
+  int dim() const { return dim_; }
+
+ private:
+  core::Tensor WordVector(const std::string& word) const;
+
+  int dim_;
+  uint64_t seed_;
+  mutable std::unordered_map<std::string, core::Tensor> cache_;
+};
+
+}  // namespace lcrec::text
+
+#endif  // LCREC_TEXT_ENCODER_H_

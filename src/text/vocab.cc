@@ -1,0 +1,83 @@
+#include "text/vocab.h"
+
+#include <cctype>
+
+namespace lcrec::text {
+
+std::vector<std::string> Tokenize(const std::string& s) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < s.size()) {
+    char c = s[i];
+    if (c == '<') {
+      // Angle-bracketed span: scan to the matching '>'.
+      size_t j = s.find('>', i);
+      if (j != std::string::npos) {
+        out.push_back(s.substr(i, j - i + 1));
+        i = j + 1;
+        continue;
+      }
+      ++i;
+      continue;
+    }
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      size_t j = i;
+      std::string word;
+      while (j < s.size() &&
+             (std::isalnum(static_cast<unsigned char>(s[j])) || s[j] == '\'')) {
+        word.push_back(static_cast<char>(
+            std::tolower(static_cast<unsigned char>(s[j]))));
+        ++j;
+      }
+      out.push_back(std::move(word));
+      i = j;
+      continue;
+    }
+    ++i;  // punctuation / whitespace
+  }
+  return out;
+}
+
+Vocabulary::Vocabulary() {
+  AddToken("<pad>");
+  AddToken("<bos>");
+  AddToken("<eos>");
+  AddToken("<unk>");
+}
+
+int Vocabulary::AddToken(const std::string& token) {
+  auto it = index_.find(token);
+  if (it != index_.end()) return it->second;
+  int id = static_cast<int>(tokens_.size());
+  tokens_.push_back(token);
+  index_.emplace(token, id);
+  return id;
+}
+
+int Vocabulary::Id(const std::string& token) const {
+  auto it = index_.find(token);
+  return it == index_.end() ? kUnk : it->second;
+}
+
+bool Vocabulary::Contains(const std::string& token) const {
+  return index_.count(token) > 0;
+}
+
+std::vector<int> Vocabulary::Encode(const std::string& s) const {
+  std::vector<int> ids;
+  for (const std::string& tok : Tokenize(s)) ids.push_back(Id(tok));
+  return ids;
+}
+
+std::string Vocabulary::Decode(const std::vector<int>& ids) const {
+  std::string out;
+  for (int id : ids) {
+    if (id == kPad || id == kBos || id == kEos) continue;
+    if (id < 0 || id >= size()) continue;
+    if (!out.empty()) out.push_back(' ');
+    out += tokens_[id];
+  }
+  return out;
+}
+
+}  // namespace lcrec::text

@@ -1,0 +1,53 @@
+#ifndef LCREC_TEXT_VOCAB_H_
+#define LCREC_TEXT_VOCAB_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace lcrec::text {
+
+/// Word-level tokenizer. Lowercases, splits on whitespace/punctuation, and
+/// keeps angle-bracketed spans such as "<a_12>" intact as single tokens so
+/// item-index tokens survive tokenization (Section III-C uses tokens like
+/// <a_124><b_192>... inside natural-language instructions).
+std::vector<std::string> Tokenize(const std::string& s);
+
+/// Token vocabulary with reserved special tokens. Item-index tokens are
+/// appended with AddToken after the text vocabulary is built, mirroring
+/// how LC-Rec appends OOV index tokens to the LLaMA tokenizer.
+class Vocabulary {
+ public:
+  static constexpr int kPad = 0;
+  static constexpr int kBos = 1;
+  static constexpr int kEos = 2;
+  static constexpr int kUnk = 3;
+
+  Vocabulary();
+
+  /// Adds a token if absent; returns its id either way.
+  int AddToken(const std::string& token);
+
+  /// Id of a token, or kUnk if absent.
+  int Id(const std::string& token) const;
+
+  bool Contains(const std::string& token) const;
+
+  const std::string& TokenOf(int id) const { return tokens_.at(id); }
+
+  int size() const { return static_cast<int>(tokens_.size()); }
+
+  /// Encodes text into token ids (without bos/eos).
+  std::vector<int> Encode(const std::string& s) const;
+
+  /// Decodes ids into a space-joined string, skipping pad/bos/eos.
+  std::string Decode(const std::vector<int>& ids) const;
+
+ private:
+  std::vector<std::string> tokens_;
+  std::unordered_map<std::string, int> index_;
+};
+
+}  // namespace lcrec::text
+
+#endif  // LCREC_TEXT_VOCAB_H_

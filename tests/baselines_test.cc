@@ -1,0 +1,153 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/bert4rec.h"
+#include "baselines/caser.h"
+#include "baselines/dssm.h"
+#include "baselines/fdsa.h"
+#include "baselines/fmlp.h"
+#include "baselines/gru4rec.h"
+#include "baselines/hgn.h"
+#include "baselines/s3rec.h"
+#include "baselines/sasrec.h"
+#include "baselines/tiger.h"
+#include "rec/metrics.h"
+#include "rec/recommender.h"
+
+namespace lcrec::baselines {
+namespace {
+
+/// Shared tiny dataset for all learning-sanity tests.
+const data::Dataset& TinyData() {
+  static const data::Dataset* d =
+      new data::Dataset(data::Dataset::Make(data::Domain::kGames, 0.2, 41));
+  return *d;
+}
+
+BaselineConfig QuickConfig() {
+  BaselineConfig cfg;
+  cfg.d_model = 32;
+  cfg.d_ff = 64;
+  cfg.epochs = 12;
+  cfg.seed = 7;
+  return cfg;
+}
+
+/// A baseline "learns" if its HR@10 clearly beats random full ranking.
+void ExpectLearns(rec::ScoringRecommender& model, double factor = 2.0) {
+  const data::Dataset& d = TinyData();
+  model.Fit(d);
+  rec::RankingMetrics m = rec::EvaluateScoring(model, d, 80);
+  double random_hr10 = 10.0 / d.num_items();
+  EXPECT_GT(m.hr10, random_hr10 * factor)
+      << model.name() << " HR@10=" << m.hr10 << " random=" << random_hr10;
+  // Scores must cover the whole catalog.
+  auto scores = model.ScoreAllItems(d.TestContext(0));
+  EXPECT_EQ(static_cast<int>(scores.size()), d.num_items());
+}
+
+TEST(Baselines, Gru4RecLearns) {
+  Gru4Rec m(QuickConfig());
+  ExpectLearns(m);
+}
+
+TEST(Baselines, SasRecLearns) {
+  SasRec m(QuickConfig());
+  ExpectLearns(m);
+}
+
+TEST(Baselines, Bert4RecLearns) {
+  Bert4Rec m(QuickConfig());
+  ExpectLearns(m);
+}
+
+TEST(Baselines, CaserLearns) {
+  Caser m(QuickConfig());
+  ExpectLearns(m, 1.5);
+}
+
+TEST(Baselines, HgnLearns) {
+  Hgn m(QuickConfig());
+  ExpectLearns(m, 1.5);
+}
+
+TEST(Baselines, FmlpLearns) {
+  FmlpRec m(QuickConfig());
+  ExpectLearns(m, 1.5);
+}
+
+TEST(Baselines, FdsaLearns) {
+  Fdsa m(QuickConfig());
+  ExpectLearns(m);
+}
+
+TEST(Baselines, S3RecLearns) {
+  BaselineConfig cfg = QuickConfig();
+  S3Rec m(cfg, /*pretrain_epochs=*/4);
+  ExpectLearns(m);
+}
+
+TEST(Baselines, SasRecExposesItemEmbeddings) {
+  SasRec m(QuickConfig());
+  m.Fit(TinyData());
+  const core::Tensor* emb = m.ItemEmbeddings();
+  ASSERT_NE(emb, nullptr);
+  EXPECT_EQ(emb->rows(), TinyData().num_items());
+}
+
+TEST(Baselines, TigerLearnsAndGeneratesValidItems) {
+  Tiger::Options opt;
+  opt.epochs = 8;
+  opt.rqvae_epochs = 60;
+  Tiger m(opt);
+  const data::Dataset& d = TinyData();
+  m.Fit(d);
+  EXPECT_EQ(m.name(), "TIGER");
+  auto ids = m.TopKIds(d.TestContext(0), 10);
+  ASSERT_FALSE(ids.empty());
+  for (int id : ids) {
+    EXPECT_GE(id, 0);
+    EXPECT_LT(id, d.num_items());
+  }
+  rec::RankingMetrics metrics = rec::EvaluateGenerative(
+      [&](const std::vector<int>& h) { return m.TopKIds(h, 10); }, d, 60);
+  EXPECT_GT(metrics.hr10, 10.0 / d.num_items());
+}
+
+TEST(Baselines, P5CidUsesCollaborativeIndices) {
+  Tiger::Options opt;
+  opt.source = Tiger::IndexSource::kCollaborative;
+  opt.epochs = 6;
+  opt.rqvae_epochs = 60;
+  Tiger m(opt);
+  const data::Dataset& d = TinyData();
+  m.Fit(d);
+  EXPECT_EQ(m.name(), "P5-CID");
+  EXPECT_EQ(m.indexing().num_items(), d.num_items());
+  EXPECT_EQ(m.indexing().ConflictCount(), 0);
+  auto ids = m.TopKIds(d.TestContext(1), 5);
+  EXPECT_FALSE(ids.empty());
+}
+
+TEST(Baselines, DssmRetrievesIntendedItems) {
+  Dssm::Options opt;
+  opt.epochs = 15;
+  Dssm m(opt);
+  const data::Dataset& d = TinyData();
+  m.Fit(d);
+  // Queries generated from test targets should rank the target far above
+  // random on average.
+  core::Rng rng(9);
+  rec::RankingMetrics acc;
+  for (int u = 0; u < std::min(60, d.num_users()); ++u) {
+    int target = d.TestTarget(u);
+    auto scores = m.ScoreQuery(d.IntentionFor(target, rng));
+    acc.AddRank(rec::RankOf(scores, target));
+  }
+  rec::RankingMetrics mean = acc.Mean();
+  EXPECT_GT(mean.hr10, 3.0 * 10.0 / d.num_items());
+}
+
+}  // namespace
+}  // namespace lcrec::baselines

@@ -1,0 +1,367 @@
+#include "core/graph.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "tests/test_util.h"
+
+namespace lcrec::core {
+namespace {
+
+using lcrec::testing::CheckGradientOf;
+
+class GraphOpsTest : public ::testing::Test {
+ protected:
+  ParamStore store_;
+  Rng rng_{7};
+
+  Parameter* RandParam(std::vector<int64_t> shape, double stddev = 0.5) {
+    return store_.Create("p", rng_.GaussianTensor(std::move(shape), stddev));
+  }
+};
+
+TEST_F(GraphOpsTest, ForwardMatMulValues) {
+  Graph g;
+  VarId a = g.Input(Tensor({2, 3}, {1, 2, 3, 4, 5, 6}));
+  VarId b = g.Input(Tensor({3, 2}, {7, 8, 9, 10, 11, 12}));
+  VarId c = g.MatMul(a, b);
+  EXPECT_FLOAT_EQ(g.val(c).at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(g.val(c).at(0, 1), 64.0f);
+  EXPECT_FLOAT_EQ(g.val(c).at(1, 0), 139.0f);
+  EXPECT_FLOAT_EQ(g.val(c).at(1, 1), 154.0f);
+}
+
+TEST_F(GraphOpsTest, ForwardMatMulNTMatchesMatMulWithTranspose) {
+  Graph g;
+  Tensor bt({2, 3}, {7, 9, 11, 8, 10, 12});
+  VarId a = g.Input(Tensor({2, 3}, {1, 2, 3, 4, 5, 6}));
+  VarId b = g.Input(bt);
+  VarId c = g.MatMulNT(a, b);
+  EXPECT_FLOAT_EQ(g.val(c).at(0, 0), 58.0f);
+  EXPECT_FLOAT_EQ(g.val(c).at(1, 1), 154.0f);
+}
+
+TEST_F(GraphOpsTest, GradMatMul) {
+  Parameter* p = RandParam({3, 4});
+  Tensor other = rng_.GaussianTensor({4, 2}, 0.5);
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId b = g.Input(other);
+    return g.Sum(g.Square(g.MatMul(v, b)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradMatMulSecondArg) {
+  Parameter* p = RandParam({4, 2});
+  Tensor other = rng_.GaussianTensor({3, 4}, 0.5);
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId a = g.Input(other);
+    return g.Sum(g.Square(g.MatMul(a, v)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradMatMulNT) {
+  Parameter* p = RandParam({3, 4});
+  Tensor other = rng_.GaussianTensor({5, 4}, 0.5);
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId b = g.Input(other);
+    return g.Sum(g.Square(g.MatMulNT(v, b)));
+  });
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId a = g.Input(other);
+    return g.Sum(g.Square(g.MatMulNT(a, v)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradAddSubMulScale) {
+  Parameter* p = RandParam({2, 3});
+  Tensor other = rng_.GaussianTensor({2, 3}, 0.5);
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId o = g.Input(other);
+    VarId x = g.Add(v, o);
+    x = g.Sub(x, g.Scale(v, 0.3f));
+    x = g.Mul(x, v);
+    x = g.AddScalar(x, 0.1f);
+    return g.Sum(x);
+  });
+}
+
+TEST_F(GraphOpsTest, GradActivations) {
+  for (auto which : {0, 1, 2, 3, 4}) {
+    Parameter* p = RandParam({2, 4});
+    CheckGradientOf(p, [&, which](Graph& g, VarId v) {
+      VarId y;
+      switch (which) {
+        case 0: y = g.Relu(v); break;
+        case 1: y = g.Sigmoid(v); break;
+        case 2: y = g.Tanh(v); break;
+        case 3: y = g.Silu(v); break;
+        default: y = g.Gelu(v); break;
+      }
+      return g.Sum(g.Square(y));
+    });
+  }
+}
+
+TEST_F(GraphOpsTest, GradExpLog) {
+  Parameter* p = store_.Create("pos", Tensor({3}, {0.5f, 1.0f, 2.0f}));
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    return g.Sum(g.Log(g.AddScalar(g.Exp(v), 1.0f)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradAddBiasAndMulRowBroadcast) {
+  Parameter* p = RandParam({4});
+  Tensor mat = rng_.GaussianTensor({3, 4}, 0.5);
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId m = g.Input(mat);
+    return g.Sum(g.Square(g.AddBias(m, v)));
+  });
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId m = g.Input(mat);
+    return g.Sum(g.Square(g.MulRowBroadcast(m, v)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradTransposeSliceConcat) {
+  Parameter* p = RandParam({4, 3});
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    VarId t = g.Transpose(v);
+    VarId s1 = g.SliceRows(t, 0, 2);
+    VarId s2 = g.SliceRows(t, 1, 3);
+    VarId c = g.ConcatRows({s1, s2});
+    VarId cc = g.ConcatCols({c, c});
+    VarId sc = g.SliceCols(cc, 1, 5);
+    return g.Sum(g.Square(sc));
+  });
+}
+
+TEST_F(GraphOpsTest, GradRowsGather) {
+  Parameter* p = RandParam({5, 3});
+  std::vector<int> ids = {0, 2, 2, 4};
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.Rows(v, ids)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradReductions) {
+  Parameter* p = RandParam({3, 4});
+  CheckGradientOf(p, [&](Graph& g, VarId v) { return g.Mean(g.Square(v)); });
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.MeanOverRows(v)));
+  });
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.SumOverRows(v)));
+  });
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.RowSums(v)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradMaxOverRows) {
+  // Use well-separated values so finite differences don't cross the argmax.
+  Parameter* p = store_.Create("m", Tensor({3, 2}, {0.1f, 0.9f, 0.5f, 0.2f,
+                                                    0.95f, 0.4f}));
+  CheckGradientOf(p, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.MaxOverRows(v)));
+  }, 1e-3f);
+}
+
+TEST_F(GraphOpsTest, GradLayerNorm) {
+  Parameter* x = RandParam({3, 6});
+  Parameter* gamma = store_.Create("g", rng_.GaussianTensor({6}, 0.3));
+  Parameter* beta = store_.Create("b", rng_.GaussianTensor({6}, 0.3));
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    VarId gm = g.Param(gamma);
+    VarId bt = g.Param(beta);
+    return g.Sum(g.Square(g.LayerNorm(v, gm, bt)));
+  });
+  CheckGradientOf(gamma, [&](Graph& g, VarId v) {
+    VarId xv = g.Param(x);
+    VarId bt = g.Param(beta);
+    return g.Sum(g.Square(g.LayerNorm(xv, v, bt)));
+  });
+  CheckGradientOf(beta, [&](Graph& g, VarId v) {
+    VarId xv = g.Param(x);
+    VarId gm = g.Param(gamma);
+    return g.Sum(g.Square(g.LayerNorm(xv, gm, v)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradRmsNorm) {
+  Parameter* x = RandParam({3, 6});
+  Parameter* gamma = store_.Create("g", rng_.GaussianTensor({6}, 0.3));
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    VarId gm = g.Param(gamma);
+    return g.Sum(g.Square(g.RmsNorm(v, gm)));
+  });
+  CheckGradientOf(gamma, [&](Graph& g, VarId v) {
+    VarId xv = g.Param(x);
+    return g.Sum(g.Square(g.RmsNorm(xv, v)));
+  });
+}
+
+TEST_F(GraphOpsTest, GradNormalizeRows) {
+  Parameter* x = RandParam({3, 5});
+  Tensor target = rng_.GaussianTensor({3, 5}, 0.5);
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.MseLoss(g.NormalizeRows(v), target);
+  });
+}
+
+TEST_F(GraphOpsTest, GradSoftmaxFamilies) {
+  Parameter* x = RandParam({4, 4});
+  Tensor target = rng_.GaussianTensor({4, 4}, 0.5);
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.MseLoss(g.Softmax(v), target);
+  });
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.MseLoss(g.CausalSoftmax(v), target);
+  });
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.MseLoss(g.MaskedSoftmax(v, {1, 2, 3, 4}), target);
+  });
+}
+
+TEST_F(GraphOpsTest, CausalSoftmaxZerosFuture) {
+  Graph g;
+  VarId x = g.Input(rng_.GaussianTensor({3, 3}, 1.0));
+  VarId p = g.CausalSoftmax(x);
+  EXPECT_FLOAT_EQ(g.val(p).at(0, 1), 0.0f);
+  EXPECT_FLOAT_EQ(g.val(p).at(0, 2), 0.0f);
+  EXPECT_FLOAT_EQ(g.val(p).at(1, 2), 0.0f);
+  // Rows sum to one over the valid prefix.
+  for (int64_t i = 0; i < 3; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < 3; ++j) s += g.val(p).at(i, j);
+    EXPECT_NEAR(s, 1.0f, 1e-5f);
+  }
+}
+
+TEST_F(GraphOpsTest, CausalSoftmaxWithOffsetForIncrementalDecode) {
+  Graph g;
+  // 1 query row against 4 keys: all keys are visible (offset = 3).
+  VarId x = g.Input(rng_.GaussianTensor({1, 4}, 1.0));
+  VarId p = g.CausalSoftmax(x);
+  float s = 0.0f;
+  for (int64_t j = 0; j < 4; ++j) s += g.val(p).at(0, j);
+  EXPECT_NEAR(s, 1.0f, 1e-5f);
+  EXPECT_GT(g.val(p).at(0, 3), 0.0f);
+}
+
+TEST_F(GraphOpsTest, GradSoftmaxCrossEntropy) {
+  Parameter* x = RandParam({4, 5});
+  std::vector<int> targets = {1, Graph::kIgnore, 0, 4};
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.SoftmaxCrossEntropy(v, targets);
+  });
+}
+
+TEST_F(GraphOpsTest, CrossEntropyIgnoresMaskedRows) {
+  Graph g;
+  Tensor logits({2, 3}, {10.0f, 0.0f, 0.0f, 0.0f, 10.0f, 0.0f});
+  VarId l = g.Input(logits);
+  // Row 1 ignored: loss is only row 0, which predicts its target well.
+  VarId loss = g.SoftmaxCrossEntropy(l, {0, Graph::kIgnore});
+  EXPECT_LT(g.val(loss).item(), 0.01f);
+}
+
+TEST_F(GraphOpsTest, GradSigmoidBCE) {
+  Parameter* x = RandParam({3, 4});
+  Tensor targets({3, 4});
+  for (int64_t i = 0; i < 12; ++i) targets.at(i) = (i % 3 == 0) ? 1.0f : 0.0f;
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.SigmoidBCE(v, targets);
+  });
+}
+
+TEST_F(GraphOpsTest, GradMseLoss) {
+  Parameter* x = RandParam({2, 3});
+  Tensor target = rng_.GaussianTensor({2, 3}, 0.5);
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.MseLoss(v, target);
+  });
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.MseLossVar(v, g.Input(target));
+  });
+}
+
+TEST_F(GraphOpsTest, StopGradientBlocksFlow) {
+  Parameter* x = RandParam({2, 2});
+  x->grad.Fill(0.0f);
+  Graph g;
+  VarId v = g.Param(x);
+  VarId loss = g.Sum(g.Square(g.StopGradient(v)));
+  g.Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad.SquaredNorm(), 0.0f);
+}
+
+TEST_F(GraphOpsTest, GradDftFilter) {
+  Parameter* x = RandParam({4, 3});
+  Parameter* wre = store_.Create("wre", rng_.GaussianTensor({4, 3}, 0.4));
+  Parameter* wim = store_.Create("wim", rng_.GaussianTensor({4, 3}, 0.4));
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.DftFilter(v, g.Param(wre), g.Param(wim))));
+  });
+  CheckGradientOf(wre, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.DftFilter(g.Param(x), v, g.Param(wim))));
+  });
+  CheckGradientOf(wim, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.DftFilter(g.Param(x), g.Param(wre), v)));
+  });
+}
+
+TEST_F(GraphOpsTest, DftFilterIdentityWhenFilterIsOne) {
+  // W = 1 + 0i must reproduce the input exactly (DFT then IDFT).
+  Graph g;
+  Tensor x = rng_.GaussianTensor({5, 2}, 1.0);
+  VarId v = g.Input(x);
+  VarId wre = g.Input(Tensor::Ones({5, 2}));
+  VarId wim = g.Input(Tensor::Zeros({5, 2}));
+  VarId y = g.DftFilter(v, wre, wim);
+  for (int64_t i = 0; i < x.size(); ++i)
+    EXPECT_NEAR(g.val(y).at(i), x.at(i), 1e-4f);
+}
+
+TEST_F(GraphOpsTest, GradDropoutMaskConsistent) {
+  // With p=0 or train=false dropout is identity.
+  Parameter* x = RandParam({2, 3});
+  Rng r(3);
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.Dropout(v, 0.0f, r, true)));
+  });
+  CheckGradientOf(x, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.Dropout(v, 0.5f, r, false)));
+  });
+}
+
+TEST_F(GraphOpsTest, BackwardAccumulatesIntoSharedParam) {
+  // The same parameter used twice gets the sum of both contributions.
+  Parameter* x = store_.Create("x", Tensor({2}, {1.0f, 2.0f}));
+  x->grad.Fill(0.0f);
+  Graph g;
+  VarId v = g.Param(x);
+  VarId loss = g.Sum(g.Add(g.Square(v), g.Scale(v, 3.0f)));
+  g.Backward(loss);
+  // d/dx (x^2 + 3x) = 2x + 3
+  EXPECT_FLOAT_EQ(x->grad.at(0), 5.0f);
+  EXPECT_FLOAT_EQ(x->grad.at(1), 7.0f);
+}
+
+TEST_F(GraphOpsTest, ParamUsedInTwoGraphNodesAccumulates) {
+  Parameter* x = store_.Create("x", Tensor({2}, {1.0f, 2.0f}));
+  x->grad.Fill(0.0f);
+  Graph g;
+  VarId v1 = g.Param(x);
+  VarId v2 = g.Param(x);
+  VarId loss = g.Sum(g.Mul(v1, v2));  // x^2
+  g.Backward(loss);
+  EXPECT_FLOAT_EQ(x->grad.at(0), 2.0f);
+  EXPECT_FLOAT_EQ(x->grad.at(1), 4.0f);
+}
+
+}  // namespace
+}  // namespace lcrec::core

@@ -1,0 +1,110 @@
+#include "core/linalg.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace lcrec::core {
+namespace {
+
+TEST(Linalg, MatMulMatchesHandComputed) {
+  Tensor a({2, 2}, {1, 2, 3, 4});
+  Tensor b({2, 2}, {5, 6, 7, 8});
+  Tensor c = MatMul(a, b);
+  EXPECT_FLOAT_EQ(c.at(0, 0), 19.0f);
+  EXPECT_FLOAT_EQ(c.at(1, 1), 50.0f);
+}
+
+TEST(Linalg, CosineSimilaritySelfIsOne) {
+  Rng rng(5);
+  Tensor a = rng.GaussianTensor({4, 8}, 1.0);
+  Tensor s = CosineSimilarity(a, a);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(s.at(i, i), 1.0f, 1e-5f);
+}
+
+TEST(Linalg, CosineSimilarityOrthogonalIsZero) {
+  Tensor a({1, 2}, {1.0f, 0.0f});
+  Tensor b({1, 2}, {0.0f, 1.0f});
+  EXPECT_NEAR(CosineSimilarity(a, b).at(0), 0.0f, 1e-6f);
+}
+
+TEST(Linalg, SquaredDistancesMatchesDefinition) {
+  Tensor a({1, 2}, {0.0f, 0.0f});
+  Tensor b({2, 2}, {3.0f, 4.0f, 1.0f, 1.0f});
+  Tensor d = SquaredDistances(a, b);
+  EXPECT_FLOAT_EQ(d.at(0, 0), 25.0f);
+  EXPECT_FLOAT_EQ(d.at(0, 1), 2.0f);
+}
+
+TEST(Linalg, SymmetricEigenRecoversDiagonal) {
+  Tensor a({3, 3}, {3, 0, 0, 0, 1, 0, 0, 0, 2});
+  std::vector<float> values;
+  Tensor vectors;
+  SymmetricEigen(a, &values, &vectors);
+  EXPECT_NEAR(values[0], 3.0f, 1e-4f);
+  EXPECT_NEAR(values[1], 2.0f, 1e-4f);
+  EXPECT_NEAR(values[2], 1.0f, 1e-4f);
+}
+
+TEST(Linalg, SymmetricEigenReconstructsMatrix) {
+  Rng rng(13);
+  int64_t n = 5;
+  Tensor m = rng.GaussianTensor({n, n}, 1.0);
+  // Symmetrize.
+  Tensor a({n, n});
+  for (int64_t i = 0; i < n; ++i)
+    for (int64_t j = 0; j < n; ++j)
+      a.at(i * n + j) = 0.5f * (m.at(i * n + j) + m.at(j * n + i));
+  std::vector<float> values;
+  Tensor vectors;
+  SymmetricEigen(a, &values, &vectors);
+  // Reconstruct A = V^T diag(w) V where rows of V are eigenvectors.
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      float s = 0.0f;
+      for (int64_t k = 0; k < n; ++k)
+        s += vectors.at(k * n + i) * values[k] * vectors.at(k * n + j);
+      EXPECT_NEAR(s, a.at(i * n + j), 1e-3f);
+    }
+  }
+}
+
+TEST(Pca, RecoversDominantDirection) {
+  // Data stretched along (1,1)/sqrt(2) in 2-D.
+  Rng rng(3);
+  int64_t n = 200;
+  Tensor data({n, 2});
+  for (int64_t i = 0; i < n; ++i) {
+    float t = static_cast<float>(rng.Gaussian()) * 5.0f;
+    float noise = static_cast<float>(rng.Gaussian()) * 0.1f;
+    data.at(i, 0) = t + noise;
+    data.at(i, 1) = t - noise;
+  }
+  Pca pca(data, 1);
+  float c0 = pca.components().at(0);
+  float c1 = pca.components().at(1);
+  EXPECT_NEAR(std::abs(c0), std::abs(c1), 0.05f);
+  EXPECT_NEAR(c0 * c0 + c1 * c1, 1.0f, 1e-3f);
+  EXPECT_GT(pca.explained_variance()[0], 10.0f);
+}
+
+TEST(Pca, TransformCentersData) {
+  Rng rng(9);
+  Tensor data = rng.GaussianTensor({50, 4}, 1.0);
+  Pca pca(data, 2);
+  Tensor proj = pca.Transform(data);
+  EXPECT_EQ(proj.rows(), 50);
+  EXPECT_EQ(proj.cols(), 2);
+  // Projected data has ~zero mean.
+  for (int64_t j = 0; j < 2; ++j) {
+    float mu = 0.0f;
+    for (int64_t i = 0; i < 50; ++i) mu += proj.at(i, j);
+    EXPECT_NEAR(mu / 50.0f, 0.0f, 1e-4f);
+  }
+}
+
+}  // namespace
+}  // namespace lcrec::core

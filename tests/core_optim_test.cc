@@ -1,0 +1,142 @@
+#include "core/optim.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "core/serialize.h"
+
+namespace lcrec::core {
+namespace {
+
+TEST(CosineSchedule, WarmupRampsLinearly) {
+  CosineSchedule sched(1.0f, 10, 100);
+  EXPECT_NEAR(sched.LrAt(0), 0.1f, 1e-6f);
+  EXPECT_NEAR(sched.LrAt(4), 0.5f, 1e-6f);
+  EXPECT_NEAR(sched.LrAt(9), 1.0f, 1e-6f);
+}
+
+TEST(CosineSchedule, DecaysToMinLr) {
+  CosineSchedule sched(1.0f, 0, 100, 0.1f);
+  EXPECT_NEAR(sched.LrAt(0), 1.0f, 1e-5f);
+  EXPECT_GT(sched.LrAt(25), sched.LrAt(75));
+  EXPECT_NEAR(sched.LrAt(100), 0.1f, 1e-6f);
+  EXPECT_NEAR(sched.LrAt(1000), 0.1f, 1e-6f);
+}
+
+TEST(CosineSchedule, MidpointIsHalfway) {
+  CosineSchedule sched(2.0f, 0, 100, 0.0f);
+  EXPECT_NEAR(sched.LrAt(50), 1.0f, 1e-4f);
+}
+
+TEST(Sgd, DescendsQuadratic) {
+  ParamStore store;
+  Parameter* p = store.Create("x", Tensor({2}, {5.0f, -3.0f}));
+  Sgd opt(store.All());
+  for (int i = 0; i < 100; ++i) {
+    store.ZeroGrad();
+    // grad of 0.5*x^2 is x
+    p->grad = p->value;
+    opt.Step(0.1f);
+  }
+  EXPECT_NEAR(p->value.at(0), 0.0f, 1e-3f);
+  EXPECT_NEAR(p->value.at(1), 0.0f, 1e-3f);
+}
+
+TEST(Sgd, MomentumAcceleratesDescent) {
+  ParamStore s1, s2;
+  Parameter* a = s1.Create("a", Tensor({1}, {10.0f}));
+  Parameter* b = s2.Create("b", Tensor({1}, {10.0f}));
+  Sgd plain(s1.All());
+  Sgd momentum(s2.All(), 0.9f);
+  for (int i = 0; i < 10; ++i) {
+    a->grad = a->value;
+    b->grad = b->value;
+    plain.Step(0.01f);
+    momentum.Step(0.01f);
+  }
+  EXPECT_LT(std::abs(b->value.at(0)), std::abs(a->value.at(0)));
+}
+
+TEST(AdamW, DescendsQuadratic) {
+  ParamStore store;
+  Parameter* p = store.Create("x", Tensor({2}, {5.0f, -3.0f}));
+  AdamW opt(store.All());
+  for (int i = 0; i < 500; ++i) {
+    store.ZeroGrad();
+    p->grad = p->value;
+    opt.Step(0.05f);
+  }
+  EXPECT_NEAR(p->value.at(0), 0.0f, 1e-2f);
+  EXPECT_NEAR(p->value.at(1), 0.0f, 1e-2f);
+}
+
+TEST(AdamW, WeightDecayShrinksUnusedWeights) {
+  ParamStore store;
+  Parameter* p = store.Create("x", Tensor({1}, {1.0f}));
+  AdamW opt(store.All(), 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.1f);
+  for (int i = 0; i < 50; ++i) {
+    store.ZeroGrad();  // gradient is exactly zero
+    opt.Step(0.1f);
+  }
+  EXPECT_LT(p->value.at(0), 0.7f);
+  EXPECT_GT(p->value.at(0), 0.0f);
+}
+
+TEST(Optimizer, ClipGradNormScalesDown) {
+  ParamStore store;
+  Parameter* p = store.Create("x", Tensor({2}, {0.0f, 0.0f}));
+  p->grad = Tensor({2}, {3.0f, 4.0f});  // norm 5
+  Sgd opt(store.All());
+  float norm = opt.ClipGradNorm(1.0f);
+  EXPECT_FLOAT_EQ(norm, 5.0f);
+  EXPECT_NEAR(p->grad.at(0), 0.6f, 1e-5f);
+  EXPECT_NEAR(p->grad.at(1), 0.8f, 1e-5f);
+}
+
+TEST(Optimizer, ClipGradNormLeavesSmallGradients) {
+  ParamStore store;
+  Parameter* p = store.Create("x", Tensor({2}, {0.0f, 0.0f}));
+  p->grad = Tensor({2}, {0.3f, 0.4f});
+  Sgd opt(store.All());
+  opt.ClipGradNorm(10.0f);
+  EXPECT_FLOAT_EQ(p->grad.at(0), 0.3f);
+}
+
+TEST(Serialize, RoundTrip) {
+  Rng rng(11);
+  std::string path = ::testing::TempDir() + "/lcrec_params.bin";
+  {
+    ParamStore store;
+    store.Create("a", rng.GaussianTensor({3, 4}, 1.0));
+    store.Create("b", rng.GaussianTensor({5}, 1.0));
+    ASSERT_TRUE(SaveParams(store, path));
+  }
+  Rng rng2(11);
+  ParamStore loaded;
+  Parameter* a = loaded.Create("a", Tensor::Zeros({3, 4}));
+  Parameter* b = loaded.Create("b", Tensor::Zeros({5}));
+  ASSERT_TRUE(LoadParams(loaded, path));
+  Tensor ea = rng2.GaussianTensor({3, 4}, 1.0);
+  Tensor eb = rng2.GaussianTensor({5}, 1.0);
+  for (int64_t i = 0; i < ea.size(); ++i) EXPECT_EQ(a->value.at(i), ea.at(i));
+  for (int64_t i = 0; i < eb.size(); ++i) EXPECT_EQ(b->value.at(i), eb.at(i));
+}
+
+TEST(Serialize, ShapeMismatchFails) {
+  Rng rng(11);
+  std::string path = ::testing::TempDir() + "/lcrec_params2.bin";
+  {
+    ParamStore store;
+    store.Create("a", rng.GaussianTensor({3, 4}, 1.0));
+    ASSERT_TRUE(SaveParams(store, path));
+  }
+  ParamStore loaded;
+  loaded.Create("a", Tensor::Zeros({4, 3}));
+  EXPECT_FALSE(LoadParams(loaded, path));
+}
+
+}  // namespace
+}  // namespace lcrec::core

@@ -1,0 +1,202 @@
+// Parameterized property tests: gradient checks swept over shapes, and
+// Sinkhorn marginal properties swept over problem sizes / temperatures.
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "quant/sinkhorn.h"
+#include "tests/test_util.h"
+
+namespace lcrec::core {
+namespace {
+
+using lcrec::testing::CheckGradientOf;
+
+// ---------------------------------------------------------------------------
+// Gradient property sweep: every unary op, over a grid of shapes.
+// ---------------------------------------------------------------------------
+
+enum class Op {
+  kRelu,
+  kSigmoid,
+  kTanh,
+  kSilu,
+  kGelu,
+  kSoftmax,
+  kCausalSoftmax,
+  kNormalizeRows,
+  kTranspose,
+  kMeanOverRows,
+  kMaxOverRows,
+  kRowSums,
+};
+
+std::string OpName(Op op) {
+  switch (op) {
+    case Op::kRelu: return "Relu";
+    case Op::kSigmoid: return "Sigmoid";
+    case Op::kTanh: return "Tanh";
+    case Op::kSilu: return "Silu";
+    case Op::kGelu: return "Gelu";
+    case Op::kSoftmax: return "Softmax";
+    case Op::kCausalSoftmax: return "CausalSoftmax";
+    case Op::kNormalizeRows: return "NormalizeRows";
+    case Op::kTranspose: return "Transpose";
+    case Op::kMeanOverRows: return "MeanOverRows";
+    case Op::kMaxOverRows: return "MaxOverRows";
+    case Op::kRowSums: return "RowSums";
+  }
+  return "?";
+}
+
+using GradCase = std::tuple<Op, int, int>;  // op, rows, cols
+
+class UnaryGradientSweep : public ::testing::TestWithParam<GradCase> {};
+
+TEST_P(UnaryGradientSweep, MatchesFiniteDifferences) {
+  auto [op, rows, cols] = GetParam();
+  if (op == Op::kCausalSoftmax && cols < rows) GTEST_SKIP();
+  ParamStore store;
+  Rng rng(static_cast<uint64_t>(rows * 131 + cols * 17 +
+                                static_cast<int>(op)));
+  // MaxOverRows needs well-separated entries so finite differences do not
+  // cross the argmax boundary.
+  double stddev = op == Op::kMaxOverRows ? 2.0 : 0.5;
+  Parameter* p = store.Create(
+      "p", rng.GaussianTensor({rows, cols}, stddev));
+  Tensor target = rng.GaussianTensor({rows, cols}, 0.5);
+  CheckGradientOf(
+      p,
+      [&, op = op](Graph& g, VarId v) {
+        VarId y;
+        switch (op) {
+          case Op::kRelu: y = g.Relu(v); break;
+          case Op::kSigmoid: y = g.Sigmoid(v); break;
+          case Op::kTanh: y = g.Tanh(v); break;
+          case Op::kSilu: y = g.Silu(v); break;
+          case Op::kGelu: y = g.Gelu(v); break;
+          case Op::kSoftmax: y = g.Softmax(v); break;
+          case Op::kCausalSoftmax: y = g.CausalSoftmax(v); break;
+          case Op::kNormalizeRows: y = g.NormalizeRows(v); break;
+          case Op::kTranspose: y = g.Transpose(v); break;
+          case Op::kMeanOverRows: y = g.MeanOverRows(v); break;
+          case Op::kMaxOverRows: y = g.MaxOverRows(v); break;
+          case Op::kRowSums: y = g.RowSums(v); break;
+        }
+        return g.Sum(g.Square(y));
+      },
+      op == Op::kMaxOverRows ? 1e-3f : 1e-2f);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, UnaryGradientSweep,
+    ::testing::Combine(
+        ::testing::Values(Op::kRelu, Op::kSigmoid, Op::kTanh, Op::kSilu,
+                          Op::kGelu, Op::kSoftmax, Op::kCausalSoftmax,
+                          Op::kNormalizeRows, Op::kTranspose,
+                          Op::kMeanOverRows, Op::kMaxOverRows, Op::kRowSums),
+        ::testing::Values(1, 3, 5), ::testing::Values(2, 4, 7)),
+    [](const ::testing::TestParamInfo<GradCase>& info) {
+      return OpName(std::get<0>(info.param)) + "_r" +
+             std::to_string(std::get<1>(info.param)) + "_c" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// MatMul gradient sweep over (m, k, n).
+// ---------------------------------------------------------------------------
+
+using MmCase = std::tuple<int, int, int>;
+
+class MatMulGradientSweep : public ::testing::TestWithParam<MmCase> {};
+
+TEST_P(MatMulGradientSweep, BothArgumentsAndBothVariants) {
+  auto [m, k, n] = GetParam();
+  ParamStore store;
+  Rng rng(static_cast<uint64_t>(m * 100 + k * 10 + n));
+  Parameter* a = store.Create("a", rng.GaussianTensor({m, k}, 0.5));
+  Tensor b = rng.GaussianTensor({k, n}, 0.5);
+  Tensor bt = rng.GaussianTensor({n, k}, 0.5);
+  CheckGradientOf(a, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.MatMul(v, g.Input(b))));
+  });
+  CheckGradientOf(a, [&](Graph& g, VarId v) {
+    return g.Sum(g.Square(g.MatMulNT(v, g.Input(bt))));
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, MatMulGradientSweep,
+                         ::testing::Combine(::testing::Values(1, 4),
+                                            ::testing::Values(2, 5),
+                                            ::testing::Values(1, 3)));
+
+// ---------------------------------------------------------------------------
+// Sinkhorn marginals over sizes and temperatures.
+// ---------------------------------------------------------------------------
+
+using SinkhornCase = std::tuple<int, int, double>;  // n, k, epsilon
+
+class SinkhornSweep : public ::testing::TestWithParam<SinkhornCase> {};
+
+TEST_P(SinkhornSweep, MarginalsHold) {
+  auto [n, k, eps] = GetParam();
+  Rng rng(static_cast<uint64_t>(n * 1000 + k * 10));
+  Tensor cost = rng.GaussianTensor({n, k}, 1.0);
+  for (int64_t i = 0; i < cost.size(); ++i) cost.at(i) = std::abs(cost.at(i));
+  Tensor q = quant::SinkhornKnopp(cost, eps, 200);
+  for (int64_t i = 0; i < n; ++i) {
+    float row = 0.0f;
+    for (int64_t j = 0; j < k; ++j) {
+      float v = q.at(i * k + j);
+      EXPECT_GE(v, 0.0f);
+      row += v;
+    }
+    EXPECT_NEAR(row, 1.0f, 5e-3f);
+  }
+  double col_target = static_cast<double>(n) / k;
+  for (int64_t j = 0; j < k; ++j) {
+    float col = 0.0f;
+    for (int64_t i = 0; i < n; ++i) col += q.at(i * k + j);
+    EXPECT_NEAR(col, col_target, 0.05 * col_target + 1e-2);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SinkhornSweep,
+                         ::testing::Combine(::testing::Values(8, 33, 64),
+                                            ::testing::Values(4, 8),
+                                            ::testing::Values(0.02, 0.1,
+                                                              0.5)));
+
+// ---------------------------------------------------------------------------
+// BalancedAssign feasibility sweep.
+// ---------------------------------------------------------------------------
+
+class BalancedAssignSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(BalancedAssignSweep, AssignsEveryRowWithinCapacity) {
+  auto [n, k] = GetParam();
+  Rng rng(static_cast<uint64_t>(n + 7 * k));
+  Tensor plan = rng.UniformTensor({n, k}, 1.0);
+  for (int64_t i = 0; i < plan.size(); ++i) plan.at(i) = std::abs(plan.at(i));
+  int capacity = (n + k - 1) / k;
+  std::vector<int> a = quant::BalancedAssign(plan, capacity);
+  std::vector<int> load(static_cast<size_t>(k), 0);
+  for (int c : a) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, k);
+    ++load[static_cast<size_t>(c)];
+  }
+  for (int l : load) EXPECT_LE(l, capacity);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BalancedAssignSweep,
+                         ::testing::Combine(::testing::Values(3, 16, 41),
+                                            ::testing::Values(4, 9)));
+
+}  // namespace
+}  // namespace lcrec::core

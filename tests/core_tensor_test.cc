@@ -1,0 +1,85 @@
+#include "core/tensor.h"
+
+#include <gtest/gtest.h>
+
+namespace lcrec::core {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(Tensor, ZerosShapeAndValues) {
+  Tensor t = Tensor::Zeros({2, 3});
+  EXPECT_EQ(t.rank(), 2);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.at(i), 0.0f);
+}
+
+TEST(Tensor, ScalarItem) {
+  Tensor t = Tensor::Scalar(3.5f);
+  EXPECT_EQ(t.rank(), 0);
+  EXPECT_EQ(t.size(), 1);
+  EXPECT_FLOAT_EQ(t.item(), 3.5f);
+}
+
+TEST(Tensor, RankOneIsASingleRow) {
+  Tensor t = Tensor::Ones({4});
+  EXPECT_EQ(t.rows(), 1);
+  EXPECT_EQ(t.cols(), 4);
+}
+
+TEST(Tensor, TwoDimensionalIndexing) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_FLOAT_EQ(t.at(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(t.at(0, 2), 3.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_FLOAT_EQ(t.at(1, 2), 6.0f);
+}
+
+TEST(Tensor, ReshapedPreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.Reshaped({3, 2});
+  EXPECT_EQ(r.rows(), 3);
+  EXPECT_EQ(r.cols(), 2);
+  EXPECT_FLOAT_EQ(r.at(2, 1), 6.0f);
+}
+
+TEST(Tensor, FillAndFull) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(t.at(i), 2.5f);
+  t.Fill(-1.0f);
+  for (int64_t i = 0; i < 3; ++i) EXPECT_FLOAT_EQ(t.at(i), -1.0f);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a.Axpy(0.5f, b);
+  EXPECT_FLOAT_EQ(a.at(0), 6.0f);
+  EXPECT_FLOAT_EQ(a.at(1), 12.0f);
+  EXPECT_FLOAT_EQ(a.at(2), 18.0f);
+}
+
+TEST(Tensor, SquaredNorm) {
+  Tensor a({2}, {3, 4});
+  EXPECT_FLOAT_EQ(a.SquaredNorm(), 25.0f);
+}
+
+TEST(Tensor, SameShape) {
+  EXPECT_TRUE(SameShape(Tensor::Zeros({2, 3}), Tensor::Zeros({2, 3})));
+  EXPECT_FALSE(SameShape(Tensor::Zeros({2, 3}), Tensor::Zeros({3, 2})));
+  EXPECT_FALSE(SameShape(Tensor::Zeros({6}), Tensor::Zeros({2, 3})));
+}
+
+TEST(Tensor, ShapeString) {
+  EXPECT_EQ(Tensor::Zeros({2, 3}).ShapeString(), "[2,3]");
+  EXPECT_EQ(Tensor::Scalar(1.0f).ShapeString(), "[]");
+}
+
+}  // namespace
+}  // namespace lcrec::core

@@ -1,0 +1,237 @@
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include <gtest/gtest.h>
+
+#include "core/linalg.h"
+#include "data/catalog.h"
+#include "data/dataset.h"
+#include "text/encoder.h"
+
+namespace lcrec::data {
+namespace {
+
+TEST(Catalog, GeneratesRequestedItemCount) {
+  CatalogConfig cc;
+  cc.num_items = 100;
+  Catalog c = Catalog::Generate(cc);
+  EXPECT_EQ(c.size(), 100);
+  EXPECT_GT(c.num_categories(), 0);
+  EXPECT_GT(c.num_attributes(), 0);
+}
+
+TEST(Catalog, DeterministicPerSeed) {
+  CatalogConfig cc;
+  cc.num_items = 50;
+  cc.seed = 9;
+  Catalog a = Catalog::Generate(cc);
+  Catalog b = Catalog::Generate(cc);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.item(i).title, b.item(i).title);
+    EXPECT_EQ(a.item(i).subcategory, b.item(i).subcategory);
+  }
+}
+
+TEST(Catalog, SubcategoryConsistentWithCategory) {
+  CatalogConfig cc;
+  cc.num_items = 200;
+  Catalog c = Catalog::Generate(cc);
+  int sub_per_cat = c.num_subcategories() / c.num_categories();
+  for (const Item& it : c.items()) {
+    EXPECT_EQ(it.subcategory / sub_per_cat, it.category);
+  }
+}
+
+TEST(Catalog, AttributesAreWithinRange) {
+  CatalogConfig cc;
+  cc.num_items = 80;
+  Catalog c = Catalog::Generate(cc);
+  for (const Item& it : c.items()) {
+    EXPECT_EQ(it.attributes.size(), 4u);
+    for (int a : it.attributes) {
+      EXPECT_GE(a, 0);
+      EXPECT_LT(a, c.num_attributes());
+    }
+  }
+}
+
+TEST(Catalog, AllDomainsGenerateText) {
+  for (Domain d : {Domain::kInstruments, Domain::kArts, Domain::kGames}) {
+    CatalogConfig cc;
+    cc.domain = d;
+    cc.num_items = 20;
+    Catalog c = Catalog::Generate(cc);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_FALSE(c.item(i).title.empty());
+      EXPECT_FALSE(c.item(i).description.empty());
+      EXPECT_FALSE(c.ItemDocument(i).empty());
+    }
+  }
+}
+
+TEST(Catalog, SameSubcategoryTextCloserOnAverage) {
+  // The key property the RQ-VAE relies on: items in the same subcategory
+  // have closer text embeddings than items in different categories.
+  CatalogConfig cc;
+  cc.num_items = 150;
+  Catalog c = Catalog::Generate(cc);
+  text::TextEncoder enc(64);
+  std::vector<std::string> docs;
+  for (int i = 0; i < c.size(); ++i) docs.push_back(c.ItemDocument(i));
+  core::Tensor emb = enc.EncodeBatch(docs);
+  core::Tensor sim = core::CosineSimilarity(emb, emb);
+  double same = 0.0, diff = 0.0;
+  int ns = 0, nd = 0;
+  for (int i = 0; i < c.size(); ++i) {
+    for (int j = i + 1; j < c.size(); ++j) {
+      if (c.item(i).subcategory == c.item(j).subcategory) {
+        same += sim.at(i, j);
+        ++ns;
+      } else if (c.item(i).category != c.item(j).category) {
+        diff += sim.at(i, j);
+        ++nd;
+      }
+    }
+  }
+  ASSERT_GT(ns, 0);
+  ASSERT_GT(nd, 0);
+  EXPECT_GT(same / ns, diff / nd + 0.15);
+}
+
+TEST(Catalog, IntentionMentionsCategoryNoun) {
+  CatalogConfig cc;
+  cc.num_items = 30;
+  Catalog c = Catalog::Generate(cc);
+  core::Rng rng(4);
+  for (int i = 0; i < 30; ++i) {
+    std::string intent = c.IntentionFor(i, rng);
+    EXPECT_FALSE(intent.empty());
+  }
+}
+
+TEST(Interactions, SequencesRespectLengthBounds) {
+  CatalogConfig cc;
+  cc.num_items = 100;
+  Catalog c = Catalog::Generate(cc);
+  InteractionConfig ic;
+  ic.num_users = 100;
+  auto seqs = GenerateInteractions(c, ic);
+  EXPECT_EQ(seqs.size(), 100u);
+  for (const auto& s : seqs) {
+    EXPECT_GE(static_cast<int>(s.size()), ic.min_len);
+    EXPECT_LE(static_cast<int>(s.size()), ic.max_len);
+    for (int it : s) {
+      EXPECT_GE(it, 0);
+      EXPECT_LT(it, 100);
+    }
+  }
+}
+
+TEST(Interactions, SequentialStructureExists) {
+  // Consecutive items share a subcategory much more often than random
+  // pairs would.
+  CatalogConfig cc;
+  cc.num_items = 200;
+  Catalog c = Catalog::Generate(cc);
+  InteractionConfig ic;
+  ic.num_users = 200;
+  ic.stay_prob = 0.7;
+  auto seqs = GenerateInteractions(c, ic);
+  int64_t same = 0, total = 0;
+  for (const auto& s : seqs) {
+    for (size_t t = 1; t < s.size(); ++t) {
+      same += c.item(s[t]).subcategory == c.item(s[t - 1]).subcategory;
+      ++total;
+    }
+  }
+  double frac = static_cast<double>(same) / total;
+  EXPECT_GT(frac, 0.5);  // far above the ~1/32 random chance
+}
+
+TEST(KCore, RemovesRareItemsAndShortUsers) {
+  std::vector<std::vector<int>> seqs = {
+      {1, 1, 1, 1, 1, 2}, {1, 1, 1, 1, 1}, {3, 3, 3, 3},  // user 2 too short
+  };
+  auto filtered = KCoreFilter(seqs, 5);
+  // Item 2 appears once -> dropped; item 3 appears 4 times -> dropped;
+  // user 2 then has 0 items -> dropped; user 0 loses item 2 but keeps 5.
+  ASSERT_EQ(filtered.size(), 2u);
+  for (const auto& s : filtered) {
+    EXPECT_GE(s.size(), 5u);
+    for (int it : s) EXPECT_EQ(it, 1);
+  }
+}
+
+TEST(KCore, IteratesUntilStable) {
+  // Removing a user can push an item below threshold, which must cascade.
+  std::vector<std::vector<int>> seqs;
+  // Five users interacting with item 0 five times each -> survives alone.
+  for (int u = 0; u < 5; ++u) seqs.push_back({0, 0, 0, 0, 0});
+  // One user carrying all occurrences of item 1 (but only 4 of them).
+  seqs.push_back({1, 1, 1, 1, 0});
+  auto filtered = KCoreFilter(seqs, 5);
+  std::set<int> items;
+  for (const auto& s : filtered)
+    for (int it : s) items.insert(it);
+  EXPECT_TRUE(items.count(0));
+  EXPECT_FALSE(items.count(1));
+}
+
+TEST(Dataset, MakeProducesValidLeaveOneOut) {
+  Dataset d = Dataset::Make(Domain::kGames, 0.3, 11);
+  ASSERT_GT(d.num_users(), 20);
+  ASSERT_GT(d.num_items(), 20);
+  for (int u = 0; u < d.num_users(); ++u) {
+    const auto& seq = d.sequence(u);
+    ASSERT_GE(seq.size(), 5u);
+    EXPECT_EQ(d.TestTarget(u), seq.back());
+    EXPECT_EQ(d.ValidTarget(u), seq[seq.size() - 2]);
+    auto test_ctx = d.TestContext(u);
+    EXPECT_EQ(test_ctx.back(), seq[seq.size() - 2]);
+    EXPECT_LE(static_cast<int>(test_ctx.size()), d.max_seq_len());
+    auto train_ctx = d.TrainContext(u);
+    EXPECT_EQ(train_ctx.back(), seq[seq.size() - 3]);
+  }
+}
+
+TEST(Dataset, ItemIdsAreDense) {
+  Dataset d = Dataset::Make(Domain::kInstruments, 0.3, 5);
+  std::set<int> used;
+  for (int u = 0; u < d.num_users(); ++u)
+    for (int it : d.sequence(u)) used.insert(it);
+  // Every dataset item id appears in some sequence and ids are 0..n-1.
+  EXPECT_EQ(static_cast<int>(used.size()), d.num_items());
+  EXPECT_EQ(*used.begin(), 0);
+  EXPECT_EQ(*used.rbegin(), d.num_items() - 1);
+}
+
+TEST(Dataset, RemappedItemsKeepText) {
+  Dataset d = Dataset::Make(Domain::kArts, 0.3, 3);
+  for (int i = 0; i < d.num_items(); ++i) {
+    EXPECT_EQ(d.item(i).id, i);
+    int orig = d.OriginalId(i);
+    EXPECT_EQ(d.item(i).title, d.catalog().item(orig).title);
+  }
+}
+
+TEST(Dataset, StatsAreConsistent) {
+  Dataset d = Dataset::Make(Domain::kGames, 0.3, 11);
+  DatasetStats s = d.Stats();
+  EXPECT_EQ(s.num_users, d.num_users());
+  EXPECT_EQ(s.num_items, d.num_items());
+  EXPECT_GE(s.avg_len, 5.0);
+  EXPECT_GT(s.sparsity, 0.5);
+  EXPECT_LT(s.sparsity, 1.0);
+}
+
+TEST(Dataset, AllThreeDomainsBuild) {
+  for (Domain dom : {Domain::kInstruments, Domain::kArts, Domain::kGames}) {
+    Dataset d = Dataset::Make(dom, 0.25, 21);
+    EXPECT_GT(d.num_users(), 10) << DomainName(dom);
+    EXPECT_GT(d.num_items(), 10) << DomainName(dom);
+  }
+}
+
+}  // namespace
+}  // namespace lcrec::data

@@ -1,0 +1,129 @@
+// End-to-end pipeline test on a micro configuration:
+// catalog -> text embeddings -> RQ-VAE indices -> vocabulary -> alignment
+// tuning -> trie-constrained generation -> full-ranking evaluation.
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "rec/lcrec.h"
+#include "rec/recommender.h"
+
+namespace lcrec::rec {
+namespace {
+
+LcRecConfig MicroConfig() {
+  LcRecConfig cfg = LcRecConfig::Small();
+  cfg.rqvae.epochs = 40;
+  cfg.rqvae.levels = 3;
+  cfg.rqvae.codebook_size = 24;
+  cfg.llm.d_model = 24;
+  cfg.llm.d_ff = 48;
+  cfg.llm.n_heads = 4;
+  cfg.llm.n_layers = 2;
+  cfg.trainer.epochs = 16;
+  cfg.instructions.max_history = 6;
+  cfg.instructions.seq_targets_per_user = 3;
+  cfg.beam_size = 10;
+  cfg.seed = 13;
+  return cfg;
+}
+
+class LcRecPipelineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    dataset_ = new data::Dataset(
+        data::Dataset::Make(data::Domain::kGames, 0.25, 19));
+    model_ = new LcRec(MicroConfig());
+    model_->Fit(*dataset_);
+  }
+  static void TearDownTestSuite() {
+    delete model_;
+    delete dataset_;
+    model_ = nullptr;
+    dataset_ = nullptr;
+  }
+
+  static data::Dataset* dataset_;
+  static LcRec* model_;
+};
+
+data::Dataset* LcRecPipelineTest::dataset_ = nullptr;
+LcRec* LcRecPipelineTest::model_ = nullptr;
+
+TEST_F(LcRecPipelineTest, IndexingHasNoConflicts) {
+  EXPECT_EQ(model_->indexing().ConflictCount(), 0);
+  EXPECT_EQ(model_->indexing().num_items(), dataset_->num_items());
+}
+
+TEST_F(LcRecPipelineTest, TopKReturnsValidDistinctItems) {
+  auto results = model_->TopK(dataset_->TestContext(0), 10);
+  ASSERT_FALSE(results.empty());
+  std::set<int> seen;
+  for (const auto& r : results) {
+    EXPECT_GE(r.item, 0);
+    EXPECT_LT(r.item, dataset_->num_items());
+    EXPECT_TRUE(seen.insert(r.item).second);
+  }
+}
+
+TEST_F(LcRecPipelineTest, BeatsRandomRanking) {
+  RankingMetrics m = EvaluateGenerative(
+      [&](const std::vector<int>& h) { return model_->TopKIds(h, 10); },
+      *dataset_, 60);
+  // Random full ranking would give HR@10 ~= 10/num_items (< 0.2 here).
+  double random_hr10 = 10.0 / dataset_->num_items();
+  EXPECT_GT(m.hr10, random_hr10 * 1.8)
+      << "HR@10=" << m.hr10 << " random=" << random_hr10;
+}
+
+TEST_F(LcRecPipelineTest, IntentionRetrievalRuns) {
+  core::Rng rng(3);
+  int target = dataset_->TestTarget(0);
+  std::string intent = dataset_->IntentionFor(target, rng);
+  auto results = model_->TopKFromIntention(intent, 10);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST_F(LcRecPipelineTest, CandidateScoringPrefersPlausibleItems) {
+  // Mean per-token logprob must be a finite negative number.
+  float s = model_->ScoreCandidate(dataset_->TestContext(0),
+                                   dataset_->TestTarget(0), false);
+  EXPECT_LT(s, 0.0f);
+  EXPECT_GT(s, -50.0f);
+  float st = model_->ScoreCandidate(dataset_->TestContext(0),
+                                    dataset_->TestTarget(0), true);
+  EXPECT_LT(st, 0.0f);
+}
+
+TEST_F(LcRecPipelineTest, TitleGenerationProducesText) {
+  std::string title = model_->GenerateTitleFromIndices(0, 4);
+  EXPECT_FALSE(title.empty());
+}
+
+TEST_F(LcRecPipelineTest, EmbeddingDumpsHaveExpectedShapes) {
+  core::Tensor idx = model_->IndexTokenEmbeddings();
+  core::Tensor txt = model_->TextTokenEmbeddings(100);
+  EXPECT_GT(idx.rows(), 10);
+  EXPECT_EQ(idx.cols(), model_->model().config().d_model);
+  EXPECT_GT(txt.rows(), 10);
+  EXPECT_LE(txt.rows(), 100);
+}
+
+TEST_F(LcRecPipelineTest, ScoreAllItemsConsistentWithTopK) {
+  auto history = dataset_->TestContext(1);
+  auto scores = model_->ScoreAllItems(history);
+  auto top = model_->TopK(history, 1);
+  ASSERT_FALSE(top.empty());
+  int best = 0;
+  for (int i = 1; i < dataset_->num_items(); ++i) {
+    if (scores[static_cast<size_t>(i)] > scores[static_cast<size_t>(best)]) {
+      best = i;
+    }
+  }
+  EXPECT_EQ(best, top[0].item);
+}
+
+}  // namespace
+}  // namespace lcrec::rec

@@ -1,0 +1,291 @@
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "quant/indexing.h"
+#include "quant/rqvae.h"
+#include "quant/sinkhorn.h"
+
+namespace lcrec::quant {
+namespace {
+
+core::Tensor ClusteredData(int clusters, int per_cluster, int dim,
+                           core::Rng& rng, float spread = 0.05f) {
+  core::Tensor data({clusters * per_cluster, dim});
+  for (int c = 0; c < clusters; ++c) {
+    core::Tensor center = rng.GaussianTensor({dim}, 1.0);
+    for (int i = 0; i < per_cluster; ++i) {
+      for (int j = 0; j < dim; ++j) {
+        data.at((c * per_cluster + i) * dim + j) =
+            center.at(j) + static_cast<float>(rng.Gaussian(0.0, spread));
+      }
+    }
+  }
+  return data;
+}
+
+TEST(Sinkhorn, RowMarginalsAreOne) {
+  core::Rng rng(1);
+  core::Tensor cost = rng.GaussianTensor({20, 5}, 1.0);
+  for (int64_t i = 0; i < cost.size(); ++i) cost.at(i) = std::abs(cost.at(i));
+  core::Tensor q = SinkhornKnopp(cost, 0.1, 100);
+  for (int64_t i = 0; i < 20; ++i) {
+    float s = 0.0f;
+    for (int64_t j = 0; j < 5; ++j) s += q.at(i, j);
+    EXPECT_NEAR(s, 1.0f, 1e-3f);
+  }
+}
+
+TEST(Sinkhorn, ColumnMarginalsAreUniform) {
+  core::Rng rng(2);
+  core::Tensor cost = rng.GaussianTensor({40, 8}, 1.0);
+  for (int64_t i = 0; i < cost.size(); ++i) cost.at(i) = std::abs(cost.at(i));
+  core::Tensor q = SinkhornKnopp(cost, 0.1, 200);
+  for (int64_t j = 0; j < 8; ++j) {
+    float s = 0.0f;
+    for (int64_t i = 0; i < 40; ++i) s += q.at(i, j);
+    EXPECT_NEAR(s, 5.0f, 5e-2f);  // 40 / 8
+  }
+}
+
+TEST(Sinkhorn, PrefersLowCostCells) {
+  // 4 rows, 2 cols; rows 0,1 cheap in col 0, rows 2,3 cheap in col 1.
+  core::Tensor cost({4, 2}, {0.0f, 1.0f, 0.0f, 1.0f, 1.0f, 0.0f, 1.0f, 0.0f});
+  core::Tensor q = SinkhornKnopp(cost, 0.05, 200);
+  EXPECT_GT(q.at(0, 0), q.at(0, 1));
+  EXPECT_GT(q.at(3, 1), q.at(3, 0));
+}
+
+TEST(BalancedAssign, RespectsCapacity) {
+  core::Rng rng(3);
+  core::Tensor plan = rng.UniformTensor({12, 4}, 1.0);
+  for (int64_t i = 0; i < plan.size(); ++i) plan.at(i) = std::abs(plan.at(i));
+  std::vector<int> a = BalancedAssign(plan, 3);
+  std::map<int, int> load;
+  for (int c : a) {
+    ASSERT_GE(c, 0);
+    ASSERT_LT(c, 4);
+    ++load[c];
+  }
+  for (const auto& [c, n] : load) {
+    (void)c;
+    EXPECT_LE(n, 3);
+  }
+}
+
+TEST(BalancedAssign, CapacityOneIsAPermutation) {
+  core::Rng rng(4);
+  core::Tensor plan = rng.UniformTensor({6, 6}, 1.0);
+  for (int64_t i = 0; i < plan.size(); ++i) plan.at(i) = std::abs(plan.at(i));
+  std::vector<int> a = BalancedAssign(plan, 1);
+  std::set<int> used(a.begin(), a.end());
+  EXPECT_EQ(used.size(), 6u);
+}
+
+RqVaeConfig SmallConfig() {
+  RqVaeConfig cfg;
+  cfg.input_dim = 16;
+  cfg.hidden_dim = 32;
+  cfg.latent_dim = 8;
+  cfg.levels = 3;
+  cfg.codebook_size = 8;
+  cfg.epochs = 60;
+  cfg.batch_size = 256;
+  cfg.seed = 5;
+  return cfg;
+}
+
+TEST(RqVae, TrainingReducesLoss) {
+  core::Rng rng(6);
+  core::Tensor data = ClusteredData(8, 16, 16, rng);
+  RqVae vae(SmallConfig());
+  float first = vae.TrainEpoch(data);
+  float last = 0.0f;
+  for (int e = 0; e < 100; ++e) last = vae.TrainEpoch(data);
+  EXPECT_LT(last, first * 0.85f);
+}
+
+TEST(RqVae, ReconstructionErrorDropsWithTraining) {
+  core::Rng rng(7);
+  core::Tensor data = ClusteredData(8, 16, 16, rng);
+  RqVae vae(SmallConfig());
+  vae.TrainEpoch(data);
+  float before = vae.ReconstructionError(data);
+  for (int e = 0; e < 50; ++e) vae.TrainEpoch(data);
+  float after = vae.ReconstructionError(data);
+  EXPECT_LT(after, before);
+}
+
+TEST(RqVae, QuantizeShapes) {
+  core::Rng rng(8);
+  core::Tensor data = ClusteredData(4, 8, 16, rng);
+  RqVae vae(SmallConfig());
+  vae.TrainEpoch(data);
+  auto q = vae.QuantizeAll(data);
+  ASSERT_EQ(q.codes.size(), 32u);
+  for (const auto& c : q.codes) {
+    ASSERT_EQ(c.size(), 3u);
+    for (int code : c) {
+      EXPECT_GE(code, 0);
+      EXPECT_LT(code, 8);
+    }
+  }
+  EXPECT_EQ(q.last_residuals.rows(), 32);
+  EXPECT_EQ(q.last_residuals.cols(), 8);
+}
+
+TEST(RqVae, SimilarInputsShareFirstCode) {
+  // After training on well-separated clusters, items of the same cluster
+  // should mostly share their level-1 codeword (coarse-to-fine semantics).
+  core::Rng rng(9);
+  int clusters = 6, per = 20;
+  core::Tensor data = ClusteredData(clusters, per, 16, rng, 0.02f);
+  RqVaeConfig cfg = SmallConfig();
+  cfg.epochs = 80;
+  RqVae vae(cfg);
+  vae.Train(data);
+  auto q = vae.QuantizeAll(data);
+  int agree = 0, total = 0;
+  for (int c = 0; c < clusters; ++c) {
+    std::map<int, int> votes;
+    for (int i = 0; i < per; ++i) ++votes[q.codes[c * per + i][0]];
+    int best = 0;
+    for (const auto& [code, n] : votes) {
+      (void)code;
+      best = std::max(best, n);
+    }
+    agree += best;
+    total += per;
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.7);
+}
+
+TEST(Indexing, UsmRemovesAllConflicts) {
+  core::Rng rng(10);
+  // Tight clusters guarantee raw RQ conflicts. The last-level codebook
+  // (32) is larger than any conflicting leaf group (16), the regime the
+  // paper operates in (K=256 vs. small leaf groups).
+  core::Tensor data = ClusteredData(4, 16, 16, rng, 0.001f);
+  RqVaeConfig cfg = SmallConfig();
+  cfg.codebook_size = 32;
+  cfg.epochs = 30;
+  RqVae vae(cfg);
+  vae.Train(data);
+  // Raw nearest-neighbour quantization must collide on identical inputs.
+  auto q = vae.QuantizeAll(data);
+  std::map<std::vector<int>, int> uniq;
+  for (const auto& code : q.codes) ++uniq[code];
+  int raw_conflicts = 0;
+  for (const auto& [code, cnt] : uniq) {
+    (void)code;
+    if (cnt > 1) raw_conflicts += cnt;
+  }
+  EXPECT_GT(raw_conflicts, 0);
+  ItemIndexing usm = ItemIndexing::FromRqVae(vae, data, true);
+  EXPECT_EQ(usm.ConflictCount(), 0);
+  // USM keeps the prefix codes: only the last level is redistributed.
+  for (int i = 0; i < usm.num_items(); ++i) {
+    for (int h = 0; h + 1 < 3; ++h) EXPECT_EQ(usm.codes(i)[h], q.codes[i][h]);
+  }
+}
+
+TEST(Indexing, NoUsmUsesSupplementaryLevel) {
+  core::Rng rng(11);
+  core::Tensor data = ClusteredData(2, 24, 16, rng, 0.0005f);
+  RqVaeConfig cfg = SmallConfig();
+  cfg.epochs = 20;
+  RqVae vae(cfg);
+  vae.Train(data);
+  ItemIndexing idx = ItemIndexing::FromRqVae(vae, data, false);
+  EXPECT_EQ(idx.ConflictCount(), 0);  // supplementary ids disambiguate
+  // Some item should have a longer (supplemented) code than the base depth.
+  bool any_longer = false;
+  for (int i = 0; i < idx.num_items(); ++i)
+    any_longer |= idx.codes(i).size() > 3;
+  EXPECT_TRUE(any_longer);
+}
+
+TEST(Indexing, RandomIsUniqueAndInRange) {
+  core::Rng rng(12);
+  ItemIndexing idx = ItemIndexing::Random(100, 4, 8, rng);
+  EXPECT_EQ(idx.ConflictCount(), 0);
+  EXPECT_EQ(idx.num_items(), 100);
+  for (int i = 0; i < 100; ++i) {
+    for (int c : idx.codes(i)) {
+      EXPECT_GE(c, 0);
+      EXPECT_LT(c, 8);
+    }
+  }
+}
+
+TEST(Indexing, VanillaIdOneLevel) {
+  ItemIndexing idx = ItemIndexing::VanillaId(10);
+  EXPECT_EQ(idx.levels(), 1);
+  EXPECT_EQ(idx.ConflictCount(), 0);
+  EXPECT_EQ(idx.codes(7)[0], 7);
+}
+
+TEST(Indexing, TokenStringsFollowPaperFormat) {
+  EXPECT_EQ(ItemIndexing::TokenString(0, 124), "<a_124>");
+  EXPECT_EQ(ItemIndexing::TokenString(1, 192), "<b_192>");
+  EXPECT_EQ(ItemIndexing::TokenString(3, 17), "<d_17>");
+}
+
+TEST(Indexing, ItemTokenTextConcatenatesLevels) {
+  ItemIndexing idx = ItemIndexing::VanillaId(3);
+  EXPECT_EQ(idx.ItemTokenText(2), "<a_2>");
+  core::Rng rng(13);
+  ItemIndexing multi = ItemIndexing::Random(5, 3, 4, rng);
+  std::string text = multi.ItemTokenText(0);
+  EXPECT_NE(text.find("<a_"), std::string::npos);
+  EXPECT_NE(text.find("<b_"), std::string::npos);
+  EXPECT_NE(text.find("<c_"), std::string::npos);
+}
+
+TEST(Trie, ResolvesEveryItemExactly) {
+  core::Rng rng(14);
+  ItemIndexing idx = ItemIndexing::Random(60, 4, 6, rng);
+  PrefixTrie trie(idx);
+  for (int i = 0; i < 60; ++i) {
+    EXPECT_EQ(trie.ItemAt(idx.codes(i)), i);
+  }
+}
+
+TEST(Trie, NextCodesMatchChildren) {
+  ItemIndexing idx = ItemIndexing::VanillaId(4);
+  PrefixTrie trie(idx);
+  auto roots = trie.NextCodes({});
+  EXPECT_EQ(roots.size(), 4u);
+  EXPECT_TRUE(trie.NextCodes({0}).empty());  // complete
+}
+
+TEST(Trie, InvalidPrefixRejected) {
+  core::Rng rng(15);
+  ItemIndexing idx = ItemIndexing::Random(10, 3, 4, rng);
+  PrefixTrie trie(idx);
+  EXPECT_FALSE(trie.IsValidPrefix({99}));
+  EXPECT_TRUE(trie.IsValidPrefix({}));
+  EXPECT_EQ(trie.ItemAt({99, 99, 99}), -1);
+}
+
+TEST(Trie, PropertyEveryPathLeadsToAnItem) {
+  // Walking the trie greedily from the root along any child chain must
+  // terminate at a node holding an item.
+  core::Rng rng(16);
+  ItemIndexing idx = ItemIndexing::Random(40, 3, 5, rng);
+  PrefixTrie trie(idx);
+  std::vector<int> prefix;
+  for (int step = 0; step < 3; ++step) {
+    auto next = trie.NextCodes(prefix);
+    ASSERT_FALSE(next.empty());
+    prefix.push_back(next[static_cast<size_t>(rng.Below(next.size()))]);
+  }
+  EXPECT_GE(trie.ItemAt(prefix), 0);
+}
+
+}  // namespace
+}  // namespace lcrec::quant

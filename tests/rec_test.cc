@@ -1,0 +1,159 @@
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "rec/metrics.h"
+#include "rec/negatives.h"
+#include "rec/recommender.h"
+
+namespace lcrec::rec {
+namespace {
+
+TEST(Metrics, AddRankHandComputed) {
+  RankingMetrics m;
+  m.AddRank(0);   // hit everywhere
+  m.AddRank(4);   // in top5/top10, not top1
+  m.AddRank(9);   // top10 only
+  m.AddRank(-1);  // miss
+  RankingMetrics mean = m.Mean();
+  EXPECT_EQ(mean.count, 4);
+  EXPECT_DOUBLE_EQ(mean.hr1, 0.25);
+  EXPECT_DOUBLE_EQ(mean.hr5, 0.5);
+  EXPECT_DOUBLE_EQ(mean.hr10, 0.75);
+  double g0 = 1.0 / std::log2(2.0);
+  double g4 = 1.0 / std::log2(6.0);
+  double g9 = 1.0 / std::log2(11.0);
+  EXPECT_NEAR(mean.ndcg5, (g0 + g4) / 4.0, 1e-12);
+  EXPECT_NEAR(mean.ndcg10, (g0 + g4 + g9) / 4.0, 1e-12);
+}
+
+TEST(Metrics, RankOfDescendingScores) {
+  std::vector<float> scores = {0.1f, 0.9f, 0.5f, 0.7f};
+  EXPECT_EQ(RankOf(scores, 1), 0);
+  EXPECT_EQ(RankOf(scores, 3), 1);
+  EXPECT_EQ(RankOf(scores, 2), 2);
+  EXPECT_EQ(RankOf(scores, 0), 3);
+}
+
+TEST(Metrics, RankOfBreaksTiesByItemId) {
+  std::vector<float> scores = {0.5f, 0.5f, 0.5f};
+  EXPECT_EQ(RankOf(scores, 0), 0);
+  EXPECT_EQ(RankOf(scores, 1), 1);
+  EXPECT_EQ(RankOf(scores, 2), 2);
+}
+
+TEST(Metrics, RankInList) {
+  EXPECT_EQ(RankInList({5, 3, 8}, 3), 1);
+  EXPECT_EQ(RankInList({5, 3, 8}, 9), -1);
+}
+
+/// A planted oracle: scores the true test target highest.
+class OracleRecommender : public ScoringRecommender {
+ public:
+  explicit OracleRecommender(const data::Dataset* d) : dataset_(d) {}
+  std::string name() const override { return "Oracle"; }
+  void Fit(const data::Dataset&) override {}
+  std::vector<float> ScoreAllItems(
+      const std::vector<int>& history) const override {
+    // The oracle cheats: it looks up which user this history belongs to.
+    std::vector<float> scores(static_cast<size_t>(dataset_->num_items()), 0.0f);
+    for (int u = 0; u < dataset_->num_users(); ++u) {
+      if (dataset_->TestContext(u) == history) {
+        scores[static_cast<size_t>(dataset_->TestTarget(u))] = 1.0f;
+        break;
+      }
+    }
+    return scores;
+  }
+
+ private:
+  const data::Dataset* dataset_;
+};
+
+TEST(Evaluator, OracleScoresPerfectly) {
+  data::Dataset d = data::Dataset::Make(data::Domain::kInstruments, 0.25, 3);
+  OracleRecommender oracle(&d);
+  RankingMetrics m = EvaluateScoring(oracle, d, 50);
+  EXPECT_DOUBLE_EQ(m.hr1, 1.0);
+  EXPECT_DOUBLE_EQ(m.ndcg10, 1.0);
+}
+
+TEST(Evaluator, GenerativeAgreesWithLists) {
+  data::Dataset d = data::Dataset::Make(data::Domain::kInstruments, 0.25, 3);
+  // A generator that always ranks the target second.
+  auto top = [&](const std::vector<int>& history) {
+    for (int u = 0; u < d.num_users(); ++u) {
+      if (d.TestContext(u) == history) {
+        int t = d.TestTarget(u);
+        int other = t == 0 ? 1 : 0;
+        return std::vector<int>{other, t};
+      }
+    }
+    return std::vector<int>{};
+  };
+  RankingMetrics m = EvaluateGenerative(top, d, 40);
+  EXPECT_DOUBLE_EQ(m.hr1, 0.0);
+  EXPECT_DOUBLE_EQ(m.hr5, 1.0);
+  EXPECT_NEAR(m.ndcg5, 1.0 / std::log2(3.0), 1e-12);
+}
+
+TEST(Negatives, RandomNegativesNeverEqualTarget) {
+  data::Dataset d = data::Dataset::Make(data::Domain::kGames, 0.25, 7);
+  core::Rng rng(3);
+  auto negs = RandomNegatives(d, rng);
+  ASSERT_EQ(static_cast<int>(negs.size()), d.num_users());
+  for (int u = 0; u < d.num_users(); ++u) {
+    EXPECT_NE(negs[static_cast<size_t>(u)], d.TestTarget(u));
+    EXPECT_GE(negs[static_cast<size_t>(u)], 0);
+    EXPECT_LT(negs[static_cast<size_t>(u)], d.num_items());
+  }
+}
+
+TEST(Negatives, HardNegativesAreMostSimilar) {
+  data::Dataset d = data::Dataset::Make(data::Domain::kGames, 0.25, 7);
+  // Embeddings where item i and i^1 are nearly identical.
+  int n = d.num_items();
+  core::Rng rng(5);
+  core::Tensor emb({n, 8});
+  for (int i = 0; i < n; i += 2) {
+    core::Tensor v = rng.GaussianTensor({8}, 1.0);
+    for (int j = 0; j < 8; ++j) {
+      emb.at(static_cast<int64_t>(i) * 8 + j) = v.at(j);
+      if (i + 1 < n) {
+        emb.at(static_cast<int64_t>(i + 1) * 8 + j) = v.at(j) + 0.001f;
+      }
+    }
+  }
+  auto negs = HardNegatives(d, emb);
+  int paired = 0;
+  for (int u = 0; u < d.num_users(); ++u) {
+    int t = d.TestTarget(u);
+    if ((t ^ 1) < n && negs[static_cast<size_t>(u)] == (t ^ 1)) ++paired;
+  }
+  // Almost every negative should be the planted twin.
+  EXPECT_GT(static_cast<double>(paired) / d.num_users(), 0.9);
+}
+
+TEST(Negatives, PairwiseAccuracyOracleIsOne) {
+  data::Dataset d = data::Dataset::Make(data::Domain::kArts, 0.25, 9);
+  core::Rng rng(4);
+  auto negs = RandomNegatives(d, rng);
+  // Scorer that knows the answer: target of the matching user scores 1.
+  auto scorer = [&](const std::vector<int>& history, int item) -> float {
+    for (int u = 0; u < d.num_users(); ++u) {
+      if (d.TestContext(u) == history) {
+        return item == d.TestTarget(u) ? 1.0f : 0.0f;
+      }
+    }
+    return 0.0f;
+  };
+  EXPECT_DOUBLE_EQ(PairwiseAccuracy(scorer, d, negs, 30), 1.0);
+  // A constant scorer is exactly at chance (ties count half).
+  auto constant = [](const std::vector<int>&, int) { return 0.5f; };
+  EXPECT_DOUBLE_EQ(PairwiseAccuracy(constant, d, negs, 30), 0.5);
+}
+
+}  // namespace
+}  // namespace lcrec::rec

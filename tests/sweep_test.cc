@@ -1,0 +1,215 @@
+// Cross-module parameterized property sweeps that exercise the pipeline
+// pieces without any training (cheap, wide coverage).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "quant/indexing.h"
+#include "rec/metrics.h"
+#include "tasks/instructions.h"
+#include "text/encoder.h"
+#include "text/vocab.h"
+
+namespace lcrec {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Dataset invariants over (domain, scale, seed).
+// ---------------------------------------------------------------------------
+
+using DataCase = std::tuple<data::Domain, double, uint64_t>;
+
+class DatasetSweep : public ::testing::TestWithParam<DataCase> {};
+
+TEST_P(DatasetSweep, LeaveOneOutInvariants) {
+  auto [domain, scale, seed] = GetParam();
+  data::Dataset d = data::Dataset::Make(domain, scale, seed);
+  ASSERT_GT(d.num_users(), 0);
+  ASSERT_GT(d.num_items(), 0);
+  for (int u = 0; u < d.num_users(); ++u) {
+    const auto& seq = d.sequence(u);
+    // 5-core: every user keeps >= 5 interactions.
+    ASSERT_GE(seq.size(), 5u);
+    // Split structure: train + valid + test partition the sequence.
+    auto train = d.TrainItems(u);
+    EXPECT_EQ(train.size() + 2, seq.size());
+    EXPECT_EQ(d.ValidTarget(u), seq[seq.size() - 2]);
+    EXPECT_EQ(d.TestTarget(u), seq.back());
+    // Contexts are suffixes bounded by max_seq_len.
+    auto ctx = d.TestContext(u);
+    EXPECT_LE(static_cast<int>(ctx.size()), d.max_seq_len());
+    EXPECT_TRUE(std::equal(ctx.rbegin(), ctx.rend(), seq.rbegin() + 1));
+    for (int it : seq) {
+      EXPECT_GE(it, 0);
+      EXPECT_LT(it, d.num_items());
+    }
+  }
+}
+
+TEST_P(DatasetSweep, EveryItemHasFiveOccurrences) {
+  auto [domain, scale, seed] = GetParam();
+  data::Dataset d = data::Dataset::Make(domain, scale, seed);
+  std::map<int, int> counts;
+  for (int u = 0; u < d.num_users(); ++u) {
+    for (int it : d.sequence(u)) ++counts[it];
+  }
+  for (const auto& [item, count] : counts) {
+    (void)item;
+    EXPECT_GE(count, 5);
+  }
+}
+
+TEST_P(DatasetSweep, TextUtilitiesCoverEveryItem) {
+  auto [domain, scale, seed] = GetParam();
+  data::Dataset d = data::Dataset::Make(domain, scale, seed);
+  core::Rng rng(seed);
+  for (int i = 0; i < d.num_items(); ++i) {
+    EXPECT_FALSE(d.ItemDocument(i).empty());
+    EXPECT_FALSE(d.IntentionFor(i, rng).empty());
+    EXPECT_FALSE(d.ReviewFor(i, rng).empty());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Domains, DatasetSweep,
+    ::testing::Combine(::testing::Values(data::Domain::kInstruments,
+                                         data::Domain::kArts,
+                                         data::Domain::kGames),
+                       ::testing::Values(0.2, 0.4),
+                       ::testing::Values(7u, 19u)));
+
+// ---------------------------------------------------------------------------
+// Indexing scheme invariants over (levels, codebook size).
+// ---------------------------------------------------------------------------
+
+using IndexCase = std::tuple<int, int>;
+
+class RandomIndexingSweep : public ::testing::TestWithParam<IndexCase> {};
+
+TEST_P(RandomIndexingSweep, UniqueAndTrieConsistent) {
+  auto [levels, k] = GetParam();
+  int items = std::min(80, k * k);  // keep the space feasible
+  core::Rng rng(static_cast<uint64_t>(levels * 100 + k));
+  quant::ItemIndexing idx = quant::ItemIndexing::Random(items, levels, k, rng);
+  EXPECT_EQ(idx.ConflictCount(), 0);
+  quant::PrefixTrie trie(idx);
+  std::set<std::string> token_texts;
+  for (int i = 0; i < items; ++i) {
+    EXPECT_EQ(trie.ItemAt(idx.codes(i)), i);
+    EXPECT_TRUE(trie.IsValidPrefix(idx.codes(i)));
+    token_texts.insert(idx.ItemTokenText(i));
+  }
+  // Token texts are unique per item (decoding is unambiguous).
+  EXPECT_EQ(token_texts.size(), static_cast<size_t>(items));
+  // Walking any maximal path ends at an item.
+  std::vector<int> prefix;
+  while (true) {
+    auto next = trie.NextCodes(prefix);
+    if (next.empty()) break;
+    prefix.push_back(next[0]);
+  }
+  EXPECT_GE(trie.ItemAt(prefix), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RandomIndexingSweep,
+                         ::testing::Combine(::testing::Values(2, 3, 5),
+                                            ::testing::Values(4, 9, 16)));
+
+// ---------------------------------------------------------------------------
+// Metrics edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsEdge, EmptyAccumulatorIsZero) {
+  rec::RankingMetrics m;
+  rec::RankingMetrics mean = m.Mean();
+  EXPECT_EQ(mean.count, 0);
+  EXPECT_EQ(mean.hr10, 0.0);
+}
+
+TEST(MetricsEdge, RankExactlyAtBoundary) {
+  rec::RankingMetrics m;
+  m.AddRank(4);  // last slot of top-5
+  rec::RankingMetrics mean = m.Mean();
+  EXPECT_EQ(mean.hr5, 1.0);
+  m.AddRank(5);  // first slot outside top-5
+  mean = m.Mean();
+  EXPECT_EQ(mean.hr5, 0.5);
+  EXPECT_EQ(mean.hr10, 1.0);
+}
+
+TEST(MetricsEdge, SingleItemScores) {
+  std::vector<float> scores = {0.3f};
+  EXPECT_EQ(rec::RankOf(scores, 0), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Instruction rendering over all mixtures (no training).
+// ---------------------------------------------------------------------------
+
+class MixtureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(MixtureSweep, EveryExampleHasPromptAndResponse) {
+  int bits = GetParam();
+  tasks::TaskMixture mix;
+  mix.mut = bits & 1;
+  mix.asy = bits & 2;
+  mix.ite = bits & 4;
+  mix.per = bits & 8;
+  static const data::Dataset* dataset = new data::Dataset(
+      data::Dataset::Make(data::Domain::kArts, 0.2, 51));
+  static quant::ItemIndexing* indexing = [] {
+    core::Rng rng(9);
+    return new quant::ItemIndexing(
+        quant::ItemIndexing::Random(200, 4, 24, rng));
+  }();
+  static text::Vocabulary* vocab = nullptr;
+  static tasks::InstructionBuilder* builder = nullptr;
+  if (builder == nullptr) {
+    vocab = new text::Vocabulary();
+    builder = new tasks::InstructionBuilder(dataset, indexing, vocab);
+    builder->RegisterVocabulary();
+  }
+  core::Rng rng(static_cast<uint64_t>(bits));
+  auto examples = builder->BuildEpoch(mix, rng);
+  ASSERT_FALSE(examples.empty());
+  for (const auto& ex : examples) {
+    EXPECT_FALSE(ex.prompt.empty());
+    EXPECT_FALSE(ex.response.empty());
+    EXPECT_FALSE(ex.task.empty());
+    for (int id : ex.prompt) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, vocab->size());
+    }
+    for (int id : ex.response) {
+      EXPECT_GE(id, 0);
+      EXPECT_LT(id, vocab->size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMixtures, MixtureSweep, ::testing::Range(0, 16));
+
+// ---------------------------------------------------------------------------
+// Text encoder determinism over dimensions.
+// ---------------------------------------------------------------------------
+
+class EncoderDimSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderDimSweep, UnitNormAndDimension) {
+  int dim = GetParam();
+  text::TextEncoder enc(dim, 77);
+  core::Tensor e = enc.Encode("electric guitar with maple fretboard");
+  EXPECT_EQ(e.size(), dim);
+  EXPECT_NEAR(e.SquaredNorm(), 1.0f, 1e-3f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Dims, EncoderDimSweep,
+                         ::testing::Values(8, 16, 48, 128));
+
+}  // namespace
+}  // namespace lcrec

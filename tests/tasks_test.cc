@@ -1,0 +1,165 @@
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "data/dataset.h"
+#include "quant/indexing.h"
+#include "tasks/instructions.h"
+#include "text/vocab.h"
+
+namespace lcrec::tasks {
+namespace {
+
+class InstructionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dataset_ = std::make_unique<data::Dataset>(
+        data::Dataset::Make(data::Domain::kGames, 0.25, 31));
+    core::Rng rng(2);
+    indexing_ = std::make_unique<quant::ItemIndexing>(
+        quant::ItemIndexing::Random(dataset_->num_items(), 4, 32, rng));
+    builder_ = std::make_unique<InstructionBuilder>(
+        dataset_.get(), indexing_.get(), &vocab_);
+    builder_->RegisterVocabulary();
+  }
+
+  std::unique_ptr<data::Dataset> dataset_;
+  std::unique_ptr<quant::ItemIndexing> indexing_;
+  text::Vocabulary vocab_;
+  std::unique_ptr<InstructionBuilder> builder_;
+};
+
+TEST_F(InstructionTest, VocabularyCoversIndexTokens) {
+  for (const std::string& tok : indexing_->AllTokenStrings()) {
+    EXPECT_TRUE(vocab_.Contains(tok)) << tok;
+  }
+}
+
+TEST_F(InstructionTest, VocabularyCoversItemText) {
+  // No <unk> should appear when encoding any item document.
+  for (int i = 0; i < dataset_->num_items(); ++i) {
+    for (int id : vocab_.Encode(dataset_->ItemDocument(i))) {
+      EXPECT_NE(id, text::Vocabulary::kUnk);
+    }
+  }
+}
+
+TEST_F(InstructionTest, SeqExampleTargetsItemIndices) {
+  core::Rng rng(5);
+  auto hist = dataset_->TrainContext(0);
+  int target = dataset_->ValidTarget(0);
+  llm::TrainExample ex = builder_->SeqExample(hist, target, rng);
+  EXPECT_EQ(ex.task, "seq");
+  EXPECT_FALSE(ex.prompt.empty());
+  ASSERT_EQ(ex.response.size(), indexing_->codes(target).size());
+  // Response ids decode back to the item's index tokens.
+  auto toks = indexing_->ItemTokens(target);
+  for (size_t h = 0; h < toks.size(); ++h) {
+    EXPECT_EQ(vocab_.TokenOf(ex.response[h]), toks[h]);
+  }
+}
+
+TEST_F(InstructionTest, PromptContainsNoUnk) {
+  core::Rng rng(6);
+  auto hist = dataset_->TrainContext(1);
+  for (int rep = 0; rep < 8; ++rep) {
+    llm::TrainExample ex = builder_->SeqExample(hist,
+                                                dataset_->ValidTarget(1), rng);
+    for (int id : ex.prompt) EXPECT_NE(id, text::Vocabulary::kUnk);
+    ex = builder_->IteQueryExample(dataset_->TestTarget(1), rng);
+    for (int id : ex.prompt) EXPECT_NE(id, text::Vocabulary::kUnk);
+    ex = builder_->PerExample(hist, rng);
+    for (int id : ex.response) EXPECT_NE(id, text::Vocabulary::kUnk);
+  }
+}
+
+TEST_F(InstructionTest, MutualAlignmentExamplesAreInverse) {
+  core::Rng rng(7);
+  llm::TrainExample fwd = builder_->MutItemToIndexExample(3, rng);
+  llm::TrainExample bwd = builder_->MutIndexToItemExample(3, rng);
+  // fwd response = index tokens; bwd prompt contains the same tokens.
+  std::set<int> bwd_prompt(bwd.prompt.begin(), bwd.prompt.end());
+  for (int id : fwd.response) {
+    EXPECT_TRUE(bwd_prompt.count(id)) << vocab_.TokenOf(id);
+  }
+}
+
+TEST_F(InstructionTest, HistoryIsClampedToMaxHistory) {
+  core::Rng rng(8);
+  std::vector<int> long_hist(40, 0);
+  for (size_t i = 0; i < long_hist.size(); ++i) {
+    long_hist[i] = static_cast<int>(i % dataset_->num_items());
+  }
+  llm::TrainExample ex = builder_->SeqExample(long_hist, 0, rng);
+  // Each history item renders `levels` index tokens; the prompt must stay
+  // within max_history * levels + template words.
+  int max_index_tokens = builder_->config().max_history * indexing_->levels();
+  int index_tokens = 0;
+  for (int id : ex.prompt) {
+    if (vocab_.TokenOf(id).rfind("<a_", 0) == 0 ||
+        vocab_.TokenOf(id)[0] == '<') {
+      ++index_tokens;
+    }
+  }
+  EXPECT_LE(index_tokens, max_index_tokens);
+}
+
+TEST_F(InstructionTest, BuildEpochSeqOnlyHasOnlySeq) {
+  core::Rng rng(9);
+  auto examples = builder_->BuildEpoch(TaskMixture::SeqOnly(), rng);
+  ASSERT_FALSE(examples.empty());
+  for (const auto& ex : examples) EXPECT_EQ(ex.task, "seq");
+}
+
+TEST_F(InstructionTest, BuildEpochAllContainsEveryTask) {
+  core::Rng rng(10);
+  auto examples = builder_->BuildEpoch(TaskMixture::All(), rng);
+  std::set<std::string> tasks;
+  for (const auto& ex : examples) tasks.insert(ex.task);
+  EXPECT_TRUE(tasks.count("seq"));
+  EXPECT_TRUE(tasks.count("mut"));
+  EXPECT_TRUE(tasks.count("asy"));
+  EXPECT_TRUE(tasks.count("ite"));
+  EXPECT_TRUE(tasks.count("per"));
+}
+
+TEST_F(InstructionTest, EpochsDifferAcrossCalls) {
+  // One-template-per-example-per-epoch: two epochs over the same data must
+  // not render identical prompts everywhere.
+  core::Rng rng(11);
+  auto e1 = builder_->BuildEpoch(TaskMixture::SeqOnly(), rng);
+  auto e2 = builder_->BuildEpoch(TaskMixture::SeqOnly(), rng);
+  ASSERT_FALSE(e1.empty());
+  int differing = 0;
+  size_t n = std::min(e1.size(), e2.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (e1[i].prompt != e2[i].prompt) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST_F(InstructionTest, MixtureNames) {
+  EXPECT_EQ(TaskMixture::SeqOnly().Name(), "SEQ");
+  EXPECT_EQ(TaskMixture::All().Name(), "SEQ+MUT+ASY+ITE+PER");
+  TaskMixture m;
+  m.mut = true;
+  EXPECT_EQ(m.Name(), "SEQ+MUT");
+}
+
+TEST_F(InstructionTest, EvalPromptsAreStable) {
+  auto hist = dataset_->TestContext(0);
+  auto p1 = builder_->SeqPrompt(hist);
+  auto p2 = builder_->SeqPrompt(hist);
+  EXPECT_EQ(p1, p2);
+  EXPECT_FALSE(builder_->IntentionPrompt("looking for a puzzle").empty());
+}
+
+TEST_F(InstructionTest, TitleOfItemPromptTruncatesLevels) {
+  auto p1 = builder_->TitleOfItemPrompt(0, 1);
+  auto p4 = builder_->TitleOfItemPrompt(0, 4);
+  EXPECT_LT(p1.size(), p4.size());
+}
+
+}  // namespace
+}  // namespace lcrec::tasks

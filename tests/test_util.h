@@ -1,0 +1,58 @@
+#ifndef LCREC_TESTS_TEST_UTIL_H_
+#define LCREC_TESTS_TEST_UTIL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+
+namespace lcrec::testing {
+
+/// Gradient check helper. `forward` builds a scalar loss var from the
+/// parameter var and returns it; this helper runs backward once and
+/// compares the analytic gradient against central finite differences over
+/// every coordinate of the parameter.
+inline void CheckGradientOf(
+    core::Parameter* param,
+    const std::function<core::VarId(core::Graph&, core::VarId)>& forward,
+    float eps = 1e-2f, float tol = 2e-2f) {
+  param->grad.Fill(0.0f);
+  {
+    core::Graph g;
+    core::VarId p = g.Param(param);
+    core::VarId loss = forward(g, p);
+    ASSERT_EQ(g.val(loss).size(), 1) << "loss must be scalar";
+    g.Backward(loss);
+  }
+  core::Tensor analytic = param->grad;
+
+  auto eval = [&]() {
+    core::Graph g;
+    core::VarId p = g.Param(param);
+    core::VarId loss = forward(g, p);
+    return g.val(loss).item();
+  };
+
+  for (int64_t i = 0; i < param->value.size(); ++i) {
+    float orig = param->value.at(i);
+    param->value.at(i) = orig + eps;
+    float up = eval();
+    param->value.at(i) = orig - eps;
+    float down = eval();
+    param->value.at(i) = orig;
+    float numeric = (up - down) / (2.0f * eps);
+    float a = analytic.at(i);
+    float denom = std::max({1.0f, std::abs(a), std::abs(numeric)});
+    EXPECT_NEAR(a / denom, numeric / denom, tol)
+        << "coordinate " << i << " analytic=" << a << " numeric=" << numeric;
+  }
+}
+
+}  // namespace lcrec::testing
+
+#endif  // LCREC_TESTS_TEST_UTIL_H_

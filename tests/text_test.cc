@@ -1,0 +1,116 @@
+#include <gtest/gtest.h>
+
+#include "core/linalg.h"
+#include "text/encoder.h"
+#include "text/vocab.h"
+
+namespace lcrec::text {
+namespace {
+
+TEST(Tokenize, LowercasesAndSplits) {
+  auto toks = Tokenize("Hello, World! 3DS");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0], "hello");
+  EXPECT_EQ(toks[1], "world");
+  EXPECT_EQ(toks[2], "3ds");
+}
+
+TEST(Tokenize, KeepsIndexTokensIntact) {
+  auto toks = Tokenize("history: <a_124><b_192> next item");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_EQ(toks[0], "history");
+  EXPECT_EQ(toks[1], "<a_124>");
+  EXPECT_EQ(toks[2], "<b_192>");
+  EXPECT_EQ(toks[3], "next");
+}
+
+TEST(Tokenize, UnclosedAngleBracketIsSkipped) {
+  auto toks = Tokenize("a < b");
+  // The lone '<' has no closing '>' and is dropped; words survive.
+  ASSERT_EQ(toks.size(), 2u);
+  EXPECT_EQ(toks[0], "a");
+  EXPECT_EQ(toks[1], "b");
+}
+
+TEST(Tokenize, EmptyString) { EXPECT_TRUE(Tokenize("").empty()); }
+
+TEST(Vocabulary, SpecialTokensReserved) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("<pad>"), Vocabulary::kPad);
+  EXPECT_EQ(v.Id("<bos>"), Vocabulary::kBos);
+  EXPECT_EQ(v.Id("<eos>"), Vocabulary::kEos);
+  EXPECT_EQ(v.Id("<unk>"), Vocabulary::kUnk);
+  EXPECT_EQ(v.size(), 4);
+}
+
+TEST(Vocabulary, AddTokenIsIdempotent) {
+  Vocabulary v;
+  int a = v.AddToken("guitar");
+  int b = v.AddToken("guitar");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(v.size(), 5);
+}
+
+TEST(Vocabulary, UnknownMapsToUnk) {
+  Vocabulary v;
+  EXPECT_EQ(v.Id("nonexistent"), Vocabulary::kUnk);
+  EXPECT_FALSE(v.Contains("nonexistent"));
+}
+
+TEST(Vocabulary, EncodeDecodeRoundTrip) {
+  Vocabulary v;
+  v.AddToken("red");
+  v.AddToken("guitar");
+  v.AddToken("<a_3>");
+  auto ids = v.Encode("red guitar <a_3>");
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(v.Decode(ids), "red guitar <a_3>");
+}
+
+TEST(Vocabulary, DecodeSkipsSpecials) {
+  Vocabulary v;
+  int w = v.AddToken("word");
+  EXPECT_EQ(v.Decode({Vocabulary::kBos, w, Vocabulary::kEos}), "word");
+}
+
+TEST(TextEncoder, DeterministicAcrossInstances) {
+  TextEncoder e1(32, 99), e2(32, 99);
+  core::Tensor a = e1.Encode("red acoustic guitar");
+  core::Tensor b = e2.Encode("red acoustic guitar");
+  for (int64_t i = 0; i < a.size(); ++i) EXPECT_EQ(a.at(i), b.at(i));
+}
+
+TEST(TextEncoder, OutputIsUnitNorm) {
+  TextEncoder enc(48);
+  core::Tensor e = enc.Encode("some descriptive words here");
+  EXPECT_NEAR(e.SquaredNorm(), 1.0f, 1e-4f);
+}
+
+TEST(TextEncoder, SimilarTextCloserThanDissimilar) {
+  TextEncoder enc(64);
+  core::Tensor a = enc.Encode("acoustic guitar rosewood fretboard sustain");
+  core::Tensor b = enc.Encode("acoustic guitar maple fretboard pickup");
+  core::Tensor c = enc.Encode("watercolor paint pigment lightfast palette");
+  core::Tensor sim_ab = core::CosineSimilarity(
+      a.Reshaped({1, 64}), b.Reshaped({1, 64}));
+  core::Tensor sim_ac = core::CosineSimilarity(
+      a.Reshaped({1, 64}), c.Reshaped({1, 64}));
+  EXPECT_GT(sim_ab.at(0), sim_ac.at(0) + 0.2f);
+}
+
+TEST(TextEncoder, BatchMatchesSingle) {
+  TextEncoder enc(16);
+  std::vector<std::string> docs = {"first doc", "second doc words"};
+  core::Tensor batch = enc.EncodeBatch(docs);
+  core::Tensor single = enc.Encode(docs[1]);
+  for (int j = 0; j < 16; ++j) EXPECT_EQ(batch.at(1, j), single.at(j));
+}
+
+TEST(TextEncoder, EmptyDocIsZero) {
+  TextEncoder enc(8);
+  core::Tensor e = enc.Encode("...");
+  EXPECT_FLOAT_EQ(e.SquaredNorm(), 0.0f);
+}
+
+}  // namespace
+}  // namespace lcrec::text
