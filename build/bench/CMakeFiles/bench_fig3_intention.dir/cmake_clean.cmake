@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_intention.dir/bench_fig3_intention.cc.o"
+  "CMakeFiles/bench_fig3_intention.dir/bench_fig3_intention.cc.o.d"
+  "bench_fig3_intention"
+  "bench_fig3_intention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_intention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/intention_search.dir/intention_search.cpp.o"
+  "CMakeFiles/intention_search.dir/intention_search.cpp.o.d"
+  "intention_search"
+  "intention_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/intention_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/item_indexing.dir/item_indexing.cpp.o"
+  "CMakeFiles/item_indexing.dir/item_indexing.cpp.o.d"
+  "item_indexing"
+  "item_indexing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/item_indexing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/bert4rec.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/bert4rec.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/bert4rec.cc.o.d"
+  "/root/repo/src/baselines/caser.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/caser.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/caser.cc.o.d"
+  "/root/repo/src/baselines/common.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/common.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/common.cc.o.d"
+  "/root/repo/src/baselines/dssm.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/dssm.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/dssm.cc.o.d"
+  "/root/repo/src/baselines/encoder_util.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/encoder_util.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/encoder_util.cc.o.d"
+  "/root/repo/src/baselines/fdsa.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/fdsa.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/fdsa.cc.o.d"
+  "/root/repo/src/baselines/fmlp.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/fmlp.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/fmlp.cc.o.d"
+  "/root/repo/src/baselines/gru4rec.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/gru4rec.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/gru4rec.cc.o.d"
+  "/root/repo/src/baselines/hgn.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/hgn.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/hgn.cc.o.d"
+  "/root/repo/src/baselines/s3rec.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/s3rec.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/s3rec.cc.o.d"
+  "/root/repo/src/baselines/sasrec.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/sasrec.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/sasrec.cc.o.d"
+  "/root/repo/src/baselines/tiger.cc" "src/baselines/CMakeFiles/lcrec_baselines.dir/tiger.cc.o" "gcc" "src/baselines/CMakeFiles/lcrec_baselines.dir/tiger.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcrec_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/lcrec_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/llm/CMakeFiles/lcrec_llm.dir/DependInfo.cmake"
+  "/root/repo/build/src/quant/CMakeFiles/lcrec_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/rec/CMakeFiles/lcrec_rec.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/lcrec_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tasks/CMakeFiles/lcrec_tasks.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_baselines.dir/bert4rec.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/bert4rec.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/caser.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/caser.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/common.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/common.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/dssm.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/dssm.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/encoder_util.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/encoder_util.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/fdsa.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/fdsa.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/fmlp.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/fmlp.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/gru4rec.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/gru4rec.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/hgn.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/hgn.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/s3rec.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/s3rec.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/sasrec.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/sasrec.cc.o.d"
+  "CMakeFiles/lcrec_baselines.dir/tiger.cc.o"
+  "CMakeFiles/lcrec_baselines.dir/tiger.cc.o.d"
+  "liblcrec_baselines.a"
+  "liblcrec_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/graph.cc" "src/core/CMakeFiles/lcrec_core.dir/graph.cc.o" "gcc" "src/core/CMakeFiles/lcrec_core.dir/graph.cc.o.d"
+  "/root/repo/src/core/linalg.cc" "src/core/CMakeFiles/lcrec_core.dir/linalg.cc.o" "gcc" "src/core/CMakeFiles/lcrec_core.dir/linalg.cc.o.d"
+  "/root/repo/src/core/optim.cc" "src/core/CMakeFiles/lcrec_core.dir/optim.cc.o" "gcc" "src/core/CMakeFiles/lcrec_core.dir/optim.cc.o.d"
+  "/root/repo/src/core/rng.cc" "src/core/CMakeFiles/lcrec_core.dir/rng.cc.o" "gcc" "src/core/CMakeFiles/lcrec_core.dir/rng.cc.o.d"
+  "/root/repo/src/core/serialize.cc" "src/core/CMakeFiles/lcrec_core.dir/serialize.cc.o" "gcc" "src/core/CMakeFiles/lcrec_core.dir/serialize.cc.o.d"
+  "/root/repo/src/core/tensor.cc" "src/core/CMakeFiles/lcrec_core.dir/tensor.cc.o" "gcc" "src/core/CMakeFiles/lcrec_core.dir/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

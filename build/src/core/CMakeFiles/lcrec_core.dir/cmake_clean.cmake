@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_core.dir/graph.cc.o"
+  "CMakeFiles/lcrec_core.dir/graph.cc.o.d"
+  "CMakeFiles/lcrec_core.dir/linalg.cc.o"
+  "CMakeFiles/lcrec_core.dir/linalg.cc.o.d"
+  "CMakeFiles/lcrec_core.dir/optim.cc.o"
+  "CMakeFiles/lcrec_core.dir/optim.cc.o.d"
+  "CMakeFiles/lcrec_core.dir/rng.cc.o"
+  "CMakeFiles/lcrec_core.dir/rng.cc.o.d"
+  "CMakeFiles/lcrec_core.dir/serialize.cc.o"
+  "CMakeFiles/lcrec_core.dir/serialize.cc.o.d"
+  "CMakeFiles/lcrec_core.dir/tensor.cc.o"
+  "CMakeFiles/lcrec_core.dir/tensor.cc.o.d"
+  "liblcrec_core.a"
+  "liblcrec_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_data.dir/catalog.cc.o"
+  "CMakeFiles/lcrec_data.dir/catalog.cc.o.d"
+  "CMakeFiles/lcrec_data.dir/dataset.cc.o"
+  "CMakeFiles/lcrec_data.dir/dataset.cc.o.d"
+  "liblcrec_data.a"
+  "liblcrec_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblcrec_data.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_llm.dir/generate.cc.o"
+  "CMakeFiles/lcrec_llm.dir/generate.cc.o.d"
+  "CMakeFiles/lcrec_llm.dir/minillm.cc.o"
+  "CMakeFiles/lcrec_llm.dir/minillm.cc.o.d"
+  "CMakeFiles/lcrec_llm.dir/trainer.cc.o"
+  "CMakeFiles/lcrec_llm.dir/trainer.cc.o.d"
+  "liblcrec_llm.a"
+  "liblcrec_llm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_llm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

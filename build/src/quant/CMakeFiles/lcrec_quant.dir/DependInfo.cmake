@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/indexing.cc" "src/quant/CMakeFiles/lcrec_quant.dir/indexing.cc.o" "gcc" "src/quant/CMakeFiles/lcrec_quant.dir/indexing.cc.o.d"
+  "/root/repo/src/quant/rqvae.cc" "src/quant/CMakeFiles/lcrec_quant.dir/rqvae.cc.o" "gcc" "src/quant/CMakeFiles/lcrec_quant.dir/rqvae.cc.o.d"
+  "/root/repo/src/quant/sinkhorn.cc" "src/quant/CMakeFiles/lcrec_quant.dir/sinkhorn.cc.o" "gcc" "src/quant/CMakeFiles/lcrec_quant.dir/sinkhorn.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lcrec_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_quant.dir/indexing.cc.o"
+  "CMakeFiles/lcrec_quant.dir/indexing.cc.o.d"
+  "CMakeFiles/lcrec_quant.dir/rqvae.cc.o"
+  "CMakeFiles/lcrec_quant.dir/rqvae.cc.o.d"
+  "CMakeFiles/lcrec_quant.dir/sinkhorn.cc.o"
+  "CMakeFiles/lcrec_quant.dir/sinkhorn.cc.o.d"
+  "liblcrec_quant.a"
+  "liblcrec_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

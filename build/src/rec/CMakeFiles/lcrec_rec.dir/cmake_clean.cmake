@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_rec.dir/lcrec.cc.o"
+  "CMakeFiles/lcrec_rec.dir/lcrec.cc.o.d"
+  "CMakeFiles/lcrec_rec.dir/metrics.cc.o"
+  "CMakeFiles/lcrec_rec.dir/metrics.cc.o.d"
+  "CMakeFiles/lcrec_rec.dir/negatives.cc.o"
+  "CMakeFiles/lcrec_rec.dir/negatives.cc.o.d"
+  "CMakeFiles/lcrec_rec.dir/recommender.cc.o"
+  "CMakeFiles/lcrec_rec.dir/recommender.cc.o.d"
+  "CMakeFiles/lcrec_rec.dir/zeroshot.cc.o"
+  "CMakeFiles/lcrec_rec.dir/zeroshot.cc.o.d"
+  "liblcrec_rec.a"
+  "liblcrec_rec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_rec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

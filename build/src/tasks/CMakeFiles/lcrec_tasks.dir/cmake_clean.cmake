@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_tasks.dir/instructions.cc.o"
+  "CMakeFiles/lcrec_tasks.dir/instructions.cc.o.d"
+  "liblcrec_tasks.a"
+  "liblcrec_tasks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_tasks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

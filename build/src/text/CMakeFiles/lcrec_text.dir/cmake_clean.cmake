@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lcrec_text.dir/encoder.cc.o"
+  "CMakeFiles/lcrec_text.dir/encoder.cc.o.d"
+  "CMakeFiles/lcrec_text.dir/vocab.cc.o"
+  "CMakeFiles/lcrec_text.dir/vocab.cc.o.d"
+  "liblcrec_text.a"
+  "liblcrec_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lcrec_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_linalg_test.dir/core_linalg_test.cc.o"
+  "CMakeFiles/core_linalg_test.dir/core_linalg_test.cc.o.d"
+  "core_linalg_test"
+  "core_linalg_test.pdb"
+  "core_linalg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_linalg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_optim_test.dir/core_optim_test.cc.o"
+  "CMakeFiles/core_optim_test.dir/core_optim_test.cc.o.d"
+  "core_optim_test"
+  "core_optim_test.pdb"
+  "core_optim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_optim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

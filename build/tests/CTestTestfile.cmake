@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tensor_test[1]_include.cmake")
+include("/root/repo/build/tests/core_graph_test[1]_include.cmake")
+include("/root/repo/build/tests/core_optim_test[1]_include.cmake")
+include("/root/repo/build/tests/core_linalg_test[1]_include.cmake")
+include("/root/repo/build/tests/text_test[1]_include.cmake")
+include("/root/repo/build/tests/data_test[1]_include.cmake")
+include("/root/repo/build/tests/quant_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_test[1]_include.cmake")
+include("/root/repo/build/tests/tasks_test[1]_include.cmake")
+include("/root/repo/build/tests/rec_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/core_property_test[1]_include.cmake")
+include("/root/repo/build/tests/zeroshot_test[1]_include.cmake")
+include("/root/repo/build/tests/llm_scoring_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
