@@ -14,6 +14,8 @@ int main(int argc, char** argv) {
   if (!flags.scale_given) flags.scale = 0.5;
   if (flags.max_users > 80) flags.max_users = 80;
 
+  obs::ResultEmitter emitter = bench::MakeEmitter("fig2", flags);
+
   data::Dataset d =
       data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
   std::printf("Figure 2 analogue: indexing methods on %s (%d items, "
@@ -40,6 +42,10 @@ int main(int argc, char** argv) {
                   quant::IndexSchemeName(scheme).c_str(),
                   align ? "w/ ALIGN" : "SEQ", m.hr5, m.ndcg5,
                   model.indexing().ConflictCount());
+      std::string prefix = quant::IndexSchemeName(scheme) + "/" +
+                           (align ? "align" : "seq");
+      bench::EmitMetricsRow(emitter, prefix, m);
+      emitter.Emit(prefix + "/conflicts", model.indexing().ConflictCount());
     }
   }
   std::printf(

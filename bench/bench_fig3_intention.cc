@@ -13,6 +13,8 @@ int main(int argc, char** argv) {
   using namespace lcrec;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
 
+  obs::ResultEmitter emitter = bench::MakeEmitter("fig3", flags);
+
   data::Dataset d =
       data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
   std::printf("Figure 3 analogue: intention-based item prediction on %s "
@@ -42,6 +44,7 @@ int main(int argc, char** argv) {
           d.TestTarget(u)));
     }
     bench::PrintMetricsRow("DSSM", acc.Mean());
+    bench::EmitMetricsRow(emitter, "DSSM", acc.Mean());
   }
   auto eval_lcrec = [&](rec::LcRec& model, const std::string& label) {
     rec::RankingMetrics acc;
@@ -54,6 +57,7 @@ int main(int argc, char** argv) {
       acc.AddRank(rec::RankInList(ids, d.TestTarget(u)));
     }
     bench::PrintMetricsRow(label, acc.Mean());
+    bench::EmitMetricsRow(emitter, label, acc.Mean());
   };
   {
     rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);

@@ -66,6 +66,8 @@ int main(int argc, char** argv) {
   using namespace lcrec;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
 
+  obs::ResultEmitter emitter = bench::MakeEmitter("fig4", flags);
+
   data::Dataset d =
       data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
   std::printf("Figure 4 analogue: token-embedding integration on %s\n\n",
@@ -90,6 +92,8 @@ int main(int argc, char** argv) {
                                model.TextTokenEmbeddings());
     std::printf("  separation score: %.3f\n\n", sep_full);
   }
+  emitter.Emit("separation/seq_only", sep_seq);
+  emitter.Emit("separation/lcrec", sep_full);
   std::printf("separation SEQ-only %.3f vs LC-Rec %.3f -> %s\n", sep_seq,
               sep_full,
               sep_full < sep_seq

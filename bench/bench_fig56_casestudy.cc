@@ -44,6 +44,8 @@ int main(int argc, char** argv) {
   using namespace lcrec;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
 
+  obs::ResultEmitter emitter = bench::MakeEmitter("fig56", flags);
+
   data::Dataset d =
       data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
   rec::LcRec model(bench::MakeLcRecConfig(flags));
@@ -82,10 +84,11 @@ int main(int argc, char** argv) {
     }
   }
   for (int lv = 0; lv < levels; ++lv) {
-    std::printf("  level %d: %.1f%% of content changes\n", lv + 1,
-                total_change > 0.0
-                    ? 100.0 * change[static_cast<size_t>(lv)] / total_change
-                    : 0.0);
+    double pct = total_change > 0.0
+                     ? 100.0 * change[static_cast<size_t>(lv)] / total_change
+                     : 0.0;
+    std::printf("  level %d: %.1f%% of content changes\n", lv + 1, pct);
+    emitter.Emit("content_change_pct/level" + std::to_string(lv + 1), pct);
   }
 
   // Figure 5(b): related item via generation vs text-embedding recall.
@@ -134,6 +137,10 @@ int main(int argc, char** argv) {
         "%.1f%%  (%d cases)\n",
         100.0 * gen_same_subcat / cases, 100.0 * cos_same_subcat / cases,
         cases);
+    emitter.Emit("same_subcategory_rate/generated",
+                 static_cast<double>(gen_same_subcat) / cases);
+    emitter.Emit("same_subcategory_rate/cosine",
+                 static_cast<double>(cos_same_subcat) / cases);
   }
   std::printf(
       "\nPaper: content converges to the target title as levels are added; "

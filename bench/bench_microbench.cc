@@ -1,13 +1,27 @@
 // Micro-benchmarks of the core kernels (google-benchmark), including the
 // KV-cache claim of Section III-D2: incremental decoding with a KV cache
 // vs. re-encoding the full prefix at every generated token.
+//
+// Also drives a small instrumented end-to-end workload (RQ-VAE training,
+// alignment tuning, constrained beam search, evaluation) and exports the
+// resulting lcrec.* metrics as JSONL rows via --metrics-out=PATH:
+//   bench_microbench --quick --metrics-out=m.jsonl
+// --quick runs only the workload; without it the google-benchmark suite
+// follows (unrecognized flags are forwarded to google-benchmark).
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
 #include "core/graph.h"
 #include "core/linalg.h"
 #include "core/rng.h"
 #include "llm/minillm.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "quant/rqvae.h"
 #include "quant/sinkhorn.h"
 
@@ -108,6 +122,90 @@ void BM_DecodeWithoutKvCache(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeWithoutKvCache)->Arg(32)->Arg(64)->Arg(128);
 
+/// Exercises every instrumented subsystem once so the metrics registry
+/// holds real trainer/beam-search/RQ-VAE telemetry to export.
+void RunInstrumentedWorkload(const lcrec::bench::Flags& flags) {
+  using namespace lcrec;
+  obs::ScopedSpan span("bench.microbench_workload");
+  data::Dataset d = data::Dataset::Make(data::Domain::kInstruments,
+                                        flags.scale, flags.seed);
+  rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);
+  rec::LcRec model(cfg);
+  model.Fit(d);
+  int users = std::min(flags.max_users, d.num_users());
+  rec::EvaluateGenerative(
+      [&](const std::vector<int>& h) { return model.TopKIds(h, 10); }, d,
+      users);
+}
+
+/// Dumps the whole metrics registry through the shared bench row schema.
+void EmitRegistry(lcrec::obs::ResultEmitter& emitter) {
+  using lcrec::obs::MetricSample;
+  for (const MetricSample& s :
+       lcrec::obs::MetricsRegistry::Global().Samples()) {
+    if (s.type == "histogram") {
+      emitter.Emit(s.name + "/count", static_cast<double>(s.count));
+      emitter.Emit(s.name + "/mean", s.mean);
+      emitter.Emit(s.name + "/min", s.min);
+      emitter.Emit(s.name + "/max", s.max);
+      emitter.Emit(s.name + "/p50", s.p50);
+      emitter.Emit(s.name + "/p95", s.p95);
+      emitter.Emit(s.name + "/p99", s.p99);
+    } else {
+      emitter.Emit(s.name, s.value);
+    }
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  using namespace lcrec;
+  // Known lcrec flags are consumed here; everything else is forwarded to
+  // google-benchmark (--benchmark_filter=..., etc.).
+  bench::Flags flags;
+  flags.scale = 0.2;
+  flags.max_users = 40;
+  flags.llm_epochs = 4;
+  std::vector<char*> fwd;
+  fwd.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    char* a = argv[i];
+    if (std::strcmp(a, "--quick") == 0) {
+      flags.quick = true;
+      flags.scale = 0.15;
+      flags.max_users = 25;
+      flags.llm_epochs = 3;
+    } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+      flags.metrics_out = a + 14;
+    } else if (std::strncmp(a, "--scale=", 8) == 0) {
+      flags.scale = std::atof(a + 8);
+    } else if (std::strncmp(a, "--users=", 8) == 0) {
+      flags.max_users = std::atoi(a + 8);
+    } else if (std::strncmp(a, "--llm-epochs=", 13) == 0) {
+      flags.llm_epochs = std::atoi(a + 13);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      flags.seed = static_cast<uint64_t>(std::atoll(a + 7));
+    } else {
+      fwd.push_back(a);
+    }
+  }
+
+  std::printf("instrumented workload: scale %.2f, %d users, %d epochs%s\n",
+              flags.scale, flags.max_users, flags.llm_epochs,
+              flags.quick ? " (--quick)" : "");
+  RunInstrumentedWorkload(flags);
+  obs::ResultEmitter emitter = bench::MakeEmitter("microbench", flags);
+  EmitRegistry(emitter);
+  if (!flags.metrics_out.empty()) {
+    std::printf("metrics written to %s\n", flags.metrics_out.c_str());
+  }
+
+  if (flags.quick) return 0;  // workload only; skip the kernel suite
+  int fwd_argc = static_cast<int>(fwd.size());
+  benchmark::Initialize(&fwd_argc, fwd.data());
+  if (benchmark::ReportUnrecognizedArguments(fwd_argc, fwd.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

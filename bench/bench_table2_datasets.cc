@@ -10,6 +10,8 @@ int main(int argc, char** argv) {
   using namespace lcrec;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
 
+  obs::ResultEmitter emitter = bench::MakeEmitter("table2", flags);
+
   std::printf("Table II analogue: dataset statistics (scale %.2f)\n\n",
               flags.scale);
   std::printf("%-12s  %8s  %8s  %14s  %9s  %8s\n", "Dataset", "#Users",
@@ -22,6 +24,12 @@ int main(int argc, char** argv) {
                 d.name().c_str(), s.num_users, s.num_items,
                 static_cast<long long>(s.num_interactions),
                 100.0 * s.sparsity, s.avg_len);
+    emitter.Emit(d.name() + "/num_users", s.num_users);
+    emitter.Emit(d.name() + "/num_items", s.num_items);
+    emitter.Emit(d.name() + "/num_interactions",
+                 static_cast<double>(s.num_interactions));
+    emitter.Emit(d.name() + "/sparsity", s.sparsity);
+    emitter.Emit(d.name() + "/avg_len", s.avg_len);
   }
   std::printf(
       "\nPaper (Table II): Instruments 24,773u/9,923i; Arts 45,142u/20,957i;"

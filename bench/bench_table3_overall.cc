@@ -15,6 +15,7 @@ int main(int argc, char** argv) {
   // The headline comparison runs at full dataset scale: the generative
   // models need the full training-example pool to reach their asymptote.
   if (!flags.scale_given) flags.scale = 1.0;
+  obs::ResultEmitter emitter = bench::MakeEmitter("table3", flags);
 
   std::printf("Table III analogue: overall performance (scale %.2f, "
               "%d eval users, beam 20)\n",
@@ -34,6 +35,7 @@ int main(int argc, char** argv) {
       rec::RankingMetrics m =
           rec::EvaluateScoring(*model, d, flags.max_users);
       bench::PrintMetricsRow(model->name(), m);
+      bench::EmitMetricsRow(emitter, d.name() + "/" + model->name(), m);
       if (m.ndcg10 > best_baseline.ndcg10) best_baseline = m;
       (void)t0;
     }
@@ -47,6 +49,7 @@ int main(int argc, char** argv) {
           [&](const std::vector<int>& h) { return p5.TopKIds(h, 10); }, d,
           flags.max_users);
       bench::PrintMetricsRow(p5.name(), m);
+      bench::EmitMetricsRow(emitter, d.name() + "/" + p5.name(), m);
       if (m.ndcg10 > best_baseline.ndcg10) best_baseline = m;
     }
     {
@@ -56,6 +59,7 @@ int main(int argc, char** argv) {
           [&](const std::vector<int>& h) { return tiger.TopKIds(h, 10); }, d,
           flags.max_users);
       bench::PrintMetricsRow(tiger.name(), m);
+      bench::EmitMetricsRow(emitter, d.name() + "/" + tiger.name(), m);
       if (m.ndcg10 > best_baseline.ndcg10) best_baseline = m;
     }
     // LC-Rec.
@@ -66,10 +70,13 @@ int main(int argc, char** argv) {
           [&](const std::vector<int>& h) { return lcrec.TopKIds(h, 10); }, d,
           flags.max_users);
       bench::PrintMetricsRow("LC-Rec", m);
+      bench::EmitMetricsRow(emitter, d.name() + "/LC-Rec", m);
       if (best_baseline.ndcg10 > 0.0) {
+        double improvement = 100.0 * (m.ndcg10 - best_baseline.ndcg10) /
+                             best_baseline.ndcg10;
         std::printf("LC-Rec improvement over best baseline: NDCG@10 %+.1f%%\n",
-                    100.0 * (m.ndcg10 - best_baseline.ndcg10) /
-                        best_baseline.ndcg10);
+                    improvement);
+        emitter.Emit(d.name() + "/LC-Rec/ndcg10_improvement_pct", improvement);
       }
     }
   }

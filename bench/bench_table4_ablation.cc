@@ -27,6 +27,8 @@ int main(int argc, char** argv) {
   m.per = true;
   rows.emplace_back("+PER", m);
 
+  obs::ResultEmitter emitter = bench::MakeEmitter("table4", flags);
+
   std::printf("Table IV analogue: alignment-task ablation (scale %.2f, "
               "%d eval users)\n",
               flags.scale, flags.max_users);
@@ -43,6 +45,7 @@ int main(int argc, char** argv) {
           [&](const std::vector<int>& h) { return model.TopKIds(h, 10); }, d,
           flags.max_users);
       bench::PrintMetricsRow(label, metrics);
+      bench::EmitMetricsRow(emitter, d.name() + "/" + label, metrics);
     }
   }
   std::printf(

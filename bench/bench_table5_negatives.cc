@@ -17,6 +17,8 @@ int main(int argc, char** argv) {
   using namespace lcrec;
   bench::Flags flags = bench::Flags::Parse(argc, argv);
 
+  obs::ResultEmitter emitter = bench::MakeEmitter("table5", flags);
+
   data::Dataset d =
       data::Dataset::Make(data::Domain::kGames, flags.scale, flags.seed);
   int users = std::min(flags.max_users, d.num_users());
@@ -48,6 +50,9 @@ int main(int argc, char** argv) {
     double random = rec::PairwiseAccuracy(scorer, d, rand_negs, users);
     std::printf("%-16s  %10.2f  %14.2f  %10.2f\n", name.c_str(), 100.0 * lang,
                 100.0 * collab, 100.0 * random);
+    emitter.Emit(name + "/language", lang);
+    emitter.Emit(name + "/collaborative", collab);
+    emitter.Emit(name + "/random", random);
   };
 
   report("SASRec", [&](const std::vector<int>& h, int item) {

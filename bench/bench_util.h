@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "baselines/bert4rec.h"
+#include "obs/export.h"
 #include "baselines/caser.h"
 #include "baselines/fdsa.h"
 #include "baselines/fmlp.h"
@@ -30,6 +31,7 @@ namespace lcrec::bench {
 ///   --llm-epochs=N        LC-Rec / TIGER tuning epochs
 ///   --baseline-epochs=N   scoring-baseline epochs
 ///   --seed=N              global seed
+///   --metrics-out=PATH    machine-readable result rows as JSONL
 /// Binaries may pick per-experiment defaults (e.g. Table III runs at
 /// scale 1.0) when a flag is not given explicitly.
 struct Flags {
@@ -39,6 +41,7 @@ struct Flags {
   int baseline_epochs = 25;
   uint64_t seed = 19;
   bool quick = false;
+  std::string metrics_out;        // empty => no JSONL result sink
   bool scale_given = false;       // --scale was passed explicitly
   bool llm_epochs_given = false;  // --llm-epochs was passed explicitly
 
@@ -66,6 +69,8 @@ struct Flags {
         f.baseline_epochs = std::atoi(a + 18);
       } else if (std::strncmp(a, "--seed=", 7) == 0) {
         f.seed = static_cast<uint64_t>(std::atoll(a + 7));
+      } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
+        f.metrics_out = a + 14;
       } else {
         std::fprintf(stderr, "unknown flag %s\n", a);
         std::exit(2);
@@ -124,6 +129,37 @@ inline void PrintMetricsRow(const std::string& name,
 inline void PrintMetricsHeader() {
   std::printf("%-16s  %7s  %7s  %7s  %7s  %7s\n", "model", "HR@1", "HR@5",
               "HR@10", "NDCG@5", "NDCG@10");
+}
+
+/// The run configuration as a JSON object, stored in every emitted row
+/// so downstream tooling can reconstruct the run without the log.
+inline std::string FlagsConfigJson(const Flags& f) {
+  return "{\"scale\":" + obs::JsonNumber(f.scale) +
+         ",\"users\":" + std::to_string(f.max_users) +
+         ",\"llm_epochs\":" + std::to_string(f.llm_epochs) +
+         ",\"baseline_epochs\":" + std::to_string(f.baseline_epochs) +
+         ",\"seed\":" + std::to_string(f.seed) +
+         ",\"quick\":" + (f.quick ? "true" : "false") + "}";
+}
+
+/// The shared machine-readable result sink of all bench binaries
+/// (--metrics-out=PATH; disabled when the flag is absent). Rows follow
+/// one schema: {"bench":...,"metric":...,"value":...,"config":{...}}.
+inline obs::ResultEmitter MakeEmitter(const std::string& bench,
+                                      const Flags& f) {
+  return obs::ResultEmitter(bench, f.metrics_out, FlagsConfigJson(f));
+}
+
+/// Emits the five ranking metrics as rows "<prefix>/hr1" ... Pair of
+/// PrintMetricsRow: human table row + machine rows from one call site.
+inline void EmitMetricsRow(obs::ResultEmitter& emitter,
+                           const std::string& prefix,
+                           const rec::RankingMetrics& m) {
+  emitter.Emit(prefix + "/hr1", m.hr1);
+  emitter.Emit(prefix + "/hr5", m.hr5);
+  emitter.Emit(prefix + "/hr10", m.hr10);
+  emitter.Emit(prefix + "/ndcg5", m.ndcg5);
+  emitter.Emit(prefix + "/ndcg10", m.ndcg10);
 }
 
 }  // namespace lcrec::bench

@@ -1,0 +1,30 @@
+#!/usr/bin/env bash
+# Warning-hygiene gate: configure and build the whole tree with
+# -Wall -Wextra -Werror in a scratch build directory. Any new warning
+# anywhere in src/, tests/, bench/, or examples/ fails the build.
+#
+# Opt-in: heavy (full reconfigure + rebuild), so it only runs when
+# LCREC_STRICT=1 is set; otherwise it prints "[skipped]" and exits 0
+# (the CTest entry maps that marker to a SKIP).
+#
+#   LCREC_STRICT=1 scripts/check_warnings.sh
+#   LCREC_STRICT=1 ctest -R check_warnings --output-on-failure
+
+set -euo pipefail
+
+if [[ "${LCREC_STRICT:-0}" != "1" ]]; then
+  echo "check_warnings [skipped] (set LCREC_STRICT=1 to enable)"
+  exit 0
+fi
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${LCREC_STRICT_BUILD_DIR:-${repo_root}/build-strict}"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "check_warnings: -Wall -Wextra -Werror build in ${build_dir}"
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=Release \
+  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" \
+  >/dev/null
+cmake --build "${build_dir}" -j "${jobs}"
+echo "check_warnings: OK (no warnings under -Werror)"

@@ -1,8 +1,9 @@
 #include "baselines/common.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <numeric>
+
+#include "obs/log.h"
 
 namespace lcrec::baselines {
 
@@ -45,10 +46,10 @@ void NeuralRecommender::Fit(const data::Dataset& dataset) {
         in_batch = 0;
       }
     }
-    if (config_.verbose) {
-      std::fprintf(stderr, "[%s] epoch %d/%d loss %.4f\n", name().c_str(),
-                   epoch + 1, config_.epochs,
-                   total / std::max<int64_t>(1, count));
+    if (config_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
+      obs::LogRaw(obs::LogLevel::kInfo, "[%s] epoch %d/%d loss %.4f",
+                  name().c_str(), epoch + 1, config_.epochs,
+                  total / std::max<int64_t>(1, count));
     }
   }
 }

@@ -49,7 +49,7 @@ class NeuralRecommender : public rec::ScoringRecommender {
                                     const std::vector<int>& items) = 0;
 
   /// Hook for models with a pretraining stage (S3-Rec); default no-op.
-  virtual void Pretrain(const data::Dataset& dataset) {}
+  virtual void Pretrain(const data::Dataset& /*dataset*/) {}
 
   /// The item embedding parameter (used for scoring and for the Table V
   /// collaborative negatives); may be null for models without one.

@@ -2,8 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdio>
 #include <numeric>
+
+#include "obs/log.h"
 
 #include "core/linalg.h"
 #include "core/optim.h"
@@ -103,9 +104,10 @@ void Dssm::Fit(const data::Dataset& dataset) {
       total += g.val(loss).item();
       ++batches;
     }
-    if (options_.verbose) {
-      std::fprintf(stderr, "[DSSM] epoch %d/%d loss %.4f\n", epoch + 1,
-                   options_.epochs, total / std::max<int64_t>(1, batches));
+    if (options_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
+      obs::LogRaw(obs::LogLevel::kInfo, "[DSSM] epoch %d/%d loss %.4f",
+                  epoch + 1, options_.epochs,
+                  total / std::max<int64_t>(1, batches));
     }
   }
   item_vectors_ = MlpForward(title_emb, iw1_->value, ib1_->value, iw2_->value);

@@ -1,8 +1,9 @@
 #include "baselines/s3rec.h"
 
 #include <cmath>
-#include <cstdio>
 #include <numeric>
+
+#include "obs/log.h"
 
 namespace lcrec::baselines {
 
@@ -91,10 +92,10 @@ void S3Rec::Pretrain(const data::Dataset& dataset) {
         in_batch = 0;
       }
     }
-    if (config().verbose) {
-      std::fprintf(stderr, "[S3-Rec pretrain] epoch %d/%d loss %.4f\n",
-                   epoch + 1, pretrain_epochs_,
-                   total / std::max<int64_t>(1, count));
+    if (config().verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
+      obs::LogRaw(obs::LogLevel::kInfo,
+                  "[S3-Rec pretrain] epoch %d/%d loss %.4f", epoch + 1,
+                  pretrain_epochs_, total / std::max<int64_t>(1, count));
     }
   }
 }

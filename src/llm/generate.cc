@@ -4,9 +4,37 @@
 #include <cassert>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace lcrec::llm {
 
 namespace {
+
+/// Cached metric handles for constrained decoding (lcrec.llm.gen.*).
+struct GenMetrics {
+  obs::Histogram& latency_ms;
+  obs::Counter& queries;
+  obs::Counter& trie_mask_hits;   // (beam, code) expansions the trie allowed
+  obs::Counter& beam_pruned;      // candidates dropped by the beam cap
+  obs::Counter& token_forwards;   // single-token model forwards
+
+  static GenMetrics& Get() {
+    static GenMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new GenMetrics{
+          r.GetHistogram("lcrec.llm.gen.latency_ms",
+                         obs::Histogram::ExponentialBounds(0.1, 1.6, 28)),
+          r.GetCounter("lcrec.llm.gen.queries"),
+          r.GetCounter("lcrec.llm.gen.trie_mask_hits"),
+          r.GetCounter("lcrec.llm.gen.beam_pruned"),
+          r.GetCounter("lcrec.llm.gen.token_forwards"),
+      };
+    }();
+    return *m;
+  }
+};
 
 /// log softmax normalizer of a [1, vocab] logits row.
 float LogSumExp(const core::Tensor& logits) {
@@ -59,6 +87,8 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
                                       const IndexTokenMap& token_map,
                                       int beam_size, int top_n) {
   assert(!prompt.empty());
+  obs::ScopedSpan span("llm.generate_items");
+  GenMetrics& gm = GenMetrics::Get();
   struct Beam {
     std::vector<int> codes;
     float logp = 0.0f;
@@ -95,11 +125,13 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
         candidates.push_back({static_cast<int>(b), code, tok, lp});
       }
     }
+    gm.trie_mask_hits.Add(static_cast<int64_t>(candidates.size()));
     std::sort(candidates.begin(), candidates.end(),
               [](const Candidate& a, const Candidate& b) {
                 return a.logp > b.logp;
               });
     if (static_cast<int>(candidates.size()) > beam_size) {
+      gm.beam_pruned.Add(static_cast<int64_t>(candidates.size()) - beam_size);
       candidates.resize(beam_size);
     }
     std::vector<Beam> next_active;
@@ -111,6 +143,7 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
       child.logp = c.logp;
       child.cache = active[c.beam].cache;  // copy
       child.logits = model.Forward(child.cache, {c.token});
+      gm.token_forwards.Increment();
       int item = trie.ItemAt(child.codes);
       if (item >= 0 && trie.NextCodes(child.codes).empty()) {
         done.push_back({item, child.logp});
@@ -125,6 +158,8 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
               return a.logprob > b.logprob;
             });
   if (static_cast<int>(done.size()) > top_n) done.resize(top_n);
+  gm.queries.Increment();
+  gm.latency_ms.Observe(span.ElapsedMs());
   return done;
 }
 

@@ -3,12 +3,49 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <cstdio>
 #include <numeric>
+#include <unordered_map>
 
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "text/vocab.h"
 
 namespace lcrec::llm {
+
+namespace {
+
+/// Cached metric handles for the training loop (lcrec.llm.train.*).
+/// Resolved once; afterwards every update is a relaxed atomic op.
+struct TrainMetrics {
+  obs::Histogram& step_time_ms;
+  obs::Counter& steps;
+  obs::Counter& tokens;
+  obs::Gauge& loss;
+  obs::Gauge& grad_norm;
+  obs::Gauge& lr;
+  obs::Gauge& tokens_per_sec;
+
+  static TrainMetrics& Get() {
+    static TrainMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new TrainMetrics{
+          r.GetHistogram("lcrec.llm.train.step_time_ms",
+                         obs::Histogram::ExponentialBounds(0.05, 1.6, 28)),
+          r.GetCounter("lcrec.llm.train.steps"),
+          r.GetCounter("lcrec.llm.train.tokens"),
+          r.GetGauge("lcrec.llm.train.loss"),
+          r.GetGauge("lcrec.llm.train.grad_norm"),
+          r.GetGauge("lcrec.llm.train.lr"),
+          r.GetGauge("lcrec.llm.train.tokens_per_sec"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 LlmTrainer::LlmTrainer(MiniLlm* model, const TrainerOptions& options)
     : model_(model),
@@ -55,6 +92,9 @@ float LlmTrainer::CurrentLr() const {
 }
 
 float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
+  obs::ScopedSpan epoch_span("llm.train_epoch");
+  TrainMetrics& tm = TrainMetrics::Get();
+
   std::vector<int64_t> order(examples.size());
   std::iota(order.begin(), order.end(), 0);
   rng_.Shuffle(order);
@@ -62,14 +102,28 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
   double total_loss = 0.0;
   int64_t count = 0;
   int in_batch = 0;
+  int64_t epoch_tokens = 0;
+  // Per-task loss accumulators (Eq. 7 sums the NLL over the alignment
+  // task mixture; this resolves which tasks dominate it).
+  std::unordered_map<std::string, std::pair<double, int64_t>> task_loss;
   model_->params().ZeroGrad();
   std::vector<int> tokens, targets;
+  double step_start_us = obs::NowMicros();
   for (int64_t idx : order) {
-    AssembleTokens(examples[idx], model_->config().max_seq, &tokens, &targets);
+    const TrainExample& example = examples[idx];
+    AssembleTokens(example, model_->config().max_seq, &tokens, &targets);
     core::Graph g;
     core::VarId loss = model_->BuildLoss(g, tokens, targets, /*train=*/true);
     g.Backward(loss);
-    total_loss += g.val(loss).item();
+    float loss_val = g.val(loss).item();
+    total_loss += loss_val;
+    if (!example.task.empty()) {
+      auto& acc = task_loss[example.task];
+      acc.first += loss_val;
+      ++acc.second;
+    }
+    epoch_tokens += static_cast<int64_t>(tokens.size());
+    tm.tokens.Add(static_cast<int64_t>(tokens.size()));
     ++count;
     ++in_batch;
     if (in_batch == options_.batch_size || count == static_cast<int64_t>(order.size())) {
@@ -78,14 +132,34 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
       for (core::Parameter* p : model_->params().All()) {
         for (int64_t i = 0; i < p->grad.size(); ++i) p->grad.at(i) *= inv;
       }
-      if (options_.clip_norm > 0.0f) optimizer_.ClipGradNorm(options_.clip_norm);
-      optimizer_.Step(CurrentLr());
+      float grad_norm = 0.0f;
+      if (options_.clip_norm > 0.0f) {
+        grad_norm = optimizer_.ClipGradNorm(options_.clip_norm);
+      }
+      float lr = CurrentLr();
+      optimizer_.Step(lr);
       model_->params().ZeroGrad();
       in_batch = 0;
       ++step_;
+      double now_us = obs::NowMicros();
+      tm.step_time_ms.Observe((now_us - step_start_us) / 1000.0);
+      step_start_us = now_us;
+      tm.steps.Increment();
+      tm.grad_norm.Set(grad_norm);
+      tm.lr.Set(lr);
     }
   }
   float mean = static_cast<float>(total_loss / std::max<int64_t>(1, count));
+  tm.loss.Set(mean);
+  double epoch_s = epoch_span.ElapsedMs() / 1000.0;
+  if (epoch_s > 0.0) {
+    tm.tokens_per_sec.Set(static_cast<double>(epoch_tokens) / epoch_s);
+  }
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  for (const auto& kv : task_loss) {
+    registry.GetGauge("lcrec.llm.train.loss." + kv.first)
+        .Set(kv.second.first / static_cast<double>(kv.second.second));
+  }
   epoch_losses_.push_back(mean);
   return mean;
 }
@@ -98,15 +172,17 @@ float LlmTrainer::Train(const std::vector<TrainExample>& examples) {
   float last = 0.0f;
   for (int e = 0; e < options_.epochs; ++e) {
     last = TrainEpoch(examples);
-    if (options_.verbose) {
-      std::fprintf(stderr, "[llm] epoch %d/%d loss %.4f lr %.2e\n", e + 1,
-                   options_.epochs, last, static_cast<double>(CurrentLr()));
+    if (options_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
+      obs::LogRaw(obs::LogLevel::kInfo, "[llm] epoch %d/%d loss %.4f lr %.2e",
+                  e + 1, options_.epochs, static_cast<double>(last),
+                  static_cast<double>(CurrentLr()));
     }
   }
   return last;
 }
 
 float LlmTrainer::EvalLoss(const std::vector<TrainExample>& examples) {
+  obs::ScopedSpan span("llm.eval_loss");
   double total = 0.0;
   std::vector<int> tokens, targets;
   for (const TrainExample& ex : examples) {

@@ -1,0 +1,77 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lcrec::obs {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+std::string EnvOr(const char* name, const std::string& fallback) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::string(v) : fallback;
+}
+
+JsonlWriter::JsonlWriter(const std::string& path) {
+  if (!path.empty()) out_.open(path, std::ios::out | std::ios::trunc);
+}
+
+void JsonlWriter::WriteLine(const std::string& json_object) {
+  if (!out_.is_open()) return;
+  out_ << json_object << '\n';
+  out_.flush();
+}
+
+ResultEmitter::ResultEmitter(const std::string& bench, const std::string& path,
+                             const std::string& config_json)
+    : bench_(bench),
+      config_json_(config_json.empty() ? "{}" : config_json),
+      writer_(path) {}
+
+void ResultEmitter::Emit(const std::string& metric, double value) {
+  if (!writer_.enabled()) return;
+  writer_.WriteLine("{\"bench\":\"" + JsonEscape(bench_) + "\",\"metric\":\"" +
+                    JsonEscape(metric) + "\",\"value\":" + JsonNumber(value) +
+                    ",\"config\":" + config_json_ + "}");
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,59 @@
+#ifndef LCREC_OBS_EXPORT_H_
+#define LCREC_OBS_EXPORT_H_
+
+#include <fstream>
+#include <string>
+
+namespace lcrec::obs {
+
+/// Escapes `s` for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string JsonEscape(const std::string& s);
+
+/// Formats a double as a JSON number ("null" for NaN/inf, which JSON
+/// cannot represent).
+std::string JsonNumber(double v);
+
+/// Value of an environment variable, or "" when unset/empty. All obs
+/// sinks treat "" as disabled, so tests and CI stay silent by default.
+std::string EnvOr(const char* name, const std::string& fallback = "");
+
+/// Line-oriented JSON sink. With an empty path every call is a no-op,
+/// so call sites need no `if (enabled)` guards.
+class JsonlWriter {
+ public:
+  JsonlWriter() = default;
+  explicit JsonlWriter(const std::string& path);
+
+  bool enabled() const { return out_.is_open(); }
+  /// Writes one pre-rendered JSON object as a line.
+  void WriteLine(const std::string& json_object);
+
+ private:
+  std::ofstream out_;
+};
+
+/// The shared schema every bench binary emits machine-readable results
+/// through: one row per (bench, metric) pair,
+///   {"bench":"table3","metric":"Games/LC-Rec/ndcg10","value":0.123,
+///    "config":{"scale":1.0,...}}.
+/// `config` is a pre-rendered JSON object describing the run.
+class ResultEmitter {
+ public:
+  ResultEmitter() = default;
+  /// Empty path => disabled (all Emit calls are no-ops).
+  ResultEmitter(const std::string& bench, const std::string& path,
+                const std::string& config_json);
+
+  bool enabled() const { return writer_.enabled(); }
+  void Emit(const std::string& metric, double value);
+
+ private:
+  std::string bench_;
+  std::string config_json_;
+  JsonlWriter writer_;
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_EXPORT_H_

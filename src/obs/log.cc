@@ -1,0 +1,71 @@
+#include "obs/log.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "obs/export.h"
+
+namespace lcrec::obs {
+
+namespace {
+
+LogLevel ParseLevel(const std::string& s) {
+  if (s == "debug" || s == "0") return LogLevel::kDebug;
+  if (s == "info" || s == "1") return LogLevel::kInfo;
+  if (s == "warn" || s == "warning" || s == "2") return LogLevel::kWarn;
+  if (s == "error" || s == "3") return LogLevel::kError;
+  return LogLevel::kWarn;
+}
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "debug";
+    case LogLevel::kInfo:
+      return "info";
+    case LogLevel::kWarn:
+      return "warn";
+    case LogLevel::kError:
+      return "error";
+  }
+  return "?";
+}
+
+}  // namespace
+
+LogLevel CurrentLogLevel() {
+  static const LogLevel level = ParseLevel(EnvOr("LCREC_LOG_LEVEL", "warn"));
+  return level;
+}
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >= static_cast<int>(CurrentLogLevel());
+}
+
+namespace {
+
+void VLog(LogLevel level, const char* fmt, std::va_list args) {
+  std::fprintf(stderr, "[lcrec:%s] ", LevelName(level));
+  std::vfprintf(stderr, fmt, args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace
+
+void Log(LogLevel level, const char* fmt, ...) {
+  if (!LogEnabled(level)) return;
+  std::va_list args;
+  va_start(args, fmt);
+  VLog(level, fmt, args);
+  va_end(args);
+}
+
+void LogRaw(LogLevel level, const char* fmt, ...) {
+  std::va_list args;
+  va_start(args, fmt);
+  VLog(level, fmt, args);
+  va_end(args);
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,37 @@
+#ifndef LCREC_OBS_LOG_H_
+#define LCREC_OBS_LOG_H_
+
+namespace lcrec::obs {
+
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+};
+
+/// Threshold parsed once from `LCREC_LOG_LEVEL` ("debug", "info",
+/// "warn", "error", or 0-3). Defaults to warn, so the per-epoch info
+/// diagnostics stay silent in tests and CI.
+LogLevel CurrentLogLevel();
+
+bool LogEnabled(LogLevel level);
+
+/// printf-style leveled logging to stderr, prefixed "[lcrec:<level>] ".
+/// Messages below the threshold are dropped before formatting.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void Log(LogLevel level, const char* fmt, ...);
+
+/// Like Log but skips the threshold check — for call sites that also
+/// honor an explicit opt-in (e.g. a config `verbose` flag):
+///   if (cfg.verbose || obs::LogEnabled(kInfo)) obs::LogRaw(kInfo, ...);
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((format(printf, 2, 3)))
+#endif
+void LogRaw(LogLevel level, const char* fmt, ...);
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_LOG_H_

@@ -1,0 +1,132 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <limits>
+
+namespace lcrec::obs {
+
+namespace {
+
+void AtomicAddDouble(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMin(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur &&
+         !target.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
+  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+void Histogram::Observe(double v) {
+  size_t i = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  buckets_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  AtomicAddDouble(sum_, v);
+  AtomicMin(min_, v);
+  AtomicMax(max_, v);
+}
+
+double Histogram::Quantile(double q) const {
+  int64_t total = count();
+  if (total <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(total);
+  int64_t cum = 0;
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    int64_t in_bucket = buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cum + in_bucket) >= target) {
+      double lo = i == 0 ? std::min(min(), bounds_.front()) : bounds_[i - 1];
+      double hi = i < bounds_.size() ? bounds_[i] : max();
+      lo = std::max(lo, min());
+      hi = std::min(hi, max());
+      if (hi <= lo) return hi;
+      double frac =
+          (target - static_cast<double>(cum)) / static_cast<double>(in_bucket);
+      return lo + frac * (hi - lo);
+    }
+    cum += in_bucket;
+  }
+  return max();
+}
+
+double Histogram::mean() const {
+  int64_t n = count();
+  return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double Histogram::min() const {
+  return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double Histogram::max() const {
+  return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+std::vector<int64_t> Histogram::bucket_counts() const {
+  std::vector<int64_t> out(buckets_.size());
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    out[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> Histogram::ExponentialBounds(double start, double factor,
+                                                 int count) {
+  assert(start > 0.0 && factor > 1.0 && count > 0);
+  std::vector<double> b;
+  b.reserve(static_cast<size_t>(count));
+  double v = start;
+  for (int i = 0; i < count; ++i) {
+    b.push_back(v);
+    v *= factor;
+  }
+  return b;
+}
+
+std::vector<double> Histogram::LinearBounds(double lo, double hi, int count) {
+  assert(hi > lo && count > 0);
+  std::vector<double> b;
+  b.reserve(static_cast<size_t>(count));
+  double step = (hi - lo) / static_cast<double>(count);
+  for (int i = 1; i <= count; ++i) {
+    b.push_back(lo + step * static_cast<double>(i));
+  }
+  return b;
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,80 @@
+#ifndef LCREC_OBS_METRICS_H_
+#define LCREC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcrec::obs {
+
+/// Monotonically increasing counter. Lock-free; safe to bump from any
+/// thread once a reference is obtained from the registry.
+class Counter {
+ public:
+  void Increment() { value_.fetch_add(1, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Last-written value (loss, learning rate, utilization ratio, ...).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram with quantile estimation. Bucket `i` counts
+/// observations in (bounds[i-1], bounds[i]]; one overflow bucket catches
+/// everything above the last bound. Observe() is lock-free (per-bucket
+/// atomics), so hot paths pay one binary search plus three relaxed
+/// atomic ops.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  /// Quantile estimate (q in [0,1]) by linear interpolation inside the
+  /// bucket containing the q-th observation. The overflow bucket is
+  /// clamped to the observed maximum.
+  double Quantile(double q) const;
+
+  int64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+  double min() const;
+  double max() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  std::vector<int64_t> bucket_counts() const;
+  /// Zeroes all buckets and accumulators (not linearizable against
+  /// concurrent Observe calls; intended for quiescent resets).
+  void Reset();
+
+  /// `count` exponentially spaced upper bounds starting at `start`,
+  /// multiplied by `factor` each step. The usual shape for latencies.
+  static std::vector<double> ExponentialBounds(double start, double factor,
+                                               int count);
+  /// `count` evenly spaced upper bounds covering [lo, hi].
+  static std::vector<double> LinearBounds(double lo, double hi, int count);
+
+ private:
+  std::vector<double> bounds_;                  // ascending upper bounds
+  std::vector<std::atomic<int64_t>> buckets_;   // bounds_.size() + 1
+  std::atomic<int64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_{0.0};
+  std::atomic<double> max_{0.0};
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_METRICS_H_

@@ -1,0 +1,128 @@
+#include "obs/registry.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+#include <utility>
+
+#include "obs/export.h"
+
+namespace lcrec::obs {
+
+MetricsRegistry& MetricsRegistry::Global() {
+  // Heap-allocated and never destroyed so references cached by call
+  // sites (and the atexit flusher below) can never dangle during static
+  // destruction.
+  static MetricsRegistry* global = [] {
+    auto* r = new MetricsRegistry();
+    std::atexit([] {
+      std::string path = EnvOr("LCREC_METRICS_OUT");
+      if (!path.empty()) Global().WriteJsonlFile(path);
+    });
+    return r;
+  }();
+  return *global;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
+  return *slot;
+}
+
+std::vector<MetricSample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& kv : counters_) {
+    MetricSample s;
+    s.name = kv.first;
+    s.type = "counter";
+    s.value = static_cast<double>(kv.second->value());
+    out.push_back(std::move(s));
+  }
+  for (const auto& kv : gauges_) {
+    MetricSample s;
+    s.name = kv.first;
+    s.type = "gauge";
+    s.value = kv.second->value();
+    out.push_back(std::move(s));
+  }
+  for (const auto& kv : histograms_) {
+    const Histogram& h = *kv.second;
+    MetricSample s;
+    s.name = kv.first;
+    s.type = "histogram";
+    s.count = h.count();
+    s.sum = h.sum();
+    s.mean = h.mean();
+    s.min = h.min();
+    s.max = h.max();
+    s.p50 = h.Quantile(0.50);
+    s.p95 = h.Quantile(0.95);
+    s.p99 = h.Quantile(0.99);
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+void MetricsRegistry::WriteJsonl(std::ostream& out) const {
+  for (const MetricSample& s : Samples()) {
+    if (s.type == "histogram") {
+      out << "{\"name\":\"" << JsonEscape(s.name)
+          << "\",\"type\":\"histogram\",\"count\":" << s.count
+          << ",\"sum\":" << JsonNumber(s.sum)
+          << ",\"mean\":" << JsonNumber(s.mean)
+          << ",\"min\":" << JsonNumber(s.min)
+          << ",\"max\":" << JsonNumber(s.max)
+          << ",\"p50\":" << JsonNumber(s.p50)
+          << ",\"p95\":" << JsonNumber(s.p95)
+          << ",\"p99\":" << JsonNumber(s.p99) << "}\n";
+    } else {
+      out << "{\"name\":\"" << JsonEscape(s.name) << "\",\"type\":\"" << s.type
+          << "\",\"value\":" << JsonNumber(s.value) << "}\n";
+    }
+  }
+}
+
+void MetricsRegistry::WriteJsonlFile(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return;
+  WriteJsonl(out);
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+std::vector<std::string> MetricsRegistry::MetricNames() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(counters_.size() + gauges_.size() + histograms_.size());
+  for (const auto& kv : counters_) names.push_back(kv.first);
+  for (const auto& kv : gauges_) names.push_back(kv.first);
+  for (const auto& kv : histograms_) names.push_back(kv.first);
+  return names;
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,85 @@
+#ifndef LCREC_OBS_REGISTRY_H_
+#define LCREC_OBS_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace lcrec::obs {
+
+/// Point-in-time reading of one registered metric. Histogram fields are
+/// only meaningful when type == "histogram".
+struct MetricSample {
+  std::string name;
+  std::string type;  // "counter" | "gauge" | "histogram"
+  double value = 0.0;
+  int64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Process-wide metric registry. Metric names follow the convention
+/// `lcrec.<subsystem>.<name>` (see DESIGN.md §7). Lookup takes a mutex;
+/// hot paths should cache the returned reference once:
+///
+///   static obs::Counter& c =
+///       obs::MetricsRegistry::Global().GetCounter("lcrec.llm.gen.queries");
+///   c.Increment();
+///
+/// Registered metrics live for the whole process (the registry is never
+/// destroyed), so cached references cannot dangle.
+///
+/// When `LCREC_METRICS_OUT` is set, the full registry is flushed to that
+/// path as JSONL at process exit. Unset => purely in-memory, no I/O.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& Global();
+
+  Counter& GetCounter(const std::string& name);
+  Gauge& GetGauge(const std::string& name);
+  /// `bounds` is used only on first creation of `name`.
+  Histogram& GetHistogram(const std::string& name, std::vector<double> bounds);
+
+  /// Reads every registered metric, counters first, then gauges, then
+  /// histograms, each group in name order.
+  std::vector<MetricSample> Samples() const;
+
+  /// One JSON object per metric:
+  ///   counters   {"name":...,"type":"counter","value":N}
+  ///   gauges     {"name":...,"type":"gauge","value":X}
+  ///   histograms {"name":...,"type":"histogram","count":N,"sum":S,
+  ///               "mean":M,"min":m,"max":M,"p50":...,"p95":...,"p99":...}
+  void WriteJsonl(std::ostream& out) const;
+
+  /// Writes WriteJsonl output to `path` (no-op when empty).
+  void WriteJsonlFile(const std::string& path) const;
+
+  /// Resets every registered metric to zero (counts, sums, buckets).
+  /// References handed out earlier stay valid. Intended for tests and
+  /// for bench binaries separating a warmup phase from a measured one.
+  void Reset();
+
+  std::vector<std::string> MetricNames() const;
+
+ private:
+  MetricsRegistry() = default;
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_REGISTRY_H_

@@ -1,0 +1,119 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+
+#include "obs/export.h"
+
+namespace lcrec::obs {
+
+namespace {
+
+std::atomic<int> g_next_tid{1};
+
+int ThisThreadId() {
+  thread_local int id = g_next_tid.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+thread_local int t_depth = 0;
+
+std::chrono::steady_clock::time_point ProcessStart() {
+  static const std::chrono::steady_clock::time_point start =
+      std::chrono::steady_clock::now();
+  return start;
+}
+
+}  // namespace
+
+double NowMicros() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - ProcessStart())
+      .count();
+}
+
+TraceRecorder& TraceRecorder::Global() {
+  // Never destroyed; see MetricsRegistry::Global for the rationale.
+  static TraceRecorder* global = [] {
+    auto* r = new TraceRecorder();
+    std::atexit([] {
+      std::string path = EnvOr("LCREC_TRACE_OUT");
+      if (!path.empty()) Global().WriteChromeTraceFile(path);
+    });
+    return r;
+  }();
+  return *global;
+}
+
+TraceRecorder::TraceRecorder() {
+  ProcessStart();  // pin the time base before the first span
+  if (!EnvOr("LCREC_TRACE_OUT").empty()) SetEnabled(true);
+}
+
+void TraceRecorder::Record(TraceEvent event) {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.push_back(std::move(event));
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+}
+
+size_t TraceRecorder::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  out << "{\"traceEvents\":[";
+  for (size_t i = 0; i < events_.size(); ++i) {
+    const TraceEvent& e = events_[i];
+    if (i > 0) out << ",";
+    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"lcrec\","
+        << "\"ph\":\"X\",\"ts\":" << JsonNumber(e.ts_us)
+        << ",\"dur\":" << JsonNumber(e.dur_us) << ",\"pid\":1,\"tid\":" << e.tid
+        << ",\"args\":{\"depth\":" << e.depth << "}}";
+  }
+  out << "],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+void TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return;
+  WriteChromeTrace(out);
+}
+
+ScopedSpan::ScopedSpan(const char* name)
+    : name_(name),
+      start_us_(NowMicros()),
+      recording_(TraceRecorder::Global().enabled()) {
+  if (recording_) ++t_depth;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!recording_) return;
+  double end_us = NowMicros();
+  --t_depth;
+  TraceEvent e;
+  e.name = name_;
+  e.ts_us = start_us_;
+  e.dur_us = end_us - start_us_;
+  e.tid = ThisThreadId();
+  e.depth = t_depth;
+  TraceRecorder::Global().Record(std::move(e));
+}
+
+double ScopedSpan::ElapsedMs() const {
+  return (NowMicros() - start_us_) / 1000.0;
+}
+
+}  // namespace lcrec::obs

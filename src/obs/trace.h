@@ -1,0 +1,84 @@
+#ifndef LCREC_OBS_TRACE_H_
+#define LCREC_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace lcrec::obs {
+
+/// One completed span, in Chrome trace_event "X" (complete-event) form.
+struct TraceEvent {
+  std::string name;
+  double ts_us = 0.0;   // start, microseconds since process start
+  double dur_us = 0.0;  // duration, microseconds
+  int tid = 0;          // small per-thread id assigned on first span
+  int depth = 0;        // nesting depth on that thread (0 = root span)
+};
+
+/// Process-wide span sink. Disabled by default: ScopedSpan checks one
+/// relaxed atomic and records nothing, so instrumented hot paths cost a
+/// single load when tracing is off. Enabled automatically when
+/// `LCREC_TRACE_OUT` names a file (flushed there as Chrome trace JSON at
+/// process exit, loadable in chrome://tracing or Perfetto), or manually
+/// via SetEnabled() for tests.
+class TraceRecorder {
+ public:
+  static TraceRecorder& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void SetEnabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  void Record(TraceEvent event);
+  void Clear();
+  size_t event_count() const;
+  std::vector<TraceEvent> Events() const;
+
+  /// Writes all recorded events as a Chrome trace_event JSON document:
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,
+  ///   "pid":1,"tid":...,"args":{"depth":...}}, ...]}.
+  void WriteChromeTrace(std::ostream& out) const;
+  void WriteChromeTraceFile(const std::string& path) const;
+
+ private:
+  TraceRecorder();
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> events_;
+};
+
+/// RAII span: records [construction, destruction) of the named section
+/// on the calling thread when tracing is enabled. Spans nest via a
+/// thread-local depth counter; `name` must outlive the span (string
+/// literals only).
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(const char* name);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Elapsed time so far, in milliseconds — usable for metrics even when
+  /// tracing is disabled (the clock is always read on construction).
+  double ElapsedMs() const;
+
+ private:
+  const char* name_;
+  double start_us_;
+  bool recording_;
+};
+
+/// Microseconds since process start (steady clock). The time base of
+/// every TraceEvent.
+double NowMicros();
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_TRACE_H_

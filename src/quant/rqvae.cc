@@ -5,8 +5,12 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <string>
 
 #include "core/linalg.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "quant/sinkhorn.h"
 
 namespace lcrec::quant {
@@ -262,6 +266,7 @@ float RqVae::TrainAutoencoderBatch(const core::Tensor& batch) {
 }
 
 float RqVae::Train(const core::Tensor& embeddings) {
+  obs::ScopedSpan span("quant.rqvae_train");
   // Warmup: train the autoencoder alone so the latent space preserves the
   // input geometry; only then seed the codebooks by residual k-means.
   for (int epoch = 0; epoch < config_.warmup_epochs && !codebooks_initialized_;
@@ -272,7 +277,40 @@ float RqVae::Train(const core::Tensor& embeddings) {
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     last = TrainEpoch(embeddings);
   }
+  RecordQuantizationMetrics(embeddings, last);
   return last;
+}
+
+void RqVae::RecordQuantizationMetrics(const core::Tensor& embeddings,
+                                      float train_loss) const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  registry.GetGauge("lcrec.quant.rqvae.train_loss").Set(train_loss);
+  registry.GetGauge("lcrec.quant.rqvae.recon_mse")
+      .Set(ReconstructionError(embeddings));
+  // Per-level code usage: utilization (fraction of codebook rows that
+  // index at least one item) and perplexity (effective number of codes,
+  // exp of the code-distribution entropy; K means perfectly uniform).
+  QuantizeResult q = QuantizeAll(embeddings);
+  int64_t n = static_cast<int64_t>(q.codes.size());
+  if (n == 0) return;
+  for (int h = 0; h < config_.levels; ++h) {
+    std::vector<int64_t> counts(static_cast<size_t>(config_.codebook_size), 0);
+    for (int64_t i = 0; i < n; ++i) ++counts[static_cast<size_t>(q.codes[i][h])];
+    int used = 0;
+    double entropy = 0.0;
+    for (int64_t c : counts) {
+      if (c == 0) continue;
+      ++used;
+      double p = static_cast<double>(c) / static_cast<double>(n);
+      entropy -= p * std::log(p);
+    }
+    std::string suffix = ".l" + std::to_string(h);
+    registry.GetGauge("lcrec.quant.rqvae.codebook_util" + suffix)
+        .Set(static_cast<double>(used) /
+             static_cast<double>(config_.codebook_size));
+    registry.GetGauge("lcrec.quant.rqvae.codebook_perplexity" + suffix)
+        .Set(std::exp(entropy));
+  }
 }
 
 RqVae::QuantizeResult RqVae::QuantizeAll(const core::Tensor& embeddings) const {

@@ -74,6 +74,10 @@ class RqVae {
 
  private:
   void InitializeCodebooks(const core::Tensor& embeddings);
+  /// Publishes lcrec.quant.rqvae.* gauges (reconstruction error, per-level
+  /// codebook utilization and perplexity) after training.
+  void RecordQuantizationMetrics(const core::Tensor& embeddings,
+                                 float train_loss) const;
   float TrainBatch(const core::Tensor& batch);
   /// Reconstruction-only step (no quantization), used during warmup so the
   /// latent space is information-preserving before codebooks are seeded.

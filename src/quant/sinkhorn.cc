@@ -5,10 +5,15 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace lcrec::quant {
 
 core::Tensor SinkhornKnopp(const core::Tensor& cost, double epsilon,
                            int iterations) {
+  obs::ScopedSpan span("quant.sinkhorn");
   int64_t n = cost.rows(), k = cost.cols();
   assert(n > 0 && k > 0);
   // Work in double; shift costs per row for numerical stability.
@@ -40,6 +45,32 @@ core::Tensor SinkhornKnopp(const core::Tensor& cost, double epsilon,
   for (int64_t i = 0; i < n; ++i)
     for (int64_t j = 0; j < k; ++j)
       q.at(i * k + j) = static_cast<float>(u[i] * g[i * k + j] * v[j]);
+
+  // Convergence telemetry: worst deviation of the transport plan's
+  // marginals from their targets (row sums 1, column sums n/K), relative
+  // to the target. Zero means the plan is exactly doubly "stochastic".
+  {
+    double residual = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double s = 0.0;
+      for (int64_t j = 0; j < k; ++j) s += q.at(i * k + j);
+      residual = std::max(residual, std::abs(s - 1.0));
+    }
+    for (int64_t j = 0; j < k; ++j) {
+      double s = 0.0;
+      for (int64_t i = 0; i < n; ++i) s += q.at(i * k + j);
+      residual = std::max(residual, std::abs(s - col_target) / col_target);
+    }
+    obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+    static obs::Counter& calls = registry.GetCounter("lcrec.quant.sinkhorn.calls");
+    static obs::Counter& iters =
+        registry.GetCounter("lcrec.quant.sinkhorn.iterations");
+    static obs::Gauge& marginal_residual =
+        registry.GetGauge("lcrec.quant.sinkhorn.marginal_residual");
+    calls.Increment();
+    iters.Add(iterations);
+    marginal_residual.Set(residual);
+  }
   return q;
 }
 

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
-#include <cstdio>
 #include <limits>
+
+#include "obs/log.h"
+#include "obs/trace.h"
 
 namespace lcrec::rec {
 
@@ -58,6 +60,7 @@ void LcRec::BuildIndexing(const data::Dataset& dataset) {
 }
 
 void LcRec::Fit(const data::Dataset& dataset) {
+  obs::ScopedSpan span("rec.lcrec_fit");
   dataset_ = &dataset;
 
   // Step 1: item text embeddings (stand-in for frozen LLaMA encodings).
@@ -100,10 +103,12 @@ void LcRec::Fit(const data::Dataset& dataset) {
     std::vector<llm::TrainExample> examples =
         epoch == 0 ? std::move(probe) : builder_->BuildEpoch(config_.mixture, rng);
     float loss = trainer.TrainEpoch(examples);
-    if (config_.verbose) {
-      std::fprintf(stderr, "[lcrec %s] epoch %d/%d  %zu examples  loss %.4f\n",
-                   config_.mixture.Name().c_str(), epoch + 1,
-                   config_.trainer.epochs, examples.size(), loss);
+    if (config_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
+      obs::LogRaw(obs::LogLevel::kInfo,
+                  "[lcrec %s] epoch %d/%d  %zu examples  loss %.4f",
+                  config_.mixture.Name().c_str(), epoch + 1,
+                  config_.trainer.epochs, examples.size(),
+                  static_cast<double>(loss));
     }
   }
 }

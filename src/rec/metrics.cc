@@ -3,11 +3,22 @@
 #include <cmath>
 #include <cstdio>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
+
 namespace lcrec::rec {
 
 void RankingMetrics::AddRank(int rank) {
+  static obs::Counter& ranks =
+      obs::MetricsRegistry::Global().GetCounter("lcrec.rec.eval.ranks");
+  static obs::Counter& misses =
+      obs::MetricsRegistry::Global().GetCounter("lcrec.rec.eval.misses");
+  ranks.Increment();
   ++count;
-  if (rank < 0) return;
+  if (rank < 0) {
+    misses.Increment();
+    return;
+  }
   double gain = 1.0 / std::log2(static_cast<double>(rank) + 2.0);
   if (rank < 1) hr1 += 1.0;
   if (rank < 5) {

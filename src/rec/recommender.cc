@@ -2,30 +2,66 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
 namespace lcrec::rec {
+
+namespace {
+
+/// Cached handles for the evaluation loops (lcrec.rec.eval.*).
+struct EvalMetrics {
+  obs::Counter& users;
+  obs::Histogram& user_latency_ms;
+
+  static EvalMetrics& Get() {
+    static EvalMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new EvalMetrics{
+          r.GetCounter("lcrec.rec.eval.users"),
+          r.GetHistogram("lcrec.rec.eval.user_latency_ms",
+                         obs::Histogram::ExponentialBounds(0.1, 1.6, 28)),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
 
 RankingMetrics EvaluateScoring(const ScoringRecommender& model,
                                const data::Dataset& dataset, int max_users) {
+  obs::ScopedSpan span("rec.evaluate_scoring");
+  EvalMetrics& em = EvalMetrics::Get();
   RankingMetrics acc;
   int users = dataset.num_users();
   if (max_users > 0) users = std::min(users, max_users);
   for (int u = 0; u < users; ++u) {
+    double t0 = obs::NowMicros();
     std::vector<float> scores = model.ScoreAllItems(dataset.TestContext(u));
     acc.AddRank(RankOf(scores, dataset.TestTarget(u)));
+    em.user_latency_ms.Observe((obs::NowMicros() - t0) / 1000.0);
   }
+  em.users.Add(users);
   return acc.Mean();
 }
 
 RankingMetrics EvaluateGenerative(
     const std::function<std::vector<int>(const std::vector<int>&)>& top_items,
     const data::Dataset& dataset, int max_users) {
+  obs::ScopedSpan span("rec.evaluate_generative");
+  EvalMetrics& em = EvalMetrics::Get();
   RankingMetrics acc;
   int users = dataset.num_users();
   if (max_users > 0) users = std::min(users, max_users);
   for (int u = 0; u < users; ++u) {
+    double t0 = obs::NowMicros();
     std::vector<int> ranked = top_items(dataset.TestContext(u));
     acc.AddRank(RankInList(ranked, dataset.TestTarget(u)));
+    em.user_latency_ms.Observe((obs::NowMicros() - t0) / 1000.0);
   }
+  em.users.Add(users);
   return acc.Mean();
 }
 

@@ -72,7 +72,7 @@ TEST_P(UnaryGradientSweep, MatchesFiniteDifferences) {
   CheckGradientOf(
       p,
       [&, op = op](Graph& g, VarId v) {
-        VarId y;
+        VarId y = v;
         switch (op) {
           case Op::kRelu: y = g.Relu(v); break;
           case Op::kSigmoid: y = g.Sigmoid(v); break;

@@ -1,0 +1,235 @@
+// Tests of the lcrec::obs observability substrate: histogram quantile
+// estimation, counter atomicity under contention, span nesting in the
+// exported Chrome trace, registry export formats, and the silent-by-
+// default behavior when no sink env vars are set.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+namespace {
+
+TEST(HistogramTest, QuantilesOfKnownDistribution) {
+  // 1..1000 uniformly, into 100 linear buckets of width 10: every
+  // quantile is known exactly, interpolation error is sub-bucket.
+  Histogram h(Histogram::LinearBounds(0.0, 1000.0, 100));
+  for (int i = 1; i <= 1000; ++i) h.Observe(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 1000);
+  EXPECT_DOUBLE_EQ(h.sum(), 500500.0);
+  EXPECT_NEAR(h.Quantile(0.50), 500.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.95), 950.0, 10.0);
+  EXPECT_NEAR(h.Quantile(0.99), 990.0, 10.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 1000.0);
+  EXPECT_NEAR(h.mean(), 500.5, 1e-9);
+}
+
+TEST(HistogramTest, QuantileEdgeCases) {
+  Histogram h(Histogram::ExponentialBounds(1.0, 2.0, 10));
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0);  // empty
+  h.Observe(3.0);
+  // A single observation: every quantile collapses onto it.
+  EXPECT_NEAR(h.Quantile(0.0), 3.0, 1.0);
+  EXPECT_NEAR(h.Quantile(1.0), 3.0, 1e-9);
+  // Overflow bucket is clamped to the observed max, not infinity.
+  h.Observe(1e6);
+  EXPECT_LE(h.Quantile(0.99), 1e6);
+}
+
+TEST(HistogramTest, ConcurrentObserve) {
+  Histogram h(Histogram::LinearBounds(0.0, 8.0, 8));
+  constexpr int kThreads = 8, kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(t % 8 + 0.5);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.count(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(CounterTest, AtomicUnderContention) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test.obs.contended");
+  c.Reset();
+  constexpr int kThreads = 8, kPerThread = 50000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(c.value(), static_cast<int64_t>(kThreads) * kPerThread);
+}
+
+TEST(RegistryTest, SameNameSameInstance) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  Counter& a = r.GetCounter("test.obs.same");
+  Counter& b = r.GetCounter("test.obs.same");
+  EXPECT_EQ(&a, &b);
+  Gauge& g = r.GetGauge("test.obs.gauge");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(r.GetGauge("test.obs.gauge").value(), 2.5);
+}
+
+TEST(RegistryTest, JsonlExportContainsAllTypes) {
+  MetricsRegistry& r = MetricsRegistry::Global();
+  r.GetCounter("test.obs.export_counter").Add(7);
+  r.GetGauge("test.obs.export_gauge").Set(1.25);
+  Histogram& h = r.GetHistogram("test.obs.export_hist",
+                                Histogram::LinearBounds(0.0, 10.0, 10));
+  h.Reset();
+  h.Observe(4.0);
+  std::ostringstream out;
+  r.WriteJsonl(out);
+  std::string s = out.str();
+  EXPECT_NE(s.find("{\"name\":\"test.obs.export_counter\",\"type\":"
+                   "\"counter\",\"value\":7}"),
+            std::string::npos);
+  EXPECT_NE(s.find("{\"name\":\"test.obs.export_gauge\",\"type\":"
+                   "\"gauge\",\"value\":1.25}"),
+            std::string::npos);
+  EXPECT_NE(s.find("\"name\":\"test.obs.export_hist\",\"type\":\"histogram\","
+                   "\"count\":1"),
+            std::string::npos);
+  // Every line is one object: brace-balanced, no trailing comma.
+  std::istringstream lines(s);
+  std::string line;
+  while (std::getline(lines, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(TraceTest, SpanNestingOrderInExportedJson) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  bool was_enabled = rec.enabled();
+  rec.SetEnabled(true);
+  rec.Clear();
+  {
+    ScopedSpan outer("outer_span");
+    {
+      ScopedSpan inner("inner_span");
+    }
+  }
+  rec.SetEnabled(was_enabled);
+
+  std::vector<TraceEvent> events = rec.Events();
+  ASSERT_EQ(events.size(), 2u);
+  // Spans are recorded at destruction: innermost first.
+  EXPECT_EQ(events[0].name, "inner_span");
+  EXPECT_EQ(events[1].name, "outer_span");
+  EXPECT_EQ(events[0].depth, 1);
+  EXPECT_EQ(events[1].depth, 0);
+  EXPECT_EQ(events[0].tid, events[1].tid);
+  // The outer span brackets the inner one on the timeline.
+  EXPECT_GE(events[0].ts_us, events[1].ts_us);
+  EXPECT_LE(events[0].ts_us + events[0].dur_us,
+            events[1].ts_us + events[1].dur_us + 1e-3);
+
+  std::ostringstream out;
+  rec.WriteChromeTrace(out);
+  std::string json = out.str();
+  EXPECT_EQ(json.find("{\"traceEvents\":["), 0u);
+  EXPECT_NE(json.find("\"name\":\"inner_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"outer_span\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"depth\":1}"), std::string::npos);
+  size_t open = 0, close = 0;
+  for (char c : json) {
+    if (c == '{') ++open;
+    if (c == '}') ++close;
+  }
+  EXPECT_EQ(open, close);
+  rec.Clear();
+}
+
+TEST(TraceTest, DisabledRecorderRecordsNothing) {
+  TraceRecorder& rec = TraceRecorder::Global();
+  bool was_enabled = rec.enabled();
+  rec.SetEnabled(false);
+  rec.Clear();
+  {
+    ScopedSpan span("should_not_appear");
+  }
+  EXPECT_EQ(rec.event_count(), 0u);
+  rec.SetEnabled(was_enabled);
+}
+
+TEST(SilentDefaultTest, NoSinkFilesWithoutEnvVars) {
+  // The driver runs ctest with the sink env vars unset; instrumented
+  // paths must then stay purely in-memory. (When a developer *does* set
+  // them the premise doesn't hold, so skip.)
+  if (std::getenv("LCREC_METRICS_OUT") != nullptr ||
+      std::getenv("LCREC_TRACE_OUT") != nullptr) {
+    GTEST_SKIP() << "sink env vars are set in this environment";
+  }
+  EXPECT_EQ(EnvOr("LCREC_METRICS_OUT"), "");
+  EXPECT_EQ(EnvOr("LCREC_TRACE_OUT"), "");
+  EXPECT_FALSE(TraceRecorder::Global().enabled());
+  // Disabled writers are no-ops.
+  JsonlWriter w("");
+  EXPECT_FALSE(w.enabled());
+  w.WriteLine("{\"dropped\":true}");
+  ResultEmitter e("bench", "", "{}");
+  EXPECT_FALSE(e.enabled());
+  e.Emit("metric", 1.0);
+  MetricsRegistry::Global().WriteJsonlFile("");  // empty path: no file
+}
+
+TEST(ResultEmitterTest, RowsFollowSharedSchema) {
+  std::string path = ::testing::TempDir() + "/obs_emitter_test.jsonl";
+  {
+    ResultEmitter e("unit", path, "{\"scale\":0.5}");
+    ASSERT_TRUE(e.enabled());
+    e.Emit("model/ndcg10", 0.125);
+    e.Emit("with \"quotes\"", 2.0);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string line1, line2;
+  ASSERT_TRUE(std::getline(in, line1));
+  ASSERT_TRUE(std::getline(in, line2));
+  EXPECT_EQ(line1,
+            "{\"bench\":\"unit\",\"metric\":\"model/ndcg10\","
+            "\"value\":0.125,\"config\":{\"scale\":0.5}}");
+  EXPECT_NE(line2.find("with \\\"quotes\\\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(LogTest, ThresholdIsMonotone) {
+  // Whatever LCREC_LOG_LEVEL says, enabling is monotone in severity.
+  EXPECT_LE(LogEnabled(LogLevel::kDebug), LogEnabled(LogLevel::kInfo));
+  EXPECT_LE(LogEnabled(LogLevel::kInfo), LogEnabled(LogLevel::kWarn));
+  EXPECT_LE(LogEnabled(LogLevel::kWarn), LogEnabled(LogLevel::kError));
+  if (std::getenv("LCREC_LOG_LEVEL") == nullptr) {
+    // Default threshold is warn: per-epoch info diagnostics stay quiet.
+    EXPECT_FALSE(LogEnabled(LogLevel::kInfo));
+    EXPECT_TRUE(LogEnabled(LogLevel::kWarn));
+  }
+}
+
+TEST(ExportTest, JsonHelpers) {
+  EXPECT_EQ(JsonEscape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(JsonNumber(0.5), "0.5");
+  EXPECT_EQ(JsonNumber(std::numeric_limits<double>::infinity()), "null");
+}
+
+}  // namespace
+}  // namespace lcrec::obs
