@@ -4,8 +4,9 @@
 //
 // Also drives a small instrumented end-to-end workload (RQ-VAE training,
 // alignment tuning, constrained beam search, evaluation) and exports the
-// resulting lcrec.* metrics as JSONL rows via --metrics-out=PATH:
-//   bench_microbench --quick --metrics-out=m.jsonl
+// resulting lcrec.* metrics as JSONL rows via --metrics-out=PATH, or as
+// Prometheus text exposition via --prom-out=PATH:
+//   bench_microbench --quick --metrics-out=m.jsonl --prom-out=m.prom
 // --quick runs only the workload; without it the google-benchmark suite
 // follows (unrecognized flags are forwarded to google-benchmark).
 
@@ -167,6 +168,7 @@ int main(int argc, char** argv) {
   flags.scale = 0.2;
   flags.max_users = 40;
   flags.llm_epochs = 4;
+  std::string prom_out;
   std::vector<char*> fwd;
   fwd.push_back(argv[0]);
   for (int i = 1; i < argc; ++i) {
@@ -178,6 +180,8 @@ int main(int argc, char** argv) {
       flags.llm_epochs = 3;
     } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
       flags.metrics_out = a + 14;
+    } else if (std::strncmp(a, "--prom-out=", 11) == 0) {
+      prom_out = a + 11;
     } else if (std::strncmp(a, "--scale=", 8) == 0) {
       flags.scale = std::atof(a + 8);
     } else if (std::strncmp(a, "--users=", 8) == 0) {
@@ -199,6 +203,10 @@ int main(int argc, char** argv) {
   EmitRegistry(emitter);
   if (!flags.metrics_out.empty()) {
     std::printf("metrics written to %s\n", flags.metrics_out.c_str());
+  }
+  if (!prom_out.empty()) {
+    obs::MetricsRegistry::Global().DumpPrometheusFile(prom_out);
+    std::printf("prometheus exposition written to %s\n", prom_out.c_str());
   }
 
   if (flags.quick) return 0;  // workload only; skip the kernel suite

@@ -1,0 +1,275 @@
+// Benchmark regression gate (DESIGN.md §6): runs a fixed microbench
+// suite over the hot kernels, writes a BENCH_<git-sha>.json record
+// (manifest + throughput/latency metrics), and diffs it against a
+// committed baseline with per-metric tolerance bands. Exit status:
+//   0  no regression (or --record / no baseline given)
+//   1  regression or baseline metric missing from this run
+//
+// Usage:
+//   bench_perfgate --baseline=bench/baseline.json [--out=PATH] [--reps=N]
+//   bench_perfgate --record=bench/baseline.json   # re-record the baseline
+//
+// LCREC_PERFGATE_SLOWDOWN_US=N injects an N-microsecond sleep into every
+// timed repetition — a synthetic regression used to prove the gate fails
+// readably (tests/obs_prof_test.cc and scripts/perf_regress.sh --selftest).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/linalg.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "llm/minillm.h"
+#include "obs/export.h"
+#include "obs/perfgate.h"
+#include "obs/trace.h"
+#include "quant/rqvae.h"
+#include "quant/sinkhorn.h"
+
+namespace {
+
+using namespace lcrec;
+
+struct GateFlags {
+  std::string baseline;  // compare against this record
+  std::string record;    // write the record here and exit 0
+  std::string out;       // current record path; default BENCH_<sha>.json
+  int reps = 20;
+
+  static GateFlags Parse(int argc, char** argv) {
+    GateFlags f;
+    for (int i = 1; i < argc; ++i) {
+      const char* a = argv[i];
+      if (std::strncmp(a, "--baseline=", 11) == 0) {
+        f.baseline = a + 11;
+      } else if (std::strncmp(a, "--record=", 9) == 0) {
+        f.record = a + 9;
+      } else if (std::strncmp(a, "--out=", 6) == 0) {
+        f.out = a + 6;
+      } else if (std::strncmp(a, "--reps=", 7) == 0) {
+        f.reps = std::atoi(a + 7);
+      } else {
+        std::fprintf(stderr, "unknown flag %s\n", a);
+        std::exit(2);
+      }
+    }
+    if (f.reps < 3) f.reps = 3;
+    return f;
+  }
+};
+
+/// Timing result of one kernel: per-rep wall milliseconds.
+struct KernelTiming {
+  std::vector<double> ms;
+
+  double Mean() const {
+    double s = 0.0;
+    for (double v : ms) s += v;
+    return ms.empty() ? 0.0 : s / static_cast<double>(ms.size());
+  }
+
+  double Quantile(double q) const {
+    if (ms.empty()) return 0.0;
+    std::vector<double> sorted = ms;
+    std::sort(sorted.begin(), sorted.end());
+    double pos = q * static_cast<double>(sorted.size() - 1);
+    size_t lo = static_cast<size_t>(pos);
+    size_t hi = std::min(lo + 1, sorted.size() - 1);
+    double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+  }
+};
+
+/// Runs `fn` `reps` times after 3 warmup reps. The synthetic-slowdown
+/// hook is applied inside the timed region on purpose: the gate must
+/// see it.
+KernelTiming TimeKernel(const std::function<void()>& fn, int reps) {
+  long slowdown_us = std::atol(obs::EnvOr("LCREC_PERFGATE_SLOWDOWN_US").c_str());
+  for (int i = 0; i < 3; ++i) fn();
+  KernelTiming t;
+  t.ms.reserve(static_cast<size_t>(reps));
+  for (int i = 0; i < reps; ++i) {
+    auto start = std::chrono::steady_clock::now();
+    fn();
+    if (slowdown_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(slowdown_us));
+    }
+    auto end = std::chrono::steady_clock::now();
+    t.ms.push_back(
+        std::chrono::duration<double, std::milli>(end - start).count());
+  }
+  return t;
+}
+
+/// Tolerance bands are deliberately loose: the gate targets order-of-
+/// magnitude regressions (an accidental O(n^2) path, a lost
+/// optimization), not CI scheduler noise.
+constexpr double kLatencyTolerance = 0.60;
+constexpr double kThroughputTolerance = 0.60;
+
+void AddLatency(obs::PerfRecord* rec, const std::string& kernel,
+                const KernelTiming& t) {
+  rec->metrics[kernel + "/p50_ms"] = {t.Quantile(0.50), kLatencyTolerance};
+  rec->metrics[kernel + "/mean_ms"] = {t.Mean(), kLatencyTolerance};
+}
+
+void AddGflops(obs::PerfRecord* rec, const std::string& kernel,
+               const KernelTiming& t, double flops_per_rep) {
+  double p50_s = t.Quantile(0.50) / 1e3;
+  double gflops = p50_s > 0.0 ? flops_per_rep / p50_s / 1e9 : 0.0;
+  rec->metrics[kernel + "/gflops"] = {gflops, kThroughputTolerance};
+}
+
+obs::PerfRecord RunSuite(int reps) {
+  obs::ScopedSpan span("bench.perfgate_suite");
+  obs::PerfRecord rec;
+  rec.manifest = obs::CollectRunManifest();
+  core::Rng rng(7);
+
+  {
+    const int64_t n = 128;
+    core::Tensor a = rng.GaussianTensor({n, n}, 1.0);
+    core::Tensor b = rng.GaussianTensor({n, n}, 1.0);
+    KernelTiming t = TimeKernel(
+        [&] {
+          core::Tensor c = core::MatMul(a, b);
+          if (c.at(0) > 1e30f) std::abort();  // keep the result live
+        },
+        reps);
+    AddLatency(&rec, "matmul128", t);
+    AddGflops(&rec, "matmul128", t, 2.0 * n * n * n);
+
+    KernelTiming tnt = TimeKernel(
+        [&] {
+          core::Tensor c = core::MatMulNT(a, b);
+          if (c.at(0) > 1e30f) std::abort();
+        },
+        reps);
+    AddLatency(&rec, "matmulnt128", tnt);
+    AddGflops(&rec, "matmulnt128", tnt, 2.0 * n * n * n);
+  }
+
+  {
+    const int64_t ma = 256, mb = 64, d = 64;
+    core::Tensor a = rng.GaussianTensor({ma, d}, 1.0);
+    core::Tensor b = rng.GaussianTensor({mb, d}, 1.0);
+    KernelTiming t = TimeKernel(
+        [&] {
+          core::Tensor c = core::SquaredDistances(a, b);
+          if (c.at(0) > 1e30f) std::abort();
+        },
+        reps);
+    AddLatency(&rec, "sqdist", t);
+    AddGflops(&rec, "sqdist", t, 3.0 * ma * mb * d);
+  }
+
+  {
+    core::Tensor cost = rng.GaussianTensor({256, 64}, 1.0);
+    for (int64_t i = 0; i < cost.size(); ++i) {
+      cost.at(i) = std::abs(cost.at(i));
+    }
+    KernelTiming t = TimeKernel(
+        [&] {
+          core::Tensor q = quant::SinkhornKnopp(cost, 0.05, 50);
+          if (q.at(0) > 1e30f) std::abort();
+        },
+        reps);
+    AddLatency(&rec, "sinkhorn", t);
+  }
+
+  {
+    quant::RqVaeConfig cfg;
+    cfg.input_dim = 48;
+    cfg.levels = 4;
+    cfg.codebook_size = 64;
+    quant::RqVae vae(cfg);
+    const int64_t items = 256;
+    core::Tensor data = rng.GaussianTensor({items, 48}, 1.0);
+    KernelTiming t = TimeKernel(
+        [&] {
+          auto q = vae.QuantizeAll(data);
+          if (q.codes.empty()) std::abort();
+        },
+        reps);
+    AddLatency(&rec, "rqvae_quantize", t);
+    double p50_s = t.Quantile(0.50) / 1e3;
+    rec.metrics["rqvae_quantize/items_per_sec"] = {
+        p50_s > 0.0 ? static_cast<double>(items) / p50_s : 0.0,
+        kThroughputTolerance};
+  }
+
+  {
+    llm::MiniLlmConfig cfg;
+    cfg.vocab_size = 512;
+    cfg.d_model = 48;
+    cfg.n_layers = 2;
+    cfg.n_heads = 4;
+    cfg.d_ff = 128;
+    cfg.max_seq = 160;
+    llm::MiniLlm model(cfg);
+    std::vector<int> prompt(32, 5);
+    KernelTiming t = TimeKernel(
+        [&] {
+          llm::MiniLlm::KvCache cache = model.MakeCache();
+          core::Tensor logits = model.Forward(cache, prompt);
+          for (int g = 0; g < 4; ++g) logits = model.Forward(cache, {7 + g});
+          if (logits.at(0) > 1e30f) std::abort();
+        },
+        reps);
+    AddLatency(&rec, "llm_decode", t);
+  }
+
+  return rec;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GateFlags flags = GateFlags::Parse(argc, argv);
+
+  std::printf("perfgate: running suite (%d reps per kernel)...\n", flags.reps);
+  obs::PerfRecord current = RunSuite(flags.reps);
+
+  if (!flags.record.empty()) {
+    if (!obs::WritePerfRecordFile(flags.record, current)) {
+      std::fprintf(stderr, "perfgate: cannot write %s\n",
+                   flags.record.c_str());
+      return 2;
+    }
+    std::printf("perfgate: baseline recorded to %s (%zu metrics)\n",
+                flags.record.c_str(), current.metrics.size());
+    return 0;
+  }
+
+  std::string out = flags.out;
+  if (out.empty()) out = "BENCH_" + current.manifest.git_sha + ".json";
+  if (obs::WritePerfRecordFile(out, current)) {
+    std::printf("perfgate: record written to %s\n", out.c_str());
+  }
+
+  if (flags.baseline.empty()) {
+    std::printf("perfgate: no --baseline given; record-only run\n");
+    return 0;
+  }
+
+  obs::PerfRecord baseline;
+  if (!obs::ReadPerfRecordFile(flags.baseline, &baseline)) {
+    std::fprintf(stderr, "perfgate: cannot read baseline %s\n",
+                 flags.baseline.c_str());
+    return 2;
+  }
+
+  std::printf("baseline: sha %s, recorded %s\n",
+              baseline.manifest.git_sha.c_str(),
+              baseline.manifest.timestamp.c_str());
+  obs::PerfGateResult result = obs::ComparePerf(baseline, current);
+  std::fputs(obs::FormatPerfDiff(result).c_str(), stdout);
+  return result.ok ? 0 : 1;
+}

@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Benchmark regression gate: runs bench_perfgate against the committed
+# bench/baseline.json and fails on any metric outside its tolerance band.
+#
+# Opt-in: benchmark timings are only meaningful on a quiet machine, so it
+# runs when LCREC_PERF=1 is set; otherwise it prints "[skipped]" and
+# exits 0 (the CTest entry maps that marker to a SKIP).
+#
+#   LCREC_PERF=1 scripts/perf_regress.sh [path/to/bench_perfgate]
+#   LCREC_PERF=1 ctest -R perf_regress --output-on-failure
+#
+# --selftest additionally verifies the gate itself: it injects a
+# synthetic slowdown (LCREC_PERFGATE_SLOWDOWN_US) and requires the gate
+# to FAIL, proving a real regression would be caught.
+#
+# To re-record the baseline after an intentional perf change, see
+# EXPERIMENTS.md ("Re-recording the perf baseline").
+
+set -euo pipefail
+
+selftest=0
+bin=""
+for a in "$@"; do
+  case "$a" in
+    --selftest) selftest=1 ;;
+    *) bin="$a" ;;
+  esac
+done
+
+if [[ "${LCREC_PERF:-0}" != "1" ]]; then
+  echo "perf_regress [skipped] (set LCREC_PERF=1 to enable)"
+  exit 0
+fi
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+
+if [[ -z "${bin}" ]]; then
+  for candidate in "${repo_root}/build/bench/bench_perfgate" \
+                   "${repo_root}/build-strict/bench/bench_perfgate"; do
+    if [[ -x "${candidate}" ]]; then bin="${candidate}"; break; fi
+  done
+fi
+if [[ -z "${bin}" || ! -x "${bin}" ]]; then
+  echo "perf_regress: bench_perfgate binary not found (build it first)" >&2
+  exit 2
+fi
+
+# Stamp records with the actual checked-out commit, not the sha baked in
+# at configure time (which goes stale without a reconfigure).
+if sha="$(git -C "${repo_root}" rev-parse --short HEAD 2>/dev/null)"; then
+  export LCREC_GIT_SHA="${sha}"
+fi
+
+baseline="${repo_root}/bench/baseline.json"
+out_dir="${LCREC_PERF_OUT_DIR:-$(pwd)}"
+out="${out_dir}/BENCH_${LCREC_GIT_SHA:-unknown}.json"
+
+echo "perf_regress: ${bin} vs ${baseline}"
+"${bin}" --baseline="${baseline}" --out="${out}"
+
+if [[ "${selftest}" == "1" ]]; then
+  echo "perf_regress: selftest (synthetic slowdown must FAIL the gate)"
+  if LCREC_PERFGATE_SLOWDOWN_US=200000 \
+     "${bin}" --baseline="${baseline}" --out="${out}.selftest" --reps=3; then
+    echo "perf_regress: selftest FAILED - gate passed a synthetic slowdown" >&2
+    exit 1
+  fi
+  echo "perf_regress: selftest OK (gate rejected the slowdown)"
+fi
+
+echo "perf_regress: OK"

@@ -1,5 +1,7 @@
 #include "baselines/bert4rec.h"
 
+#include "obs/trace.h"
+
 namespace lcrec::baselines {
 
 void Bert4Rec::BuildModel(const data::Dataset& dataset) {
@@ -24,6 +26,7 @@ core::VarId Bert4Rec::Encode(core::Graph& g,
 
 core::VarId Bert4Rec::BuildUserLoss(core::Graph& g,
                                     const std::vector<int>& items) {
+  obs::ScopedSpan span("baselines.bert4rec.loss");
   // Cloze objective: mask a random subset (at least one position; the
   // final position is always a candidate so train matches inference).
   std::vector<int> masked = items;
@@ -50,6 +53,7 @@ core::VarId Bert4Rec::BuildUserLoss(core::Graph& g,
 
 std::vector<float> Bert4Rec::ScoreAllItems(
     const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.bert4rec.score");
   std::vector<int> ids = Clamp(history);
   if (static_cast<int>(ids.size()) >= dataset()->max_seq_len() + 1) {
     ids.erase(ids.begin());

@@ -1,5 +1,7 @@
 #include "baselines/caser.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -63,6 +65,7 @@ core::VarId Caser::UserState(core::Graph& g, const std::vector<int>& ctx) const 
 
 core::VarId Caser::BuildUserLoss(core::Graph& g,
                                  const std::vector<int>& items) {
+  obs::ScopedSpan span("baselines.caser.loss");
   // Sliding windows: predict items[t] from items[..t).
   std::vector<core::VarId> states;
   std::vector<int> targets;
@@ -82,6 +85,7 @@ core::VarId Caser::BuildUserLoss(core::Graph& g,
 
 std::vector<float> Caser::ScoreAllItems(
     const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.caser.score");
   core::Graph g;
   core::VarId state = UserState(g, history);
   std::vector<float> scores = DotScores(g.val(state), emb_->value);

@@ -4,10 +4,35 @@
 #include <numeric>
 
 #include "obs/log.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace lcrec::baselines {
 
+FitTelemetry::FitTelemetry(const std::string& model)
+    : epochs_(obs::MetricsRegistry::Global().GetCounter(
+          "lcrec.baselines." + model + ".epochs")),
+      steps_(obs::MetricsRegistry::Global().GetCounter(
+          "lcrec.baselines." + model + ".steps")),
+      step_time_ms_(obs::MetricsRegistry::Global().GetHistogram(
+          "lcrec.baselines." + model + ".step_time_ms",
+          obs::Histogram::ExponentialBounds(0.01, 2.0, 20))),
+      loss_(obs::MetricsRegistry::Global().GetGauge(
+          "lcrec.baselines." + model + ".loss")) {}
+
+void FitTelemetry::RecordStep(double ms) {
+  steps_.Increment();
+  step_time_ms_.Observe(ms);
+}
+
+void FitTelemetry::RecordEpoch(double mean_loss) {
+  epochs_.Increment();
+  loss_.Set(mean_loss);
+}
+
 void NeuralRecommender::Fit(const data::Dataset& dataset) {
+  obs::ScopedSpan fit_span("baselines.fit");
+  FitTelemetry telemetry(name());
   dataset_ = &dataset;
   store_.Clear();
   BuildModel(dataset);
@@ -30,10 +55,12 @@ void NeuralRecommender::Fit(const data::Dataset& dataset) {
         items.erase(items.begin(),
                     items.end() - dataset.max_seq_len());
       }
+      obs::ScopedSpan step_span("baselines.user_step");
       core::Graph g;
       core::VarId loss = BuildUserLoss(g, items);
       g.Backward(loss);
       total += g.val(loss).item();
+      telemetry.RecordStep(step_span.ElapsedMs());
       ++count;
       ++in_batch;
       if (in_batch == config_.batch_users || u == order.back()) {
@@ -46,6 +73,7 @@ void NeuralRecommender::Fit(const data::Dataset& dataset) {
         in_batch = 0;
       }
     }
+    telemetry.RecordEpoch(total / std::max<int64_t>(1, count));
     if (config_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
       obs::LogRaw(obs::LogLevel::kInfo, "[%s] epoch %d/%d loss %.4f",
                   name().c_str(), epoch + 1, config_.epochs,

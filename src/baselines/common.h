@@ -9,9 +9,30 @@
 #include "core/optim.h"
 #include "core/rng.h"
 #include "data/dataset.h"
+#include "obs/metrics.h"
 #include "rec/recommender.h"
 
 namespace lcrec::baselines {
+
+/// Per-model training telemetry shared by every scoring baseline:
+///   lcrec.baselines.<model>.epochs        counter
+///   lcrec.baselines.<model>.steps         counter (per-user loss steps)
+///   lcrec.baselines.<model>.step_time_ms  histogram of per-step wall time
+///   lcrec.baselines.<model>.loss          gauge, latest epoch mean loss
+/// Construct once per Fit (registry lookups happen here, not per step).
+class FitTelemetry {
+ public:
+  explicit FitTelemetry(const std::string& model);
+
+  void RecordStep(double ms);
+  void RecordEpoch(double mean_loss);
+
+ private:
+  obs::Counter& epochs_;
+  obs::Counter& steps_;
+  obs::Histogram& step_time_ms_;
+  obs::Gauge& loss_;
+};
 
 /// Shared hyper-parameters of the neural baselines (Table III rows).
 struct BaselineConfig {

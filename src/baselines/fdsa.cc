@@ -1,5 +1,7 @@
 #include "baselines/fdsa.h"
 
+#include "obs/trace.h"
+
 #include <cmath>
 
 namespace lcrec::baselines {
@@ -55,6 +57,7 @@ core::VarId Fdsa::EncodeSequence(core::Graph& g,
 
 core::VarId Fdsa::BuildUserLoss(core::Graph& g,
                                 const std::vector<int>& items) {
+  obs::ScopedSpan span("baselines.fdsa.loss");
   std::vector<int> inputs(items.begin(), items.end() - 1);
   std::vector<int> targets(items.begin() + 1, items.end());
   core::VarId states = EncodeSequence(g, inputs);
@@ -64,6 +67,7 @@ core::VarId Fdsa::BuildUserLoss(core::Graph& g,
 
 std::vector<float> Fdsa::ScoreAllItems(
     const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.fdsa.score");
   std::vector<int> items = Clamp(history);
   core::Graph g;
   core::VarId states = EncodeSequence(g, items);

@@ -1,5 +1,7 @@
 #include "baselines/fmlp.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -67,6 +69,7 @@ core::VarId FmlpRec::EncodeLast(core::Graph& g,
 
 core::VarId FmlpRec::BuildUserLoss(core::Graph& g,
                                    const std::vector<int>& items) {
+  obs::ScopedSpan span("baselines.fmlp.loss");
   // Non-causal mixing: supervise the final position only, on a couple of
   // sampled prefixes per user.
   std::vector<core::VarId> states;
@@ -86,6 +89,7 @@ core::VarId FmlpRec::BuildUserLoss(core::Graph& g,
 
 std::vector<float> FmlpRec::ScoreAllItems(
     const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.fmlp.score");
   core::Graph g;
   core::VarId state = EncodeLast(g, history);
   std::vector<float> scores = DotScores(g.val(state), emb_->value);

@@ -1,5 +1,7 @@
 #include "baselines/gru4rec.h"
 
+#include "obs/trace.h"
+
 #include <cmath>
 
 namespace lcrec::baselines {
@@ -51,6 +53,7 @@ core::VarId Gru4Rec::RunGru(core::Graph& g,
 
 core::VarId Gru4Rec::BuildUserLoss(core::Graph& g,
                                    const std::vector<int>& items) {
+  obs::ScopedSpan span("baselines.gru4rec.loss");
   // Inputs x_1..x_{T-1}, targets x_2..x_T.
   std::vector<int> inputs(items.begin(), items.end() - 1);
   std::vector<int> targets(items.begin() + 1, items.end());
@@ -61,6 +64,7 @@ core::VarId Gru4Rec::BuildUserLoss(core::Graph& g,
 
 std::vector<float> Gru4Rec::ScoreAllItems(
     const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.gru4rec.score");
   std::vector<int> items = Clamp(history);
   core::Graph g;
   core::VarId states = RunGru(g, items);

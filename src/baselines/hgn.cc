@@ -1,5 +1,7 @@
 #include "baselines/hgn.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cmath>
 
@@ -46,6 +48,7 @@ core::VarId Hgn::UserState(core::Graph& g, const std::vector<int>& ctx) const {
 }
 
 core::VarId Hgn::BuildUserLoss(core::Graph& g, const std::vector<int>& items) {
+  obs::ScopedSpan span("baselines.hgn.loss");
   std::vector<core::VarId> states;
   std::vector<int> targets;
   int stride = std::max<int>(1, (static_cast<int>(items.size()) - 1) / 6);
@@ -59,6 +62,7 @@ core::VarId Hgn::BuildUserLoss(core::Graph& g, const std::vector<int>& items) {
 }
 
 std::vector<float> Hgn::ScoreAllItems(const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.hgn.score");
   core::Graph g;
   core::VarId state = UserState(g, history);
   return DotScores(g.val(state), emb_->value);

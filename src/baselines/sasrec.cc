@@ -1,5 +1,7 @@
 #include "baselines/sasrec.h"
 
+#include "obs/trace.h"
+
 namespace lcrec::baselines {
 
 void SasRec::BuildModel(const data::Dataset& dataset) {
@@ -25,6 +27,7 @@ core::VarId SasRec::EncodeSequence(core::Graph& g,
 
 core::VarId SasRec::BuildUserLoss(core::Graph& g,
                                   const std::vector<int>& items) {
+  obs::ScopedSpan span("baselines.sasrec.loss");
   std::vector<int> inputs(items.begin(), items.end() - 1);
   std::vector<int> targets(items.begin() + 1, items.end());
   core::VarId states = EncodeSequence(g, inputs);
@@ -34,6 +37,7 @@ core::VarId SasRec::BuildUserLoss(core::Graph& g,
 
 std::vector<float> SasRec::ScoreAllItems(
     const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.sasrec.score");
   std::vector<int> items = Clamp(history);
   core::Graph g;
   core::VarId states = EncodeSequence(g, items);

@@ -6,6 +6,7 @@
 
 #include "core/linalg.h"
 #include "llm/trainer.h"
+#include "obs/trace.h"
 #include "text/encoder.h"
 
 namespace lcrec::baselines {
@@ -50,6 +51,7 @@ core::Tensor Tiger::BuildSourceEmbeddings(
 }
 
 void Tiger::Fit(const data::Dataset& dataset) {
+  obs::ScopedSpan span("baselines.tiger.fit");
   dataset_ = &dataset;
   core::Tensor embeddings = BuildSourceEmbeddings(dataset);
 
@@ -154,6 +156,7 @@ std::vector<int> Tiger::TopKIds(const std::vector<int>& history, int k) const {
 
 std::vector<float> Tiger::ScoreAllItems(
     const std::vector<int>& history) const {
+  obs::ScopedSpan span("baselines.tiger.score");
   std::vector<float> scores(static_cast<size_t>(dataset_->num_items()),
                             -std::numeric_limits<float>::infinity());
   std::vector<int> prompt = {text::Vocabulary::kBos};

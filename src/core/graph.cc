@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/flops.h"
+
 namespace lcrec::core {
 
 namespace {
@@ -371,12 +373,16 @@ VarId Graph::MatMul(VarId a, VarId b) {
   const Tensor& vb = val(b);
   int64_t m = va.rows(), k = va.cols(), n = vb.cols();
   assert(vb.rows() == k);
+  static obs::KernelFlops kf("graph.matmul");
+  kf.Add(2 * m * k * n, 4 * (m * k + k * n + m * n));
   Tensor out({m, n});
   MmAccum(va.data(), vb.data(), out.data(), m, k, n);
   VarId id = AddNode(std::move(out), {});
   nodes_[id].backfn = [id, a, b, m, k, n](Graph& g) {
     const Tensor& gout = g.nodes_[id].grad;
     // dA += dC * B^T ; dB += A^T * dC
+    static obs::KernelFlops bkf("graph.matmul_bwd");
+    bkf.Add(4 * m * k * n, 8 * (m * k + k * n + m * n));
     MmNtAccum(gout.data(), g.val(b).data(), g.GradRef(a).data(), m, n, k);
     MmTnAccum(g.val(a).data(), gout.data(), g.GradRef(b).data(), m, k, n);
   };
@@ -388,12 +394,16 @@ VarId Graph::MatMulNT(VarId a, VarId b) {
   const Tensor& vb = val(b);
   int64_t m = va.rows(), k = va.cols(), n = vb.rows();
   assert(vb.cols() == k);
+  static obs::KernelFlops kf("graph.matmul_nt");
+  kf.Add(2 * m * k * n, 4 * (m * k + n * k + m * n));
   Tensor out({m, n});
   MmNtAccum(va.data(), vb.data(), out.data(), m, k, n);
   VarId id = AddNode(std::move(out), {});
   nodes_[id].backfn = [id, a, b, m, k, n](Graph& g) {
     const Tensor& gout = g.nodes_[id].grad;
     // C = A * B^T: dA += dC * B ; dB += dC^T * A
+    static obs::KernelFlops bkf("graph.matmul_nt_bwd");
+    bkf.Add(4 * m * k * n, 8 * (m * k + n * k + m * n));
     MmAccum(gout.data(), g.val(b).data(), g.GradRef(a).data(), m, n, k);
     MmTnAccum(gout.data(), g.val(a).data(), g.GradRef(b).data(), m, n, k);
   };
@@ -815,6 +825,11 @@ VarId Graph::MaskedSoftmax(VarId a, std::vector<int> valid_len) {
   const Tensor& va = val(a);
   int64_t m = va.rows(), n = va.cols();
   assert(static_cast<int64_t>(valid_len.size()) == m);
+  // ~5 flops per valid element: max scan, exp, subtract, sum, divide.
+  static obs::KernelFlops kf("graph.softmax");
+  int64_t valid = 0;
+  for (int v : valid_len) valid += v;
+  kf.Add(5 * valid, 8 * valid);
   Tensor out({m, n});
   for (int64_t i = 0; i < m; ++i) {
     int len = valid_len[i];
@@ -850,6 +865,8 @@ VarId Graph::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
   const Tensor& vl = val(logits);
   int64_t m = vl.rows(), n = vl.cols();
   assert(static_cast<int64_t>(targets.size()) == m);
+  static obs::KernelFlops kf("graph.softmax_xent");
+  kf.Add(5 * m * n, 8 * m * n);
   Tensor probs({m, n});
   double loss = 0.0;
   int64_t count = 0;

@@ -5,11 +5,17 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/flops.h"
+
 namespace lcrec::core {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   int64_t m = a.rows(), k = a.cols(), n = b.cols();
   assert(b.rows() == k);
+  // Nominal model cost (2mnk / full operand traffic) even though the
+  // kernel skips zero rows: ratios against peak stay well-defined.
+  static obs::KernelFlops kf("core.matmul");
+  kf.Add(2 * m * k * n, 4 * (m * k + k * n + m * n));
   Tensor out({m, n});
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t p = 0; p < k; ++p) {
@@ -25,6 +31,8 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   int64_t m = a.rows(), k = a.cols(), n = b.rows();
   assert(b.cols() == k);
+  static obs::KernelFlops kf("core.matmul_nt");
+  kf.Add(2 * m * k * n, 4 * (m * k + n * k + m * n));
   Tensor out({m, n});
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
@@ -39,6 +47,9 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
 Tensor CosineSimilarity(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.cols());
   int64_t ma = a.rows(), mb = b.rows(), d = a.cols();
+  // Row norms + final scaling; the inner MatMulNT counts itself.
+  static obs::KernelFlops kf("core.cosine_sim");
+  kf.Add(2 * (ma + mb) * d + 2 * ma * mb, 4 * ((ma + mb) * d + ma * mb));
   std::vector<float> na(ma), nb(mb);
   for (int64_t i = 0; i < ma; ++i) {
     float s = 0.0f;
@@ -59,6 +70,8 @@ Tensor CosineSimilarity(const Tensor& a, const Tensor& b) {
 Tensor SquaredDistances(const Tensor& a, const Tensor& b) {
   assert(a.cols() == b.cols());
   int64_t ma = a.rows(), mb = b.rows(), d = a.cols();
+  static obs::KernelFlops kf("core.sqdist");
+  kf.Add(3 * ma * mb * d, 4 * (ma * d + mb * d + ma * mb));
   Tensor out({ma, mb});
   for (int64_t i = 0; i < ma; ++i) {
     for (int64_t j = 0; j < mb; ++j) {

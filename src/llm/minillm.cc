@@ -4,6 +4,9 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/flops.h"
+#include "obs/trace.h"
+
 namespace lcrec::llm {
 
 MiniLlm::MiniLlm(const MiniLlmConfig& config)
@@ -126,6 +129,12 @@ core::Tensor MiniLlm::Forward(KvCache& cache, const std::vector<int>& tokens,
   assert(cache.length + n_new <= config_.max_seq);
   int vocab = config_.vocab_size;
   core::Tensor out({all_logits ? n_new : 1, vocab});
+  obs::ScopedSpan span("llm.decode");
+  // Analytic cost, accumulated over the call: per token and layer the
+  // four d*d projections (8d^2), attention over the cached context
+  // (4*ctx*d), and the SwiGLU FFN (6*d*ff); plus 2*d*vocab per emitted
+  // logit row. Hand-rolled loops below, so no kernel counts itself.
+  int64_t acc_flops = 0, acc_bytes = 0;
 
   std::vector<float> x(d), xn(d), q(d), kvec(d), vvec(d), attn(d), proj(d);
   std::vector<float> gate(config_.d_ff), up(config_.d_ff), down(d);
@@ -185,6 +194,9 @@ core::Tensor MiniLlm::Forward(KvCache& cache, const std::vector<int>& tokens,
       }
       VecMat(gate.data(), layer.w2->value, down.data());
       for (int i = 0; i < d; ++i) x[i] += down[i];
+      acc_flops += 8LL * d * d + 4LL * ctx * d + 6LL * d * config_.d_ff;
+      acc_bytes += 4LL * (4LL * d * d + 3LL * d * config_.d_ff +
+                          2LL * ctx * d);
     }
     ++cache.length;
     bool want = all_logits || idx == n_new - 1;
@@ -198,8 +210,12 @@ core::Tensor MiniLlm::Forward(KvCache& cache, const std::vector<int>& tokens,
         for (int i = 0; i < d; ++i) dot += xn[i] * ev[i];
         out.at(row * vocab + vtok) = dot;
       }
+      acc_flops += 2LL * d * vocab;
+      acc_bytes += 4LL * d * vocab;
     }
   }
+  static obs::KernelFlops kf("llm.decode");
+  kf.Add(acc_flops, acc_bytes);
   return out;
 }
 

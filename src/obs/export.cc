@@ -3,6 +3,9 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
+
+#include "obs/manifest.h"
 
 namespace lcrec::obs {
 
@@ -51,6 +54,55 @@ std::string EnvOr(const char* name, const std::string& fallback) {
   return v != nullptr && *v != '\0' ? std::string(v) : fallback;
 }
 
+bool ExtractJsonString(const std::string& json, const std::string& key,
+                       std::string* out) {
+  std::string pattern = "\"" + key + "\":\"";
+  size_t p = json.find(pattern);
+  if (p == std::string::npos) return false;
+  p += pattern.size();
+  std::string value;
+  while (p < json.size()) {
+    char c = json[p];
+    if (c == '"') break;
+    if (c == '\\' && p + 1 < json.size()) {
+      char esc = json[p + 1];
+      switch (esc) {
+        case 'n':
+          value += '\n';
+          break;
+        case 'r':
+          value += '\r';
+          break;
+        case 't':
+          value += '\t';
+          break;
+        default:
+          value += esc;  // \" \\ \/ and anything else: literal
+      }
+      p += 2;
+      continue;
+    }
+    value += c;
+    ++p;
+  }
+  *out = std::move(value);
+  return true;
+}
+
+bool ExtractJsonNumber(const std::string& json, const std::string& key,
+                       double* out) {
+  std::string pattern = "\"" + key + "\":";
+  size_t p = json.find(pattern);
+  if (p == std::string::npos) return false;
+  p += pattern.size();
+  while (p < json.size() && (json[p] == ' ' || json[p] == '\t')) ++p;
+  char* end = nullptr;
+  double v = std::strtod(json.c_str() + p, &end);
+  if (end == json.c_str() + p) return false;
+  *out = v;
+  return true;
+}
+
 JsonlWriter::JsonlWriter(const std::string& path) {
   if (!path.empty()) out_.open(path, std::ios::out | std::ios::trunc);
 }
@@ -65,7 +117,9 @@ ResultEmitter::ResultEmitter(const std::string& bench, const std::string& path,
                              const std::string& config_json)
     : bench_(bench),
       config_json_(config_json.empty() ? "{}" : config_json),
-      writer_(path) {}
+      writer_(path) {
+  if (writer_.enabled()) writer_.WriteLine(RunManifestHeaderRow());
+}
 
 void ResultEmitter::Emit(const std::string& metric, double value) {
   if (!writer_.enabled()) return;

@@ -18,6 +18,16 @@ std::string JsonNumber(double v);
 /// sinks treat "" as disabled, so tests and CI stay silent by default.
 std::string EnvOr(const char* name, const std::string& fallback = "");
 
+/// Minimal JSON field extraction for the documents this subsystem writes
+/// itself (manifests, perfgate records): finds the first `"key":` in
+/// `json` and reads its string (unescaping \" \\ \n \r \t) or number
+/// value. Returns false when the key is absent or not of that type.
+/// Not a general JSON parser — keys must be unique in the document.
+bool ExtractJsonString(const std::string& json, const std::string& key,
+                       std::string* out);
+bool ExtractJsonNumber(const std::string& json, const std::string& key,
+                       double* out);
+
 /// Line-oriented JSON sink. With an empty path every call is a no-op,
 /// so call sites need no `if (enabled)` guards.
 class JsonlWriter {
@@ -37,7 +47,9 @@ class JsonlWriter {
 /// through: one row per (bench, metric) pair,
 ///   {"bench":"table3","metric":"Games/LC-Rec/ndcg10","value":0.123,
 ///    "config":{"scale":1.0,...}}.
-/// `config` is a pre-rendered JSON object describing the run.
+/// `config` is a pre-rendered JSON object describing the run. The first
+/// line of every enabled sink is a run-manifest header row
+/// {"manifest":{...}} (obs/manifest.h) attributing the rows to a build.
 class ResultEmitter {
  public:
   ResultEmitter() = default;

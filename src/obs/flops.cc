@@ -1,0 +1,71 @@
+#include "obs/flops.h"
+
+#include <mutex>
+#include <string>
+
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+
+namespace {
+
+Counter& TotalFlopsCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("lcrec.flops.total");
+  return c;
+}
+
+Counter& TotalBytesCounter() {
+  static Counter& c =
+      MetricsRegistry::Global().GetCounter("lcrec.bytes.total");
+  return c;
+}
+
+std::mutex& SpanCostMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::map<std::string, SpanCost>& SpanCostTable() {
+  static auto* table = new std::map<std::string, SpanCost>();
+  return *table;
+}
+
+}  // namespace
+
+KernelFlops::KernelFlops(const char* kernel)
+    : flops_(MetricsRegistry::Global().GetCounter(std::string("lcrec.flops.") +
+                                                  kernel)),
+      bytes_(MetricsRegistry::Global().GetCounter(std::string("lcrec.bytes.") +
+                                                  kernel)) {}
+
+void KernelFlops::Add(int64_t flops, int64_t bytes) {
+  flops_.Add(flops);
+  bytes_.Add(bytes);
+  TotalFlopsCounter().Add(flops);
+  TotalBytesCounter().Add(bytes);
+  if (!SpanStacksEnabled()) return;
+  const char* leaf = CurrentLeafSpan();
+  if (leaf == nullptr) return;
+  std::lock_guard<std::mutex> lock(SpanCostMu());
+  SpanCost& cost = SpanCostTable()[leaf];
+  cost.flops += flops;
+  cost.bytes += bytes;
+}
+
+int64_t TotalFlops() { return TotalFlopsCounter().value(); }
+
+int64_t TotalBytes() { return TotalBytesCounter().value(); }
+
+std::map<std::string, SpanCost> SpanCostSnapshot() {
+  std::lock_guard<std::mutex> lock(SpanCostMu());
+  return SpanCostTable();
+}
+
+void ResetSpanCosts() {
+  std::lock_guard<std::mutex> lock(SpanCostMu());
+  SpanCostTable().clear();
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,53 @@
+#ifndef LCREC_OBS_FLOPS_H_
+#define LCREC_OBS_FLOPS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace lcrec::obs {
+
+/// FLOPs and bytes-moved attributed to one span name (obs/prof.h shows
+/// these as achieved GFLOP/s and GB/s per profile row).
+struct SpanCost {
+  int64_t flops = 0;
+  int64_t bytes = 0;
+};
+
+/// Cached FLOP/byte counters for one kernel. Construct once per call
+/// site (function-local static) and Add() the nominal arithmetic cost of
+/// each call — counts are model costs (2mnk for a matmul regardless of
+/// skipped zeros), so ratios against hardware peak are well-defined:
+///
+///   static obs::KernelFlops kf("core.matmul");
+///   kf.Add(2 * m * k * n, 4 * (m * k + k * n + m * n));
+///
+/// Registry names: lcrec.flops.<kernel> / lcrec.bytes.<kernel>, plus the
+/// process-wide lcrec.flops.total / lcrec.bytes.total. Cost when
+/// profiling is off: four relaxed atomic adds per kernel call.
+class KernelFlops {
+ public:
+  explicit KernelFlops(const char* kernel);
+
+  void Add(int64_t flops, int64_t bytes);
+
+ private:
+  Counter& flops_;
+  Counter& bytes_;
+};
+
+/// Process totals (lcrec.flops.total / lcrec.bytes.total).
+int64_t TotalFlops();
+int64_t TotalBytes();
+
+/// Copy of the per-span attribution table. Populated only while span
+/// stacks are enabled (profiling): each KernelFlops::Add charges the
+/// calling thread's innermost live span.
+std::map<std::string, SpanCost> SpanCostSnapshot();
+void ResetSpanCosts();
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_FLOPS_H_

@@ -1,0 +1,105 @@
+#include "obs/manifest.h"
+
+#include <chrono>
+#include <cstdio>
+#include <ctime>
+#include <fstream>
+#include <thread>
+
+#include "obs/export.h"
+
+// Baked in by src/obs/CMakeLists.txt for this file only; the env var
+// LCREC_GIT_SHA overrides at runtime (a configure-time sha can go stale
+// between reconfigures, so scripts export the live one).
+#ifndef LCREC_GIT_SHA
+#define LCREC_GIT_SHA "unknown"
+#endif
+#ifndef LCREC_BUILD_FLAGS
+#define LCREC_BUILD_FLAGS "unknown"
+#endif
+
+namespace lcrec::obs {
+
+namespace {
+
+std::string IsoUtcNow() {
+  std::time_t now = std::chrono::system_clock::to_time_t(
+      std::chrono::system_clock::now());
+  std::tm tm_utc{};
+#if defined(_WIN32)
+  gmtime_s(&tm_utc, &now);
+#else
+  gmtime_r(&now, &tm_utc);
+#endif
+  char buf[32];
+  std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc);
+  return buf;
+}
+
+std::string CpuModelName() {
+#if defined(__linux__)
+  std::ifstream cpuinfo("/proc/cpuinfo");
+  std::string line;
+  while (std::getline(cpuinfo, line)) {
+    size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    if (line.compare(0, 10, "model name") == 0) {
+      size_t start = line.find_first_not_of(" \t", colon + 1);
+      if (start != std::string::npos) return line.substr(start);
+    }
+  }
+#endif
+  return "unknown";
+}
+
+std::string CompilerVersion() {
+#if defined(__clang__)
+  return std::string("clang ") + __clang_version__;
+#elif defined(__GNUC__)
+  return std::string("g++ ") + __VERSION__;
+#else
+  return "unknown";
+#endif
+}
+
+}  // namespace
+
+RunManifest CollectRunManifest() {
+  RunManifest m;
+  m.timestamp = IsoUtcNow();
+  m.git_sha = EnvOr("LCREC_GIT_SHA", LCREC_GIT_SHA);
+  m.compiler = CompilerVersion();
+  m.flags = LCREC_BUILD_FLAGS;
+  m.cpu = CpuModelName();
+  m.cores = static_cast<int>(std::thread::hardware_concurrency());
+  return m;
+}
+
+std::string RunManifestJson(const RunManifest& m) {
+  return "{\"timestamp\":\"" + JsonEscape(m.timestamp) + "\",\"git_sha\":\"" +
+         JsonEscape(m.git_sha) + "\",\"compiler\":\"" +
+         JsonEscape(m.compiler) + "\",\"flags\":\"" + JsonEscape(m.flags) +
+         "\",\"cpu\":\"" + JsonEscape(m.cpu) +
+         "\",\"cores\":" + std::to_string(m.cores) + "}";
+}
+
+bool ParseRunManifestJson(const std::string& json, RunManifest* out) {
+  RunManifest m;
+  if (!ExtractJsonString(json, "timestamp", &m.timestamp)) return false;
+  if (!ExtractJsonString(json, "git_sha", &m.git_sha)) return false;
+  if (!ExtractJsonString(json, "compiler", &m.compiler)) return false;
+  if (!ExtractJsonString(json, "flags", &m.flags)) return false;
+  if (!ExtractJsonString(json, "cpu", &m.cpu)) return false;
+  double cores = 0.0;
+  if (ExtractJsonNumber(json, "cores", &cores)) {
+    m.cores = static_cast<int>(cores);
+  }
+  *out = m;
+  return true;
+}
+
+std::string RunManifestHeaderRow() {
+  return "{\"manifest\":" + RunManifestJson(CollectRunManifest()) + "}";
+}
+
+}  // namespace lcrec::obs

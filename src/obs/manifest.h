@@ -1,0 +1,40 @@
+#ifndef LCREC_OBS_MANIFEST_H_
+#define LCREC_OBS_MANIFEST_H_
+
+#include <string>
+
+namespace lcrec::obs {
+
+/// Identity of one run: enough to attribute a metrics dump or a
+/// benchmark record to a build and a machine. Emitted as the first line
+/// of every ResultEmitter / metrics JSONL file and embedded in perfgate
+/// records (obs/perfgate.h).
+struct RunManifest {
+  std::string timestamp;  // ISO-8601 UTC, e.g. "2026-08-07T12:34:56Z"
+  std::string git_sha;    // LCREC_GIT_SHA env, else configure-time sha
+  std::string compiler;   // e.g. "g++ 12.2.0"
+  std::string flags;      // build type + CXX flags the obs lib saw
+  std::string cpu;        // /proc/cpuinfo model name, "unknown" elsewhere
+  int cores = 0;          // std::thread::hardware_concurrency
+};
+
+/// Fills every field from the running process/host.
+RunManifest CollectRunManifest();
+
+/// One JSON object, keys in struct order:
+///   {"timestamp":"...","git_sha":"...","compiler":"...","flags":"...",
+///    "cpu":"...","cores":N}
+std::string RunManifestJson(const RunManifest& m);
+
+/// Parses RunManifestJson output (also tolerates the object embedded in
+/// a larger document as long as the keys appear once). Returns false
+/// when a required string key is missing.
+bool ParseRunManifestJson(const std::string& json, RunManifest* out);
+
+/// The manifest header row shared by all JSONL sinks:
+///   {"manifest":{...}}
+std::string RunManifestHeaderRow();
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_MANIFEST_H_

@@ -1,0 +1,187 @@
+#include "obs/prof.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "obs/flops.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+
+double ProfileReport::AttributedFraction() const {
+  if (samples <= 0) return 0.0;
+  return static_cast<double>(samples - unattributed) /
+         static_cast<double>(samples);
+}
+
+SamplingProfiler& SamplingProfiler::Global() {
+  // Never destroyed: the atexit reporter and late-exiting threads may
+  // still reference it during static destruction.
+  static SamplingProfiler* global = new SamplingProfiler();
+  return *global;
+}
+
+void SamplingProfiler::Start(double hz) {
+  if (hz <= 0.0) return;
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    hz_ = hz;
+    session_start_us_ = NowMicros();
+  }
+  thread_ = std::thread([this, hz] { Loop(hz); });
+}
+
+void SamplingProfiler::Stop() {
+  bool expected = true;
+  if (!running_.compare_exchange_strong(expected, false)) return;
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  duration_us_ += NowMicros() - session_start_us_;
+}
+
+void SamplingProfiler::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  samples_ = 0;
+  unattributed_ = 0;
+  duration_us_ = 0.0;
+  session_start_us_ = NowMicros();
+  name_counts_.clear();
+  collapsed_.clear();
+}
+
+void SamplingProfiler::Loop(double hz) {
+  using clock = std::chrono::steady_clock;
+  const auto period = std::chrono::duration_cast<clock::duration>(
+      std::chrono::duration<double>(1.0 / hz));
+  auto next = clock::now() + period;
+  while (running_.load(std::memory_order_relaxed)) {
+    SampleOnce();
+    auto now = clock::now();
+    if (next < now) next = now;  // fell behind: resync, don't burst
+    std::this_thread::sleep_until(next);
+    next += period;
+  }
+}
+
+void SamplingProfiler::SampleOnce() {
+  std::vector<LiveStackSample> stacks = SnapshotLiveSpans();
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const LiveStackSample& s : stacks) {
+    ++samples_;
+    if (s.frames.empty()) {
+      ++unattributed_;
+      continue;
+    }
+    // Self time: innermost frame only.
+    ++name_counts_[s.frames.back()].first;
+    // Total time: each distinct name on the stack, once (recursion must
+    // not double-count a sample).
+    std::string key;
+    for (size_t i = 0; i < s.frames.size(); ++i) {
+      const char* name = s.frames[i];
+      bool seen = false;
+      for (size_t j = 0; j < i; ++j) {
+        if (s.frames[j] == name || std::string(s.frames[j]) == name) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) ++name_counts_[name].second;
+      if (i > 0) key += ';';
+      key += name;
+    }
+    ++collapsed_[key];
+  }
+}
+
+ProfileReport SamplingProfiler::Report() const {
+  ProfileReport report;
+  std::map<std::string, SpanCost> costs = SpanCostSnapshot();
+  std::lock_guard<std::mutex> lock(mu_);
+  report.hz = hz_;
+  report.duration_s = duration_us_ / 1e6;
+  if (running_.load(std::memory_order_relaxed)) {
+    report.duration_s += (NowMicros() - session_start_us_) / 1e6;
+  }
+  report.samples = samples_;
+  report.unattributed = unattributed_;
+  for (const auto& kv : name_counts_) {
+    ProfileEntry e;
+    e.name = kv.first;
+    e.self_samples = kv.second.first;
+    e.total_samples = kv.second.second;
+    auto it = costs.find(kv.first);
+    if (it != costs.end()) {
+      e.flops = it->second.flops;
+      e.bytes = it->second.bytes;
+    }
+    report.entries.push_back(std::move(e));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.self_samples > b.self_samples;
+            });
+  report.collapsed.assign(collapsed_.begin(), collapsed_.end());
+  return report;
+}
+
+void SamplingProfiler::WriteFlat(std::ostream& out) const {
+  ProfileReport r = Report();
+  out << "== lcrec profile: " << r.samples << " samples @ " << r.hz
+      << " Hz over " << r.duration_s << " s ("
+      << 100.0 * r.AttributedFraction() << "% attributed)\n";
+  char line[256];
+  std::snprintf(line, sizeof(line), "%8s %8s %7s %10s %10s  %s\n", "self",
+                "total", "self%", "GFLOP/s", "GB/s", "span");
+  out << line;
+  for (const ProfileEntry& e : r.entries) {
+    double self_pct =
+        r.samples > 0
+            ? 100.0 * static_cast<double>(e.self_samples) / r.samples
+            : 0.0;
+    // Each self sample represents 1/hz seconds of that thread's time.
+    double self_s = r.hz > 0.0 ? static_cast<double>(e.self_samples) / r.hz
+                               : 0.0;
+    double gflops = self_s > 0.0 && e.flops > 0
+                        ? static_cast<double>(e.flops) / self_s / 1e9
+                        : 0.0;
+    double gbps = self_s > 0.0 && e.bytes > 0
+                      ? static_cast<double>(e.bytes) / self_s / 1e9
+                      : 0.0;
+    std::snprintf(line, sizeof(line), "%8lld %8lld %6.1f%% %10.3f %10.3f  %s\n",
+                  static_cast<long long>(e.self_samples),
+                  static_cast<long long>(e.total_samples), self_pct, gflops,
+                  gbps, e.name.c_str());
+    out << line;
+  }
+  if (r.unattributed > 0) {
+    std::snprintf(line, sizeof(line), "%8lld %8s %6.1f%% %10s %10s  %s\n",
+                  static_cast<long long>(r.unattributed), "-",
+                  r.samples > 0
+                      ? 100.0 * static_cast<double>(r.unattributed) / r.samples
+                      : 0.0,
+                  "-", "-", "<unattributed>");
+    out << line;
+  }
+}
+
+void SamplingProfiler::WriteCollapsed(std::ostream& out) const {
+  ProfileReport r = Report();
+  for (const auto& kv : r.collapsed) {
+    out << kv.first << ' ' << kv.second << '\n';
+  }
+  if (r.unattributed > 0) out << "<unattributed> " << r.unattributed << '\n';
+}
+
+void SamplingProfiler::WriteCollapsedFile(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return;
+  WriteCollapsed(out);
+}
+
+}  // namespace lcrec::obs

@@ -2,10 +2,12 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <mutex>
 #include <utility>
 
 #include "obs/export.h"
+#include "obs/manifest.h"
 
 namespace lcrec::obs {
 
@@ -105,7 +107,68 @@ void MetricsRegistry::WriteJsonlFile(const std::string& path) const {
   if (path.empty()) return;
   std::ofstream out(path, std::ios::out | std::ios::trunc);
   if (!out.is_open()) return;
+  out << RunManifestHeaderRow() << '\n';
   WriteJsonl(out);
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:] only.
+std::string PromName(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    if (!ok) c = '_';
+  }
+  return out;
+}
+
+/// Prometheus renders values as Go floats; JsonNumber's %.9g is
+/// compatible, but +/-Inf must be spelled out.
+std::string PromNumber(double v) {
+  if (v == std::numeric_limits<double>::infinity()) return "+Inf";
+  if (v == -std::numeric_limits<double>::infinity()) return "-Inf";
+  return JsonNumber(v);
+}
+
+}  // namespace
+
+void MetricsRegistry::DumpPrometheus(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& kv : counters_) {
+    std::string name = PromName(kv.first);
+    out << "# TYPE " << name << " counter\n"
+        << name << ' ' << kv.second->value() << '\n';
+  }
+  for (const auto& kv : gauges_) {
+    std::string name = PromName(kv.first);
+    out << "# TYPE " << name << " gauge\n"
+        << name << ' ' << PromNumber(kv.second->value()) << '\n';
+  }
+  for (const auto& kv : histograms_) {
+    const Histogram& h = *kv.second;
+    std::string name = PromName(kv.first);
+    out << "# TYPE " << name << " histogram\n";
+    const std::vector<double>& bounds = h.bounds();
+    std::vector<int64_t> buckets = h.bucket_counts();
+    int64_t cumulative = 0;
+    for (size_t i = 0; i < bounds.size(); ++i) {
+      cumulative += buckets[i];
+      out << name << "_bucket{le=\"" << PromNumber(bounds[i]) << "\"} "
+          << cumulative << '\n';
+    }
+    out << name << "_bucket{le=\"+Inf\"} " << h.count() << '\n'
+        << name << "_sum " << PromNumber(h.sum()) << '\n'
+        << name << "_count " << h.count() << '\n';
+  }
+}
+
+void MetricsRegistry::DumpPrometheusFile(const std::string& path) const {
+  if (path.empty()) return;
+  std::ofstream out(path, std::ios::out | std::ios::trunc);
+  if (!out.is_open()) return;
+  DumpPrometheus(out);
 }
 
 void MetricsRegistry::Reset() {

@@ -61,8 +61,20 @@ class MetricsRegistry {
   ///               "mean":M,"min":m,"max":M,"p50":...,"p95":...,"p99":...}
   void WriteJsonl(std::ostream& out) const;
 
-  /// Writes WriteJsonl output to `path` (no-op when empty).
+  /// Writes WriteJsonl output to `path` (no-op when empty), preceded by
+  /// a run-manifest header row {"manifest":{...}} so the dump is
+  /// attributable to a build (obs/manifest.h).
   void WriteJsonlFile(const std::string& path) const;
+
+  /// Prometheus text exposition (version 0.0.4): `# TYPE` lines plus
+  /// samples for every counter, gauge, and histogram. Histograms emit
+  /// cumulative `_bucket{le="..."}` series (one per bound plus +Inf),
+  /// `_sum`, and `_count`. Metric names are sanitized to
+  /// [a-zA-Z0-9_:] (dots become underscores).
+  void DumpPrometheus(std::ostream& out) const;
+
+  /// DumpPrometheus to `path` (no-op when empty).
+  void DumpPrometheusFile(const std::string& path) const;
 
   /// Resets every registered metric to zero (counts, sums, buckets).
   /// References handed out earlier stay valid. Intended for tests and

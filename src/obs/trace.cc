@@ -3,8 +3,11 @@
 #include <chrono>
 #include <cstdlib>
 #include <fstream>
+#include <iostream>
+#include <memory>
 
 #include "obs/export.h"
+#include "obs/prof.h"
 
 namespace lcrec::obs {
 
@@ -25,7 +28,78 @@ std::chrono::steady_clock::time_point ProcessStart() {
   return start;
 }
 
+// --- Live span stacks (profiler substrate) --------------------------------
+
+std::atomic<bool> g_stacks_enabled{false};
+
+/// One thread's live stack. The owning thread pushes/pops under `mu`;
+/// the sampler thread copies `frames` under the same mutex. Kept alive
+/// past thread exit by the shared_ptr in the global list (the stack is
+/// empty by then, since spans are scoped).
+struct ThreadStack {
+  std::mutex mu;
+  std::vector<const char*> frames;
+  int tid = 0;
+};
+
+std::mutex& StackListMu() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
+
+std::vector<std::shared_ptr<ThreadStack>>& StackList() {
+  // Never destroyed: the sampler thread may outlive main()'s statics.
+  static auto* list = new std::vector<std::shared_ptr<ThreadStack>>();
+  return *list;
+}
+
+ThreadStack& ThisThreadStack() {
+  thread_local std::shared_ptr<ThreadStack> stack = [] {
+    auto s = std::make_shared<ThreadStack>();
+    s->tid = ThisThreadId();
+    std::lock_guard<std::mutex> lock(StackListMu());
+    StackList().push_back(s);
+    return s;
+  }();
+  return *stack;
+}
+
 }  // namespace
+
+void SetSpanStacksEnabled(bool on) {
+  g_stacks_enabled.store(on, std::memory_order_relaxed);
+}
+
+bool SpanStacksEnabled() {
+  return g_stacks_enabled.load(std::memory_order_relaxed);
+}
+
+std::vector<LiveStackSample> SnapshotLiveSpans() {
+  std::vector<std::shared_ptr<ThreadStack>> stacks;
+  {
+    std::lock_guard<std::mutex> lock(StackListMu());
+    stacks = StackList();
+  }
+  std::vector<LiveStackSample> out;
+  out.reserve(stacks.size());
+  for (const auto& s : stacks) {
+    LiveStackSample sample;
+    sample.tid = s->tid;
+    {
+      std::lock_guard<std::mutex> lock(s->mu);
+      sample.frames = s->frames;
+    }
+    out.push_back(std::move(sample));
+  }
+  return out;
+}
+
+const char* CurrentLeafSpan() {
+  if (!SpanStacksEnabled()) return nullptr;
+  ThreadStack& s = ThisThreadStack();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.frames.empty() ? nullptr : s.frames.back();
+}
 
 double NowMicros() {
   return std::chrono::duration<double, std::micro>(
@@ -41,6 +115,14 @@ TraceRecorder& TraceRecorder::Global() {
       std::string path = EnvOr("LCREC_TRACE_OUT");
       if (!path.empty()) Global().WriteChromeTraceFile(path);
     });
+    std::atexit([] {
+      SamplingProfiler& p = SamplingProfiler::Global();
+      if (!p.running()) return;
+      p.Stop();
+      std::string path = EnvOr("LCREC_PROFILE_OUT");
+      if (!path.empty()) p.WriteCollapsedFile(path);
+      p.WriteFlat(std::cerr);
+    });
     return r;
   }();
   return *global;
@@ -49,6 +131,14 @@ TraceRecorder& TraceRecorder::Global() {
 TraceRecorder::TraceRecorder() {
   ProcessStart();  // pin the time base before the first span
   if (!EnvOr("LCREC_TRACE_OUT").empty()) SetEnabled(true);
+  // Profiling bootstrap: the first ScopedSpan in any binary touches this
+  // constructor, so LCREC_PROFILE_HZ starts the sampler without every
+  // main() needing an init call.
+  double hz = std::atof(EnvOr("LCREC_PROFILE_HZ").c_str());
+  if (hz > 0.0) {
+    SetSpanStacksEnabled(true);
+    SamplingProfiler::Global().Start(hz);
+  }
 }
 
 void TraceRecorder::Record(TraceEvent event) {
@@ -95,11 +185,22 @@ void TraceRecorder::WriteChromeTraceFile(const std::string& path) const {
 ScopedSpan::ScopedSpan(const char* name)
     : name_(name),
       start_us_(NowMicros()),
-      recording_(TraceRecorder::Global().enabled()) {
+      recording_(TraceRecorder::Global().enabled()),
+      stacked_(SpanStacksEnabled()) {
   if (recording_) ++t_depth;
+  if (stacked_) {
+    ThreadStack& s = ThisThreadStack();
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.frames.push_back(name_);
+  }
 }
 
 ScopedSpan::~ScopedSpan() {
+  if (stacked_) {
+    ThreadStack& s = ThisThreadStack();
+    std::lock_guard<std::mutex> lock(s.mu);
+    if (!s.frames.empty()) s.frames.pop_back();
+  }
   if (!recording_) return;
   double end_us = NowMicros();
   --t_depth;

@@ -73,7 +73,34 @@ class ScopedSpan {
   const char* name_;
   double start_us_;
   bool recording_;
+  bool stacked_;
 };
+
+/// Point-in-time copy of one thread's live span stack, outermost frame
+/// first. Frame strings are the span name literals, so they stay valid
+/// for the process lifetime.
+struct LiveStackSample {
+  int tid = 0;
+  std::vector<const char*> frames;
+};
+
+/// Live span stacks: when enabled, every ScopedSpan additionally
+/// pushes/pops its name on a per-thread stack that the sampling
+/// profiler (obs/prof.h) snapshots from its own thread. Off by default;
+/// enabled automatically when `LCREC_PROFILE_HZ` is set. The only cost
+/// while disabled is one relaxed atomic load per span.
+void SetSpanStacksEnabled(bool on);
+bool SpanStacksEnabled();
+
+/// Snapshots the live stack of every thread that has created at least
+/// one span while stacks were enabled (including currently-idle ones,
+/// whose `frames` are empty).
+std::vector<LiveStackSample> SnapshotLiveSpans();
+
+/// Name of the calling thread's innermost live span, or nullptr when
+/// the stack is empty or stacks are disabled. Used by the FLOP
+/// accounting layer to attribute kernel work to spans.
+const char* CurrentLeafSpan();
 
 /// Microseconds since process start (steady clock). The time base of
 /// every TraceEvent.

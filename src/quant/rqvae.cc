@@ -314,6 +314,7 @@ void RqVae::RecordQuantizationMetrics(const core::Tensor& embeddings,
 }
 
 RqVae::QuantizeResult RqVae::QuantizeAll(const core::Tensor& embeddings) const {
+  obs::ScopedSpan span("quant.rqvae_quantize");
   core::Tensor r = EncodeLatent(embeddings);
   int64_t n = r.rows();
   int lat = config_.latent_dim;

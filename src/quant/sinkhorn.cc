@@ -5,6 +5,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/flops.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -16,6 +17,10 @@ core::Tensor SinkhornKnopp(const core::Tensor& cost, double epsilon,
   obs::ScopedSpan span("quant.sinkhorn");
   int64_t n = cost.rows(), k = cost.cols();
   assert(n > 0 && k > 0);
+  // Gibbs kernel (3nk) + 4nk per scaling iteration + final plan (2nk).
+  static obs::KernelFlops kf("quant.sinkhorn");
+  kf.Add((5 + 4 * static_cast<int64_t>(iterations)) * n * k,
+         8 * n * k * (1 + iterations));
   // Work in double; shift costs per row for numerical stability.
   std::vector<double> g(static_cast<size_t>(n * k));
   for (int64_t i = 0; i < n; ++i) {

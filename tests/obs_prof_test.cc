@@ -1,0 +1,355 @@
+// Tests for the profiling/perf-gating layer: sampling profiler
+// attribution (obs/prof.h), live span stacks (obs/trace.h), FLOP/byte
+// accounting (obs/flops.h), run manifests (obs/manifest.h), the
+// Prometheus exposition (obs/registry.h), and the benchmark regression
+// gate (obs/perfgate.h).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "core/linalg.h"
+#include "core/rng.h"
+#include "core/tensor.h"
+#include "obs/flops.h"
+#include "obs/manifest.h"
+#include "obs/perfgate.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace {
+
+using namespace lcrec;
+
+/// Keeps the CPU busy long enough for the sampler to hit this frame.
+void BusyMs(double ms) {
+  auto until = std::chrono::steady_clock::now() +
+               std::chrono::microseconds(static_cast<int64_t>(ms * 1000));
+  volatile double sink = 0.0;
+  while (std::chrono::steady_clock::now() < until) {
+    for (int i = 0; i < 1000; ++i) sink = sink + static_cast<double>(i);
+  }
+}
+
+/// RAII guard: enables span stacks + a fresh profiler session, restores
+/// the disabled state on exit so tests do not leak into each other.
+struct ProfilerSession {
+  explicit ProfilerSession(double hz) {
+    obs::SetSpanStacksEnabled(true);
+    obs::SamplingProfiler::Global().Reset();
+    obs::ResetSpanCosts();
+    obs::SamplingProfiler::Global().Start(hz);
+  }
+  ~ProfilerSession() {
+    obs::SamplingProfiler::Global().Stop();
+    obs::SetSpanStacksEnabled(false);
+  }
+};
+
+const obs::ProfileEntry* FindEntry(const obs::ProfileReport& report,
+                                   const std::string& name) {
+  for (const obs::ProfileEntry& e : report.entries) {
+    if (e.name == name) return &e;
+  }
+  return nullptr;
+}
+
+TEST(LiveStackTest, TracksNestingWhenEnabled) {
+  obs::SetSpanStacksEnabled(true);
+  EXPECT_TRUE(obs::SpanStacksEnabled());
+  EXPECT_EQ(obs::CurrentLeafSpan(), nullptr);
+  {
+    obs::ScopedSpan outer("stack.outer");
+    EXPECT_STREQ(obs::CurrentLeafSpan(), "stack.outer");
+    {
+      obs::ScopedSpan inner("stack.inner");
+      EXPECT_STREQ(obs::CurrentLeafSpan(), "stack.inner");
+      bool found_nested = false;
+      for (const obs::LiveStackSample& s : obs::SnapshotLiveSpans()) {
+        if (s.frames.size() == 2 &&
+            std::string(s.frames[0]) == "stack.outer" &&
+            std::string(s.frames[1]) == "stack.inner") {
+          found_nested = true;
+        }
+      }
+      EXPECT_TRUE(found_nested);
+    }
+    EXPECT_STREQ(obs::CurrentLeafSpan(), "stack.outer");
+  }
+  EXPECT_EQ(obs::CurrentLeafSpan(), nullptr);
+  obs::SetSpanStacksEnabled(false);
+  EXPECT_EQ(obs::CurrentLeafSpan(), nullptr);
+}
+
+TEST(SamplingProfilerTest, AttributesNestedSpans) {
+  ProfilerSession session(500.0);
+  {
+    obs::ScopedSpan outer("prof.outer");
+    BusyMs(40);
+    {
+      obs::ScopedSpan inner("prof.inner");
+      BusyMs(80);
+    }
+    BusyMs(10);
+  }
+  obs::SamplingProfiler::Global().Stop();
+
+  obs::ProfileReport report = obs::SamplingProfiler::Global().Report();
+  ASSERT_GT(report.samples, 0);
+  EXPECT_DOUBLE_EQ(report.hz, 500.0);
+  EXPECT_GT(report.duration_s, 0.0);
+
+  const obs::ProfileEntry* outer = FindEntry(report, "prof.outer");
+  const obs::ProfileEntry* inner = FindEntry(report, "prof.inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  // The outer span covers the whole window, so its total dominates;
+  // the inner span burned most of the time, so it owns self samples.
+  EXPECT_GT(inner->self_samples, 0);
+  EXPECT_GE(outer->total_samples, inner->total_samples);
+  EXPECT_EQ(inner->self_samples, inner->total_samples);
+  // The profiled thread was inside a span the whole session; allow slack
+  // for other registered (idle) threads from earlier tests.
+  EXPECT_GE(report.AttributedFraction(), 0.5);
+
+  // Collapsed stacks carry the nesting.
+  bool found = false;
+  for (const auto& kv : report.collapsed) {
+    if (kv.first == "prof.outer;prof.inner" && kv.second > 0) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(SamplingProfilerTest, SurvivesConcurrentSpanChurn) {
+  ProfilerSession session(1000.0);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&stop] {
+      while (!stop.load()) {
+        obs::ScopedSpan a("churn.a");
+        obs::ScopedSpan b("churn.b");
+        obs::ScopedSpan c("churn.c");
+      }
+    });
+  }
+  BusyMs(60);
+  stop.store(true);
+  for (std::thread& w : workers) w.join();
+  obs::SamplingProfiler::Global().Stop();
+
+  obs::ProfileReport report = obs::SamplingProfiler::Global().Report();
+  EXPECT_GT(report.samples, 0);
+  // Spans churn far faster than the sampler; we only require sane
+  // bookkeeping, not that any particular frame was caught mid-flight.
+  for (const obs::ProfileEntry& e : report.entries) {
+    EXPECT_GE(e.total_samples, e.self_samples);
+  }
+}
+
+TEST(SamplingProfilerTest, WritesFlatAndCollapsedOutput) {
+  ProfilerSession session(500.0);
+  {
+    obs::ScopedSpan span("prof.report_fmt");
+    BusyMs(30);
+  }
+  obs::SamplingProfiler::Global().Stop();
+
+  std::ostringstream flat;
+  obs::SamplingProfiler::Global().WriteFlat(flat);
+  EXPECT_NE(flat.str().find("prof.report_fmt"), std::string::npos);
+
+  std::ostringstream collapsed;
+  obs::SamplingProfiler::Global().WriteCollapsed(collapsed);
+  EXPECT_NE(collapsed.str().find("prof.report_fmt "), std::string::npos);
+}
+
+TEST(KernelFlopsTest, MatMulCountsExactNominalCost) {
+  // 2*m*k*n FLOPs and 4*(m*k + k*n + m*n) bytes for [3,4] x [4,5].
+  core::Tensor a({3, 4});
+  core::Tensor b({4, 5});
+  for (int64_t i = 0; i < a.size(); ++i) a.at(i) = 1.0f + i;
+  for (int64_t i = 0; i < b.size(); ++i) b.at(i) = 0.5f * i;
+
+  int64_t flops_before = obs::TotalFlops();
+  int64_t bytes_before = obs::TotalBytes();
+  core::Tensor c = core::MatMul(a, b);
+  EXPECT_EQ(obs::TotalFlops() - flops_before, 2 * 3 * 4 * 5);
+  EXPECT_EQ(obs::TotalBytes() - bytes_before,
+            4 * (3 * 4 + 4 * 5 + 3 * 5));
+
+  // Zero-heavy inputs must count the same nominal cost even though the
+  // kernel skips zero multiplies.
+  a.Fill(0.0f);
+  flops_before = obs::TotalFlops();
+  c = core::MatMul(a, b);
+  EXPECT_EQ(obs::TotalFlops() - flops_before, 2 * 3 * 4 * 5);
+}
+
+TEST(KernelFlopsTest, ChargesInnermostSpanWhileProfiling) {
+  obs::SetSpanStacksEnabled(true);
+  obs::ResetSpanCosts();
+  core::Rng rng(11);
+  core::Tensor a = rng.GaussianTensor({3, 4}, 1.0);
+  core::Tensor b = rng.GaussianTensor({4, 5}, 1.0);
+  {
+    obs::ScopedSpan span("flops.attribution");
+    core::Tensor c = core::MatMul(a, b);
+  }
+  obs::SetSpanStacksEnabled(false);
+
+  std::map<std::string, obs::SpanCost> costs = obs::SpanCostSnapshot();
+  ASSERT_TRUE(costs.count("flops.attribution"));
+  EXPECT_EQ(costs["flops.attribution"].flops, 2 * 3 * 4 * 5);
+  EXPECT_EQ(costs["flops.attribution"].bytes,
+            4 * (3 * 4 + 4 * 5 + 3 * 5));
+}
+
+TEST(RunManifestTest, JsonRoundTripPreservesEveryField) {
+  obs::RunManifest m = obs::CollectRunManifest();
+  EXPECT_FALSE(m.timestamp.empty());
+  EXPECT_FALSE(m.git_sha.empty());
+  EXPECT_FALSE(m.compiler.empty());
+  EXPECT_GT(m.cores, 0);
+
+  obs::RunManifest back;
+  ASSERT_TRUE(obs::ParseRunManifestJson(obs::RunManifestJson(m), &back));
+  EXPECT_EQ(back.timestamp, m.timestamp);
+  EXPECT_EQ(back.git_sha, m.git_sha);
+  EXPECT_EQ(back.compiler, m.compiler);
+  EXPECT_EQ(back.flags, m.flags);
+  EXPECT_EQ(back.cpu, m.cpu);
+  EXPECT_EQ(back.cores, m.cores);
+
+  // The shared JSONL header row wraps the same object.
+  std::string row = obs::RunManifestHeaderRow();
+  EXPECT_EQ(row.rfind("{\"manifest\":", 0), 0u);
+  ASSERT_TRUE(obs::ParseRunManifestJson(row, &back));
+  EXPECT_EQ(back.git_sha, m.git_sha);
+}
+
+TEST(PerfGateTest, MetricDirectionFollowsNameSuffix) {
+  EXPECT_TRUE(obs::HigherIsBetter("matmul128/gflops"));
+  EXPECT_TRUE(obs::HigherIsBetter("rqvae_quantize/items_per_sec"));
+  EXPECT_TRUE(obs::HigherIsBetter("decode/ops_per_sec"));
+  EXPECT_FALSE(obs::HigherIsBetter("matmul128/p50_ms"));
+  EXPECT_FALSE(obs::HigherIsBetter("llm_decode/mean_ms"));
+}
+
+TEST(PerfGateTest, RecordJsonRoundTrips) {
+  obs::PerfRecord rec;
+  rec.manifest = obs::CollectRunManifest();
+  rec.metrics["matmul128/p50_ms"] = {1.25, 0.4};
+  rec.metrics["matmul128/gflops"] = {3.5, 0.5};
+
+  obs::PerfRecord back;
+  ASSERT_TRUE(obs::ParsePerfRecordJson(obs::PerfRecordJson(rec), &back));
+  ASSERT_EQ(back.metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(back.metrics["matmul128/p50_ms"].value, 1.25);
+  EXPECT_DOUBLE_EQ(back.metrics["matmul128/p50_ms"].tolerance, 0.4);
+  EXPECT_DOUBLE_EQ(back.metrics["matmul128/gflops"].value, 3.5);
+  EXPECT_EQ(back.manifest.git_sha, rec.manifest.git_sha);
+
+  std::string path =
+      testing::TempDir() + "/lcrec_perfgate_roundtrip.json";
+  ASSERT_TRUE(obs::WritePerfRecordFile(path, rec));
+  obs::PerfRecord from_file;
+  ASSERT_TRUE(obs::ReadPerfRecordFile(path, &from_file));
+  EXPECT_EQ(from_file.metrics.size(), 2u);
+  std::remove(path.c_str());
+}
+
+TEST(PerfGateTest, DoctoredBaselineTriggersFailure) {
+  obs::PerfRecord baseline;
+  baseline.metrics["k/p50_ms"] = {1.0, 0.25};
+  baseline.metrics["k/gflops"] = {10.0, 0.25};
+
+  // Within tolerance: passes.
+  obs::PerfRecord ok = baseline;
+  ok.metrics["k/p50_ms"].value = 1.2;
+  ok.metrics["k/gflops"].value = 8.5;
+  EXPECT_TRUE(obs::ComparePerf(baseline, ok).ok);
+
+  // Latency regression (2x slower than the doctored baseline).
+  obs::PerfRecord slow = baseline;
+  slow.metrics["k/p50_ms"].value = 2.0;
+  obs::PerfGateResult r = obs::ComparePerf(baseline, slow);
+  EXPECT_FALSE(r.ok);
+  bool flagged = false;
+  for (const obs::PerfDiff& d : r.diffs) {
+    if (d.name == "k/p50_ms") {
+      EXPECT_TRUE(d.regressed);
+      flagged = true;
+    }
+  }
+  EXPECT_TRUE(flagged);
+  EXPECT_NE(obs::FormatPerfDiff(r).find("FAIL"), std::string::npos);
+  EXPECT_NE(obs::FormatPerfDiff(r).find("REGRESSED"), std::string::npos);
+
+  // Throughput direction: dropping gflops is a regression, raising p50
+  // throughput-named metrics is not.
+  obs::PerfRecord low_tput = baseline;
+  low_tput.metrics["k/gflops"].value = 5.0;
+  EXPECT_FALSE(obs::ComparePerf(baseline, low_tput).ok);
+  obs::PerfRecord fast = baseline;
+  fast.metrics["k/p50_ms"].value = 0.2;
+  fast.metrics["k/gflops"].value = 40.0;
+  EXPECT_TRUE(obs::ComparePerf(baseline, fast).ok);
+
+  // A metric present in the baseline but missing now fails the gate; a
+  // new metric is informational only.
+  obs::PerfRecord missing = baseline;
+  missing.metrics.erase("k/gflops");
+  EXPECT_FALSE(obs::ComparePerf(baseline, missing).ok);
+  obs::PerfRecord added = baseline;
+  added.metrics["k2/p50_ms"] = {3.0, 0.25};
+  obs::PerfGateResult ra = obs::ComparePerf(baseline, added);
+  EXPECT_TRUE(ra.ok);
+  bool saw_added = false;
+  for (const obs::PerfDiff& d : ra.diffs) {
+    if (d.name == "k2/p50_ms") saw_added = d.added;
+  }
+  EXPECT_TRUE(saw_added);
+}
+
+TEST(PrometheusTest, ExposesAllMetricTypes) {
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  reg.GetCounter("lcrec.promtest.requests").Add(7);
+  reg.GetGauge("lcrec.promtest.temp").Set(2.5);
+  obs::Histogram& h =
+      reg.GetHistogram("lcrec.promtest.lat_ms", {1.0, 10.0});
+  h.Observe(0.5);
+  h.Observe(5.0);
+  h.Observe(50.0);
+
+  std::ostringstream out;
+  reg.DumpPrometheus(out);
+  std::string text = out.str();
+
+  // Dots sanitize to underscores; each family gets a TYPE line.
+  EXPECT_NE(text.find("# TYPE lcrec_promtest_requests counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcrec_promtest_requests 7"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lcrec_promtest_temp gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcrec_promtest_temp 2.5"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE lcrec_promtest_lat_ms histogram"),
+            std::string::npos);
+  // Buckets are cumulative with an explicit +Inf bucket.
+  EXPECT_NE(text.find("lcrec_promtest_lat_ms_bucket{le=\"1\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcrec_promtest_lat_ms_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcrec_promtest_lat_ms_bucket{le=\"+Inf\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("lcrec_promtest_lat_ms_count 3"), std::string::npos);
+  EXPECT_NE(text.find("lcrec_promtest_lat_ms_sum 55.5"), std::string::npos);
+}
+
+}  // namespace

@@ -16,6 +16,7 @@
 
 #include "obs/export.h"
 #include "obs/log.h"
+#include "obs/manifest.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -203,7 +204,13 @@ TEST(ResultEmitterTest, RowsFollowSharedSchema) {
   }
   std::ifstream in(path);
   ASSERT_TRUE(in.is_open());
-  std::string line1, line2;
+  std::string header, line1, line2;
+  // Line 1 is the run-manifest header row shared by every JSONL sink.
+  ASSERT_TRUE(std::getline(in, header));
+  EXPECT_EQ(header.rfind("{\"manifest\":", 0), 0u);
+  RunManifest m;
+  EXPECT_TRUE(ParseRunManifestJson(header, &m));
+  EXPECT_FALSE(m.git_sha.empty());
   ASSERT_TRUE(std::getline(in, line1));
   ASSERT_TRUE(std::getline(in, line2));
   EXPECT_EQ(line1,
