@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Sanitizer gate: build and test the tree under sanitizers in scratch
+# build directories (gitignored via the build-* pattern).
+#
+#   asan mode (default): ASan + UBSan, full ctest suite.
+#   tsan mode          : TSan, the threaded obs tests only (the rest of
+#                        the repo is single-threaded by design).
+#
+# Opt-in: heavy (separate build tree), so it only runs when
+# LCREC_SANITIZE=1 is set; otherwise it prints "[skipped]" and exits 0
+# (the CTest entry maps that marker to a SKIP).
+#
+#   LCREC_SANITIZE=1 scripts/check_sanitize.sh          # asan
+#   LCREC_SANITIZE=1 scripts/check_sanitize.sh tsan
+#   LCREC_SANITIZE=1 ctest -R check_sanitize --output-on-failure
+#
+# The CMake cache in each scratch tree is reused across runs; only the
+# first run pays the full configure + build.
+
+set -euo pipefail
+
+mode="${1:-asan}"
+
+if [[ "${LCREC_SANITIZE:-0}" != "1" ]]; then
+  echo "check_sanitize(${mode}) [skipped] (set LCREC_SANITIZE=1 to enable)"
+  exit 0
+fi
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+case "${mode}" in
+  asan)
+    sanitizers="address;undefined"
+    build_dir="${repo_root}/build-asan"
+    ;;
+  tsan)
+    sanitizers="thread"
+    build_dir="${repo_root}/build-tsan"
+    ;;
+  *)
+    echo "check_sanitize: unknown mode '${mode}' (want asan or tsan)" >&2
+    exit 2
+    ;;
+esac
+
+echo "check_sanitize(${mode}): -fsanitize=${sanitizers} build in ${build_dir}"
+if [[ ! -f "${build_dir}/CMakeCache.txt" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DLCREC_SANITIZE="${sanitizers}" \
+    >/dev/null
+fi
+
+if [[ "${mode}" == "tsan" ]]; then
+  # gcc's TSan runtime predates large-ASLR kernels; probe with a trivial
+  # program and skip gracefully (reduced entropy via setarch -R as a
+  # fallback) rather than failing the gate on an unsupported host.
+  probe_dir="$(mktemp -d)"
+  trap 'rm -rf "${probe_dir}"' EXIT
+  echo 'int main(){return 0;}' > "${probe_dir}/probe.cc"
+  c++ -fsanitize=thread -o "${probe_dir}/probe" "${probe_dir}/probe.cc"
+  launcher=()
+  if ! "${probe_dir}/probe" >/dev/null 2>&1; then
+    if setarch "$(uname -m)" -R "${probe_dir}/probe" >/dev/null 2>&1; then
+      launcher=(setarch "$(uname -m)" -R)
+      echo "check_sanitize(tsan): ASLR entropy too high for the TSan" \
+           "runtime; running tests under setarch -R"
+    else
+      echo "check_sanitize(tsan) [skipped] (TSan runtime unsupported on" \
+           "this kernel/compiler combination)"
+      exit 0
+    fi
+  fi
+
+  cmake --build "${build_dir}" -j "${jobs}" \
+    --target obs_test obs_prof_test llm_test
+  for t in obs_test obs_prof_test llm_test; do
+    echo "check_sanitize(tsan): running ${t}"
+    TSAN_OPTIONS="halt_on_error=1" \
+      "${launcher[@]}" "${build_dir}/tests/${t}" \
+      --gtest_brief=1
+  done
+  echo "check_sanitize(tsan): OK (no data races reported)"
+  exit 0
+fi
+
+cmake --build "${build_dir}" -j "${jobs}"
+# The scratch tree registers the meta-gates too; exclude them so the
+# sanitize gate cannot recurse into itself (LCREC_SANITIZE is inherited).
+LCREC_SANITIZE=0 \
+ASAN_OPTIONS="detect_leaks=1:strict_string_checks=1" \
+UBSAN_OPTIONS="print_stacktrace=1" \
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+  -E "check_sanitize|check_warnings|perf_regress"
+echo "check_sanitize(asan): OK (full suite clean under ASan+UBSan)"

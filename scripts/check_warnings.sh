@@ -1,11 +1,15 @@
 #!/usr/bin/env bash
 # Warning-hygiene gate: configure and build the whole tree with
 # -Wall -Wextra -Werror in a scratch build directory. Any new warning
-# anywhere in src/, tests/, bench/, or examples/ fails the build.
+# anywhere in src/, tests/, bench/, or examples/ fails the build. When
+# the compiler is clang, clang's thread-safety analysis runs too
+# (-Wthread-safety), checking the LCREC_GUARDED_BY annotations in
+# src/obs/ (see src/obs/sync.h); gcc compiles the annotations away.
 #
-# Opt-in: heavy (full reconfigure + rebuild), so it only runs when
-# LCREC_STRICT=1 is set; otherwise it prints "[skipped]" and exits 0
-# (the CTest entry maps that marker to a SKIP).
+# Opt-in: heavy (full rebuild), so it only runs when LCREC_STRICT=1 is
+# set; otherwise it prints "[skipped]" and exits 0 (the CTest entry maps
+# that marker to a SKIP). The CMake cache in the scratch tree is reused
+# across runs; only the first run pays the configure.
 #
 #   LCREC_STRICT=1 scripts/check_warnings.sh
 #   LCREC_STRICT=1 ctest -R check_warnings --output-on-failure
@@ -21,10 +25,18 @@ repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${LCREC_STRICT_BUILD_DIR:-${repo_root}/build-strict}"
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "check_warnings: -Wall -Wextra -Werror build in ${build_dir}"
-cmake -S "${repo_root}" -B "${build_dir}" \
-  -DCMAKE_BUILD_TYPE=Release \
-  -DCMAKE_CXX_FLAGS="-Wall -Wextra -Werror" \
-  >/dev/null
+strict_flags="-Wall -Wextra -Werror"
+compiler="${CXX:-c++}"
+if "${compiler}" --version 2>/dev/null | grep -qi clang; then
+  strict_flags="${strict_flags} -Wthread-safety"
+fi
+
+echo "check_warnings: ${strict_flags} build in ${build_dir}"
+if [[ ! -f "${build_dir}/CMakeCache.txt" ]]; then
+  cmake -S "${repo_root}" -B "${build_dir}" \
+    -DCMAKE_BUILD_TYPE=Release \
+    -DCMAKE_CXX_FLAGS="${strict_flags}" \
+    >/dev/null
+fi
 cmake --build "${build_dir}" -j "${jobs}"
 echo "check_warnings: OK (no warnings under -Werror)"

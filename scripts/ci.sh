@@ -1,0 +1,92 @@
+#!/usr/bin/env bash
+# One-shot CI driver: every gate the repo has, in dependency order, with
+# a pass/fail summary table at the end. Exit code is non-zero when any
+# gate fails (skipped gates do not fail the run).
+#
+#   scripts/ci.sh            # tier-1 tests, lint, strict build, ASan+UBSan
+#   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
+#
+# Individual gates reuse their own scratch build trees (build-strict/,
+# build-asan/), so repeat runs only pay incremental rebuilds.
+
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${repo_root}/build"
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+declare -a gate_names=()
+declare -a gate_results=()
+declare -a gate_times=()
+
+run_gate() {
+  local name="$1"
+  shift
+  local start end rc
+  echo
+  echo "=== gate: ${name} ==="
+  start=$(date +%s)
+  "$@"
+  rc=$?
+  end=$(date +%s)
+  gate_names+=("${name}")
+  gate_times+=("$((end - start))s")
+  if [[ ${rc} -eq 0 ]]; then
+    gate_results+=("PASS")
+  else
+    gate_results+=("FAIL")
+  fi
+  return ${rc}
+}
+
+overall=0
+
+gate_build() {
+  cmake -S "${repo_root}" -B "${build_dir}" >/dev/null &&
+    cmake --build "${build_dir}" -j "${jobs}"
+}
+gate_tests() {
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
+    -E "check_warnings|check_sanitize_asan|check_sanitize_tsan|perf_regress"
+}
+gate_lint() {
+  "${build_dir}/tools/lcrec_lint" --root "${repo_root}" &&
+    "${build_dir}/tools/lcrec_lint" --root "${repo_root}" --selftest
+}
+gate_warnings() {
+  LCREC_STRICT=1 "${repo_root}/scripts/check_warnings.sh"
+}
+gate_asan() {
+  LCREC_SANITIZE=1 "${repo_root}/scripts/check_sanitize.sh" asan
+}
+gate_tsan() {
+  LCREC_SANITIZE=1 "${repo_root}/scripts/check_sanitize.sh" tsan
+}
+gate_perf() {
+  LCREC_PERF=1 "${repo_root}/scripts/perf_regress.sh" \
+    "${build_dir}/bench/bench_perfgate"
+}
+
+run_gate "build"          gate_build    || overall=1
+run_gate "tier1_tests"    gate_tests    || overall=1
+run_gate "lcrec_lint"     gate_lint     || overall=1
+run_gate "check_warnings" gate_warnings || overall=1
+run_gate "asan_ubsan"     gate_asan     || overall=1
+run_gate "tsan"           gate_tsan     || overall=1
+if [[ "${LCREC_CI_PERF:-0}" == "1" ]]; then
+  run_gate "perf_regress" gate_perf || overall=1
+fi
+
+echo
+echo "=== ci summary ==="
+printf "%-16s %-6s %s\n" "gate" "result" "time"
+for i in "${!gate_names[@]}"; do
+  printf "%-16s %-6s %s\n" "${gate_names[$i]}" "${gate_results[$i]}" \
+    "${gate_times[$i]}"
+done
+if [[ ${overall} -eq 0 ]]; then
+  echo "ci: ALL GATES GREEN"
+else
+  echo "ci: FAILURES (see above)"
+fi
+exit ${overall}

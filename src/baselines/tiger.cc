@@ -1,9 +1,9 @@
 #include "baselines/tiger.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 
+#include "core/check.h"
 #include "core/linalg.h"
 #include "llm/trainer.h"
 #include "obs/trace.h"
@@ -141,7 +141,7 @@ std::vector<int> Tiger::HistoryTokens(const std::vector<int>& history) const {
 }
 
 std::vector<int> Tiger::TopKIds(const std::vector<int>& history, int k) const {
-  assert(model_ != nullptr);
+  LCREC_CHECK(model_ != nullptr);
   std::vector<int> prompt = {text::Vocabulary::kBos};
   std::vector<int> hist = HistoryTokens(history);
   prompt.insert(prompt.end(), hist.begin(), hist.end());

@@ -1,0 +1,31 @@
+#include "core/check.h"
+
+#include <cstdlib>
+#include <vector>
+
+#include "obs/log.h"
+#include "obs/trace.h"
+
+namespace lcrec::core::check_internal {
+
+void CheckFailed(const char* file, int line, const char* kind,
+                 const char* expr, const std::string& detail) {
+  std::string msg = std::string(kind) + " failed: " + expr;
+  if (!detail.empty()) msg += " (" + detail + ")";
+  obs::LogRaw(obs::LogLevel::kError, "%s at %s:%d", msg.c_str(), file, line);
+  const std::vector<const char*>& frames = obs::CurrentThreadSpanFrames();
+  if (frames.empty()) {
+    obs::LogRaw(obs::LogLevel::kError,
+                "  span stack: (no live spans on this thread)");
+  } else {
+    std::string stack;
+    for (const char* f : frames) {
+      if (!stack.empty()) stack += " > ";
+      stack += f;
+    }
+    obs::LogRaw(obs::LogLevel::kError, "  span stack: %s", stack.c_str());
+  }
+  std::abort();
+}
+
+}  // namespace lcrec::core::check_internal

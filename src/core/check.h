@@ -1,0 +1,145 @@
+#ifndef LCREC_CORE_CHECK_H_
+#define LCREC_CORE_CHECK_H_
+
+#include <sstream>
+#include <string>
+
+/// Always-on invariant checking. Unlike `assert()`, these macros survive
+/// `-DNDEBUG` Release builds — the configuration every paper benchmark
+/// runs in — so a silent shape mismatch aborts instead of corrupting
+/// gradients. On failure the handler prints the expression, both operand
+/// values (for the _OP forms), the live `obs` span stack of the failing
+/// thread (so a failed matmul check names the training phase that called
+/// it), and calls `std::abort()`.
+///
+/// Tiers:
+///   LCREC_CHECK*   — always on; use for argument validation, shape
+///                    checks, and anything outside per-element loops.
+///   LCREC_DCHECK*  — compiled out under NDEBUG unless
+///                    LCREC_DCHECK_ALWAYS_ON is defined; use only for
+///                    per-element inner-loop checks where LCREC_CHECK
+///                    measurably regresses the perf-gate suite.
+///
+/// The out-of-line failure path is compiled into lcrec_obs (the root
+/// library of the dependency graph) so that every target, including
+/// lcrec_obs itself, can use these macros; see src/obs/CMakeLists.txt.
+
+#if defined(__GNUC__) || defined(__clang__)
+#define LCREC_PREDICT_FALSE(x) (__builtin_expect(static_cast<bool>(x), 0))
+#else
+#define LCREC_PREDICT_FALSE(x) (static_cast<bool>(x))
+#endif
+
+namespace lcrec::core::check_internal {
+
+/// Cold failure sink: prints `kind` + `expr` (+ `detail` when non-empty)
+/// with file:line and the calling thread's live span stack, then aborts.
+[[noreturn]] void CheckFailed(const char* file, int line, const char* kind,
+                              const char* expr, const std::string& detail);
+
+template <typename T>
+std::string CheckValueString(const T& v) {
+  std::ostringstream os;
+  os << v;
+  return os.str();
+}
+
+inline std::string CheckValueString(bool v) { return v ? "true" : "false"; }
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const A& a, const B& b) {
+  CheckFailed(file, line, "LCREC_CHECK", expr,
+              CheckValueString(a) + " vs. " + CheckValueString(b));
+}
+
+/// Works on anything with shape()/ShapeString() (core::Tensor, without
+/// making this header depend on tensor.h).
+template <typename A, typename B>
+[[noreturn]] void CheckShapeFailed(const char* file, int line,
+                                   const char* expr, const A& a, const B& b) {
+  CheckFailed(file, line, "LCREC_CHECK_SHAPE", expr,
+              a.ShapeString() + " vs. " + b.ShapeString());
+}
+
+}  // namespace lcrec::core::check_internal
+
+#define LCREC_CHECK(cond)                                \
+  (LCREC_PREDICT_FALSE(!(cond))                          \
+       ? ::lcrec::core::check_internal::CheckFailed(     \
+             __FILE__, __LINE__, "LCREC_CHECK", #cond, \
+             std::string())                              \
+       : (void)0)
+
+#define LCREC_CHECK_OP_(op, a, b)                                       \
+  do {                                                                  \
+    auto&& lcrec_check_a_ = (a);                                        \
+    auto&& lcrec_check_b_ = (b);                                        \
+    if (LCREC_PREDICT_FALSE(!(lcrec_check_a_ op lcrec_check_b_))) {     \
+      ::lcrec::core::check_internal::CheckOpFailed(                     \
+          __FILE__, __LINE__, #a " " #op " " #b, lcrec_check_a_,        \
+          lcrec_check_b_);                                              \
+    }                                                                   \
+  } while (0)
+
+#define LCREC_CHECK_EQ(a, b) LCREC_CHECK_OP_(==, a, b)
+#define LCREC_CHECK_NE(a, b) LCREC_CHECK_OP_(!=, a, b)
+#define LCREC_CHECK_GE(a, b) LCREC_CHECK_OP_(>=, a, b)
+#define LCREC_CHECK_GT(a, b) LCREC_CHECK_OP_(>, a, b)
+#define LCREC_CHECK_LE(a, b) LCREC_CHECK_OP_(<=, a, b)
+#define LCREC_CHECK_LT(a, b) LCREC_CHECK_OP_(<, a, b)
+
+/// Aborts with both full shapes unless a and b have identical shapes.
+#define LCREC_CHECK_SHAPE(a, b)                                            \
+  do {                                                                     \
+    const auto& lcrec_shape_a_ = (a);                                      \
+    const auto& lcrec_shape_b_ = (b);                                      \
+    if (LCREC_PREDICT_FALSE(lcrec_shape_a_.shape() !=                      \
+                            lcrec_shape_b_.shape())) {                     \
+      ::lcrec::core::check_internal::CheckShapeFailed(                     \
+          __FILE__, __LINE__, #a " same shape as " #b, lcrec_shape_a_,     \
+          lcrec_shape_b_);                                                 \
+    }                                                                      \
+  } while (0)
+
+#if !defined(NDEBUG) || defined(LCREC_DCHECK_ALWAYS_ON)
+
+#define LCREC_DCHECK(cond) LCREC_CHECK(cond)
+#define LCREC_DCHECK_EQ(a, b) LCREC_CHECK_EQ(a, b)
+#define LCREC_DCHECK_NE(a, b) LCREC_CHECK_NE(a, b)
+#define LCREC_DCHECK_GE(a, b) LCREC_CHECK_GE(a, b)
+#define LCREC_DCHECK_GT(a, b) LCREC_CHECK_GT(a, b)
+#define LCREC_DCHECK_LE(a, b) LCREC_CHECK_LE(a, b)
+#define LCREC_DCHECK_LT(a, b) LCREC_CHECK_LT(a, b)
+#define LCREC_DCHECK_SHAPE(a, b) LCREC_CHECK_SHAPE(a, b)
+
+#else  // NDEBUG && !LCREC_DCHECK_ALWAYS_ON
+
+/// Type-checked but never evaluated: operands must still compile, so a
+/// DCHECK cannot silently rot, but the Release hot path pays nothing.
+#define LCREC_DCHECK_NOOP_1_(cond) \
+  do {                             \
+    if (false) {                   \
+      (void)(cond);                \
+    }                              \
+  } while (0)
+#define LCREC_DCHECK_NOOP_2_(a, b) \
+  do {                             \
+    if (false) {                   \
+      (void)(a);                   \
+      (void)(b);                   \
+    }                              \
+  } while (0)
+
+#define LCREC_DCHECK(cond) LCREC_DCHECK_NOOP_1_(cond)
+#define LCREC_DCHECK_EQ(a, b) LCREC_DCHECK_NOOP_2_(a, b)
+#define LCREC_DCHECK_NE(a, b) LCREC_DCHECK_NOOP_2_(a, b)
+#define LCREC_DCHECK_GE(a, b) LCREC_DCHECK_NOOP_2_(a, b)
+#define LCREC_DCHECK_GT(a, b) LCREC_DCHECK_NOOP_2_(a, b)
+#define LCREC_DCHECK_LE(a, b) LCREC_DCHECK_NOOP_2_(a, b)
+#define LCREC_DCHECK_LT(a, b) LCREC_DCHECK_NOOP_2_(a, b)
+#define LCREC_DCHECK_SHAPE(a, b) LCREC_DCHECK_NOOP_2_(a, b)
+
+#endif  // NDEBUG && !LCREC_DCHECK_ALWAYS_ON
+
+#endif  // LCREC_CORE_CHECK_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "core/check.h"
 #include "obs/flops.h"
 
 namespace lcrec::core {
@@ -124,7 +125,7 @@ VarId Graph::Param(Parameter* p) {
 }
 
 void Graph::Backward(VarId root) {
-  assert(nodes_[root].value.size() == 1);
+  LCREC_CHECK_EQ(nodes_[root].value.size(), 1u);
   GradRef(root).Fill(1.0f);
   for (VarId i = static_cast<VarId>(nodes_.size()) - 1; i >= 0; --i) {
     Node& n = nodes_[i];
@@ -139,7 +140,7 @@ void Graph::Backward(VarId root) {
 // ---------------------------------------------------------------------------
 
 VarId Graph::Add(VarId a, VarId b) {
-  assert(SameShape(val(a), val(b)));
+  LCREC_CHECK_SHAPE(val(a), val(b));
   Tensor out = val(a);
   out.Axpy(1.0f, val(b));
   VarId id = AddNode(std::move(out), {});
@@ -152,7 +153,7 @@ VarId Graph::Add(VarId a, VarId b) {
 }
 
 VarId Graph::Sub(VarId a, VarId b) {
-  assert(SameShape(val(a), val(b)));
+  LCREC_CHECK_SHAPE(val(a), val(b));
   Tensor out = val(a);
   out.Axpy(-1.0f, val(b));
   VarId id = AddNode(std::move(out), {});
@@ -165,7 +166,7 @@ VarId Graph::Sub(VarId a, VarId b) {
 }
 
 VarId Graph::Mul(VarId a, VarId b) {
-  assert(SameShape(val(a), val(b)));
+  LCREC_CHECK_SHAPE(val(a), val(b));
   Tensor out = val(a);
   for (int64_t i = 0; i < out.size(); ++i) out.at(i) *= val(b).at(i);
   VarId id = AddNode(std::move(out), {});
@@ -206,7 +207,7 @@ VarId Graph::AddScalar(VarId a, float c) {
 VarId Graph::AddBias(VarId a, VarId bias) {
   const Tensor& va = val(a);
   const Tensor& vb = val(bias);
-  assert(vb.size() == va.cols());
+  LCREC_CHECK_EQ(vb.size(), va.cols());
   Tensor out = va;
   int64_t m = va.rows(), n = va.cols();
   for (int64_t i = 0; i < m; ++i)
@@ -226,7 +227,7 @@ VarId Graph::AddBias(VarId a, VarId bias) {
 VarId Graph::MulRowBroadcast(VarId a, VarId row) {
   const Tensor& va = val(a);
   const Tensor& vr = val(row);
-  assert(vr.size() == va.cols());
+  LCREC_CHECK_EQ(vr.size(), va.cols());
   Tensor out = va;
   int64_t m = va.rows(), n = va.cols();
   for (int64_t i = 0; i < m; ++i)
@@ -372,7 +373,7 @@ VarId Graph::MatMul(VarId a, VarId b) {
   const Tensor& va = val(a);
   const Tensor& vb = val(b);
   int64_t m = va.rows(), k = va.cols(), n = vb.cols();
-  assert(vb.rows() == k);
+  LCREC_CHECK_EQ(vb.rows(), k);
   static obs::KernelFlops kf("graph.matmul");
   kf.Add(2 * m * k * n, 4 * (m * k + k * n + m * n));
   Tensor out({m, n});
@@ -393,7 +394,7 @@ VarId Graph::MatMulNT(VarId a, VarId b) {
   const Tensor& va = val(a);
   const Tensor& vb = val(b);
   int64_t m = va.rows(), k = va.cols(), n = vb.rows();
-  assert(vb.cols() == k);
+  LCREC_CHECK_EQ(vb.cols(), k);
   static obs::KernelFlops kf("graph.matmul_nt");
   kf.Add(2 * m * k * n, 4 * (m * k + n * k + m * n));
   Tensor out({m, n});
@@ -442,7 +443,9 @@ VarId Graph::Reshape(VarId a, std::vector<int64_t> shape) {
 VarId Graph::SliceRows(VarId a, int64_t r0, int64_t r1) {
   const Tensor& va = val(a);
   int64_t n = va.cols();
-  assert(0 <= r0 && r0 <= r1 && r1 <= va.rows());
+  LCREC_CHECK_GE(r0, 0);
+  LCREC_CHECK_LE(r0, r1);
+  LCREC_CHECK_LE(r1, va.rows());
   Tensor out({r1 - r0, n});
   std::memcpy(out.data(), va.data() + r0 * n,
               sizeof(float) * static_cast<size_t>((r1 - r0) * n));
@@ -460,7 +463,9 @@ VarId Graph::SliceRows(VarId a, int64_t r0, int64_t r1) {
 VarId Graph::SliceCols(VarId a, int64_t c0, int64_t c1) {
   const Tensor& va = val(a);
   int64_t m = va.rows(), n = va.cols();
-  assert(0 <= c0 && c0 <= c1 && c1 <= n);
+  LCREC_CHECK_GE(c0, 0);
+  LCREC_CHECK_LE(c0, c1);
+  LCREC_CHECK_LE(c1, n);
   Tensor out({m, c1 - c0});
   for (int64_t i = 0; i < m; ++i)
     for (int64_t j = c0; j < c1; ++j)
@@ -477,11 +482,11 @@ VarId Graph::SliceCols(VarId a, int64_t c0, int64_t c1) {
 }
 
 VarId Graph::ConcatRows(const std::vector<VarId>& parts) {
-  assert(!parts.empty());
+  LCREC_CHECK(!parts.empty());
   int64_t n = val(parts[0]).cols();
   int64_t m = 0;
   for (VarId p : parts) {
-    assert(val(p).cols() == n);
+    LCREC_CHECK_EQ(val(p).cols(), n);
     m += val(p).rows();
   }
   Tensor out({m, n});
@@ -508,11 +513,11 @@ VarId Graph::ConcatRows(const std::vector<VarId>& parts) {
 }
 
 VarId Graph::ConcatCols(const std::vector<VarId>& parts) {
-  assert(!parts.empty());
+  LCREC_CHECK(!parts.empty());
   int64_t m = val(parts[0]).rows();
   int64_t n = 0;
   for (VarId p : parts) {
-    assert(val(p).rows() == m);
+    LCREC_CHECK_EQ(val(p).rows(), m);
     n += val(p).cols();
   }
   Tensor out({m, n});
@@ -546,7 +551,8 @@ VarId Graph::Rows(VarId table, const std::vector<int>& ids) {
   int64_t n = vt.cols();
   Tensor out({static_cast<int64_t>(ids.size()), n});
   for (size_t i = 0; i < ids.size(); ++i) {
-    assert(ids[i] >= 0 && ids[i] < vt.rows());
+    LCREC_CHECK_GE(ids[i], 0);
+    LCREC_CHECK_LT(ids[i], vt.rows());
     std::memcpy(out.data() + static_cast<int64_t>(i) * n,
                 vt.data() + static_cast<int64_t>(ids[i]) * n,
                 sizeof(float) * static_cast<size_t>(n));
@@ -609,7 +615,7 @@ VarId Graph::SumOverRows(VarId a) {
 VarId Graph::MaxOverRows(VarId a) {
   const Tensor& va = val(a);
   int64_t m = va.rows(), n = va.cols();
-  assert(m > 0);
+  LCREC_CHECK_GT(m, 0);
   Tensor out({n});
   std::vector<int64_t> argmax(n, 0);
   for (int64_t j = 0; j < n; ++j) {
@@ -657,7 +663,8 @@ VarId Graph::RowSums(VarId a) {
 VarId Graph::LayerNorm(VarId x, VarId gamma, VarId beta, float eps) {
   const Tensor& vx = val(x);
   int64_t m = vx.rows(), n = vx.cols();
-  assert(val(gamma).size() == n && val(beta).size() == n);
+  LCREC_CHECK_EQ(val(gamma).size(), n);
+  LCREC_CHECK_EQ(val(beta).size(), n);
   Tensor out({m, n});
   std::vector<float> inv_std(m), mean(m);
   for (int64_t i = 0; i < m; ++i) {
@@ -714,7 +721,7 @@ VarId Graph::LayerNorm(VarId x, VarId gamma, VarId beta, float eps) {
 VarId Graph::RmsNorm(VarId x, VarId gamma, float eps) {
   const Tensor& vx = val(x);
   int64_t m = vx.rows(), n = vx.cols();
-  assert(val(gamma).size() == n);
+  LCREC_CHECK_EQ(val(gamma).size(), n);
   Tensor out({m, n});
   std::vector<float> inv_rms(m);
   for (int64_t i = 0; i < m; ++i) {
@@ -812,7 +819,7 @@ VarId Graph::Softmax(VarId a) {
 
 VarId Graph::CausalSoftmax(VarId a) {
   int64_t m = val(a).rows();
-  assert(val(a).cols() >= m);
+  LCREC_CHECK_GE(val(a).cols(), m);
   // Row i attends to columns [0, offset + i] where offset handles the case
   // of incremental decoding (cols > rows).
   int64_t offset = val(a).cols() - m;
@@ -824,7 +831,7 @@ VarId Graph::CausalSoftmax(VarId a) {
 VarId Graph::MaskedSoftmax(VarId a, std::vector<int> valid_len) {
   const Tensor& va = val(a);
   int64_t m = va.rows(), n = va.cols();
-  assert(static_cast<int64_t>(valid_len.size()) == m);
+  LCREC_CHECK_EQ(static_cast<int64_t>(valid_len.size()), m);
   // ~5 flops per valid element: max scan, exp, subtract, sum, divide.
   static obs::KernelFlops kf("graph.softmax");
   int64_t valid = 0;
@@ -833,7 +840,8 @@ VarId Graph::MaskedSoftmax(VarId a, std::vector<int> valid_len) {
   Tensor out({m, n});
   for (int64_t i = 0; i < m; ++i) {
     int len = valid_len[i];
-    assert(len >= 1 && len <= n);
+    LCREC_CHECK_GE(len, 1);
+    LCREC_CHECK_LE(len, n);
     float mx = va.at(i * n);
     for (int j = 1; j < len; ++j) mx = std::max(mx, va.at(i * n + j));
     float z = 0.0f;
@@ -864,7 +872,7 @@ VarId Graph::MaskedSoftmax(VarId a, std::vector<int> valid_len) {
 VarId Graph::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
   const Tensor& vl = val(logits);
   int64_t m = vl.rows(), n = vl.cols();
-  assert(static_cast<int64_t>(targets.size()) == m);
+  LCREC_CHECK_EQ(static_cast<int64_t>(targets.size()), m);
   static obs::KernelFlops kf("graph.softmax_xent");
   kf.Add(5 * m * n, 8 * m * n);
   Tensor probs({m, n});
@@ -882,7 +890,8 @@ VarId Graph::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
     for (int64_t j = 0; j < n; ++j) probs.at(i * n + j) /= z;
     int t = targets[i];
     if (t == kIgnore) continue;
-    assert(t >= 0 && t < n);
+    LCREC_CHECK_GE(t, 0);
+    LCREC_CHECK_LT(t, n);
     loss -= std::log(std::max(1e-12f, probs.at(i * n + t)));
     ++count;
   }
@@ -904,7 +913,7 @@ VarId Graph::SoftmaxCrossEntropy(VarId logits, std::vector<int> targets) {
 
 VarId Graph::SigmoidBCE(VarId logits, Tensor targets) {
   const Tensor& vl = val(logits);
-  assert(SameShape(vl, targets));
+  LCREC_CHECK_SHAPE(vl, targets);
   int64_t sz = vl.size();
   double loss = 0.0;
   Tensor sig(vl.shape());
@@ -928,7 +937,7 @@ VarId Graph::SigmoidBCE(VarId logits, Tensor targets) {
 
 VarId Graph::MseLoss(VarId pred, Tensor target) {
   const Tensor& vp = val(pred);
-  assert(SameShape(vp, target));
+  LCREC_CHECK_SHAPE(vp, target);
   int64_t sz = vp.size();
   double loss = 0.0;
   for (int64_t i = 0; i < sz; ++i) {
@@ -962,8 +971,10 @@ VarId Graph::StopGradient(VarId a) {
 VarId Graph::DftFilter(VarId x, VarId w_re, VarId w_im) {
   const Tensor& vx = val(x);
   int64_t L = vx.rows(), d = vx.cols();
-  assert(val(w_re).rows() == L && val(w_re).cols() == d);
-  assert(val(w_im).rows() == L && val(w_im).cols() == d);
+  LCREC_CHECK_EQ(val(w_re).rows(), L);
+  LCREC_CHECK_EQ(val(w_re).cols(), d);
+  LCREC_CHECK_EQ(val(w_im).rows(), L);
+  LCREC_CHECK_EQ(val(w_im).cols(), d);
 
   // Precompute DFT cos/sin tables: C[k][t] = cos(2*pi*k*t/L).
   std::vector<float> ct(static_cast<size_t>(L * L)),

@@ -1,17 +1,17 @@
 #include "core/linalg.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "core/check.h"
 #include "obs/flops.h"
 
 namespace lcrec::core {
 
 Tensor MatMul(const Tensor& a, const Tensor& b) {
   int64_t m = a.rows(), k = a.cols(), n = b.cols();
-  assert(b.rows() == k);
+  LCREC_CHECK_EQ(b.rows(), k);
   // Nominal model cost (2mnk / full operand traffic) even though the
   // kernel skips zero rows: ratios against peak stay well-defined.
   static obs::KernelFlops kf("core.matmul");
@@ -30,7 +30,7 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
 
 Tensor MatMulNT(const Tensor& a, const Tensor& b) {
   int64_t m = a.rows(), k = a.cols(), n = b.rows();
-  assert(b.cols() == k);
+  LCREC_CHECK_EQ(b.cols(), k);
   static obs::KernelFlops kf("core.matmul_nt");
   kf.Add(2 * m * k * n, 4 * (m * k + n * k + m * n));
   Tensor out({m, n});
@@ -45,7 +45,7 @@ Tensor MatMulNT(const Tensor& a, const Tensor& b) {
 }
 
 Tensor CosineSimilarity(const Tensor& a, const Tensor& b) {
-  assert(a.cols() == b.cols());
+  LCREC_CHECK_EQ(a.cols(), b.cols());
   int64_t ma = a.rows(), mb = b.rows(), d = a.cols();
   // Row norms + final scaling; the inner MatMulNT counts itself.
   static obs::KernelFlops kf("core.cosine_sim");
@@ -68,7 +68,7 @@ Tensor CosineSimilarity(const Tensor& a, const Tensor& b) {
 }
 
 Tensor SquaredDistances(const Tensor& a, const Tensor& b) {
-  assert(a.cols() == b.cols());
+  LCREC_CHECK_EQ(a.cols(), b.cols());
   int64_t ma = a.rows(), mb = b.rows(), d = a.cols();
   static obs::KernelFlops kf("core.sqdist");
   kf.Add(3 * ma * mb * d, 4 * (ma * d + mb * d + ma * mb));
@@ -89,7 +89,7 @@ Tensor SquaredDistances(const Tensor& a, const Tensor& b) {
 void SymmetricEigen(const Tensor& a, std::vector<float>* values,
                     Tensor* vectors, int max_sweeps) {
   int64_t n = a.rows();
-  assert(a.cols() == n);
+  LCREC_CHECK_EQ(a.cols(), n);
   // Work in double for numerical robustness.
   std::vector<double> m(static_cast<size_t>(n * n));
   for (int64_t i = 0; i < n * n; ++i) m[i] = a.at(i);
@@ -147,7 +147,9 @@ void SymmetricEigen(const Tensor& a, std::vector<float>* values,
 
 Pca::Pca(const Tensor& data, int k) : k_(k) {
   int64_t n = data.rows(), d = data.cols();
-  assert(n >= 2 && k >= 1 && k <= d);
+  LCREC_CHECK_GE(n, 2);
+  LCREC_CHECK_GE(k, 1);
+  LCREC_CHECK_LE(k, d);
   mean_.assign(static_cast<size_t>(d), 0.0f);
   for (int64_t i = 0; i < n; ++i)
     for (int64_t j = 0; j < d; ++j) mean_[j] += data.at(i * d + j);
@@ -177,7 +179,7 @@ Pca::Pca(const Tensor& data, int k) : k_(k) {
 
 Tensor Pca::Transform(const Tensor& data) const {
   int64_t n = data.rows(), d = data.cols();
-  assert(d == static_cast<int64_t>(mean_.size()));
+  LCREC_CHECK_EQ(d, static_cast<int64_t>(mean_.size()));
   Tensor centered({n, d});
   for (int64_t i = 0; i < n; ++i)
     for (int64_t j = 0; j < d; ++j)

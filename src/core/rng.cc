@@ -1,14 +1,15 @@
 #include "core/rng.h"
 
-#include <cassert>
 #include <numeric>
+
+#include "core/check.h"
 
 namespace lcrec::core {
 
 int64_t Rng::Categorical(const std::vector<double>& weights) {
-  assert(!weights.empty());
+  LCREC_CHECK(!weights.empty());
   double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  assert(total > 0.0);
+  LCREC_CHECK_GT(total, 0.0);
   double u = Uniform() * total;
   double acc = 0.0;
   for (size_t i = 0; i < weights.size(); ++i) {
@@ -19,7 +20,7 @@ int64_t Rng::Categorical(const std::vector<double>& weights) {
 }
 
 std::vector<int64_t> Rng::SampleWithoutReplacement(int64_t n, int64_t k) {
-  assert(k <= n);
+  LCREC_CHECK_LE(k, n);
   std::vector<int64_t> idx(n);
   std::iota(idx.begin(), idx.end(), 0);
   // Partial Fisher-Yates: only the first k positions need shuffling.

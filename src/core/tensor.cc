@@ -3,13 +3,15 @@
 #include <numeric>
 #include <sstream>
 
+#include "core/check.h"
+
 namespace lcrec::core {
 
 namespace {
 int64_t NumElements(const std::vector<int64_t>& shape) {
   int64_t n = 1;
   for (int64_t d : shape) {
-    assert(d >= 0);
+    LCREC_CHECK_GE(d, 0);
     n *= d;
   }
   return n;
@@ -21,7 +23,7 @@ Tensor::Tensor(std::vector<int64_t> shape)
 
 Tensor::Tensor(std::vector<int64_t> shape, std::vector<float> data)
     : shape_(std::move(shape)), data_(std::move(data)) {
-  assert(static_cast<int64_t>(data_.size()) == NumElements(shape_));
+  LCREC_CHECK_EQ(static_cast<int64_t>(data_.size()), NumElements(shape_));
 }
 
 Tensor Tensor::Scalar(float v) { return Tensor({}, {v}); }
@@ -52,12 +54,12 @@ int64_t Tensor::cols() const {
 }
 
 float Tensor::item() const {
-  assert(data_.size() == 1);
+  LCREC_CHECK_EQ(data_.size(), 1u);
   return data_[0];
 }
 
 Tensor Tensor::Reshaped(std::vector<int64_t> shape) const {
-  assert(NumElements(shape) == size());
+  LCREC_CHECK_EQ(NumElements(shape), size());
   return Tensor(std::move(shape), data_);
 }
 
@@ -66,7 +68,7 @@ void Tensor::Fill(float v) {
 }
 
 void Tensor::Axpy(float alpha, const Tensor& other) {
-  assert(size() == other.size());
+  LCREC_CHECK_EQ(size(), other.size());
   for (int64_t i = 0; i < size(); ++i) data_[i] += alpha * other.data_[i];
 }
 

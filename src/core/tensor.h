@@ -1,10 +1,11 @@
 #ifndef LCREC_CORE_TENSOR_H_
 #define LCREC_CORE_TENSOR_H_
 
-#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
+
+#include "core/check.h"
 
 namespace lcrec::core {
 
@@ -50,10 +51,21 @@ class Tensor {
   std::vector<float>& vec() { return data_; }
   const std::vector<float>& vec() const { return data_; }
 
-  float& at(int64_t i) { return data_[i]; }
-  float at(int64_t i) const { return data_[i]; }
-  float& at(int64_t r, int64_t c) { return data_[r * cols() + c]; }
-  float at(int64_t r, int64_t c) const { return data_[r * cols() + c]; }
+  // Element access is on every inner loop in the repo, so bounds are
+  // debug-tier only (LCREC_DCHECK): free in Release, fatal in debug and
+  // LCREC_DCHECK_ALWAYS_ON builds.
+  float& at(int64_t i) {
+    LCREC_DCHECK_GE(i, 0);
+    LCREC_DCHECK_LT(i, size());
+    return data_[i];
+  }
+  float at(int64_t i) const {
+    LCREC_DCHECK_GE(i, 0);
+    LCREC_DCHECK_LT(i, size());
+    return data_[i];
+  }
+  float& at(int64_t r, int64_t c) { return at(r * cols() + c); }
+  float at(int64_t r, int64_t c) const { return at(r * cols() + c); }
 
   /// Scalar access; requires size() == 1.
   float item() const;

@@ -1,9 +1,10 @@
 #include "data/dataset.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <unordered_map>
+
+#include "core/check.h"
 
 namespace lcrec::data {
 
@@ -171,7 +172,7 @@ Dataset Dataset::Build(const Catalog& catalog,
 namespace {
 std::vector<int> Tail(const std::vector<int>& v, size_t drop_back,
                       int max_len) {
-  assert(v.size() >= drop_back);
+  LCREC_CHECK_GE(v.size(), drop_back);
   size_t end = v.size() - drop_back;
   size_t start = end > static_cast<size_t>(max_len)
                      ? end - static_cast<size_t>(max_len)

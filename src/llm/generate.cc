@@ -1,9 +1,9 @@
 #include "llm/generate.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 
+#include "core/check.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -56,7 +56,8 @@ IndexTokenMap::IndexTokenMap(const quant::ItemIndexing& indexing,
     for (size_t level = 0; level < codes.size(); ++level) {
       std::string tok = quant::ItemIndexing::TokenString(
           static_cast<int>(level), codes[level]);
-      assert(vocab.Contains(tok) && "index tokens must be in the vocabulary");
+      // Index tokens must be in the vocabulary.
+      LCREC_CHECK(vocab.Contains(tok));
       maps_[level][codes[level]] = vocab.Id(tok);
     }
   }
@@ -75,7 +76,7 @@ std::vector<int> IndexTokenMap::ItemTokenIds(
   out.reserve(codes.size());
   for (size_t level = 0; level < codes.size(); ++level) {
     int id = TokenId(static_cast<int>(level), codes[level]);
-    assert(id >= 0);
+    LCREC_CHECK_GE(id, 0);
     out.push_back(id);
   }
   return out;
@@ -86,7 +87,7 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
                                       const quant::PrefixTrie& trie,
                                       const IndexTokenMap& token_map,
                                       int beam_size, int top_n) {
-  assert(!prompt.empty());
+  LCREC_CHECK(!prompt.empty());
   obs::ScopedSpan span("llm.generate_items");
   GenMetrics& gm = GenMetrics::Get();
   struct Beam {
@@ -165,7 +166,8 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
 
 float ScoreContinuation(const MiniLlm& model, const std::vector<int>& prompt,
                         const std::vector<int>& continuation) {
-  assert(!prompt.empty() && !continuation.empty());
+  LCREC_CHECK(!prompt.empty());
+  LCREC_CHECK(!continuation.empty());
   MiniLlm::KvCache cache = model.MakeCache();
   core::Tensor logits = model.Forward(cache, prompt);
   float total = 0.0f;
@@ -181,7 +183,7 @@ float ScoreContinuation(const MiniLlm& model, const std::vector<int>& prompt,
 std::vector<int> GenerateText(const MiniLlm& model,
                               const std::vector<int>& prompt, int max_new,
                               int eos_id) {
-  assert(!prompt.empty());
+  LCREC_CHECK(!prompt.empty());
   MiniLlm::KvCache cache = model.MakeCache();
   core::Tensor logits = model.Forward(cache, prompt);
   std::vector<int> out;

@@ -1,9 +1,9 @@
 #include "llm/minillm.h"
 
-#include <cassert>
 #include <cmath>
 #include <cstring>
 
+#include "core/check.h"
 #include "obs/flops.h"
 #include "obs/trace.h"
 
@@ -11,8 +11,8 @@ namespace lcrec::llm {
 
 MiniLlm::MiniLlm(const MiniLlmConfig& config)
     : config_(config), rng_(config.seed) {
-  assert(config_.vocab_size > 0);
-  assert(config_.d_model % config_.n_heads == 0);
+  LCREC_CHECK_GT(config_.vocab_size, 0);
+  LCREC_CHECK_EQ(config_.d_model % config_.n_heads, 0);
   int d = config_.d_model, ff = config_.d_ff;
   auto init = [&](int fan_in, std::vector<int64_t> shape) {
     return rng_.GaussianTensor(std::move(shape), 1.0 / std::sqrt(fan_in));
@@ -41,7 +41,8 @@ MiniLlm::MiniLlm(const MiniLlmConfig& config)
 core::VarId MiniLlm::BuildLogits(core::Graph& g,
                                  const std::vector<int>& tokens, bool train) {
   int t = static_cast<int>(tokens.size());
-  assert(t > 0 && t <= config_.max_seq);
+  LCREC_CHECK_GT(t, 0);
+  LCREC_CHECK_LE(t, config_.max_seq);
   int heads = config_.n_heads;
   int dh = config_.d_model / heads;
   float scale = 1.0f / std::sqrt(static_cast<float>(dh));
@@ -84,7 +85,7 @@ core::VarId MiniLlm::BuildLogits(core::Graph& g,
 
 core::VarId MiniLlm::BuildLoss(core::Graph& g, const std::vector<int>& tokens,
                                const std::vector<int>& targets, bool train) {
-  assert(tokens.size() == targets.size());
+  LCREC_CHECK_EQ(tokens.size(), targets.size());
   core::VarId logits = BuildLogits(g, tokens, train);
   return g.SoftmaxCrossEntropy(logits, targets);
 }
@@ -125,8 +126,8 @@ core::Tensor MiniLlm::Forward(KvCache& cache, const std::vector<int>& tokens,
   int dh = d / heads;
   float scale = 1.0f / std::sqrt(static_cast<float>(dh));
   int n_new = static_cast<int>(tokens.size());
-  assert(n_new > 0);
-  assert(cache.length + n_new <= config_.max_seq);
+  LCREC_CHECK_GT(n_new, 0);
+  LCREC_CHECK_LE(cache.length + n_new, config_.max_seq);
   int vocab = config_.vocab_size;
   core::Tensor out({all_logits ? n_new : 1, vocab});
   obs::ScopedSpan span("llm.decode");
@@ -142,7 +143,8 @@ core::Tensor MiniLlm::Forward(KvCache& cache, const std::vector<int>& tokens,
   for (int idx = 0; idx < n_new; ++idx) {
     int tok = tokens[idx];
     int pos = cache.length;
-    assert(tok >= 0 && tok < vocab);
+    LCREC_CHECK_GE(tok, 0);
+    LCREC_CHECK_LT(tok, vocab);
     for (int i = 0; i < d; ++i) {
       x[i] = tok_emb_->value.at(static_cast<int64_t>(tok) * d + i) +
              pos_emb_->value.at(static_cast<int64_t>(pos) * d + i);

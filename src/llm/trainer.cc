@@ -1,11 +1,11 @@
 #include "llm/trainer.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 #include <unordered_map>
 
+#include "core/check.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -60,7 +60,8 @@ void LlmTrainer::AssembleTokens(const TrainExample& example, int max_seq,
   // Budget: 1 (<bos>) + prompt + response + 1 (<eos>) <= max_seq.
   int response_len = static_cast<int>(example.response.size());
   int budget = max_seq - 2 - response_len;
-  assert(budget > 0 && "response alone exceeds the context window");
+  // A non-positive budget means the response alone exceeds the window.
+  LCREC_CHECK_GT(budget, 0);
   int prompt_len = static_cast<int>(example.prompt.size());
   int keep = std::min(prompt_len, budget);
   tokens->clear();

@@ -1,9 +1,9 @@
 #include "obs/flops.h"
 
-#include <mutex>
 #include <string>
 
 #include "obs/registry.h"
+#include "obs/sync.h"
 #include "obs/trace.h"
 
 namespace lcrec::obs {
@@ -22,8 +22,8 @@ Counter& TotalBytesCounter() {
   return c;
 }
 
-std::mutex& SpanCostMu() {
-  static std::mutex* mu = new std::mutex();
+Mutex& SpanCostMu() {
+  static Mutex* mu = new Mutex();
   return *mu;
 }
 
@@ -48,7 +48,7 @@ void KernelFlops::Add(int64_t flops, int64_t bytes) {
   if (!SpanStacksEnabled()) return;
   const char* leaf = CurrentLeafSpan();
   if (leaf == nullptr) return;
-  std::lock_guard<std::mutex> lock(SpanCostMu());
+  MutexLock lock(SpanCostMu());
   SpanCost& cost = SpanCostTable()[leaf];
   cost.flops += flops;
   cost.bytes += bytes;
@@ -59,12 +59,12 @@ int64_t TotalFlops() { return TotalFlopsCounter().value(); }
 int64_t TotalBytes() { return TotalBytesCounter().value(); }
 
 std::map<std::string, SpanCost> SpanCostSnapshot() {
-  std::lock_guard<std::mutex> lock(SpanCostMu());
+  MutexLock lock(SpanCostMu());
   return SpanCostTable();
 }
 
 void ResetSpanCosts() {
-  std::lock_guard<std::mutex> lock(SpanCostMu());
+  MutexLock lock(SpanCostMu());
   SpanCostTable().clear();
 }
 

@@ -1,8 +1,9 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
+
+#include "core/check.h"
 
 namespace lcrec::obs {
 
@@ -33,7 +34,7 @@ void AtomicMax(std::atomic<double>& target, double v) {
 
 Histogram::Histogram(std::vector<double> bounds)
     : bounds_(std::move(bounds)), buckets_(bounds_.size() + 1) {
-  assert(std::is_sorted(bounds_.begin(), bounds_.end()));
+  LCREC_CHECK(std::is_sorted(bounds_.begin(), bounds_.end()));
   min_.store(std::numeric_limits<double>::infinity(),
              std::memory_order_relaxed);
   max_.store(-std::numeric_limits<double>::infinity(),
@@ -107,7 +108,9 @@ void Histogram::Reset() {
 
 std::vector<double> Histogram::ExponentialBounds(double start, double factor,
                                                  int count) {
-  assert(start > 0.0 && factor > 1.0 && count > 0);
+  LCREC_CHECK_GT(start, 0.0);
+  LCREC_CHECK_GT(factor, 1.0);
+  LCREC_CHECK_GT(count, 0);
   std::vector<double> b;
   b.reserve(static_cast<size_t>(count));
   double v = start;
@@ -119,7 +122,8 @@ std::vector<double> Histogram::ExponentialBounds(double start, double factor,
 }
 
 std::vector<double> Histogram::LinearBounds(double lo, double hi, int count) {
-  assert(hi > lo && count > 0);
+  LCREC_CHECK_GT(hi, lo);
+  LCREC_CHECK_GT(count, 0);
   std::vector<double> b;
   b.reserve(static_cast<size_t>(count));
   double step = (hi - lo) / static_cast<double>(count);

@@ -28,7 +28,7 @@ void SamplingProfiler::Start(double hz) {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     hz_ = hz;
     session_start_us_ = NowMicros();
   }
@@ -39,12 +39,12 @@ void SamplingProfiler::Stop() {
   bool expected = true;
   if (!running_.compare_exchange_strong(expected, false)) return;
   if (thread_.joinable()) thread_.join();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   duration_us_ += NowMicros() - session_start_us_;
 }
 
 void SamplingProfiler::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   samples_ = 0;
   unattributed_ = 0;
   duration_us_ = 0.0;
@@ -69,7 +69,7 @@ void SamplingProfiler::Loop(double hz) {
 
 void SamplingProfiler::SampleOnce() {
   std::vector<LiveStackSample> stacks = SnapshotLiveSpans();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const LiveStackSample& s : stacks) {
     ++samples_;
     if (s.frames.empty()) {
@@ -101,7 +101,7 @@ void SamplingProfiler::SampleOnce() {
 ProfileReport SamplingProfiler::Report() const {
   ProfileReport report;
   std::map<std::string, SpanCost> costs = SpanCostSnapshot();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   report.hz = hz_;
   report.duration_s = duration_us_ / 1e6;
   if (running_.load(std::memory_order_relaxed)) {

@@ -4,12 +4,13 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "obs/sync.h"
 
 namespace lcrec::obs {
 
@@ -83,17 +84,19 @@ class SamplingProfiler {
   void Loop(double hz);
   void SampleOnce();
 
-  mutable std::mutex mu_;  // guards everything below
-  std::thread thread_;
+  mutable Mutex mu_;
+  std::thread thread_;  // touched only by Start/Stop callers
   std::atomic<bool> running_{false};
-  double hz_ = 0.0;
-  double session_start_us_ = 0.0;
-  double duration_us_ = 0.0;  // completed sessions only
-  int64_t samples_ = 0;
-  int64_t unattributed_ = 0;
+  double hz_ LCREC_GUARDED_BY(mu_) = 0.0;
+  double session_start_us_ LCREC_GUARDED_BY(mu_) = 0.0;
+  // Completed sessions only.
+  double duration_us_ LCREC_GUARDED_BY(mu_) = 0.0;
+  int64_t samples_ LCREC_GUARDED_BY(mu_) = 0;
+  int64_t unattributed_ LCREC_GUARDED_BY(mu_) = 0;
   // name -> (self, total) sample counts.
-  std::map<std::string, std::pair<int64_t, int64_t>> name_counts_;
-  std::map<std::string, int64_t> collapsed_;
+  std::map<std::string, std::pair<int64_t, int64_t>> name_counts_
+      LCREC_GUARDED_BY(mu_);
+  std::map<std::string, int64_t> collapsed_ LCREC_GUARDED_BY(mu_);
 };
 
 }  // namespace lcrec::obs

@@ -3,7 +3,6 @@
 #include <cstdlib>
 #include <fstream>
 #include <limits>
-#include <mutex>
 #include <utility>
 
 #include "obs/export.h"
@@ -27,14 +26,14 @@ MetricsRegistry& MetricsRegistry::Global() {
 }
 
 Counter& MetricsRegistry::GetCounter(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::GetGauge(const std::string& name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -42,14 +41,14 @@ Gauge& MetricsRegistry::GetGauge(const std::string& name) {
 
 Histogram& MetricsRegistry::GetHistogram(const std::string& name,
                                          std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<Histogram>(std::move(bounds));
   return *slot;
 }
 
 std::vector<MetricSample> MetricsRegistry::Samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<MetricSample> out;
   out.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& kv : counters_) {
@@ -135,7 +134,7 @@ std::string PromNumber(double v) {
 }  // namespace
 
 void MetricsRegistry::DumpPrometheus(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& kv : counters_) {
     std::string name = PromName(kv.first);
     out << "# TYPE " << name << " counter\n"
@@ -172,14 +171,14 @@ void MetricsRegistry::DumpPrometheusFile(const std::string& path) const {
 }
 
 void MetricsRegistry::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (auto& kv : counters_) kv.second->Reset();
   for (auto& kv : gauges_) kv.second->Reset();
   for (auto& kv : histograms_) kv.second->Reset();
 }
 
 std::vector<std::string> MetricsRegistry::MetricNames() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(counters_.size() + gauges_.size() + histograms_.size());
   for (const auto& kv : counters_) names.push_back(kv.first);

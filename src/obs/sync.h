@@ -1,0 +1,74 @@
+#ifndef LCREC_OBS_SYNC_H_
+#define LCREC_OBS_SYNC_H_
+
+#include <mutex>
+
+/// Clang thread-safety annotations (-Wthread-safety), compiled to no-ops
+/// on other compilers. The repo's strict build turns the analysis into a
+/// hard error when the compiler is clang (scripts/check_warnings.sh);
+/// under gcc the macros vanish and the code is plain std::mutex.
+///
+/// std::mutex and std::lock_guard carry no annotations under libstdc++,
+/// so annotating members with LCREC_GUARDED_BY alone would make every
+/// correct lock_guard use a false positive. The annotated wrappers
+/// below (obs::Mutex, obs::MutexLock) give the analysis real acquire/
+/// release events while staying zero-cost aliases of the std types.
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LCREC_THREAD_ANNOTATION_(x) __attribute__((x))
+#endif
+#endif
+#ifndef LCREC_THREAD_ANNOTATION_
+#define LCREC_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+#define LCREC_CAPABILITY(x) LCREC_THREAD_ANNOTATION_(capability(x))
+#define LCREC_SCOPED_CAPABILITY LCREC_THREAD_ANNOTATION_(scoped_lockable)
+#define LCREC_GUARDED_BY(x) LCREC_THREAD_ANNOTATION_(guarded_by(x))
+#define LCREC_PT_GUARDED_BY(x) LCREC_THREAD_ANNOTATION_(pt_guarded_by(x))
+#define LCREC_REQUIRES(...) \
+  LCREC_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+#define LCREC_EXCLUDES(...) \
+  LCREC_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+#define LCREC_ACQUIRE(...) \
+  LCREC_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define LCREC_RELEASE(...) \
+  LCREC_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define LCREC_RETURN_CAPABILITY(x) LCREC_THREAD_ANNOTATION_(lock_returned(x))
+#define LCREC_NO_THREAD_SAFETY_ANALYSIS \
+  LCREC_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+namespace lcrec::obs {
+
+/// std::mutex with capability annotations. Same size, same cost; only
+/// the static analysis sees the difference.
+class LCREC_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() LCREC_ACQUIRE() { mu_.lock(); }
+  void unlock() LCREC_RELEASE() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// std::lock_guard over obs::Mutex, annotated as a scoped capability so
+/// clang tracks the held lock for the guard's lifetime.
+class LCREC_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) LCREC_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() LCREC_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_SYNC_H_

@@ -22,6 +22,14 @@ int ThisThreadId() {
 
 thread_local int t_depth = 0;
 
+/// Always-on span frames of this thread, outermost first. Owned and
+/// mutated only by the owning thread, so no lock is needed; the check
+/// failure handler reads it from the failing thread itself.
+std::vector<const char*>& ThisThreadFrames() {
+  thread_local std::vector<const char*> frames;
+  return frames;
+}
+
 std::chrono::steady_clock::time_point ProcessStart() {
   static const std::chrono::steady_clock::time_point start =
       std::chrono::steady_clock::now();
@@ -37,13 +45,13 @@ std::atomic<bool> g_stacks_enabled{false};
 /// past thread exit by the shared_ptr in the global list (the stack is
 /// empty by then, since spans are scoped).
 struct ThreadStack {
-  std::mutex mu;
-  std::vector<const char*> frames;
+  Mutex mu;
+  std::vector<const char*> frames LCREC_GUARDED_BY(mu);
   int tid = 0;
 };
 
-std::mutex& StackListMu() {
-  static std::mutex* mu = new std::mutex();
+Mutex& StackListMu() {
+  static Mutex* mu = new Mutex();
   return *mu;
 }
 
@@ -57,7 +65,7 @@ ThreadStack& ThisThreadStack() {
   thread_local std::shared_ptr<ThreadStack> stack = [] {
     auto s = std::make_shared<ThreadStack>();
     s->tid = ThisThreadId();
-    std::lock_guard<std::mutex> lock(StackListMu());
+    MutexLock lock(StackListMu());
     StackList().push_back(s);
     return s;
   }();
@@ -77,7 +85,7 @@ bool SpanStacksEnabled() {
 std::vector<LiveStackSample> SnapshotLiveSpans() {
   std::vector<std::shared_ptr<ThreadStack>> stacks;
   {
-    std::lock_guard<std::mutex> lock(StackListMu());
+    MutexLock lock(StackListMu());
     stacks = StackList();
   }
   std::vector<LiveStackSample> out;
@@ -86,7 +94,7 @@ std::vector<LiveStackSample> SnapshotLiveSpans() {
     LiveStackSample sample;
     sample.tid = s->tid;
     {
-      std::lock_guard<std::mutex> lock(s->mu);
+      MutexLock lock(s->mu);
       sample.frames = s->frames;
     }
     out.push_back(std::move(sample));
@@ -96,9 +104,12 @@ std::vector<LiveStackSample> SnapshotLiveSpans() {
 
 const char* CurrentLeafSpan() {
   if (!SpanStacksEnabled()) return nullptr;
-  ThreadStack& s = ThisThreadStack();
-  std::lock_guard<std::mutex> lock(s.mu);
-  return s.frames.empty() ? nullptr : s.frames.back();
+  const std::vector<const char*>& frames = ThisThreadFrames();
+  return frames.empty() ? nullptr : frames.back();
+}
+
+const std::vector<const char*>& CurrentThreadSpanFrames() {
+  return ThisThreadFrames();
 }
 
 double NowMicros() {
@@ -142,27 +153,27 @@ TraceRecorder::TraceRecorder() {
 }
 
 void TraceRecorder::Record(TraceEvent event) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.push_back(std::move(event));
 }
 
 void TraceRecorder::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   events_.clear();
 }
 
 size_t TraceRecorder::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_.size();
 }
 
 std::vector<TraceEvent> TraceRecorder::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return events_;
 }
 
 void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   out << "{\"traceEvents\":[";
   for (size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& e = events_[i];
@@ -188,17 +199,20 @@ ScopedSpan::ScopedSpan(const char* name)
       recording_(TraceRecorder::Global().enabled()),
       stacked_(SpanStacksEnabled()) {
   if (recording_) ++t_depth;
+  ThisThreadFrames().push_back(name_);
   if (stacked_) {
     ThreadStack& s = ThisThreadStack();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     s.frames.push_back(name_);
   }
 }
 
 ScopedSpan::~ScopedSpan() {
+  std::vector<const char*>& frames = ThisThreadFrames();
+  if (!frames.empty()) frames.pop_back();
   if (stacked_) {
     ThreadStack& s = ThisThreadStack();
-    std::lock_guard<std::mutex> lock(s.mu);
+    MutexLock lock(s.mu);
     if (!s.frames.empty()) s.frames.pop_back();
   }
   if (!recording_) return;

@@ -3,10 +3,11 @@
 
 #include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <ostream>
 #include <string>
 #include <vector>
+
+#include "obs/sync.h"
 
 namespace lcrec::obs {
 
@@ -49,8 +50,8 @@ class TraceRecorder {
   TraceRecorder();
 
   std::atomic<bool> enabled_{false};
-  mutable std::mutex mu_;
-  std::vector<TraceEvent> events_;
+  mutable Mutex mu_;
+  std::vector<TraceEvent> events_ LCREC_GUARDED_BY(mu_);
 };
 
 /// RAII span: records [construction, destruction) of the named section
@@ -101,6 +102,13 @@ std::vector<LiveStackSample> SnapshotLiveSpans();
 /// the stack is empty or stacks are disabled. Used by the FLOP
 /// accounting layer to attribute kernel work to spans.
 const char* CurrentLeafSpan();
+
+/// The calling thread's live span stack, outermost first. Unlike the
+/// mutex-guarded cross-thread stacks above, this thread-local view is
+/// maintained unconditionally by every ScopedSpan (one push/pop of a
+/// string literal pointer, no synchronization), so the LCREC_CHECK
+/// failure handler can always name the phase that tripped a check.
+const std::vector<const char*>& CurrentThreadSpanFrames();
 
 /// Microseconds since process start (steady clock). The time base of
 /// every TraceEvent.

@@ -1,11 +1,11 @@
 #include "quant/indexing.h"
 
 #include <algorithm>
-#include <cassert>
 #include <map>
 #include <set>
 #include <sstream>
 
+#include "core/check.h"
 #include "core/linalg.h"
 #include "quant/sinkhorn.h"
 
@@ -134,6 +134,12 @@ ItemIndexing ItemIndexing::VanillaId(int num_items) {
   return idx;
 }
 
+const std::vector<int>& ItemIndexing::codes(int item) const {
+  LCREC_CHECK_GE(item, 0);
+  LCREC_CHECK_LT(item, num_items());
+  return codes_[item];
+}
+
 int ItemIndexing::ConflictCount() const {
   std::map<std::vector<int>, int> counts;
   for (const auto& c : codes_) ++counts[c];
@@ -146,6 +152,11 @@ int ItemIndexing::ConflictCount() const {
 }
 
 std::string ItemIndexing::TokenString(int level, int code) {
+  // Levels are spelled <a_..> through <z_..>; a code outside the level's
+  // codebook means a corrupted index upstream.
+  LCREC_CHECK_GE(level, 0);
+  LCREC_CHECK_LT(level, 26);
+  LCREC_CHECK_GE(code, 0);
   std::ostringstream os;
   os << "<" << static_cast<char>('a' + level) << "_" << code << ">";
   return os.str();
@@ -164,7 +175,7 @@ std::vector<std::string> ItemIndexing::AllTokenStrings() const {
 }
 
 std::vector<std::string> ItemIndexing::ItemTokens(int item) const {
-  const auto& code = codes_.at(item);
+  const auto& code = codes(item);
   std::vector<std::string> out;
   out.reserve(code.size());
   for (size_t h = 0; h < code.size(); ++h)

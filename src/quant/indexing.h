@@ -47,7 +47,8 @@ class ItemIndexing {
   int levels() const { return levels_; }
   int codebook_size() const { return codebook_size_; }
 
-  const std::vector<int>& codes(int item) const { return codes_.at(item); }
+  /// Code sequence of one item; aborts on an out-of-range item id.
+  const std::vector<int>& codes(int item) const;
 
   /// Number of items whose code sequence equals another item's.
   int ConflictCount() const;

@@ -1,10 +1,10 @@
 #include "quant/sinkhorn.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <numeric>
 
+#include "core/check.h"
 #include "obs/flops.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -16,7 +16,8 @@ core::Tensor SinkhornKnopp(const core::Tensor& cost, double epsilon,
                            int iterations) {
   obs::ScopedSpan span("quant.sinkhorn");
   int64_t n = cost.rows(), k = cost.cols();
-  assert(n > 0 && k > 0);
+  LCREC_CHECK_GT(n, 0);
+  LCREC_CHECK_GT(k, 0);
   // Gibbs kernel (3nk) + 4nk per scaling iteration + final plan (2nk).
   static obs::KernelFlops kf("quant.sinkhorn");
   kf.Add((5 + 4 * static_cast<int64_t>(iterations)) * n * k,
@@ -81,7 +82,7 @@ core::Tensor SinkhornKnopp(const core::Tensor& cost, double epsilon,
 
 std::vector<int> BalancedAssign(const core::Tensor& plan, int capacity) {
   int64_t n = plan.rows(), k = plan.cols();
-  assert(n <= k * static_cast<int64_t>(capacity));
+  LCREC_CHECK_LE(n, k * static_cast<int64_t>(capacity));
   struct Entry {
     float weight;
     int row;
@@ -105,7 +106,7 @@ std::vector<int> BalancedAssign(const core::Tensor& plan, int capacity) {
     ++load[e.col];
     ++assigned;
   }
-  assert(assigned == n);
+  LCREC_CHECK_EQ(assigned, n);
   return assignment;
 }
 

@@ -1,9 +1,9 @@
 #include "rec/lcrec.h"
 
 #include <algorithm>
-#include <cassert>
 #include <limits>
 
+#include "core/check.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -115,7 +115,8 @@ void LcRec::Fit(const data::Dataset& dataset) {
 
 std::vector<llm::ScoredItem> LcRec::TopK(const std::vector<int>& history,
                                          int k) const {
-  assert(model_ != nullptr && "Fit() must run first");
+  // Fit() must run before any inference entry point.
+  LCREC_CHECK(model_ != nullptr);
   std::vector<int> prompt = {text::Vocabulary::kBos};
   std::vector<int> body = builder_->SeqPrompt(history);
   prompt.insert(prompt.end(), body.begin(), body.end());
@@ -131,7 +132,7 @@ std::vector<int> LcRec::TopKIds(const std::vector<int>& history, int k) const {
 
 std::vector<llm::ScoredItem> LcRec::TopKFromIntention(
     const std::string& intention, int k) const {
-  assert(model_ != nullptr);
+  LCREC_CHECK(model_ != nullptr);
   std::vector<int> prompt = {text::Vocabulary::kBos};
   std::vector<int> body = builder_->IntentionPrompt(intention);
   prompt.insert(prompt.end(), body.begin(), body.end());
@@ -140,7 +141,7 @@ std::vector<llm::ScoredItem> LcRec::TopKFromIntention(
 }
 
 std::vector<float> LcRec::ScoreAllItems(const std::vector<int>& history) const {
-  assert(dataset_ != nullptr);
+  LCREC_CHECK(dataset_ != nullptr);
   std::vector<float> scores(static_cast<size_t>(dataset_->num_items()),
                             -std::numeric_limits<float>::infinity());
   for (const llm::ScoredItem& s : TopK(history, config_.beam_size)) {
@@ -151,7 +152,7 @@ std::vector<float> LcRec::ScoreAllItems(const std::vector<int>& history) const {
 
 float LcRec::ScoreCandidate(const std::vector<int>& history, int item,
                             bool by_title) const {
-  assert(model_ != nullptr);
+  LCREC_CHECK(model_ != nullptr);
   std::vector<int> prompt = {text::Vocabulary::kBos};
   std::vector<int> body = builder_->NextItemPrompt(history, by_title);
   prompt.insert(prompt.end(), body.begin(), body.end());
@@ -163,7 +164,7 @@ float LcRec::ScoreCandidate(const std::vector<int>& history, int item,
 }
 
 std::string LcRec::GenerateTitleFromIndices(int item, int levels) const {
-  assert(model_ != nullptr);
+  LCREC_CHECK(model_ != nullptr);
   std::vector<int> prompt = {text::Vocabulary::kBos};
   std::vector<int> body = builder_->TitleOfItemPrompt(item, levels);
   prompt.insert(prompt.end(), body.begin(), body.end());
@@ -173,7 +174,7 @@ std::string LcRec::GenerateTitleFromIndices(int item, int levels) const {
 }
 
 core::Tensor LcRec::IndexTokenEmbeddings() const {
-  assert(model_ != nullptr);
+  LCREC_CHECK(model_ != nullptr);
   const core::Tensor& table = model_->TokenEmbeddings();
   int d = model_->config().d_model;
   std::vector<int> ids;
@@ -191,7 +192,8 @@ core::Tensor LcRec::IndexTokenEmbeddings() const {
 }
 
 core::Tensor LcRec::TextTokenEmbeddings(int max_tokens) const {
-  assert(model_ != nullptr && dataset_ != nullptr);
+  LCREC_CHECK(model_ != nullptr);
+  LCREC_CHECK(dataset_ != nullptr);
   const core::Tensor& table = model_->TokenEmbeddings();
   int d = model_->config().d_model;
   // Tokens appearing in item texts (titles + descriptions).

@@ -1,15 +1,15 @@
 #include "rec/negatives.h"
 
 #include <algorithm>
-#include <cassert>
 
+#include "core/check.h"
 #include "core/linalg.h"
 
 namespace lcrec::rec {
 
 std::vector<int> HardNegatives(const data::Dataset& dataset,
                                const core::Tensor& item_embeddings) {
-  assert(item_embeddings.rows() == dataset.num_items());
+  LCREC_CHECK_EQ(item_embeddings.rows(), dataset.num_items());
   core::Tensor sim = core::CosineSimilarity(item_embeddings, item_embeddings);
   int n = dataset.num_items();
   std::vector<int> negatives(static_cast<size_t>(dataset.num_users()));
@@ -50,7 +50,7 @@ double PairwiseAccuracy(
     int max_users) {
   int users = dataset.num_users();
   if (max_users > 0) users = std::min(users, max_users);
-  assert(static_cast<int>(negatives.size()) >= users);
+  LCREC_CHECK_GE(static_cast<int>(negatives.size()), users);
   double correct = 0.0;
   for (int u = 0; u < users; ++u) {
     std::vector<int> history = dataset.TestContext(u);

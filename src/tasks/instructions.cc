@@ -1,7 +1,8 @@
 #include "tasks/instructions.h"
 
 #include <algorithm>
-#include <cassert>
+
+#include "core/check.h"
 
 namespace lcrec::tasks {
 
@@ -190,7 +191,7 @@ std::string InstructionBuilder::HistoryTitleText(
 std::vector<int> InstructionBuilder::ItemIndexTokens(int item) const {
   std::vector<int> ids;
   for (const std::string& tok : indexing_->ItemTokens(item)) {
-    assert(vocab_->Contains(tok));
+    LCREC_CHECK(vocab_->Contains(tok));
     ids.push_back(vocab_->Id(tok));
   }
   return ids;

@@ -2,6 +2,8 @@
 
 #include <cctype>
 
+#include "core/check.h"
+
 namespace lcrec::text {
 
 std::vector<std::string> Tokenize(const std::string& s) {
@@ -52,6 +54,12 @@ int Vocabulary::AddToken(const std::string& token) {
   tokens_.push_back(token);
   index_.emplace(token, id);
   return id;
+}
+
+const std::string& Vocabulary::TokenOf(int id) const {
+  LCREC_CHECK_GE(id, 0);
+  LCREC_CHECK_LT(id, size());
+  return tokens_[id];
 }
 
 int Vocabulary::Id(const std::string& token) const {

@@ -33,7 +33,9 @@ class Vocabulary {
 
   bool Contains(const std::string& token) const;
 
-  const std::string& TokenOf(int id) const { return tokens_.at(id); }
+  /// Token string for a valid id; aborts on a vocab-id overflow (a
+  /// generated id outside [0, size()), e.g. from a stale vocabulary).
+  const std::string& TokenOf(int id) const;
 
   int size() const { return static_cast<int>(tokens_.size()); }
 

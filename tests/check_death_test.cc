@@ -1,0 +1,76 @@
+// Death tests for the always-on check framework (core/check.h): the
+// whole point of LCREC_CHECK is that it still fires in Release
+// (-DNDEBUG) builds, so these tests prove the abort happens — and that
+// the failure message carries the operand values and the live span
+// stack — in whatever build configuration the suite runs under.
+
+#include <gtest/gtest.h>
+
+#include "core/check.h"
+#include "core/graph.h"
+#include "core/tensor.h"
+#include "obs/trace.h"
+#include "quant/indexing.h"
+#include "text/vocab.h"
+
+namespace {
+
+using lcrec::core::Graph;
+using lcrec::core::Tensor;
+using lcrec::core::VarId;
+
+TEST(CheckDeathTest, CheckFiresEvenWithNdebug) {
+  EXPECT_DEATH(LCREC_CHECK(1 == 2), "LCREC_CHECK failed: 1 == 2");
+}
+
+TEST(CheckDeathTest, CheckOpPrintsBothOperands) {
+  int lhs = 2;
+  int rhs = 3;
+  EXPECT_DEATH(LCREC_CHECK_EQ(lhs, rhs), "2 vs\\. 3");
+}
+
+TEST(CheckDeathTest, FailureMessageNamesLiveSpans) {
+  lcrec::obs::ScopedSpan outer("death_outer");
+  lcrec::obs::ScopedSpan inner("death_inner");
+  EXPECT_DEATH(LCREC_CHECK(false), "death_outer > death_inner");
+}
+
+TEST(CheckDeathTest, MatMulShapeMismatchAborts) {
+  Graph g;
+  VarId a = g.Input(Tensor({2, 3}));
+  VarId b = g.Input(Tensor({2, 3}));  // inner dims 3 vs 2: illegal
+  EXPECT_DEATH(g.MatMul(a, b), "LCREC_CHECK");
+}
+
+TEST(CheckDeathTest, CheckShapePrintsBothShapes) {
+  Graph g;
+  VarId a = g.Input(Tensor({2, 3}));
+  VarId b = g.Input(Tensor({3, 2}));
+  EXPECT_DEATH(g.Add(a, b), "\\[2,3\\] vs\\. \\[3,2\\]");
+}
+
+TEST(CheckDeathTest, OutOfRangeCodebookIndexAborts) {
+  lcrec::quant::ItemIndexing idx = lcrec::quant::ItemIndexing::VanillaId(4);
+  EXPECT_DEATH(idx.codes(7), "item < num_items\\(\\)");
+}
+
+TEST(CheckDeathTest, VocabIdOverflowAborts) {
+  lcrec::text::Vocabulary vocab;
+  EXPECT_DEATH(vocab.TokenOf(vocab.size()), "id < size\\(\\)");
+}
+
+TEST(CheckDeathTest, DcheckTierMatchesBuildConfiguration) {
+  Tensor t({2, 2});
+#if defined(NDEBUG) && !defined(LCREC_DCHECK_ALWAYS_ON)
+  // Release: DCHECK compiles to nothing, so a violated condition is not
+  // evaluated and must not abort.
+  LCREC_DCHECK(false);
+  LCREC_DCHECK_EQ(1, 2);
+  SUCCEED();
+#else
+  EXPECT_DEATH(t.at(100), "LCREC_CHECK failed");
+  (void)t;
+#endif
+}
+
+}  // namespace

@@ -1,0 +1,452 @@
+// lcrec_lint: from-scratch repo lint for the invariants that a compiler
+// will not enforce. Zero dependencies beyond the C++ standard library.
+//
+// Walks src/, tests/, and bench/ under --root and reports findings as
+// "file:line: [rule] message" on stdout; exit code 1 when any finding
+// survives. Rules (scopes in parentheses):
+//
+//   bare-assert            (src/)   assert() instead of LCREC_CHECK*.
+//                                   static_assert is fine; so is the
+//                                   check framework itself.
+//   raw-stderr             (src/ minus src/obs/)  fprintf(stderr, ...)
+//                                   or printf(...): library code must
+//                                   route diagnostics through obs
+//                                   logging. Bench/test binaries print
+//                                   reports, so they are exempt.
+//   std-rand               (all)    std::rand/srand: all randomness
+//                                   goes through core::Rng so runs are
+//                                   reproducible.
+//   include-guard          (all .h) guard macro must be LCREC_<PATH>_H_
+//                                   with the leading src/ dropped
+//                                   (e.g. src/core/tensor.h ->
+//                                   LCREC_CORE_TENSOR_H_).
+//   using-namespace-header (all .h) `using namespace` in a header leaks
+//                                   into every includer.
+//
+// Scanning is comment- and string-aware: rule patterns inside comments
+// or string literals never fire. A finding on a line whose raw text
+// contains `lint:allow(<rule>)` (necessarily inside a comment) is
+// suppressed.
+//
+// --selftest runs the same walker over tools/lint_fixtures/, whose
+// files annotate each intended violation with `// expect-lint: <rule>`,
+// and verifies the findings match the annotations exactly — both
+// missed violations and spurious findings fail the selftest.
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // path relative to the scanned root
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// --- Comment/string stripping ---------------------------------------------
+
+/// Strips // and /* */ comments and the contents of string/char literals
+/// from `text`, preserving line structure (every '\n' survives) so line
+/// numbers in findings stay exact. Literal delimiters are kept so code
+/// shape is preserved; raw strings R"(...)" are handled.
+std::string StripCommentsAndStrings(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar,
+                     kRawString };
+  State state = State::kCode;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    char next = i + 1 < text.size() ? text[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (i == 0 || (!std::isalnum(static_cast<unsigned char>(
+                                   text[i - 1])) &&
+                               text[i - 1] != '_'))) {
+          size_t paren = text.find('(', i + 2);
+          if (paren != std::string::npos) {
+            raw_delim = ")" + text.substr(i + 2, paren - i - 2) + "\"";
+            state = State::kRawString;
+            out += "\"";
+            i = paren;
+          } else {
+            out += c;
+          }
+        } else if (c == '"') {
+          state = State::kString;
+          out += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+          out += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kCode;
+          ++i;
+        } else if (c == '\n') {
+          out += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;  // unterminated; keep line structure
+          state = State::kCode;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+          out += c;
+        } else if (c == '\n') {
+          out += c;
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          out += "\"";
+          state = State::kCode;
+        } else if (c == '\n') {
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+bool IsWordChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// True if `needle` occurs in `line` as a whole word (not preceded or
+/// followed by an identifier character).
+bool ContainsWord(const std::string& line, const std::string& needle) {
+  size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    size_t end = pos + needle.size();
+    bool right_ok = end >= line.size() || !IsWordChar(line[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+/// Matches `name` followed by optional whitespace and '('.
+bool ContainsCall(const std::string& line, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+    size_t end = pos + name.size();
+    while (end < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[end]))) {
+      ++end;
+    }
+    if (left_ok && end < line.size() && line[end] == '(') return true;
+    pos += name.size();
+  }
+  return false;
+}
+
+// --- Rules -----------------------------------------------------------------
+
+std::string ExpectedGuard(const std::string& rel_path) {
+  std::string p = rel_path;
+  if (p.rfind("src/", 0) == 0) p = p.substr(4);
+  std::string guard = "LCREC_";
+  for (char c : p) {
+    if (std::isalnum(static_cast<unsigned char>(c))) {
+      guard += static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c)));
+    } else {
+      guard += '_';
+    }
+  }
+  guard += '_';
+  return guard;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+void LintFile(const std::string& rel_path, const std::string& text,
+              std::vector<Finding>* findings) {
+  const bool is_header = rel_path.size() > 2 &&
+                         rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
+  const bool in_src = StartsWith(rel_path, "src/");
+  const bool in_obs = StartsWith(rel_path, "src/obs/");
+
+  std::vector<std::string> raw_lines = SplitLines(text);
+  std::vector<std::string> code_lines =
+      SplitLines(StripCommentsAndStrings(text));
+
+  auto suppressed = [&raw_lines](int line_no, const std::string& rule) {
+    const std::string& raw = raw_lines[static_cast<size_t>(line_no) - 1];
+    return raw.find("lint:allow(" + rule + ")") != std::string::npos;
+  };
+  auto add = [&](int line_no, const std::string& rule,
+                 const std::string& message) {
+    if (suppressed(line_no, rule)) return;
+    findings->push_back({rel_path, line_no, rule, message});
+  };
+
+  std::string first_guard;
+  int first_guard_line = 0;
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& line = code_lines[i];
+    int line_no = static_cast<int>(i) + 1;
+
+    if (in_src && ContainsCall(line, "assert") &&
+        !ContainsWord(line, "static_assert")) {
+      add(line_no, "bare-assert",
+          "use LCREC_CHECK*/LCREC_DCHECK* (core/check.h) instead of "
+          "assert()");
+    }
+    if (in_src && !in_obs) {
+      bool fprintf_stderr = false;
+      size_t pos = line.find("fprintf");
+      while (pos != std::string::npos) {
+        size_t rest = line.find("stderr", pos);
+        if ((pos == 0 || !IsWordChar(line[pos - 1])) &&
+            rest != std::string::npos && rest - pos < 16) {
+          fprintf_stderr = true;
+          break;
+        }
+        pos = line.find("fprintf", pos + 1);
+      }
+      if (fprintf_stderr) {
+        add(line_no, "raw-stderr",
+            "use obs logging (obs/log.h) instead of fprintf(stderr, ...)");
+      }
+      if (ContainsCall(line, "printf")) {
+        add(line_no, "raw-stderr",
+            "library code must not printf; use obs logging or return data");
+      }
+    }
+    if (ContainsWord(line, "std::rand") || ContainsCall(line, "srand")) {
+      add(line_no, "std-rand",
+          "use core::Rng (core/rng.h); std::rand/srand break "
+          "reproducibility");
+    }
+    if (is_header && line.find("using namespace") != std::string::npos) {
+      add(line_no, "using-namespace-header",
+          "`using namespace` in a header leaks into every includer");
+    }
+    if (is_header && first_guard.empty()) {
+      size_t pos = line.find("#ifndef");
+      if (pos != std::string::npos) {
+        std::istringstream is(line.substr(pos + 7));
+        is >> first_guard;
+        first_guard_line = line_no;
+      }
+    }
+  }
+
+  if (is_header) {
+    std::string expected = ExpectedGuard(rel_path);
+    if (first_guard.empty()) {
+      add(1, "include-guard", "missing include guard " + expected);
+    } else if (first_guard != expected) {
+      add(first_guard_line, "include-guard",
+          "guard is " + first_guard + ", expected " + expected);
+    }
+  }
+}
+
+// --- Walking ---------------------------------------------------------------
+
+bool IsSourceFile(const fs::path& p) {
+  std::string ext = p.extension().string();
+  return ext == ".cc" || ext == ".h";
+}
+
+std::vector<Finding> LintTree(const fs::path& root,
+                              const std::vector<std::string>& subdirs) {
+  std::vector<Finding> findings;
+  std::vector<std::string> files;
+  for (const std::string& sub : subdirs) {
+    fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        files.push_back(fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    LintFile(rel, buf.str(), &findings);
+  }
+  return findings;
+}
+
+// --- Selftest --------------------------------------------------------------
+
+/// Expected findings from `// expect-lint: <rule>` annotations in the
+/// fixture tree. One annotation marks one violation on its own line.
+std::vector<Finding> ExpectedFindings(const fs::path& root,
+                                      const std::vector<std::string>& subdirs) {
+  std::vector<Finding> expected;
+  std::vector<std::string> files;
+  for (const std::string& sub : subdirs) {
+    fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && IsSourceFile(entry.path())) {
+        files.push_back(fs::relative(entry.path(), root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const std::string& rel : files) {
+    std::ifstream in(root / rel, std::ios::binary);
+    std::string line;
+    int line_no = 0;
+    while (std::getline(in, line)) {
+      ++line_no;
+      size_t pos = line.find("expect-lint:");
+      if (pos == std::string::npos) continue;
+      std::istringstream is(line.substr(pos + 12));
+      std::string rule;
+      while (is >> rule) {
+        expected.push_back({rel, line_no, rule, ""});
+      }
+    }
+  }
+  return expected;
+}
+
+bool SameFinding(const Finding& a, const Finding& b) {
+  return a.file == b.file && a.line == b.line && a.rule == b.rule;
+}
+
+int RunSelftest(const fs::path& fixtures) {
+  const std::vector<std::string> subdirs = {"src", "tests", "bench"};
+  std::vector<Finding> got = LintTree(fixtures, subdirs);
+  std::vector<Finding> want = ExpectedFindings(fixtures, subdirs);
+  auto key = [](const Finding& f) {
+    return f.file + ":" + std::to_string(f.line) + ":" + f.rule;
+  };
+  auto by_key = [&key](const Finding& a, const Finding& b) {
+    return key(a) < key(b);
+  };
+  std::sort(got.begin(), got.end(), by_key);
+  std::sort(want.begin(), want.end(), by_key);
+
+  int failures = 0;
+  for (const Finding& w : want) {
+    bool hit = std::any_of(got.begin(), got.end(), [&](const Finding& g) {
+      return SameFinding(g, w);
+    });
+    if (!hit) {
+      std::printf("selftest MISS: expected %s:%d [%s] was not reported\n",
+                  w.file.c_str(), w.line, w.rule.c_str());
+      ++failures;
+    }
+  }
+  for (const Finding& g : got) {
+    bool hit = std::any_of(want.begin(), want.end(), [&](const Finding& w) {
+      return SameFinding(g, w);
+    });
+    if (!hit) {
+      std::printf("selftest SPURIOUS: %s:%d [%s] %s\n", g.file.c_str(),
+                  g.line, g.rule.c_str(), g.message.c_str());
+      ++failures;
+    }
+  }
+  if (failures == 0) {
+    std::printf("lcrec_lint selftest: OK (%zu expected findings, all "
+                "matched, none spurious)\n",
+                want.size());
+    return 0;
+  }
+  std::printf("lcrec_lint selftest: FAILED (%d mismatches)\n", failures);
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root = ".";
+  bool selftest = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--selftest") {
+      selftest = true;
+    } else {
+      std::printf("usage: lcrec_lint [--root DIR] [--selftest]\n");
+      return 2;
+    }
+  }
+
+  if (selftest) return RunSelftest(root / "tools" / "lint_fixtures");
+
+  std::vector<Finding> findings = LintTree(root, {"src", "tests", "bench"});
+  for (const Finding& f : findings) {
+    std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (findings.empty()) {
+    std::printf("lcrec_lint: OK (0 findings)\n");
+    return 0;
+  }
+  std::printf("lcrec_lint: %zu finding(s)\n", findings.size());
+  return 1;
+}

@@ -1,0 +1,18 @@
+// Fixture: bare assert() in library code must be flagged; static_assert
+// and suppressed sites must not. Never compiled, only scanned.
+#include <cassert>
+
+namespace lcrec::fixture {
+
+static_assert(sizeof(int) >= 4, "static_assert is fine");
+
+int Clamp(int x) {
+  assert(x >= 0);  // expect-lint: bare-assert
+  assert(x < 100);  // lint:allow(bare-assert)
+  // A comment mentioning assert(x) must not fire.
+  const char* s = "assert(x) in a string must not fire";
+  (void)s;
+  return x;
+}
+
+}  // namespace lcrec::fixture

@@ -1,0 +1,8 @@
+#ifndef LCREC_WRONG_NAME_H_  // expect-lint: include-guard
+#define LCREC_WRONG_NAME_H_
+
+namespace lcrec::fixture {
+inline int One() { return 1; }
+}  // namespace lcrec::fixture
+
+#endif  // LCREC_WRONG_NAME_H_

@@ -1,0 +1,15 @@
+// Fixture: raw stderr/stdout printing in library code (outside src/obs/)
+// must be flagged. Never compiled, only scanned.
+#include <cstdio>
+
+namespace lcrec::fixture {
+
+void Report(int n) {
+  std::fprintf(stderr, "n = %d\n", n);  // expect-lint: raw-stderr
+  std::printf("n = %d\n", n);  // expect-lint: raw-stderr
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%d", n);  // snprintf is fine
+  (void)buf;
+}
+
+}  // namespace lcrec::fixture

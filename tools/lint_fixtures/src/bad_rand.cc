@@ -1,0 +1,12 @@
+// Fixture: std::rand/srand break seeded reproducibility and must be
+// flagged everywhere. Never compiled, only scanned.
+#include <cstdlib>
+
+namespace lcrec::fixture {
+
+int Noise() {
+  srand(42);  // expect-lint: std-rand
+  return std::rand();  // expect-lint: std-rand
+}
+
+}  // namespace lcrec::fixture

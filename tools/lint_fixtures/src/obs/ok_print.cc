@@ -1,0 +1,9 @@
+// Fixture: src/obs/ is the logging backend, so fprintf(stderr, ...) is
+// allowed here. Never compiled, only scanned.
+#include <cstdio>
+
+namespace lcrec::fixture {
+
+void Emit(const char* msg) { std::fprintf(stderr, "%s\n", msg); }
+
+}  // namespace lcrec::fixture

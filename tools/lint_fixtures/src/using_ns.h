@@ -1,0 +1,12 @@
+#ifndef LCREC_USING_NS_H_
+#define LCREC_USING_NS_H_
+
+#include <vector>
+
+using namespace std;  // expect-lint: using-namespace-header
+
+namespace lcrec::fixture {
+inline int Two() { return 2; }
+}  // namespace lcrec::fixture
+
+#endif  // LCREC_USING_NS_H_

@@ -1,0 +1,16 @@
+// Fixture: assert() and printf are allowed outside src/ (tests and
+// bench binaries print reports); std::rand is not allowed anywhere.
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace lcrec::fixture {
+
+void TestBody(int x) {
+  assert(x >= 0);  // fine: not under src/
+  std::printf("x = %d\n", x);  // fine: not under src/
+  int y = std::rand();  // expect-lint: std-rand
+  (void)y;
+}
+
+}  // namespace lcrec::fixture
