@@ -60,14 +60,14 @@ int main(int argc, char** argv) {
     bench::EmitMetricsRow(emitter, label, acc.Mean());
   };
   {
-    rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);
+    rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags, "zeroshot");
     cfg.mixture.ite = false;  // never trained on the intention task
     rec::LcRec zero(cfg);
     zero.Fit(d);
     eval_lcrec(zero, "LC-Rec(ZeroShot)");
   }
   {
-    rec::LcRec full(bench::MakeLcRecConfig(flags));
+    rec::LcRec full(bench::MakeLcRecConfig(flags, "full"));
     full.Fit(d);
     eval_lcrec(full, "LC-Rec");
   }

@@ -76,7 +76,7 @@ int main(int argc, char** argv) {
   double sep_seq = 0.0, sep_full = 0.0;
   {
     std::printf("(a) Fine-tuning only with sequential item prediction:\n");
-    rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);
+    rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags, "seq_only");
     cfg.mixture = tasks::TaskMixture::SeqOnly();
     rec::LcRec model(cfg);
     model.Fit(d);
@@ -86,7 +86,7 @@ int main(int argc, char** argv) {
   }
   {
     std::printf("(b) LC-Rec with the full alignment-task mixture:\n");
-    rec::LcRec model(bench::MakeLcRecConfig(flags));
+    rec::LcRec model(bench::MakeLcRecConfig(flags, "full"));
     model.Fit(d);
     sep_full = SeparationScore(model.IndexTokenEmbeddings(),
                                model.TextTokenEmbeddings());

@@ -182,6 +182,12 @@ int main(int argc, char** argv) {
       flags.metrics_out = a + 14;
     } else if (std::strncmp(a, "--prom-out=", 11) == 0) {
       prom_out = a + 11;
+    } else if (std::strncmp(a, "--ckpt-dir=", 11) == 0) {
+      flags.ckpt_dir = a + 11;
+    } else if (std::strncmp(a, "--ckpt-every=", 13) == 0) {
+      flags.ckpt_every = std::atoi(a + 13);
+    } else if (std::strcmp(a, "--resume") == 0) {
+      flags.resume = true;
     } else if (std::strncmp(a, "--scale=", 8) == 0) {
       flags.scale = std::atof(a + 8);
     } else if (std::strncmp(a, "--users=", 8) == 0) {

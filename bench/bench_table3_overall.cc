@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
 
     rec::RankingMetrics best_baseline;
     // Traditional + feature-aware scoring baselines.
-    for (auto& model : bench::MakeScoringBaselines(flags)) {
+    for (auto& model : bench::MakeScoringBaselines(flags, d.name())) {
       std::clock_t t0 = std::clock();
       model->Fit(d);
       rec::RankingMetrics m =
@@ -64,7 +64,7 @@ int main(int argc, char** argv) {
     }
     // LC-Rec.
     {
-      rec::LcRec lcrec(bench::MakeLcRecConfig(flags));
+      rec::LcRec lcrec(bench::MakeLcRecConfig(flags, d.name()));
       lcrec.Fit(d);
       rec::RankingMetrics m = rec::EvaluateGenerative(
           [&](const std::vector<int>& h) { return lcrec.TopKIds(h, 10); }, d,

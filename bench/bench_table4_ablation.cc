@@ -37,7 +37,8 @@ int main(int argc, char** argv) {
     std::printf("\n=== %s ===\n", d.name().c_str());
     bench::PrintMetricsHeader();
     for (const auto& [label, mixture] : rows) {
-      rec::LcRecConfig cfg = bench::MakeLcRecConfig(flags);
+      rec::LcRecConfig cfg =
+          bench::MakeLcRecConfig(flags, d.name() + "/" + label);
       cfg.mixture = mixture;
       rec::LcRec model(cfg);
       model.Fit(d);

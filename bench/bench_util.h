@@ -32,6 +32,11 @@ namespace lcrec::bench {
 ///   --baseline-epochs=N   scoring-baseline epochs
 ///   --seed=N              global seed
 ///   --metrics-out=PATH    machine-readable result rows as JSONL
+///   --ckpt-dir=PATH       crash-safe checkpoint root (scoped per
+///                         domain/variant and per model, see ckpt_scope)
+///   --ckpt-every=N        LLM: optimizer steps between mid-epoch saves;
+///                         baselines/RQ-VAE: epochs between saves
+///   --resume              resume from the newest valid checkpoint
 /// Binaries may pick per-experiment defaults (e.g. Table III runs at
 /// scale 1.0) when a flag is not given explicitly.
 struct Flags {
@@ -42,6 +47,9 @@ struct Flags {
   uint64_t seed = 19;
   bool quick = false;
   std::string metrics_out;        // empty => no JSONL result sink
+  std::string ckpt_dir;           // empty => checkpointing off
+  int ckpt_every = 0;
+  bool resume = false;
   bool scale_given = false;       // --scale was passed explicitly
   bool llm_epochs_given = false;  // --llm-epochs was passed explicitly
 
@@ -71,6 +79,12 @@ struct Flags {
         f.seed = static_cast<uint64_t>(std::atoll(a + 7));
       } else if (std::strncmp(a, "--metrics-out=", 14) == 0) {
         f.metrics_out = a + 14;
+      } else if (std::strncmp(a, "--ckpt-dir=", 11) == 0) {
+        f.ckpt_dir = a + 11;
+      } else if (std::strncmp(a, "--ckpt-every=", 13) == 0) {
+        f.ckpt_every = std::atoi(a + 13);
+      } else if (std::strcmp(a, "--resume") == 0) {
+        f.resume = true;
       } else {
         std::fprintf(stderr, "unknown flag %s\n", a);
         std::exit(2);
@@ -80,19 +94,45 @@ struct Flags {
   }
 };
 
-inline baselines::BaselineConfig MakeBaselineConfig(const Flags& f) {
+/// A checkpoint directory identifies ONE training run: a bench that
+/// trains the same model several times (per domain, per ablation
+/// variant) must give each instance its own scope, or a resume will
+/// load a finished checkpoint from a sibling instance whose tensors
+/// happen to have the same shapes and silently skip training.
+inline std::string ScopedCkptRoot(const Flags& f,
+                                  const std::string& ckpt_scope) {
+  if (f.ckpt_dir.empty() || ckpt_scope.empty()) return f.ckpt_dir;
+  return f.ckpt_dir + "/" + ckpt_scope;
+}
+
+inline baselines::BaselineConfig MakeBaselineConfig(
+    const Flags& f, const std::string& ckpt_scope = "") {
   baselines::BaselineConfig cfg;
   cfg.d_model = 32;
   cfg.d_ff = 64;
   cfg.epochs = f.baseline_epochs;
   cfg.seed = f.seed + 100;
+  // Each baseline checkpoints under <ckpt-dir>[/<scope>]/<model-name>.
+  cfg.ckpt_dir = ScopedCkptRoot(f, ckpt_scope);
+  cfg.ckpt_every = f.ckpt_every;
+  cfg.resume = f.resume;
   return cfg;
 }
 
-inline rec::LcRecConfig MakeLcRecConfig(const Flags& f) {
+inline rec::LcRecConfig MakeLcRecConfig(const Flags& f,
+                                        const std::string& ckpt_scope = "") {
   rec::LcRecConfig cfg = rec::LcRecConfig::Small();
   cfg.trainer.epochs = f.llm_epochs;
   cfg.seed = f.seed + 200;
+  const std::string root = ScopedCkptRoot(f, ckpt_scope);
+  if (!root.empty()) {
+    cfg.trainer.ckpt_dir = root + "/lcrec";
+    cfg.trainer.ckpt_every = f.ckpt_every;
+    cfg.trainer.resume = f.resume;
+    cfg.rqvae.ckpt_dir = root + "/rqvae";
+    cfg.rqvae.ckpt_every = f.ckpt_every;
+    cfg.rqvae.resume = f.resume;
+  }
   return cfg;
 }
 
@@ -105,8 +145,8 @@ inline baselines::Tiger::Options MakeTigerOptions(const Flags& f) {
 
 /// The scoring baselines of Table III, in the paper's column order.
 inline std::vector<std::unique_ptr<rec::ScoringRecommender>>
-MakeScoringBaselines(const Flags& f) {
-  baselines::BaselineConfig cfg = MakeBaselineConfig(f);
+MakeScoringBaselines(const Flags& f, const std::string& ckpt_scope = "") {
+  baselines::BaselineConfig cfg = MakeBaselineConfig(f, ckpt_scope);
   std::vector<std::unique_ptr<rec::ScoringRecommender>> models;
   models.push_back(std::make_unique<baselines::Caser>(cfg));
   models.push_back(std::make_unique<baselines::Hgn>(cfg));
@@ -139,7 +179,8 @@ inline std::string FlagsConfigJson(const Flags& f) {
          ",\"llm_epochs\":" + std::to_string(f.llm_epochs) +
          ",\"baseline_epochs\":" + std::to_string(f.baseline_epochs) +
          ",\"seed\":" + std::to_string(f.seed) +
-         ",\"quick\":" + (f.quick ? "true" : "false") + "}";
+         ",\"quick\":" + (f.quick ? "true" : "false") +
+         ",\"resume\":" + (f.resume ? "true" : "false") + "}";
 }
 
 /// The shared machine-readable result sink of all bench binaries

@@ -3,7 +3,8 @@
 # a pass/fail summary table at the end. Exit code is non-zero when any
 # gate fails (skipped gates do not fail the run).
 #
-#   scripts/ci.sh            # tier-1 tests, lint, strict build, ASan+UBSan
+#   scripts/ci.sh            # tier-1 tests, fault suite, lint, strict
+#                            # build, ASan+UBSan
 #   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
 #
 # Individual gates reuse their own scratch build trees (build-strict/,
@@ -49,6 +50,12 @@ gate_tests() {
   ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" \
     -E "check_warnings|check_sanitize_asan|check_sanitize_tsan|perf_regress"
 }
+gate_fault() {
+  # Crash-safety suite: checkpoint fuzzing, fault-injected atomic writes,
+  # resume equivalence, health rollback. Default-on (no env gate) — these
+  # are plain unit tests, just grouped under their own CTest label.
+  ctest --test-dir "${build_dir}" --output-on-failure -j "${jobs}" -L fault
+}
 gate_lint() {
   "${build_dir}/tools/lcrec_lint" --root "${repo_root}" &&
     "${build_dir}/tools/lcrec_lint" --root "${repo_root}" --selftest
@@ -69,6 +76,7 @@ gate_perf() {
 
 run_gate "build"          gate_build    || overall=1
 run_gate "tier1_tests"    gate_tests    || overall=1
+run_gate "fault"          gate_fault    || overall=1
 run_gate "lcrec_lint"     gate_lint     || overall=1
 run_gate "check_warnings" gate_warnings || overall=1
 run_gate "asan_ubsan"     gate_asan     || overall=1

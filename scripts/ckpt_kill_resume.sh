@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# Kill-and-resume demonstration of the lcrec::ckpt subsystem against a real
+# experiment binary: start a checkpointed Table III run, SIGKILL it
+# mid-training, then resume from the newest valid checkpoint and let it
+# finish. A second, uninterrupted run of the same configuration serves as
+# the reference; both runs emit JSONL metric rows that are diffed at the
+# end — crash-safe training must not change the results.
+#
+#   scripts/ckpt_kill_resume.sh [build_dir] [kill_after_seconds]
+#
+# Defaults: build/ and 20 seconds. The scratch state lives under
+# /tmp/lcrec_kill_resume.$$ and is removed on success.
+
+set -uo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+kill_after="${2:-20}"
+bench="${build_dir}/bench/bench_table3_overall"
+
+if [[ ! -x "${bench}" ]]; then
+  echo "ckpt_kill_resume: ${bench} not built (cmake --build ${build_dir})" >&2
+  exit 2
+fi
+
+work="/tmp/lcrec_kill_resume.$$"
+ckpt_dir="${work}/ckpt"
+mkdir -p "${work}"
+
+flags=(--quick --seed=19 --ckpt-dir="${ckpt_dir}" --ckpt-every=5)
+
+echo "== reference: uninterrupted run =="
+ref_ckpt="${work}/ckpt_ref"
+"${bench}" --quick --seed=19 --metrics-out="${work}/reference.jsonl" \
+  >"${work}/reference.log" 2>&1
+echo "   done ($(wc -l <"${work}/reference.jsonl") metric rows)"
+
+echo "== crashed run: SIGKILL after ${kill_after}s =="
+"${bench}" "${flags[@]}" --metrics-out="${work}/crashed.jsonl" \
+  >"${work}/crashed.log" 2>&1 &
+pid=$!
+sleep "${kill_after}"
+if kill -0 "${pid}" 2>/dev/null; then
+  kill -KILL "${pid}"
+  wait "${pid}" 2>/dev/null
+  echo "   killed pid ${pid}"
+else
+  wait "${pid}" 2>/dev/null
+  echo "   run finished before the kill window; increase kill_after to" \
+       "actually exercise the crash path"
+fi
+n_ckpt=$(find "${ckpt_dir}" -name 'ckpt-*.lckp' 2>/dev/null | wc -l)
+echo "   ${n_ckpt} checkpoint file(s) survived the kill"
+
+echo "== resumed run =="
+"${bench}" "${flags[@]}" --resume --metrics-out="${work}/resumed.jsonl" \
+  >"${work}/resumed.log" 2>&1
+echo "   done ($(wc -l <"${work}/resumed.jsonl") metric rows)"
+
+echo "== comparing final metrics =="
+# Metric rows embed the run config (which differs in the `resume` flag), so
+# compare only bench/metric/value triples.
+extract() {
+  grep -v '"manifest"' "$1" |
+    sed 's/.*"bench":"\([^"]*\)".*"metric":"\([^"]*\)","value":\([^,}]*\).*/\1 \2 \3/' |
+    sort
+}
+extract "${work}/reference.jsonl" >"${work}/reference.rows"
+extract "${work}/resumed.jsonl" >"${work}/resumed.rows"
+if diff -u "${work}/reference.rows" "${work}/resumed.rows"; then
+  echo "ckpt_kill_resume: PASS — resumed run matches the uninterrupted run"
+  rm -rf "${work}"
+  exit 0
+else
+  echo "ckpt_kill_resume: FAIL — metrics diverged (state kept in ${work})" >&2
+  exit 1
+fi

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <numeric>
+#include <sstream>
 
+#include "core/check.h"
+#include "core/serialize.h"
 #include "obs/log.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -30,6 +33,141 @@ void FitTelemetry::RecordEpoch(double mean_loss) {
   loss_.Set(mean_loss);
 }
 
+std::string NeuralRecommender::FitCkptDir() const {
+  if (config_.ckpt_dir.empty()) return "";
+  return config_.ckpt_dir + "/" + name();
+}
+
+void NeuralRecommender::EncodeFitState(ckpt::Checkpoint* c) const {
+  c->step = fit_epochs_done_;
+  {
+    std::ostringstream os(std::ios::binary);
+    core::SaveParamsToStream(store_, os);
+    c->Add("params", std::move(os).str());
+  }
+  {
+    std::ostringstream os(std::ios::binary);
+    optimizer_->SaveState(os);
+    c->Add("optim", std::move(os).str());
+  }
+  {
+    std::ostringstream os;
+    rng_.Save(os);
+    c->Add("rng", std::move(os).str());
+  }
+  {
+    std::ostringstream ts(std::ios::binary);
+    ckpt::PutPod(ts, static_cast<int64_t>(fit_epochs_done_));
+    ckpt::PutPod(ts, lr_scale_);
+    ckpt::PutPod(ts, static_cast<uint64_t>(fit_epoch_losses_.size()));
+    if (!fit_epoch_losses_.empty()) {
+      ts.write(reinterpret_cast<const char*>(fit_epoch_losses_.data()),
+               static_cast<std::streamsize>(fit_epoch_losses_.size() *
+                                            sizeof(float)));
+    }
+    c->Add("trainer", std::move(ts).str());
+  }
+}
+
+bool NeuralRecommender::DecodeFitState(const ckpt::Checkpoint& c) {
+  const std::string* params = c.Find("params");
+  const std::string* optim = c.Find("optim");
+  const std::string* rng = c.Find("rng");
+  const std::string* trainer = c.Find("trainer");
+  if (!params || !optim || !rng || !trainer) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[%s] checkpoint is missing a required section", name().c_str());
+    return false;
+  }
+  std::istringstream ts(*trainer, std::ios::binary);
+  int64_t epochs_done = 0;
+  float lr_scale = 1.0f;
+  uint64_t n_losses = 0;
+  if (!ckpt::GetPod(ts, &epochs_done) || !ckpt::GetPod(ts, &lr_scale) ||
+      !ckpt::GetPod(ts, &n_losses) || n_losses > (1u << 26)) {
+    obs::Log(obs::LogLevel::kWarn, "[%s] malformed trainer section",
+             name().c_str());
+    return false;
+  }
+  std::vector<float> losses(n_losses);
+  if (n_losses > 0) {
+    ts.read(reinterpret_cast<char*>(losses.data()),
+            static_cast<std::streamsize>(n_losses * sizeof(float)));
+    if (!ts) {
+      obs::Log(obs::LogLevel::kWarn, "[%s] malformed trainer section",
+               name().c_str());
+      return false;
+    }
+  }
+  {
+    std::istringstream is(*params, std::ios::binary);
+    if (!core::LoadParamsFromStream(store_, is)) return false;
+  }
+  {
+    std::istringstream is(*optim, std::ios::binary);
+    if (!optimizer_->LoadState(is)) {
+      obs::Log(obs::LogLevel::kWarn, "[%s] optimizer state rejected",
+               name().c_str());
+      return false;
+    }
+  }
+  {
+    std::istringstream is(*rng);
+    if (!rng_.Restore(is)) {
+      obs::Log(obs::LogLevel::kWarn, "[%s] rng state rejected",
+               name().c_str());
+      return false;
+    }
+  }
+  fit_epochs_done_ = static_cast<int>(epochs_done);
+  lr_scale_ = lr_scale;
+  fit_epoch_losses_ = std::move(losses);
+  return true;
+}
+
+bool NeuralRecommender::SaveFitCheckpoint() {
+  ckpt::Checkpoint c;
+  EncodeFitState(&c);
+  std::string error;
+  if (!ckpt::SaveToDir(FitCkptDir(), c, config_.ckpt_keep, &error)) {
+    obs::Log(obs::LogLevel::kWarn, "[%s] checkpoint save failed: %s",
+             name().c_str(), error.c_str());
+    return false;
+  }
+  has_checkpoint_ = true;
+  return true;
+}
+
+bool NeuralRecommender::TryResumeFit() {
+  ckpt::Checkpoint c;
+  std::string path;
+  if (!ckpt::LoadLatestValid(FitCkptDir(), &c, &path)) return false;
+  if (!DecodeFitState(c)) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[%s] checkpoint %s does not match this model; starting fresh",
+             name().c_str(), path.c_str());
+    return false;
+  }
+  has_checkpoint_ = true;
+  obs::Log(obs::LogLevel::kInfo, "[%s] resumed from %s (epoch %d)",
+           name().c_str(), path.c_str(), fit_epochs_done_);
+  return true;
+}
+
+void NeuralRecommender::RollbackFit() {
+  ckpt::Checkpoint c;
+  std::string path;
+  const bool restored =
+      ckpt::LoadLatestValid(FitCkptDir(), &c, &path) && DecodeFitState(c);
+  LCREC_CHECK(restored);
+  lr_scale_ *= config_.health_lr_backoff;
+  rolled_back_ = true;
+  obs::Log(obs::LogLevel::kWarn,
+           "[%s] rolled back to %s (epoch %d); lr scale now %g",
+           name().c_str(), path.c_str(), fit_epochs_done_,
+           static_cast<double>(lr_scale_));
+}
+
 void NeuralRecommender::Fit(const data::Dataset& dataset) {
   obs::ScopedSpan fit_span("baselines.fit");
   FitTelemetry telemetry(name());
@@ -38,11 +176,23 @@ void NeuralRecommender::Fit(const data::Dataset& dataset) {
   BuildModel(dataset);
   optimizer_ = std::make_unique<core::AdamW>(store_.All(), 0.9f, 0.999f,
                                              1e-8f, config_.weight_decay);
-  Pretrain(dataset);
+  fit_epochs_done_ = 0;
+  fit_epoch_losses_.clear();
+  lr_scale_ = 1.0f;
+  has_checkpoint_ = false;
+  rolled_back_ = false;
+  bool resumed = false;
+  if (config_.resume && !config_.ckpt_dir.empty()) resumed = TryResumeFit();
+  // A resumed checkpoint already contains the pretrained weights.
+  if (!resumed) Pretrain(dataset);
 
   std::vector<int64_t> order(static_cast<size_t>(dataset.num_users()));
-  std::iota(order.begin(), order.end(), 0);
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  while (fit_epochs_done_ < config_.epochs) {
+    rolled_back_ = false;
+    // Re-derive the permutation from iota every epoch so it is a function
+    // of the rng state alone — a resumed run (which restores the rng but
+    // not the previous epoch's order) then shuffles identically.
+    std::iota(order.begin(), order.end(), 0);
     rng_.Shuffle(order);
     double total = 0.0;
     int64_t count = 0;
@@ -68,16 +218,30 @@ void NeuralRecommender::Fit(const data::Dataset& dataset) {
         for (core::Parameter* p : store_.All()) {
           for (int64_t i = 0; i < p->grad.size(); ++i) p->grad.at(i) *= inv;
         }
-        optimizer_->Step(config_.learning_rate);
+        optimizer_->Step(config_.learning_rate * lr_scale_);
         store_.ZeroGrad();
         in_batch = 0;
       }
     }
-    telemetry.RecordEpoch(total / std::max<int64_t>(1, count));
+    double mean = total / std::max<int64_t>(1, count);
+    if (!health_.Healthy(mean, 0.0)) {
+      // Aborts when there is no checkpoint to fall back to or retries are
+      // exhausted; otherwise reload the last good epoch and re-run it.
+      health_.OnUnhealthy(mean, 0.0, has_checkpoint_);
+      RollbackFit();
+      continue;
+    }
+    ++fit_epochs_done_;
+    fit_epoch_losses_.push_back(static_cast<float>(mean));
+    telemetry.RecordEpoch(mean);
+    if (!config_.ckpt_dir.empty() &&
+        (config_.ckpt_every <= 0 ||
+         fit_epochs_done_ % config_.ckpt_every == 0)) {
+      SaveFitCheckpoint();
+    }
     if (config_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
       obs::LogRaw(obs::LogLevel::kInfo, "[%s] epoch %d/%d loss %.4f",
-                  name().c_str(), epoch + 1, config_.epochs,
-                  total / std::max<int64_t>(1, count));
+                  name().c_str(), fit_epochs_done_, config_.epochs, mean);
     }
   }
 }

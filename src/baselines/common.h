@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/health.h"
 #include "core/graph.h"
 #include "core/optim.h"
 #include "core/rng.h"
@@ -46,6 +48,19 @@ struct BaselineConfig {
   int batch_users = 16;  // gradient-accumulation group
   uint64_t seed = 55;
   bool verbose = false;
+
+  // Crash-safe checkpointing (lcrec::ckpt), epoch granularity. Each model
+  // checkpoints under `<ckpt_dir>/<name()>` so baselines sharing one run
+  // directory don't collide. Empty dir disables it.
+  std::string ckpt_dir;
+  int ckpt_every = 0;  // epochs between saves; 0 => every epoch
+  int ckpt_keep = 3;
+  bool resume = false;
+
+  // Numeric-health guard: NaN/Inf epoch loss rolls back to the last good
+  // checkpoint with a learning-rate backoff (see ckpt::HealthGuard).
+  int health_max_retries = 3;
+  float health_lr_backoff = 0.5f;
 };
 
 /// Base class implementing the shared training loop: per epoch, iterate
@@ -55,11 +70,23 @@ struct BaselineConfig {
 class NeuralRecommender : public rec::ScoringRecommender {
  public:
   explicit NeuralRecommender(const BaselineConfig& config)
-      : config_(config), rng_(config.seed) {}
+      : config_(config),
+        rng_(config.seed),
+        health_({/*grad_limit=*/0.0f, config.health_max_retries,
+                 config.health_lr_backoff},
+                "baseline") {}
 
   void Fit(const data::Dataset& dataset) final;
 
   const core::Tensor* ItemEmbeddings() const override;
+
+  /// Mean loss per completed Fit epoch (restored across resume).
+  const std::vector<float>& fit_epoch_losses() const {
+    return fit_epoch_losses_;
+  }
+  /// Completed Fit epochs (restored across resume).
+  int fit_epochs_done() const { return fit_epochs_done_; }
+  int health_trips() const { return health_.trips(); }
 
  protected:
   /// Creates parameters; called once at the start of Fit.
@@ -87,11 +114,26 @@ class NeuralRecommender : public rec::ScoringRecommender {
   std::vector<int> Clamp(const std::vector<int>& history) const;
 
  private:
+  /// Per-model checkpoint directory: `<config.ckpt_dir>/<name()>`, or
+  /// empty when checkpointing is off.
+  std::string FitCkptDir() const;
+  void EncodeFitState(ckpt::Checkpoint* c) const;
+  bool DecodeFitState(const ckpt::Checkpoint& c);
+  bool SaveFitCheckpoint();
+  bool TryResumeFit();
+  void RollbackFit();
+
   BaselineConfig config_;
   mutable core::Rng rng_;
   mutable core::ParamStore store_;
   const data::Dataset* dataset_ = nullptr;
   std::unique_ptr<core::AdamW> optimizer_;
+  ckpt::HealthGuard health_;
+  int fit_epochs_done_ = 0;
+  float lr_scale_ = 1.0f;
+  bool has_checkpoint_ = false;
+  bool rolled_back_ = false;
+  std::vector<float> fit_epoch_losses_;
 };
 
 /// Scores as the dot product of a user representation with every item

@@ -1,0 +1,308 @@
+#include "ckpt/checkpoint.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ckpt/faultfs.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace fs = std::filesystem;
+
+namespace lcrec::ckpt {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x504B434C;  // "LCKP" little-endian
+constexpr uint32_t kVersion = 1;
+constexpr const char* kSuffix = ".lckp";
+constexpr const char* kTmpSuffix = ".tmp";
+
+/// Cached lcrec.ckpt.* metric handles.
+struct CkptMetrics {
+  obs::Counter& saves;
+  obs::Counter& save_failures;
+  obs::Counter& loads;
+  obs::Counter& load_failures;
+  obs::Counter& corrupt_skipped;
+  obs::Gauge& last_step;
+  obs::Gauge& bytes;
+  obs::Histogram& save_ms;
+
+  static CkptMetrics& Get() {
+    static CkptMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new CkptMetrics{
+          r.GetCounter("lcrec.ckpt.saves"),
+          r.GetCounter("lcrec.ckpt.save_failures"),
+          r.GetCounter("lcrec.ckpt.loads"),
+          r.GetCounter("lcrec.ckpt.load_failures"),
+          r.GetCounter("lcrec.ckpt.corrupt_skipped"),
+          r.GetGauge("lcrec.ckpt.last_step"),
+          r.GetGauge("lcrec.ckpt.bytes"),
+          r.GetHistogram("lcrec.ckpt.save_ms",
+                         obs::Histogram::ExponentialBounds(0.05, 1.8, 24)),
+      };
+    }();
+    return *m;
+  }
+};
+
+struct ByteReader {
+  const std::string& s;
+  size_t pos = 0;
+
+  bool ReadU32(uint32_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadU64(uint64_t* v) { return ReadRaw(v, sizeof(*v)); }
+  bool ReadBytes(std::string* out, size_t n) {
+    if (pos + n > s.size() || pos + n < pos) return false;
+    out->assign(s, pos, n);
+    pos += n;
+    return true;
+  }
+  bool ReadRaw(void* v, size_t n) {
+    if (pos + n > s.size()) return false;
+    std::memcpy(v, s.data() + pos, n);
+    pos += n;
+    return true;
+  }
+};
+
+void Append(std::string* out, const void* data, size_t n) {
+  out->append(static_cast<const char*>(data), n);
+}
+
+void AppendU32(std::string* out, uint32_t v) { Append(out, &v, sizeof(v)); }
+void AppendU64(std::string* out, uint64_t v) { Append(out, &v, sizeof(v)); }
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string EncodeCheckpoint(const Checkpoint& c) {
+  std::string out;
+  AppendU32(&out, kMagic);
+  AppendU32(&out, kVersion);
+  AppendU64(&out, static_cast<uint64_t>(c.step));
+  AppendU64(&out, c.sections().size());
+  for (const auto& [name, bytes] : c.sections()) {
+    AppendU64(&out, name.size());
+    Append(&out, name.data(), name.size());
+    AppendU64(&out, bytes.size());
+    Append(&out, bytes.data(), bytes.size());
+  }
+  // CRC over everything after the magic (version included, so a reader
+  // of a future format revision still rejects cleanly on version skew
+  // even before interpreting it).
+  uint32_t crc = Crc32(out.data() + sizeof(uint32_t),
+                       out.size() - sizeof(uint32_t));
+  AppendU32(&out, crc);
+  return out;
+}
+
+bool DecodeCheckpoint(const std::string& bytes, Checkpoint* out,
+                      std::string* error) {
+  constexpr size_t kMinSize = 3 * sizeof(uint32_t) + 2 * sizeof(uint64_t);
+  if (bytes.size() < kMinSize) {
+    *error = "truncated: " + std::to_string(bytes.size()) + " bytes";
+    return false;
+  }
+  ByteReader r{bytes};
+  uint32_t magic = 0;
+  (void)r.ReadU32(&magic);
+  if (magic != kMagic) {
+    *error = "bad magic";
+    return false;
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, bytes.data() + bytes.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  uint32_t actual_crc =
+      Crc32(bytes.data() + sizeof(uint32_t),
+            bytes.size() - 2 * sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    *error = "crc mismatch";
+    return false;
+  }
+  uint32_t version = 0;
+  (void)r.ReadU32(&version);
+  if (version != kVersion) {
+    *error = "unsupported version " + std::to_string(version);
+    return false;
+  }
+  const size_t payload_end = bytes.size() - sizeof(uint32_t);
+  uint64_t step = 0, count = 0;
+  if (!r.ReadU64(&step) || !r.ReadU64(&count)) {
+    *error = "truncated header";
+    return false;
+  }
+  Checkpoint c;
+  c.step = static_cast<int64_t>(step);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t name_len = 0, payload_len = 0;
+    std::string name, payload;
+    if (!r.ReadU64(&name_len) || name_len > payload_end - r.pos ||
+        !r.ReadBytes(&name, name_len) || !r.ReadU64(&payload_len) ||
+        payload_len > payload_end - r.pos ||
+        !r.ReadBytes(&payload, payload_len)) {
+      *error = "truncated section " + std::to_string(i);
+      return false;
+    }
+    c.Add(std::move(name), std::move(payload));
+  }
+  if (r.pos != payload_end) {
+    *error = "trailing bytes after sections";
+    return false;
+  }
+  *out = std::move(c);
+  return true;
+}
+
+std::string CheckpointFileName(int64_t step) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "ckpt-%012" PRId64, step);
+  return std::string(buf) + kSuffix;
+}
+
+bool WriteCheckpointFile(const std::string& path, const Checkpoint& c,
+                         std::string* error) {
+  std::string bytes = EncodeCheckpoint(c);
+  std::string tmp = path + kTmpSuffix;
+  FaultyFile f;
+  if (!f.Open(tmp) || !f.Write(bytes.data(), bytes.size()) || !f.Sync() ||
+      !f.Close()) {
+    *error = f.error();
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  if (!FaultyRename(tmp, path, error)) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    return false;
+  }
+  std::string dir = fs::path(path).parent_path().string();
+  if (dir.empty()) dir = ".";
+  if (!SyncDir(dir, error)) return false;
+  CkptMetrics::Get().bytes.Set(static_cast<double>(bytes.size()));
+  return true;
+}
+
+bool ReadCheckpointFile(const std::string& path, Checkpoint* out,
+                        std::string* error) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    *error = "cannot open " + path;
+    return false;
+  }
+  std::string bytes((std::istreambuf_iterator<char>(is)),
+                    std::istreambuf_iterator<char>());
+  if (is.bad()) {
+    *error = "read error on " + path;
+    return false;
+  }
+  return DecodeCheckpoint(bytes, out, error);
+}
+
+std::vector<std::string> ListCheckpointFiles(const std::string& dir) {
+  std::vector<std::string> files;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    std::string name = entry.path().filename().string();
+    if (name.rfind("ckpt-", 0) == 0 && name.size() > 5 &&
+        name.compare(name.size() - 5, 5, kSuffix) == 0) {
+      files.push_back(entry.path().string());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+bool SaveToDir(const std::string& dir, const Checkpoint& c, int keep_last,
+               std::string* error) {
+  obs::ScopedSpan span("ckpt.save");
+  CkptMetrics& m = CkptMetrics::Get();
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    *error = "cannot create " + dir + ": " + ec.message();
+    m.save_failures.Increment();
+    return false;
+  }
+  // Remove temp leftovers from a previous crashed writer; they were never
+  // published, so deleting them can only reclaim space.
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::string name = entry.path().filename().string();
+    if (name.size() > 4 && name.compare(name.size() - 4, 4, kTmpSuffix) == 0) {
+      std::error_code rm_ec;
+      fs::remove(entry.path(), rm_ec);
+    }
+  }
+  std::string path = dir + "/" + CheckpointFileName(c.step);
+  if (!WriteCheckpointFile(path, c, error)) {
+    m.save_failures.Increment();
+    obs::Log(obs::LogLevel::kWarn, "[ckpt] save of step %lld failed: %s",
+             static_cast<long long>(c.step), error->c_str());
+    return false;
+  }
+  // Keep-last-K rotation; the newly published file is always retained.
+  if (keep_last > 0) {
+    std::vector<std::string> files = ListCheckpointFiles(dir);
+    for (size_t i = 0;
+         i + static_cast<size_t>(keep_last) < files.size() &&
+         files[i] != path;
+         ++i) {
+      std::error_code rm_ec;
+      fs::remove(files[i], rm_ec);
+    }
+  }
+  m.saves.Increment();
+  m.last_step.Set(static_cast<double>(c.step));
+  m.save_ms.Observe(span.ElapsedMs());
+  return true;
+}
+
+bool LoadLatestValid(const std::string& dir, Checkpoint* out,
+                     std::string* loaded_path) {
+  obs::ScopedSpan span("ckpt.load");
+  CkptMetrics& m = CkptMetrics::Get();
+  std::vector<std::string> files = ListCheckpointFiles(dir);
+  for (auto it = files.rbegin(); it != files.rend(); ++it) {
+    std::string error;
+    if (ReadCheckpointFile(*it, out, &error)) {
+      if (loaded_path != nullptr) *loaded_path = *it;
+      m.loads.Increment();
+      return true;
+    }
+    m.corrupt_skipped.Increment();
+    obs::Log(obs::LogLevel::kWarn,
+             "[ckpt] skipping invalid checkpoint %s: %s", it->c_str(),
+             error.c_str());
+  }
+  m.load_failures.Increment();
+  return false;
+}
+
+}  // namespace lcrec::ckpt

@@ -1,0 +1,107 @@
+#ifndef LCREC_CKPT_CHECKPOINT_H_
+#define LCREC_CKPT_CHECKPOINT_H_
+
+#include <cstdint>
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lcrec::ckpt {
+
+/// Versioned, CRC32-checksummed checkpoint container (see DESIGN.md
+/// "Fault tolerance & checkpointing"). A checkpoint is a step number plus
+/// an ordered list of named binary sections; components (params,
+/// optimizer, rng, trainer counters) each own one section. On disk:
+///
+///   u32 magic "LCKP"   u32 version   u64 step   u64 section_count
+///   per section:  u64 name_len, name bytes, u64 payload_len, payload
+///   u32 crc32 over every byte after the magic and before the crc
+///
+/// Files are published atomically: encode to memory, write to
+/// `<name>.tmp`, fsync, rename onto `ckpt-<step>.lckp`, fsync the
+/// directory. A reader therefore only ever observes complete files, and
+/// the CRC rejects any torn or bit-flipped content that survives a crash.
+class Checkpoint {
+ public:
+  int64_t step = 0;
+
+  void Add(std::string name, std::string bytes) {
+    sections_.emplace_back(std::move(name), std::move(bytes));
+  }
+
+  /// Payload of section `name`, or nullptr when absent.
+  const std::string* Find(const std::string& name) const {
+    for (const auto& [n, bytes] : sections_) {
+      if (n == name) return &bytes;
+    }
+    return nullptr;
+  }
+
+  const std::vector<std::pair<std::string, std::string>>& sections() const {
+    return sections_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `n` bytes.
+uint32_t Crc32(const void* data, size_t n);
+
+/// Serializes to the on-disk byte layout (header + sections + crc).
+std::string EncodeCheckpoint(const Checkpoint& c);
+
+/// Parses and validates an encoded checkpoint. Rejects (with *error set)
+/// on bad magic, unknown version, CRC mismatch, or any truncated field —
+/// without crashing, whatever the input bytes are.
+bool DecodeCheckpoint(const std::string& bytes, Checkpoint* out,
+                      std::string* error);
+
+/// Canonical file name for a step: "ckpt-000000000042.lckp". Zero-padded
+/// so lexicographic order equals step order.
+std::string CheckpointFileName(int64_t step);
+
+/// Atomic single-file write (temp + fsync + rename + dir fsync), subject
+/// to fault injection (ckpt/faultfs.h). On failure the target is left
+/// untouched; a stale temp file may remain and is ignored by readers.
+bool WriteCheckpointFile(const std::string& path, const Checkpoint& c,
+                         std::string* error);
+
+/// Reads + validates one checkpoint file.
+bool ReadCheckpointFile(const std::string& path, Checkpoint* out,
+                        std::string* error);
+
+/// All `ckpt-*.lckp` paths in `dir`, ascending by step.
+std::vector<std::string> ListCheckpointFiles(const std::string& dir);
+
+/// Writes `c` into `dir` (created if needed), removes stale temp files,
+/// and prunes old checkpoints down to the newest `keep_last`. Updates the
+/// lcrec.ckpt.* metrics.
+bool SaveToDir(const std::string& dir, const Checkpoint& c, int keep_last,
+               std::string* error);
+
+/// Loads the newest checkpoint in `dir` that validates, skipping (and
+/// logging) truncated or corrupt ones. Returns false when none is valid.
+bool LoadLatestValid(const std::string& dir, Checkpoint* out,
+                     std::string* loaded_path = nullptr);
+
+/// POD helpers for building section payloads.
+template <typename T>
+void PutPod(std::ostream& os, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  os.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool GetPod(std::istream& is, T* v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  is.read(reinterpret_cast<char*>(v), sizeof(*v));
+  return static_cast<bool>(is);
+}
+
+}  // namespace lcrec::ckpt
+
+#endif  // LCREC_CKPT_CHECKPOINT_H_

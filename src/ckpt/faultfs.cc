@@ -1,0 +1,259 @@
+#include "ckpt/faultfs.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "obs/log.h"
+
+namespace lcrec::ckpt {
+
+namespace {
+
+struct Injector {
+  FaultSpec spec;
+  std::atomic<int> writes{0};
+  std::atomic<int> fsyncs{0};
+  std::atomic<int> renames{0};
+  bool armed = false;
+  bool env_checked = false;
+};
+
+Injector& G() {
+  static Injector* g = new Injector;
+  return *g;
+}
+
+void EnsureEnvParsed() {
+  Injector& g = G();
+  if (g.env_checked) return;
+  g.env_checked = true;
+  const char* env = std::getenv("LCREC_FAULT");
+  if (env == nullptr || env[0] == '\0') return;
+  FaultSpec spec;
+  if (ParseFaultSpec(env, &spec)) {
+    g.spec = spec;
+    g.armed = true;
+    obs::Log(obs::LogLevel::kInfo, "[ckpt] fault injection armed: %s", env);
+  } else {
+    obs::Log(obs::LogLevel::kWarn, "[ckpt] malformed LCREC_FAULT spec "
+             "\"%s\" ignored", env);
+  }
+}
+
+/// Returns the armed mode when this call is the nth occurrence of `op`,
+/// else kFail with `fire` false.
+bool Fire(FaultSpec::Op op, FaultSpec::Mode* mode) {
+  EnsureEnvParsed();
+  Injector& g = G();
+  if (!g.armed || g.spec.op != op) return false;
+  std::atomic<int>* counter = nullptr;
+  switch (op) {
+    case FaultSpec::Op::kWrite: counter = &g.writes; break;
+    case FaultSpec::Op::kFsync: counter = &g.fsyncs; break;
+    case FaultSpec::Op::kRename: counter = &g.renames; break;
+    case FaultSpec::Op::kNone: return false;
+  }
+  int n = counter->fetch_add(1) + 1;
+  if (n != g.spec.nth) return false;
+  *mode = g.spec.mode;
+  return true;
+}
+
+[[noreturn]] void CrashNow(const char* what) {
+  // Simulated power loss: no cleanup, no stack unwinding.
+  obs::Log(obs::LogLevel::kError, "[ckpt] injected crash at %s", what);
+  std::abort();
+}
+
+}  // namespace
+
+bool ParseFaultSpec(const std::string& text, FaultSpec* spec) {
+  FaultSpec out;
+  size_t c1 = text.find(':');
+  if (c1 == std::string::npos) return false;
+  std::string op = text.substr(0, c1);
+  if (op == "write") {
+    out.op = FaultSpec::Op::kWrite;
+  } else if (op == "fsync") {
+    out.op = FaultSpec::Op::kFsync;
+  } else if (op == "rename") {
+    out.op = FaultSpec::Op::kRename;
+  } else {
+    return false;
+  }
+  size_t c2 = text.find(':', c1 + 1);
+  std::string nth = text.substr(c1 + 1, c2 == std::string::npos
+                                            ? std::string::npos
+                                            : c2 - c1 - 1);
+  if (nth.empty()) return false;
+  for (char c : nth) {
+    if (c < '0' || c > '9') return false;
+  }
+  out.nth = std::atoi(nth.c_str());
+  if (out.nth <= 0) return false;
+  if (c2 != std::string::npos) {
+    std::string mode = text.substr(c2 + 1);
+    if (mode == "fail") {
+      out.mode = FaultSpec::Mode::kFail;
+    } else if (mode == "short") {
+      out.mode = FaultSpec::Mode::kShort;
+    } else if (mode == "enospc") {
+      out.mode = FaultSpec::Mode::kEnospc;
+    } else if (mode == "crash") {
+      out.mode = FaultSpec::Mode::kCrash;
+    } else {
+      return false;
+    }
+  }
+  *spec = out;
+  return true;
+}
+
+void ArmFaults(const FaultSpec& spec) {
+  Injector& g = G();
+  g.spec = spec;
+  g.armed = spec.op != FaultSpec::Op::kNone;
+  g.env_checked = true;  // explicit arm overrides the env
+  g.writes.store(0);
+  g.fsyncs.store(0);
+  g.renames.store(0);
+}
+
+void ArmFaultsFromEnv() {
+  Injector& g = G();
+  g.armed = false;
+  g.env_checked = false;
+  g.writes.store(0);
+  g.fsyncs.store(0);
+  g.renames.store(0);
+  EnsureEnvParsed();
+}
+
+void DisarmFaults() { ArmFaults(FaultSpec{}); }
+
+FaultyFile::~FaultyFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool FaultyFile::Open(const std::string& path) {
+  fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd_ < 0) {
+    error_ = "open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool FaultyFile::Write(const void* data, size_t n) {
+  if (fd_ < 0) {
+    error_ = "write on closed file";
+    return false;
+  }
+  FaultSpec::Mode mode;
+  if (Fire(FaultSpec::Op::kWrite, &mode)) {
+    switch (mode) {
+      case FaultSpec::Mode::kFail:
+        error_ = "write: injected EIO";
+        return false;
+      case FaultSpec::Mode::kShort:
+        (void)!::write(fd_, data, n / 2);
+        error_ = "write: injected torn write";
+        return false;
+      case FaultSpec::Mode::kEnospc:
+        (void)!::write(fd_, data, n / 2);
+        error_ = std::string("write: injected ") + std::strerror(ENOSPC);
+        return false;
+      case FaultSpec::Mode::kCrash:
+        (void)!::write(fd_, data, n / 2);
+        CrashNow("write");
+    }
+  }
+  const char* p = static_cast<const char*>(data);
+  size_t left = n;
+  while (left > 0) {
+    ssize_t w = ::write(fd_, p, left);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      error_ = std::string("write: ") + std::strerror(errno);
+      return false;
+    }
+    p += w;
+    left -= static_cast<size_t>(w);
+  }
+  return true;
+}
+
+bool FaultyFile::Sync() {
+  if (fd_ < 0) {
+    error_ = "fsync on closed file";
+    return false;
+  }
+  FaultSpec::Mode mode;
+  if (Fire(FaultSpec::Op::kFsync, &mode)) {
+    if (mode == FaultSpec::Mode::kCrash) CrashNow("fsync");
+    error_ = "fsync: injected failure";
+    return false;
+  }
+  if (::fsync(fd_) != 0) {
+    error_ = std::string("fsync: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool FaultyFile::Close() {
+  if (fd_ < 0) return true;
+  int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) {
+    error_ = std::string("close: ") + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool FaultyRename(const std::string& from, const std::string& to,
+                  std::string* error) {
+  FaultSpec::Mode mode;
+  if (Fire(FaultSpec::Op::kRename, &mode)) {
+    // Crash BEFORE the rename: the temp file is fully written but the
+    // checkpoint was never published — the recovery-critical window.
+    if (mode == FaultSpec::Mode::kCrash) CrashNow("rename");
+    *error = "rename: injected failure";
+    return false;
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    *error = "rename " + from + " -> " + to + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+bool SyncDir(const std::string& dir, std::string* error) {
+  FaultSpec::Mode mode;
+  if (Fire(FaultSpec::Op::kFsync, &mode)) {
+    if (mode == FaultSpec::Mode::kCrash) CrashNow("dir fsync");
+    *error = "dir fsync: injected failure";
+    return false;
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    *error = "open dir " + dir + ": " + std::strerror(errno);
+    return false;
+  }
+  int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    *error = "fsync dir " + dir + ": " + std::strerror(errno);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lcrec::ckpt

@@ -1,0 +1,82 @@
+#ifndef LCREC_CKPT_FAULTFS_H_
+#define LCREC_CKPT_FAULTFS_H_
+
+#include <cstddef>
+#include <string>
+
+namespace lcrec::ckpt {
+
+/// Fault-injection layer under the checkpoint writer. Every write, fsync,
+/// and rename the checkpoint protocol performs goes through the helpers
+/// below, which consult a process-wide injector armed either from the
+/// `LCREC_FAULT` environment variable (parsed lazily on first use) or
+/// programmatically via ArmFaults (death tests re-arm inside the child so
+/// operation counters start from zero).
+///
+/// Spec grammar:   LCREC_FAULT=<op>:<nth>[:<mode>]
+///   op    write | fsync | rename
+///   nth   1-based count of that operation across the process
+///   mode  fail    return an error, no side effect        (default)
+///         short   torn write: half the bytes land, then error
+///         enospc  torn write, then "no space left on device"
+///         crash   simulate power loss via std::abort() — writes land
+///                 half their bytes first; renames abort BEFORE the
+///                 rename (crash after the temp file, before publish)
+///
+/// Examples: `LCREC_FAULT=write:3:short`, `LCREC_FAULT=rename:1:crash`.
+struct FaultSpec {
+  enum class Op { kNone, kWrite, kFsync, kRename };
+  enum class Mode { kFail, kShort, kEnospc, kCrash };
+  Op op = Op::kNone;
+  int nth = 0;
+  Mode mode = Mode::kFail;
+};
+
+/// Parses the grammar above. Returns false on malformed input.
+bool ParseFaultSpec(const std::string& text, FaultSpec* spec);
+
+/// Arms the process-wide injector and resets its operation counters.
+void ArmFaults(const FaultSpec& spec);
+
+/// Re-reads LCREC_FAULT (empty/unset disarms) and resets counters.
+void ArmFaultsFromEnv();
+
+/// Disarms injection; subsequent file operations run natively.
+void DisarmFaults();
+
+/// A write-only POSIX file handle whose operations are subject to fault
+/// injection. All methods return false and record error() on failure.
+class FaultyFile {
+ public:
+  FaultyFile() = default;
+  FaultyFile(const FaultyFile&) = delete;
+  FaultyFile& operator=(const FaultyFile&) = delete;
+  ~FaultyFile();
+
+  /// Opens `path` for writing (created/truncated).
+  bool Open(const std::string& path);
+  /// Writes all `n` bytes (or fails; a torn write reports failure after
+  /// landing a prefix of the bytes).
+  bool Write(const void* data, size_t n);
+  /// fsync(): flushes file contents to stable storage.
+  bool Sync();
+  bool Close();
+
+  const std::string& error() const { return error_; }
+
+ private:
+  int fd_ = -1;
+  std::string error_;
+};
+
+/// rename(), subject to injection.
+bool FaultyRename(const std::string& from, const std::string& to,
+                  std::string* error);
+
+/// Opens `dir` and fsyncs it so a completed rename is durable. Counted
+/// as an fsync operation by the injector.
+bool SyncDir(const std::string& dir, std::string* error);
+
+}  // namespace lcrec::ckpt
+
+#endif  // LCREC_CKPT_FAULTFS_H_

@@ -1,0 +1,44 @@
+#include "ckpt/health.h"
+
+#include <cmath>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/log.h"
+#include "obs/registry.h"
+
+namespace lcrec::ckpt {
+
+HealthGuard::HealthGuard(const HealthOptions& options, std::string subsystem)
+    : options_(options), subsystem_(std::move(subsystem)) {}
+
+bool HealthGuard::Healthy(double loss, double grad_norm) const {
+  if (!std::isfinite(loss) || !std::isfinite(grad_norm)) return false;
+  if (options_.grad_limit > 0.0f && grad_norm > options_.grad_limit) {
+    return false;
+  }
+  return true;
+}
+
+bool HealthGuard::OnUnhealthy(double loss, double grad_norm,
+                              bool can_rollback) {
+  ++trips_;
+  obs::MetricsRegistry::Global()
+      .GetCounter("lcrec.ckpt.health_trips")
+      .Increment();
+  obs::Log(obs::LogLevel::kWarn,
+           "[%s] numeric health trip %d/%d: loss %g grad_norm %g",
+           subsystem_.c_str(), trips_, options_.max_retries,
+           loss, grad_norm);
+  const bool numeric_health_recoverable =
+      can_rollback && trips_ <= options_.max_retries;
+  // Clean abort: no checkpoint to roll back to (or retries exhausted)
+  // means every later step would train on poisoned state.
+  LCREC_CHECK(numeric_health_recoverable);
+  obs::MetricsRegistry::Global()
+      .GetCounter("lcrec.ckpt.rollbacks")
+      .Increment();
+  return true;
+}
+
+}  // namespace lcrec::ckpt

@@ -1,0 +1,46 @@
+#ifndef LCREC_CKPT_HEALTH_H_
+#define LCREC_CKPT_HEALTH_H_
+
+#include <string>
+
+namespace lcrec::ckpt {
+
+/// Numeric-health policy shared by the trainers: a NaN/Inf loss, a
+/// NaN/Inf gradient norm, or a gradient-norm spike above `grad_limit`
+/// trips the guard. Each trip is counted (lcrec.ckpt.health_trips) and
+/// logged; the trainer is expected to roll back to its last good
+/// checkpoint and back off the learning rate by `lr_backoff`. When no
+/// checkpoint is available, or after `max_retries` trips, the guard
+/// aborts the process via the LCREC_CHECK machinery instead of letting a
+/// poisoned model keep training.
+struct HealthOptions {
+  float grad_limit = 0.0f;  // absolute grad-norm ceiling; 0 disables
+  int max_retries = 3;
+  float lr_backoff = 0.5f;
+};
+
+class HealthGuard {
+ public:
+  HealthGuard(const HealthOptions& options, std::string subsystem);
+
+  /// True when loss and grad_norm are finite and below the spike limit.
+  bool Healthy(double loss, double grad_norm) const;
+
+  /// Call on an unhealthy step. Logs, bumps the trip counters, and
+  /// returns true when the caller should roll back and retry (a
+  /// checkpoint exists and retries remain). Aborts via LCREC_CHECK when
+  /// recovery is impossible: `can_rollback` false or retries exhausted.
+  bool OnUnhealthy(double loss, double grad_norm, bool can_rollback);
+
+  int trips() const { return trips_; }
+  const HealthOptions& options() const { return options_; }
+
+ private:
+  HealthOptions options_;
+  std::string subsystem_;
+  int trips_ = 0;
+};
+
+}  // namespace lcrec::ckpt
+
+#endif  // LCREC_CKPT_HEALTH_H_

@@ -1,8 +1,50 @@
 #include "core/optim.h"
 
 #include <cmath>
+#include <istream>
+#include <ostream>
 
 namespace lcrec::core {
+
+namespace {
+
+// Tensor-list (de)serialization shared by the optimizer states. Each
+// tensor is written as u64 element count + raw floats; loading stages
+// everything and validates sizes before committing, so a failed load
+// never leaves the optimizer half-restored.
+
+void WriteTensorList(std::ostream& os, const std::vector<Tensor>& list) {
+  uint64_t n = list.size();
+  os.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  for (const Tensor& t : list) {
+    uint64_t size = static_cast<uint64_t>(t.size());
+    os.write(reinterpret_cast<const char*>(&size), sizeof(size));
+    os.write(reinterpret_cast<const char*>(t.data()),
+             static_cast<std::streamsize>(sizeof(float) * t.size()));
+  }
+}
+
+bool ReadTensorListInto(std::istream& is, std::vector<Tensor>* list) {
+  uint64_t n = 0;
+  is.read(reinterpret_cast<char*>(&n), sizeof(n));
+  if (!is || n != list->size()) return false;
+  std::vector<Tensor> staged;
+  staged.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t size = 0;
+    is.read(reinterpret_cast<char*>(&size), sizeof(size));
+    if (!is || size != static_cast<uint64_t>((*list)[i].size())) return false;
+    Tensor t((*list)[i].shape());
+    is.read(reinterpret_cast<char*>(t.data()),
+            static_cast<std::streamsize>(sizeof(float) * t.size()));
+    if (!is) return false;
+    staged.push_back(std::move(t));
+  }
+  *list = std::move(staged);
+  return true;
+}
+
+}  // namespace
 
 CosineSchedule::CosineSchedule(float peak_lr, int64_t warmup_steps,
                                int64_t total_steps, float min_lr)
@@ -22,6 +64,10 @@ float CosineSchedule::LrAt(int64_t step) const {
   double cos_factor = 0.5 * (1.0 + std::cos(3.141592653589793 * progress));
   return static_cast<float>(min_lr_ + (peak_lr_ - min_lr_) * cos_factor);
 }
+
+void Optimizer::SaveState(std::ostream&) const {}
+
+bool Optimizer::LoadState(std::istream&) { return true; }
 
 float Optimizer::ClipGradNorm(float max_norm) {
   double total = 0.0;
@@ -59,6 +105,12 @@ void Sgd::Step(float lr) {
   }
 }
 
+void Sgd::SaveState(std::ostream& os) const { WriteTensorList(os, velocity_); }
+
+bool Sgd::LoadState(std::istream& is) {
+  return ReadTensorListInto(is, &velocity_);
+}
+
 AdamW::AdamW(std::vector<Parameter*> params, float beta1, float beta2,
              float eps, float weight_decay)
     : Optimizer(std::move(params)),
@@ -72,6 +124,24 @@ AdamW::AdamW(std::vector<Parameter*> params, float beta1, float beta2,
     m_.push_back(Tensor::Zeros(p->value.shape()));
     v_.push_back(Tensor::Zeros(p->value.shape()));
   }
+}
+
+void AdamW::SaveState(std::ostream& os) const {
+  os.write(reinterpret_cast<const char*>(&t_), sizeof(t_));
+  WriteTensorList(os, m_);
+  WriteTensorList(os, v_);
+}
+
+bool AdamW::LoadState(std::istream& is) {
+  int64_t t = 0;
+  is.read(reinterpret_cast<char*>(&t), sizeof(t));
+  if (!is || t < 0) return false;
+  std::vector<Tensor> m = m_, v = v_;
+  if (!ReadTensorListInto(is, &m) || !ReadTensorListInto(is, &v)) return false;
+  t_ = t;
+  m_ = std::move(m);
+  v_ = std::move(v);
+  return true;
 }
 
 void AdamW::Step(float lr) {

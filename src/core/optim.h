@@ -2,6 +2,7 @@
 #define LCREC_CORE_OPTIM_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
@@ -40,6 +41,16 @@ class Optimizer {
   /// Clips the global gradient norm to `max_norm`; returns the pre-clip norm.
   float ClipGradNorm(float max_norm);
 
+  /// Serializes the optimizer's internal state (moments, velocities, step
+  /// count) so a resumed run takes bit-identical steps. The parameter
+  /// values themselves are NOT included — checkpoint those separately via
+  /// core/serialize. The base optimizer is stateless.
+  virtual void SaveState(std::ostream& os) const;
+
+  /// Restores state written by SaveState. Returns false (state unchanged)
+  /// when the blob is truncated or sized for a different parameter set.
+  virtual bool LoadState(std::istream& is);
+
  protected:
   std::vector<Parameter*> params_;
 };
@@ -49,6 +60,8 @@ class Sgd : public Optimizer {
  public:
   explicit Sgd(std::vector<Parameter*> params, float momentum = 0.0f);
   void Step(float lr) override;
+  void SaveState(std::ostream& os) const override;
+  bool LoadState(std::istream& is) override;
 
  private:
   float momentum_;
@@ -62,6 +75,10 @@ class AdamW : public Optimizer {
   AdamW(std::vector<Parameter*> params, float beta1 = 0.9f,
         float beta2 = 0.999f, float eps = 1e-8f, float weight_decay = 0.0f);
   void Step(float lr) override;
+  void SaveState(std::ostream& os) const override;
+  bool LoadState(std::istream& is) override;
+
+  int64_t step_count() const { return t_; }
 
  private:
   float beta1_, beta2_, eps_, weight_decay_;

@@ -1,6 +1,8 @@
 #include "core/rng.h"
 
+#include <istream>
 #include <numeric>
+#include <ostream>
 
 #include "core/check.h"
 
@@ -45,6 +47,23 @@ Tensor Rng::UniformTensor(std::vector<int64_t> shape, double a) {
     t.at(i) = static_cast<float>(Uniform(-a, a));
   }
   return t;
+}
+
+void Rng::Save(std::ostream& os) const {
+  // The standard guarantees operator<< / operator>> round-trip engine and
+  // distribution state, including normal_distribution's saved deviate.
+  os << gen_ << ' ' << unit_ << ' ' << normal_;
+}
+
+bool Rng::Restore(std::istream& is) {
+  std::mt19937_64 gen;
+  std::uniform_real_distribution<double> unit;
+  std::normal_distribution<double> normal;
+  if (!(is >> gen >> unit >> normal)) return false;
+  gen_ = gen;
+  unit_ = unit;
+  normal_ = normal;
+  return true;
 }
 
 }  // namespace lcrec::core

@@ -2,9 +2,11 @@
 #define LCREC_CORE_RNG_H_
 
 #include <cstdint>
+#include <iosfwd>
 #include <random>
 #include <vector>
 
+#include "core/check.h"
 #include "core/tensor.h"
 
 namespace lcrec::core {
@@ -28,9 +30,18 @@ class Rng {
     return mean + stddev * Gaussian();
   }
 
-  /// Uniform integer in [0, n). Requires n > 0.
+  /// Uniform integer in [0, n). Requires n > 0. Rejection sampling: raw
+  /// draws below 2^64 mod n are rejected so every residue class keeps an
+  /// equal share of the remaining 2^64 - (2^64 mod n) values (a plain
+  /// `gen_() % n` over-weights small values once n stops dividing 2^64).
   int64_t Below(int64_t n) {
-    return static_cast<int64_t>(gen_() % static_cast<uint64_t>(n));
+    LCREC_DCHECK_GT(n, 0);
+    uint64_t un = static_cast<uint64_t>(n);
+    // (-un) % un == 2^64 mod un in two's complement.
+    uint64_t reject_below = (0 - un) % un;
+    uint64_t x = gen_();
+    while (x < reject_below) x = gen_();
+    return static_cast<int64_t>(x % un);
   }
 
   /// Uniform integer in [lo, hi] inclusive.
@@ -57,6 +68,15 @@ class Rng {
 
   /// Tensor filled with U(-a, a).
   Tensor UniformTensor(std::vector<int64_t> shape, double a);
+
+  /// Serializes the full generator state — the mt19937_64 stream plus the
+  /// distribution state (including the normal distribution's cached spare
+  /// deviate) — as text, so a restored Rng continues the exact sequence.
+  void Save(std::ostream& os) const;
+
+  /// Restores state written by Save. Returns false (state unchanged) on a
+  /// parse failure.
+  bool Restore(std::istream& is);
 
   std::mt19937_64& engine() { return gen_; }
 

@@ -1,8 +1,13 @@
 #include "core/serialize.h"
 
+#include <cerrno>
 #include <cstdint>
+#include <cstring>
 #include <fstream>
+#include <utility>
 #include <vector>
+
+#include "obs/log.h"
 
 namespace lcrec::core {
 
@@ -19,9 +24,7 @@ bool ReadU64(std::istream& is, uint64_t* v) {
 }
 }  // namespace
 
-bool SaveParams(ParamStore& store, const std::string& path) {
-  std::ofstream os(path, std::ios::binary);
-  if (!os) return false;
+bool SaveParamsToStream(ParamStore& store, std::ostream& os) {
   uint32_t magic = kMagic;
   os.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
   auto params = store.All();
@@ -37,34 +40,125 @@ bool SaveParams(ParamStore& store, const std::string& path) {
   return static_cast<bool>(os);
 }
 
-bool LoadParams(ParamStore& store, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is) return false;
+bool LoadParamsFromStream(ParamStore& store, std::istream& is) {
   uint32_t magic = 0;
   is.read(reinterpret_cast<char*>(&magic), sizeof(magic));
-  if (!is || magic != kMagic) return false;
+  if (!is || magic != kMagic) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[serialize] rejected: bad magic 0x%08x (want 0x%08x)",
+             magic, kMagic);
+    return false;
+  }
   uint64_t count = 0;
-  if (!ReadU64(is, &count)) return false;
+  if (!ReadU64(is, &count)) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[serialize] rejected: short read in parameter count");
+    return false;
+  }
+  // Stage every tensor before touching the store, so a blob that fails
+  // at parameter k never partially mutates parameters 0..k-1.
+  std::vector<std::pair<Parameter*, Tensor>> staged;
+  staged.reserve(count);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t name_len = 0;
-    if (!ReadU64(is, &name_len)) return false;
+    if (!ReadU64(is, &name_len)) {
+      obs::Log(obs::LogLevel::kWarn,
+               "[serialize] rejected: short read in name length of "
+               "parameter %llu/%llu",
+               static_cast<unsigned long long>(i),
+               static_cast<unsigned long long>(count));
+      return false;
+    }
+    // An absurd name length means a corrupt length field; bail before a
+    // multi-gigabyte allocation.
+    if (name_len > (1u << 20)) {
+      obs::Log(obs::LogLevel::kWarn,
+               "[serialize] rejected: implausible name length %llu",
+               static_cast<unsigned long long>(name_len));
+      return false;
+    }
     std::string name(name_len, '\0');
     is.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!is) {
+      obs::Log(obs::LogLevel::kWarn,
+               "[serialize] rejected: short read in name of parameter "
+               "%llu/%llu",
+               static_cast<unsigned long long>(i),
+               static_cast<unsigned long long>(count));
+      return false;
+    }
     uint64_t rank = 0;
-    if (!ReadU64(is, &rank)) return false;
+    if (!ReadU64(is, &rank) || rank > 8) {
+      obs::Log(obs::LogLevel::kWarn,
+               "[serialize] rejected: short read or bad rank for \"%s\"",
+               name.c_str());
+      return false;
+    }
     std::vector<int64_t> shape(rank);
     for (uint64_t r = 0; r < rank; ++r) {
       uint64_t d = 0;
-      if (!ReadU64(is, &d)) return false;
+      if (!ReadU64(is, &d)) {
+        obs::Log(obs::LogLevel::kWarn,
+                 "[serialize] rejected: short read in shape of \"%s\"",
+                 name.c_str());
+        return false;
+      }
       shape[r] = static_cast<int64_t>(d);
     }
     Parameter* p = store.Find(name);
-    if (p == nullptr || p->value.shape() != shape) return false;
-    is.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(sizeof(float) * p->value.size()));
-    if (!is) return false;
+    if (p == nullptr) {
+      obs::Log(obs::LogLevel::kWarn,
+               "[serialize] rejected: unknown parameter \"%s\"",
+               name.c_str());
+      return false;
+    }
+    if (p->value.shape() != shape) {
+      std::string want = p->value.ShapeString();
+      obs::Log(obs::LogLevel::kWarn,
+               "[serialize] rejected: shape mismatch for \"%s\" (file has "
+               "rank %llu, store wants %s)",
+               name.c_str(), static_cast<unsigned long long>(rank),
+               want.c_str());
+      return false;
+    }
+    Tensor value(shape);
+    is.read(reinterpret_cast<char*>(value.data()),
+            static_cast<std::streamsize>(sizeof(float) * value.size()));
+    if (!is) {
+      obs::Log(obs::LogLevel::kWarn,
+               "[serialize] rejected: short read in data of \"%s\"",
+               name.c_str());
+      return false;
+    }
+    staged.emplace_back(p, std::move(value));
+  }
+  for (auto& [p, value] : staged) p->value = std::move(value);
+  return true;
+}
+
+bool SaveParams(ParamStore& store, const std::string& path) {
+  std::ofstream os(path, std::ios::binary);  // lint:allow(ckpt-bypass)
+  if (!os) {
+    obs::Log(obs::LogLevel::kWarn, "[serialize] cannot open \"%s\": %s",
+             path.c_str(), std::strerror(errno));
+    return false;
+  }
+  if (!SaveParamsToStream(store, os)) {
+    obs::Log(obs::LogLevel::kWarn, "[serialize] write to \"%s\" failed: %s",
+             path.c_str(), std::strerror(errno));
+    return false;
   }
   return true;
+}
+
+bool LoadParams(ParamStore& store, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) {
+    obs::Log(obs::LogLevel::kWarn, "[serialize] cannot open \"%s\": %s",
+             path.c_str(), std::strerror(errno));
+    return false;
+  }
+  return LoadParamsFromStream(store, is);
 }
 
 }  // namespace lcrec::core

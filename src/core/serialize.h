@@ -1,19 +1,34 @@
 #ifndef LCREC_CORE_SERIALIZE_H_
 #define LCREC_CORE_SERIALIZE_H_
 
+#include <iosfwd>
 #include <string>
 
 #include "core/graph.h"
 
 namespace lcrec::core {
 
-/// Saves every parameter (name, shape, data) to a binary checkpoint file.
-/// Returns false on I/O failure.
+/// Writes every parameter (name, shape, data) in the LCRC binary format
+/// to `os`. Returns false on stream failure.
+bool SaveParamsToStream(ParamStore& store, std::ostream& os);
+
+/// Reads an LCRC parameter blob from `is` into `store`. Parameters are
+/// matched by name; shapes must agree. The load is two-phase: the whole
+/// blob is parsed and validated into staging tensors first, and `store`
+/// is only mutated after every parameter checked out — a truncated or
+/// mismatched blob never leaves the store partially overwritten. Every
+/// rejection reason (bad magic, short read, unknown parameter, shape
+/// mismatch) is reported through obs::Log at warn level.
+bool LoadParamsFromStream(ParamStore& store, std::istream& is);
+
+/// Saves every parameter to a binary checkpoint file.
+/// Returns false on I/O failure (reason logged via obs::Log).
 bool SaveParams(ParamStore& store, const std::string& path);
 
 /// Loads a checkpoint produced by SaveParams. Parameters are matched by
 /// name; shapes must agree. Returns false on I/O failure, unknown
-/// parameter, or shape mismatch.
+/// parameter, or shape mismatch; the reason is logged via obs::Log and
+/// the store is left untouched on any failure.
 bool LoadParams(ParamStore& store, const std::string& path);
 
 }  // namespace lcrec::core

@@ -65,6 +65,9 @@ class MiniLlm {
   const core::Tensor& TokenEmbeddings() const { return tok_emb_->value; }
 
   core::ParamStore& params() { return store_; }
+  /// Dropout rng — checkpointed by the trainer so resumed runs replay the
+  /// same dropout masks.
+  core::Rng& rng() { return rng_; }
   const MiniLlmConfig& config() const { return config_; }
   int64_t NumParameters() const { return store_.TotalSize(); }
 

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <sstream>
 #include <unordered_map>
 
 #include "core/check.h"
+#include "core/serialize.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -45,6 +47,16 @@ struct TrainMetrics {
   }
 };
 
+bool ReadFloats(std::istream& is, uint64_t n, std::vector<float>* out) {
+  if (n > (1u << 26)) return false;  // implausible; reject, don't allocate
+  out->resize(n);
+  if (n > 0) {
+    is.read(reinterpret_cast<char*>(out->data()),
+            static_cast<std::streamsize>(n * sizeof(float)));
+  }
+  return static_cast<bool>(is);
+}
+
 }  // namespace
 
 LlmTrainer::LlmTrainer(MiniLlm* model, const TrainerOptions& options)
@@ -52,7 +64,10 @@ LlmTrainer::LlmTrainer(MiniLlm* model, const TrainerOptions& options)
       options_(options),
       rng_(options.seed),
       optimizer_(model->params().All(), 0.9f, 0.999f, 1e-8f,
-                 options.weight_decay) {}
+                 options.weight_decay),
+      health_({options.health_grad_limit, options.health_max_retries,
+               options.health_lr_backoff},
+              "llm") {}
 
 void LlmTrainer::AssembleTokens(const TrainExample& example, int max_seq,
                                 std::vector<int>* tokens,
@@ -83,26 +98,240 @@ void LlmTrainer::AssembleTokens(const TrainExample& example, int max_seq,
 }
 
 float LlmTrainer::CurrentLr() const {
-  if (total_steps_ <= 0) return options_.learning_rate;
+  if (total_steps_ <= 0) return options_.learning_rate * lr_scale_;
   core::CosineSchedule sched(
       options_.learning_rate,
       static_cast<int64_t>(options_.warmup_fraction *
                            static_cast<float>(total_steps_)),
       total_steps_);
-  return sched.LrAt(step_);
+  return sched.LrAt(step_) * lr_scale_;
+}
+
+void LlmTrainer::EncodeState(ckpt::Checkpoint* c,
+                             const std::vector<int64_t>& order, int64_t pos,
+                             double loss_sum, int64_t count) const {
+  c->step = step_;
+  {
+    std::ostringstream os(std::ios::binary);
+    core::SaveParamsToStream(model_->params(), os);
+    c->Add("params", std::move(os).str());
+  }
+  {
+    std::ostringstream os(std::ios::binary);
+    optimizer_.SaveState(os);
+    c->Add("optim", std::move(os).str());
+  }
+  {
+    // Shuffle rng then the model's dropout rng, space-separated text.
+    std::ostringstream os;
+    rng_.Save(os);
+    os << ' ';
+    model_->rng().Save(os);
+    c->Add("rng", std::move(os).str());
+  }
+  {
+    std::ostringstream ts(std::ios::binary);
+    ckpt::PutPod(ts, step_);
+    ckpt::PutPod(ts, epochs_done_);
+    ckpt::PutPod(ts, total_steps_);
+    ckpt::PutPod(ts, lr_scale_);
+    ckpt::PutPod(ts, static_cast<uint64_t>(step_losses_.size()));
+    if (!step_losses_.empty()) {
+      ts.write(reinterpret_cast<const char*>(step_losses_.data()),
+               static_cast<std::streamsize>(step_losses_.size() *
+                                            sizeof(float)));
+    }
+    ckpt::PutPod(ts, static_cast<uint64_t>(epoch_losses_.size()));
+    if (!epoch_losses_.empty()) {
+      ts.write(reinterpret_cast<const char*>(epoch_losses_.data()),
+               static_cast<std::streamsize>(epoch_losses_.size() *
+                                            sizeof(float)));
+    }
+    const uint8_t mid = order.empty() ? 0 : 1;
+    ckpt::PutPod(ts, mid);
+    if (mid) {
+      ckpt::PutPod(ts, static_cast<uint64_t>(order.size()));
+      if (!order.empty()) {
+        ts.write(reinterpret_cast<const char*>(order.data()),
+                 static_cast<std::streamsize>(order.size() *
+                                              sizeof(int64_t)));
+      }
+      ckpt::PutPod(ts, pos);
+      ckpt::PutPod(ts, loss_sum);
+      ckpt::PutPod(ts, count);
+    }
+    c->Add("trainer", std::move(ts).str());
+  }
+}
+
+bool LlmTrainer::DecodeState(const ckpt::Checkpoint& c) {
+  const std::string* params = c.Find("params");
+  const std::string* optim = c.Find("optim");
+  const std::string* rng = c.Find("rng");
+  const std::string* trainer = c.Find("trainer");
+  if (!params || !optim || !rng || !trainer) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[llm] checkpoint is missing a required section");
+    return false;
+  }
+  // Parse the trainer scalars into locals first so a malformed section
+  // rejects before any state is touched; params/optim/rng each stage
+  // internally and commit all-or-nothing.
+  std::istringstream ts(*trainer, std::ios::binary);
+  int64_t step = 0, epochs_done = 0, total_steps = 0;
+  float lr_scale = 1.0f;
+  uint64_t n_step = 0, n_epoch = 0;
+  std::vector<float> step_losses, epoch_losses;
+  uint8_t mid = 0;
+  std::vector<int64_t> pending_order;
+  int64_t pending_pos = 0, pending_count = 0;
+  double pending_loss_sum = 0.0;
+  if (!ckpt::GetPod(ts, &step) || !ckpt::GetPod(ts, &epochs_done) ||
+      !ckpt::GetPod(ts, &total_steps) || !ckpt::GetPod(ts, &lr_scale) ||
+      !ckpt::GetPod(ts, &n_step) || !ReadFloats(ts, n_step, &step_losses) ||
+      !ckpt::GetPod(ts, &n_epoch) ||
+      !ReadFloats(ts, n_epoch, &epoch_losses) || !ckpt::GetPod(ts, &mid)) {
+    obs::Log(obs::LogLevel::kWarn, "[llm] malformed trainer section");
+    return false;
+  }
+  if (mid) {
+    uint64_t n_order = 0;
+    if (!ckpt::GetPod(ts, &n_order) || n_order > (1u << 30)) {
+      obs::Log(obs::LogLevel::kWarn, "[llm] malformed resume cursor");
+      return false;
+    }
+    pending_order.resize(n_order);
+    if (n_order > 0) {
+      ts.read(reinterpret_cast<char*>(pending_order.data()),
+              static_cast<std::streamsize>(n_order * sizeof(int64_t)));
+    }
+    if (!ts || !ckpt::GetPod(ts, &pending_pos) ||
+        !ckpt::GetPod(ts, &pending_loss_sum) ||
+        !ckpt::GetPod(ts, &pending_count) || pending_pos < 0 ||
+        pending_pos > static_cast<int64_t>(n_order)) {
+      obs::Log(obs::LogLevel::kWarn, "[llm] malformed resume cursor");
+      return false;
+    }
+  }
+  {
+    std::istringstream is(*params, std::ios::binary);
+    if (!core::LoadParamsFromStream(model_->params(), is)) return false;
+  }
+  {
+    std::istringstream is(*optim, std::ios::binary);
+    if (!optimizer_.LoadState(is)) {
+      obs::Log(obs::LogLevel::kWarn, "[llm] optimizer state rejected");
+      return false;
+    }
+  }
+  {
+    std::istringstream is(*rng);
+    if (!rng_.Restore(is) || !model_->rng().Restore(is)) {
+      obs::Log(obs::LogLevel::kWarn, "[llm] rng state rejected");
+      return false;
+    }
+  }
+  step_ = step;
+  epochs_done_ = epochs_done;
+  total_steps_ = total_steps;
+  lr_scale_ = lr_scale;
+  step_losses_ = std::move(step_losses);
+  epoch_losses_ = std::move(epoch_losses);
+  mid_epoch_pending_ = mid != 0;
+  pending_order_ = std::move(pending_order);
+  pending_pos_ = pending_pos;
+  pending_loss_sum_ = pending_loss_sum;
+  pending_count_ = pending_count;
+  return true;
+}
+
+bool LlmTrainer::SaveCheckpointImpl(const std::vector<int64_t>& order,
+                                    int64_t pos, double loss_sum,
+                                    int64_t count) {
+  ckpt::Checkpoint c;
+  EncodeState(&c, order, pos, loss_sum, count);
+  std::string error;
+  if (!ckpt::SaveToDir(options_.ckpt_dir, c, options_.ckpt_keep, &error)) {
+    obs::Log(obs::LogLevel::kWarn, "[llm] checkpoint save failed: %s",
+             error.c_str());
+    return false;
+  }
+  has_checkpoint_ = true;
+  return true;
+}
+
+bool LlmTrainer::SaveCheckpoint() {
+  return SaveCheckpointImpl({}, 0, 0.0, 0);
+}
+
+bool LlmTrainer::TryResume() {
+  if (!CheckpointingEnabled()) return false;
+  ckpt::Checkpoint c;
+  std::string path;
+  if (!ckpt::LoadLatestValid(options_.ckpt_dir, &c, &path)) return false;
+  if (!DecodeState(c)) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[llm] checkpoint %s does not match this trainer; starting "
+             "fresh",
+             path.c_str());
+    return false;
+  }
+  has_checkpoint_ = true;
+  obs::Log(obs::LogLevel::kInfo,
+           "[llm] resumed from %s (step %lld, epoch %lld)", path.c_str(),
+           static_cast<long long>(step_),
+           static_cast<long long>(epochs_done_));
+  return true;
+}
+
+void LlmTrainer::Rollback() {
+  ckpt::Checkpoint c;
+  std::string path;
+  const bool restored =
+      ckpt::LoadLatestValid(options_.ckpt_dir, &c, &path) && DecodeState(c);
+  // The health guard only sends us here when has_checkpoint_; a checkpoint
+  // that was valid a moment ago failing now means the training state is
+  // unrecoverable.
+  LCREC_CHECK(restored);
+  lr_scale_ *= options_.health_lr_backoff;
+  rolled_back_ = true;
+  obs::Log(obs::LogLevel::kWarn,
+           "[llm] rolled back to %s (step %lld); lr scale now %g",
+           path.c_str(), static_cast<long long>(step_),
+           static_cast<double>(lr_scale_));
 }
 
 float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
   obs::ScopedSpan epoch_span("llm.train_epoch");
   TrainMetrics& tm = TrainMetrics::Get();
+  rolled_back_ = false;
 
-  std::vector<int64_t> order(examples.size());
-  std::iota(order.begin(), order.end(), 0);
-  rng_.Shuffle(order);
-
+  std::vector<int64_t> order;
+  int64_t pos = 0;
   double total_loss = 0.0;
   int64_t count = 0;
+  if (mid_epoch_pending_ && pending_order_.size() == examples.size()) {
+    order = std::move(pending_order_);
+    pos = pending_pos_;
+    total_loss = pending_loss_sum_;
+    count = pending_count_;
+  } else {
+    if (mid_epoch_pending_) {
+      obs::Log(obs::LogLevel::kWarn,
+               "[llm] resume cursor covers %zu examples but this epoch has "
+               "%zu; restarting the epoch",
+               pending_order_.size(), examples.size());
+    }
+    order.resize(examples.size());
+    std::iota(order.begin(), order.end(), 0);
+    rng_.Shuffle(order);
+  }
+  mid_epoch_pending_ = false;
+  pending_order_.clear();
+
+  const int64_t total_examples = static_cast<int64_t>(order.size());
   int in_batch = 0;
+  double batch_loss_sum = 0.0;
   int64_t epoch_tokens = 0;
   // Per-task loss accumulators (Eq. 7 sums the NLL over the alignment
   // task mixture; this resolves which tasks dominate it).
@@ -110,14 +339,15 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
   model_->params().ZeroGrad();
   std::vector<int> tokens, targets;
   double step_start_us = obs::NowMicros();
-  for (int64_t idx : order) {
-    const TrainExample& example = examples[idx];
+  for (; pos < total_examples; ++pos) {
+    const TrainExample& example = examples[order[pos]];
     AssembleTokens(example, model_->config().max_seq, &tokens, &targets);
     core::Graph g;
     core::VarId loss = model_->BuildLoss(g, tokens, targets, /*train=*/true);
     g.Backward(loss);
     float loss_val = g.val(loss).item();
     total_loss += loss_val;
+    batch_loss_sum += loss_val;
     if (!example.task.empty()) {
       auto& acc = task_loss[example.task];
       acc.first += loss_val;
@@ -127,19 +357,30 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
     tm.tokens.Add(static_cast<int64_t>(tokens.size()));
     ++count;
     ++in_batch;
-    if (in_batch == options_.batch_size || count == static_cast<int64_t>(order.size())) {
+    if (in_batch == options_.batch_size || pos + 1 == total_examples) {
       // Average the accumulated gradients over the batch.
       float inv = 1.0f / static_cast<float>(in_batch);
       for (core::Parameter* p : model_->params().All()) {
         for (int64_t i = 0; i < p->grad.size(); ++i) p->grad.at(i) *= inv;
       }
+      float batch_mean =
+          static_cast<float>(batch_loss_sum / static_cast<double>(in_batch));
       float grad_norm = 0.0f;
       if (options_.clip_norm > 0.0f) {
         grad_norm = optimizer_.ClipGradNorm(options_.clip_norm);
       }
+      // Numeric health, checked before the poisoned gradients can reach
+      // the parameters or the optimizer moments.
+      if (!health_.Healthy(batch_mean, grad_norm)) {
+        health_.OnUnhealthy(batch_mean, grad_norm, has_checkpoint_);
+        Rollback();
+        return batch_mean;  // epoch abandoned; caller re-runs it
+      }
       float lr = CurrentLr();
       optimizer_.Step(lr);
       model_->params().ZeroGrad();
+      step_losses_.push_back(batch_mean);
+      batch_loss_sum = 0.0;
       in_batch = 0;
       ++step_;
       double now_us = obs::NowMicros();
@@ -148,7 +389,20 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
       tm.steps.Increment();
       tm.grad_norm.Set(grad_norm);
       tm.lr.Set(lr);
+      if (CheckpointingEnabled() && options_.ckpt_every > 0 &&
+          step_ % options_.ckpt_every == 0 && pos + 1 < total_examples) {
+        SaveCheckpointImpl(order, pos + 1, total_loss, count);
+      }
+      if (options_.stop_after_step > 0 && step_ >= options_.stop_after_step) {
+        stop_requested_ = true;
+        ++pos;
+        break;
+      }
     }
+  }
+  if (stop_requested_ && pos < total_examples) {
+    // Simulated mid-epoch kill: record nothing, exactly like a real crash.
+    return static_cast<float>(total_loss / std::max<int64_t>(1, count));
   }
   float mean = static_cast<float>(total_loss / std::max<int64_t>(1, count));
   tm.loss.Set(mean);
@@ -162,6 +416,8 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
         .Set(kv.second.first / static_cast<double>(kv.second.second));
   }
   epoch_losses_.push_back(mean);
+  ++epochs_done_;
+  if (CheckpointingEnabled()) SaveCheckpoint();
   return mean;
 }
 
@@ -170,12 +426,18 @@ float LlmTrainer::Train(const std::vector<TrainExample>& examples) {
       (static_cast<int64_t>(examples.size()) + options_.batch_size - 1) /
       options_.batch_size;
   total_steps_ = updates_per_epoch * options_.epochs;
-  float last = 0.0f;
-  for (int e = 0; e < options_.epochs; ++e) {
-    last = TrainEpoch(examples);
+  if (options_.resume) TryResume();
+  float last = epoch_losses_.empty() ? 0.0f : epoch_losses_.back();
+  while (epochs_done_ < options_.epochs && !stop_requested_) {
+    float mean = TrainEpoch(examples);
+    if (rolled_back_) continue;  // re-run from the restored state
+    if (stop_requested_) break;
+    last = mean;
     if (options_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
-      obs::LogRaw(obs::LogLevel::kInfo, "[llm] epoch %d/%d loss %.4f lr %.2e",
-                  e + 1, options_.epochs, static_cast<double>(last),
+      obs::LogRaw(obs::LogLevel::kInfo,
+                  "[llm] epoch %lld/%d loss %.4f lr %.2e",
+                  static_cast<long long>(epochs_done_), options_.epochs,
+                  static_cast<double>(last),
                   static_cast<double>(CurrentLr()));
     }
   }

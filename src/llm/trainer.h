@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/health.h"
 #include "core/optim.h"
 #include "llm/minillm.h"
 
@@ -27,19 +29,46 @@ struct TrainerOptions {
   float clip_norm = 1.0f;
   uint64_t seed = 31;
   bool verbose = false;
+
+  // Crash-safe checkpointing (lcrec::ckpt). Empty dir => off. Checkpoints
+  // capture the complete training state (params, AdamW moments, rng,
+  // schedule position, per-step losses), are written atomically, and
+  // rotate keeping the newest `ckpt_keep`.
+  std::string ckpt_dir;
+  int64_t ckpt_every = 0;  // optimizer steps between mid-epoch saves;
+                           // 0 => save at epoch boundaries only
+  int ckpt_keep = 3;
+  bool resume = false;     // restore the newest valid checkpoint first
+
+  // Numeric-health guard: NaN/Inf loss or gradient norm (or a norm above
+  // health_grad_limit, when > 0) rolls back to the last good checkpoint
+  // with the learning rate scaled by health_lr_backoff, at most
+  // health_max_retries times, then aborts via LCREC_CHECK.
+  float health_grad_limit = 0.0f;
+  int health_max_retries = 3;
+  float health_lr_backoff = 0.5f;
+
+  // Test/fault-injection hook: stop Train() cleanly once this many
+  // optimizer steps have run (0 => never). Simulates a mid-run kill at a
+  // step that need not coincide with a checkpoint.
+  int64_t stop_after_step = 0;
 };
 
 /// Instruction-tuning trainer for MiniLlm: AdamW, cosine LR with warmup,
-/// gradient accumulation, per-epoch shuffling.
+/// gradient accumulation, per-epoch shuffling, periodic crash-safe
+/// checkpointing with resume and numeric-health rollback.
 class LlmTrainer {
  public:
   LlmTrainer(MiniLlm* model, const TrainerOptions& options);
 
-  /// Runs the configured number of epochs; returns the last epoch's mean
+  /// Runs the configured number of epochs (resuming from options.ckpt_dir
+  /// first when options.resume is set); returns the last epoch's mean
   /// loss. Per-epoch means are kept in epoch_losses().
   float Train(const std::vector<TrainExample>& examples);
 
-  /// One pass over the examples (shuffled); returns mean loss.
+  /// One pass over the examples (shuffled); returns mean loss. When a
+  /// health rollback interrupts the pass, the epoch is not recorded and
+  /// rolled_back() reports true until the next TrainEpoch call.
   float TrainEpoch(const std::vector<TrainExample>& examples);
 
   /// Declares the total number of optimizer updates the caller will drive
@@ -51,7 +80,28 @@ class LlmTrainer {
   /// Mean loss without updating (evaluation pass).
   float EvalLoss(const std::vector<TrainExample>& examples);
 
+  /// Restores the newest valid checkpoint from options.ckpt_dir. Returns
+  /// false (fresh start, reason logged) when none loads or the state does
+  /// not match this model. Train() calls this when options.resume is set;
+  /// callers driving TrainEpoch directly call it themselves.
+  bool TryResume();
+
+  /// Writes a checkpoint of the complete training state now. Returns
+  /// false on I/O failure (training continues; failure is logged).
+  bool SaveCheckpoint();
+
   const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+  /// Mean loss of every optimizer step so far (restored across resume),
+  /// the sequence the resume-equivalence tests compare.
+  const std::vector<float>& step_losses() const { return step_losses_; }
+  int64_t step() const { return step_; }
+  /// Completed epochs (restored across resume).
+  int64_t epochs_done() const { return epochs_done_; }
+  int health_trips() const { return health_.trips(); }
+  bool stop_requested() const { return stop_requested_; }
+  /// True when the last TrainEpoch ended in a health rollback (the caller
+  /// should re-run the epoch); cleared at the next TrainEpoch.
+  bool rolled_back() const { return rolled_back_; }
 
   /// Builds the token/target arrays for one example:
   /// tokens = <bos> prompt response <eos>, loss only on response + eos.
@@ -63,14 +113,41 @@ class LlmTrainer {
 
  private:
   float CurrentLr() const;
+  bool CheckpointingEnabled() const { return !options_.ckpt_dir.empty(); }
+  /// Serializes params + optimizer + rng + counters (+ mid-epoch cursor).
+  void EncodeState(ckpt::Checkpoint* c, const std::vector<int64_t>& order,
+                   int64_t pos, double loss_sum, int64_t count) const;
+  bool DecodeState(const ckpt::Checkpoint& c);
+  /// Mid-epoch save: `order`/`pos`/accumulators form the resume cursor
+  /// (empty order => epoch-boundary save, no cursor).
+  bool SaveCheckpointImpl(const std::vector<int64_t>& order, int64_t pos,
+                          double loss_sum, int64_t count);
+  /// Health-trip recovery: reloads the last good checkpoint and backs off
+  /// the learning rate. Aborts via the guard when unrecoverable.
+  void Rollback();
 
   MiniLlm* model_;
   TrainerOptions options_;
   core::Rng rng_;
   core::AdamW optimizer_;
+  ckpt::HealthGuard health_;
   int64_t step_ = 0;
   int64_t total_steps_ = 0;  // set by Train(); 0 => constant lr
+  int64_t epochs_done_ = 0;
+  float lr_scale_ = 1.0f;  // health-guard backoff multiplier
+  bool has_checkpoint_ = false;  // a rollback target exists on disk
+  bool rolled_back_ = false;
+  bool stop_requested_ = false;
   std::vector<float> epoch_losses_;
+  std::vector<float> step_losses_;
+  // Mid-epoch resume cursor (restored by DecodeState, consumed by the
+  // next TrainEpoch): the shuffled order, the next example position, and
+  // the partial-epoch loss accumulators.
+  bool mid_epoch_pending_ = false;
+  std::vector<int64_t> pending_order_;
+  int64_t pending_pos_ = 0;
+  double pending_loss_sum_ = 0.0;
+  int64_t pending_count_ = 0;
 };
 
 }  // namespace lcrec::llm

@@ -5,9 +5,13 @@
 #include <cmath>
 #include <limits>
 #include <numeric>
+#include <sstream>
 #include <string>
 
+#include "core/check.h"
 #include "core/linalg.h"
+#include "core/serialize.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -52,7 +56,12 @@ std::vector<int> NearestCode(const core::Tensor& r, const core::Tensor& cb) {
 
 }  // namespace
 
-RqVae::RqVae(const RqVaeConfig& config) : config_(config), rng_(config.seed) {
+RqVae::RqVae(const RqVaeConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      health_({/*grad_limit=*/0.0f, config.health_max_retries,
+               config.health_lr_backoff},
+              "rqvae") {
   int in = config_.input_dim, hid = config_.hidden_dim, lat = config_.latent_dim;
   auto init = [&](int fan_in, std::vector<int64_t> shape) {
     return rng_.GaussianTensor(std::move(shape), 1.0 / std::sqrt(fan_in));
@@ -223,11 +232,12 @@ float RqVae::TrainBatch(const core::Tensor& batch) {
 
   store_.ZeroGrad();
   g.Backward(loss);
-  optimizer_->Step(config_.learning_rate);
+  optimizer_->Step(config_.learning_rate * lr_scale_);
   return g.val(loss).item();
 }
 
 float RqVae::TrainEpoch(const core::Tensor& embeddings) {
+  rolled_back_ = false;
   if (!codebooks_initialized_) InitializeCodebooks(embeddings);
   int64_t n = embeddings.rows();
   int in = config_.input_dim;
@@ -245,7 +255,19 @@ float RqVae::TrainEpoch(const core::Tensor& embeddings) {
     total += TrainBatch(batch);
     ++batches;
   }
-  return total / static_cast<float>(std::max(1, batches));
+  float mean = total / static_cast<float>(std::max(1, batches));
+  if (!health_.Healthy(mean, 0.0)) {
+    health_.OnUnhealthy(mean, 0.0, has_checkpoint_);
+    Rollback();
+    return mean;  // epoch abandoned; caller re-runs it
+  }
+  epoch_losses_.push_back(mean);
+  ++epochs_done_;
+  if (CheckpointingEnabled() &&
+      (config_.ckpt_every <= 0 || epochs_done_ % config_.ckpt_every == 0)) {
+    SaveCheckpoint();
+  }
+  return mean;
 }
 
 float RqVae::TrainAutoencoderBatch(const core::Tensor& batch) {
@@ -261,21 +283,162 @@ float RqVae::TrainAutoencoderBatch(const core::Tensor& batch) {
   core::VarId loss = g.MseLoss(e_hat, batch);
   store_.ZeroGrad();
   g.Backward(loss);
-  optimizer_->Step(config_.learning_rate);
+  optimizer_->Step(config_.learning_rate * lr_scale_);
   return g.val(loss).item();
+}
+
+void RqVae::EncodeState(ckpt::Checkpoint* c) const {
+  c->step = epochs_done_;
+  {
+    std::ostringstream os(std::ios::binary);
+    core::SaveParamsToStream(const_cast<core::ParamStore&>(store_), os);
+    c->Add("params", std::move(os).str());
+  }
+  {
+    std::ostringstream os(std::ios::binary);
+    optimizer_->SaveState(os);
+    c->Add("optim", std::move(os).str());
+  }
+  {
+    std::ostringstream os;
+    rng_.Save(os);
+    c->Add("rng", std::move(os).str());
+  }
+  {
+    std::ostringstream ts(std::ios::binary);
+    ckpt::PutPod(ts, static_cast<int64_t>(epochs_done_));
+    ckpt::PutPod(ts, static_cast<int64_t>(warmup_done_));
+    ckpt::PutPod(ts, static_cast<uint8_t>(codebooks_initialized_ ? 1 : 0));
+    ckpt::PutPod(ts, lr_scale_);
+    ckpt::PutPod(ts, static_cast<uint64_t>(epoch_losses_.size()));
+    if (!epoch_losses_.empty()) {
+      ts.write(reinterpret_cast<const char*>(epoch_losses_.data()),
+               static_cast<std::streamsize>(epoch_losses_.size() *
+                                            sizeof(float)));
+    }
+    c->Add("trainer", std::move(ts).str());
+  }
+}
+
+bool RqVae::DecodeState(const ckpt::Checkpoint& c) {
+  const std::string* params = c.Find("params");
+  const std::string* optim = c.Find("optim");
+  const std::string* rng = c.Find("rng");
+  const std::string* trainer = c.Find("trainer");
+  if (!params || !optim || !rng || !trainer) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[rqvae] checkpoint is missing a required section");
+    return false;
+  }
+  std::istringstream ts(*trainer, std::ios::binary);
+  int64_t epochs_done = 0, warmup_done = 0;
+  uint8_t initialized = 0;
+  float lr_scale = 1.0f;
+  uint64_t n_losses = 0;
+  if (!ckpt::GetPod(ts, &epochs_done) || !ckpt::GetPod(ts, &warmup_done) ||
+      !ckpt::GetPod(ts, &initialized) || !ckpt::GetPod(ts, &lr_scale) ||
+      !ckpt::GetPod(ts, &n_losses) || n_losses > (1u << 26)) {
+    obs::Log(obs::LogLevel::kWarn, "[rqvae] malformed trainer section");
+    return false;
+  }
+  std::vector<float> losses(n_losses);
+  if (n_losses > 0) {
+    ts.read(reinterpret_cast<char*>(losses.data()),
+            static_cast<std::streamsize>(n_losses * sizeof(float)));
+    if (!ts) {
+      obs::Log(obs::LogLevel::kWarn, "[rqvae] malformed trainer section");
+      return false;
+    }
+  }
+  {
+    std::istringstream is(*params, std::ios::binary);
+    if (!core::LoadParamsFromStream(store_, is)) return false;
+  }
+  {
+    std::istringstream is(*optim, std::ios::binary);
+    if (!optimizer_->LoadState(is)) {
+      obs::Log(obs::LogLevel::kWarn, "[rqvae] optimizer state rejected");
+      return false;
+    }
+  }
+  {
+    std::istringstream is(*rng);
+    if (!rng_.Restore(is)) {
+      obs::Log(obs::LogLevel::kWarn, "[rqvae] rng state rejected");
+      return false;
+    }
+  }
+  epochs_done_ = static_cast<int>(epochs_done);
+  warmup_done_ = static_cast<int>(warmup_done);
+  codebooks_initialized_ = initialized != 0;
+  lr_scale_ = lr_scale;
+  epoch_losses_ = std::move(losses);
+  return true;
+}
+
+bool RqVae::SaveCheckpoint() {
+  ckpt::Checkpoint c;
+  EncodeState(&c);
+  std::string error;
+  if (!ckpt::SaveToDir(config_.ckpt_dir, c, config_.ckpt_keep, &error)) {
+    obs::Log(obs::LogLevel::kWarn, "[rqvae] checkpoint save failed: %s",
+             error.c_str());
+    return false;
+  }
+  has_checkpoint_ = true;
+  return true;
+}
+
+bool RqVae::TryResume() {
+  if (!CheckpointingEnabled()) return false;
+  ckpt::Checkpoint c;
+  std::string path;
+  if (!ckpt::LoadLatestValid(config_.ckpt_dir, &c, &path)) return false;
+  if (!DecodeState(c)) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[rqvae] checkpoint %s does not match this model; starting "
+             "fresh",
+             path.c_str());
+    return false;
+  }
+  has_checkpoint_ = true;
+  obs::Log(obs::LogLevel::kInfo, "[rqvae] resumed from %s (epoch %d)",
+           path.c_str(), epochs_done_);
+  return true;
+}
+
+void RqVae::Rollback() {
+  ckpt::Checkpoint c;
+  std::string path;
+  const bool restored =
+      ckpt::LoadLatestValid(config_.ckpt_dir, &c, &path) && DecodeState(c);
+  LCREC_CHECK(restored);
+  lr_scale_ *= config_.health_lr_backoff;
+  rolled_back_ = true;
+  obs::Log(obs::LogLevel::kWarn,
+           "[rqvae] rolled back to %s (epoch %d); lr scale now %g",
+           path.c_str(), epochs_done_, static_cast<double>(lr_scale_));
 }
 
 float RqVae::Train(const core::Tensor& embeddings) {
   obs::ScopedSpan span("quant.rqvae_train");
+  if (config_.resume) TryResume();
   // Warmup: train the autoencoder alone so the latent space preserves the
   // input geometry; only then seed the codebooks by residual k-means.
-  for (int epoch = 0; epoch < config_.warmup_epochs && !codebooks_initialized_;
-       ++epoch) {
+  // A resumed run that already initialized its codebooks skips this.
+  while (warmup_done_ < config_.warmup_epochs && !codebooks_initialized_) {
     TrainAutoencoderBatch(embeddings);
+    ++warmup_done_;
+    if (CheckpointingEnabled() && config_.ckpt_every > 0 &&
+        warmup_done_ % config_.ckpt_every == 0) {
+      SaveCheckpoint();
+    }
   }
-  float last = 0.0f;
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
-    last = TrainEpoch(embeddings);
+  float last = epoch_losses_.empty() ? 0.0f : epoch_losses_.back();
+  while (epochs_done_ < config_.epochs) {
+    float mean = TrainEpoch(embeddings);
+    if (rolled_back_) continue;  // re-run from the restored state
+    last = mean;
   }
   RecordQuantizationMetrics(embeddings, last);
   return last;

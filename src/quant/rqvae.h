@@ -2,8 +2,11 @@
 #define LCREC_QUANT_RQVAE_H_
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "ckpt/checkpoint.h"
+#include "ckpt/health.h"
 #include "core/graph.h"
 #include "core/optim.h"
 #include "core/rng.h"
@@ -26,6 +29,18 @@ struct RqVaeConfig {
   int batch_size = 1024;
   float learning_rate = 1e-3f;
   uint64_t seed = 17;
+
+  // Crash-safe checkpointing (lcrec::ckpt), epoch granularity. Empty dir
+  // disables it.
+  std::string ckpt_dir;
+  int ckpt_every = 0;  // epochs between saves; 0 => every epoch
+  int ckpt_keep = 3;
+  bool resume = false;
+
+  // Numeric-health guard (see ckpt::HealthGuard): NaN/Inf epoch loss rolls
+  // back to the last good checkpoint with a learning-rate backoff.
+  int health_max_retries = 3;
+  float health_lr_backoff = 0.5f;
 };
 
 /// Residual-Quantized Variational AutoEncoder (Section III-B1) with the
@@ -72,6 +87,20 @@ class RqVae {
   }
   const RqVaeConfig& config() const { return config_; }
 
+  /// Restores the newest valid checkpoint from config.ckpt_dir; returns
+  /// false (fresh start) when none validates. Train() calls this when
+  /// config.resume is set.
+  bool TryResume();
+  /// Writes a checkpoint of the full training state now (logged, never
+  /// fatal on I/O failure).
+  bool SaveCheckpoint();
+
+  /// Completed quantized-training epochs (restored across resume).
+  int epochs_done() const { return epochs_done_; }
+  /// Mean loss per completed epoch (restored across resume).
+  const std::vector<float>& epoch_losses() const { return epoch_losses_; }
+  int health_trips() const { return health_.trips(); }
+
  private:
   void InitializeCodebooks(const core::Tensor& embeddings);
   /// Publishes lcrec.quant.rqvae.* gauges (reconstruction error, per-level
@@ -82,6 +111,11 @@ class RqVae {
   /// Reconstruction-only step (no quantization), used during warmup so the
   /// latent space is information-preserving before codebooks are seeded.
   float TrainAutoencoderBatch(const core::Tensor& batch);
+  bool CheckpointingEnabled() const { return !config_.ckpt_dir.empty(); }
+  void EncodeState(ckpt::Checkpoint* c) const;
+  bool DecodeState(const ckpt::Checkpoint& c);
+  /// Health-trip recovery: reload the last good checkpoint, back off lr.
+  void Rollback();
 
   RqVaeConfig config_;
   core::Rng rng_;
@@ -96,7 +130,14 @@ class RqVae {
   core::Parameter* dec_b2_;
   std::vector<core::Parameter*> codebooks_;
   std::unique_ptr<core::AdamW> optimizer_;
+  ckpt::HealthGuard health_;
   bool codebooks_initialized_ = false;
+  int warmup_done_ = 0;   // autoencoder warmup epochs completed
+  int epochs_done_ = 0;   // quantized-training epochs completed
+  float lr_scale_ = 1.0f;
+  bool has_checkpoint_ = false;
+  bool rolled_back_ = false;
+  std::vector<float> epoch_losses_;
 };
 
 }  // namespace lcrec::quant

@@ -99,14 +99,27 @@ void LcRec::Fit(const data::Dataset& dataset) {
       (static_cast<int64_t>(probe.size()) + config_.trainer.batch_size - 1) /
       config_.trainer.batch_size;
   trainer.SetTotalUpdates(updates_per_epoch * config_.trainer.epochs);
-  for (int epoch = 0; epoch < config_.trainer.epochs; ++epoch) {
+  if (config_.trainer.resume) trainer.TryResume();
+  // Epochs are regenerated (fresh templates) even when a resume skips
+  // them, so the builder's rng stream stays aligned with an uninterrupted
+  // run and a mid-epoch cursor indexes the same example set.
+  int generated = 0;
+  while (trainer.epochs_done() < config_.trainer.epochs &&
+         !trainer.stop_requested()) {
     std::vector<llm::TrainExample> examples =
-        epoch == 0 ? std::move(probe) : builder_->BuildEpoch(config_.mixture, rng);
+        generated == 0 ? std::move(probe)
+                       : builder_->BuildEpoch(config_.mixture, rng);
+    ++generated;
+    if (generated <= trainer.epochs_done()) continue;  // consumed pre-resume
     float loss = trainer.TrainEpoch(examples);
+    // After a health rollback the next iteration re-runs from the
+    // restored state on freshly generated templates.
+    if (trainer.rolled_back()) continue;
     if (config_.verbose || obs::LogEnabled(obs::LogLevel::kInfo)) {
       obs::LogRaw(obs::LogLevel::kInfo,
-                  "[lcrec %s] epoch %d/%d  %zu examples  loss %.4f",
-                  config_.mixture.Name().c_str(), epoch + 1,
+                  "[lcrec %s] epoch %lld/%d  %zu examples  loss %.4f",
+                  config_.mixture.Name().c_str(),
+                  static_cast<long long>(trainer.epochs_done()),
                   config_.trainer.epochs, examples.size(),
                   static_cast<double>(loss));
     }

@@ -1,0 +1,329 @@
+#include <cmath>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "baselines/gru4rec.h"
+#include "core/rng.h"
+#include "data/dataset.h"
+#include "llm/minillm.h"
+#include "llm/trainer.h"
+#include "quant/rqvae.h"
+
+namespace lcrec {
+namespace {
+
+std::string ScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/lcrec_resume_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  return dir;
+}
+
+constexpr int kVocab = 32;
+
+llm::MiniLlmConfig SmallLlmConfig() {
+  llm::MiniLlmConfig mc;
+  mc.vocab_size = kVocab;
+  mc.d_model = 16;
+  mc.n_heads = 2;
+  mc.n_layers = 1;
+  mc.d_ff = 32;
+  mc.max_seq = 24;
+  mc.dropout = 0.1f;  // nonzero so resume must also replay dropout masks
+  mc.seed = 5;
+  return mc;
+}
+
+llm::TrainerOptions BaseTrainerOptions() {
+  llm::TrainerOptions opt;
+  opt.epochs = 3;
+  opt.batch_size = 4;
+  opt.learning_rate = 1e-2f;
+  opt.clip_norm = 1.0f;
+  opt.seed = 9;
+  return opt;
+}
+
+std::vector<llm::TrainExample> MakeExamples(int n, uint64_t seed) {
+  core::Rng rng(seed);
+  std::vector<llm::TrainExample> out;
+  for (int i = 0; i < n; ++i) {
+    llm::TrainExample ex;
+    int64_t prompt_len = 3 + rng.Below(5);
+    int64_t response_len = 2 + rng.Below(3);
+    for (int64_t j = 0; j < prompt_len; ++j) {
+      ex.prompt.push_back(static_cast<int>(4 + rng.Below(kVocab - 4)));
+    }
+    for (int64_t j = 0; j < response_len; ++j) {
+      ex.response.push_back(static_cast<int>(4 + rng.Below(kVocab - 4)));
+    }
+    ex.task = "seq";
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+/// The tentpole acceptance test: kill a checkpointed run mid-epoch at an
+/// arbitrary step, resume it in a fresh process (fresh model + trainer
+/// objects), and require the per-step loss sequence to match an
+/// uninterrupted run within 1e-6.
+TEST(LlmTrainerResume, KilledRunResumesWithIdenticalStepLosses) {
+  std::vector<llm::TrainExample> examples = MakeExamples(24, 77);
+
+  // Reference: one uninterrupted run, no checkpointing.
+  llm::MiniLlm ref_model(SmallLlmConfig());
+  llm::LlmTrainer ref(&ref_model, BaseTrainerOptions());
+  ref.Train(examples);
+  std::vector<float> want = ref.step_losses();
+  // 24 examples / batch 4 = 6 steps per epoch, 3 epochs.
+  ASSERT_EQ(want.size(), 18u);
+
+  // Interrupted run: checkpoint every 2 steps, killed after step 5 — the
+  // last save (step 4) is mid-epoch, so the resume exercises the cursor.
+  std::string dir = ScratchDir("llm_equivalence");
+  {
+    llm::MiniLlm model(SmallLlmConfig());
+    llm::TrainerOptions opt = BaseTrainerOptions();
+    opt.ckpt_dir = dir;
+    opt.ckpt_every = 2;
+    opt.stop_after_step = 5;
+    llm::LlmTrainer trainer(&model, opt);
+    trainer.Train(examples);
+    EXPECT_TRUE(trainer.stop_requested());
+    EXPECT_EQ(trainer.step(), 5);
+  }
+
+  // Resume in fresh objects, as a restarted process would.
+  llm::MiniLlm model(SmallLlmConfig());
+  llm::TrainerOptions opt = BaseTrainerOptions();
+  opt.ckpt_dir = dir;
+  opt.ckpt_every = 2;
+  opt.resume = true;
+  llm::LlmTrainer trainer(&model, opt);
+  trainer.Train(examples);
+
+  const std::vector<float>& got = trainer.step_losses();
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-6f) << "step " << i;
+  }
+  EXPECT_EQ(trainer.epochs_done(), 3);
+}
+
+TEST(LlmTrainerResume, EpochBoundaryResumeMatchesToo) {
+  std::vector<llm::TrainExample> examples = MakeExamples(16, 31);
+  llm::TrainerOptions base = BaseTrainerOptions();
+  base.epochs = 2;
+
+  llm::MiniLlm ref_model(SmallLlmConfig());
+  llm::LlmTrainer ref(&ref_model, base);
+  ref.Train(examples);
+
+  std::string dir = ScratchDir("llm_epoch_boundary");
+  {
+    llm::MiniLlm model(SmallLlmConfig());
+    llm::TrainerOptions opt = base;
+    // Kill exactly at the first epoch boundary (16 examples / batch 4 =
+    // 4 steps per epoch), so the newest checkpoint carries no cursor.
+    opt.stop_after_step = 4;
+    opt.ckpt_dir = dir;
+    llm::LlmTrainer trainer(&model, opt);
+    trainer.Train(examples);
+    EXPECT_EQ(trainer.epochs_done(), 1);
+  }
+  llm::MiniLlm model(SmallLlmConfig());
+  llm::TrainerOptions opt = base;
+  opt.ckpt_dir = dir;
+  opt.resume = true;
+  llm::LlmTrainer trainer(&model, opt);
+  trainer.Train(examples);
+
+  ASSERT_EQ(trainer.step_losses().size(), ref.step_losses().size());
+  for (size_t i = 0; i < ref.step_losses().size(); ++i) {
+    EXPECT_NEAR(trainer.step_losses()[i], ref.step_losses()[i], 1e-6f)
+        << "step " << i;
+  }
+}
+
+TEST(LlmTrainerHealth, NanRollsBackToLastCheckpointAndRecovers) {
+  std::vector<llm::TrainExample> examples = MakeExamples(16, 55);
+  std::string dir = ScratchDir("llm_health");
+
+  llm::MiniLlm model(SmallLlmConfig());
+  llm::TrainerOptions opt = BaseTrainerOptions();
+  opt.epochs = 1;
+  opt.ckpt_dir = dir;
+  llm::LlmTrainer trainer(&model, opt);
+  trainer.Train(examples);  // leaves an epoch-boundary checkpoint
+  ASSERT_EQ(trainer.epochs_done(), 1);
+
+  // Poison one weight: the next forward pass produces a NaN loss, which
+  // must trip the guard before the optimizer consumes the gradients.
+  core::Parameter* p = model.params().All()[0];
+  p->value.at(0) = std::nanf("");
+  trainer.TrainEpoch(examples);
+  EXPECT_TRUE(trainer.rolled_back());
+  EXPECT_EQ(trainer.health_trips(), 1);
+  // The rollback restored the checkpointed (finite) weights.
+  EXPECT_TRUE(std::isfinite(p->value.at(0)));
+
+  // Training continues cleanly from the restored state.
+  float mean = trainer.TrainEpoch(examples);
+  EXPECT_FALSE(trainer.rolled_back());
+  EXPECT_TRUE(std::isfinite(mean));
+  EXPECT_EQ(trainer.epochs_done(), 2);
+}
+
+TEST(LlmTrainerHealthDeathTest, NanWithoutCheckpointAborts) {
+  std::vector<llm::TrainExample> examples = MakeExamples(8, 56);
+  llm::MiniLlm model(SmallLlmConfig());
+  llm::LlmTrainer trainer(&model, BaseTrainerOptions());
+  model.params().All()[0]->value.at(0) = std::nanf("");
+  // No checkpoint to roll back to: a clean abort beats training on
+  // poisoned state.
+  EXPECT_DEATH(trainer.TrainEpoch(examples), "numeric_health_recoverable");
+}
+
+TEST(LlmTrainerHealthDeathTest, RetriesExhaustedAborts) {
+  std::vector<llm::TrainExample> examples = MakeExamples(8, 57);
+  std::string dir = ScratchDir("llm_health_exhausted");
+  llm::MiniLlm model(SmallLlmConfig());
+  llm::TrainerOptions opt = BaseTrainerOptions();
+  opt.epochs = 1;
+  opt.ckpt_dir = dir;
+  opt.health_max_retries = 2;
+  llm::LlmTrainer trainer(&model, opt);
+  trainer.Train(examples);
+
+  // Re-poisoning after every rollback makes recovery impossible; the
+  // guard must give up after max_retries trips instead of looping.
+  EXPECT_DEATH(
+      {
+        for (int i = 0; i < 10; ++i) {
+          model.params().All()[0]->value.at(0) = std::nanf("");
+          trainer.TrainEpoch(examples);
+        }
+      },
+      "numeric_health_recoverable");
+}
+
+quant::RqVaeConfig SmallRqVaeConfig() {
+  quant::RqVaeConfig cfg;
+  cfg.input_dim = 8;
+  cfg.hidden_dim = 16;
+  cfg.latent_dim = 4;
+  cfg.levels = 2;
+  cfg.codebook_size = 8;
+  cfg.epochs = 6;
+  cfg.warmup_epochs = 3;
+  cfg.batch_size = 16;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(RqVaeResume, InterruptedTrainingMatchesUninterrupted) {
+  core::Rng data_rng(29);
+  core::Tensor embeddings = data_rng.GaussianTensor({40, 8}, 1.0);
+
+  quant::RqVae ref(SmallRqVaeConfig());
+  ref.Train(embeddings);
+  std::vector<float> want = ref.epoch_losses();
+  ASSERT_EQ(want.size(), 6u);
+
+  // "Kill" after 3 of the 6 epochs (checkpoints land every epoch).
+  std::string dir = ScratchDir("rqvae");
+  {
+    quant::RqVaeConfig cfg = SmallRqVaeConfig();
+    cfg.epochs = 3;
+    cfg.ckpt_dir = dir;
+    quant::RqVae partial(cfg);
+    partial.Train(embeddings);
+    ASSERT_EQ(partial.epochs_done(), 3);
+  }
+
+  quant::RqVaeConfig cfg = SmallRqVaeConfig();
+  cfg.ckpt_dir = dir;
+  cfg.resume = true;
+  quant::RqVae resumed(cfg);
+  resumed.Train(embeddings);
+
+  ASSERT_EQ(resumed.epoch_losses().size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(resumed.epoch_losses()[i], want[i], 1e-6f) << "epoch " << i;
+  }
+}
+
+baselines::BaselineConfig SmallBaselineConfig() {
+  baselines::BaselineConfig cfg;
+  cfg.d_model = 16;
+  cfg.d_ff = 32;
+  cfg.n_layers = 1;
+  cfg.epochs = 4;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(BaselineResume, Gru4RecResumesWithIdenticalEpochLosses) {
+  data::Dataset dataset = data::Dataset::Make(data::Domain::kGames, 0.2, 41);
+
+  baselines::Gru4Rec ref(SmallBaselineConfig());
+  ref.Fit(dataset);
+  std::vector<float> want = ref.fit_epoch_losses();
+  ASSERT_EQ(want.size(), 4u);
+
+  std::string dir = ScratchDir("gru4rec");
+  {
+    baselines::BaselineConfig cfg = SmallBaselineConfig();
+    cfg.epochs = 2;
+    cfg.ckpt_dir = dir;
+    baselines::Gru4Rec partial(cfg);
+    partial.Fit(dataset);
+    ASSERT_EQ(partial.fit_epochs_done(), 2);
+    // Per-model subdirectory keeps co-located baselines from colliding.
+    EXPECT_TRUE(std::filesystem::exists(dir + "/" + partial.name()));
+  }
+
+  baselines::BaselineConfig cfg = SmallBaselineConfig();
+  cfg.ckpt_dir = dir;
+  cfg.resume = true;
+  baselines::Gru4Rec resumed(cfg);
+  resumed.Fit(dataset);
+
+  ASSERT_EQ(resumed.fit_epoch_losses().size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(resumed.fit_epoch_losses()[i], want[i], 1e-6f)
+        << "epoch " << i;
+  }
+}
+
+TEST(LlmTrainerResume, MismatchedCheckpointFallsBackToFreshStart) {
+  // A checkpoint from a differently-shaped model must be rejected as a
+  // whole (two-phase decode), leaving the trainer starting fresh.
+  std::vector<llm::TrainExample> examples = MakeExamples(8, 58);
+  std::string dir = ScratchDir("llm_mismatch");
+  {
+    llm::MiniLlmConfig other = SmallLlmConfig();
+    other.d_model = 32;  // different parameter shapes
+    other.n_heads = 4;
+    llm::MiniLlm model(other);
+    llm::TrainerOptions opt = BaseTrainerOptions();
+    opt.epochs = 1;
+    opt.ckpt_dir = dir;
+    llm::LlmTrainer trainer(&model, opt);
+    trainer.Train(examples);
+  }
+  llm::MiniLlm model(SmallLlmConfig());
+  llm::TrainerOptions opt = BaseTrainerOptions();
+  opt.ckpt_dir = dir;
+  opt.resume = true;
+  llm::LlmTrainer trainer(&model, opt);
+  EXPECT_FALSE(trainer.TryResume());
+  EXPECT_EQ(trainer.step(), 0);
+  EXPECT_EQ(trainer.epochs_done(), 0);
+}
+
+}  // namespace
+}  // namespace lcrec

@@ -1,0 +1,433 @@
+#include "ckpt/checkpoint.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ckpt/faultfs.h"
+#include "core/graph.h"
+#include "core/rng.h"
+#include "core/serialize.h"
+#include "core/tensor.h"
+#include "obs/registry.h"
+
+namespace lcrec::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test so rotation / fallback tests never see
+/// each other's files.
+std::string ScratchDir(const std::string& name) {
+  std::string dir = ::testing::TempDir() + "/lcrec_ckpt_" + name;
+  std::error_code ec;
+  fs::remove_all(dir, ec);
+  return dir;
+}
+
+Checkpoint MakeCheckpoint(int64_t step) {
+  Checkpoint c;
+  c.step = step;
+  // Binary payloads with embedded NULs and high bytes: the container must
+  // be 8-bit clean.
+  c.Add("params", std::string("\x00\x01\xff\x7f nul\x00 inside", 16));
+  c.Add("rng", "12345 0.5 1 0 spare");
+  c.Add("trainer", std::string(64, '\xab'));
+  return c;
+}
+
+void ExpectSameSections(const Checkpoint& a, const Checkpoint& b) {
+  ASSERT_EQ(a.sections().size(), b.sections().size());
+  for (size_t i = 0; i < a.sections().size(); ++i) {
+    EXPECT_EQ(a.sections()[i].first, b.sections()[i].first);
+    EXPECT_EQ(a.sections()[i].second, b.sections()[i].second);
+  }
+}
+
+TEST(Crc32, MatchesKnownVector) {
+  // The standard CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  const char* s = "123456789";
+  EXPECT_EQ(Crc32(s, 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0u);
+}
+
+TEST(Crc32, DetectsAnySingleByteChange) {
+  std::string msg = "residual quantization";
+  uint32_t base = Crc32(msg.data(), msg.size());
+  for (size_t i = 0; i < msg.size(); ++i) {
+    std::string mutated = msg;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x40);
+    EXPECT_NE(Crc32(mutated.data(), mutated.size()), base) << "byte " << i;
+  }
+}
+
+TEST(Checkpoint, EncodeDecodeRoundTrip) {
+  Checkpoint c = MakeCheckpoint(42);
+  std::string bytes = EncodeCheckpoint(c);
+  Checkpoint back;
+  std::string error;
+  ASSERT_TRUE(DecodeCheckpoint(bytes, &back, &error)) << error;
+  EXPECT_EQ(back.step, 42);
+  ExpectSameSections(c, back);
+  ASSERT_NE(back.Find("rng"), nullptr);
+  EXPECT_EQ(*back.Find("rng"), "12345 0.5 1 0 spare");
+  EXPECT_EQ(back.Find("missing"), nullptr);
+}
+
+TEST(Checkpoint, EmptyCheckpointRoundTrips) {
+  Checkpoint c;
+  c.step = 0;
+  Checkpoint back;
+  std::string error;
+  ASSERT_TRUE(DecodeCheckpoint(EncodeCheckpoint(c), &back, &error)) << error;
+  EXPECT_EQ(back.step, 0);
+  EXPECT_TRUE(back.sections().empty());
+}
+
+TEST(Checkpoint, EveryTruncationIsRejectedWithoutCrashing) {
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint(7));
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    Checkpoint out;
+    std::string error;
+    EXPECT_FALSE(DecodeCheckpoint(bytes.substr(0, n), &out, &error))
+        << "prefix of " << n << " bytes decoded";
+    EXPECT_FALSE(error.empty());
+  }
+}
+
+TEST(Checkpoint, EverySingleBitFlipIsRejected) {
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint(7));
+  // CRC-32 detects all single-bit errors, so a flip anywhere — header,
+  // section names, payload bytes, or the stored crc itself — must reject.
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    std::string mutated = bytes;
+    mutated[i] = static_cast<char>(mutated[i] ^ 0x01);
+    Checkpoint out;
+    std::string error;
+    EXPECT_FALSE(DecodeCheckpoint(mutated, &out, &error)) << "byte " << i;
+  }
+}
+
+TEST(Checkpoint, TrailingGarbageIsRejected) {
+  std::string bytes = EncodeCheckpoint(MakeCheckpoint(7));
+  Checkpoint out;
+  std::string error;
+  EXPECT_FALSE(DecodeCheckpoint(bytes + "extra", &out, &error));
+}
+
+TEST(Checkpoint, FileNameIsZeroPaddedByStep) {
+  EXPECT_EQ(CheckpointFileName(0), "ckpt-000000000000.lckp");
+  EXPECT_EQ(CheckpointFileName(42), "ckpt-000000000042.lckp");
+  // Padding keeps lexicographic order equal to step order.
+  EXPECT_LT(CheckpointFileName(999), CheckpointFileName(1000));
+}
+
+TEST(CheckpointFile, WriteReadRoundTrip) {
+  std::string dir = ScratchDir("file_roundtrip");
+  fs::create_directories(dir);
+  std::string path = dir + "/" + CheckpointFileName(3);
+  Checkpoint c = MakeCheckpoint(3);
+  std::string error;
+  ASSERT_TRUE(WriteCheckpointFile(path, c, &error)) << error;
+  Checkpoint back;
+  ASSERT_TRUE(ReadCheckpointFile(path, &back, &error)) << error;
+  EXPECT_EQ(back.step, 3);
+  ExpectSameSections(c, back);
+  // No temp file left behind by a successful write.
+  EXPECT_FALSE(fs::exists(path + ".tmp"));
+}
+
+TEST(SaveToDir, RotationKeepsNewestK) {
+  std::string dir = ScratchDir("rotation");
+  std::string error;
+  for (int64_t step = 1; step <= 5; ++step) {
+    ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(step), /*keep_last=*/3, &error))
+        << error;
+  }
+  std::vector<std::string> files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 3u);
+  EXPECT_EQ(fs::path(files[0]).filename(), CheckpointFileName(3));
+  EXPECT_EQ(fs::path(files[1]).filename(), CheckpointFileName(4));
+  EXPECT_EQ(fs::path(files[2]).filename(), CheckpointFileName(5));
+}
+
+TEST(SaveToDir, RemovesStaleTempFiles) {
+  std::string dir = ScratchDir("stale_tmp");
+  fs::create_directories(dir);
+  {
+    std::ofstream os(dir + "/ckpt-000000000009.lckp.tmp", std::ios::binary);
+    os << "half-written leftovers from a crashed writer";
+  }
+  std::string error;
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(10), 3, &error)) << error;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+}
+
+TEST(LoadLatestValid, FallsBackPastCorruptNewest) {
+  std::string dir = ScratchDir("fallback");
+  std::string error;
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(1), 5, &error)) << error;
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(2), 5, &error)) << error;
+  // Corrupt the newest file in place (flip a payload byte).
+  std::string newest = dir + "/" + CheckpointFileName(2);
+  {
+    std::fstream f(newest, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(30);
+    f.put('\x5a');
+  }
+  int64_t skipped_before = obs::MetricsRegistry::Global()
+                               .GetCounter("lcrec.ckpt.corrupt_skipped")
+                               .value();
+  Checkpoint out;
+  std::string path;
+  ASSERT_TRUE(LoadLatestValid(dir, &out, &path));
+  EXPECT_EQ(out.step, 1);
+  EXPECT_EQ(fs::path(path).filename(), CheckpointFileName(1));
+  EXPECT_GT(obs::MetricsRegistry::Global()
+                .GetCounter("lcrec.ckpt.corrupt_skipped")
+                .value(),
+            skipped_before);
+}
+
+TEST(LoadLatestValid, EmptyOrMissingDirFails) {
+  Checkpoint out;
+  EXPECT_FALSE(LoadLatestValid(ScratchDir("nonexistent"), &out));
+}
+
+TEST(FaultSpec, ParsesTheGrammar) {
+  FaultSpec spec;
+  ASSERT_TRUE(ParseFaultSpec("write:3:short", &spec));
+  EXPECT_EQ(spec.op, FaultSpec::Op::kWrite);
+  EXPECT_EQ(spec.nth, 3);
+  EXPECT_EQ(spec.mode, FaultSpec::Mode::kShort);
+  ASSERT_TRUE(ParseFaultSpec("rename:1:crash", &spec));
+  EXPECT_EQ(spec.op, FaultSpec::Op::kRename);
+  EXPECT_EQ(spec.mode, FaultSpec::Mode::kCrash);
+  ASSERT_TRUE(ParseFaultSpec("fsync:2", &spec));
+  EXPECT_EQ(spec.op, FaultSpec::Op::kFsync);
+  EXPECT_EQ(spec.mode, FaultSpec::Mode::kFail);
+
+  EXPECT_FALSE(ParseFaultSpec("", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write", &spec));
+  EXPECT_FALSE(ParseFaultSpec("chmod:1", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:0", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:x", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:1:explode", &spec));
+}
+
+/// Arms one fault, attempts a save on top of an existing good checkpoint,
+/// and verifies the atomic protocol: the save fails, the previous latest
+/// is still loadable, nothing half-written was published, no temp remains.
+void ExpectFailedSaveLeavesDirClean(const std::string& spec_text,
+                                    const std::string& dirname) {
+  std::string dir = ScratchDir(dirname);
+  std::string error;
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(1), 3, &error)) << error;
+
+  FaultSpec spec;
+  ASSERT_TRUE(ParseFaultSpec(spec_text, &spec));
+  ArmFaults(spec);
+  bool ok = SaveToDir(dir, MakeCheckpoint(2), 3, &error);
+  DisarmFaults();
+  EXPECT_FALSE(ok) << spec_text << " did not fail the save";
+  EXPECT_FALSE(error.empty());
+
+  // Only the step-1 file is published; the failed step-2 attempt left no
+  // target file and no temp file.
+  std::vector<std::string> files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 1u) << spec_text;
+  EXPECT_EQ(fs::path(files[0]).filename(), CheckpointFileName(1));
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+  Checkpoint out;
+  ASSERT_TRUE(LoadLatestValid(dir, &out));
+  EXPECT_EQ(out.step, 1);
+}
+
+TEST(FaultInjection, FailedWriteLeavesPreviousLatest) {
+  ExpectFailedSaveLeavesDirClean("write:1:fail", "write_fail");
+}
+
+TEST(FaultInjection, TornWriteLeavesPreviousLatest) {
+  ExpectFailedSaveLeavesDirClean("write:1:short", "write_short");
+}
+
+TEST(FaultInjection, EnospcLeavesPreviousLatest) {
+  ExpectFailedSaveLeavesDirClean("write:1:enospc", "write_enospc");
+}
+
+TEST(FaultInjection, FailedFsyncLeavesPreviousLatest) {
+  ExpectFailedSaveLeavesDirClean("fsync:1:fail", "fsync_fail");
+}
+
+TEST(FaultInjection, FailedRenameLeavesPreviousLatest) {
+  ExpectFailedSaveLeavesDirClean("rename:1:fail", "rename_fail");
+}
+
+TEST(FaultCrashDeathTest, CrashDuringWriteNeverPublishesTornFile) {
+  std::string dir = ScratchDir("write_crash");
+  std::string error;
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(1), 3, &error)) << error;
+
+  // The child re-arms so its operation counters start from zero, then dies
+  // mid-write with half of step 2's bytes in the temp file.
+  EXPECT_DEATH(
+      {
+        FaultSpec spec;
+        ParseFaultSpec("write:1:crash", &spec);
+        ArmFaults(spec);
+        std::string err;
+        SaveToDir(dir, MakeCheckpoint(2), 3, &err);
+      },
+      "injected crash");
+
+  // Recovery sees only step 1: the torn step-2 bytes live in a .tmp that
+  // readers ignore, never under the published name.
+  std::vector<std::string> files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 1u);
+  EXPECT_EQ(fs::path(files[0]).filename(), CheckpointFileName(1));
+  Checkpoint out;
+  ASSERT_TRUE(LoadLatestValid(dir, &out));
+  EXPECT_EQ(out.step, 1);
+
+  // The next successful save reclaims the stale temp.
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(3), 3, &error)) << error;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    EXPECT_NE(entry.path().extension(), ".tmp") << entry.path();
+  }
+  ASSERT_TRUE(LoadLatestValid(dir, &out));
+  EXPECT_EQ(out.step, 3);
+}
+
+TEST(FaultCrashDeathTest, CrashBeforeRenameNeverPublishes) {
+  std::string dir = ScratchDir("rename_crash");
+  std::string error;
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(1), 3, &error)) << error;
+
+  // Power loss in the window after the temp file is complete but before
+  // the rename publishes it.
+  EXPECT_DEATH(
+      {
+        FaultSpec spec;
+        ParseFaultSpec("rename:1:crash", &spec);
+        ArmFaults(spec);
+        std::string err;
+        SaveToDir(dir, MakeCheckpoint(2), 3, &err);
+      },
+      "injected crash");
+
+  std::vector<std::string> files = ListCheckpointFiles(dir);
+  ASSERT_EQ(files.size(), 1u);
+  Checkpoint out;
+  ASSERT_TRUE(LoadLatestValid(dir, &out));
+  EXPECT_EQ(out.step, 1);
+
+  ASSERT_TRUE(SaveToDir(dir, MakeCheckpoint(3), 3, &error)) << error;
+  ASSERT_TRUE(LoadLatestValid(dir, &out));
+  EXPECT_EQ(out.step, 3);
+}
+
+TEST(PodHelpers, RoundTripAndTruncationDetection) {
+  std::ostringstream os(std::ios::binary);
+  PutPod(os, static_cast<int64_t>(-7));
+  PutPod(os, 2.5f);
+  std::string bytes = std::move(os).str();
+
+  std::istringstream is(bytes, std::ios::binary);
+  int64_t i = 0;
+  float f = 0.0f;
+  ASSERT_TRUE(GetPod(is, &i));
+  ASSERT_TRUE(GetPod(is, &f));
+  EXPECT_EQ(i, -7);
+  EXPECT_EQ(f, 2.5f);
+  double trailing = 0.0;
+  EXPECT_FALSE(GetPod(is, &trailing));
+}
+
+/// Byte-level fuzz of the parameter-blob reader: whatever prefix of a valid
+/// blob it is fed, it must reject cleanly and leave the store untouched.
+TEST(LoadParamsFuzz, TruncationNeverMutatesTheStore) {
+  core::Rng rng(11);
+  std::string blob;
+  {
+    core::ParamStore store;
+    store.Create("a", rng.GaussianTensor({3, 4}, 1.0));
+    store.Create("b", rng.GaussianTensor({5}, 1.0));
+    std::ostringstream os(std::ios::binary);
+    ASSERT_TRUE(core::SaveParamsToStream(store, os));
+    blob = std::move(os).str();
+  }
+  for (size_t n = 0; n < blob.size(); ++n) {
+    core::ParamStore target;
+    core::Parameter* a = target.Create("a", core::Tensor::Zeros({3, 4}));
+    core::Parameter* b = target.Create("b", core::Tensor::Zeros({5}));
+    for (int64_t i = 0; i < a->value.size(); ++i) a->value.at(i) = 7.5f;
+    for (int64_t i = 0; i < b->value.size(); ++i) b->value.at(i) = 7.5f;
+    std::istringstream is(blob.substr(0, n), std::ios::binary);
+    EXPECT_FALSE(core::LoadParamsFromStream(target, is))
+        << "prefix of " << n << " bytes loaded";
+    // Two-phase load: no parameter may be partially overwritten.
+    for (int64_t i = 0; i < a->value.size(); ++i) {
+      ASSERT_EQ(a->value.at(i), 7.5f) << "prefix " << n << " mutated a[" << i
+                                      << "]";
+    }
+    for (int64_t i = 0; i < b->value.size(); ++i) {
+      ASSERT_EQ(b->value.at(i), 7.5f) << "prefix " << n << " mutated b[" << i
+                                      << "]";
+    }
+  }
+}
+
+TEST(LoadParamsFuzz, LateShapeMismatchLeavesEarlierParamsUntouched) {
+  core::Rng rng(13);
+  std::string blob;
+  {
+    core::ParamStore store;
+    store.Create("a", rng.GaussianTensor({3, 4}, 1.0));
+    store.Create("b", rng.GaussianTensor({5}, 1.0));
+    std::ostringstream os(std::ios::binary);
+    ASSERT_TRUE(core::SaveParamsToStream(store, os));
+    blob = std::move(os).str();
+  }
+  core::ParamStore target;
+  core::Parameter* a = target.Create("a", core::Tensor::Zeros({3, 4}));
+  core::Parameter* b = target.Create("b", core::Tensor::Zeros({6}));  // wrong
+  for (int64_t i = 0; i < a->value.size(); ++i) a->value.at(i) = 7.5f;
+  std::istringstream is(blob, std::ios::binary);
+  EXPECT_FALSE(core::LoadParamsFromStream(target, is));
+  // "a" matched and parsed fine, but "b"'s mismatch must abort the whole
+  // load before anything is committed.
+  for (int64_t i = 0; i < a->value.size(); ++i) {
+    EXPECT_EQ(a->value.at(i), 7.5f);
+  }
+  for (int64_t i = 0; i < b->value.size(); ++i) {
+    EXPECT_EQ(b->value.at(i), 0.0f);
+  }
+}
+
+TEST(LoadParamsFuzz, UnknownParameterIsRejected) {
+  core::Rng rng(17);
+  std::string blob;
+  {
+    core::ParamStore store;
+    store.Create("mystery", rng.GaussianTensor({2, 2}, 1.0));
+    std::ostringstream os(std::ios::binary);
+    ASSERT_TRUE(core::SaveParamsToStream(store, os));
+    blob = std::move(os).str();
+  }
+  core::ParamStore target;
+  target.Create("known", core::Tensor::Zeros({2, 2}));
+  std::istringstream is(blob, std::ios::binary);
+  EXPECT_FALSE(core::LoadParamsFromStream(target, is));
+}
+
+}  // namespace
+}  // namespace lcrec::ckpt

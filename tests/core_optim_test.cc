@@ -1,6 +1,7 @@
 #include "core/optim.h"
 
 #include <cmath>
+#include <sstream>
 
 #include <gtest/gtest.h>
 
@@ -103,6 +104,140 @@ TEST(Optimizer, ClipGradNormLeavesSmallGradients) {
   Sgd opt(store.All());
   opt.ClipGradNorm(10.0f);
   EXPECT_FLOAT_EQ(p->grad.at(0), 0.3f);
+}
+
+/// Shared fixture logic for the optimizer-state round-trip tests: run a
+/// few steps on A, serialize params + optimizer state, load both into a
+/// fresh B, then apply one identical step to each — resumed training must
+/// be bit-identical, not merely close.
+void ApplyKnownGradsAndStep(ParamStore& store, Optimizer& opt, float lr,
+                            int round) {
+  for (Parameter* p : store.All()) {
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      p->grad.at(i) =
+          0.3f * p->value.at(i) + 0.01f * static_cast<float>(i + round);
+    }
+  }
+  opt.Step(lr);
+  store.ZeroGrad();
+}
+
+void ExpectBitIdentical(ParamStore& a, ParamStore& b) {
+  ASSERT_EQ(a.All().size(), b.All().size());
+  for (size_t k = 0; k < a.All().size(); ++k) {
+    Parameter* pa = a.All()[k];
+    Parameter* pb = b.All()[k];
+    ASSERT_EQ(pa->value.size(), pb->value.size());
+    for (int64_t i = 0; i < pa->value.size(); ++i) {
+      EXPECT_EQ(pa->value.at(i), pb->value.at(i))
+          << "param " << k << " element " << i;
+    }
+  }
+}
+
+TEST(AdamW, StateRoundTripResumesBitIdentically) {
+  Rng rng(23);
+  ParamStore a;
+  a.Create("w", rng.GaussianTensor({4, 3}, 1.0));
+  a.Create("b", rng.GaussianTensor({5}, 1.0));
+  AdamW opt_a(a.All(), 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.01f);
+  for (int round = 0; round < 3; ++round) {
+    ApplyKnownGradsAndStep(a, opt_a, 0.05f, round);
+  }
+
+  std::ostringstream params_os(std::ios::binary), state_os(std::ios::binary);
+  ASSERT_TRUE(SaveParamsToStream(a, params_os));
+  opt_a.SaveState(state_os);
+
+  ParamStore b;
+  b.Create("w", Tensor::Zeros({4, 3}));
+  b.Create("b", Tensor::Zeros({5}));
+  AdamW opt_b(b.All(), 0.9f, 0.999f, 1e-8f, /*weight_decay=*/0.01f);
+  std::istringstream params_is(params_os.str(), std::ios::binary);
+  std::istringstream state_is(state_os.str(), std::ios::binary);
+  ASSERT_TRUE(LoadParamsFromStream(b, params_is));
+  ASSERT_TRUE(opt_b.LoadState(state_is));
+  EXPECT_EQ(opt_b.step_count(), opt_a.step_count());
+
+  // Identical gradients through both optimizers: with restored moments and
+  // step count, the bias correction and update must agree bit for bit.
+  for (int round = 3; round < 6; ++round) {
+    ApplyKnownGradsAndStep(a, opt_a, 0.05f, round);
+    ApplyKnownGradsAndStep(b, opt_b, 0.05f, round);
+  }
+  ExpectBitIdentical(a, b);
+}
+
+TEST(Sgd, MomentumStateRoundTripResumesBitIdentically) {
+  Rng rng(29);
+  ParamStore a;
+  a.Create("w", rng.GaussianTensor({6}, 1.0));
+  Sgd opt_a(a.All(), /*momentum=*/0.9f);
+  for (int round = 0; round < 3; ++round) {
+    ApplyKnownGradsAndStep(a, opt_a, 0.1f, round);
+  }
+
+  std::ostringstream params_os(std::ios::binary), state_os(std::ios::binary);
+  ASSERT_TRUE(SaveParamsToStream(a, params_os));
+  opt_a.SaveState(state_os);
+
+  ParamStore b;
+  b.Create("w", Tensor::Zeros({6}));
+  Sgd opt_b(b.All(), 0.9f);
+  std::istringstream params_is(params_os.str(), std::ios::binary);
+  std::istringstream state_is(state_os.str(), std::ios::binary);
+  ASSERT_TRUE(LoadParamsFromStream(b, params_is));
+  ASSERT_TRUE(opt_b.LoadState(state_is));
+
+  for (int round = 3; round < 6; ++round) {
+    ApplyKnownGradsAndStep(a, opt_a, 0.1f, round);
+    ApplyKnownGradsAndStep(b, opt_b, 0.1f, round);
+  }
+  ExpectBitIdentical(a, b);
+}
+
+TEST(AdamW, TruncatedStateIsRejectedWithoutMutation) {
+  ParamStore a;
+  a.Create("w", Tensor({2}, {1.0f, -2.0f}));
+  AdamW opt_a(a.All());
+  ApplyKnownGradsAndStep(a, opt_a, 0.05f, 0);
+  std::ostringstream os(std::ios::binary);
+  opt_a.SaveState(os);
+  std::string blob = os.str();
+
+  // Feed a fresh optimizer every strict prefix: all must be rejected, and
+  // the optimizer must afterwards behave exactly like a never-touched one.
+  for (size_t n = 0; n < blob.size(); n += 7) {
+    ParamStore b;
+    b.Create("w", Tensor({2}, {1.0f, -2.0f}));
+    AdamW opt_b(b.All());
+    std::istringstream is(blob.substr(0, n), std::ios::binary);
+    EXPECT_FALSE(opt_b.LoadState(is)) << "prefix of " << n << " bytes loaded";
+    EXPECT_EQ(opt_b.step_count(), 0);
+
+    ParamStore c;
+    c.Create("w", Tensor({2}, {1.0f, -2.0f}));
+    AdamW opt_c(c.All());
+    ApplyKnownGradsAndStep(b, opt_b, 0.05f, 0);
+    ApplyKnownGradsAndStep(c, opt_c, 0.05f, 0);
+    ExpectBitIdentical(b, c);
+  }
+}
+
+TEST(AdamW, StateSizedForOtherParamsIsRejected) {
+  ParamStore a;
+  a.Create("w", Tensor({4}, {1.0f, 2.0f, 3.0f, 4.0f}));
+  AdamW opt_a(a.All());
+  ApplyKnownGradsAndStep(a, opt_a, 0.05f, 0);
+  std::ostringstream os(std::ios::binary);
+  opt_a.SaveState(os);
+
+  ParamStore b;
+  b.Create("w", Tensor({3}, {1.0f, 2.0f, 3.0f}));  // different size
+  AdamW opt_b(b.All());
+  std::istringstream is(os.str(), std::ios::binary);
+  EXPECT_FALSE(opt_b.LoadState(is));
+  EXPECT_EQ(opt_b.step_count(), 0);
 }
 
 TEST(Serialize, RoundTrip) {

@@ -22,6 +22,14 @@
 //                                   LCREC_CORE_TENSOR_H_).
 //   using-namespace-header (all .h) `using namespace` in a header leaks
 //                                   into every includer.
+//   ckpt-bypass            (src/ minus src/ckpt/)  opening a
+//                                   std::ofstream in binary mode: model
+//                                   state must be written through the
+//                                   atomic, checksummed lcrec::ckpt
+//                                   writers (or core/serialize.cc, which
+//                                   carries an explicit lint:allow), not
+//                                   ad-hoc streams that can tear on
+//                                   crash.
 //
 // Scanning is comment- and string-aware: rule patterns inside comments
 // or string literals never fire. A finding on a line whose raw text
@@ -227,6 +235,7 @@ void LintFile(const std::string& rel_path, const std::string& text,
                          rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
   const bool in_src = StartsWith(rel_path, "src/");
   const bool in_obs = StartsWith(rel_path, "src/obs/");
+  const bool in_ckpt = StartsWith(rel_path, "src/ckpt/");
 
   std::vector<std::string> raw_lines = SplitLines(text);
   std::vector<std::string> code_lines =
@@ -274,6 +283,12 @@ void LintFile(const std::string& rel_path, const std::string& text,
         add(line_no, "raw-stderr",
             "library code must not printf; use obs logging or return data");
       }
+    }
+    if (in_src && !in_ckpt && ContainsWord(line, "ofstream") &&
+        ContainsWord(line, "binary")) {
+      add(line_no, "ckpt-bypass",
+          "binary state writes must go through lcrec::ckpt (atomic + "
+          "CRC32) or core/serialize.cc, not a raw std::ofstream");
     }
     if (ContainsWord(line, "std::rand") || ContainsCall(line, "srand")) {
       add(line_no, "std-rand",

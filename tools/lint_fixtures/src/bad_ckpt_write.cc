@@ -1,0 +1,18 @@
+// Fixture: binary std::ofstream writes outside src/ckpt/ bypass the
+// atomic, checksummed checkpoint path and must be flagged. A suppressed
+// line (lint:allow) must stay quiet. Never compiled, only scanned.
+#include <fstream>
+
+namespace lcrec::fixture {
+
+void DumpState(const char* path) {
+  std::ofstream os(path, std::ios::binary);  // expect-lint: ckpt-bypass
+  os << 1;
+}
+
+void AllowedDump(const char* path) {
+  std::ofstream os(path, std::ios::binary);  // lint:allow(ckpt-bypass)
+  os << 2;
+}
+
+}  // namespace lcrec::fixture

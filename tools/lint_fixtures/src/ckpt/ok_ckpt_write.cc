@@ -1,0 +1,12 @@
+// Fixture: src/ckpt/ implements the atomic checkpoint writer, so binary
+// std::ofstream use is allowed here. Never compiled, only scanned.
+#include <fstream>
+
+namespace lcrec::fixture {
+
+void WriteTemp(const char* path) {
+  std::ofstream os(path, std::ios::binary);
+  os << 3;
+}
+
+}  // namespace lcrec::fixture
