@@ -30,8 +30,11 @@
 #include "obs/export.h"
 #include "obs/perfgate.h"
 #include "obs/trace.h"
+#include "quant/indexing.h"
 #include "quant/rqvae.h"
 #include "quant/sinkhorn.h"
+#include "serve/server.h"
+#include "text/vocab.h"
 
 namespace {
 
@@ -224,6 +227,88 @@ obs::PerfRecord RunSuite(int reps) {
         },
         reps);
     AddLatency(&rec, "llm_decode", t);
+  }
+
+  {
+    // Online serving: closed-loop replay of a small repeat-heavy trace
+    // against lcrec::serve::Server (bench_serve.cc is the full harness;
+    // this keeps serve/req_per_sec and serve/p95_ms under the gate). A
+    // fresh server per rep includes cache cold-start in every sample.
+    core::Rng srng(11);
+    quant::ItemIndexing indexing =
+        quant::ItemIndexing::Random(/*items=*/48, /*levels=*/3,
+                                    /*codes=*/6, srng);
+    quant::PrefixTrie trie(indexing);
+    text::Vocabulary vocab;
+    for (const std::string& tok : indexing.AllTokenStrings()) {
+      vocab.AddToken(tok);
+    }
+    llm::MiniLlmConfig cfg;
+    cfg.vocab_size = vocab.size();
+    cfg.d_model = 32;
+    cfg.n_heads = 4;
+    cfg.n_layers = 2;
+    cfg.d_ff = 64;
+    cfg.max_seq = 64;
+    llm::MiniLlm model(cfg);
+    llm::IndexTokenMap token_map(indexing, vocab);
+    int v = vocab.size();
+    serve::PromptBuilder builder = [v](const std::vector<int>& history) {
+      std::vector<int> prompt = {text::Vocabulary::kBos};
+      for (int item : history) prompt.push_back(4 + (item % (v - 4)));
+      return prompt;
+    };
+    // 64 requests over 12 histories, head-skewed like real traffic.
+    std::vector<std::vector<int>> trace;
+    core::Rng trng(13);
+    for (int i = 0; i < 64; ++i) {
+      int h = static_cast<int>(
+          std::min(trng.Below(12), std::min(trng.Below(12), trng.Below(12))));
+      trace.push_back({h, 2 * h + 1, h + 7});
+    }
+    std::vector<double> request_ms;
+    KernelTiming t = TimeKernel(
+        [&] {
+          serve::ServerOptions opts;
+          opts.max_batch_lanes = 8;
+          serve::Server server(model, trie, token_map, builder, opts);
+          std::atomic<size_t> next{0};
+          std::vector<std::thread> clients;
+          std::vector<std::vector<double>> lat(8);
+          for (int c = 0; c < 8; ++c) {
+            clients.emplace_back([&, c] {
+              for (;;) {
+                size_t i = next.fetch_add(1);
+                if (i >= trace.size()) break;
+                serve::RecommendRequest req;
+                req.history = trace[i];
+                auto t0 = std::chrono::steady_clock::now();
+                serve::RecommendResponse resp = server.Recommend(req);
+                auto t1 = std::chrono::steady_clock::now();
+                if (resp.status != serve::Status::kOk) std::abort();
+                lat[static_cast<size_t>(c)].push_back(
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count());
+              }
+            });
+          }
+          for (auto& c : clients) c.join();
+          for (const auto& per_thread : lat) {
+            request_ms.insert(request_ms.end(), per_thread.begin(),
+                              per_thread.end());
+          }
+        },
+        reps);
+    double p50_s = t.Quantile(0.50) / 1e3;
+    rec.metrics["serve/req_per_sec"] = {
+        p50_s > 0.0 ? static_cast<double>(trace.size()) / p50_s : 0.0,
+        kThroughputTolerance};
+    std::sort(request_ms.begin(), request_ms.end());
+    double p95 = request_ms.empty()
+                     ? 0.0
+                     : request_ms[static_cast<size_t>(
+                           0.95 * static_cast<double>(request_ms.size() - 1))];
+    rec.metrics["serve/p95_ms"] = {p95, kLatencyTolerance};
   }
 
   return rec;

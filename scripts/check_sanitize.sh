@@ -3,8 +3,9 @@
 # build directories (gitignored via the build-* pattern).
 #
 #   asan mode (default): ASan + UBSan, full ctest suite.
-#   tsan mode          : TSan, the threaded obs tests only (the rest of
-#                        the repo is single-threaded by design).
+#   tsan mode          : TSan, the threaded tests only — the obs suites
+#                        plus the online-serving server/batch tests (the
+#                        rest of the repo is single-threaded by design).
 #
 # Opt-in: heavy (separate build tree), so it only runs when
 # LCREC_SANITIZE=1 is set; otherwise it prints "[skipped]" and exits 0
@@ -74,8 +75,8 @@ if [[ "${mode}" == "tsan" ]]; then
   fi
 
   cmake --build "${build_dir}" -j "${jobs}" \
-    --target obs_test obs_prof_test llm_test
-  for t in obs_test obs_prof_test llm_test; do
+    --target obs_test obs_prof_test llm_test llm_batch_test serve_test
+  for t in obs_test obs_prof_test llm_test llm_batch_test serve_test; do
     echo "check_sanitize(tsan): running ${t}"
     TSAN_OPTIONS="halt_on_error=1" \
       "${launcher[@]}" "${build_dir}/tests/${t}" \

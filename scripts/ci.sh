@@ -3,8 +3,8 @@
 # a pass/fail summary table at the end. Exit code is non-zero when any
 # gate fails (skipped gates do not fail the run).
 #
-#   scripts/ci.sh            # tier-1 tests, fault suite, lint, strict
-#                            # build, ASan+UBSan
+#   scripts/ci.sh            # tier-1 tests, fault suite, serve smoke,
+#                            # lint, strict build, ASan+UBSan
 #   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
 #
 # Individual gates reuse their own scratch build trees (build-strict/,
@@ -73,10 +73,18 @@ gate_perf() {
   LCREC_PERF=1 "${repo_root}/scripts/perf_regress.sh" \
     "${build_dir}/bench/bench_perfgate"
 }
+gate_serve() {
+  # Online-serving smoke: a small load-test replay at low QPS must finish
+  # with zero shed requests and zero errors (bench_serve exits non-zero
+  # otherwise). The record lands in the build tree, not the checkout.
+  "${build_dir}/bench/bench_serve" --smoke \
+    --out="${build_dir}/bench_serve_smoke.json"
+}
 
 run_gate "build"          gate_build    || overall=1
 run_gate "tier1_tests"    gate_tests    || overall=1
 run_gate "fault"          gate_fault    || overall=1
+run_gate "serve_smoke"    gate_serve    || overall=1
 run_gate "lcrec_lint"     gate_lint     || overall=1
 run_gate "check_warnings" gate_warnings || overall=1
 run_gate "asan_ubsan"     gate_asan     || overall=1

@@ -1,0 +1,211 @@
+#include "llm/batch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lcrec::llm {
+
+namespace {
+
+/// Cached metric handles for the batched decoder (lcrec.llm.genb.*).
+struct BatchMetrics {
+  obs::Counter& ticks;
+  obs::Counter& token_forwards;
+  obs::Counter& retired;
+  obs::Histogram& lanes_per_tick;
+
+  static BatchMetrics& Get() {
+    static BatchMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new BatchMetrics{
+          r.GetCounter("lcrec.llm.genb.ticks"),
+          r.GetCounter("lcrec.llm.genb.token_forwards"),
+          r.GetCounter("lcrec.llm.genb.retired"),
+          r.GetHistogram("lcrec.llm.genb.lanes_per_tick",
+                         obs::Histogram::LinearBounds(1.0, 32.0, 32)),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+BatchEngine::BatchEngine(const MiniLlm& model, const quant::PrefixTrie& trie,
+                         const IndexTokenMap& token_map, int beam_size)
+    : model_(model),
+      trie_(trie),
+      token_map_(token_map),
+      beam_size_(beam_size),
+      max_depth_(token_map.levels()) {
+  LCREC_CHECK_GT(beam_size_, 0);
+  LCREC_CHECK_GT(max_depth_, 0);
+}
+
+void BatchEngine::Admit(uint64_t tag, std::vector<int> prompt, int top_n) {
+  LCREC_CHECK(!prompt.empty());
+  LCREC_CHECK_GT(top_n, 0);
+  Lane lane;
+  lane.tag = tag;
+  lane.top_n = top_n;
+  lane.prompt = std::move(prompt);
+  lanes_.push_back(std::move(lane));
+}
+
+std::vector<BatchResult> BatchEngine::Tick() {
+  if (lanes_.empty()) return {};
+  obs::ScopedSpan span("llm.batch_tick");
+  BatchMetrics& bm = BatchMetrics::Get();
+  bm.ticks.Increment();
+  bm.lanes_per_tick.Observe(static_cast<double>(lanes_.size()));
+
+  // Phase 1: plan this tick's work per lane — a prompt prefill for fresh
+  // lanes, or one child beam per surviving candidate for running lanes.
+  // The candidate construction mirrors GenerateItems() exactly.
+  size_t n = lanes_.size();
+  std::vector<std::vector<BeamCandidate>> cands(n);
+  std::vector<std::vector<Beam>> children(n);
+  // Lanes that run a candidate expansion this tick (vs a prompt
+  // prefill). One expansion == one iteration of GenerateItems()'s depth
+  // loop, so completion below follows exactly its loop-exit rule.
+  std::vector<bool> expanding(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    Lane& lane = lanes_[i];
+    expanding[i] = lane.prefilled;
+    if (!lane.prefilled) {
+      Beam root;
+      root.cache = model_.MakeCache();
+      lane.active.clear();
+      lane.active.push_back(std::move(root));
+      continue;
+    }
+    std::vector<BeamCandidate>& cand = cands[i];
+    for (size_t b = 0; b < lane.active.size(); ++b) {
+      Beam& beam = lane.active[b];
+      std::vector<int> next = trie_.NextCodes(beam.codes);
+      if (next.empty()) continue;  // defensive; completed beams are removed
+      float lse = LogSumExp(beam.logits);
+      int level = static_cast<int>(beam.codes.size());
+      for (int code : next) {
+        int tok = token_map_.TokenId(level, code);
+        if (tok < 0) continue;
+        float lp = beam.logp + (beam.logits.at(tok) - lse);
+        cand.push_back({static_cast<int>(b), code, tok, lp});
+      }
+    }
+    std::sort(cand.begin(), cand.end(), BeamCandidateOrder);
+    if (static_cast<int>(cand.size()) > beam_size_) cand.resize(beam_size_);
+    children[i].reserve(cand.size());
+    for (const BeamCandidate& c : cand) {
+      Beam child;
+      child.codes = lane.active[static_cast<size_t>(c.beam)].codes;
+      child.codes.push_back(c.code);
+      child.logp = c.logp;
+      child.cache = lane.active[static_cast<size_t>(c.beam)].cache;  // copy
+      children[i].push_back(std::move(child));
+    }
+  }
+
+  // Phase 2: one batched forward over every planned unit. Pointers are
+  // gathered only now, after all per-lane vectors stopped growing.
+  struct Unit {
+    size_t lane;
+    int child;  // -1 => prompt prefill
+  };
+  std::vector<Unit> units;
+  std::vector<MiniLlm::KvCache*> caches;
+  std::vector<std::vector<int>> toks;
+  int64_t fed_tokens = 0;
+  for (size_t i = 0; i < n; ++i) {
+    Lane& lane = lanes_[i];
+    if (!expanding[i]) {
+      units.push_back({i, -1});
+      caches.push_back(&lane.active[0].cache);
+      toks.push_back(lane.prompt);
+      fed_tokens += static_cast<int64_t>(lane.prompt.size());
+      continue;
+    }
+    for (size_t j = 0; j < children[i].size(); ++j) {
+      units.push_back({i, static_cast<int>(j)});
+      caches.push_back(&children[i][j].cache);
+      toks.push_back({cands[i][j].token});
+      ++fed_tokens;
+    }
+  }
+  if (!units.empty()) {
+    std::vector<core::Tensor> logits = model_.ForwardBatch(caches, toks);
+    bm.token_forwards.Add(fed_tokens);
+    for (size_t u = 0; u < units.size(); ++u) {
+      Lane& lane = lanes_[units[u].lane];
+      if (units[u].child < 0) {
+        lane.active[0].logits = std::move(logits[u]);
+        lane.prefilled = true;
+        lane.prompt.clear();
+        lane.prompt.shrink_to_fit();
+      } else {
+        children[units[u].lane][static_cast<size_t>(units[u].child)].logits =
+            std::move(logits[u]);
+      }
+    }
+  }
+
+  // Phase 3: retire completed children, advance depths, finish lanes.
+  std::vector<BatchResult> finished;
+  std::vector<Lane> still_running;
+  still_running.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Lane& lane = lanes_[i];
+    bool complete = false;
+    if (expanding[i]) {
+      std::vector<Beam> next_active;
+      next_active.reserve(children[i].size());
+      for (Beam& child : children[i]) {
+        int item = trie_.ItemAt(child.codes);
+        if (item >= 0 && trie_.NextCodes(child.codes).empty()) {
+          lane.done.push_back({item, child.logp});
+        } else {
+          next_active.push_back(std::move(child));
+        }
+      }
+      lane.active = std::move(next_active);
+      ++lane.depth;
+      complete = lane.depth >= max_depth_ || lane.active.empty();
+    }
+    if (complete) {
+      std::sort(lane.done.begin(), lane.done.end(), ScoredItemOrder);
+      if (static_cast<int>(lane.done.size()) > lane.top_n) {
+        lane.done.resize(static_cast<size_t>(lane.top_n));
+      }
+      finished.push_back({lane.tag, std::move(lane.done)});
+      bm.retired.Increment();
+    } else {
+      still_running.push_back(std::move(lane));
+    }
+  }
+  lanes_ = std::move(still_running);
+  return finished;
+}
+
+std::vector<std::vector<ScoredItem>> GenerateItemsBatch(
+    const MiniLlm& model, const std::vector<std::vector<int>>& prompts,
+    const quant::PrefixTrie& trie, const IndexTokenMap& token_map,
+    int beam_size, int top_n) {
+  BatchEngine engine(model, trie, token_map, beam_size);
+  for (size_t i = 0; i < prompts.size(); ++i) {
+    engine.Admit(static_cast<uint64_t>(i), prompts[i], top_n);
+  }
+  std::vector<std::vector<ScoredItem>> out(prompts.size());
+  while (!engine.Idle()) {
+    for (BatchResult& r : engine.Tick()) {
+      out[static_cast<size_t>(r.tag)] = std::move(r.items);
+    }
+  }
+  return out;
+}
+
+}  // namespace lcrec::llm

@@ -1,0 +1,89 @@
+#ifndef LCREC_LLM_BATCH_H_
+#define LCREC_LLM_BATCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "llm/generate.h"
+#include "llm/minillm.h"
+#include "quant/indexing.h"
+
+namespace lcrec::llm {
+
+/// Result of one finished decode lane.
+struct BatchResult {
+  uint64_t tag = 0;  // caller-supplied id from Admit()
+  std::vector<ScoredItem> items;
+};
+
+/// Continuous-batching engine for trie-constrained beam search: every
+/// admitted request becomes a lane holding its own beam set, and each
+/// Tick() runs ONE batched model forward (MiniLlm::ForwardBatch) over
+/// the pending token expansions of every lane, then advances each lane
+/// by one trie level (or by its prompt prefill). Lanes finish
+/// independently and new lanes can be admitted between any two ticks,
+/// so a long prefill never drains the batch — the scheduler keeps the
+/// matmuls occupied with whatever work exists (InferLLM-style
+/// request-level batching).
+///
+/// Per lane, the candidate scoring, ordering (BeamCandidateOrder /
+/// ScoredItemOrder), pruning, and forward arithmetic are exactly those
+/// of the sequential GenerateItems(), so a lane's result is
+/// bit-identical to decoding it alone (asserted in tests; the serving
+/// layer depends on this).
+///
+/// Not thread-safe: one thread drives Admit()/Tick() (the serve
+/// scheduler or a test loop).
+class BatchEngine {
+ public:
+  BatchEngine(const MiniLlm& model, const quant::PrefixTrie& trie,
+              const IndexTokenMap& token_map, int beam_size);
+
+  /// Adds a decode lane. `tag` is an opaque caller id returned with the
+  /// lane's BatchResult; `prompt` must be non-empty.
+  void Admit(uint64_t tag, std::vector<int> prompt, int top_n);
+
+  int ActiveLanes() const { return static_cast<int>(lanes_.size()); }
+  bool Idle() const { return lanes_.empty(); }
+
+  /// Runs one batched forward over every lane's pending work and
+  /// returns the lanes that completed their search this tick. No-op
+  /// (empty result) when idle.
+  std::vector<BatchResult> Tick();
+
+ private:
+  struct Beam {
+    std::vector<int> codes;
+    float logp = 0.0f;
+    MiniLlm::KvCache cache;
+    core::Tensor logits;  // [1, vocab] after the last fed token
+  };
+  struct Lane {
+    uint64_t tag = 0;
+    int top_n = 0;
+    std::vector<int> prompt;  // fed on the lane's first tick
+    bool prefilled = false;
+    int depth = 0;
+    std::vector<Beam> active;
+    std::vector<ScoredItem> done;
+  };
+
+  const MiniLlm& model_;
+  const quant::PrefixTrie& trie_;
+  const IndexTokenMap& token_map_;
+  int beam_size_;
+  int max_depth_;
+  std::vector<Lane> lanes_;
+};
+
+/// Decodes `prompts` jointly through a BatchEngine; results are indexed
+/// like `prompts`. Identical output to calling GenerateItems() per
+/// prompt, at batched-forward cost.
+std::vector<std::vector<ScoredItem>> GenerateItemsBatch(
+    const MiniLlm& model, const std::vector<std::vector<int>>& prompts,
+    const quant::PrefixTrie& trie, const IndexTokenMap& token_map,
+    int beam_size = 20, int top_n = 10);
+
+}  // namespace lcrec::llm
+
+#endif  // LCREC_LLM_BATCH_H_

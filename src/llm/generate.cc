@@ -36,7 +36,8 @@ struct GenMetrics {
   }
 };
 
-/// log softmax normalizer of a [1, vocab] logits row.
+}  // namespace
+
 float LogSumExp(const core::Tensor& logits) {
   int64_t n = logits.size();
   float mx = logits.at(0);
@@ -45,8 +46,6 @@ float LogSumExp(const core::Tensor& logits) {
   for (int64_t i = 0; i < n; ++i) z += std::exp(logits.at(i) - mx);
   return mx + static_cast<float>(std::log(z));
 }
-
-}  // namespace
 
 IndexTokenMap::IndexTokenMap(const quant::ItemIndexing& indexing,
                              const text::Vocabulary& vocab) {
@@ -106,13 +105,7 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
 
   int max_depth = token_map.levels();
   for (int depth = 0; depth < max_depth && !active.empty(); ++depth) {
-    struct Candidate {
-      int beam;
-      int code;
-      int token;
-      float logp;
-    };
-    std::vector<Candidate> candidates;
+    std::vector<BeamCandidate> candidates;
     for (size_t b = 0; b < active.size(); ++b) {
       Beam& beam = active[b];
       std::vector<int> next = trie.NextCodes(beam.codes);
@@ -127,17 +120,14 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
       }
     }
     gm.trie_mask_hits.Add(static_cast<int64_t>(candidates.size()));
-    std::sort(candidates.begin(), candidates.end(),
-              [](const Candidate& a, const Candidate& b) {
-                return a.logp > b.logp;
-              });
+    std::sort(candidates.begin(), candidates.end(), BeamCandidateOrder);
     if (static_cast<int>(candidates.size()) > beam_size) {
       gm.beam_pruned.Add(static_cast<int64_t>(candidates.size()) - beam_size);
       candidates.resize(beam_size);
     }
     std::vector<Beam> next_active;
     next_active.reserve(candidates.size());
-    for (const Candidate& c : candidates) {
+    for (const BeamCandidate& c : candidates) {
       Beam child;
       child.codes = active[c.beam].codes;
       child.codes.push_back(c.code);
@@ -154,10 +144,7 @@ std::vector<ScoredItem> GenerateItems(const MiniLlm& model,
     }
     active = std::move(next_active);
   }
-  std::sort(done.begin(), done.end(),
-            [](const ScoredItem& a, const ScoredItem& b) {
-              return a.logprob > b.logprob;
-            });
+  std::sort(done.begin(), done.end(), ScoredItemOrder);
   if (static_cast<int>(done.size()) > top_n) done.resize(top_n);
   gm.queries.Increment();
   gm.latency_ms.Observe(span.ElapsedMs());

@@ -35,6 +35,35 @@ struct ScoredItem {
   float logprob = 0.0f;
 };
 
+/// One candidate expansion of a beam during constrained search.
+struct BeamCandidate {
+  int beam = 0;   // index into the active beam set
+  int code = 0;   // trie code being appended
+  int token = 0;  // vocabulary id of that code's token
+  float logp = 0.0f;
+};
+
+/// The deterministic ordering contract of constrained decoding, shared
+/// by the sequential and batched paths so both return bit-identical
+/// rankings. Log-prob ties are broken structurally (parent beam, then
+/// code / item id), never by allocation or sort-implementation order.
+inline bool BeamCandidateOrder(const BeamCandidate& a,
+                               const BeamCandidate& b) {
+  if (a.logp != b.logp) return a.logp > b.logp;
+  if (a.beam != b.beam) return a.beam < b.beam;
+  return a.code < b.code;
+}
+
+inline bool ScoredItemOrder(const ScoredItem& a, const ScoredItem& b) {
+  if (a.logprob != b.logprob) return a.logprob > b.logprob;
+  return a.item < b.item;
+}
+
+/// log softmax normalizer of a [1, vocab] logits row. Shared by the
+/// sequential and batched constrained decoders (identical arithmetic is
+/// part of the equivalence contract).
+float LogSumExp(const core::Tensor& logits);
+
 /// Trie-constrained beam search over item-index tokens (Section III-D2):
 /// at every step, only tokens continuing a valid item prefix keep their
 /// probability; everything else is masked. Returns up to `top_n` complete

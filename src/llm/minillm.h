@@ -61,6 +61,19 @@ class MiniLlm {
   core::Tensor Forward(KvCache& cache, const std::vector<int>& tokens,
                        bool all_logits = false) const;
 
+  /// Batched decode: advances every lane's cache by its token list and
+  /// returns one [1, vocab] logits tensor per lane (the logits after that
+  /// lane's last fed token). Lanes may have different lengths (ragged
+  /// prefill next to single-token decode); processing is step-synchronous,
+  /// so the weight matrices are traversed once per step for all lanes
+  /// instead of once per lane. The per-lane arithmetic keeps the exact
+  /// accumulation order of Forward(), so a lane's logits are bit-identical
+  /// to running it alone (asserted in tests; the serving layer relies on
+  /// batched == sequential results).
+  std::vector<core::Tensor> ForwardBatch(
+      const std::vector<KvCache*>& caches,
+      const std::vector<std::vector<int>>& tokens) const;
+
   /// Token embedding matrix [vocab, d_model] (tied with output head).
   const core::Tensor& TokenEmbeddings() const { return tok_emb_->value; }
 

@@ -128,7 +128,7 @@ bool HigherIsBetter(const std::string& metric) {
            metric.compare(metric.size() - s.size(), s.size(), s) == 0;
   };
   return ends_with("/gflops") || ends_with("/ops_per_sec") ||
-         ends_with("/items_per_sec");
+         ends_with("/items_per_sec") || ends_with("/req_per_sec");
 }
 
 PerfGateResult ComparePerf(const PerfRecord& baseline,

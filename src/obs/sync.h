@@ -1,6 +1,8 @@
 #ifndef LCREC_OBS_SYNC_H_
 #define LCREC_OBS_SYNC_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <mutex>
 
 /// Clang thread-safety annotations (-Wthread-safety), compiled to no-ops
@@ -67,6 +69,60 @@ class LCREC_SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// std::unique_lock-style guard over obs::Mutex, annotated as a scoped
+/// capability. Exposes lock()/unlock() (BasicLockable) so it can back a
+/// CondVar wait; unlike MutexLock it may therefore be temporarily
+/// released during its lifetime.
+class LCREC_SCOPED_CAPABILITY UniqueLock {
+ public:
+  explicit UniqueLock(Mutex& mu) LCREC_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+    owned_ = true;
+  }
+  ~UniqueLock() LCREC_RELEASE() {
+    if (owned_) mu_.unlock();
+  }
+
+  void lock() LCREC_ACQUIRE() {
+    mu_.lock();
+    owned_ = true;
+  }
+  void unlock() LCREC_RELEASE() {
+    owned_ = false;
+    mu_.unlock();
+  }
+
+  UniqueLock(const UniqueLock&) = delete;
+  UniqueLock& operator=(const UniqueLock&) = delete;
+
+ private:
+  Mutex& mu_;
+  bool owned_ = false;
+};
+
+/// Condition variable usable with obs::Mutex via UniqueLock. Thin
+/// wrapper over std::condition_variable_any; waits keep the capability
+/// held from the analysis's point of view (correct at both endpoints of
+/// the wait).
+class CondVar {
+ public:
+  void Wait(UniqueLock& lock) { cv_.wait(lock); }
+  template <typename Pred>
+  void Wait(UniqueLock& lock, Pred pred) {
+    cv_.wait(lock, std::move(pred));
+  }
+  template <typename Rep, typename Period, typename Pred>
+  bool WaitFor(UniqueLock& lock,
+               const std::chrono::duration<Rep, Period>& timeout, Pred pred) {
+    return cv_.wait_for(lock, timeout, std::move(pred));
+  }
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
 };
 
 }  // namespace lcrec::obs

@@ -126,15 +126,20 @@ void LcRec::Fit(const data::Dataset& dataset) {
   }
 }
 
+std::vector<int> LcRec::PromptTokens(const std::vector<int>& history) const {
+  LCREC_CHECK(builder_ != nullptr);
+  std::vector<int> prompt = {text::Vocabulary::kBos};
+  std::vector<int> body = builder_->SeqPrompt(history);
+  prompt.insert(prompt.end(), body.begin(), body.end());
+  return prompt;
+}
+
 std::vector<llm::ScoredItem> LcRec::TopK(const std::vector<int>& history,
                                          int k) const {
   // Fit() must run before any inference entry point.
   LCREC_CHECK(model_ != nullptr);
-  std::vector<int> prompt = {text::Vocabulary::kBos};
-  std::vector<int> body = builder_->SeqPrompt(history);
-  prompt.insert(prompt.end(), body.begin(), body.end());
-  return llm::GenerateItems(*model_, prompt, *trie_, *token_map_,
-                            config_.beam_size, k);
+  return llm::GenerateItems(*model_, PromptTokens(history), *trie_,
+                            *token_map_, config_.beam_size, k);
 }
 
 std::vector<int> LcRec::TopKIds(const std::vector<int>& history, int k) const {

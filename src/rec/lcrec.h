@@ -76,7 +76,14 @@ class LcRec : public ScoringRecommender {
   core::Tensor IndexTokenEmbeddings() const;
   core::Tensor TextTokenEmbeddings(int max_tokens = 400) const;
 
+  /// The exact prompt TopK() decodes from (BOS + sequential-task body).
+  /// lcrec::serve::Server takes this as its PromptBuilder so online and
+  /// offline inference share one prompt format (and thus cache keys).
+  std::vector<int> PromptTokens(const std::vector<int>& history) const;
+
   const quant::ItemIndexing& indexing() const { return indexing_; }
+  const quant::PrefixTrie& trie() const { return *trie_; }
+  const llm::IndexTokenMap& token_map() const { return *token_map_; }
   const llm::MiniLlm& model() const { return *model_; }
   const text::Vocabulary& vocab() const { return vocab_; }
   const tasks::InstructionBuilder& instructions() const { return *builder_; }

@@ -1,0 +1,68 @@
+#include "serve/cache.h"
+
+namespace lcrec::serve {
+
+uint64_t RequestKey(const std::vector<int>& prompt_tokens, int top_n,
+                    int beam_size) {
+  // FNV-1a over the token stream plus the result-shaping parameters.
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int byte = 0; byte < 8; ++byte) {
+      h ^= (v >> (byte * 8)) & 0xffull;
+      h *= 1099511628211ull;
+    }
+  };
+  for (int tok : prompt_tokens) mix(static_cast<uint64_t>(tok));
+  mix(0x746f706eull);  // domain separator between tokens and parameters
+  mix(static_cast<uint64_t>(top_n));
+  mix(static_cast<uint64_t>(beam_size));
+  return h;
+}
+
+bool ResultCache::Get(uint64_t key, std::vector<llm::ScoredItem>* out) {
+  if (capacity_ == 0) return false;
+  obs::UniqueLock lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return false;
+  }
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh recency
+  ++hits_;
+  *out = it->second->items;
+  return true;
+}
+
+void ResultCache::Put(uint64_t key, const std::vector<llm::ScoredItem>& items) {
+  if (capacity_ == 0) return;
+  obs::UniqueLock lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) {
+    it->second->items = items;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  lru_.push_front({key, items});
+  index_[key] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+}
+
+size_t ResultCache::size() const {
+  obs::UniqueLock lock(mu_);
+  return lru_.size();
+}
+
+int64_t ResultCache::hits() const {
+  obs::UniqueLock lock(mu_);
+  return hits_;
+}
+
+int64_t ResultCache::misses() const {
+  obs::UniqueLock lock(mu_);
+  return misses_;
+}
+
+}  // namespace lcrec::serve

@@ -1,0 +1,59 @@
+#ifndef LCREC_SERVE_CACHE_H_
+#define LCREC_SERVE_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "llm/generate.h"
+#include "obs/sync.h"
+
+namespace lcrec::serve {
+
+/// Cache key of one recommendation query: a 64-bit FNV-1a hash over the
+/// prompt token ids, the requested top_n, and the beam width (two
+/// requests only share results when all three agree).
+uint64_t RequestKey(const std::vector<int>& prompt_tokens, int top_n,
+                    int beam_size);
+
+/// Thread-safe LRU cache of decoded recommendation lists. Capacity 0
+/// disables caching (Get always misses, Put is a no-op), so call sites
+/// need no guards. Keys are RequestKey() hashes; a collision would serve
+/// the wrong list, which at 64 bits over thousands of live entries is
+/// vanishingly unlikely (and bounded by the LRU horizon).
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+
+  /// True on hit; copies the cached ranking into `out` and refreshes the
+  /// entry's recency.
+  bool Get(uint64_t key, std::vector<llm::ScoredItem>* out);
+
+  /// Inserts or refreshes `items` under `key`, evicting the least
+  /// recently used entry when full.
+  void Put(uint64_t key, const std::vector<llm::ScoredItem>& items);
+
+  size_t size() const;
+  int64_t hits() const;
+  int64_t misses() const;
+
+ private:
+  struct Entry {
+    uint64_t key = 0;
+    std::vector<llm::ScoredItem> items;
+  };
+
+  const size_t capacity_;
+  mutable obs::Mutex mu_;
+  // Most-recently-used at the front; map values point into the list.
+  std::list<Entry> lru_ LCREC_GUARDED_BY(mu_);
+  std::unordered_map<uint64_t, std::list<Entry>::iterator> index_
+      LCREC_GUARDED_BY(mu_);
+  int64_t hits_ LCREC_GUARDED_BY(mu_) = 0;
+  int64_t misses_ LCREC_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace lcrec::serve
+
+#endif  // LCREC_SERVE_CACHE_H_

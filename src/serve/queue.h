@@ -1,0 +1,90 @@
+#ifndef LCREC_SERVE_QUEUE_H_
+#define LCREC_SERVE_QUEUE_H_
+
+#include <cstddef>
+#include <deque>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/sync.h"
+
+namespace lcrec::serve {
+
+/// Bounded multi-producer/multi-consumer FIFO, the server's admission
+/// queue. Pushes never block: TryPush() fails immediately at capacity so
+/// the caller can shed load instead of stacking unbounded waiters
+/// (reject-with-reason, never queue collapse). Pops block until an
+/// element or Close().
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {
+    LCREC_CHECK_GT(capacity, 0u);
+  }
+
+  /// False when the queue is full or closed.
+  bool TryPush(T value) {
+    {
+      obs::UniqueLock lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+    }
+    ready_.NotifyOne();
+    return true;
+  }
+
+  /// Blocks until an element arrives or the queue is closed. False only
+  /// on closed-and-drained.
+  bool Pop(T* out) {
+    obs::UniqueLock lock(mu_);
+    ready_.Wait(lock, [this]() LCREC_REQUIRES(mu_) {
+      return closed_ || !items_.empty();
+    });
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  /// Non-blocking pop; false when empty (or closed and drained).
+  bool TryPop(T* out) {
+    obs::UniqueLock lock(mu_);
+    if (items_.empty()) return false;
+    *out = std::move(items_.front());
+    items_.pop_front();
+    return true;
+  }
+
+  size_t size() const {
+    obs::UniqueLock lock(mu_);
+    return items_.size();
+  }
+
+  bool empty() const { return size() == 0; }
+
+  /// Unblocks every Pop(); subsequent pushes fail. Queued elements can
+  /// still be drained via Pop()/TryPop().
+  void Close() {
+    {
+      obs::UniqueLock lock(mu_);
+      closed_ = true;
+    }
+    ready_.NotifyAll();
+  }
+
+  bool closed() const {
+    obs::UniqueLock lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable obs::Mutex mu_;
+  obs::CondVar ready_;
+  std::deque<T> items_ LCREC_GUARDED_BY(mu_);
+  bool closed_ LCREC_GUARDED_BY(mu_) = false;
+};
+
+}  // namespace lcrec::serve
+
+#endif  // LCREC_SERVE_QUEUE_H_

@@ -1,0 +1,44 @@
+#ifndef LCREC_SERVE_REQUEST_H_
+#define LCREC_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "llm/generate.h"
+
+namespace lcrec::serve {
+
+/// One online recommendation query: the user's recent item-id history,
+/// how many items to return, and an optional latency budget.
+struct RecommendRequest {
+  std::vector<int> history;  // item ids, oldest first
+  int top_n = 10;
+  /// Latency budget in milliseconds from submission; 0 = no deadline.
+  /// Checked at admission: a request whose budget expires while it waits
+  /// in the queue is shed (rejected with a reason) instead of decoded
+  /// late — under overload the queue sheds rather than collapses.
+  double deadline_ms = 0.0;
+};
+
+enum class Status {
+  kOk = 0,
+  kShedQueueFull,   // admission queue at capacity
+  kShedDeadline,    // deadline expired before decoding started
+  kShutdown,        // server stopped while the request waited
+};
+
+std::string StatusName(Status s);
+
+struct RecommendResponse {
+  Status status = Status::kOk;
+  std::vector<llm::ScoredItem> items;  // ranked, empty unless kOk
+  bool cache_hit = false;      // served from the result cache
+  bool coalesced = false;      // joined an identical in-flight request
+  bool inline_path = false;    // decoded on the caller thread (idle server)
+  double latency_ms = 0.0;     // submission to completion, wall clock
+};
+
+}  // namespace lcrec::serve
+
+#endif  // LCREC_SERVE_REQUEST_H_

@@ -1,0 +1,301 @@
+#include "serve/server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lcrec::serve {
+
+namespace {
+
+/// Cached metric handles for the online server (lcrec.serve.*).
+struct ServeMetrics {
+  obs::Counter& requests;
+  obs::Counter& completed;
+  obs::Counter& cache_hits;
+  obs::Counter& coalesced;
+  obs::Counter& inline_fast_path;
+  obs::Counter& shed_queue_full;
+  obs::Counter& shed_deadline;
+  obs::Counter& batch_ticks;
+  obs::Gauge& queue_depth;
+  obs::Histogram& latency_ms;
+  obs::Histogram& batch_occupancy;
+
+  static ServeMetrics& Get() {
+    static ServeMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new ServeMetrics{
+          r.GetCounter("lcrec.serve.requests"),
+          r.GetCounter("lcrec.serve.completed"),
+          r.GetCounter("lcrec.serve.cache_hits"),
+          r.GetCounter("lcrec.serve.coalesced"),
+          r.GetCounter("lcrec.serve.inline_fast_path"),
+          r.GetCounter("lcrec.serve.shed_queue_full"),
+          r.GetCounter("lcrec.serve.shed_deadline"),
+          r.GetCounter("lcrec.serve.batch_ticks"),
+          r.GetGauge("lcrec.serve.queue_depth"),
+          r.GetHistogram("lcrec.serve.latency_ms",
+                         obs::Histogram::ExponentialBounds(0.05, 1.6, 32)),
+          r.GetHistogram("lcrec.serve.batch_occupancy",
+                         obs::Histogram::LinearBounds(1.0, 32.0, 32)),
+      };
+    }();
+    return *m;
+  }
+};
+
+RecommendResponse MakeShed(Status status) {
+  RecommendResponse resp;
+  resp.status = status;
+  return resp;
+}
+
+}  // namespace
+
+std::string StatusName(Status s) {
+  switch (s) {
+    case Status::kOk:
+      return "ok";
+    case Status::kShedQueueFull:
+      return "shed_queue_full";
+    case Status::kShedDeadline:
+      return "shed_deadline";
+    case Status::kShutdown:
+      return "shutdown";
+  }
+  return "unknown";
+}
+
+Server::Server(const llm::MiniLlm& model, const quant::PrefixTrie& trie,
+               const llm::IndexTokenMap& token_map,
+               PromptBuilder prompt_builder, ServerOptions options)
+    : model_(model),
+      trie_(trie),
+      token_map_(token_map),
+      prompt_builder_(std::move(prompt_builder)),
+      options_(options),
+      cache_(options.cache_capacity),
+      queue_(static_cast<size_t>(std::max(options.max_queue, 1))),
+      engine_(model, trie, token_map, options.beam_size) {
+  LCREC_CHECK(prompt_builder_ != nullptr);
+  LCREC_CHECK_GT(options_.max_batch_lanes, 0);
+  LCREC_CHECK_GT(options_.top_n_cap, 0);
+  if (options_.start_scheduler) Start();
+}
+
+Server::~Server() { Stop(); }
+
+void Server::Start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  scheduler_ = std::thread([this] { SchedulerLoop(); });
+}
+
+void Server::Stop() {
+  queue_.Close();
+  if (scheduler_.joinable()) scheduler_.join();
+  running_.store(false);
+}
+
+RecommendResponse Server::Recommend(const RecommendRequest& request) {
+  double t0_us = obs::NowMicros();
+  ServeMetrics& sm = ServeMetrics::Get();
+  sm.requests.Increment();
+  stats_.requests.fetch_add(1, std::memory_order_relaxed);
+
+  int top_n = std::min(std::max(request.top_n, 1), options_.top_n_cap);
+  std::vector<int> prompt = prompt_builder_(request.history);
+  uint64_t key = RequestKey(prompt, top_n, options_.beam_size);
+
+  RecommendResponse resp;
+  if (cache_.Get(key, &resp.items)) {
+    resp.cache_hit = true;
+    resp.latency_ms = (obs::NowMicros() - t0_us) / 1000.0;
+    sm.cache_hits.Increment();
+    sm.completed.Increment();
+    sm.latency_ms.Observe(resp.latency_ms);
+    stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    return resp;
+  }
+
+  // Single-flight: an identical request already being decoded absorbs
+  // this one; only the first submitter (the leader) pays for admission.
+  PendingPtr pending;
+  bool leader = false;
+  {
+    obs::UniqueLock lock(state_mu_);
+    auto it = inflight_.find(key);
+    if (it != inflight_.end()) {
+      pending = it->second;
+    } else {
+      pending = std::make_shared<Pending>();
+      pending->key = key;
+      pending->prompt = std::move(prompt);
+      pending->top_n = top_n;
+      pending->submit_us = t0_us;
+      pending->deadline_ms = request.deadline_ms;
+      inflight_[key] = pending;
+      leader = true;
+    }
+  }
+  if (!leader) {
+    sm.coalesced.Increment();
+    stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
+    return WaitDone(pending, t0_us, /*coalesced=*/true);
+  }
+
+  // Inline fast path: with an empty queue and no lane in flight there is
+  // nothing to batch with, so decoding on this thread skips the
+  // scheduler handoff entirely. The emptiness check is racy by design —
+  // a miss only costs one request the (correct) queued path.
+  if (options_.inline_fast_path && queue_.empty() &&
+      active_lanes_.load(std::memory_order_relaxed) == 0) {
+    sm.inline_fast_path.Increment();
+    stats_.inline_fast_path.fetch_add(1, std::memory_order_relaxed);
+    DecodeInline(pending);
+    return WaitDone(pending, t0_us, /*coalesced=*/false);
+  }
+
+  if (!queue_.TryPush(pending)) {
+    Status shed = queue_.closed() ? Status::kShutdown : Status::kShedQueueFull;
+    if (shed == Status::kShedQueueFull) {
+      sm.shed_queue_full.Increment();
+      stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Resolve (not just return): followers may already be parked on this
+    // pending and must observe the shed too.
+    Resolve(pending, MakeShed(shed));
+    return WaitDone(pending, t0_us, /*coalesced=*/false);
+  }
+  sm.queue_depth.Set(static_cast<double>(queue_.size()));
+  return WaitDone(pending, t0_us, /*coalesced=*/false);
+}
+
+RecommendResponse Server::WaitDone(const PendingPtr& pending, double t0_us,
+                                   bool coalesced) {
+  RecommendResponse resp;
+  {
+    obs::UniqueLock lock(state_mu_);
+    done_cv_.Wait(lock, [&pending] { return pending->done; });
+    resp = pending->response;  // copy — followers share the resolution
+  }
+  resp.coalesced = coalesced;
+  resp.latency_ms = (obs::NowMicros() - t0_us) / 1000.0;
+  ServeMetrics& sm = ServeMetrics::Get();
+  sm.latency_ms.Observe(resp.latency_ms);
+  if (resp.status == Status::kOk) {
+    sm.completed.Increment();
+    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+  }
+  return resp;
+}
+
+void Server::Resolve(const PendingPtr& pending, RecommendResponse response) {
+  {
+    obs::UniqueLock lock(state_mu_);
+    pending->response = std::move(response);
+    pending->done = true;
+    auto it = inflight_.find(pending->key);
+    if (it != inflight_.end() && it->second == pending) inflight_.erase(it);
+  }
+  done_cv_.NotifyAll();
+}
+
+void Server::DecodeInline(const PendingPtr& pending) {
+  std::vector<llm::ScoredItem> items =
+      llm::GenerateItems(model_, pending->prompt, trie_, token_map_,
+                         options_.beam_size, pending->top_n);
+  stats_.decoded.fetch_add(1, std::memory_order_relaxed);
+  cache_.Put(pending->key, items);
+  RecommendResponse resp;
+  resp.status = Status::kOk;
+  resp.inline_path = true;
+  resp.items = std::move(items);
+  Resolve(pending, std::move(resp));
+}
+
+void Server::AdmitOrShed(PendingPtr pending,
+                         std::unordered_map<uint64_t, PendingPtr>* by_tag) {
+  if (pending->deadline_ms > 0.0) {
+    double waited_ms = (obs::NowMicros() - pending->submit_us) / 1000.0;
+    if (waited_ms > pending->deadline_ms) {
+      ServeMetrics::Get().shed_deadline.Increment();
+      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      Resolve(pending, MakeShed(Status::kShedDeadline));
+      return;
+    }
+  }
+  uint64_t tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
+  engine_.Admit(tag, std::move(pending->prompt), pending->top_n);
+  (*by_tag)[tag] = std::move(pending);
+}
+
+void Server::SchedulerLoop() {
+  ServeMetrics& sm = ServeMetrics::Get();
+  // Maps engine lane tags back to waiting requests. Scheduler-local: no
+  // other thread touches the engine or this table.
+  std::unordered_map<uint64_t, PendingPtr> by_tag;
+  while (true) {
+    if (engine_.Idle()) {
+      active_lanes_.store(0, std::memory_order_relaxed);
+      PendingPtr first;
+      if (!queue_.Pop(&first)) break;  // closed and drained
+      AdmitOrShed(std::move(first), &by_tag);
+    }
+    // Continuous batching: top up free lanes from the queue every tick,
+    // so retiring requests make room without draining the batch.
+    PendingPtr extra;
+    while (engine_.ActiveLanes() < options_.max_batch_lanes &&
+           queue_.TryPop(&extra)) {
+      AdmitOrShed(std::move(extra), &by_tag);
+    }
+    sm.queue_depth.Set(static_cast<double>(queue_.size()));
+    if (engine_.Idle()) continue;  // everything popped hit its deadline
+    active_lanes_.store(engine_.ActiveLanes(), std::memory_order_relaxed);
+    sm.batch_occupancy.Observe(static_cast<double>(engine_.ActiveLanes()));
+    sm.batch_ticks.Increment();
+    stats_.batch_ticks.fetch_add(1, std::memory_order_relaxed);
+    std::vector<llm::BatchResult> done = engine_.Tick();
+    active_lanes_.store(engine_.ActiveLanes(), std::memory_order_relaxed);
+    for (llm::BatchResult& r : done) {
+      auto it = by_tag.find(r.tag);
+      if (it == by_tag.end()) continue;
+      PendingPtr p = std::move(it->second);
+      by_tag.erase(it);
+      stats_.decoded.fetch_add(1, std::memory_order_relaxed);
+      cache_.Put(p->key, r.items);
+      RecommendResponse resp;
+      resp.status = Status::kOk;
+      resp.items = std::move(r.items);
+      Resolve(p, std::move(resp));
+    }
+  }
+  // Defensive: the loop only exits with an idle engine, so by_tag should
+  // be empty; release any stragglers rather than strand their waiters.
+  for (auto& [tag, p] : by_tag) {
+    Resolve(p, MakeShed(Status::kShutdown));
+  }
+  by_tag.clear();
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.requests = stats_.requests.load(std::memory_order_relaxed);
+  s.completed = stats_.completed.load(std::memory_order_relaxed);
+  s.decoded = stats_.decoded.load(std::memory_order_relaxed);
+  s.cache_hits = stats_.cache_hits.load(std::memory_order_relaxed);
+  s.coalesced = stats_.coalesced.load(std::memory_order_relaxed);
+  s.inline_fast_path = stats_.inline_fast_path.load(std::memory_order_relaxed);
+  s.shed_queue_full = stats_.shed_queue_full.load(std::memory_order_relaxed);
+  s.shed_deadline = stats_.shed_deadline.load(std::memory_order_relaxed);
+  s.batch_ticks = stats_.batch_ticks.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace lcrec::serve

@@ -1,0 +1,151 @@
+#ifndef LCREC_SERVE_SERVER_H_
+#define LCREC_SERVE_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "llm/batch.h"
+#include "llm/generate.h"
+#include "llm/minillm.h"
+#include "obs/sync.h"
+#include "quant/indexing.h"
+#include "serve/cache.h"
+#include "serve/queue.h"
+#include "serve/request.h"
+
+namespace lcrec::serve {
+
+/// Maps a user's item-id history to the LLM prompt tokens to decode
+/// from (BOS included) — e.g. LcRec wires
+/// tasks::InstructionBuilder::SeqPrompt here. Must be callable from any
+/// client thread concurrently.
+using PromptBuilder =
+    std::function<std::vector<int>(const std::vector<int>&)>;
+
+struct ServerOptions {
+  int beam_size = 8;
+  int top_n_cap = 50;            // requests asking for more are clamped
+  int max_queue = 256;           // admission queue capacity
+  int max_batch_lanes = 8;       // decode lanes batched per tick
+  size_t cache_capacity = 1024;  // result-cache entries; 0 disables
+  /// When the queue is empty and no lane is in flight, decode on the
+  /// calling thread instead of paying a scheduler handoff — p50 at low
+  /// QPS must not tax requests with batching delay.
+  bool inline_fast_path = true;
+  /// Tests set false to stage requests while the scheduler is parked,
+  /// then call Start() to release them deterministically.
+  bool start_scheduler = true;
+};
+
+/// Per-server counters (the global lcrec.serve.* metrics aggregate
+/// across servers; tests want this instance's view).
+struct ServerStats {
+  int64_t requests = 0;
+  int64_t completed = 0;        // responses with status kOk
+  int64_t decoded = 0;          // beam searches actually executed
+  int64_t cache_hits = 0;
+  int64_t coalesced = 0;        // joined an identical in-flight request
+  int64_t inline_fast_path = 0;
+  int64_t shed_queue_full = 0;
+  int64_t shed_deadline = 0;
+  int64_t batch_ticks = 0;
+};
+
+/// In-process online recommendation server: many client threads call
+/// Recommend(); a scheduler thread forms continuous batches over a
+/// bounded admission queue and drives the shared BatchEngine, retiring
+/// finished requests and admitting new ones without draining the batch.
+/// Identical concurrent requests are deduplicated single-flight, and
+/// completed rankings land in an LRU result cache.
+///
+/// The model, trie, and token map must outlive the server.
+class Server {
+ public:
+  Server(const llm::MiniLlm& model, const quant::PrefixTrie& trie,
+         const llm::IndexTokenMap& token_map, PromptBuilder prompt_builder,
+         ServerOptions options = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Launches the scheduler thread (no-op when already running).
+  void Start();
+
+  /// Closes admission, drains already-admitted work, and joins the
+  /// scheduler. Blocked Recommend() callers whose requests were neither
+  /// decoded nor shed receive kShutdown.
+  void Stop();
+
+  /// Blocking; safe from any thread. Returns a ranked item list or a
+  /// shed/shutdown status with the reason encoded in `status`.
+  RecommendResponse Recommend(const RecommendRequest& request);
+
+  ServerStats stats() const;
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  /// One admitted request. Shared between the submitting client thread,
+  /// identical-request followers, and the scheduler.
+  struct Pending {
+    uint64_t key = 0;
+    std::vector<int> prompt;
+    int top_n = 0;
+    double submit_us = 0.0;    // obs::NowMicros at submission
+    double deadline_ms = 0.0;  // 0 = none
+    RecommendResponse response;
+    bool done = false;
+  };
+  using PendingPtr = std::shared_ptr<Pending>;
+
+  void SchedulerLoop();
+  /// Admits one popped request into the engine (recording its lane tag
+  /// in `by_tag`), or sheds it when its deadline already expired.
+  /// Scheduler thread only.
+  void AdmitOrShed(PendingPtr pending,
+                   std::unordered_map<uint64_t, PendingPtr>* by_tag);
+  /// Publishes `response` on `pending`, removes it from the in-flight
+  /// table, and wakes every waiter.
+  void Resolve(const PendingPtr& pending, RecommendResponse response);
+  /// Decodes sequentially on the calling thread (fast path).
+  void DecodeInline(const PendingPtr& pending);
+  RecommendResponse WaitDone(const PendingPtr& pending, double t0_us,
+                             bool coalesced);
+
+  const llm::MiniLlm& model_;
+  const quant::PrefixTrie& trie_;
+  const llm::IndexTokenMap& token_map_;
+  PromptBuilder prompt_builder_;
+  ServerOptions options_;
+
+  ResultCache cache_;
+  BoundedQueue<PendingPtr> queue_;
+  llm::BatchEngine engine_;  // scheduler thread only (after Start)
+  std::atomic<int> active_lanes_{0};
+  std::atomic<uint64_t> next_tag_{1};
+
+  obs::Mutex state_mu_;
+  obs::CondVar done_cv_;
+  std::unordered_map<uint64_t, PendingPtr> inflight_
+      LCREC_GUARDED_BY(state_mu_);
+
+  std::thread scheduler_;
+  std::atomic<bool> running_{false};
+
+  struct AtomicStats {
+    std::atomic<int64_t> requests{0}, completed{0}, decoded{0};
+    std::atomic<int64_t> cache_hits{0}, coalesced{0}, inline_fast_path{0};
+    std::atomic<int64_t> shed_queue_full{0}, shed_deadline{0};
+    std::atomic<int64_t> batch_ticks{0};
+  };
+  AtomicStats stats_;
+};
+
+}  // namespace lcrec::serve
+
+#endif  // LCREC_SERVE_SERVER_H_

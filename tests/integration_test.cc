@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "rec/lcrec.h"
 #include "rec/recommender.h"
+#include "serve/server.h"
 
 namespace lcrec::rec {
 namespace {
@@ -123,6 +124,28 @@ TEST_F(LcRecPipelineTest, ScoreAllItemsConsistentWithTopK) {
     }
   }
   EXPECT_EQ(best, top[0].item);
+}
+
+TEST_F(LcRecPipelineTest, OnlineServerMatchesOfflineTopK) {
+  // The serving layer wired onto a fitted LcRec (shared model, trie,
+  // token map, and prompt format) must return exactly TopK's ranking.
+  serve::ServerOptions opts;
+  opts.beam_size = model_->config().beam_size;
+  serve::Server server(
+      model_->model(), model_->trie(), model_->token_map(),
+      [&](const std::vector<int>& h) { return model_->PromptTokens(h); },
+      opts);
+  serve::RecommendRequest req;
+  req.history = dataset_->TestContext(2);
+  req.top_n = 10;
+  serve::RecommendResponse resp = server.Recommend(req);
+  ASSERT_EQ(resp.status, serve::Status::kOk);
+  auto want = model_->TopK(req.history, 10);
+  ASSERT_EQ(resp.items.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(resp.items[i].item, want[i].item) << "rank " << i;
+    EXPECT_EQ(resp.items[i].logprob, want[i].logprob) << "rank " << i;
+  }
 }
 
 }  // namespace

@@ -30,6 +30,14 @@
 //                                   carries an explicit lint:allow), not
 //                                   ad-hoc streams that can tear on
 //                                   crash.
+//   raw-thread             (src/ minus src/serve/ and src/obs/)
+//                                   spawning std::thread: all
+//                                   concurrency lives in the serving
+//                                   layer (and obs test scaffolding);
+//                                   the model/training core stays
+//                                   single-threaded by design.
+//                                   std::thread::hardware_concurrency()
+//                                   queries are exempt.
 //
 // Scanning is comment- and string-aware: rule patterns inside comments
 // or string literals never fire. A finding on a line whose raw text
@@ -236,6 +244,7 @@ void LintFile(const std::string& rel_path, const std::string& text,
   const bool in_src = StartsWith(rel_path, "src/");
   const bool in_obs = StartsWith(rel_path, "src/obs/");
   const bool in_ckpt = StartsWith(rel_path, "src/ckpt/");
+  const bool in_serve = StartsWith(rel_path, "src/serve/");
 
   std::vector<std::string> raw_lines = SplitLines(text);
   std::vector<std::string> code_lines =
@@ -289,6 +298,13 @@ void LintFile(const std::string& rel_path, const std::string& text,
       add(line_no, "ckpt-bypass",
           "binary state writes must go through lcrec::ckpt (atomic + "
           "CRC32) or core/serialize.cc, not a raw std::ofstream");
+    }
+    if (in_src && !in_serve && !in_obs && ContainsWord(line, "std::thread") &&
+        line.find("hardware_concurrency") == std::string::npos) {
+      add(line_no, "raw-thread",
+          "threads belong in src/serve/ (scheduler) or src/obs/ (test "
+          "scaffolding); the model/training core is single-threaded by "
+          "design");
     }
     if (ContainsWord(line, "std::rand") || ContainsCall(line, "srand")) {
       add(line_no, "std-rand",

@@ -1,0 +1,19 @@
+// Fixture: raw std::thread in core library code must be flagged — all
+// concurrency lives in src/serve/ and src/obs/. Never compiled, only
+// scanned.
+#include <thread>
+
+void SpawnWorker() {
+  std::thread t([] {});  // expect-lint: raw-thread
+  t.join();
+}
+
+void SpawnBlessed() {
+  std::thread t([] {});  // lint:allow(raw-thread)
+  t.join();
+}
+
+unsigned CoreCount() {
+  // Querying the core count does not spawn anything; exempt.
+  return std::thread::hardware_concurrency();
+}

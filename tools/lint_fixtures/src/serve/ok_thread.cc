@@ -1,0 +1,9 @@
+// Fixture: src/serve/ is the blessed home for threads — the scheduler
+// thread and client-facing concurrency live here, so std::thread must
+// NOT be flagged. Never compiled, only scanned.
+#include <thread>
+
+void StartScheduler() {
+  std::thread scheduler([] {});
+  scheduler.join();
+}
