@@ -9,9 +9,18 @@
 // Usage:
 //   bench_serve [--requests=N] [--concurrency=N] [--qps=X] [--zipf=S]
 //               [--catalog=N] [--seed=N] [--out=PATH] [--smoke]
+//               [--trace-requests[=PATH]]
 //
 // --smoke is the CI gate mode: a small trace at low QPS that must
 // complete with zero shed requests (exit 1 otherwise).
+//
+// --trace-requests samples every request (trace_sample_n=1), writes the
+// closed-loop run's request-scoped async spans as a Chrome trace (PATH,
+// default serve_trace.json — load in chrome://tracing or Perfetto), and
+// prints a few per-request stage timelines. Independent of tracing, the
+// record always includes tail attribution: the mean per-stage breakdown
+// of requests at or above the closed-loop p95 (serve_tail/*_us), which
+// names the stage a tail regression lives in.
 
 #include <algorithm>
 #include <atomic>
@@ -19,6 +28,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iterator>
+#include <map>
 #include <memory>
 #include <string>
 #include <thread>
@@ -47,6 +58,8 @@ struct ServeFlags {
   uint64_t seed = 19;
   std::string out;
   bool smoke = false;
+  bool trace_requests = false;
+  std::string trace_out = "serve_trace.json";
 
   static ServeFlags Parse(int argc, char** argv) {
     ServeFlags f;
@@ -66,6 +79,11 @@ struct ServeFlags {
         f.seed = static_cast<uint64_t>(std::atoll(a + 7));
       } else if (std::strncmp(a, "--out=", 6) == 0) {
         f.out = a + 6;
+      } else if (std::strcmp(a, "--trace-requests") == 0) {
+        f.trace_requests = true;
+      } else if (std::strncmp(a, "--trace-requests=", 17) == 0) {
+        f.trace_requests = true;
+        f.trace_out = a + 17;
       } else if (std::strcmp(a, "--smoke") == 0) {
         f.smoke = true;
         f.requests = 48;
@@ -165,6 +183,9 @@ struct LoadResult {
   std::vector<double> latency_ms;
   serve::ServerStats stats;
   int errors = 0;  // non-kOk responses
+  /// Per-request stage breakdowns, aligned with latency_ms (closed loop
+  /// only; empty elsewhere).
+  std::vector<serve::RequestDebug> debugs;
 };
 
 /// Sequential single-request baseline: one thread, one GenerateItems per
@@ -207,6 +228,8 @@ LoadResult RunClosedLoop(const Bench& bench,
 
   std::atomic<size_t> next{0};
   std::vector<std::vector<double>> lat(static_cast<size_t>(concurrency));
+  std::vector<std::vector<serve::RequestDebug>> dbg(
+      static_cast<size_t>(concurrency));
   std::atomic<int> errors{0};
   auto start = std::chrono::steady_clock::now();
   std::vector<std::thread> clients;
@@ -224,6 +247,7 @@ LoadResult RunClosedLoop(const Bench& bench,
         if (resp.status != serve::Status::kOk) errors.fetch_add(1);
         lat[static_cast<size_t>(c)].push_back(
             std::chrono::duration<double, std::milli>(t1 - t0).count());
+        dbg[static_cast<size_t>(c)].push_back(std::move(resp.debug));
       }
     });
   }
@@ -235,13 +259,40 @@ LoadResult RunClosedLoop(const Bench& bench,
   result.req_per_sec =
       result.wall_s > 0.0 ? static_cast<double>(trace.size()) / result.wall_s
                           : 0.0;
-  for (const auto& per_thread : lat) {
-    result.latency_ms.insert(result.latency_ms.end(), per_thread.begin(),
-                             per_thread.end());
+  for (size_t t = 0; t < lat.size(); ++t) {
+    result.latency_ms.insert(result.latency_ms.end(), lat[t].begin(),
+                             lat[t].end());
+    result.debugs.insert(result.debugs.end(),
+                         std::make_move_iterator(dbg[t].begin()),
+                         std::make_move_iterator(dbg[t].end()));
   }
   result.errors = errors.load();
   result.stats = server.stats();
   return result;
+}
+
+/// Tail attribution: the mean per-stage time of the requests at or above
+/// the p95 latency — where did the slow requests actually spend it?
+/// Stage durations are gap-free (obs::RequestTimeline), so the returned
+/// means sum to roughly the mean tail latency.
+std::map<std::string, double> TailStageBreakdownUs(const LoadResult& r) {
+  std::map<std::string, double> sum_us;
+  if (r.debugs.size() != r.latency_ms.size() || r.debugs.empty()) {
+    return sum_us;
+  }
+  double p95 = Quantile(r.latency_ms, 0.95);
+  int tail = 0;
+  for (size_t i = 0; i < r.debugs.size(); ++i) {
+    if (r.latency_ms[i] < p95) continue;
+    ++tail;
+    for (const obs::StageSpan& s : r.debugs[i].stages) {
+      sum_us[s.stage] += s.dur_us;
+    }
+  }
+  if (tail > 0) {
+    for (auto& kv : sum_us) kv.second /= static_cast<double>(tail);
+  }
+  return sum_us;
 }
 
 /// Open loop: arrivals scheduled at `qps`; worker threads pick up each
@@ -341,11 +392,40 @@ int main(int argc, char** argv) {
 
   LoadResult seq = RunSequential(bench, trace, kTopN);
   PrintResult("sequential", seq);
+  if (flags.trace_requests) obs::TraceRecorder::Global().SetEnabled(true);
   LoadResult closed = RunClosedLoop(bench, trace, flags.concurrency, kTopN);
+  if (flags.trace_requests) {
+    obs::TraceRecorder::Global().SetEnabled(false);
+    obs::TraceRecorder::Global().WriteChromeTraceFile(flags.trace_out);
+    std::printf("bench_serve: request trace (%zu events) written to %s\n",
+                obs::TraceRecorder::Global().event_count(),
+                flags.trace_out.c_str());
+    // A few sample timelines so the stage names are visible without
+    // opening the trace.
+    int shown = 0;
+    for (const serve::RequestDebug& d : closed.debugs) {
+      if (d.stages.size() < 4 || shown >= 3) continue;
+      std::printf("  request %llu:",
+                  static_cast<unsigned long long>(d.request_id));
+      for (const obs::StageSpan& s : d.stages) {
+        std::printf(" %s %.0fus", s.stage, s.dur_us);
+      }
+      std::printf("\n");
+      ++shown;
+    }
+  }
   PrintResult("closed", closed);
   LoadResult open =
       RunOpenLoop(bench, trace, flags.concurrency, flags.qps, kTopN);
   PrintResult("open", open);
+
+  std::map<std::string, double> tail = TailStageBreakdownUs(closed);
+  if (!tail.empty()) {
+    std::printf("closed-loop tail (>= p95) mean stage breakdown:\n");
+    for (const auto& kv : tail) {
+      std::printf("  %-14s %9.1f us\n", kv.first.c_str(), kv.second);
+    }
+  }
 
   double speedup =
       seq.req_per_sec > 0.0 ? closed.req_per_sec / seq.req_per_sec : 0.0;
@@ -365,6 +445,31 @@ int main(int argc, char** argv) {
   rec.metrics["serve_open/p95_ms"] = {Quantile(open.latency_ms, 0.95),
                                       kServeTolerance};
   rec.metrics["sequential/req_per_sec"] = {seq.req_per_sec, kServeTolerance};
+  // Shed breakdown and serve-path mix. Counts are usually 0 at bench
+  // load (the smoke gate demands it); a nonzero baseline would make a
+  // shed regression visible in the perf diff.
+  double n_closed = static_cast<double>(closed.stats.requests);
+  rec.metrics["serve/shed_queue_full"] = {
+      static_cast<double>(closed.stats.shed_queue_full), kServeTolerance};
+  rec.metrics["serve/shed_deadline"] = {
+      static_cast<double>(closed.stats.shed_deadline), kServeTolerance};
+  rec.metrics["serve_open/shed_queue_full"] = {
+      static_cast<double>(open.stats.shed_queue_full), kServeTolerance};
+  rec.metrics["serve_open/shed_deadline"] = {
+      static_cast<double>(open.stats.shed_deadline), kServeTolerance};
+  if (n_closed > 0.0) {
+    rec.metrics["serve/cache_hit_rate"] = {
+        static_cast<double>(closed.stats.cache_hits) / n_closed, 1.0};
+    rec.metrics["serve/coalesce_rate"] = {
+        static_cast<double>(closed.stats.coalesced) / n_closed, 1.0};
+    rec.metrics["serve/inline_rate"] = {
+        static_cast<double>(closed.stats.inline_fast_path) / n_closed, 1.0};
+  }
+  // Tail attribution (mean us per stage for closed-loop requests >= p95).
+  // Wide band: tail composition is the noisiest thing measured here.
+  for (const auto& kv : tail) {
+    rec.metrics["serve_tail/" + kv.first + "_us"] = {kv.second, 1.0};
+  }
   std::string out = flags.out;
   if (out.empty()) out = "BENCH_" + rec.manifest.git_sha + ".json";
   if (obs::WritePerfRecordFile(out, rec)) {

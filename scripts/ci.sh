@@ -4,7 +4,8 @@
 # gate fails (skipped gates do not fail the run).
 #
 #   scripts/ci.sh            # tier-1 tests, fault suite, serve smoke,
-#                            # lint, strict build, ASan+UBSan
+#                            # flightrec crash-dump smoke, lint, strict
+#                            # build, ASan+UBSan
 #   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
 #
 # Individual gates reuse their own scratch build trees (build-strict/,
@@ -81,10 +82,53 @@ gate_serve() {
     --out="${build_dir}/bench_serve_smoke.json"
 }
 
+gate_flightrec() {
+  # Flight-recorder smoke: a forced LCREC_CHECK failure in a child
+  # process must leave a parseable black-box dump on stderr containing
+  # the shed events recorded just before the crash.
+  local probe="${build_dir}/tools/flightrec_probe"
+  local log="${build_dir}/flightrec_probe.log"
+  if "${probe}" --crash >/dev/null 2>"${log}"; then
+    echo "flightrec: probe --crash unexpectedly exited 0"
+    return 1
+  fi
+  if ! grep -q '^=== flight recorder dump (' "${log}"; then
+    echo "flightrec: dump start marker missing from stderr"
+    return 1
+  fi
+  if ! grep -q '^=== end flight recorder dump ===$' "${log}"; then
+    echo "flightrec: dump end marker missing from stderr"
+    return 1
+  fi
+  local dump sheds malformed
+  dump="$(sed -n '/^=== flight recorder dump (/,/^=== end flight recorder dump ===$/p' \
+    "${log}" | sed '1d;$d')"
+  if [[ -z "${dump}" ]]; then
+    echo "flightrec: dump is empty"
+    return 1
+  fi
+  sheds="$(printf '%s\n' "${dump}" | grep -c '"detail":"shed_queue_full"')"
+  if [[ "${sheds}" -lt 5 ]]; then
+    echo "flightrec: expected >= 5 shed_queue_full events, got ${sheds}"
+    return 1
+  fi
+  # Every dump line must be one JSON object with the documented fields.
+  malformed="$(printf '%s\n' "${dump}" | grep -vcE \
+    '^\{"ts_us":[0-9.e+-]+,"tid":[0-9]+,"kind":"[a-z_]+","detail":"[^"]*","a":-?[0-9]+,"b":-?[0-9]+\}$')"
+  if [[ "${malformed}" -ne 0 ]]; then
+    echo "flightrec: ${malformed} malformed JSONL line(s) in dump"
+    printf '%s\n' "${dump}" | head -5
+    return 1
+  fi
+  echo "flightrec: dump OK ($(printf '%s\n' "${dump}" | wc -l) events," \
+    "${sheds} sheds)"
+}
+
 run_gate "build"          gate_build    || overall=1
 run_gate "tier1_tests"    gate_tests    || overall=1
 run_gate "fault"          gate_fault    || overall=1
 run_gate "serve_smoke"    gate_serve    || overall=1
+run_gate "flightrec"      gate_flightrec || overall=1
 run_gate "lcrec_lint"     gate_lint     || overall=1
 run_gate "check_warnings" gate_warnings || overall=1
 run_gate "asan_ubsan"     gate_asan     || overall=1

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/flightrec.h"
 #include "obs/log.h"
 #include "obs/registry.h"
 
@@ -30,6 +31,13 @@ bool HealthGuard::OnUnhealthy(double loss, double grad_norm,
            "[%s] numeric health trip %d/%d: loss %g grad_norm %g",
            subsystem_.c_str(), trips_, options_.max_retries,
            loss, grad_norm);
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.Record(obs::FrKind::kHealthTrip, "health_trip", trips_,
+            options_.max_retries);
+  // A health trip is exactly the moment the recent-event record matters:
+  // dump it while the process is still alive (the unrecoverable branch
+  // below aborts through LCREC_CHECK, which dumps again — harmless).
+  fr.DumpToStderr("numeric health trip");
   const bool numeric_health_recoverable =
       can_rollback && trips_ <= options_.max_retries;
   // Clean abort: no checkpoint to roll back to (or retries exhausted)

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <vector>
 
+#include "obs/flightrec.h"
 #include "obs/log.h"
 #include "obs/trace.h"
 
@@ -25,6 +26,12 @@ void CheckFailed(const char* file, int line, const char* kind,
     }
     obs::LogRaw(obs::LogLevel::kError, "  span stack: %s", stack.c_str());
   }
+  // Black-box dump: whatever the process was doing recently (sheds,
+  // batch ticks, health trips) goes to stderr before the abort, so a
+  // crash in production serving leaves a debuggable record.
+  obs::FlightRecorder& fr = obs::FlightRecorder::Global();
+  fr.Record(obs::FrKind::kCheckFail, kind, line, 0);
+  fr.DumpToStderr(msg.c_str());
   std::abort();
 }
 

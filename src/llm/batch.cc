@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -60,6 +61,7 @@ void BatchEngine::Admit(uint64_t tag, std::vector<int> prompt, int top_n) {
 std::vector<BatchResult> BatchEngine::Tick() {
   if (lanes_.empty()) return {};
   obs::ScopedSpan span("llm.batch_tick");
+  double tick_start_us = obs::NowMicros();
   BatchMetrics& bm = BatchMetrics::Get();
   bm.ticks.Increment();
   bm.lanes_per_tick.Observe(static_cast<double>(lanes_.size()));
@@ -154,12 +156,23 @@ std::vector<BatchResult> BatchEngine::Tick() {
     }
   }
 
+  // Fair-share tick attribution: the batched forward serves all lanes
+  // at once, so each active lane is charged an equal 1/n slice of the
+  // tick's wall time. Summed over concurrently-running lanes this
+  // reconstructs the engine's actual decode time.
+  double tick_share_us = (obs::NowMicros() - tick_start_us) /
+                         static_cast<double>(n);
+  obs::FlightRecorder::Global().Record(obs::FrKind::kBatchTick, "batch_tick",
+                                       static_cast<int64_t>(n), fed_tokens);
+
   // Phase 3: retire completed children, advance depths, finish lanes.
   std::vector<BatchResult> finished;
   std::vector<Lane> still_running;
   still_running.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     Lane& lane = lanes_[i];
+    ++lane.ticks;
+    lane.decode_us += tick_share_us;
     bool complete = false;
     if (expanding[i]) {
       std::vector<Beam> next_active;
@@ -181,7 +194,8 @@ std::vector<BatchResult> BatchEngine::Tick() {
       if (static_cast<int>(lane.done.size()) > lane.top_n) {
         lane.done.resize(static_cast<size_t>(lane.top_n));
       }
-      finished.push_back({lane.tag, std::move(lane.done)});
+      finished.push_back(
+          {lane.tag, std::move(lane.done), lane.ticks, lane.decode_us});
       bm.retired.Increment();
     } else {
       still_running.push_back(std::move(lane));

@@ -10,10 +10,15 @@
 
 namespace lcrec::llm {
 
-/// Result of one finished decode lane.
+/// Result of one finished decode lane, with its share of the batch cost:
+/// every tick the lane was active charges it tick_duration/active_lanes,
+/// so decode_us across concurrently-retired lanes sums to the engine's
+/// actual forward time — the attribution the serving timeline reports.
 struct BatchResult {
   uint64_t tag = 0;  // caller-supplied id from Admit()
   std::vector<ScoredItem> items;
+  int ticks = 0;          // ticks this lane participated in
+  double decode_us = 0.0; // fair-share decode time across those ticks
 };
 
 /// Continuous-batching engine for trie-constrained beam search: every
@@ -64,6 +69,8 @@ class BatchEngine {
     std::vector<int> prompt;  // fed on the lane's first tick
     bool prefilled = false;
     int depth = 0;
+    int ticks = 0;           // tick-attribution accumulators (BatchResult)
+    double decode_us = 0.0;
     std::vector<Beam> active;
     std::vector<ScoredItem> done;
   };

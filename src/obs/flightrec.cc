@@ -1,0 +1,147 @@
+#include "obs/flightrec.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+
+#include "obs/export.h"
+#include "obs/sync.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+
+const char* FrKindName(FrKind kind) {
+  switch (kind) {
+    case FrKind::kNone:
+      return "none";
+    case FrKind::kShed:
+      return "shed";
+    case FrKind::kSlowRequest:
+      return "slow_request";
+    case FrKind::kHealthTrip:
+      return "health_trip";
+    case FrKind::kBatchTick:
+      return "batch_tick";
+    case FrKind::kCheckFail:
+      return "check_fail";
+    case FrKind::kMark:
+      return "mark";
+  }
+  return "unknown";
+}
+
+/// One thread's ring. Written only by the owning thread (relaxed field
+/// stores, release head store); read by dumpers through the atomics.
+/// Kept alive past thread exit by the shared_ptr in the global list so a
+/// crash dump still shows what an already-joined worker did.
+struct FlightRecorder::Ring {
+  std::atomic<uint64_t> head{0};
+  std::array<Slot, kRingSlots> slots;
+  int tid = 0;
+};
+
+namespace {
+
+obs::Mutex& RingListMu() {
+  static obs::Mutex* mu = new obs::Mutex();
+  return *mu;
+}
+
+std::vector<std::shared_ptr<FlightRecorder::Ring>>& RingList() {
+  // Never destroyed: the LCREC_CHECK failure handler may dump during
+  // static destruction of some other translation unit.
+  static auto* list = new std::vector<std::shared_ptr<FlightRecorder::Ring>>();
+  return *list;
+}
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* global = new FlightRecorder();
+  return *global;
+}
+
+FlightRecorder::Ring& FlightRecorder::ThisThreadRing() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    r->tid = CurrentThreadId();
+    MutexLock lock(RingListMu());
+    RingList().push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+void FlightRecorder::Record(FrKind kind, const char* detail, int64_t a,
+                            int64_t b) {
+  Ring& ring = ThisThreadRing();
+  uint64_t h = ring.head.load(std::memory_order_relaxed);
+  Slot& slot = ring.slots[h % kRingSlots];
+  slot.ts_us.store(NowMicros(), std::memory_order_relaxed);
+  slot.detail.store(detail, std::memory_order_relaxed);
+  slot.a.store(a, std::memory_order_relaxed);
+  slot.b.store(b, std::memory_order_relaxed);
+  slot.kind.store(static_cast<uint8_t>(kind), std::memory_order_relaxed);
+  // Publish the slot: a reader that observes head > h sees the stores
+  // above (acquire pairing in Snapshot).
+  ring.head.store(h + 1, std::memory_order_release);
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<FrEvent> FlightRecorder::Snapshot() const {
+  std::vector<std::shared_ptr<Ring>> rings;
+  {
+    MutexLock lock(RingListMu());
+    rings = RingList();
+  }
+  std::vector<FrEvent> out;
+  for (const auto& ring : rings) {
+    uint64_t head = ring->head.load(std::memory_order_acquire);
+    uint64_t count = std::min<uint64_t>(head, kRingSlots);
+    for (uint64_t i = head - count; i < head; ++i) {
+      const Slot& slot = ring->slots[i % kRingSlots];
+      FrEvent e;
+      e.ts_us = slot.ts_us.load(std::memory_order_relaxed);
+      e.tid = ring->tid;
+      e.kind = static_cast<FrKind>(slot.kind.load(std::memory_order_relaxed));
+      e.detail = slot.detail.load(std::memory_order_relaxed);
+      e.a = slot.a.load(std::memory_order_relaxed);
+      e.b = slot.b.load(std::memory_order_relaxed);
+      if (e.kind != FrKind::kNone && e.detail != nullptr) {
+        out.push_back(e);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FrEvent& x, const FrEvent& y) { return x.ts_us < y.ts_us; });
+  return out;
+}
+
+void FlightRecorder::WriteJsonl(std::ostream& out) const {
+  for (const FrEvent& e : Snapshot()) {
+    out << "{\"ts_us\":" << JsonNumber(e.ts_us) << ",\"tid\":" << e.tid
+        << ",\"kind\":\"" << FrKindName(e.kind) << "\",\"detail\":\""
+        << JsonEscape(e.detail) << "\",\"a\":" << e.a << ",\"b\":" << e.b
+        << "}\n";
+  }
+}
+
+void FlightRecorder::DumpToStderr(const char* why) const {
+  // stderr via stdio, not obs::Log: the dump must survive any log-level
+  // filter, and each line must stay a standalone JSON object.
+  std::ostringstream text;
+  WriteJsonl(text);
+  std::fprintf(stderr, "=== flight recorder dump (%s) ===\n", why);
+  std::fputs(text.str().c_str(), stderr);
+  std::fprintf(stderr, "=== end flight recorder dump ===\n");
+  std::fflush(stderr);
+  std::string path = EnvOr("LCREC_FLIGHTREC_OUT");
+  if (!path.empty()) {
+    std::ofstream file(path, std::ios::out | std::ios::trunc);
+    if (file.is_open()) WriteJsonl(file);
+  }
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,100 @@
+#ifndef LCREC_OBS_FLIGHTREC_H_
+#define LCREC_OBS_FLIGHTREC_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <ostream>
+#include <vector>
+
+namespace lcrec::obs {
+
+/// Event kinds the flight recorder distinguishes. Annotation beyond the
+/// kind travels in `detail` (a static string) and two integer payloads.
+enum class FrKind : uint8_t {
+  kNone = 0,      // empty ring slot
+  kShed,          // request shed; detail = reason, a = request id
+  kSlowRequest,   // latency over threshold; a = request id, b = latency_us
+  kHealthTrip,    // ckpt::HealthGuard trip; a = trip no, b = max retries
+  kBatchTick,     // one BatchEngine tick; a = lanes, b = fed tokens
+  kCheckFail,     // LCREC_CHECK failure (recorded by the failure handler)
+  kMark,          // free-form annotation from tests/tools
+};
+
+const char* FrKindName(FrKind kind);
+
+/// One recorded flight event. `detail` must be a string with process
+/// lifetime (a literal); the recorder stores the pointer, never a copy.
+struct FrEvent {
+  double ts_us = 0.0;           // obs::NowMicros time base
+  int tid = 0;                  // recording thread (trace.h thread ids)
+  FrKind kind = FrKind::kNone;
+  const char* detail = nullptr;
+  int64_t a = 0;
+  int64_t b = 0;
+};
+
+/// Always-on crash/black-box recorder: a fixed-size lock-free ring of
+/// recent annotated events per thread. Record() touches only the calling
+/// thread's ring — relaxed stores into the next slot plus one release
+/// store of the head index, no locks, no allocation after the first
+/// event on a thread — so it is cheap enough to leave on in production
+/// serving paths and safe to call from almost anywhere (not
+/// async-signal-safe: the first event on a thread registers the ring
+/// under a mutex).
+///
+/// Snapshot()/dump readers run on any thread and read other threads'
+/// rings through the same atomics, so they are TSan-clean; a slot being
+/// overwritten concurrently with a read can yield a mixed event, which a
+/// best-effort crash dump tolerates by design. The dump entry points are
+/// wired into the LCREC_CHECK failure handler (core/check.cc), the
+/// ckpt::HealthGuard trip path, and serve::Server::DumpFlightRecorder().
+class FlightRecorder {
+ public:
+  /// Slots per thread ring. 256 events outlive any burst worth seeing in
+  /// a crash dump (a few seconds of batch ticks plus every recent shed).
+  static constexpr size_t kRingSlots = 256;
+
+  static FlightRecorder& Global();
+
+  void Record(FrKind kind, const char* detail, int64_t a = 0, int64_t b = 0);
+
+  /// Merged view of every thread's ring, oldest first (sorted by ts_us).
+  /// Empty slots are skipped; at most kRingSlots events per thread.
+  std::vector<FrEvent> Snapshot() const;
+
+  /// One JSON object per event:
+  ///   {"ts_us":...,"tid":...,"kind":"shed","detail":"shed_queue_full",
+  ///    "a":...,"b":...}
+  void WriteJsonl(std::ostream& out) const;
+
+  /// Dumps the ring contents to stderr between recognizable marker
+  /// lines, for the LCREC_CHECK failure handler and operator SIGQUIT-
+  /// style use. `why` names the trigger. Also honors LCREC_FLIGHTREC_OUT
+  /// (writes the same JSONL to that path). Never throws, never checks.
+  void DumpToStderr(const char* why) const;
+
+  /// Total events ever recorded (across wraparound), for tests.
+  int64_t recorded() const { return recorded_.load(std::memory_order_relaxed); }
+
+  struct Ring;  // public name so flightrec.cc internals can refer to it
+
+ private:
+  FlightRecorder() = default;
+
+  struct Slot {
+    std::atomic<double> ts_us{0.0};
+    std::atomic<const char*> detail{nullptr};
+    std::atomic<int64_t> a{0};
+    std::atomic<int64_t> b{0};
+    std::atomic<uint8_t> kind{0};
+  };
+
+  Ring& ThisThreadRing();
+
+  std::atomic<int64_t> recorded_{0};
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_FLIGHTREC_H_

@@ -1,5 +1,6 @@
 #include "obs/registry.h"
 
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -124,8 +125,10 @@ std::string PromName(const std::string& name) {
 }
 
 /// Prometheus renders values as Go floats; JsonNumber's %.9g is
-/// compatible, but +/-Inf must be spelled out.
+/// compatible, but +/-Inf and NaN must be spelled out (JsonNumber turns
+/// NaN into JSON null, which the exposition format rejects).
 std::string PromNumber(double v) {
+  if (std::isnan(v)) return "NaN";
   if (v == std::numeric_limits<double>::infinity()) return "+Inf";
   if (v == -std::numeric_limits<double>::infinity()) return "-Inf";
   return JsonNumber(v);

@@ -1,0 +1,187 @@
+#include "obs/slo.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/export.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+
+namespace {
+
+/// Cached handles for the lcrec.serve.slo.* surface. Gauges hold the
+/// latest window reading; counters accumulate across windows.
+struct SloMetrics {
+  Counter& bad_requests;
+  Counter& reports;
+  Gauge& bad_fraction;
+  Gauge& burn_rate;
+  Gauge& budget_left;
+  Gauge& window_total;
+
+  static SloMetrics& Get() {
+    static SloMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new SloMetrics{
+          r.GetCounter("lcrec.serve.slo.bad_requests"),
+          r.GetCounter("lcrec.serve.slo.reports"),
+          r.GetGauge("lcrec.serve.slo.bad_fraction"),
+          r.GetGauge("lcrec.serve.slo.burn_rate"),
+          r.GetGauge("lcrec.serve.slo.budget_left"),
+          r.GetGauge("lcrec.serve.slo.window_total"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+SloMonitor::SloMonitor(const SloOptions& options) : options_(options) {
+  LCREC_CHECK_GT(options_.target_ms, 0.0);
+  LCREC_CHECK_GT(options_.error_budget, 0.0);
+  LCREC_CHECK_GT(options_.window_s, 0.0);
+  LCREC_CHECK_GT(options_.sub_windows, 0);
+  bucket_width_us_ =
+      options_.window_s * 1e6 / static_cast<double>(options_.sub_windows);
+  buckets_.resize(static_cast<size_t>(options_.sub_windows));
+}
+
+SloMonitor::~SloMonitor() { StopReporter(); }
+
+double SloMonitor::Now() const {
+  return options_.now_us ? options_.now_us() : NowMicros();
+}
+
+int64_t SloMonitor::EpochOf(double now_us) const {
+  return static_cast<int64_t>(now_us / bucket_width_us_);
+}
+
+void SloMonitor::RecordRequest(double latency_ms, bool ok) {
+  bool bad = !ok || latency_ms > options_.target_ms;
+  double now = Now();
+  SloWindow w;
+  {
+    MutexLock lock(mu_);
+    int64_t epoch = EpochOf(now);
+    Bucket& bucket =
+        buckets_[static_cast<size_t>(epoch % options_.sub_windows)];
+    if (bucket.epoch != epoch) {
+      // The slot last held a bucket a full window ago; recycle it.
+      bucket.epoch = epoch;
+      bucket.total = 0;
+      bucket.bad = 0;
+    }
+    ++bucket.total;
+    if (bad) ++bucket.bad;
+    w = WindowLocked(now);
+  }
+  if (bad) SloMetrics::Get().bad_requests.Increment();
+  PublishMetrics(w);
+}
+
+SloWindow SloMonitor::WindowLocked(double now_us) const {
+  SloWindow w;
+  int64_t newest = EpochOf(now_us);
+  int64_t oldest = newest - options_.sub_windows + 1;
+  for (const Bucket& b : buckets_) {
+    if (b.epoch < oldest || b.epoch > newest) continue;  // expired slot
+    w.total += b.total;
+    w.bad += b.bad;
+  }
+  if (w.total > 0) {
+    w.bad_fraction = static_cast<double>(w.bad) / static_cast<double>(w.total);
+  }
+  w.burn_rate = w.bad_fraction / options_.error_budget;
+  w.budget_left = 1.0 - w.burn_rate;
+  return w;
+}
+
+SloWindow SloMonitor::Window() const {
+  double now = Now();
+  MutexLock lock(mu_);
+  return WindowLocked(now);
+}
+
+void SloMonitor::PublishMetrics(const SloWindow& w) {
+  SloMetrics& m = SloMetrics::Get();
+  m.bad_fraction.Set(w.bad_fraction);
+  m.burn_rate.Set(w.burn_rate);
+  m.budget_left.Set(w.budget_left);
+  m.window_total.Set(static_cast<double>(w.total));
+}
+
+std::string SloMonitor::StatuszText() const {
+  SloWindow w = Window();
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "slo: target %gms budget %g%% window %gs | total %lld bad "
+                "%lld bad_frac %.4f burn %.3f budget_left %.3f",
+                options_.target_ms, options_.error_budget * 100.0,
+                options_.window_s, static_cast<long long>(w.total),
+                static_cast<long long>(w.bad), w.bad_fraction, w.burn_rate,
+                w.budget_left);
+  return buf;
+}
+
+std::string SloMonitor::StatuszJson() const {
+  SloWindow w = Window();
+  std::string out = "{\"slo\":{";
+  out += "\"target_ms\":" + JsonNumber(options_.target_ms);
+  out += ",\"error_budget\":" + JsonNumber(options_.error_budget);
+  out += ",\"window_s\":" + JsonNumber(options_.window_s);
+  out += ",\"total\":" + std::to_string(w.total);
+  out += ",\"bad\":" + std::to_string(w.bad);
+  out += ",\"bad_fraction\":" + JsonNumber(w.bad_fraction);
+  out += ",\"burn_rate\":" + JsonNumber(w.burn_rate);
+  out += ",\"budget_left\":" + JsonNumber(w.budget_left);
+  out += "}}";
+  return out;
+}
+
+void SloMonitor::StartReporter(std::function<void(const std::string&)> sink) {
+  if (options_.report_every_s <= 0.0 || reporter_.joinable()) return;
+  if (!sink) {
+    sink = [](const std::string& line) {
+      Log(LogLevel::kInfo, "%s", line.c_str());
+    };
+  }
+  {
+    UniqueLock lock(reporter_mu_);
+    reporter_stop_ = false;
+  }
+  auto period = std::chrono::duration<double>(options_.report_every_s);
+  reporter_ = std::thread([this, sink = std::move(sink), period] {
+    for (;;) {
+      {
+        UniqueLock lock(reporter_mu_);
+        if (reporter_cv_.WaitFor(lock, period, [this]()
+                                     LCREC_REQUIRES(reporter_mu_) {
+                                       return reporter_stop_;
+                                     })) {
+          return;
+        }
+      }
+      sink(StatuszText());
+      SloMetrics::Get().reports.Increment();
+    }
+  });
+}
+
+void SloMonitor::StopReporter() {
+  {
+    UniqueLock lock(reporter_mu_);
+    reporter_stop_ = true;
+  }
+  reporter_cv_.NotifyAll();
+  if (reporter_.joinable()) reporter_.join();
+}
+
+}  // namespace lcrec::obs

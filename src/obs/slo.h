@@ -1,0 +1,102 @@
+#ifndef LCREC_OBS_SLO_H_
+#define LCREC_OBS_SLO_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/sync.h"
+
+namespace lcrec::obs {
+
+/// SLO configuration: a latency target plus the fraction of requests
+/// allowed to miss it (the error budget). A request is "bad" when it was
+/// shed/errored or completed slower than `target_ms`; the monitor tracks
+/// the bad fraction over a sliding window and reports it as a burn rate
+/// — bad_fraction / error_budget, the Google SRE convention where 1.0
+/// means exactly consuming budget and anything above is overspend.
+struct SloOptions {
+  double target_ms = 100.0;     // latency objective (the "p95 target")
+  double error_budget = 0.05;   // allowed bad-request fraction
+  double window_s = 60.0;       // sliding-window horizon
+  int sub_windows = 12;         // rotation granularity within the window
+  /// Reporter-thread period; 0 disables the thread (Statusz*() still
+  /// works on demand).
+  double report_every_s = 0.0;
+  /// Clock override for tests (microseconds, NowMicros time base).
+  std::function<double()> now_us;
+};
+
+/// Point-in-time sliding-window reading.
+struct SloWindow {
+  int64_t total = 0;
+  int64_t bad = 0;           // shed/errored or over-target requests
+  double bad_fraction = 0.0;
+  double burn_rate = 0.0;    // bad_fraction / error_budget
+  double budget_left = 1.0;  // 1 - burn_rate (can go negative)
+};
+
+/// Sliding-window burn-rate monitor over a request stream. Thread-safe;
+/// RecordRequest takes one short mutex-protected bucket update, so it
+/// belongs on completion paths, not per-token paths. Readings surface as
+/// `lcrec.serve.slo.*` gauges/counters on every record, and the optional
+/// reporter thread logs a plain-text statusz line (and bumps
+/// lcrec.serve.slo.reports) every `report_every_s`.
+class SloMonitor {
+ public:
+  explicit SloMonitor(const SloOptions& options);
+  ~SloMonitor();
+
+  SloMonitor(const SloMonitor&) = delete;
+  SloMonitor& operator=(const SloMonitor&) = delete;
+
+  /// `ok` is false for sheds/errors; an ok request is still bad when
+  /// `latency_ms` exceeds the target.
+  void RecordRequest(double latency_ms, bool ok);
+
+  SloWindow Window() const;
+
+  /// "slo: target 100ms budget 5% window 60s | total 812 bad 3
+  ///  bad_frac 0.0037 burn 0.074 budget_left 0.926"
+  std::string StatuszText() const;
+
+  /// Same reading as one JSON object.
+  std::string StatuszJson() const;
+
+  /// Starts the periodic reporter (no-op when report_every_s <= 0 or
+  /// already running). `sink` receives each statusz line; defaults to
+  /// obs::Log at info level.
+  void StartReporter(std::function<void(const std::string&)> sink = nullptr);
+  void StopReporter();
+
+  const SloOptions& options() const { return options_; }
+
+ private:
+  struct Bucket {
+    int64_t epoch = -1;  // bucket index since process start; -1 = empty
+    int64_t total = 0;
+    int64_t bad = 0;
+  };
+
+  double Now() const;
+  int64_t EpochOf(double now_us) const;
+  SloWindow WindowLocked(double now_us) const LCREC_REQUIRES(mu_);
+  void PublishMetrics(const SloWindow& w);
+
+  SloOptions options_;
+  double bucket_width_us_ = 0.0;
+
+  mutable Mutex mu_;
+  std::vector<Bucket> buckets_ LCREC_GUARDED_BY(mu_);
+
+  Mutex reporter_mu_;
+  CondVar reporter_cv_;
+  bool reporter_stop_ LCREC_GUARDED_BY(reporter_mu_) = false;
+  std::thread reporter_;
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_SLO_H_

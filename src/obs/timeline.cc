@@ -1,0 +1,86 @@
+#include "obs/timeline.h"
+
+#include <atomic>
+#include <cstdio>
+
+#include "core/check.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+
+namespace {
+std::atomic<uint64_t> g_next_request_id{1};
+}  // namespace
+
+uint64_t NextRequestId() {
+  return g_next_request_id.fetch_add(1, std::memory_order_relaxed);
+}
+
+void RequestTimeline::Begin(uint64_t request_id, bool sampled,
+                            const char* stage, double t0_us) {
+  LCREC_CHECK(stages_.empty());
+  request_id_ = request_id;
+  sampled_ = sampled;
+  stages_.reserve(8);
+  stages_.push_back({stage, t0_us, 0.0});
+}
+
+void RequestTimeline::Mark(const char* stage) {
+  LCREC_CHECK(!stages_.empty());
+  LCREC_CHECK(!finished_);
+  double now = NowMicros();
+  StageSpan& open = stages_.back();
+  open.dur_us = now - open.start_us;
+  stages_.push_back({stage, now, 0.0});
+}
+
+void RequestTimeline::Finish() {
+  if (finished_ || stages_.empty()) return;
+  StageSpan& open = stages_.back();
+  open.dur_us = NowMicros() - open.start_us;
+  finished_ = true;
+}
+
+double RequestTimeline::TotalUs() const {
+  double total = 0.0;
+  for (const StageSpan& s : stages_) total += s.dur_us;
+  return total;
+}
+
+void RequestTimeline::EmitAsyncSpans() const {
+  if (!sampled_ || !finished_ || stages_.empty()) return;
+  TraceRecorder& rec = TraceRecorder::Global();
+  if (!rec.enabled()) return;
+  int tid = CurrentThreadId();
+  auto emit = [&rec, tid, this](const std::string& name, char phase,
+                                double ts) {
+    TraceEvent e;
+    e.name = name;
+    e.ts_us = ts;
+    e.tid = tid;
+    e.phase = phase;
+    e.async_id = request_id_;
+    rec.Record(std::move(e));
+  };
+  double begin = stages_.front().start_us;
+  double end = stages_.back().start_us + stages_.back().dur_us;
+  emit("req", 'b', begin);
+  for (const StageSpan& s : stages_) {
+    emit(std::string("req.") + s.stage, 'b', s.start_us);
+    emit(std::string("req.") + s.stage, 'e', s.start_us + s.dur_us);
+  }
+  emit("req", 'e', end);
+}
+
+std::string RequestTimeline::Summary() const {
+  std::string out;
+  char buf[64];
+  for (const StageSpan& s : stages_) {
+    if (!out.empty()) out += " | ";
+    std::snprintf(buf, sizeof(buf), "%s %.1fus", s.stage, s.dur_us);
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lcrec::obs

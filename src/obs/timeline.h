@@ -1,0 +1,73 @@
+#ifndef LCREC_OBS_TIMELINE_H_
+#define LCREC_OBS_TIMELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcrec::obs {
+
+/// One stage of a request's life: [start_us, start_us + dur_us) on the
+/// NowMicros time base. `stage` is a string literal.
+struct StageSpan {
+  const char* stage = nullptr;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+};
+
+/// Process-unique request id (1, 2, ...). One relaxed atomic increment.
+uint64_t NextRequestId();
+
+/// Gap-free per-request timeline. Begin() opens the first stage at a
+/// caller-supplied timestamp; each Mark() closes the open stage at `now`
+/// and opens the next; Finish() closes the last. Stages therefore tile
+/// [begin, finish] exactly — their durations sum to the request's
+/// end-to-end latency by construction, which is what makes the
+/// breakdown trustworthy for tail attribution.
+///
+/// Not internally synchronized: callers hand the timeline between
+/// threads only across an existing happens-before edge (the serve layer
+/// passes it through its admission queue and resolves under a mutex).
+class RequestTimeline {
+ public:
+  RequestTimeline() = default;
+
+  /// Opens `stage` at `t0_us` and stamps the timeline's identity.
+  /// `sampled` marks the request for async-span export (EmitAsyncSpans).
+  void Begin(uint64_t request_id, bool sampled, const char* stage,
+             double t0_us);
+
+  /// Closes the open stage and opens `stage`, both at NowMicros().
+  void Mark(const char* stage);
+
+  /// Closes the open stage. Idempotent.
+  void Finish();
+
+  uint64_t request_id() const { return request_id_; }
+  bool sampled() const { return sampled_; }
+  bool finished() const { return finished_; }
+  const std::vector<StageSpan>& stages() const { return stages_; }
+
+  /// Sum of all stage durations == end - begin (exact by construction).
+  double TotalUs() const;
+
+  /// Emits the timeline into the global TraceRecorder as Chrome async
+  /// 'b'/'e' span pairs (id = request id, cat "lcrec.req"): one
+  /// enclosing "req" span plus one "req.<stage>" span per stage. No-op
+  /// unless the recorder is enabled, this request is sampled, and the
+  /// timeline is finished. Call from one thread after Finish().
+  void EmitAsyncSpans() const;
+
+  /// "build 12.1us | queue_wait 340.0us | ..." — for logs and statusz.
+  std::string Summary() const;
+
+ private:
+  uint64_t request_id_ = 0;
+  bool sampled_ = false;
+  bool finished_ = false;
+  std::vector<StageSpan> stages_;
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_TIMELINE_H_

@@ -118,6 +118,8 @@ double NowMicros() {
       .count();
 }
 
+int CurrentThreadId() { return ThisThreadId(); }
+
 TraceRecorder& TraceRecorder::Global() {
   // Never destroyed; see MetricsRegistry::Global for the rationale.
   static TraceRecorder* global = [] {
@@ -178,10 +180,18 @@ void TraceRecorder::WriteChromeTrace(std::ostream& out) const {
   for (size_t i = 0; i < events_.size(); ++i) {
     const TraceEvent& e = events_[i];
     if (i > 0) out << ",";
-    out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"lcrec\","
-        << "\"ph\":\"X\",\"ts\":" << JsonNumber(e.ts_us)
-        << ",\"dur\":" << JsonNumber(e.dur_us) << ",\"pid\":1,\"tid\":" << e.tid
-        << ",\"args\":{\"depth\":" << e.depth << "}}";
+    if (e.phase == 'b' || e.phase == 'e') {
+      // Async begin/end pair: matched by (cat, id, name) across threads.
+      out << "{\"name\":\"" << JsonEscape(e.name)
+          << "\",\"cat\":\"lcrec.req\",\"ph\":\"" << e.phase
+          << "\",\"id\":" << e.async_id << ",\"ts\":" << JsonNumber(e.ts_us)
+          << ",\"pid\":1,\"tid\":" << e.tid << "}";
+    } else {
+      out << "{\"name\":\"" << JsonEscape(e.name) << "\",\"cat\":\"lcrec\","
+          << "\"ph\":\"X\",\"ts\":" << JsonNumber(e.ts_us)
+          << ",\"dur\":" << JsonNumber(e.dur_us) << ",\"pid\":1,\"tid\":"
+          << e.tid << ",\"args\":{\"depth\":" << e.depth << "}}";
+    }
   }
   out << "],\"displayTimeUnit\":\"ms\"}\n";
 }

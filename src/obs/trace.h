@@ -11,13 +11,19 @@
 
 namespace lcrec::obs {
 
-/// One completed span, in Chrome trace_event "X" (complete-event) form.
+/// One recorded trace event. `phase` follows the Chrome trace_event
+/// phase codes: 'X' (the default) is a thread-scoped complete event with
+/// a duration; 'b'/'e' are async begin/end pairs matched by `async_id`
+/// within a category — the form request-scoped spans use, since a
+/// request's stages hop across client and scheduler threads.
 struct TraceEvent {
   std::string name;
   double ts_us = 0.0;   // start, microseconds since process start
-  double dur_us = 0.0;  // duration, microseconds
+  double dur_us = 0.0;  // duration, microseconds ('X' only)
   int tid = 0;          // small per-thread id assigned on first span
   int depth = 0;        // nesting depth on that thread (0 = root span)
+  char phase = 'X';
+  uint64_t async_id = 0;  // correlates 'b'/'e' pairs; 0 for 'X'
 };
 
 /// Process-wide span sink. Disabled by default: ScopedSpan checks one
@@ -113,6 +119,11 @@ const std::vector<const char*>& CurrentThreadSpanFrames();
 /// Microseconds since process start (steady clock). The time base of
 /// every TraceEvent.
 double NowMicros();
+
+/// Small dense id of the calling thread (1, 2, ...), assigned on first
+/// use. The same ids appear as `tid` in TraceEvents and flight-recorder
+/// events, so the two outputs correlate.
+int CurrentThreadId();
 
 }  // namespace lcrec::obs
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "llm/generate.h"
+#include "obs/timeline.h"
 
 namespace lcrec::serve {
 
@@ -30,6 +31,18 @@ enum class Status {
 
 std::string StatusName(Status s);
 
+/// Per-request observability payload carried back on every response:
+/// the request's identity, its gap-free stage breakdown (stage durations
+/// sum to latency_ms by construction — see obs::RequestTimeline), and
+/// the fair-share decode attribution from the batch engine.
+struct RequestDebug {
+  uint64_t request_id = 0;
+  bool sampled = false;  // exported as Chrome async spans when tracing
+  std::vector<obs::StageSpan> stages;
+  int decode_ticks = 0;         // batch ticks this request participated in
+  double decode_share_us = 0.0; // its 1/lanes share of those ticks' time
+};
+
 struct RecommendResponse {
   Status status = Status::kOk;
   std::vector<llm::ScoredItem> items;  // ranked, empty unless kOk
@@ -37,6 +50,7 @@ struct RecommendResponse {
   bool coalesced = false;      // joined an identical in-flight request
   bool inline_path = false;    // decoded on the caller thread (idle server)
   double latency_ms = 0.0;     // submission to completion, wall clock
+  RequestDebug debug;
 };
 
 }  // namespace lcrec::serve

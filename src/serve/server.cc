@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "core/check.h"
+#include "obs/flightrec.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -81,10 +82,12 @@ Server::Server(const llm::MiniLlm& model, const quant::PrefixTrie& trie,
       options_(options),
       cache_(options.cache_capacity),
       queue_(static_cast<size_t>(std::max(options.max_queue, 1))),
+      slo_(options.slo),
       engine_(model, trie, token_map, options.beam_size) {
   LCREC_CHECK(prompt_builder_ != nullptr);
   LCREC_CHECK_GT(options_.max_batch_lanes, 0);
   LCREC_CHECK_GT(options_.top_n_cap, 0);
+  slo_.StartReporter();  // no-op unless options.slo.report_every_s > 0
   if (options_.start_scheduler) Start();
 }
 
@@ -108,8 +111,16 @@ RecommendResponse Server::Recommend(const RecommendRequest& request) {
   sm.requests.Increment();
   stats_.requests.fetch_add(1, std::memory_order_relaxed);
 
+  uint64_t request_id = obs::NextRequestId();
+  bool sampled =
+      options_.trace_sample_n > 0 &&
+      request_id % static_cast<uint64_t>(options_.trace_sample_n) == 0;
+  obs::RequestTimeline timeline;
+  timeline.Begin(request_id, sampled, "build", t0_us);
+
   int top_n = std::min(std::max(request.top_n, 1), options_.top_n_cap);
   std::vector<int> prompt = prompt_builder_(request.history);
+  timeline.Mark("cache_lookup");
   uint64_t key = RequestKey(prompt, top_n, options_.beam_size);
 
   RecommendResponse resp;
@@ -117,10 +128,13 @@ RecommendResponse Server::Recommend(const RecommendRequest& request) {
     resp.cache_hit = true;
     resp.latency_ms = (obs::NowMicros() - t0_us) / 1000.0;
     sm.cache_hits.Increment();
-    sm.completed.Increment();
-    sm.latency_ms.Observe(resp.latency_ms);
     stats_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-    stats_.completed.fetch_add(1, std::memory_order_relaxed);
+    timeline.Finish();
+    resp.debug.request_id = timeline.request_id();
+    resp.debug.sampled = timeline.sampled();
+    resp.debug.stages = timeline.stages();
+    timeline.EmitAsyncSpans();
+    FinishRequest(&resp);
     return resp;
   }
 
@@ -147,8 +161,12 @@ RecommendResponse Server::Recommend(const RecommendRequest& request) {
   if (!leader) {
     sm.coalesced.Increment();
     stats_.coalesced.fetch_add(1, std::memory_order_relaxed);
-    return WaitDone(pending, t0_us, /*coalesced=*/true);
+    // The follower keeps its own timeline (one coalesce_wait stage); the
+    // leader's is the one inside `pending`.
+    timeline.Mark("coalesce_wait");
+    return WaitDone(pending, t0_us, /*coalesced=*/true, &timeline);
   }
+  pending->timeline = std::move(timeline);
 
   // Inline fast path: with an empty queue and no lane in flight there is
   // nothing to batch with, so decoding on this thread skips the
@@ -158,27 +176,35 @@ RecommendResponse Server::Recommend(const RecommendRequest& request) {
       active_lanes_.load(std::memory_order_relaxed) == 0) {
     sm.inline_fast_path.Increment();
     stats_.inline_fast_path.fetch_add(1, std::memory_order_relaxed);
+    pending->timeline.Mark("decode");
     DecodeInline(pending);
-    return WaitDone(pending, t0_us, /*coalesced=*/false);
+    return WaitDone(pending, t0_us, /*coalesced=*/false, &pending->timeline);
   }
 
+  pending->timeline.Mark("queue_wait");
   if (!queue_.TryPush(pending)) {
     Status shed = queue_.closed() ? Status::kShutdown : Status::kShedQueueFull;
     if (shed == Status::kShedQueueFull) {
       sm.shed_queue_full.Increment();
       stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+      obs::FlightRecorder::Global().Record(
+          obs::FrKind::kShed, "shed_queue_full",
+          static_cast<int64_t>(request_id),
+          static_cast<int64_t>(queue_.size()));
     }
+    pending->timeline.Mark("shed");
     // Resolve (not just return): followers may already be parked on this
     // pending and must observe the shed too.
     Resolve(pending, MakeShed(shed));
-    return WaitDone(pending, t0_us, /*coalesced=*/false);
+    return WaitDone(pending, t0_us, /*coalesced=*/false, &pending->timeline);
   }
   sm.queue_depth.Set(static_cast<double>(queue_.size()));
-  return WaitDone(pending, t0_us, /*coalesced=*/false);
+  return WaitDone(pending, t0_us, /*coalesced=*/false, &pending->timeline);
 }
 
 RecommendResponse Server::WaitDone(const PendingPtr& pending, double t0_us,
-                                   bool coalesced) {
+                                   bool coalesced,
+                                   obs::RequestTimeline* timeline) {
   RecommendResponse resp;
   {
     obs::UniqueLock lock(state_mu_);
@@ -187,13 +213,38 @@ RecommendResponse Server::WaitDone(const PendingPtr& pending, double t0_us,
   }
   resp.coalesced = coalesced;
   resp.latency_ms = (obs::NowMicros() - t0_us) / 1000.0;
+  // Safe: once `done` was observed, nothing else touches this timeline —
+  // the scheduler's last Mark happened before Resolve (state_mu_), and a
+  // follower's local timeline was never shared at all.
+  timeline->Finish();
+  resp.debug.request_id = timeline->request_id();
+  resp.debug.sampled = timeline->sampled();
+  resp.debug.stages = timeline->stages();
+  timeline->EmitAsyncSpans();
+  FinishRequest(&resp);
+  return resp;
+}
+
+void Server::FinishRequest(RecommendResponse* resp) {
   ServeMetrics& sm = ServeMetrics::Get();
-  sm.latency_ms.Observe(resp.latency_ms);
-  if (resp.status == Status::kOk) {
+  sm.latency_ms.Observe(resp->latency_ms);
+  bool ok = resp->status == Status::kOk;
+  if (ok) {
     sm.completed.Increment();
     stats_.completed.fetch_add(1, std::memory_order_relaxed);
   }
-  return resp;
+  slo_.RecordRequest(resp->latency_ms, ok);
+  if (options_.slow_request_ms > 0.0 &&
+      resp->latency_ms >= options_.slow_request_ms) {
+    obs::FlightRecorder::Global().Record(
+        obs::FrKind::kSlowRequest, "slow_request",
+        static_cast<int64_t>(resp->debug.request_id),
+        static_cast<int64_t>(resp->latency_ms * 1000.0));
+  }
+}
+
+void Server::DumpFlightRecorder(std::ostream& out) const {
+  obs::FlightRecorder::Global().WriteJsonl(out);
 }
 
 void Server::Resolve(const PendingPtr& pending, RecommendResponse response) {
@@ -212,6 +263,7 @@ void Server::DecodeInline(const PendingPtr& pending) {
       llm::GenerateItems(model_, pending->prompt, trie_, token_map_,
                          options_.beam_size, pending->top_n);
   stats_.decoded.fetch_add(1, std::memory_order_relaxed);
+  pending->timeline.Mark("respond");
   cache_.Put(pending->key, items);
   RecommendResponse resp;
   resp.status = Status::kOk;
@@ -222,16 +274,23 @@ void Server::DecodeInline(const PendingPtr& pending) {
 
 void Server::AdmitOrShed(PendingPtr pending,
                          std::unordered_map<uint64_t, PendingPtr>* by_tag) {
+  pending->timeline.Mark("admit");  // closes queue_wait at pop time
   if (pending->deadline_ms > 0.0) {
     double waited_ms = (obs::NowMicros() - pending->submit_us) / 1000.0;
     if (waited_ms > pending->deadline_ms) {
       ServeMetrics::Get().shed_deadline.Increment();
       stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+      obs::FlightRecorder::Global().Record(
+          obs::FrKind::kShed, "shed_deadline",
+          static_cast<int64_t>(pending->timeline.request_id()),
+          static_cast<int64_t>(waited_ms * 1000.0));
+      pending->timeline.Mark("shed");
       Resolve(pending, MakeShed(Status::kShedDeadline));
       return;
     }
   }
   uint64_t tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
+  pending->timeline.Mark("decode");
   engine_.Admit(tag, std::move(pending->prompt), pending->top_n);
   (*by_tag)[tag] = std::move(pending);
 }
@@ -269,10 +328,14 @@ void Server::SchedulerLoop() {
       PendingPtr p = std::move(it->second);
       by_tag.erase(it);
       stats_.decoded.fetch_add(1, std::memory_order_relaxed);
+      p->timeline.Mark("retire");
       cache_.Put(p->key, r.items);
       RecommendResponse resp;
       resp.status = Status::kOk;
       resp.items = std::move(r.items);
+      resp.debug.decode_ticks = r.ticks;
+      resp.debug.decode_share_us = r.decode_us;
+      p->timeline.Mark("respond");  // resolve-to-wakeup latency
       Resolve(p, std::move(resp));
     }
   }

@@ -5,6 +5,8 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <ostream>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -12,7 +14,9 @@
 #include "llm/batch.h"
 #include "llm/generate.h"
 #include "llm/minillm.h"
+#include "obs/slo.h"
 #include "obs/sync.h"
+#include "obs/timeline.h"
 #include "quant/indexing.h"
 #include "serve/cache.h"
 #include "serve/queue.h"
@@ -40,6 +44,18 @@ struct ServerOptions {
   /// Tests set false to stage requests while the scheduler is parked,
   /// then call Start() to release them deterministically.
   bool start_scheduler = true;
+  /// Completions at or above this latency record a kSlowRequest flight-
+  /// recorder event (with the request id), so a crash dump names the
+  /// recent tail. <= 0 disables.
+  double slow_request_ms = 250.0;
+  /// Every Nth request is marked `sampled` and, when the global
+  /// TraceRecorder is enabled, exported as Chrome async spans. 1 samples
+  /// everything (the timelines themselves are always built); <= 0
+  /// disables sampling.
+  int trace_sample_n = 1;
+  /// Latency SLO tracked by the server's burn-rate monitor
+  /// (lcrec.serve.slo.* metrics; Statusz()).
+  obs::SloOptions slo;
 };
 
 /// Per-server counters (the global lcrec.serve.* metrics aggregate
@@ -89,6 +105,17 @@ class Server {
   ServerStats stats() const;
   size_t queue_depth() const { return queue_.size(); }
 
+  /// This server's SLO reading (burn rate over the sliding window).
+  const obs::SloMonitor& slo() const { return slo_; }
+
+  /// One statusz-style line: the SLO window reading.
+  std::string Statusz() const { return slo_.StatuszText(); }
+
+  /// Writes the process flight-recorder ring (recent sheds, batch ticks,
+  /// slow requests...) as JSONL — the same black box the LCREC_CHECK
+  /// failure handler dumps to stderr on a crash.
+  void DumpFlightRecorder(std::ostream& out) const;
+
  private:
   /// One admitted request. Shared between the submitting client thread,
   /// identical-request followers, and the scheduler.
@@ -100,6 +127,11 @@ class Server {
     double deadline_ms = 0.0;  // 0 = none
     RecommendResponse response;
     bool done = false;
+    /// The leader's timeline. Handed between the leader thread and the
+    /// scheduler across existing happens-before edges (queue push/pop,
+    /// then Resolve's state_mu_); followers never touch it — each
+    /// follower keeps its own local timeline.
+    obs::RequestTimeline timeline;
   };
   using PendingPtr = std::shared_ptr<Pending>;
 
@@ -114,8 +146,15 @@ class Server {
   void Resolve(const PendingPtr& pending, RecommendResponse response);
   /// Decodes sequentially on the calling thread (fast path).
   void DecodeInline(const PendingPtr& pending);
+  /// Blocks until `pending` resolves, then finishes `timeline` (this
+  /// caller's own — the leader passes &pending->timeline, a follower its
+  /// local one), fills the response's debug breakdown from it, and
+  /// accounts completion (latency metric, SLO, slow-request flight
+  /// event).
   RecommendResponse WaitDone(const PendingPtr& pending, double t0_us,
-                             bool coalesced);
+                             bool coalesced, obs::RequestTimeline* timeline);
+  /// Completion bookkeeping shared by WaitDone and the cache-hit path.
+  void FinishRequest(RecommendResponse* resp);
 
   const llm::MiniLlm& model_;
   const quant::PrefixTrie& trie_;
@@ -125,6 +164,7 @@ class Server {
 
   ResultCache cache_;
   BoundedQueue<PendingPtr> queue_;
+  obs::SloMonitor slo_;
   llm::BatchEngine engine_;  // scheduler thread only (after Start)
   std::atomic<int> active_lanes_{0};
   std::atomic<uint64_t> next_tag_{1};

@@ -1,0 +1,237 @@
+// SloMonitor (obs/slo.h): burn-rate arithmetic under a fake clock,
+// bucket rotation as the sliding window advances, statusz rendering,
+// the periodic reporter thread, and concurrent RecordRequest. Runs in
+// the TSan suite (scripts/check_sanitize.sh) alongside the flight
+// recorder, since both sit on serving completion paths.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/slo.h"
+
+namespace {
+
+using namespace lcrec;
+
+// Fake clock for deterministic window math. The monitor reads it under
+// its own mutex from the recording thread only in these tests, but keep
+// it atomic anyway so reporter-enabled tests stay race-free.
+struct FakeClock {
+  std::atomic<int64_t> us{0};
+  std::function<double()> fn() {
+    return [this] { return static_cast<double>(us.load()); };
+  }
+};
+
+obs::SloOptions TestOptions(FakeClock* clock) {
+  obs::SloOptions o;
+  o.target_ms = 100.0;
+  o.error_budget = 0.05;
+  o.window_s = 60.0;
+  o.sub_windows = 12;  // 5s buckets
+  o.now_us = clock->fn();
+  return o;
+}
+
+TEST(SloMonitorTest, EmptyWindowReadsClean) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  obs::SloWindow w = slo.Window();
+  EXPECT_EQ(w.total, 0);
+  EXPECT_EQ(w.bad, 0);
+  EXPECT_DOUBLE_EQ(w.bad_fraction, 0.0);
+  EXPECT_DOUBLE_EQ(w.burn_rate, 0.0);
+  EXPECT_DOUBLE_EQ(w.budget_left, 1.0);
+}
+
+TEST(SloMonitorTest, BurnRateIsBadFractionOverBudget) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  // 100 requests, 2 bad: one shed, one over-target completion.
+  for (int i = 0; i < 98; ++i) slo.RecordRequest(10.0, /*ok=*/true);
+  slo.RecordRequest(5.0, /*ok=*/false);    // shed/error -> bad
+  slo.RecordRequest(250.0, /*ok=*/true);   // over 100ms target -> bad
+  obs::SloWindow w = slo.Window();
+  EXPECT_EQ(w.total, 100);
+  EXPECT_EQ(w.bad, 2);
+  EXPECT_DOUBLE_EQ(w.bad_fraction, 0.02);
+  EXPECT_DOUBLE_EQ(w.burn_rate, 0.02 / 0.05);  // 0.4
+  EXPECT_DOUBLE_EQ(w.budget_left, 1.0 - 0.4);
+}
+
+TEST(SloMonitorTest, LatencyExactlyAtTargetIsGood) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  slo.RecordRequest(100.0, true);
+  EXPECT_EQ(slo.Window().bad, 0);
+}
+
+TEST(SloMonitorTest, BurnRateCanOverspendPastOne) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  for (int i = 0; i < 10; ++i) slo.RecordRequest(500.0, true);
+  obs::SloWindow w = slo.Window();
+  EXPECT_DOUBLE_EQ(w.bad_fraction, 1.0);
+  EXPECT_DOUBLE_EQ(w.burn_rate, 20.0);  // 1.0 / 0.05
+  EXPECT_DOUBLE_EQ(w.budget_left, -19.0);
+}
+
+TEST(SloMonitorTest, OldBucketsAgeOutOfTheWindow) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  // Bad burst in the first 5s bucket.
+  for (int i = 0; i < 4; ++i) slo.RecordRequest(999.0, true);
+  EXPECT_EQ(slo.Window().bad, 4);
+
+  // 30s later the burst is still inside the 60s window...
+  clock.us = 30 * 1000 * 1000;
+  slo.RecordRequest(1.0, true);
+  obs::SloWindow mid = slo.Window();
+  EXPECT_EQ(mid.total, 5);
+  EXPECT_EQ(mid.bad, 4);
+
+  // ...but 90s in, the burst's bucket has rotated out and only the
+  // recent good request that shares a still-live bucket could remain.
+  clock.us = 90 * 1000 * 1000;
+  slo.RecordRequest(1.0, true);
+  obs::SloWindow late = slo.Window();
+  EXPECT_EQ(late.bad, 0);
+  EXPECT_LE(late.total, 2);
+  EXPECT_GE(late.total, 1);
+}
+
+TEST(SloMonitorTest, RecycledBucketForgetsItsPreviousEpoch) {
+  FakeClock clock;
+  obs::SloOptions o = TestOptions(&clock);
+  o.window_s = 12.0;
+  o.sub_windows = 4;  // 3s buckets, ring of 4
+  obs::SloMonitor slo(o);
+  slo.RecordRequest(999.0, true);  // bad, epoch 0
+  // Jump exactly one full ring ahead: epoch 4 maps onto epoch 0's slot.
+  clock.us = static_cast<int64_t>(4 * 3.0 * 1e6);
+  slo.RecordRequest(1.0, true);
+  obs::SloWindow w = slo.Window();
+  EXPECT_EQ(w.total, 1) << "stale epoch-0 counts must not leak into epoch 4";
+  EXPECT_EQ(w.bad, 0);
+}
+
+TEST(SloMonitorTest, StatuszTextCarriesTheReading) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  for (int i = 0; i < 19; ++i) slo.RecordRequest(1.0, true);
+  slo.RecordRequest(1.0, false);
+  std::string s = slo.StatuszText();
+  EXPECT_NE(s.find("slo: target 100ms budget 5% window 60s"),
+            std::string::npos)
+      << s;
+  EXPECT_NE(s.find("total 20"), std::string::npos) << s;
+  EXPECT_NE(s.find("bad 1"), std::string::npos) << s;
+  EXPECT_NE(s.find("bad_frac 0.0500"), std::string::npos) << s;
+  EXPECT_NE(s.find("burn 1.000"), std::string::npos) << s;
+  EXPECT_NE(s.find("budget_left 0.000"), std::string::npos) << s;
+}
+
+TEST(SloMonitorTest, StatuszJsonIsOneObject) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  slo.RecordRequest(1.0, true);
+  std::string s = slo.StatuszJson();
+  EXPECT_EQ(s.front(), '{') << s;
+  EXPECT_EQ(s.back(), '}') << s;
+  EXPECT_NE(s.find("\"slo\":"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"total\":1"), std::string::npos) << s;
+  EXPECT_NE(s.find("\"burn_rate\":"), std::string::npos) << s;
+}
+
+TEST(SloMonitorTest, RecordPublishesRegistryMetrics) {
+  FakeClock clock;
+  obs::SloMonitor slo(TestOptions(&clock));
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  int64_t base_bad = reg.GetCounter("lcrec.serve.slo.bad_requests").value();
+  for (int i = 0; i < 3; ++i) slo.RecordRequest(999.0, true);
+  EXPECT_EQ(reg.GetCounter("lcrec.serve.slo.bad_requests").value(),
+            base_bad + 3);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("lcrec.serve.slo.bad_fraction").value(), 1.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("lcrec.serve.slo.burn_rate").value(), 20.0);
+  EXPECT_DOUBLE_EQ(reg.GetGauge("lcrec.serve.slo.window_total").value(), 3.0);
+}
+
+TEST(SloMonitorTest, ReporterThreadEmitsAndStopsPromptly) {
+  obs::SloOptions o;  // real clock: the reporter waits on wall time
+  o.report_every_s = 0.02;
+  obs::SloMonitor slo(o);
+  std::atomic<int> reports{0};
+  std::atomic<bool> well_formed{true};
+  slo.StartReporter([&](const std::string& line) {
+    if (line.find("slo: target") == std::string::npos) well_formed = false;
+    reports.fetch_add(1);
+  });
+  slo.RecordRequest(1.0, true);
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (reports.load() < 2 && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(reports.load(), 2);
+  EXPECT_TRUE(well_formed.load());
+  auto t0 = std::chrono::steady_clock::now();
+  slo.StopReporter();
+  auto stop_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  EXPECT_LT(stop_ms, 5000) << "StopReporter must not wait out the period";
+  int settled = reports.load();
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  EXPECT_EQ(reports.load(), settled) << "reporter kept running after stop";
+}
+
+TEST(SloMonitorTest, ReporterIsDisabledByDefault) {
+  obs::SloOptions o;  // report_every_s = 0
+  obs::SloMonitor slo(o);
+  std::atomic<int> reports{0};
+  slo.StartReporter([&](const std::string&) { reports.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_EQ(reports.load(), 0);
+}
+
+TEST(SloMonitorTest, ConcurrentRecordersCountEveryRequest) {
+  FakeClock clock;  // frozen clock: everything lands in one bucket
+  obs::SloMonitor slo(TestOptions(&clock));
+  const int threads = 4;
+  const int per_thread = 250;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&slo, t] {
+      for (int i = 0; i < per_thread; ++i) {
+        // Every 5th request is bad (over target).
+        slo.RecordRequest(i % 5 == 0 ? 500.0 : 1.0, true);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  obs::SloWindow w = slo.Window();
+  EXPECT_EQ(w.total, threads * per_thread);
+  EXPECT_EQ(w.bad, threads * (per_thread / 5));
+}
+
+TEST(SloMonitorTest, DestructorJoinsARunningReporter) {
+  // Scope exit with an active reporter must not hang or crash.
+  obs::SloOptions o;
+  o.report_every_s = 0.01;
+  auto slo = std::make_unique<obs::SloMonitor>(o);
+  std::atomic<int> reports{0};
+  slo->StartReporter([&](const std::string&) { reports.fetch_add(1); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  slo.reset();  // ~SloMonitor -> StopReporter -> join
+  SUCCEED();
+}
+
+}  // namespace

@@ -38,6 +38,12 @@
 //                                   single-threaded by design.
 //                                   std::thread::hardware_concurrency()
 //                                   queries are exempt.
+//   metric-name            (src/)   a string-literal metric name passed
+//                                   to GetCounter/GetGauge/GetHistogram
+//                                   must match lcrec\.[a-z0-9_.]+ so the
+//                                   exported namespace stays uniform
+//                                   (tests/bench may use scratch names;
+//                                   non-literal names are not checked).
 //
 // Scanning is comment- and string-aware: rule patterns inside comments
 // or string literals never fire. A finding on a line whose raw text
@@ -215,6 +221,23 @@ bool ContainsCall(const std::string& line, const std::string& name) {
   return false;
 }
 
+/// True when `name` matches lcrec\.[a-z0-9_.]+ in full: the "lcrec."
+/// namespace prefix followed only by lowercase dotted words. A trailing
+/// dot is fine (prefixes completed by runtime concatenation).
+bool ValidMetricName(const std::string& name) {
+  const std::string prefix = "lcrec.";
+  if (name.size() <= prefix.size() || name.rfind(prefix, 0) != 0) {
+    return false;
+  }
+  for (size_t i = prefix.size(); i < name.size(); ++i) {
+    char c = name[i];
+    bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+              c == '.';
+    if (!ok) return false;
+  }
+  return true;
+}
+
 // --- Rules -----------------------------------------------------------------
 
 std::string ExpectedGuard(const std::string& rel_path) {
@@ -305,6 +328,30 @@ void LintFile(const std::string& rel_path, const std::string& text,
           "threads belong in src/serve/ (scheduler) or src/obs/ (test "
           "scaffolding); the model/training core is single-threaded by "
           "design");
+    }
+    if (in_src) {
+      // The stripped line proves there is a real call (not a comment or
+      // string mention); the literal itself must be read from the raw
+      // line, since stripping drops string contents.
+      static const char* kMetricGetters[] = {"GetCounter", "GetGauge",
+                                             "GetHistogram"};
+      for (const char* getter : kMetricGetters) {
+        if (!ContainsCall(line, getter)) continue;
+        const std::string& raw = raw_lines[i];
+        size_t cpos = raw.find(getter);
+        if (cpos == std::string::npos) continue;
+        size_t q0 = raw.find('"', cpos);
+        if (q0 == std::string::npos) continue;  // non-literal name: skip
+        size_t q1 = raw.find('"', q0 + 1);
+        if (q1 == std::string::npos) continue;
+        std::string name = raw.substr(q0 + 1, q1 - q0 - 1);
+        if (!ValidMetricName(name)) {
+          add(line_no, "metric-name",
+              "metric name \"" + name +
+                  "\" must match lcrec\\.[a-z0-9_.]+ (the exported "
+                  "namespace is uniform by construction)");
+        }
+      }
     }
     if (ContainsWord(line, "std::rand") || ContainsCall(line, "srand")) {
       add(line_no, "std-rand",

@@ -1,0 +1,28 @@
+// Fixture: string-literal metric names in library code must live in the
+// uniform lcrec.* namespace (lcrec\.[a-z0-9_.]+). Scratch names, wrong
+// prefixes, and uppercase must be flagged; prefix concatenation with a
+// trailing dot, non-literal names, and suppressed lines must not.
+// Never compiled, only scanned.
+
+namespace lcrec::fixture {
+
+struct FakeRegistry {
+  int GetCounter(const char*) { return 0; }
+  int GetGauge(const char*) { return 0; }
+  int GetHistogram(const char*) { return 0; }
+};
+
+void Metrics(FakeRegistry& r, const char* dynamic_name) {
+  r.GetCounter("my_counter");  // expect-lint: metric-name
+  r.GetGauge("lcrec.Serve.QueueDepth");  // expect-lint: metric-name
+  r.GetHistogram("lcrec-serve-latency");  // expect-lint: metric-name
+  r.GetCounter("lcrec.");  // expect-lint: metric-name
+  r.GetCounter("scratch.count");  // lint:allow(metric-name)
+
+  r.GetCounter("lcrec.serve.requests");      // conforming: quiet
+  r.GetGauge("lcrec.llm.train.loss.");       // prefix concat: quiet
+  r.GetHistogram("lcrec.serve.latency_ms");  // conforming: quiet
+  r.GetCounter(dynamic_name);                // non-literal: quiet
+}
+
+}  // namespace lcrec::fixture

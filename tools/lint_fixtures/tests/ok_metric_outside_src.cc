@@ -1,0 +1,16 @@
+// Fixture: the metric-name rule is scoped to src/ — test code uses
+// scratch metric names (test.*, lcrec.promtest.*) on purpose and must
+// stay quiet. Never compiled, only scanned.
+
+namespace lcrec::fixture {
+
+struct FakeRegistry {
+  int GetCounter(const char*) { return 0; }
+};
+
+void TestMetrics(FakeRegistry& r) {
+  r.GetCounter("test.obs.counter");      // outside src/: quiet
+  r.GetCounter("lcrec.promtest.UPPER");  // outside src/: quiet
+}
+
+}  // namespace lcrec::fixture
