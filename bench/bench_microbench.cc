@@ -200,6 +200,7 @@ int main(int argc, char** argv) {
       fwd.push_back(a);
     }
   }
+  obs::DebugServer::MaybeStartFromEnv();  // LCREC_DEBUG_PORT => debugz up
 
   std::printf("instrumented workload: scale %.2f, %d users, %d epochs%s\n",
               flags.scale, flags.max_users, flags.llm_epochs,

@@ -9,10 +9,18 @@
 // Usage:
 //   bench_serve [--requests=N] [--concurrency=N] [--qps=X] [--zipf=S]
 //               [--catalog=N] [--seed=N] [--out=PATH] [--smoke]
-//               [--trace-requests[=PATH]]
+//               [--trace-requests[=PATH]] [--debug-port=N]
 //
 // --smoke is the CI gate mode: a small trace at low QPS that must
 // complete with zero shed requests (exit 1 otherwise).
+//
+// --debug-port=N (0 = ephemeral) additionally starts the debugz HTTP
+// surface and measures the cost of observing the server while it
+// serves: a /statusz scrape loop during a timed decode-heavy run
+// (serve/statusz_scrape_us) and a /profilez capture during a second
+// identical run, which must move the serve p95 by < 5% (plus a small
+// absolute slack for cache-hit-fast runs) or the bench exits non-zero
+// (serve/profilez_p95_delta_pct in the record).
 //
 // --trace-requests samples every request (trace_sample_n=1), writes the
 // closed-loop run's request-scoped async spans as a Chrome trace (PATH,
@@ -38,7 +46,9 @@
 #include "core/rng.h"
 #include "llm/generate.h"
 #include "llm/minillm.h"
+#include "obs/debugz.h"
 #include "obs/export.h"
+#include "obs/http.h"
 #include "obs/perfgate.h"
 #include "obs/trace.h"
 #include "quant/indexing.h"
@@ -60,6 +70,7 @@ struct ServeFlags {
   bool smoke = false;
   bool trace_requests = false;
   std::string trace_out = "serve_trace.json";
+  int debug_port = -1;  // >= 0: start debugz + scrape-under-load runs
 
   static ServeFlags Parse(int argc, char** argv) {
     ServeFlags f;
@@ -84,6 +95,8 @@ struct ServeFlags {
       } else if (std::strncmp(a, "--trace-requests=", 17) == 0) {
         f.trace_requests = true;
         f.trace_out = a + 17;
+      } else if (std::strncmp(a, "--debug-port=", 13) == 0) {
+        f.debug_port = std::atoi(a + 13);
       } else if (std::strcmp(a, "--smoke") == 0) {
         f.smoke = true;
         f.requests = 48;
@@ -357,6 +370,147 @@ LoadResult RunOpenLoop(const Bench& bench,
   return result;
 }
 
+/// Timed closed loop against an existing server: `concurrency` clients
+/// issue mostly-distinct histories (cycling far past the result-cache
+/// capacity, so the server keeps decoding) until the deadline. Used by
+/// the debugz scrape-cost measurement, which needs runs long enough to
+/// overlap a 1-second /profilez capture — the fixed-size trace replay
+/// finishes in milliseconds.
+std::vector<double> RunTimedDecodeLoad(serve::Server& server, int concurrency,
+                                       double seconds) {
+  std::atomic<bool> stop{false};
+  std::vector<std::vector<double>> lat(static_cast<size_t>(concurrency));
+  std::vector<std::thread> clients;
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double>(seconds));
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      int n = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (std::chrono::steady_clock::now() >= deadline) break;
+        serve::RecommendRequest req;
+        req.history = {c, (n % 2503) + 1, 2 * c + 3, n % 17};
+        req.top_n = 10;
+        auto t0 = std::chrono::steady_clock::now();
+        serve::RecommendResponse resp = server.Recommend(req);
+        auto t1 = std::chrono::steady_clock::now();
+        if (resp.status == serve::Status::kOk) {
+          lat[static_cast<size_t>(c)].push_back(
+              std::chrono::duration<double, std::milli>(t1 - t0).count());
+        }
+        ++n;
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  std::vector<double> all;
+  for (const auto& per_thread : lat) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  return all;
+}
+
+/// The observer-effect measurement behind --debug-port: how much does
+/// watching the server cost the server? Two timed decode-heavy runs on
+/// one server: the first with a /statusz scrape loop (mean scrape wall
+/// time => serve/statusz_scrape_us), the second with a /profilez
+/// capture in flight for ~2/3 of the run. The p95 under profiling must
+/// stay within 5% (+ 0.25 ms absolute slack, so microsecond-scale p95s
+/// don't fail on jitter) of the scrape-only baseline.
+bool RunDebugzMeasurement(const Bench& bench, const ServeFlags& flags,
+                          obs::PerfRecord* rec) {
+  serve::ServerOptions opts;
+  opts.beam_size = bench.beam_size;
+  opts.max_batch_lanes = flags.concurrency;
+  opts.debug_port = flags.debug_port;
+  serve::Server server(*bench.model, *bench.trie, *bench.token_map,
+                       bench.Builder(), opts);
+  obs::DebugServer& debugz = obs::DebugServer::Global();
+  if (!debugz.running()) {
+    std::fprintf(stderr, "bench_serve: debugz failed to start on port %d\n",
+                 flags.debug_port);
+    return false;
+  }
+  const int port = debugz.port();
+  const double kRunSeconds = 1.5;
+  std::printf("debugz: serving on 127.0.0.1:%d, two %.1fs timed runs\n", port,
+              kRunSeconds);
+
+  // Run 1: baseline latencies with a continuous /statusz scrape loop.
+  std::atomic<bool> stop_scraper{false};
+  std::vector<double> scrape_us;
+  std::atomic<int> scrape_errors{0};
+  std::thread scraper([&] {
+    while (!stop_scraper.load(std::memory_order_relaxed)) {
+      obs::HttpResponse response;
+      auto t0 = std::chrono::steady_clock::now();
+      bool ok = obs::HttpGet("127.0.0.1", port, "/statusz", &response);
+      auto t1 = std::chrono::steady_clock::now();
+      if (ok && response.status == 200) {
+        scrape_us.push_back(
+            std::chrono::duration<double, std::micro>(t1 - t0).count());
+      } else {
+        scrape_errors.fetch_add(1);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+  });
+  std::vector<double> base_lat =
+      RunTimedDecodeLoad(server, flags.concurrency, kRunSeconds);
+  stop_scraper.store(true);
+  scraper.join();
+  if (scrape_us.empty() || scrape_errors.load() > 0) {
+    std::fprintf(stderr, "bench_serve: /statusz scrape loop failed (%d errors, %zu ok)\n",
+                 scrape_errors.load(), scrape_us.size());
+    return false;
+  }
+
+  // Run 2: identical load with a 1s /profilez capture in flight.
+  std::atomic<bool> profilez_ok{false};
+  std::thread profiler([&] {
+    obs::HttpResponse response;
+    if (obs::HttpGet("127.0.0.1", port, "/profilez?seconds=1&hz=197",
+                     &response) &&
+        response.status == 200 && !response.body.empty()) {
+      profilez_ok.store(true);
+    }
+  });
+  std::vector<double> prof_lat =
+      RunTimedDecodeLoad(server, flags.concurrency, kRunSeconds);
+  profiler.join();
+  if (!profilez_ok.load()) {
+    std::fprintf(stderr, "bench_serve: /profilez capture failed\n");
+    return false;
+  }
+
+  double scrape_mean_us = 0.0;
+  for (double us : scrape_us) scrape_mean_us += us;
+  scrape_mean_us /= static_cast<double>(scrape_us.size());
+  double p95_base = Quantile(base_lat, 0.95);
+  double p95_prof = Quantile(prof_lat, 0.95);
+  double delta_pct =
+      p95_base > 0.0 ? (p95_prof - p95_base) / p95_base * 100.0 : 0.0;
+  std::printf(
+      "debugz: %zu /statusz scrapes, mean %.1f us; p95 %.3f ms -> %.3f ms "
+      "under /profilez (%+.1f%%)\n",
+      scrape_us.size(), scrape_mean_us, p95_base, p95_prof, delta_pct);
+
+  // Wide tolerance bands: scrape cost and the profiling delta are noise-
+  // dominated at this scale; the hard <5% assertion below is the gate.
+  rec->metrics["serve/statusz_scrape_us"] = {scrape_mean_us, 1.0};
+  rec->metrics["serve/profilez_p95_delta_pct"] = {delta_pct, 1.0};
+
+  if (p95_prof > p95_base * 1.05 + 0.25) {
+    std::fprintf(stderr,
+                 "bench_serve: /profilez capture moved serve p95 by %.1f%% "
+                 "(%.3f ms -> %.3f ms), above the 5%% budget\n",
+                 delta_pct, p95_base, p95_prof);
+    return false;
+  }
+  return true;
+}
+
 void PrintResult(const char* name, const LoadResult& r) {
   std::printf(
       "%-10s  %7.1f req/s  p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms\n", name,
@@ -470,6 +624,10 @@ int main(int argc, char** argv) {
   for (const auto& kv : tail) {
     rec.metrics["serve_tail/" + kv.first + "_us"] = {kv.second, 1.0};
   }
+  bool debugz_ok = true;
+  if (flags.debug_port >= 0) {
+    debugz_ok = RunDebugzMeasurement(bench, flags, &rec);
+  }
   std::string out = flags.out;
   if (out.empty()) out = "BENCH_" + rec.manifest.git_sha + ".json";
   if (obs::WritePerfRecordFile(out, rec)) {
@@ -478,6 +636,7 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", out.c_str());
     return 2;
   }
+  if (!debugz_ok) return 1;  // record written first: the numbers that failed
 
   if (flags.smoke) {
     int64_t sheds =

@@ -19,6 +19,7 @@
 #include "baselines/sasrec.h"
 #include "baselines/tiger.h"
 #include "data/dataset.h"
+#include "obs/debugz.h"
 #include "rec/lcrec.h"
 #include "rec/recommender.h"
 
@@ -90,6 +91,10 @@ struct Flags {
         std::exit(2);
       }
     }
+    // Every experiment binary is live-inspectable when asked: set
+    // LCREC_DEBUG_PORT and the debugz HTTP surface comes up before any
+    // training starts. Unset, this is a no-op.
+    obs::DebugServer::MaybeStartFromEnv();
     return f;
   }
 };

@@ -75,10 +75,10 @@ if [[ "${mode}" == "tsan" ]]; then
   fi
 
   cmake --build "${build_dir}" -j "${jobs}" \
-    --target obs_test obs_prof_test obs_flightrec_test obs_slo_test \
-    llm_test llm_batch_test serve_test
-  for t in obs_test obs_prof_test obs_flightrec_test obs_slo_test \
-           llm_test llm_batch_test serve_test; do
+    --target obs_test obs_http_test obs_prof_test obs_flightrec_test \
+    obs_slo_test llm_test llm_batch_test serve_test
+  for t in obs_test obs_http_test obs_prof_test obs_flightrec_test \
+           obs_slo_test llm_test llm_batch_test serve_test; do
     echo "check_sanitize(tsan): running ${t}"
     TSAN_OPTIONS="halt_on_error=1" \
       "${launcher[@]}" "${build_dir}/tests/${t}" \

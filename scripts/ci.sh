@@ -4,8 +4,10 @@
 # gate fails (skipped gates do not fail the run).
 #
 #   scripts/ci.sh            # tier-1 tests, fault suite, serve smoke,
-#                            # flightrec crash-dump smoke, lint, strict
-#                            # build, ASan+UBSan
+#                            # flightrec crash-dump smoke, debugz probe,
+#                            # lint, strict build, ASan+UBSan
+#   scripts/ci.sh debugz     # just the named gate(s) — build runs first
+#                            # automatically unless it was named
 #   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
 #
 # Individual gates reuse their own scratch build trees (build-strict/,
@@ -82,6 +84,16 @@ gate_serve() {
     --out="${build_dir}/bench_serve_smoke.json"
 }
 
+gate_debugz() {
+  # Live-introspection smoke: the probe embeds a serve::Server with an
+  # ephemeral debug port, scrapes all eight debugz endpoints over HTTP
+  # under client load (Prometheus conformance via the shared checker,
+  # JSON/JSONL shape, llm.* frames in a /profilez capture), then forces
+  # a ckpt health trip and requires /healthz to flip to 503 naming the
+  # subsystem and step. Self-checking: exits non-zero on any violation.
+  "${build_dir}/tools/debugz_probe"
+}
+
 gate_flightrec() {
   # Flight-recorder smoke: a forced LCREC_CHECK failure in a child
   # process must leave a parseable black-box dump on stderr containing
@@ -124,16 +136,43 @@ gate_flightrec() {
     "${sheds} sheds)"
 }
 
-run_gate "build"          gate_build    || overall=1
-run_gate "tier1_tests"    gate_tests    || overall=1
-run_gate "fault"          gate_fault    || overall=1
-run_gate "serve_smoke"    gate_serve    || overall=1
-run_gate "flightrec"      gate_flightrec || overall=1
-run_gate "lcrec_lint"     gate_lint     || overall=1
-run_gate "check_warnings" gate_warnings || overall=1
-run_gate "asan_ubsan"     gate_asan     || overall=1
-run_gate "tsan"           gate_tsan     || overall=1
-if [[ "${LCREC_CI_PERF:-0}" == "1" ]]; then
+# Gate selection: with positional args, run only the named gates (the
+# build gate is prepended automatically — everything needs binaries).
+# Unknown names fail fast so a typo can't silently skip a gate.
+known_gates="build tier1_tests fault serve_smoke flightrec debugz \
+lcrec_lint check_warnings asan_ubsan tsan perf_regress"
+selected=("$@")
+if [[ ${#selected[@]} -gt 0 ]]; then
+  for g in "${selected[@]}"; do
+    if ! grep -qw "${g}" <<<"${known_gates}"; then
+      echo "ci.sh: unknown gate '${g}' (known: ${known_gates})" >&2
+      exit 2
+    fi
+  done
+  if ! grep -qw "build" <<<"${selected[*]}"; then
+    selected=("build" "${selected[@]}")
+  fi
+fi
+
+wants() {
+  # True when gate $1 should run this invocation.
+  [[ ${#selected[@]} -eq 0 ]] && return 0
+  grep -qw "$1" <<<"${selected[*]}"
+}
+
+wants build          && { run_gate "build"          gate_build     || overall=1; }
+wants tier1_tests    && { run_gate "tier1_tests"    gate_tests     || overall=1; }
+wants fault          && { run_gate "fault"          gate_fault     || overall=1; }
+wants serve_smoke    && { run_gate "serve_smoke"    gate_serve     || overall=1; }
+wants flightrec      && { run_gate "flightrec"      gate_flightrec || overall=1; }
+wants debugz         && { run_gate "debugz"         gate_debugz    || overall=1; }
+wants lcrec_lint     && { run_gate "lcrec_lint"     gate_lint      || overall=1; }
+wants check_warnings && { run_gate "check_warnings" gate_warnings  || overall=1; }
+wants asan_ubsan     && { run_gate "asan_ubsan"     gate_asan      || overall=1; }
+wants tsan           && { run_gate "tsan"           gate_tsan      || overall=1; }
+# perf_regress is opt-in: env flag for full runs, or named explicitly.
+if [[ "${LCREC_CI_PERF:-0}" == "1" && ${#selected[@]} -eq 0 ]] ||
+   { [[ ${#selected[@]} -gt 0 ]] && grep -qw perf_regress <<<"${selected[*]}"; }; then
   run_gate "perf_regress" gate_perf || overall=1
 fi
 

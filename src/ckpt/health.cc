@@ -1,17 +1,78 @@
 #include "ckpt/health.h"
 
 #include <cmath>
+#include <cstdio>
 #include <utility>
 
 #include "core/check.h"
+#include "obs/debugz.h"
 #include "obs/flightrec.h"
 #include "obs/log.h"
 #include "obs/registry.h"
+#include "obs/sync.h"
 
 namespace lcrec::ckpt {
 
+namespace {
+
+/// Process-wide trip record behind the "ckpt.health" healthz check: any
+/// guard instance that trips marks the whole process unhealthy (a
+/// trainer that had to roll back is exactly what an operator probing
+/// /healthz wants surfaced), until ResetCkptHealthzForTest().
+struct HealthzState {
+  obs::Mutex mu;
+  int trips LCREC_GUARDED_BY(mu) = 0;
+  int64_t last_step LCREC_GUARDED_BY(mu) = -1;
+  std::string last_subsystem LCREC_GUARDED_BY(mu);
+
+  static HealthzState& Get() {
+    static HealthzState* state = [] {
+      auto* s = new HealthzState();
+      obs::RegisterHealthCheck("ckpt.health", [s](std::string* reason) {
+        obs::MutexLock lock(s->mu);
+        if (s->trips == 0) return true;
+        char buf[160];
+        if (s->last_step >= 0) {
+          std::snprintf(buf, sizeof(buf),
+                        "%d health trip(s), last in %s at step %lld",
+                        s->trips, s->last_subsystem.c_str(),
+                        static_cast<long long>(s->last_step));
+        } else {
+          std::snprintf(buf, sizeof(buf), "%d health trip(s), last in %s",
+                        s->trips, s->last_subsystem.c_str());
+        }
+        *reason = buf;
+        return false;
+      });
+      return s;
+    }();
+    return *state;
+  }
+
+  void RecordTrip(const std::string& subsystem, int64_t step) {
+    obs::MutexLock lock(mu);
+    ++trips;
+    last_step = step;
+    last_subsystem = subsystem;
+  }
+};
+
+}  // namespace
+
+void ResetCkptHealthzForTest() {
+  HealthzState& s = HealthzState::Get();
+  obs::MutexLock lock(s.mu);
+  s.trips = 0;
+  s.last_step = -1;
+  s.last_subsystem.clear();
+}
+
 HealthGuard::HealthGuard(const HealthOptions& options, std::string subsystem)
-    : options_(options), subsystem_(std::move(subsystem)) {}
+    : options_(options), subsystem_(std::move(subsystem)) {
+  // Materialize the healthz registration now, not at first trip: a probe
+  // must see "ckpt.health: ok" while the guarded trainer is healthy.
+  HealthzState::Get();
+}
 
 bool HealthGuard::Healthy(double loss, double grad_norm) const {
   if (!std::isfinite(loss) || !std::isfinite(grad_norm)) return false;
@@ -24,6 +85,7 @@ bool HealthGuard::Healthy(double loss, double grad_norm) const {
 bool HealthGuard::OnUnhealthy(double loss, double grad_norm,
                               bool can_rollback) {
   ++trips_;
+  HealthzState::Get().RecordTrip(subsystem_, step_);
   obs::MetricsRegistry::Global()
       .GetCounter("lcrec.ckpt.health_trips")
       .Increment();

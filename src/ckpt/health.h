@@ -26,10 +26,17 @@ class HealthGuard {
   /// True when loss and grad_norm are finite and below the spike limit.
   bool Healthy(double loss, double grad_norm) const;
 
-  /// Call on an unhealthy step. Logs, bumps the trip counters, and
-  /// returns true when the caller should roll back and retry (a
-  /// checkpoint exists and retries remain). Aborts via LCREC_CHECK when
-  /// recovery is impossible: `can_rollback` false or retries exhausted.
+  /// Tells the guard where the trainer is, so a later trip can be
+  /// attributed to a step in the process-wide healthz state. Cheap; call
+  /// once per step before the Healthy() check.
+  void NoteStep(int64_t step) { step_ = step; }
+
+  /// Call on an unhealthy step. Logs, bumps the trip counters, publishes
+  /// the trip to the process healthz state (debugz /healthz flips to 503
+  /// naming the subsystem and step), and returns true when the caller
+  /// should roll back and retry (a checkpoint exists and retries
+  /// remain). Aborts via LCREC_CHECK when recovery is impossible:
+  /// `can_rollback` false or retries exhausted.
   bool OnUnhealthy(double loss, double grad_norm, bool can_rollback);
 
   int trips() const { return trips_; }
@@ -39,7 +46,13 @@ class HealthGuard {
   HealthOptions options_;
   std::string subsystem_;
   int trips_ = 0;
+  int64_t step_ = -1;  // last NoteStep position; -1 = never told
 };
+
+/// Clears the process-wide health-trip state behind the "ckpt.health"
+/// healthz check, so tests that force a trip don't poison every later
+/// healthz reading in the same process.
+void ResetCkptHealthzForTest();
 
 }  // namespace lcrec::ckpt
 

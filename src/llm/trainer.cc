@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
 #include <numeric>
 #include <sstream>
 #include <unordered_map>
 
 #include "core/check.h"
 #include "core/serialize.h"
+#include "obs/debugz.h"
 #include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
@@ -67,7 +69,28 @@ LlmTrainer::LlmTrainer(MiniLlm* model, const TrainerOptions& options)
                  options.weight_decay),
       health_({options.health_grad_limit, options.health_max_retries,
                options.health_lr_backoff},
-              "llm") {}
+              "llm") {
+  // The trainer's /statusz section. The reads are unsynchronized
+  // snapshots of training counters — fine for a human-facing status
+  // page, but a live scrape during Train() sees them mid-update; tests
+  // scrape between epochs only.
+  statusz_section_id_ = obs::RegisterStatuszSection("llm.trainer", [this] {
+    char buf[256];
+    std::snprintf(
+        buf, sizeof(buf),
+        "step %lld | epochs_done %lld | last_epoch_loss %.4f | "
+        "lr_scale %.3g | health_trips %d\n",
+        static_cast<long long>(step_), static_cast<long long>(epochs_done_),
+        epoch_losses_.empty() ? 0.0
+                              : static_cast<double>(epoch_losses_.back()),
+        static_cast<double>(lr_scale_), health_.trips());
+    return std::string(buf);
+  });
+}
+
+LlmTrainer::~LlmTrainer() {
+  obs::UnregisterStatuszSection(statusz_section_id_);
+}
 
 void LlmTrainer::AssembleTokens(const TrainExample& example, int max_seq,
                                 std::vector<int>* tokens,
@@ -371,6 +394,7 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
       }
       // Numeric health, checked before the poisoned gradients can reach
       // the parameters or the optimizer moments.
+      health_.NoteStep(step_);
       if (!health_.Healthy(batch_mean, grad_norm)) {
         health_.OnUnhealthy(batch_mean, grad_norm, has_checkpoint_);
         Rollback();
@@ -422,6 +446,7 @@ float LlmTrainer::TrainEpoch(const std::vector<TrainExample>& examples) {
 }
 
 float LlmTrainer::Train(const std::vector<TrainExample>& examples) {
+  obs::DebugServer::MaybeStartFromEnv();
   int64_t updates_per_epoch =
       (static_cast<int64_t>(examples.size()) + options_.batch_size - 1) /
       options_.batch_size;

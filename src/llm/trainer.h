@@ -60,6 +60,7 @@ struct TrainerOptions {
 class LlmTrainer {
  public:
   LlmTrainer(MiniLlm* model, const TrainerOptions& options);
+  ~LlmTrainer();
 
   /// Runs the configured number of epochs (resuming from options.ckpt_dir
   /// first when options.resume is set); returns the last epoch's mean
@@ -148,6 +149,7 @@ class LlmTrainer {
   int64_t pending_pos_ = 0;
   double pending_loss_sum_ = 0.0;
   int64_t pending_count_ = 0;
+  int statusz_section_id_ = -1;  // debugz /statusz registration
 };
 
 }  // namespace lcrec::llm

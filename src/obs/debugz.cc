@@ -1,0 +1,377 @@
+#include "obs/debugz.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/flightrec.h"
+#include "obs/log.h"
+#include "obs/manifest.h"
+#include "obs/prof.h"
+#include "obs/registry.h"
+#include "obs/sync.h"
+#include "obs/timeline.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+
+namespace {
+
+/// Statusz-section and health-check registries. Process-global and
+/// heap-allocated (never destroyed) so destructor-time unregistration
+/// from any static-lifetime object cannot dangle.
+struct SectionEntry {
+  int id = 0;
+  std::string name;
+  std::function<std::string()> fn;
+};
+
+struct HealthEntry {
+  int id = 0;
+  std::string name;
+  std::function<bool(std::string*)> fn;
+};
+
+struct Registries {
+  Mutex mu;
+  int next_id LCREC_GUARDED_BY(mu) = 1;
+  std::vector<SectionEntry> sections LCREC_GUARDED_BY(mu);
+  std::vector<HealthEntry> health LCREC_GUARDED_BY(mu);
+
+  static Registries& Get() {
+    static Registries* r = new Registries();
+    return *r;
+  }
+};
+
+std::string JsonStr(const std::string& s) {
+  return "\"" + JsonEscape(s) + "\"";
+}
+
+/// /varz: the whole registry as one JSON document (same fields as the
+/// JSONL sink, but a single parseable object).
+std::string VarzJson() {
+  std::ostringstream out;
+  out << "{\"manifest\":" << RunManifestJson(CollectRunManifest())
+      << ",\"metrics\":[";
+  bool first = true;
+  for (const MetricSample& s : MetricsRegistry::Global().Samples()) {
+    if (!first) out << ",";
+    first = false;
+    if (s.type == "histogram") {
+      out << "{\"name\":" << JsonStr(s.name)
+          << ",\"type\":\"histogram\",\"count\":" << s.count
+          << ",\"sum\":" << JsonNumber(s.sum)
+          << ",\"mean\":" << JsonNumber(s.mean)
+          << ",\"min\":" << JsonNumber(s.min)
+          << ",\"max\":" << JsonNumber(s.max)
+          << ",\"p50\":" << JsonNumber(s.p50)
+          << ",\"p95\":" << JsonNumber(s.p95)
+          << ",\"p99\":" << JsonNumber(s.p99) << "}";
+    } else {
+      out << "{\"name\":" << JsonStr(s.name) << ",\"type\":\"" << s.type
+          << "\",\"value\":" << JsonNumber(s.value) << "}";
+    }
+  }
+  out << "]}";
+  return out.str();
+}
+
+/// /tracez: recorder state plus a per-span aggregate of what has been
+/// recorded so far (complete 'X' events only; async request spans are
+/// /timelinez's job).
+std::string TracezText() {
+  TraceRecorder& rec = TraceRecorder::Global();
+  std::ostringstream out;
+  out << "tracing: " << (rec.enabled() ? "enabled" : "disabled")
+      << " (LCREC_TRACE_OUT or TraceRecorder::SetEnabled)\n";
+  std::vector<TraceEvent> events = rec.Events();
+  out << "events: " << events.size() << "\n";
+  struct Agg {
+    int64_t count = 0;
+    double total_us = 0.0;
+  };
+  std::map<std::string, Agg> by_name;
+  for (const TraceEvent& e : events) {
+    if (e.phase != 'X') continue;
+    Agg& a = by_name[e.name];
+    ++a.count;
+    a.total_us += e.dur_us;
+  }
+  if (!by_name.empty()) {
+    out << "span summary (complete events):\n";
+    char line[160];
+    for (const auto& kv : by_name) {
+      std::snprintf(line, sizeof(line), "  %-32s count %8lld total %12.1f us\n",
+                    kv.first.c_str(), static_cast<long long>(kv.second.count),
+                    kv.second.total_us);
+      out << line;
+    }
+  }
+  size_t shown = std::min<size_t>(events.size(), 20);
+  if (shown > 0) {
+    out << "last " << shown << " events:\n";
+    char line[160];
+    for (size_t i = events.size() - shown; i < events.size(); ++i) {
+      const TraceEvent& e = events[i];
+      std::snprintf(line, sizeof(line),
+                    "  ts %12.1f us tid %2d ph %c %s (%.1f us)\n", e.ts_us,
+                    e.tid, e.phase, e.name.c_str(), e.dur_us);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+/// /profilez?seconds=N&hz=H: a bounded on-demand capture. When the
+/// profiler is already running (LCREC_PROFILE_HZ), the capture rides the
+/// live session and reports its cumulative stacks; otherwise it runs a
+/// private session and restores the prior span-stack state. Blocks the
+/// debug server's event loop for the capture window by design — the
+/// introspection port is serialized, the serving threads are not.
+HttpResponse Profilez(const HttpRequest& req) {
+  double seconds = req.NumParam("seconds", 1.0, 0.1, 10.0);
+  double hz = req.NumParam("hz", 199.0, 10.0, 1000.0);
+  SamplingProfiler& prof = SamplingProfiler::Global();
+  bool piggyback = prof.running();
+  bool stacks_were_on = SpanStacksEnabled();
+  if (!piggyback) {
+    SetSpanStacksEnabled(true);
+    prof.Reset();
+    prof.Start(hz);
+  }
+  std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  if (!piggyback) {
+    prof.Stop();
+    if (!stacks_were_on) SetSpanStacksEnabled(false);
+  }
+  std::ostringstream body;
+  prof.WriteCollapsed(body);
+  HttpResponse resp;
+  resp.body = body.str();
+  if (resp.body.empty()) {
+    resp.body = "# no samples landed in a named span during the " +
+                std::to_string(seconds) + "s capture window\n";
+  }
+  return resp;
+}
+
+std::string FlightreczJsonl() {
+  std::ostringstream out;
+  FlightRecorder::Global().WriteJsonl(out);
+  return out.str();
+}
+
+std::string TimelinezJsonl() {
+  std::ostringstream out;
+  for (const RequestTimeline& t : RecentTimelines::Global().Snapshot()) {
+    out << "{\"request_id\":" << t.request_id()
+        << ",\"total_us\":" << JsonNumber(t.TotalUs()) << ",\"stages\":[";
+    bool first = true;
+    for (const StageSpan& s : t.stages()) {
+      if (!first) out << ",";
+      first = false;
+      out << "{\"stage\":" << JsonStr(s.stage)
+          << ",\"start_us\":" << JsonNumber(s.start_us)
+          << ",\"dur_us\":" << JsonNumber(s.dur_us) << "}";
+    }
+    out << "]}\n";
+  }
+  return out.str();
+}
+
+}  // namespace
+
+int RegisterStatuszSection(const std::string& name,
+                           std::function<std::string()> fn) {
+  Registries& r = Registries::Get();
+  MutexLock lock(r.mu);
+  int id = r.next_id++;
+  r.sections.push_back({id, name, std::move(fn)});
+  return id;
+}
+
+void UnregisterStatuszSection(int id) {
+  Registries& r = Registries::Get();
+  MutexLock lock(r.mu);
+  auto& v = r.sections;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [id](const SectionEntry& e) { return e.id == id; }),
+          v.end());
+}
+
+int RegisterHealthCheck(const std::string& name,
+                        std::function<bool(std::string*)> fn) {
+  Registries& r = Registries::Get();
+  MutexLock lock(r.mu);
+  int id = r.next_id++;
+  r.health.push_back({id, name, std::move(fn)});
+  return id;
+}
+
+void UnregisterHealthCheck(int id) {
+  Registries& r = Registries::Get();
+  MutexLock lock(r.mu);
+  auto& v = r.health;
+  v.erase(std::remove_if(v.begin(), v.end(),
+                         [id](const HealthEntry& e) { return e.id == id; }),
+          v.end());
+}
+
+HealthzReading ReadHealthz() {
+  Registries& r = Registries::Get();
+  MutexLock lock(r.mu);
+  HealthzReading reading;
+  std::string failed;
+  int checks = 0;
+  for (const HealthEntry& e : r.health) {
+    ++checks;
+    std::string reason;
+    if (e.fn(&reason)) continue;
+    reading.ok = false;
+    if (!failed.empty()) failed += ",";
+    failed += "{\"name\":" + JsonStr(e.name) + ",\"reason\":" +
+              JsonStr(reason) + "}";
+  }
+  if (reading.ok) {
+    reading.json =
+        "{\"status\":\"ok\",\"checks\":" + std::to_string(checks) + "}";
+  } else {
+    reading.json = "{\"status\":\"unhealthy\",\"failed\":[" + failed + "]}";
+  }
+  return reading;
+}
+
+std::string ReadStatusz() {
+  std::ostringstream out;
+  out << "lcrec statusz\n";
+  out << "manifest: " << RunManifestJson(CollectRunManifest()) << "\n";
+  char line[64];
+  std::snprintf(line, sizeof(line), "uptime_s: %.1f\n", NowMicros() / 1e6);
+  out << line;
+  HealthzReading health = ReadHealthz();
+  out << "health: " << (health.ok ? "ok" : "UNHEALTHY") << " "
+      << health.json << "\n";
+  Registries& r = Registries::Get();
+  MutexLock lock(r.mu);
+  for (const SectionEntry& e : r.sections) {
+    out << "--- " << e.name << " ---\n";
+    std::string text = e.fn();
+    out << text;
+    if (text.empty() || text.back() != '\n') out << "\n";
+  }
+  return out.str();
+}
+
+DebugServer::DebugServer() { RegisterBuiltins(); }
+
+DebugServer& DebugServer::Global() {
+  // Never destroyed: endpoint handlers and registries may be touched by
+  // other static-lifetime objects during shutdown.
+  static DebugServer* server = new DebugServer();
+  return *server;
+}
+
+void DebugServer::Handle(const std::string& path, HttpHandler handler) {
+  http_.Handle(path, std::move(handler));
+}
+
+void DebugServer::RegisterBuiltins() {
+  http_.Handle("/", [this](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = "lcrec debugz endpoints:\n";
+    for (const std::string& path : http_.HandlerPaths()) {
+      if (path != "/") resp.body += "  " + path + "\n";
+    }
+    return resp;
+  });
+  http_.Handle("/healthz", [](const HttpRequest&) {
+    HealthzReading reading = ReadHealthz();
+    HttpResponse resp;
+    resp.status = reading.ok ? 200 : 503;
+    resp.content_type = "application/json";
+    resp.body = reading.json + "\n";
+    return resp;
+  });
+  http_.Handle("/metricsz", [](const HttpRequest&) {
+    std::ostringstream body;
+    MetricsRegistry::Global().DumpPrometheus(body);
+    HttpResponse resp;
+    resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    resp.body = body.str();
+    return resp;
+  });
+  http_.Handle("/varz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/json";
+    resp.body = VarzJson() + "\n";
+    return resp;
+  });
+  http_.Handle("/statusz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = ReadStatusz();
+    return resp;
+  });
+  http_.Handle("/tracez", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = TracezText();
+    return resp;
+  });
+  http_.Handle("/flightrecz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/x-ndjson";
+    resp.body = FlightreczJsonl();
+    return resp;
+  });
+  http_.Handle("/timelinez", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.content_type = "application/x-ndjson";
+    resp.body = TimelinezJsonl();
+    return resp;
+  });
+  http_.Handle("/profilez", Profilez);
+}
+
+bool DebugServer::Start(int port, std::string* error) {
+  if (http_.running()) return true;
+  // Rebuild the server with the requested port but keep registered
+  // handlers: HttpServer owns its options at construction, so Start on
+  // the Global() instance routes the port through a fresh bind.
+  HttpServerOptions opts;
+  opts.port = port;
+  std::string bind = EnvOr("LCREC_DEBUG_BIND");
+  if (!bind.empty()) opts.bind_host = bind;
+  return http_.StartOn(opts, error);
+}
+
+void DebugServer::Stop() { http_.Stop(); }
+
+int DebugServer::MaybeStartFromEnv() {
+  DebugServer& server = Global();
+  if (server.running()) return server.port();
+  std::string port_str = EnvOr("LCREC_DEBUG_PORT");
+  if (port_str.empty()) return -1;
+  int port = std::atoi(port_str.c_str());
+  if (port < 0 || port > 65535) {
+    Log(LogLevel::kWarn, "[debugz] bad LCREC_DEBUG_PORT '%s'",
+        port_str.c_str());
+    return -1;
+  }
+  std::string error;
+  if (!server.Start(port, &error)) {
+    Log(LogLevel::kWarn, "[debugz] cannot start on port %d: %s", port,
+        error.c_str());
+    return -1;
+  }
+  Log(LogLevel::kInfo, "[debugz] serving on 127.0.0.1:%d", server.port());
+  return server.port();
+}
+
+}  // namespace lcrec::obs

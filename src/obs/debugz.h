@@ -1,0 +1,92 @@
+#ifndef LCREC_OBS_DEBUGZ_H_
+#define LCREC_OBS_DEBUGZ_H_
+
+#include <functional>
+#include <string>
+
+#include "obs/http.h"
+
+namespace lcrec::obs {
+
+/// Live introspection surface: one embedded HTTP server per process
+/// exposing the observability state that previous layers could only
+/// dump post-mortem. Endpoints (all GET, text unless noted):
+///
+///   /          index of registered endpoints
+///   /healthz   200 {"status":"ok"} while every registered health check
+///              passes; 503 with a JSON reason body otherwise
+///   /metricsz  MetricsRegistry Prometheus text exposition (0.0.4)
+///   /varz      the same registry as one JSON document
+///   /statusz   run manifest + uptime + every registered statusz section
+///   /tracez    TraceRecorder state and a recent-span summary
+///   /flightrecz FlightRecorder ring as JSONL
+///   /timelinez recent sampled request timelines as JSONL
+///   /profilez  on-demand sampling-profiler capture
+///              (?seconds=N&hz=H, collapsed flamegraph stacks)
+///
+/// The server binds 127.0.0.1 by default — the surface has no auth and
+/// exposes internals, so off-host access must be an explicit decision
+/// (LCREC_DEBUG_BIND).
+class DebugServer {
+ public:
+  /// The process-wide instance every binary embeds. Construction
+  /// registers the built-in endpoints but does not open a socket.
+  static DebugServer& Global();
+
+  /// Binds and serves on `port` (0 = ephemeral; read port() back).
+  /// Idempotent: once running, later Start calls (any port) are no-ops
+  /// returning true, so several subsystems can all request the surface.
+  bool Start(int port, std::string* error = nullptr);
+  void Stop();
+
+  bool running() const { return http_.running(); }
+  int port() const { return http_.port(); }
+
+  /// Registers an extra endpoint (exact path match).
+  void Handle(const std::string& path, HttpHandler handler);
+
+  /// Env bootstrap: starts the global server on LCREC_DEBUG_PORT when
+  /// the variable is set (LCREC_DEBUG_BIND overrides the loopback bind).
+  /// Returns the serving port, or -1 when the variable is unset or the
+  /// bind failed (failure is logged, never fatal — a debug surface must
+  /// not take the process down). Cheap to call repeatedly.
+  static int MaybeStartFromEnv();
+
+ private:
+  DebugServer();
+  void RegisterBuiltins();
+
+  HttpServer http_;
+};
+
+/// Statusz sections: any subsystem can contribute a named block of text
+/// to /statusz (serve contributes its SLO/cache/queue/batch snapshot,
+/// the trainer its step/epoch/loss position). The callback runs on the
+/// debug server's thread, so it must be thread-safe and non-blocking;
+/// it stays registered until unregistered, so objects must unregister
+/// in their destructor. Returns an id for UnregisterStatuszSection.
+int RegisterStatuszSection(const std::string& name,
+                           std::function<std::string()> fn);
+void UnregisterStatuszSection(int id);
+
+/// Health checks behind /healthz. A check returns true when healthy;
+/// on false, `reason` (may be preset to "") explains why in one line.
+/// Any failing check flips /healthz to 503 with a JSON body naming the
+/// failed checks. Same threading/lifetime contract as statusz sections.
+int RegisterHealthCheck(const std::string& name,
+                        std::function<bool(std::string* reason)> fn);
+void UnregisterHealthCheck(int id);
+
+/// Point-in-time healthz reading, also usable without HTTP (tests, CLI).
+struct HealthzReading {
+  bool ok = true;
+  std::string json;  // the /healthz response body
+};
+HealthzReading ReadHealthz();
+
+/// The /statusz response body (sections included), without HTTP.
+std::string ReadStatusz();
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_DEBUGZ_H_

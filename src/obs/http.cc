@@ -1,0 +1,523 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+
+namespace {
+
+/// Cached metric handles for the debug HTTP layer (lcrec.debugz.*).
+struct HttpMetrics {
+  Counter& requests;
+  Counter& bad_requests;  // 4xx/5xx responses
+  Counter& dropped;       // over max_connections, answered 503 unread
+  Histogram& handle_us;   // dispatch time (handler + render)
+
+  static HttpMetrics& Get() {
+    static HttpMetrics* m = [] {
+      MetricsRegistry& r = MetricsRegistry::Global();
+      return new HttpMetrics{
+          r.GetCounter("lcrec.debugz.http_requests"),
+          r.GetCounter("lcrec.debugz.http_bad_requests"),
+          r.GetCounter("lcrec.debugz.http_dropped"),
+          r.GetHistogram("lcrec.debugz.handle_us",
+                         Histogram::ExponentialBounds(10.0, 2.0, 24)),
+      };
+    }();
+    return *m;
+  }
+};
+
+const char* ReasonPhrase(int status) {
+  switch (status) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 431: return "Request Header Fields Too Large";
+    case 500: return "Internal Server Error";
+    case 503: return "Service Unavailable";
+    default:  return "Unknown";
+  }
+}
+
+std::string RenderResponse(const HttpResponse& resp, bool head_only) {
+  std::string out = "HTTP/1.1 " + std::to_string(resp.status) + " " +
+                    ReasonPhrase(resp.status) + "\r\n";
+  out += "Content-Type: " + resp.content_type + "\r\n";
+  out += "Content-Length: " + std::to_string(resp.body.size()) + "\r\n";
+  out += "Connection: close\r\n\r\n";
+  if (!head_only) out += resp.body;
+  return out;
+}
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+std::string UrlDecode(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out += ' ';
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      char hex[3] = {s[i + 1], s[i + 2], '\0'};
+      out += static_cast<char>(std::strtol(hex, nullptr, 16));
+      i += 2;
+    } else {
+      out += s[i];
+    }
+  }
+  return out;
+}
+
+/// Parses the request line out of a complete head. Returns false on a
+/// malformed line (caller answers 400).
+bool ParseRequestLine(const std::string& head, HttpRequest* req) {
+  size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) return false;
+  std::string line = head.substr(0, eol);
+  size_t sp1 = line.find(' ');
+  if (sp1 == std::string::npos) return false;
+  size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp2 == std::string::npos) return false;
+  req->method = line.substr(0, sp1);
+  req->target = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  if (req->method.empty() || req->target.empty() || req->target[0] != '/') {
+    return false;
+  }
+  size_t q = req->target.find('?');
+  req->path = req->target.substr(0, q);
+  if (q != std::string::npos) {
+    std::string query = req->target.substr(q + 1);
+    size_t pos = 0;
+    while (pos <= query.size()) {
+      size_t amp = query.find('&', pos);
+      std::string pair = query.substr(
+          pos, amp == std::string::npos ? std::string::npos : amp - pos);
+      if (!pair.empty()) {
+        size_t eq = pair.find('=');
+        std::string key = UrlDecode(pair.substr(0, eq));
+        std::string val =
+            eq == std::string::npos ? "" : UrlDecode(pair.substr(eq + 1));
+        if (!key.empty()) req->params[key] = val;
+      }
+      if (amp == std::string::npos) break;
+      pos = amp + 1;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string HttpRequest::Param(const std::string& name,
+                               const std::string& fallback) const {
+  auto it = params.find(name);
+  return it == params.end() ? fallback : it->second;
+}
+
+double HttpRequest::NumParam(const std::string& name, double fallback,
+                             double lo, double hi) const {
+  auto it = params.find(name);
+  double v = fallback;
+  if (it != params.end()) {
+    char* end = nullptr;
+    double parsed = std::strtod(it->second.c_str(), &end);
+    if (end != nullptr && end != it->second.c_str()) v = parsed;
+  }
+  return std::min(std::max(v, lo), hi);
+}
+
+HttpServer::HttpServer(HttpServerOptions options)
+    : options_(std::move(options)) {
+  LCREC_CHECK_GT(options_.max_connections, 0);
+  LCREC_CHECK_GT(options_.max_request_bytes, size_t{0});
+}
+
+HttpServer::~HttpServer() { Stop(); }
+
+void HttpServer::Handle(const std::string& path, HttpHandler handler) {
+  MutexLock lock(mu_);
+  handlers_[path] = std::move(handler);
+}
+
+std::vector<std::string> HttpServer::HandlerPaths() const {
+  MutexLock lock(mu_);
+  std::vector<std::string> paths;
+  paths.reserve(handlers_.size());
+  for (const auto& kv : handlers_) paths.push_back(kv.first);
+  return paths;
+}
+
+bool HttpServer::StartOn(HttpServerOptions options, std::string* error) {
+  if (running()) return true;
+  LCREC_CHECK_GT(options.max_connections, 0);
+  LCREC_CHECK_GT(options.max_request_bytes, size_t{0});
+  options_ = std::move(options);
+  return Start(error);
+}
+
+bool HttpServer::Start(std::string* error) {
+  auto fail = [this, error](const std::string& why) {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return false;
+  };
+  if (running()) return true;
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) {
+      *error = "bad bind host '" + options_.bind_host + "'";
+    }
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.max_connections) != 0) {
+    return fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  if (!SetNonBlocking(listen_fd_)) return fail("fcntl");
+  if (::pipe(wake_fds_) != 0) return fail("pipe");
+  SetNonBlocking(wake_fds_[0]);
+
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] { Loop(); });
+  return true;
+}
+
+void HttpServer::Stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+  // Wake the poll loop; it tears down every fd on the way out.
+  char byte = 'x';
+  ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+  (void)ignored;
+  if (thread_.joinable()) thread_.join();
+  ::close(wake_fds_[0]);
+  ::close(wake_fds_[1]);
+  wake_fds_[0] = wake_fds_[1] = -1;
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  port_.store(-1, std::memory_order_release);
+}
+
+HttpResponse HttpServer::Dispatch(const HttpRequest& request) {
+  HttpMetrics& hm = HttpMetrics::Get();
+  hm.requests.Increment();
+  double t0 = NowMicros();
+  HttpResponse resp;
+  if (request.method != "GET" && request.method != "HEAD") {
+    resp.status = 405;
+    resp.body = "only GET is served here\n";
+  } else {
+    HttpHandler handler;
+    {
+      MutexLock lock(mu_);
+      auto it = handlers_.find(request.path);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    if (handler == nullptr) {
+      resp.status = 404;
+      resp.body = "no handler for " + request.path + "\n";
+    } else {
+      resp = handler(request);
+    }
+  }
+  if (resp.status != 200) hm.bad_requests.Increment();
+  hm.handle_us.Observe(NowMicros() - t0);
+  return resp;
+}
+
+bool HttpServer::ReadAndMaybeDispatch(Conn* conn) {
+  char buf[2048];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      if (conn->in.size() > options_.max_request_bytes) {
+        HttpResponse resp;
+        resp.status = 431;
+        resp.body = "request head over " +
+                    std::to_string(options_.max_request_bytes) + " bytes\n";
+        HttpMetrics::Get().bad_requests.Increment();
+        conn->out = RenderResponse(resp, /*head_only=*/false);
+        conn->responding = true;
+        return true;
+      }
+      size_t head_end = conn->in.find("\r\n\r\n");
+      if (head_end == std::string::npos) continue;
+      HttpRequest req;
+      HttpResponse resp;
+      if (!ParseRequestLine(conn->in, &req)) {
+        resp.status = 400;
+        resp.body = "malformed request line\n";
+        HttpMetrics::Get().bad_requests.Increment();
+      } else {
+        resp = Dispatch(req);
+      }
+      conn->out = RenderResponse(resp, req.method == "HEAD");
+      conn->responding = true;
+      return true;
+    }
+    if (n == 0) return false;  // peer closed before a full request
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+bool HttpServer::WriteSome(Conn* conn) {
+  while (conn->sent < conn->out.size()) {
+    ssize_t n = ::send(conn->fd, conn->out.data() + conn->sent,
+                       conn->out.size() - conn->sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return false;  // fully flushed: close
+}
+
+void HttpServer::AcceptOne() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EINTR/...: back to poll
+    SetNonBlocking(fd);
+    Conn conn;
+    conn.fd = fd;
+    conn.open_us = NowMicros();
+    if (conns_scratch_.size() >=
+        static_cast<size_t>(options_.max_connections)) {
+      // Over capacity: answer 503 without reading the request, so a
+      // scraper stampede degrades politely instead of exhausting fds.
+      HttpMetrics::Get().dropped.Increment();
+      HttpResponse resp;
+      resp.status = 503;
+      resp.body = "debugz connection limit reached\n";
+      conn.out = RenderResponse(resp, /*head_only=*/false);
+      conn.responding = true;
+    }
+    conns_scratch_.push_back(std::move(conn));
+  }
+}
+
+void HttpServer::Loop() {
+  std::vector<pollfd> pfds;
+  for (;;) {
+    pfds.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    pfds.push_back({listen_fd_, POLLIN, 0});
+    for (const Conn& c : conns_scratch_) {
+      pfds.push_back({c.fd, static_cast<short>(c.responding ? POLLOUT
+                                                            : POLLIN),
+                      0});
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/250);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (rc < 0 && errno != EINTR) break;
+
+    double now = NowMicros();
+    size_t keep = 0;
+    for (size_t i = 0; i < conns_scratch_.size(); ++i) {
+      Conn& c = conns_scratch_[i];
+      const pollfd& p = pfds[i + 2];
+      bool alive = true;
+      if ((p.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          !c.responding) {
+        alive = false;
+      } else if (c.responding) {
+        if ((p.revents & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+          alive = WriteSome(&c);
+        }
+      } else if ((p.revents & POLLIN) != 0) {
+        alive = ReadAndMaybeDispatch(&c);
+      }
+      if (alive &&
+          now - c.open_us > options_.idle_timeout_s * 1e6) {
+        alive = false;
+      }
+      if (alive) {
+        if (keep != i) conns_scratch_[keep] = std::move(c);
+        ++keep;
+      } else {
+        ::close(c.fd);
+      }
+    }
+    conns_scratch_.resize(keep);
+    if ((pfds[1].revents & POLLIN) != 0) AcceptOne();
+  }
+  for (Conn& c : conns_scratch_) ::close(c.fd);
+  conns_scratch_.clear();
+}
+
+bool HttpRawExchange(const std::string& host, int port, const std::string& raw,
+                     std::string* response_text, std::string* error,
+                     double timeout_s) {
+  auto fail = [error](int fd, const std::string& why) {
+    if (fd >= 0) ::close(fd);
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    return fail(-1, "bad host '" + host + "'");
+  }
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail(fd, "socket failed");
+  SetNonBlocking(fd);
+  double deadline = NowMicros() + timeout_s * 1e6;
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return fail(fd, "connect failed");
+    pollfd p{fd, POLLOUT, 0};
+    if (::poll(&p, 1, static_cast<int>(timeout_s * 1000.0)) <= 0) {
+      return fail(fd, "connect timeout");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) return fail(fd, "connect refused");
+  }
+
+  const std::string& req = raw;  // bytes sent verbatim
+  size_t sent = 0;
+  while (sent < req.size()) {
+    ssize_t n =
+        ::send(fd, req.data() + sent, req.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd, POLLOUT, 0};
+      int wait_ms = static_cast<int>((deadline - NowMicros()) / 1000.0);
+      if (wait_ms <= 0 || ::poll(&p, 1, wait_ms) <= 0) {
+        return fail(fd, "send timeout");
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail(fd, "send failed");
+  }
+
+  std::string received;
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      received.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // server closed: response complete
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd p{fd, POLLIN, 0};
+      int wait_ms = static_cast<int>((deadline - NowMicros()) / 1000.0);
+      if (wait_ms <= 0 || ::poll(&p, 1, wait_ms) <= 0) {
+        return fail(fd, "recv timeout");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return fail(fd, "recv failed");
+  }
+  ::close(fd);
+  *response_text = std::move(received);
+  return true;
+}
+
+bool HttpGet(const std::string& host, int port, const std::string& target,
+             HttpResponse* response, std::string* error, double timeout_s) {
+  auto fail = [error](const std::string& why) {
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  std::string request = "GET " + target + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  std::string raw;
+  if (!HttpRawExchange(host, port, request, &raw, error, timeout_s)) {
+    return false;
+  }
+
+  size_t head_end = raw.find("\r\n\r\n");
+  if (head_end == std::string::npos) return fail("truncated response");
+  size_t line_end = raw.find("\r\n");
+  std::string status_line = raw.substr(0, line_end);
+  if (status_line.rfind("HTTP/1.", 0) != 0) {
+    return fail("bad status line '" + status_line + "'");
+  }
+  size_t sp = status_line.find(' ');
+  if (sp == std::string::npos) return fail("bad status line");
+  response->status = std::atoi(status_line.c_str() + sp + 1);
+  response->content_type.clear();
+  // Scan headers for Content-Type (case-insensitive name match).
+  size_t pos = line_end + 2;
+  while (pos < head_end) {
+    size_t eol = raw.find("\r\n", pos);
+    std::string header = raw.substr(pos, eol - pos);
+    size_t colon = header.find(':');
+    if (colon != std::string::npos) {
+      std::string name = header.substr(0, colon);
+      std::transform(name.begin(), name.end(), name.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      if (name == "content-type") {
+        size_t v = colon + 1;
+        while (v < header.size() && header[v] == ' ') ++v;
+        response->content_type = header.substr(v);
+      }
+    }
+    pos = eol + 2;
+  }
+  response->body = raw.substr(head_end + 4);
+  return true;
+}
+
+}  // namespace lcrec::obs

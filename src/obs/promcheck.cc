@@ -1,0 +1,180 @@
+#include "obs/promcheck.h"
+
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+namespace lcrec::obs {
+
+namespace {
+
+bool ValidName(const std::string& n) {
+  if (n.empty()) return false;
+  for (size_t i = 0; i < n.size(); ++i) {
+    char c = n[i];
+    bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                 c == '_' || c == ':';
+    bool digit = c >= '0' && c <= '9';
+    if (!(alpha || (digit && i > 0))) return false;
+  }
+  return true;
+}
+
+bool ValidValue(const std::string& v) {
+  if (v == "+Inf" || v == "-Inf" || v == "NaN") return true;
+  char* end = nullptr;
+  std::strtod(v.c_str(), &end);
+  return end != nullptr && *end == '\0' && end != v.c_str();
+}
+
+}  // namespace
+
+PromCheckResult CheckPrometheusExposition(const std::string& text) {
+  PromCheckResult result;
+  auto fail = [&result](const std::string& why, const std::string& line) {
+    if (!result.ok) return;  // keep the first violation
+    result.ok = false;
+    result.error = why + ": '" + line + "'";
+  };
+
+  std::map<std::string, std::string> declared;  // family -> type
+  std::map<std::string, long long> last_bucket;
+  std::map<std::string, long long> inf_bucket;
+  std::map<std::string, long long> count_sample;
+
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!result.ok) break;
+    if (line.empty()) {
+      fail("blank line in exposition output", line);
+      break;
+    }
+    ++result.lines;
+    if (line.find("null") != std::string::npos) {
+      fail("literal 'null' (non-finite must be +Inf/-Inf/NaN)", line);
+      break;
+    }
+    if (line.rfind("# TYPE ", 0) == 0) {
+      std::istringstream ls(line.substr(7));
+      std::string name, type;
+      ls >> name >> type;
+      if (!ValidName(name)) {
+        fail("bad family name", line);
+        break;
+      }
+      if (type != "counter" && type != "gauge" && type != "histogram") {
+        fail("unknown metric type", line);
+        break;
+      }
+      if (declared.count(name) != 0) {
+        fail("duplicate TYPE declaration", line);
+        break;
+      }
+      declared[name] = type;
+      ++result.families;
+      continue;
+    }
+    if (line[0] == '#') {
+      fail("comment line other than # TYPE", line);
+      break;
+    }
+    // Sample line: <name>[{le="bound"}] <value>
+    size_t space = line.rfind(' ');
+    if (space == std::string::npos) {
+      fail("sample line without a value", line);
+      break;
+    }
+    std::string series = line.substr(0, space);
+    std::string value = line.substr(space + 1);
+    if (!ValidValue(value)) {
+      fail("unparseable sample value", line);
+      break;
+    }
+    std::string name = series;
+    std::string le;
+    size_t brace = series.find('{');
+    if (brace != std::string::npos) {
+      name = series.substr(0, brace);
+      if (series.back() != '}') {
+        fail("unterminated label set", line);
+        break;
+      }
+      std::string label = series.substr(brace + 1, series.size() - brace - 2);
+      if (label.rfind("le=\"", 0) != 0 || label.empty() ||
+          label.back() != '"') {
+        fail("histogram sample label must be le=\"<bound>\"", line);
+        break;
+      }
+      le = label.substr(4, label.size() - 5);
+      if (!ValidValue(le)) {
+        fail("unparseable le bound", line);
+        break;
+      }
+    }
+    if (!ValidName(name)) {
+      fail("bad sample name", line);
+      break;
+    }
+    // The family must be declared above this sample: the raw name for
+    // counters/gauges, the suffix-stripped base for histogram series.
+    std::string base = name;
+    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
+      size_t len = std::strlen(suffix);
+      if (name.size() > len &&
+          name.compare(name.size() - len, len, suffix) == 0) {
+        std::string candidate = name.substr(0, name.size() - len);
+        auto it = declared.find(candidate);
+        if (it != declared.end() && it->second == "histogram") {
+          base = candidate;
+        }
+      }
+    }
+    if (declared.count(base) == 0) {
+      fail("sample before its TYPE line", line);
+      break;
+    }
+    bool is_histogram_series = base != name;
+    if (is_histogram_series && name.size() > 7 &&
+        name.compare(name.size() - 7, 7, "_bucket") == 0) {
+      if (le.empty()) {
+        fail("_bucket sample without an le label", line);
+        break;
+      }
+      long long cum = std::atoll(value.c_str());
+      if (cum < last_bucket[base]) {
+        fail("non-cumulative bucket", line);
+        break;
+      }
+      last_bucket[base] = cum;
+      if (le == "+Inf") inf_bucket[base] = cum;
+    }
+    if (is_histogram_series && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, "_count") == 0) {
+      count_sample[base] = std::atoll(value.c_str());
+    }
+  }
+
+  if (result.ok) {
+    for (const auto& kv : declared) {
+      if (kv.second != "histogram") continue;
+      if (inf_bucket.count(kv.first) == 0) {
+        fail("histogram family without a +Inf bucket", kv.first);
+        break;
+      }
+      if (count_sample.count(kv.first) == 0) {
+        fail("histogram family without a _count sample", kv.first);
+        break;
+      }
+      if (inf_bucket[kv.first] != count_sample[kv.first]) {
+        fail("+Inf bucket != _count", kv.first);
+        break;
+      }
+      ++result.histograms;
+    }
+  }
+  return result;
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,33 @@
+#ifndef LCREC_OBS_PROMCHECK_H_
+#define LCREC_OBS_PROMCHECK_H_
+
+#include <string>
+
+namespace lcrec::obs {
+
+/// Result of validating one Prometheus text exposition document.
+struct PromCheckResult {
+  bool ok = true;
+  std::string error;  // first violation, with the offending line
+  int lines = 0;      // non-empty lines checked
+  int families = 0;   // `# TYPE` declarations seen
+  int histograms = 0; // histogram families with a verified +Inf == _count
+};
+
+/// Validates `text` against the exposition-format rules the registry
+/// promises (version 0.0.4 subset, DESIGN.md §7): every line is either
+/// `# TYPE <name> <counter|gauge|histogram>` or a sample
+/// `<name>[{le="<bound>"}] <value>`; names match the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]*; no blank lines; no JSON `null` (non-finite
+/// values render as +Inf/-Inf/NaN); each family's TYPE line precedes its
+/// samples and is declared once; histogram buckets are cumulative with
+/// the +Inf bucket equal to `_count`.
+///
+/// Shared by the obs conformance test, the live-scrape test, and the
+/// debugz CI probe so "parses in our checker" means the same thing in
+/// all three places. Stops at the first violation.
+PromCheckResult CheckPrometheusExposition(const std::string& text);
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_PROMCHECK_H_

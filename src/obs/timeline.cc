@@ -72,6 +72,45 @@ void RequestTimeline::EmitAsyncSpans() const {
   emit("req", 'e', end);
 }
 
+RecentTimelines& RecentTimelines::Global() {
+  static RecentTimelines* ring = new RecentTimelines();
+  return *ring;
+}
+
+void RecentTimelines::Record(const RequestTimeline& timeline) {
+  if (!timeline.finished()) return;
+  MutexLock lock(mu_);
+  if (ring_.size() < kCapacity) {
+    ring_.push_back(timeline);
+    next_ = ring_.size() % kCapacity;
+    return;
+  }
+  ring_[next_] = timeline;
+  next_ = (next_ + 1) % kCapacity;
+  wrapped_ = true;
+}
+
+std::vector<RequestTimeline> RecentTimelines::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<RequestTimeline> out;
+  out.reserve(ring_.size());
+  if (!wrapped_ || ring_.size() < kCapacity) {
+    out = ring_;
+    return out;
+  }
+  for (size_t i = 0; i < kCapacity; ++i) {
+    out.push_back(ring_[(next_ + i) % kCapacity]);
+  }
+  return out;
+}
+
+void RecentTimelines::Clear() {
+  MutexLock lock(mu_);
+  ring_.clear();
+  next_ = 0;
+  wrapped_ = false;
+}
+
 std::string RequestTimeline::Summary() const {
   std::string out;
   char buf[64];

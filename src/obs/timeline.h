@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/sync.h"
+
 namespace lcrec::obs {
 
 /// One stage of a request's life: [start_us, start_us + dur_us) on the
@@ -66,6 +68,37 @@ class RequestTimeline {
   bool sampled_ = false;
   bool finished_ = false;
   std::vector<StageSpan> stages_;
+};
+
+/// Bounded ring of recently finished timelines, kept so a live process
+/// can be asked "what did the last few requests spend their time on"
+/// (the debugz /timelinez endpoint). The serve layer records each
+/// sampled request after Finish(); recording copies the timeline (a
+/// handful of stage spans), so the ring costs nothing on unsampled
+/// requests and a small copy on sampled ones.
+class RecentTimelines {
+ public:
+  /// Timelines retained; older entries are overwritten.
+  static constexpr size_t kCapacity = 64;
+
+  static RecentTimelines& Global();
+
+  /// Copies `timeline` into the ring. Only finished timelines carry
+  /// meaningful durations; unfinished ones are ignored.
+  void Record(const RequestTimeline& timeline);
+
+  /// Retained timelines, oldest first.
+  std::vector<RequestTimeline> Snapshot() const;
+
+  void Clear();
+
+ private:
+  RecentTimelines() = default;
+
+  mutable Mutex mu_;
+  std::vector<RequestTimeline> ring_ LCREC_GUARDED_BY(mu_);
+  size_t next_ LCREC_GUARDED_BY(mu_) = 0;  // ring insert position
+  bool wrapped_ LCREC_GUARDED_BY(mu_) = false;
 };
 
 }  // namespace lcrec::obs

@@ -1,10 +1,13 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
 #include "core/check.h"
+#include "obs/debugz.h"
 #include "obs/flightrec.h"
+#include "obs/log.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
@@ -88,10 +91,27 @@ Server::Server(const llm::MiniLlm& model, const quant::PrefixTrie& trie,
   LCREC_CHECK_GT(options_.max_batch_lanes, 0);
   LCREC_CHECK_GT(options_.top_n_cap, 0);
   slo_.StartReporter();  // no-op unless options.slo.report_every_s > 0
+  if (options_.debug_port >= 0) {
+    std::string error;
+    if (!obs::DebugServer::Global().Start(options_.debug_port, &error)) {
+      obs::Log(obs::LogLevel::kWarn, "[serve] debugz start failed: %s",
+               error.c_str());
+    }
+  }
+  obs::DebugServer::MaybeStartFromEnv();
+  statusz_section_id_ = obs::RegisterStatuszSection(
+      "serve", [this] { return Statusz(); });
   if (options_.start_scheduler) Start();
 }
 
-Server::~Server() { Stop(); }
+Server::~Server() {
+  // Unregister before any member teardown: the debug server's thread may
+  // be inside Statusz() right now, and RegisterStatusz's contract is that
+  // unregistration (which takes the same registry lock the dispatcher
+  // holds while calling sections) is the destructor's first act.
+  obs::UnregisterStatuszSection(statusz_section_id_);
+  Stop();
+}
 
 void Server::Start() {
   bool expected = false;
@@ -134,6 +154,7 @@ RecommendResponse Server::Recommend(const RecommendRequest& request) {
     resp.debug.sampled = timeline.sampled();
     resp.debug.stages = timeline.stages();
     timeline.EmitAsyncSpans();
+    if (timeline.sampled()) obs::RecentTimelines::Global().Record(timeline);
     FinishRequest(&resp);
     return resp;
   }
@@ -221,6 +242,7 @@ RecommendResponse Server::WaitDone(const PendingPtr& pending, double t0_us,
   resp.debug.sampled = timeline->sampled();
   resp.debug.stages = timeline->stages();
   timeline->EmitAsyncSpans();
+  if (timeline->sampled()) obs::RecentTimelines::Global().Record(*timeline);
   FinishRequest(&resp);
   return resp;
 }
@@ -345,6 +367,48 @@ void Server::SchedulerLoop() {
     Resolve(p, MakeShed(Status::kShutdown));
   }
   by_tag.clear();
+}
+
+std::string Server::Statusz() const {
+  ServerStats s = stats();
+  auto rate = [&s](int64_t n) {
+    return s.requests > 0
+               ? 100.0 * static_cast<double>(n) /
+                     static_cast<double>(s.requests)
+               : 0.0;
+  };
+  char line[256];
+  std::string out = slo_.StatuszText();
+  if (out.empty() || out.back() != '\n') out += "\n";
+  std::snprintf(line, sizeof(line),
+                "requests %lld | completed %lld | decoded %lld\n",
+                static_cast<long long>(s.requests),
+                static_cast<long long>(s.completed),
+                static_cast<long long>(s.decoded));
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "cache: hits %lld (%.1f%%) | coalesced %lld (%.1f%%) | "
+      "inline %lld (%.1f%%)\n",
+      static_cast<long long>(s.cache_hits), rate(s.cache_hits),
+      static_cast<long long>(s.coalesced), rate(s.coalesced),
+      static_cast<long long>(s.inline_fast_path), rate(s.inline_fast_path));
+  out += line;
+  std::snprintf(line, sizeof(line), "queue: depth %zu / %d\n", queue_.size(),
+                options_.max_queue);
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "batch: active_lanes %d / %d | ticks %lld\n",
+                active_lanes_.load(std::memory_order_relaxed),
+                options_.max_batch_lanes,
+                static_cast<long long>(s.batch_ticks));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "shed: queue_full %lld | deadline %lld\n",
+                static_cast<long long>(s.shed_queue_full),
+                static_cast<long long>(s.shed_deadline));
+  out += line;
+  return out;
 }
 
 ServerStats Server::stats() const {

@@ -56,6 +56,11 @@ struct ServerOptions {
   /// Latency SLO tracked by the server's burn-rate monitor
   /// (lcrec.serve.slo.* metrics; Statusz()).
   obs::SloOptions slo;
+  /// >= 0 starts the process-wide obs::DebugServer on this port (0 =
+  /// ephemeral) so the server is live-inspectable over HTTP (/statusz,
+  /// /metricsz, ...). -1 leaves the debug surface to the LCREC_DEBUG_PORT
+  /// env (checked either way). Start failure is logged, never fatal.
+  int debug_port = -1;
 };
 
 /// Per-server counters (the global lcrec.serve.* metrics aggregate
@@ -108,8 +113,10 @@ class Server {
   /// This server's SLO reading (burn rate over the sliding window).
   const obs::SloMonitor& slo() const { return slo_; }
 
-  /// One statusz-style line: the SLO window reading.
-  std::string Statusz() const { return slo_.StatuszText(); }
+  /// One-stop serving snapshot: the SLO window reading plus request,
+  /// cache (hit/coalesce/inline rates), queue, batch-lane, and shed
+  /// counters. Served live as the "serve" section of debugz /statusz.
+  std::string Statusz() const;
 
   /// Writes the process flight-recorder ring (recent sheds, batch ticks,
   /// slow requests...) as JSONL — the same black box the LCREC_CHECK
@@ -176,6 +183,7 @@ class Server {
 
   std::thread scheduler_;
   std::atomic<bool> running_{false};
+  int statusz_section_id_ = -1;  // debugz /statusz registration
 
   struct AtomicStats {
     std::atomic<int64_t> requests{0}, completed{0}, decoded{0};

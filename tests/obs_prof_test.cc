@@ -24,6 +24,7 @@
 #include "obs/manifest.h"
 #include "obs/perfgate.h"
 #include "obs/prof.h"
+#include "obs/promcheck.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
 
@@ -356,13 +357,13 @@ TEST(PrometheusTest, ExposesAllMetricTypes) {
   EXPECT_NE(text.find("lcrec_promtest_lat_ms_sum 55.5"), std::string::npos);
 }
 
-/// Exposition-format conformance: every line of the dump must be either
-/// a `# TYPE <name> <counter|gauge|histogram>` line or a sample
+/// Exposition-format conformance, via the shared checker
+/// (obs/promcheck.h): every line of the dump must be either a
+/// `# TYPE <name> <counter|gauge|histogram>` line or a sample
 /// `<name>[{le="<bound>"}] <value>`, names must match the Prometheus
 /// grammar, TYPE must precede its family's samples, histogram buckets
-/// must be cumulative (monotone nondecreasing) with the +Inf bucket
-/// equal to _count, and non-finite values must render as +Inf/-Inf/NaN
-/// (never JSON null).
+/// must be cumulative with the +Inf bucket equal to _count, and
+/// non-finite values must render as +Inf/-Inf/NaN (never JSON null).
 TEST(PrometheusTest, ExpositionFormatConformance) {
   obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
   reg.GetCounter("lcrec.promconf.requests").Add(3);
@@ -376,113 +377,57 @@ TEST(PrometheusTest, ExpositionFormatConformance) {
 
   std::ostringstream out;
   reg.DumpPrometheus(out);
-  std::istringstream in(out.str());
 
-  auto valid_name = [](const std::string& n) {
-    if (n.empty()) return false;
-    for (size_t i = 0; i < n.size(); ++i) {
-      char c = n[i];
-      bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                   c == '_' || c == ':';
-      bool digit = c >= '0' && c <= '9';
-      if (!(alpha || (digit && i > 0))) return false;
-    }
-    return true;
-  };
-  auto valid_value = [](const std::string& v) {
-    if (v == "+Inf" || v == "-Inf" || v == "NaN") return true;
-    char* end = nullptr;
-    std::strtod(v.c_str(), &end);
-    return end != nullptr && *end == '\0' && end != v.c_str();
-  };
-
-  // Family name -> declared type; base name of a histogram sample is the
-  // sample name minus its _bucket/_sum/_count suffix.
-  std::map<std::string, std::string> declared;
-  std::map<std::string, int64_t> last_bucket;   // monotonicity per family
-  std::map<std::string, int64_t> inf_bucket;
-  std::map<std::string, int64_t> count_sample;
-  std::string line;
-  int lines = 0;
-  while (std::getline(in, line)) {
-    ASSERT_FALSE(line.empty()) << "blank line in exposition output";
-    ++lines;
-    EXPECT_EQ(line.find("null"), std::string::npos) << line;
-    if (line.rfind("# TYPE ", 0) == 0) {
-      std::istringstream ls(line.substr(7));
-      std::string name, type;
-      ls >> name >> type;
-      EXPECT_TRUE(valid_name(name)) << line;
-      EXPECT_TRUE(type == "counter" || type == "gauge" ||
-                  type == "histogram")
-          << line;
-      EXPECT_EQ(declared.count(name), 0u) << "duplicate TYPE: " << line;
-      declared[name] = type;
-      continue;
-    }
-    // Sample line: <name>[{le="bound"}] <value>
-    size_t space = line.rfind(' ');
-    ASSERT_NE(space, std::string::npos) << line;
-    std::string series = line.substr(0, space);
-    std::string value = line.substr(space + 1);
-    EXPECT_TRUE(valid_value(value)) << line;
-    std::string name = series;
-    std::string le;
-    size_t brace = series.find('{');
-    if (brace != std::string::npos) {
-      name = series.substr(0, brace);
-      ASSERT_EQ(series.back(), '}') << line;
-      std::string label = series.substr(brace + 1,
-                                        series.size() - brace - 2);
-      ASSERT_EQ(label.rfind("le=\"", 0), 0u) << line;
-      ASSERT_EQ(label.back(), '"') << line;
-      le = label.substr(4, label.size() - 5);
-      EXPECT_TRUE(valid_value(le)) << line;
-    }
-    EXPECT_TRUE(valid_name(name)) << line;
-    // The family this sample belongs to must have been declared above
-    // it: the raw name for counters/gauges, the suffix-stripped base
-    // name for histogram series.
-    std::string base = name;
-    for (const char* suffix : {"_bucket", "_sum", "_count"}) {
-      size_t len = std::strlen(suffix);
-      if (name.size() > len &&
-          name.compare(name.size() - len, len, suffix) == 0) {
-        std::string candidate = name.substr(0, name.size() - len);
-        if (declared.count(candidate) != 0 &&
-            declared[candidate] == "histogram") {
-          base = candidate;
-        }
-      }
-    }
-    ASSERT_EQ(declared.count(base), 1u)
-        << "sample before its TYPE line: " << line;
-    if (base != name && name.size() > 7 &&
-        name.compare(name.size() - 7, 7, "_bucket") == 0) {
-      int64_t cum = std::atoll(value.c_str());
-      EXPECT_GE(cum, last_bucket[base]) << "non-cumulative bucket: " << line;
-      last_bucket[base] = cum;
-      if (le == "+Inf") inf_bucket[base] = cum;
-    }
-    if (base != name && name.size() > 6 &&
-        name.compare(name.size() - 6, 6, "_count") == 0) {
-      count_sample[base] = std::atoll(value.c_str());
-    }
-  }
-  EXPECT_GT(lines, 0);
+  obs::PromCheckResult check = obs::CheckPrometheusExposition(out.str());
+  EXPECT_TRUE(check.ok) << check.error;
+  EXPECT_GT(check.lines, 0);
   // The registry is process-global, so every histogram any test touched
-  // is in the dump; the invariant must hold for all of them.
-  EXPECT_GE(inf_bucket.size(), 1u);
-  for (const auto& kv : inf_bucket) {
-    ASSERT_EQ(count_sample.count(kv.first), 1u) << kv.first;
-    EXPECT_EQ(kv.second, count_sample[kv.first])
-        << "+Inf bucket != _count for " << kv.first;
-  }
+  // is in the dump; the checker verified +Inf == _count for all of them.
+  EXPECT_GE(check.histograms, 1);
+  EXPECT_GE(check.families, 4);
   // The NaN gauge rendered as literal NaN.
   EXPECT_NE(out.str().find("lcrec_promconf_nan_gauge NaN"),
             std::string::npos);
   EXPECT_NE(out.str().find("lcrec_promconf_inf_gauge +Inf"),
             std::string::npos);
+}
+
+/// The checker itself rejects the violations it claims to: a mutated
+/// dump must fail, so "scrape passed the checker" in the live tests and
+/// the CI probe is meaningful.
+TEST(PrometheusTest, ExpositionCheckerRejectsViolations) {
+  const std::string good =
+      "# TYPE lcrec_chk_lat histogram\n"
+      "lcrec_chk_lat_bucket{le=\"1\"} 1\n"
+      "lcrec_chk_lat_bucket{le=\"+Inf\"} 2\n"
+      "lcrec_chk_lat_sum 3.5\n"
+      "lcrec_chk_lat_count 2\n";
+  EXPECT_TRUE(obs::CheckPrometheusExposition(good).ok);
+
+  struct Case {
+    const char* why;
+    const char* text;
+  };
+  const Case bad_cases[] = {
+      {"blank line", "# TYPE a counter\n\na 1\n"},
+      {"null value", "# TYPE a gauge\na null\n"},
+      {"sample before TYPE", "a 1\n# TYPE a counter\n"},
+      {"duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n"},
+      {"bad type", "# TYPE a summary\na 1\n"},
+      {"bad name", "# TYPE 9a counter\n9a 1\n"},
+      {"bad value", "# TYPE a counter\na one\n"},
+      {"non-cumulative buckets",
+       "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n"
+       "h_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n"},
+      {"+Inf != count",
+       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\n"
+       "h_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n"},
+      {"histogram without +Inf",
+       "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n"},
+  };
+  for (const Case& c : bad_cases) {
+    EXPECT_FALSE(obs::CheckPrometheusExposition(c.text).ok) << c.why;
+  }
 }
 
 }  // namespace

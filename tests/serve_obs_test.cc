@@ -19,6 +19,9 @@
 
 #include "core/check.h"
 #include "llm/minillm.h"
+#include "obs/debugz.h"
+#include "obs/http.h"
+#include "obs/timeline.h"
 #include "obs/trace.h"
 #include "quant/indexing.h"
 #include "serve/server.h"
@@ -391,6 +394,82 @@ TEST_F(ServeObsTest, SamplingOffMeansNoDebugSampledFlag) {
   ASSERT_EQ(resp.status, Status::kOk);
   EXPECT_FALSE(resp.debug.sampled);
   EXPECT_FALSE(resp.debug.stages.empty());
+}
+
+/// Satellite: Statusz is a one-stop serving snapshot — SLO line plus
+/// request, cache-rate, queue, batch-lane, and shed counters.
+TEST_F(ServeObsTest, StatuszIsAOneStopSnapshot) {
+  ServerOptions opts;
+  opts.beam_size = 4;
+  auto server = MakeServer(opts);
+  RecommendRequest req;
+  req.history = {2, 3};
+  ASSERT_EQ(server->Recommend(req).status, Status::kOk);
+  ASSERT_EQ(server->Recommend(req).status, Status::kOk);  // cache hit
+
+  std::string statusz = server->Statusz();
+  EXPECT_NE(statusz.find("slo: target"), std::string::npos) << statusz;
+  EXPECT_NE(statusz.find("requests 2 | completed 2 | decoded 1"),
+            std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("cache: hits 1 (50.0%)"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("queue: depth 0 / 256"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("batch: active_lanes"), std::string::npos)
+      << statusz;
+  EXPECT_NE(statusz.find("shed: queue_full 0 | deadline 0"),
+            std::string::npos)
+      << statusz;
+}
+
+/// Tentpole integration: a server constructed with debug_port exposes
+/// its statusz section and the sampled request timelines over HTTP.
+TEST_F(ServeObsTest, DebugzServesServeSectionAndTimelines) {
+  obs::RecentTimelines::Global().Clear();
+  ServerOptions opts;
+  opts.beam_size = 4;
+  opts.debug_port = 0;  // ephemeral
+  auto server = MakeServer(opts);
+  obs::DebugServer& debugz = obs::DebugServer::Global();
+  ASSERT_TRUE(debugz.running());
+  ASSERT_GT(debugz.port(), 0);
+
+  for (int i = 0; i < 3; ++i) {
+    RecommendRequest req;
+    req.history = {7 + i};
+    ASSERT_EQ(server->Recommend(req).status, Status::kOk);
+  }
+
+  obs::HttpResponse resp;
+  std::string error;
+  ASSERT_TRUE(obs::HttpGet("127.0.0.1", debugz.port(), "/statusz", &resp,
+                           &error))
+      << error;
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("--- serve ---"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("cache: hits"), std::string::npos) << resp.body;
+  EXPECT_NE(resp.body.find("batch: active_lanes"), std::string::npos)
+      << resp.body;
+
+  ASSERT_TRUE(obs::HttpGet("127.0.0.1", debugz.port(), "/timelinez", &resp,
+                           &error))
+      << error;
+  EXPECT_EQ(resp.status, 200);
+  EXPECT_NE(resp.body.find("\"request_id\":"), std::string::npos)
+      << resp.body;
+  EXPECT_NE(resp.body.find("\"stage\":\"build\""), std::string::npos)
+      << resp.body;
+
+  // A destroyed server withdraws its section instead of dangling.
+  server.reset();
+  ASSERT_TRUE(obs::HttpGet("127.0.0.1", debugz.port(), "/statusz", &resp,
+                           &error))
+      << error;
+  EXPECT_EQ(resp.body.find("--- serve ---"), std::string::npos) << resp.body;
+  // Join the debug thread so the later fork-based death test does not
+  // inherit a live event loop.
+  debugz.Stop();
 }
 
 // A crash must leave a readable black box: force a burst of sheds, then

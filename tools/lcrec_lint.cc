@@ -221,6 +221,46 @@ bool ContainsCall(const std::string& line, const std::string& name) {
   return false;
 }
 
+/// Matches a call to the POSIX socket-API function `name`: `name(` or
+/// the global-qualified `::name(`, but not member calls (`sock.bind(`,
+/// `server->connect(`) or other-namespace qualifications (`std::bind(`),
+/// which are unrelated to the socket API.
+bool ContainsSocketCall(const std::string& line, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = line.find(name, pos)) != std::string::npos) {
+    size_t end = pos + name.size();
+    size_t paren = end;
+    while (paren < line.size() &&
+           std::isspace(static_cast<unsigned char>(line[paren]))) {
+      ++paren;
+    }
+    bool is_call = paren < line.size() && line[paren] == '(' &&
+                   (end >= line.size() || !IsWordChar(line[end]));
+    if (!is_call) {
+      pos = end;
+      continue;
+    }
+    if (pos > 0) {
+      char left = line[pos - 1];
+      if (IsWordChar(left) || left == '.' || left == '>') {
+        pos = end;
+        continue;
+      }
+      if (left == ':') {
+        // Qualified: only the global `::name(` form is the socket API.
+        bool global_qualified = pos >= 2 && line[pos - 2] == ':' &&
+                                (pos == 2 || !IsWordChar(line[pos - 3]));
+        if (!global_qualified) {
+          pos = end;
+          continue;
+        }
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
 /// True when `name` matches lcrec\.[a-z0-9_.]+ in full: the "lcrec."
 /// namespace prefix followed only by lowercase dotted words. A trailing
 /// dot is fine (prefixes completed by runtime concatenation).
@@ -268,6 +308,7 @@ void LintFile(const std::string& rel_path, const std::string& text,
   const bool in_obs = StartsWith(rel_path, "src/obs/");
   const bool in_ckpt = StartsWith(rel_path, "src/ckpt/");
   const bool in_serve = StartsWith(rel_path, "src/serve/");
+  const bool in_http = StartsWith(rel_path, "src/obs/http");
 
   std::vector<std::string> raw_lines = SplitLines(text);
   std::vector<std::string> code_lines =
@@ -350,6 +391,20 @@ void LintFile(const std::string& rel_path, const std::string& text,
               "metric name \"" + name +
                   "\" must match lcrec\\.[a-z0-9_.]+ (the exported "
                   "namespace is uniform by construction)");
+        }
+      }
+    }
+    if (!in_http) {
+      static const char* kSocketCalls[] = {"socket", "bind", "listen",
+                                           "accept", "connect"};
+      for (const char* call : kSocketCalls) {
+        if (ContainsSocketCall(line, call)) {
+          add(line_no, "raw-socket",
+              std::string(call) +
+                  "() outside src/obs/http — all networking funnels "
+                  "through the one audited event loop (obs::HttpServer / "
+                  "obs::HttpGet)");
+          break;  // one finding per line even when several names match
         }
       }
     }

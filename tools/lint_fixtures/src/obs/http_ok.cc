@@ -1,0 +1,10 @@
+// Fixture: src/obs/http* is the one blessed home of the socket API —
+// these calls must NOT be flagged. Never compiled, only scanned.
+
+void BlessedServerSetup() {
+  int fd = ::socket(2, 1, 0);
+  ::bind(fd, nullptr, 0);
+  ::listen(fd, 16);
+  ::accept(fd, nullptr, nullptr);
+  ::connect(fd, nullptr, 0);
+}
