@@ -50,6 +50,7 @@
 #include "obs/export.h"
 #include "obs/http.h"
 #include "obs/perfgate.h"
+#include "obs/sync.h"
 #include "obs/trace.h"
 #include "quant/indexing.h"
 #include "serve/server.h"
@@ -541,13 +542,30 @@ int main(int argc, char** argv) {
       flags.requests, flags.catalog, flags.zipf, flags.concurrency, flags.qps,
       flags.smoke ? " [smoke]" : "");
 
+  // The headline numbers are measured with the deadlock detector in its
+  // release default (report) so the record reflects what production
+  // pays; an explicit LCREC_DEADLOCK in the environment still wins.
+  if (std::getenv("LCREC_DEADLOCK") == nullptr) {
+    obs::SetDeadlockMode(obs::DeadlockMode::kReport);
+  }
+
   Bench bench(flags.seed);
   std::vector<std::vector<int>> trace = MakeTrace(flags);
+
+  auto mutex_wait_total_us = [] {
+    long long total = 0;
+    for (const obs::MutexStatsRow& row : obs::MutexStatsSnapshot()) {
+      total += row.wait_total_us;
+    }
+    return total;
+  };
 
   LoadResult seq = RunSequential(bench, trace, kTopN);
   PrintResult("sequential", seq);
   if (flags.trace_requests) obs::TraceRecorder::Global().SetEnabled(true);
+  long long wait_before_us = mutex_wait_total_us();
   LoadResult closed = RunClosedLoop(bench, trace, flags.concurrency, kTopN);
+  long long mutex_wait_us = mutex_wait_total_us() - wait_before_us;
   if (flags.trace_requests) {
     obs::TraceRecorder::Global().SetEnabled(false);
     obs::TraceRecorder::Global().WriteChromeTraceFile(flags.trace_out);
@@ -569,6 +587,27 @@ int main(int argc, char** argv) {
     }
   }
   PrintResult("closed", closed);
+
+  // Detector cost, measured directly: the same closed-loop replay with
+  // lock-discipline tracking off entirely (raw std::mutex cost). The
+  // delta is recorded, not gated — serve/req_per_sec above, measured in
+  // report mode, is what the perf baseline holds to tolerance.
+  obs::DeadlockMode bench_mode = obs::GetDeadlockMode();
+  obs::SetDeadlockMode(obs::DeadlockMode::kOff);
+  LoadResult closed_off =
+      RunClosedLoop(bench, trace, flags.concurrency, kTopN);
+  obs::SetDeadlockMode(bench_mode);
+  double detector_off_delta_pct =
+      closed.req_per_sec > 0.0
+          ? (closed_off.req_per_sec - closed.req_per_sec) /
+                closed.req_per_sec * 100.0
+          : 0.0;
+  std::printf(
+      "lock discipline: closed-loop mutex wait %lld us; detector %s %.1f "
+      "req/s vs off %.1f req/s (off is %+.1f%%)\n",
+      mutex_wait_us, obs::DeadlockModeName(bench_mode), closed.req_per_sec,
+      closed_off.req_per_sec, detector_off_delta_pct);
+
   LoadResult open =
       RunOpenLoop(bench, trace, flags.concurrency, flags.qps, kTopN);
   PrintResult("open", open);
@@ -624,6 +663,12 @@ int main(int argc, char** argv) {
   for (const auto& kv : tail) {
     rec.metrics["serve_tail/" + kv.first + "_us"] = {kv.second, 1.0};
   }
+  // Lock discipline: total mutex wait accumulated during the closed
+  // loop, and the throughput delta with the detector fully off. Both
+  // are wide-band diagnostics — contention is scheduling-noise-bound.
+  rec.metrics["serve/mutex_wait_us"] = {static_cast<double>(mutex_wait_us),
+                                        1.0};
+  rec.metrics["serve/detector_off_delta_pct"] = {detector_off_delta_pct, 1.0};
   bool debugz_ok = true;
   if (flags.debug_port >= 0) {
     debugz_ok = RunDebugzMeasurement(bench, flags, &rec);

@@ -5,7 +5,8 @@
 #
 #   scripts/ci.sh            # tier-1 tests, fault suite, serve smoke,
 #                            # flightrec crash-dump smoke, debugz probe,
-#                            # lint, strict build, ASan+UBSan
+#                            # deadlock-detector probe, lint, strict
+#                            # build, ASan+UBSan
 #   scripts/ci.sh debugz     # just the named gate(s) — build runs first
 #                            # automatically unless it was named
 #   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
@@ -94,6 +95,48 @@ gate_debugz() {
   "${build_dir}/tools/debugz_probe"
 }
 
+gate_deadlock() {
+  # Lock-discipline gate, end to end: a seeded lock-order inversion must
+  # be detected on the first cycle-creating acquisition (one thread, no
+  # actual deadlock, no timeout) with a report naming both mutexes and
+  # both acquisition paths; fatal mode must abort the process with the
+  # same report on stderr; and a correctly-ordered multi-threaded run
+  # must finish with zero findings.
+  local probe="${build_dir}/tools/deadlock_probe"
+  local out="${build_dir}/deadlock_probe.log"
+  if ! "${probe}" --cycle >"${out}" 2>&1; then
+    echo "deadlock: --cycle exited non-zero (report mode must not kill" \
+         "the process)"
+    cat "${out}"
+    return 1
+  fi
+  local want
+  for want in "lock-order cycle" "probe.a" "probe.b" \
+              "this acquisition" "conflicting edge"; do
+    if ! grep -qF "${want}" "${out}"; then
+      echo "deadlock: cycle report is missing '${want}'"
+      cat "${out}"
+      return 1
+    fi
+  done
+  if "${probe}" --cycle-fatal >/dev/null 2>"${out}"; then
+    echo "deadlock: --cycle-fatal unexpectedly exited 0"
+    return 1
+  fi
+  if ! grep -qF "lock-order cycle" "${out}"; then
+    echo "deadlock: fatal-mode stderr lacks the cycle report"
+    cat "${out}"
+    return 1
+  fi
+  if ! "${probe}" >"${out}" 2>&1 || ! grep -qF "OK (0 findings)" "${out}"; then
+    echo "deadlock: clean correctly-ordered run reported findings"
+    cat "${out}"
+    return 1
+  fi
+  echo "deadlock: inversion detected in report and fatal modes; clean" \
+       "run 0 findings"
+}
+
 gate_flightrec() {
   # Flight-recorder smoke: a forced LCREC_CHECK failure in a child
   # process must leave a parseable black-box dump on stderr containing
@@ -140,7 +183,7 @@ gate_flightrec() {
 # build gate is prepended automatically — everything needs binaries).
 # Unknown names fail fast so a typo can't silently skip a gate.
 known_gates="build tier1_tests fault serve_smoke flightrec debugz \
-lcrec_lint check_warnings asan_ubsan tsan perf_regress"
+deadlock lcrec_lint check_warnings asan_ubsan tsan perf_regress"
 selected=("$@")
 if [[ ${#selected[@]} -gt 0 ]]; then
   for g in "${selected[@]}"; do
@@ -166,6 +209,7 @@ wants fault          && { run_gate "fault"          gate_fault     || overall=1;
 wants serve_smoke    && { run_gate "serve_smoke"    gate_serve     || overall=1; }
 wants flightrec      && { run_gate "flightrec"      gate_flightrec || overall=1; }
 wants debugz         && { run_gate "debugz"         gate_debugz    || overall=1; }
+wants deadlock       && { run_gate "deadlock"       gate_deadlock  || overall=1; }
 wants lcrec_lint     && { run_gate "lcrec_lint"     gate_lint      || overall=1; }
 wants check_warnings && { run_gate "check_warnings" gate_warnings  || overall=1; }
 wants asan_ubsan     && { run_gate "asan_ubsan"     gate_asan      || overall=1; }

@@ -20,7 +20,7 @@ namespace {
 /// trainer that had to roll back is exactly what an operator probing
 /// /healthz wants surfaced), until ResetCkptHealthzForTest().
 struct HealthzState {
-  obs::Mutex mu;
+  obs::Mutex mu{"ckpt.health", 40};
   int trips LCREC_GUARDED_BY(mu) = 0;
   int64_t last_step LCREC_GUARDED_BY(mu) = -1;
   std::string last_subsystem LCREC_GUARDED_BY(mu);

@@ -5,12 +5,16 @@
 
 #include "obs/flightrec.h"
 #include "obs/log.h"
+#include "obs/sync.h"
 #include "obs/trace.h"
 
 namespace lcrec::core::check_internal {
 
 void CheckFailed(const char* file, int line, const char* kind,
                  const char* expr, const std::string& detail) {
+  // The dump below takes obs mutexes with arbitrary locks already held;
+  // keep the lock-discipline detector out of its own abort path.
+  obs::sync_internal::BypassCurrentThread();
   std::string msg = std::string(kind) + " failed: " + expr;
   if (!detail.empty()) msg += " (" + detail + ")";
   obs::LogRaw(obs::LogLevel::kError, "%s at %s:%d", msg.c_str(), file, line);

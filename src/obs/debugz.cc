@@ -40,7 +40,7 @@ struct HealthEntry {
 };
 
 struct Registries {
-  Mutex mu;
+  Mutex mu{"obs.debugz.registries", 10};
   int next_id LCREC_GUARDED_BY(mu) = 1;
   std::vector<SectionEntry> sections LCREC_GUARDED_BY(mu);
   std::vector<HealthEntry> health LCREC_GUARDED_BY(mu);
@@ -334,6 +334,11 @@ void DebugServer::RegisterBuiltins() {
     HttpResponse resp;
     resp.content_type = "application/x-ndjson";
     resp.body = TimelinezJsonl();
+    return resp;
+  });
+  http_.Handle("/mutexz", [](const HttpRequest&) {
+    HttpResponse resp;
+    resp.body = MutexzText();
     return resp;
   });
   http_.Handle("/profilez", Profilez);

@@ -21,6 +21,8 @@ namespace lcrec::obs {
 ///   /tracez    TraceRecorder state and a recent-span summary
 ///   /flightrecz FlightRecorder ring as JSONL
 ///   /timelinez recent sampled request timelines as JSONL
+///   /mutexz    lock-discipline state: detector mode, per-mutex
+///              contention/hold stats, lock-order edges, cycle findings
 ///   /profilez  on-demand sampling-profiler capture
 ///              (?seconds=N&hz=H, collapsed flamegraph stacks)
 ///

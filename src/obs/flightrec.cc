@@ -26,6 +26,10 @@ const char* FrKindName(FrKind kind) {
       return "batch_tick";
     case FrKind::kCheckFail:
       return "check_fail";
+    case FrKind::kLockOrder:
+      return "lock_order";
+    case FrKind::kLongHold:
+      return "long_hold";
     case FrKind::kMark:
       return "mark";
   }
@@ -45,7 +49,7 @@ struct FlightRecorder::Ring {
 namespace {
 
 obs::Mutex& RingListMu() {
-  static obs::Mutex* mu = new obs::Mutex();
+  static obs::Mutex* mu = new obs::Mutex("obs.flightrec.rings", 85);
   return *mu;
 }
 

@@ -18,6 +18,8 @@ enum class FrKind : uint8_t {
   kHealthTrip,    // ckpt::HealthGuard trip; a = trip no, b = max retries
   kBatchTick,     // one BatchEngine tick; a = lanes, b = fed tokens
   kCheckFail,     // LCREC_CHECK failure (recorded by the failure handler)
+  kLockOrder,     // lock-order cycle finding (obs::Mutex detector)
+  kLongHold,      // mutex held over threshold; detail = name, a = hold_us
   kMark,          // free-form annotation from tests/tools
 };
 

@@ -23,7 +23,7 @@ Counter& TotalBytesCounter() {
 }
 
 Mutex& SpanCostMu() {
-  static Mutex* mu = new Mutex();
+  static Mutex* mu = new Mutex("obs.flops.spancost", 90);
   return *mu;
 }
 

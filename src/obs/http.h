@@ -135,7 +135,7 @@ class HttpServer {
   int wake_fds_[2] = {-1, -1};  // self-pipe: Stop() wakes poll()
   std::thread thread_;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.http.handlers", 95};
   std::map<std::string, HttpHandler> handlers_ LCREC_GUARDED_BY(mu_);
 };
 

@@ -84,7 +84,7 @@ class SamplingProfiler {
   void Loop(double hz);
   void SampleOnce();
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.prof.samples", 60};
   std::thread thread_;  // touched only by Start/Stop callers
   std::atomic<bool> running_{false};
   double hz_ LCREC_GUARDED_BY(mu_) = 0.0;

@@ -86,7 +86,7 @@ class MetricsRegistry {
  private:
   MetricsRegistry() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.metrics.registry", 100};
   std::map<std::string, std::unique_ptr<Counter>> counters_
       LCREC_GUARDED_BY(mu_);
   std::map<std::string, std::unique_ptr<Gauge>> gauges_ LCREC_GUARDED_BY(mu_);

@@ -88,10 +88,10 @@ class SloMonitor {
   SloOptions options_;
   double bucket_width_us_ = 0.0;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.slo.window", 31};
   std::vector<Bucket> buckets_ LCREC_GUARDED_BY(mu_);
 
-  Mutex reporter_mu_;
+  Mutex reporter_mu_{"obs.slo.reporter", 30};
   CondVar reporter_cv_;
   bool reporter_stop_ LCREC_GUARDED_BY(reporter_mu_) = false;
   std::thread reporter_;

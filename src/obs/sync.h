@@ -3,18 +3,33 @@
 
 #include <chrono>
 #include <condition_variable>
+#include <cstdint>
 #include <mutex>
+#include <string>
+#include <vector>
 
 /// Clang thread-safety annotations (-Wthread-safety), compiled to no-ops
 /// on other compilers. The repo's strict build turns the analysis into a
 /// hard error when the compiler is clang (scripts/check_warnings.sh);
-/// under gcc the macros vanish and the code is plain std::mutex.
+/// under gcc the macros vanish.
 ///
 /// std::mutex and std::lock_guard carry no annotations under libstdc++,
 /// so annotating members with LCREC_GUARDED_BY alone would make every
 /// correct lock_guard use a false positive. The annotated wrappers
 /// below (obs::Mutex, obs::MutexLock) give the analysis real acquire/
-/// release events while staying zero-cost aliases of the std types.
+/// release events.
+///
+/// Beyond the static analysis, obs::Mutex is the repo's *dynamic*
+/// lock-discipline choke point (the `raw-sync` lint rule forbids the std
+/// primitives everywhere else in src/). Every Mutex participates in a
+/// global lock-order graph: the first acquisition that would create a
+/// cycle — a potential deadlock, even if it never manifests as one —
+/// is reported with both conflicting acquisition paths (held locks +
+/// live span stacks), before any thread can actually hang. Mutexes
+/// constructed with a name and rank additionally get contention/hold
+/// accounting (exported at /mutexz and as lcrec.obs.mutex.* metrics)
+/// and rank checking: acquiring a ranked mutex while holding one of
+/// equal or higher rank aborts immediately. See DESIGN.md §13.
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define LCREC_THREAD_ANNOTATION_(x) __attribute__((x))
@@ -42,19 +57,63 @@
 
 namespace lcrec::obs {
 
-/// std::mutex with capability annotations. Same size, same cost; only
-/// the static analysis sees the difference.
+/// Detector behaviour on a cycle-creating lock acquisition.
+///   kOff    — no tracking at all (raw std::mutex cost).
+///   kReport — record a finding (lcrec.obs.mutex.cycles + /mutexz +
+///             flight recorder) and continue; release-build default.
+///   kFatal  — fail an LCREC_CHECK with both acquisition paths; default
+///             in sanitizer builds (CMake defines
+///             LCREC_DEADLOCK_DEFAULT_FATAL) and under ctest (the test
+///             harness exports LCREC_DEADLOCK=fatal).
+/// Rank inversions and re-locking a mutex already held by the same
+/// thread abort in every mode except kOff: unlike a lock-order cycle —
+/// a *potential* deadlock — those are certain bugs.
+enum class DeadlockMode { kOff = 0, kReport = 1, kFatal = 2 };
+
+/// Current mode: LCREC_DEADLOCK env var ({off,report,fatal}) if set,
+/// else the compile-time default. Resolved once, on first use.
+DeadlockMode GetDeadlockMode();
+/// Overrides env + default (tests, bench detector on/off deltas).
+void SetDeadlockMode(DeadlockMode mode);
+const char* DeadlockModeName(DeadlockMode mode);
+
+namespace sync_internal {
+struct LockNode;  // detector-side per-mutex record (sync.cc)
+
+/// Permanently disables lock instrumentation on the calling thread.
+/// Called by the LCREC_CHECK failure handler so that the abort path
+/// (flight-recorder dump, logging) can never trip the detector
+/// recursively, whatever locks the failing thread holds.
+void BypassCurrentThread();
+}  // namespace sync_internal
+
+/// std::mutex with capability annotations plus dynamic lock-discipline
+/// tracking. The default constructor yields an anonymous mutex: it
+/// participates in deadlock detection (identified as mutex@<addr> in
+/// reports) but is not rank-checked, timed, or listed at /mutexz. The
+/// named constructor registers the mutex in the global rank table;
+/// `name` must have process lifetime (pass a string literal).
 class LCREC_CAPABILITY("mutex") Mutex {
  public:
-  Mutex() = default;
+  static constexpr int kNoRank = -1;
+
+  Mutex();
+  /// Named + optionally ranked. Ranks order the acquisition hierarchy:
+  /// a thread may acquire a ranked mutex only while every ranked mutex
+  /// it already holds has a strictly lower rank. See the rank table in
+  /// DESIGN.md §13.
+  explicit Mutex(const char* name, int rank = kNoRank);
+  ~Mutex();
+
   Mutex(const Mutex&) = delete;
   Mutex& operator=(const Mutex&) = delete;
 
-  void lock() LCREC_ACQUIRE() { mu_.lock(); }
-  void unlock() LCREC_RELEASE() { mu_.unlock(); }
+  void lock() LCREC_ACQUIRE();
+  void unlock() LCREC_RELEASE();
 
  private:
   std::mutex mu_;
+  sync_internal::LockNode* node_;
 };
 
 /// std::lock_guard over obs::Mutex, annotated as a scoped capability so
@@ -105,7 +164,9 @@ class LCREC_SCOPED_CAPABILITY UniqueLock {
 /// Condition variable usable with obs::Mutex via UniqueLock. Thin
 /// wrapper over std::condition_variable_any; waits keep the capability
 /// held from the analysis's point of view (correct at both endpoints of
-/// the wait).
+/// the wait). The wait's internal unlock/relock goes through
+/// Mutex::unlock/lock, so the held-lock stack stays accurate across a
+/// wait and re-acquisition after wakeup is rank- and order-checked.
 class CondVar {
  public:
   void Wait(UniqueLock& lock) { cv_.wait(lock); }
@@ -124,6 +185,45 @@ class CondVar {
  private:
   std::condition_variable_any cv_;
 };
+
+/// Aggregate stats for one mutex *name* (summed over instances: e.g.
+/// every per-thread obs.trace.stack mutex folds into one row). Wait
+/// stats count contended acquisitions only; hold stats count every
+/// acquisition of a named mutex.
+struct MutexStatsRow {
+  std::string name;
+  int rank = Mutex::kNoRank;
+  int instances = 0;  // registered instances, live + destroyed
+  int64_t acquisitions = 0;
+  int64_t contended = 0;
+  int64_t long_holds = 0;
+  int64_t wait_total_us = 0;
+  int64_t wait_max_us = 0;
+  int64_t hold_total_us = 0;
+  int64_t hold_max_us = 0;
+};
+
+/// Snapshot of all named mutexes, sorted by rank then name.
+std::vector<MutexStatsRow> MutexStatsSnapshot();
+
+/// Number of distinct lock-order edges (A held while acquiring B)
+/// observed since start / the last reset.
+size_t LockOrderEdgeCount();
+/// Number of cycle-creating acquisitions detected.
+int64_t LockOrderCycleCount();
+/// Full text of every recorded cycle finding (report mode keeps them;
+/// fatal mode aborts on the first).
+std::vector<std::string> LockOrderFindings();
+
+/// Clears the lock-order graph, findings, and per-mutex stats while
+/// keeping registrations. Tests only: the graph is global, so death/
+/// cycle tests reset it to isolate themselves from edges recorded by
+/// other tests in the same process.
+void ResetDeadlockStateForTest();
+
+/// The /mutexz page: detector mode, per-name stats table, lock-order
+/// edge list, and findings.
+std::string MutexzText();
 
 }  // namespace lcrec::obs
 

@@ -95,7 +95,7 @@ class RecentTimelines {
  private:
   RecentTimelines() = default;
 
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.timeline.recent", 50};
   std::vector<RequestTimeline> ring_ LCREC_GUARDED_BY(mu_);
   size_t next_ LCREC_GUARDED_BY(mu_) = 0;  // ring insert position
   bool wrapped_ LCREC_GUARDED_BY(mu_) = false;

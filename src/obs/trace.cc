@@ -45,13 +45,13 @@ std::atomic<bool> g_stacks_enabled{false};
 /// past thread exit by the shared_ptr in the global list (the stack is
 /// empty by then, since spans are scoped).
 struct ThreadStack {
-  Mutex mu;
+  Mutex mu{"obs.trace.stack", 71};
   std::vector<const char*> frames LCREC_GUARDED_BY(mu);
   int tid = 0;
 };
 
 Mutex& StackListMu() {
-  static Mutex* mu = new Mutex();
+  static Mutex* mu = new Mutex("obs.trace.stacklist", 70);
   return *mu;
 }
 

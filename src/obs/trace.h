@@ -56,7 +56,7 @@ class TraceRecorder {
   TraceRecorder();
 
   std::atomic<bool> enabled_{false};
-  mutable Mutex mu_;
+  mutable Mutex mu_{"obs.trace.events", 80};
   std::vector<TraceEvent> events_ LCREC_GUARDED_BY(mu_);
 };
 

@@ -45,7 +45,7 @@ class ResultCache {
   };
 
   const size_t capacity_;
-  mutable obs::Mutex mu_;
+  mutable obs::Mutex mu_{"serve.cache", 22};
   // Most-recently-used at the front; map values point into the list.
   std::list<Entry> lru_ LCREC_GUARDED_BY(mu_);
   std::unordered_map<uint64_t, std::list<Entry>::iterator> index_

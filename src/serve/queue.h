@@ -79,7 +79,7 @@ class BoundedQueue {
 
  private:
   const size_t capacity_;
-  mutable obs::Mutex mu_;
+  mutable obs::Mutex mu_{"serve.queue", 24};
   obs::CondVar ready_;
   std::deque<T> items_ LCREC_GUARDED_BY(mu_);
   bool closed_ LCREC_GUARDED_BY(mu_) = false;

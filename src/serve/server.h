@@ -176,7 +176,7 @@ class Server {
   std::atomic<int> active_lanes_{0};
   std::atomic<uint64_t> next_tag_{1};
 
-  obs::Mutex state_mu_;
+  obs::Mutex state_mu_{"serve.server.state", 20};
   obs::CondVar done_cv_;
   std::unordered_map<uint64_t, PendingPtr> inflight_
       LCREC_GUARDED_BY(state_mu_);

@@ -1,0 +1,290 @@
+// Lock-discipline detector tests (src/obs/sync.{h,cc}): lock-order
+// cycle detection on the first cycle-creating acquisition, rank
+// inversion aborts, self-deadlock aborts, contention/hold accounting,
+// and the /mutexz rendering.
+//
+// The lock-order graph is process-global, so every test starts with
+// ResetDeadlockStateForTest() and uses test-local mutex names.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/sync.h"
+#include "obs/trace.h"
+
+namespace lcrec::obs {
+namespace {
+
+class SyncTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetDeadlockMode(DeadlockMode::kReport);
+    ResetDeadlockStateForTest();
+  }
+  void TearDown() override {
+    ResetDeadlockStateForTest();
+    SetDeadlockMode(DeadlockMode::kReport);
+  }
+};
+
+TEST_F(SyncTest, ConsistentOrderRecordsEdgesButNoCycle) {
+  Mutex a("test.order.a");
+  Mutex b("test.order.b");
+  for (int i = 0; i < 3; ++i) {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_EQ(LockOrderEdgeCount(), 1u);  // a -> b, deduped after first sight
+  EXPECT_EQ(LockOrderCycleCount(), 0);
+  EXPECT_TRUE(LockOrderFindings().empty());
+}
+
+TEST_F(SyncTest, CycleReportedOnFirstCycleCreatingAcquisition) {
+  Mutex a("test.cycle.a");
+  Mutex b("test.cycle.b");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // edge a -> b
+  }
+  {
+    MutexLock lb(b);
+    // First acquisition in the reversed order: detected here, at the
+    // moment the cycle is created, with no second thread and no actual
+    // deadlock anywhere.
+    MutexLock la(a);  // edge b -> a closes the cycle
+  }
+  EXPECT_EQ(LockOrderCycleCount(), 1);
+  std::vector<std::string> findings = LockOrderFindings();
+  ASSERT_EQ(findings.size(), 1u);
+  // The report names both mutexes and carries both acquisition paths:
+  // the acquisition that closed the cycle and the first-seen context of
+  // the conflicting edge.
+  EXPECT_NE(findings[0].find("test.cycle.a"), std::string::npos);
+  EXPECT_NE(findings[0].find("test.cycle.b"), std::string::npos);
+  EXPECT_NE(findings[0].find("this acquisition"), std::string::npos);
+  EXPECT_NE(findings[0].find("conflicting edge"), std::string::npos);
+  EXPECT_NE(findings[0].find("spans:"), std::string::npos);
+}
+
+TEST_F(SyncTest, CycleReportCarriesSpanStacks) {
+  Mutex a("test.spans.a");
+  Mutex b("test.spans.b");
+  {
+    ScopedSpan span("forward.path");
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    ScopedSpan span("reverse.path");
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  std::vector<std::string> findings = LockOrderFindings();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("reverse.path"), std::string::npos)
+      << findings[0];
+  EXPECT_NE(findings[0].find("forward.path"), std::string::npos)
+      << findings[0];
+}
+
+TEST_F(SyncTest, ThreeLockCycleDetected) {
+  Mutex a("test.tri.a");
+  Mutex b("test.tri.b");
+  Mutex c("test.tri.c");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);  // a -> b
+  }
+  {
+    MutexLock lb(b);
+    MutexLock lc(c);  // b -> c
+  }
+  {
+    MutexLock lc(c);
+    MutexLock la(a);  // c -> a: closes a -> b -> c -> a
+  }
+  EXPECT_EQ(LockOrderCycleCount(), 1);
+  std::vector<std::string> findings = LockOrderFindings();
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].find("test.tri.a"), std::string::npos);
+  EXPECT_NE(findings[0].find("test.tri.b"), std::string::npos);
+  EXPECT_NE(findings[0].find("test.tri.c"), std::string::npos);
+}
+
+TEST_F(SyncTest, FatalModeAbortsOnCycleNamingBothMutexes) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  SetDeadlockMode(DeadlockMode::kFatal);
+  Mutex a("test.fatal.a");
+  Mutex b("test.fatal.b");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  EXPECT_DEATH(
+      {
+        MutexLock lb(b);
+        MutexLock la(a);
+      },
+      "lock-order cycle.*test\\.fatal\\.a.*test\\.fatal\\.b");
+}
+
+TEST_F(SyncTest, RankInversionAbortsNamingBothMutexesAndRanks) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex low("test.rank.low", 10);
+  Mutex high("test.rank.high", 20);
+  {
+    // Correct order: ascending ranks.
+    MutexLock l1(low);
+    MutexLock l2(high);
+  }
+  EXPECT_DEATH(
+      {
+        MutexLock l2(high);
+        MutexLock l1(low);  // rank 10 while holding rank 20
+      },
+      "rank inversion.*test\\.rank\\.low.*rank 10.*test\\.rank\\.high.*rank "
+      "20");
+}
+
+TEST_F(SyncTest, EqualRankAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a("test.eqrank.a", 30);
+  Mutex b("test.eqrank.b", 30);
+  EXPECT_DEATH(
+      {
+        MutexLock la(a);
+        MutexLock lb(b);  // equal rank: ordering undeclared, refuse
+      },
+      "rank inversion");
+}
+
+TEST_F(SyncTest, SelfRelockAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  Mutex a("test.relock.a");
+  EXPECT_DEATH(
+      {
+        MutexLock l1(a);
+        a.lock();  // non-recursive mutex, same thread: certain deadlock
+      },
+      "self-deadlock.*test\\.relock\\.a");
+}
+
+TEST_F(SyncTest, RankedThroughUnrankedIsAllowed) {
+  // Anonymous mutexes do not take part in rank checks.
+  Mutex low("test.mixed.low", 10);
+  Mutex anon;
+  Mutex high("test.mixed.high", 20);
+  MutexLock l1(low);
+  MutexLock l2(anon);
+  MutexLock l3(high);
+  EXPECT_EQ(LockOrderCycleCount(), 0);
+}
+
+TEST_F(SyncTest, OffModeTracksNothing) {
+  SetDeadlockMode(DeadlockMode::kOff);
+  Mutex a("test.off.a");
+  Mutex b("test.off.b");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);  // would close a cycle if detection were on
+  }
+  EXPECT_EQ(LockOrderEdgeCount(), 0u);
+  EXPECT_EQ(LockOrderCycleCount(), 0);
+}
+
+TEST_F(SyncTest, ContentionAndHoldAccounting) {
+  Mutex mu("test.contend.mu");
+  { MutexLock lock(mu); }  // one uncontended acquisition
+  mu.lock();
+  std::thread contender([&mu] {
+    MutexLock lock(mu);  // blocks until the main thread releases
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  mu.unlock();
+  contender.join();
+
+  bool found = false;
+  for (const MutexStatsRow& row : MutexStatsSnapshot()) {
+    if (row.name != "test.contend.mu") continue;
+    found = true;
+    EXPECT_EQ(row.instances, 1);
+    EXPECT_EQ(row.acquisitions, 3);
+    EXPECT_GE(row.contended, 1);
+    EXPECT_GT(row.wait_total_us, 0);
+    EXPECT_GE(row.wait_max_us, 10000);  // blocked ~20ms
+    EXPECT_GE(row.hold_max_us, 10000);  // held ~20ms
+    EXPECT_GT(row.hold_total_us, 0);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST_F(SyncTest, StatsAggregateAcrossInstancesOfOneName) {
+  for (int i = 0; i < 3; ++i) {
+    Mutex mu("test.agg.mu");
+    MutexLock lock(mu);
+  }
+  for (const MutexStatsRow& row : MutexStatsSnapshot()) {
+    if (row.name != "test.agg.mu") continue;
+    EXPECT_EQ(row.instances, 3);
+    EXPECT_EQ(row.acquisitions, 3);
+    return;
+  }
+  FAIL() << "test.agg.mu not in snapshot";
+}
+
+TEST_F(SyncTest, CondVarWaitDoesNotFalsePositive) {
+  // A CondVar wait unlocks and relocks through Mutex::unlock/lock; the
+  // relock after wakeup must not register a spurious ordering against
+  // locks the waker held.
+  Mutex mu("test.cv.mu");
+  CondVar cv;
+  bool ready = false;
+  std::thread waker([&] {
+    MutexLock lock(mu);
+    ready = true;
+    cv.NotifyOne();
+  });
+  {
+    UniqueLock lock(mu);
+    cv.Wait(lock, [&] { return ready; });
+  }
+  waker.join();
+  EXPECT_EQ(LockOrderCycleCount(), 0);
+  EXPECT_TRUE(LockOrderFindings().empty());
+}
+
+TEST_F(SyncTest, MutexzTextRendersStatsAndFindings) {
+  Mutex a("test.mutexz.a");
+  Mutex b("test.mutexz.b");
+  {
+    MutexLock la(a);
+    MutexLock lb(b);
+  }
+  {
+    MutexLock lb(b);
+    MutexLock la(a);
+  }
+  std::string text = MutexzText();
+  EXPECT_NE(text.find("mode report"), std::string::npos) << text;
+  EXPECT_NE(text.find("test.mutexz.a"), std::string::npos);
+  EXPECT_NE(text.find("\"test.mutexz.a\" -> \"test.mutexz.b\""),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("lock-order cycle"), std::string::npos) << text;
+  // Named system mutexes from the rank table show up too.
+  EXPECT_NE(text.find("obs.metrics.registry"), std::string::npos);
+}
+
+TEST_F(SyncTest, DeadlockModeNames) {
+  EXPECT_STREQ(DeadlockModeName(DeadlockMode::kOff), "off");
+  EXPECT_STREQ(DeadlockModeName(DeadlockMode::kReport), "report");
+  EXPECT_STREQ(DeadlockModeName(DeadlockMode::kFatal), "fatal");
+}
+
+}  // namespace
+}  // namespace lcrec::obs

@@ -157,7 +157,8 @@ int main() {
   // --- index ---
   std::string index = Get(port, "/", 200);
   for (const char* ep : {"/healthz", "/metricsz", "/varz", "/statusz",
-                         "/tracez", "/flightrecz", "/timelinez", "/profilez"}) {
+                         "/tracez", "/flightrecz", "/timelinez", "/mutexz",
+                         "/profilez"}) {
     ExpectContains(index, ep, "/ index");
   }
 
@@ -169,6 +170,10 @@ int main() {
   Expect(prom.ok, "/metricsz conformance: " + prom.error);
   Expect(prom.families >= 4, "/metricsz families >= 4");
   ExpectContains(metricsz.body, "lcrec_serve_requests", "/metricsz");
+  // Lock-discipline metrics: the shared conformance check above already
+  // covers their exposition format; these pins prove they are present.
+  ExpectContains(metricsz.body, "lcrec_obs_mutex_acquisitions", "/metricsz");
+  ExpectContains(metricsz.body, "lcrec_obs_mutex_wait_us", "/metricsz");
 
   // --- /varz: the same registry as JSON ---
   std::string varz = Get(port, "/varz", 200);
@@ -188,6 +193,19 @@ int main() {
   std::string tracez = Get(port, "/tracez", 200);
   ExpectContains(tracez, "tracing:", "/tracez");
   ExpectContains(tracez, "events:", "/tracez");
+
+  // --- /mutexz: lock-discipline state while the server is under load ---
+  std::string mutexz = Get(port, "/mutexz", 200);
+  ExpectContains(mutexz, "deadlock detector: mode", "/mutexz");
+  ExpectContains(mutexz, "lock-order edges", "/mutexz");
+  ExpectContains(mutexz, "findings:", "/mutexz");
+  // The rank table must show the annotated mutexes this probe exercises.
+  for (const char* name : {"serve.queue", "serve.cache", "serve.server.state",
+                           "obs.debugz.registries", "obs.metrics.registry"}) {
+    ExpectContains(mutexz, name, "/mutexz rank table");
+  }
+  // A live load run must register zero cycle findings.
+  ExpectContains(mutexz, "cycles 0", "/mutexz");
 
   // --- /flightrecz: JSONL ring; a probe mark must round-trip ---
   obs::FlightRecorder::Global().Record(obs::FrKind::kMark, "debugz_probe",

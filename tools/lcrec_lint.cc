@@ -44,6 +44,26 @@
 //                                   exported namespace stays uniform
 //                                   (tests/bench may use scratch names;
 //                                   non-literal names are not checked).
+//   raw-sync               (src/ minus src/obs/sync.*)  std::mutex,
+//                                   lock_guard, unique_lock,
+//                                   condition_variable and friends:
+//                                   every lock in the tree must be an
+//                                   obs::Mutex so it is named, ranked,
+//                                   deadlock-checked, and accounted;
+//                                   src/obs/sync.h is the one wrapper
+//                                   over the std primitives.
+//   module-layering        (src/)   an #include from module A into
+//                                   module B where tools/layers.txt
+//                                   puts B at the same or a higher
+//                                   layer than A. "allow A B" lines in
+//                                   the map whitelist deliberate upward
+//                                   edges (core -> obs for the abort
+//                                   path). tests/bench/tools sit on top
+//                                   and may include anything.
+//   include-cycle          (all)    the project include graph must stay
+//                                   acyclic; every #include line that
+//                                   sits on a cycle is reported with
+//                                   the cycle's membership.
 //
 // Scanning is comment- and string-aware: rule patterns inside comments
 // or string literals never fire. A finding on a line whose raw text
@@ -60,8 +80,12 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <functional>
+#include <map>
+#include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace fs = std::filesystem;
@@ -261,6 +285,31 @@ bool ContainsSocketCall(const std::string& line, const std::string& name) {
   return false;
 }
 
+/// Finds a std:: synchronization primitive on the line. Tokens are
+/// matched with a left word boundary only, so std::condition_variable
+/// also catches std::condition_variable_any; the full identifier is
+/// returned through `which` for the finding message.
+bool ContainsStdSync(const std::string& line, std::string* which) {
+  static const char* kTokens[] = {
+      "mutex",       "recursive_mutex", "timed_mutex",
+      "shared_mutex", "lock_guard",     "scoped_lock",
+      "unique_lock", "shared_lock",     "condition_variable"};
+  for (const char* tok : kTokens) {
+    std::string needle = std::string("std::") + tok;
+    size_t pos = 0;
+    while ((pos = line.find(needle, pos)) != std::string::npos) {
+      if (pos == 0 || !IsWordChar(line[pos - 1])) {
+        size_t end = pos + needle.size();
+        while (end < line.size() && IsWordChar(line[end])) ++end;
+        *which = line.substr(pos, end - pos);
+        return true;
+      }
+      pos += needle.size();
+    }
+  }
+  return false;
+}
+
 /// True when `name` matches lcrec\.[a-z0-9_.]+ in full: the "lcrec."
 /// namespace prefix followed only by lowercase dotted words. A trailing
 /// dot is fine (prefixes completed by runtime concatenation).
@@ -370,6 +419,15 @@ void LintFile(const std::string& rel_path, const std::string& text,
           "scaffolding); the model/training core is single-threaded by "
           "design");
     }
+    if (in_src && !StartsWith(rel_path, "src/obs/sync.")) {
+      std::string which;
+      if (ContainsStdSync(line, &which)) {
+        add(line_no, "raw-sync",
+            which + " outside src/obs/sync.h — use obs::Mutex / MutexLock "
+                    "/ UniqueLock / CondVar (obs/sync.h) so every lock is "
+                    "named, ranked, deadlock-checked, and accounted");
+      }
+    }
     if (in_src) {
       // The stripped line proves there is a real call (not a comment or
       // string mention); the literal itself must be read from the raw
@@ -438,6 +496,209 @@ void LintFile(const std::string& rel_path, const std::string& text,
   }
 }
 
+// --- Include graph: layering + cycles --------------------------------------
+
+/// One `#include "..."` directive. `raw` keeps the raw line text so the
+/// post-passes can honor lint:allow(<rule>) suppressions.
+struct IncludeRef {
+  std::string file;  // includer, relative to the scanned root
+  int line = 0;
+  std::string path;  // the quoted path as written
+  std::string raw;
+};
+
+/// Collects project includes (quoted form only; <system> headers are
+/// not part of the layering contract). The directive is confirmed on
+/// the stripped line — a "#include" inside a comment or string never
+/// counts — but the path itself must be read from the raw line, since
+/// stripping empties string-literal contents and the include path is
+/// lexed as a string literal.
+void CollectIncludes(const std::string& rel_path, const std::string& text,
+                     std::vector<IncludeRef>* out) {
+  std::vector<std::string> raw_lines = SplitLines(text);
+  std::vector<std::string> code_lines =
+      SplitLines(StripCommentsAndStrings(text));
+  for (size_t i = 0; i < code_lines.size(); ++i) {
+    const std::string& code = code_lines[i];
+    size_t h = code.find("#include");
+    if (h == std::string::npos) continue;
+    bool directive = true;
+    for (size_t j = 0; j < h; ++j) {
+      if (!std::isspace(static_cast<unsigned char>(code[j]))) {
+        directive = false;
+        break;
+      }
+    }
+    if (!directive || code.find('"', h) == std::string::npos) continue;
+    const std::string& raw = raw_lines[i];
+    size_t q0 = raw.find('"', h);
+    if (q0 == std::string::npos) continue;
+    size_t q1 = raw.find('"', q0 + 1);
+    if (q1 == std::string::npos) continue;
+    out->push_back({rel_path, static_cast<int>(i) + 1,
+                    raw.substr(q0 + 1, q1 - q0 - 1), raw});
+  }
+}
+
+/// The committed module layer map (tools/layers.txt): "<module> <layer>"
+/// lines order the src/ modules bottom-up; "allow <from> <to>" lines
+/// whitelist deliberate upward edges. '#' starts a comment.
+struct LayerMap {
+  bool loaded = false;
+  std::map<std::string, int> layer;
+  std::set<std::pair<std::string, std::string>> allow;
+};
+
+LayerMap LoadLayerMap(const fs::path& file) {
+  LayerMap m;
+  std::ifstream in(file);
+  if (!in) return m;
+  m.loaded = true;
+  std::string line;
+  while (std::getline(in, line)) {
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::istringstream is(line);
+    std::string a, b;
+    if (!(is >> a)) continue;
+    if (a == "allow") {
+      std::string c;
+      if (is >> b >> c) m.allow.insert({b, c});
+    } else if (is >> b) {
+      m.layer[a] = std::atoi(b.c_str());
+    }
+  }
+  return m;
+}
+
+/// "src/<module>/..." -> module name; anything else (tests/, bench/,
+/// files directly under src/) -> "".
+std::string ModuleOf(const std::string& rel_path) {
+  if (!StartsWith(rel_path, "src/")) return "";
+  size_t slash = rel_path.find('/', 4);
+  if (slash == std::string::npos) return "";
+  return rel_path.substr(4, slash - 4);
+}
+
+/// First path component of an include path ("serve/queue.h" -> "serve").
+std::string IncludeModule(const std::string& path) {
+  size_t slash = path.find('/');
+  if (slash == std::string::npos) return "";
+  return path.substr(0, slash);
+}
+
+bool RawSuppressed(const IncludeRef& inc, const std::string& rule) {
+  return inc.raw.find("lint:allow(" + rule + ")") != std::string::npos;
+}
+
+/// module-layering: a src/ file may include its own module and any
+/// strictly lower layer. Equal layers have no declared order between
+/// modules — same refusal as equal mutex ranks — so they are back-edges
+/// too unless the map allows the pair.
+void LintLayering(const LayerMap& layers,
+                  const std::vector<IncludeRef>& includes,
+                  std::vector<Finding>* findings) {
+  if (!layers.loaded) return;
+  for (const IncludeRef& inc : includes) {
+    std::string from = ModuleOf(inc.file);
+    std::string to = IncludeModule(inc.path);
+    if (from.empty() || to.empty() || from == to) continue;
+    auto fit = layers.layer.find(from);
+    auto tit = layers.layer.find(to);
+    if (fit == layers.layer.end() || tit == layers.layer.end()) continue;
+    if (tit->second < fit->second) continue;
+    if (layers.allow.count({from, to})) continue;
+    if (RawSuppressed(inc, "module-layering")) continue;
+    findings->push_back(
+        {inc.file, inc.line, "module-layering",
+         "#include \"" + inc.path + "\" is a layering back-edge: src/" +
+             from + " (layer " + std::to_string(fit->second) +
+             ") must not reach src/" + to + " (layer " +
+             std::to_string(tit->second) +
+             "); the map is tools/layers.txt"});
+  }
+}
+
+/// include-cycle: Tarjan SCC over the resolved project include graph.
+/// Every #include directive whose edge stays inside a nontrivial SCC is
+/// reported, so each participating line of the cycle gets a finding.
+void LintIncludeCycles(const std::vector<std::string>& files,
+                       const std::vector<IncludeRef>& includes,
+                       std::vector<Finding>* findings) {
+  std::set<std::string> file_set(files.begin(), files.end());
+  // Repo includes are rooted at src/ (headers) or the repo root (tests
+  // and bench reaching into src the same way, via include dirs).
+  auto resolve = [&file_set](const std::string& path) -> std::string {
+    std::string in_src = "src/" + path;
+    if (file_set.count(in_src)) return in_src;
+    if (file_set.count(path)) return path;
+    return "";
+  };
+
+  std::map<std::string, std::vector<std::string>> adj;
+  for (const IncludeRef& inc : includes) {
+    std::string to = resolve(inc.path);
+    if (!to.empty() && to != inc.file) adj[inc.file].push_back(to);
+  }
+
+  std::map<std::string, int> index, low, comp;
+  std::vector<std::string> stack;
+  std::set<std::string> on_stack;
+  std::map<int, std::vector<std::string>> members;
+  int next_index = 0, next_comp = 0;
+
+  std::function<void(const std::string&)> strongconnect =
+      [&](const std::string& v) {
+        index[v] = low[v] = next_index++;
+        stack.push_back(v);
+        on_stack.insert(v);
+        auto it = adj.find(v);
+        if (it != adj.end()) {
+          for (const std::string& w : it->second) {
+            if (!index.count(w)) {
+              strongconnect(w);
+              low[v] = std::min(low[v], low[w]);
+            } else if (on_stack.count(w)) {
+              low[v] = std::min(low[v], index[w]);
+            }
+          }
+        }
+        if (low[v] == index[v]) {
+          int c = next_comp++;
+          for (;;) {
+            std::string w = stack.back();
+            stack.pop_back();
+            on_stack.erase(w);
+            comp[w] = c;
+            members[c].push_back(w);
+            if (w == v) break;
+          }
+        }
+      };
+  for (const std::string& f : files) {
+    if (!index.count(f)) strongconnect(f);
+  }
+
+  for (const IncludeRef& inc : includes) {
+    std::string to = resolve(inc.path);
+    if (to.empty() || to == inc.file) continue;
+    int c = comp[inc.file];
+    if (c != comp[to] || members[c].size() < 2) continue;
+    if (RawSuppressed(inc, "include-cycle")) continue;
+    std::vector<std::string> cycle = members[c];
+    std::sort(cycle.begin(), cycle.end());
+    std::string joined;
+    for (const std::string& m : cycle) {
+      if (!joined.empty()) joined += ", ";
+      joined += m;
+    }
+    findings->push_back({inc.file, inc.line, "include-cycle",
+                         "#include \"" + inc.path +
+                             "\" closes a header include cycle among: " +
+                             joined});
+  }
+}
+
 // --- Walking ---------------------------------------------------------------
 
 bool IsSourceFile(const fs::path& p) {
@@ -459,12 +720,17 @@ std::vector<Finding> LintTree(const fs::path& root,
     }
   }
   std::sort(files.begin(), files.end());
+  std::vector<IncludeRef> includes;
   for (const std::string& rel : files) {
     std::ifstream in(root / rel, std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();
     LintFile(rel, buf.str(), &findings);
+    CollectIncludes(rel, buf.str(), &includes);
   }
+  LintLayering(LoadLayerMap(root / "tools" / "layers.txt"), includes,
+               &findings);
+  LintIncludeCycles(files, includes, &findings);
   return findings;
 }
 

@@ -1,0 +1,42 @@
+// raw-sync: standard-library synchronization primitives outside
+// src/obs/sync.h. Every lock in the tree must be an obs::Mutex so it
+// is named, ranked, deadlock-checked, and accounted.
+
+#include <condition_variable>
+#include <mutex>
+#include <shared_mutex>
+
+namespace lcrec {
+
+std::mutex g_mu;                    // expect-lint: raw-sync
+std::recursive_mutex g_rec;         // expect-lint: raw-sync
+std::timed_mutex g_timed;           // expect-lint: raw-sync
+std::shared_mutex g_rw;             // expect-lint: raw-sync
+std::condition_variable g_cv;       // expect-lint: raw-sync
+std::condition_variable_any g_cva;  // expect-lint: raw-sync
+
+int LockGuard() {
+  std::lock_guard<std::mutex> g(g_mu);  // expect-lint: raw-sync
+  return 1;
+}
+
+int UniqueLock() {
+  std::unique_lock<std::mutex> g(g_mu);  // expect-lint: raw-sync
+  return 2;
+}
+
+int SharedLock() {
+  std::shared_lock<std::shared_mutex> g(g_rw);  // expect-lint: raw-sync
+  return 3;
+}
+
+int ScopedLock() {
+  std::scoped_lock g(g_mu);  // expect-lint: raw-sync
+  return 4;
+}
+
+// A comment mentioning std::mutex never fires, and neither does the
+// string below.
+const char* kDoc = "prefer obs::Mutex over std::mutex";
+
+}  // namespace lcrec

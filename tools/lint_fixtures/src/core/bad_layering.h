@@ -1,0 +1,10 @@
+// module-layering: src/core sits at layer 0 and must not reach up into
+// the serving stack. The obs include below is clean — the layer map's
+// "allow core obs" whitelists that one upward edge.
+#ifndef LCREC_CORE_BAD_LAYERING_H_
+#define LCREC_CORE_BAD_LAYERING_H_
+
+#include "obs/cycle_a.h"
+#include "serve/loopback.h"  // expect-lint: module-layering
+
+#endif  // LCREC_CORE_BAD_LAYERING_H_

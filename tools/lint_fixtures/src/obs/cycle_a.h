@@ -1,0 +1,8 @@
+// include-cycle: this header and cycle_b.h include each other; both
+// directives sit on the cycle and each gets its own finding.
+#ifndef LCREC_OBS_CYCLE_A_H_
+#define LCREC_OBS_CYCLE_A_H_
+
+#include "obs/cycle_b.h"  // expect-lint: include-cycle
+
+#endif  // LCREC_OBS_CYCLE_A_H_

@@ -1,0 +1,7 @@
+// include-cycle: the other half of the cycle_a.h <-> cycle_b.h pair.
+#ifndef LCREC_OBS_CYCLE_B_H_
+#define LCREC_OBS_CYCLE_B_H_
+
+#include "obs/cycle_a.h"  // expect-lint: include-cycle
+
+#endif  // LCREC_OBS_CYCLE_B_H_
