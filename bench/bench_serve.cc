@@ -9,10 +9,18 @@
 // Usage:
 //   bench_serve [--requests=N] [--concurrency=N] [--qps=X] [--zipf=S]
 //               [--catalog=N] [--seed=N] [--out=PATH] [--smoke]
-//               [--trace-requests[=PATH]] [--debug-port=N]
+//               [--trace-requests[=PATH]] [--debug-port=N] [--chaos]
 //
 // --smoke is the CI gate mode: a small trace at low QPS that must
 // complete with zero shed requests (exit 1 otherwise).
+//
+// --chaos additionally replays the closed loop with deadlines against a
+// server under seeded chaos injection (decode delays + failures, queue
+// pressure) and records how serving degrades rather than how fast it
+// goes: availability, the degraded-response rate by ladder tier, and the
+// p99 under injected stalls (serve_chaos/* in the record, wide bands —
+// the healthy serve/req_per_sec baseline is measured before chaos arms
+// and stays the perfgate number).
 //
 // --debug-port=N (0 = ephemeral) additionally starts the debugz HTTP
 // surface and measures the cost of observing the server while it
@@ -53,6 +61,7 @@
 #include "obs/sync.h"
 #include "obs/trace.h"
 #include "quant/indexing.h"
+#include "serve/chaos.h"
 #include "serve/server.h"
 #include "text/vocab.h"
 
@@ -69,6 +78,7 @@ struct ServeFlags {
   uint64_t seed = 19;
   std::string out;
   bool smoke = false;
+  bool chaos = false;
   bool trace_requests = false;
   std::string trace_out = "serve_trace.json";
   int debug_port = -1;  // >= 0: start debugz + scrape-under-load runs
@@ -98,6 +108,8 @@ struct ServeFlags {
         f.trace_out = a + 17;
       } else if (std::strncmp(a, "--debug-port=", 13) == 0) {
         f.debug_port = std::atoi(a + 13);
+      } else if (std::strcmp(a, "--chaos") == 0) {
+        f.chaos = true;
       } else if (std::strcmp(a, "--smoke") == 0) {
         f.smoke = true;
         f.requests = 48;
@@ -512,6 +524,89 @@ bool RunDebugzMeasurement(const Bench& bench, const ServeFlags& flags,
   return true;
 }
 
+/// The --chaos measurement: how does serving DEGRADE, not how fast does
+/// it go. A closed-loop replay with per-request deadlines against a
+/// server whose decode path is under seeded injection (latency spikes,
+/// failures, queue pressure). What matters is availability (every
+/// request still resolves kOk from some ladder tier), which tiers
+/// absorbed the faults, and the latency tail under stalls.
+struct ChaosResult {
+  double wall_s = 0.0;
+  std::vector<double> latency_ms;
+  serve::ServerStats stats;
+  int total = 0;
+  int ok = 0;
+  int degraded_by_level[4] = {0, 0, 0, 0};  // indexed by DegradeLevel
+};
+
+ChaosResult RunChaosLoop(const Bench& bench,
+                         const std::vector<std::vector<int>>& trace,
+                         int concurrency, int top_n, uint64_t seed) {
+  constexpr double kDeadlineMs = 100.0;
+  constexpr double kDelayMs = 25.0;
+  std::vector<serve::chaos::ChaosSpec> specs(3);
+  specs[0].site = serve::chaos::ChaosSpec::Site::kDecode;
+  specs[0].mode = serve::chaos::ChaosSpec::Mode::kDelay;
+  specs[0].rate = 0.25;
+  specs[0].param_ms = kDelayMs;
+  specs[1].site = serve::chaos::ChaosSpec::Site::kDecode;
+  specs[1].mode = serve::chaos::ChaosSpec::Mode::kFail;
+  specs[1].rate = 0.25;
+  specs[2].site = serve::chaos::ChaosSpec::Site::kQueue;
+  specs[2].mode = serve::chaos::ChaosSpec::Mode::kFull;
+  specs[2].rate = 0.10;
+  serve::chaos::ArmChaos(specs, seed);
+
+  serve::ServerOptions opts;
+  opts.beam_size = bench.beam_size;
+  opts.max_batch_lanes = concurrency;
+  opts.cache_ttl_ms = 50.0;  // repeats can age into the stale tier
+  opts.slow_request_ms = 0.0;
+  serve::Server server(*bench.model, *bench.trie, *bench.token_map,
+                       bench.Builder(), opts);
+
+  std::atomic<size_t> next{0};
+  std::vector<std::vector<double>> lat(static_cast<size_t>(concurrency));
+  std::atomic<int> ok{0};
+  std::atomic<int> by_level[4] = {0, 0, 0, 0};
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> clients;
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      for (;;) {
+        size_t i = next.fetch_add(1);
+        if (i >= trace.size()) break;
+        serve::RecommendRequest req;
+        req.history = trace[i];
+        req.top_n = top_n;
+        req.deadline_ms = kDeadlineMs;
+        auto t0 = std::chrono::steady_clock::now();
+        serve::RecommendResponse resp = server.Recommend(req);
+        auto t1 = std::chrono::steady_clock::now();
+        if (resp.status == serve::Status::kOk) ok.fetch_add(1);
+        by_level[static_cast<int>(resp.degrade)].fetch_add(1);
+        lat[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(t1 - t0).count());
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  auto end = std::chrono::steady_clock::now();
+  serve::chaos::DisarmChaos();
+
+  ChaosResult result;
+  result.wall_s = std::chrono::duration<double>(end - start).count();
+  result.total = static_cast<int>(trace.size());
+  result.ok = ok.load();
+  for (int l = 0; l < 4; ++l) result.degraded_by_level[l] = by_level[l].load();
+  for (const auto& per_thread : lat) {
+    result.latency_ms.insert(result.latency_ms.end(), per_thread.begin(),
+                             per_thread.end());
+  }
+  result.stats = server.stats();
+  return result;
+}
+
 void PrintResult(const char* name, const LoadResult& r) {
   std::printf(
       "%-10s  %7.1f req/s  p50 %7.2f ms  p95 %7.2f ms  p99 %7.2f ms\n", name,
@@ -669,6 +764,54 @@ int main(int argc, char** argv) {
   rec.metrics["serve/mutex_wait_us"] = {static_cast<double>(mutex_wait_us),
                                         1.0};
   rec.metrics["serve/detector_off_delta_pct"] = {detector_off_delta_pct, 1.0};
+
+  // --chaos: degradation under injected faults, measured AFTER the
+  // healthy runs above (the injector is process-wide; serve/req_per_sec
+  // must stay a chaos-free perfgate number). All serve_chaos/* bands are
+  // wide: the mix of tiers is seeded but scheduling-dependent.
+  bool chaos_ok = true;
+  if (flags.chaos) {
+    ChaosResult cr = RunChaosLoop(bench, trace, flags.concurrency, kTopN,
+                                  flags.seed);
+    double n = static_cast<double>(cr.total);
+    double availability = n > 0.0 ? static_cast<double>(cr.ok) / n : 0.0;
+    int degraded = cr.degraded_by_level[1] + cr.degraded_by_level[2] +
+                   cr.degraded_by_level[3];
+    double p99 = Quantile(cr.latency_ms, 0.99);
+    std::printf(
+        "chaos       availability %.3f  degraded %d/%d (budget_capped %d, "
+        "stale_cache %d, popularity %d)  p99 %7.2f ms\n",
+        availability, degraded, cr.total, cr.degraded_by_level[1],
+        cr.degraded_by_level[2], cr.degraded_by_level[3], p99);
+    std::printf(
+        "chaos       decode_failures %lld  retries %lld  "
+        "breaker_short_circuits %lld  watchdog_fires %lld\n",
+        static_cast<long long>(cr.stats.decode_failures),
+        static_cast<long long>(cr.stats.decode_retries),
+        static_cast<long long>(cr.stats.breaker_short_circuits),
+        static_cast<long long>(cr.stats.watchdog_fires));
+    rec.metrics["serve_chaos/availability"] = {availability, 1.0};
+    rec.metrics["serve_chaos/p50_ms"] = {Quantile(cr.latency_ms, 0.50), 1.0};
+    rec.metrics["serve_chaos/p99_ms"] = {p99, 1.0};
+    if (n > 0.0) {
+      rec.metrics["serve_chaos/degraded_rate"] = {degraded / n, 1.0};
+      rec.metrics["serve_chaos/budget_capped_rate"] = {
+          cr.degraded_by_level[1] / n, 1.0};
+      rec.metrics["serve_chaos/stale_cache_rate"] = {
+          cr.degraded_by_level[2] / n, 1.0};
+      rec.metrics["serve_chaos/popularity_rate"] = {
+          cr.degraded_by_level[3] / n, 1.0};
+    }
+    // Availability is the one hard line: with the ladder on, injected
+    // faults must never surface as client-visible errors.
+    if (cr.ok != cr.total) {
+      std::fprintf(stderr,
+                   "bench_serve: chaos FAIL (%d/%d requests not kOk under "
+                   "injection)\n",
+                   cr.total - cr.ok, cr.total);
+      chaos_ok = false;
+    }
+  }
   bool debugz_ok = true;
   if (flags.debug_port >= 0) {
     debugz_ok = RunDebugzMeasurement(bench, flags, &rec);
@@ -681,7 +824,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "bench_serve: cannot write %s\n", out.c_str());
     return 2;
   }
-  if (!debugz_ok) return 1;  // record written first: the numbers that failed
+  if (!debugz_ok || !chaos_ok) {
+    return 1;  // record written first: the numbers that failed
+  }
 
   if (flags.smoke) {
     int64_t sheds =

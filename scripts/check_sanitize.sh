@@ -46,12 +46,13 @@ case "${mode}" in
 esac
 
 echo "check_sanitize(${mode}): -fsanitize=${sanitizers} build in ${build_dir}"
-if [[ ! -f "${build_dir}/CMakeCache.txt" ]]; then
-  cmake -S "${repo_root}" -B "${build_dir}" \
-    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-    -DLCREC_SANITIZE="${sanitizers}" \
-    >/dev/null
-fi
+# Always (re)configure: with a warm cache this is ~a second, and a stale
+# scratch tree otherwise misses targets added since it was first set up
+# ("No rule to make target ..." under --target builds).
+cmake -S "${repo_root}" -B "${build_dir}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DLCREC_SANITIZE="${sanitizers}" \
+  >/dev/null
 
 if [[ "${mode}" == "tsan" ]]; then
   # gcc's TSan runtime predates large-ASLR kernels; probe with a trivial
@@ -79,10 +80,11 @@ if [[ "${mode}" == "tsan" ]]; then
   # whole list also exercises the fatal-mode instrumentation paths).
   cmake --build "${build_dir}" -j "${jobs}" \
     --target obs_test obs_sync_test obs_http_test obs_prof_test \
-    obs_flightrec_test obs_slo_test llm_test llm_batch_test serve_test
+    obs_flightrec_test obs_slo_test llm_test llm_batch_test serve_test \
+    serve_resilience_test
   for t in obs_test obs_sync_test obs_http_test obs_prof_test \
            obs_flightrec_test obs_slo_test llm_test llm_batch_test \
-           serve_test; do
+           serve_test serve_resilience_test; do
     echo "check_sanitize(tsan): running ${t}"
     tsan_opts="halt_on_error=1"
     if [[ "${t}" == "obs_sync_test" ]]; then

@@ -5,8 +5,8 @@
 #
 #   scripts/ci.sh            # tier-1 tests, fault suite, serve smoke,
 #                            # flightrec crash-dump smoke, debugz probe,
-#                            # deadlock-detector probe, lint, strict
-#                            # build, ASan+UBSan
+#                            # deadlock-detector probe, chaos-injection
+#                            # probe, lint, strict build, ASan+UBSan
 #   scripts/ci.sh debugz     # just the named gate(s) — build runs first
 #                            # automatically unless it was named
 #   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
@@ -137,6 +137,22 @@ gate_deadlock() {
        "run 0 findings"
 }
 
+gate_chaos() {
+  # Resilient-serving gate: the probe embeds a serve::Server with the
+  # degradation ladder on and drives deadline-bearing load while the
+  # chaos injector (armed here through the real LCREC_CHAOS env grammar)
+  # fires decode delays, decode failures, and queue pressure. The probe
+  # itself asserts the contract — no crash, every request resolves kOk
+  # from some ladder tier, latency stays inside the degrade bound, every
+  # degraded response is labeled with its tier, and the terminal-state
+  # counters sum — and a --healthy control run must show zero
+  # degradation with chaos disarmed.
+  LCREC_CHAOS="decode:delay:0.25:25,decode:fail:0.25,queue:full:0.1" \
+  LCREC_CHAOS_SEED=42 \
+    "${build_dir}/tools/chaos_probe" || return 1
+  LCREC_CHAOS= "${build_dir}/tools/chaos_probe" --healthy
+}
+
 gate_flightrec() {
   # Flight-recorder smoke: a forced LCREC_CHECK failure in a child
   # process must leave a parseable black-box dump on stderr containing
@@ -183,7 +199,7 @@ gate_flightrec() {
 # build gate is prepended automatically — everything needs binaries).
 # Unknown names fail fast so a typo can't silently skip a gate.
 known_gates="build tier1_tests fault serve_smoke flightrec debugz \
-deadlock lcrec_lint check_warnings asan_ubsan tsan perf_regress"
+deadlock chaos lcrec_lint check_warnings asan_ubsan tsan perf_regress"
 selected=("$@")
 if [[ ${#selected[@]} -gt 0 ]]; then
   for g in "${selected[@]}"; do
@@ -210,6 +226,7 @@ wants serve_smoke    && { run_gate "serve_smoke"    gate_serve     || overall=1;
 wants flightrec      && { run_gate "flightrec"      gate_flightrec || overall=1; }
 wants debugz         && { run_gate "debugz"         gate_debugz    || overall=1; }
 wants deadlock       && { run_gate "deadlock"       gate_deadlock  || overall=1; }
+wants chaos          && { run_gate "chaos"          gate_chaos     || overall=1; }
 wants lcrec_lint     && { run_gate "lcrec_lint"     gate_lint      || overall=1; }
 wants check_warnings && { run_gate "check_warnings" gate_warnings  || overall=1; }
 wants asan_ubsan     && { run_gate "asan_ubsan"     gate_asan      || overall=1; }

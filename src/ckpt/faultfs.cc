@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/inject.h"
 #include "obs/log.h"
 
 namespace lcrec::ckpt {
@@ -20,6 +21,7 @@ struct Injector {
   std::atomic<int> writes{0};
   std::atomic<int> fsyncs{0};
   std::atomic<int> renames{0};
+  obs::InjectRng rng{1};  // probabilistic-mode draw stream
   bool armed = false;
   bool env_checked = false;
 };
@@ -37,7 +39,11 @@ void EnsureEnvParsed() {
   if (env == nullptr || env[0] == '\0') return;
   FaultSpec spec;
   if (ParseFaultSpec(env, &spec)) {
+    if (const char* seed = std::getenv("LCREC_FAULT_SEED")) {
+      spec.seed = static_cast<uint64_t>(std::atoll(seed));
+    }
     g.spec = spec;
+    g.rng.Reset(spec.seed);
     g.armed = true;
     obs::Log(obs::LogLevel::kInfo, "[ckpt] fault injection armed: %s", env);
   } else {
@@ -59,8 +65,13 @@ bool Fire(FaultSpec::Op op, FaultSpec::Mode* mode) {
     case FaultSpec::Op::kRename: counter = &g.renames; break;
     case FaultSpec::Op::kNone: return false;
   }
-  int n = counter->fetch_add(1) + 1;
-  if (n != g.spec.nth) return false;
+  if (g.spec.rate > 0.0) {
+    counter->fetch_add(1);
+    if (!g.rng.Fire(g.spec.rate)) return false;
+  } else {
+    int n = counter->fetch_add(1) + 1;
+    if (n != g.spec.nth) return false;
+  }
   *mode = g.spec.mode;
   return true;
 }
@@ -92,11 +103,23 @@ bool ParseFaultSpec(const std::string& text, FaultSpec* spec) {
                                             ? std::string::npos
                                             : c2 - c1 - 1);
   if (nth.empty()) return false;
-  for (char c : nth) {
-    if (c < '0' || c > '9') return false;
+  if (nth == "p") {
+    // Probabilistic form: <op>:p:<rate>[:<mode>] — the rate takes the
+    // count field's place and the tail shifts right by one.
+    if (c2 == std::string::npos) return false;
+    size_t c3 = text.find(':', c2 + 1);
+    std::string rate = text.substr(c2 + 1, c3 == std::string::npos
+                                               ? std::string::npos
+                                               : c3 - c2 - 1);
+    if (!obs::ParseInjectRate(rate, &out.rate)) return false;
+    c2 = c3;  // the optional mode now starts after the rate
+  } else {
+    for (char c : nth) {
+      if (c < '0' || c > '9') return false;
+    }
+    out.nth = std::atoi(nth.c_str());
+    if (out.nth <= 0) return false;
   }
-  out.nth = std::atoi(nth.c_str());
-  if (out.nth <= 0) return false;
   if (c2 != std::string::npos) {
     std::string mode = text.substr(c2 + 1);
     if (mode == "fail") {
@@ -120,6 +143,7 @@ void ArmFaults(const FaultSpec& spec) {
   g.spec = spec;
   g.armed = spec.op != FaultSpec::Op::kNone;
   g.env_checked = true;  // explicit arm overrides the env
+  g.rng.Reset(spec.seed);
   g.writes.store(0);
   g.fsyncs.store(0);
   g.renames.store(0);

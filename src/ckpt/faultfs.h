@@ -2,6 +2,7 @@
 #define LCREC_CKPT_FAULTFS_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 
 namespace lcrec::ckpt {
@@ -14,8 +15,14 @@ namespace lcrec::ckpt {
 /// operation counters start from zero).
 ///
 /// Spec grammar:   LCREC_FAULT=<op>:<nth>[:<mode>]
+///            or   LCREC_FAULT=<op>:p:<rate>[:<mode>]
 ///   op    write | fsync | rename
 ///   nth   1-based count of that operation across the process
+///   p     probabilistic mode: each matching operation fires with
+///         probability <rate> in (0, 1], drawn from a seeded stream
+///         (LCREC_FAULT_SEED, default 1) — the same rate grammar and
+///         sampler as serve::chaos (obs/inject.h), so the two injectors
+///         read identically
 ///   mode  fail    return an error, no side effect        (default)
 ///         short   torn write: half the bytes land, then error
 ///         enospc  torn write, then "no space left on device"
@@ -23,12 +30,15 @@ namespace lcrec::ckpt {
 ///                 half their bytes first; renames abort BEFORE the
 ///                 rename (crash after the temp file, before publish)
 ///
-/// Examples: `LCREC_FAULT=write:3:short`, `LCREC_FAULT=rename:1:crash`.
+/// Examples: `LCREC_FAULT=write:3:short`, `LCREC_FAULT=rename:1:crash`,
+/// `LCREC_FAULT=write:p:0.05:enospc`.
 struct FaultSpec {
   enum class Op { kNone, kWrite, kFsync, kRename };
   enum class Mode { kFail, kShort, kEnospc, kCrash };
   Op op = Op::kNone;
-  int nth = 0;
+  int nth = 0;         // deterministic mode; 0 when probabilistic
+  double rate = 0.0;   // probabilistic mode; 0 when deterministic
+  uint64_t seed = 1;   // probabilistic draw stream
   Mode mode = Mode::kFail;
 };
 

@@ -18,6 +18,7 @@ struct BatchMetrics {
   obs::Counter& ticks;
   obs::Counter& token_forwards;
   obs::Counter& retired;
+  obs::Counter& partial;
   obs::Histogram& lanes_per_tick;
 
   static BatchMetrics& Get() {
@@ -27,6 +28,7 @@ struct BatchMetrics {
           r.GetCounter("lcrec.llm.genb.ticks"),
           r.GetCounter("lcrec.llm.genb.token_forwards"),
           r.GetCounter("lcrec.llm.genb.retired"),
+          r.GetCounter("lcrec.llm.genb.partial"),
           r.GetHistogram("lcrec.llm.genb.lanes_per_tick",
                          obs::Histogram::LinearBounds(1.0, 32.0, 32)),
       };
@@ -49,19 +51,59 @@ BatchEngine::BatchEngine(const MiniLlm& model, const quant::PrefixTrie& trie,
 }
 
 void BatchEngine::Admit(uint64_t tag, std::vector<int> prompt, int top_n) {
+  Admit(tag, std::move(prompt), top_n, LaneOptions{});
+}
+
+void BatchEngine::Admit(uint64_t tag, std::vector<int> prompt, int top_n,
+                        const LaneOptions& opts) {
   LCREC_CHECK(!prompt.empty());
   LCREC_CHECK_GT(top_n, 0);
+  LCREC_CHECK_GE(opts.beam_cap, 0);
   Lane lane;
   lane.tag = tag;
   lane.top_n = top_n;
   lane.prompt = std::move(prompt);
+  lane.deadline_us = opts.deadline_us;
+  lane.beam = opts.beam_cap > 0 ? std::min(opts.beam_cap, beam_size_)
+                                : beam_size_;
   lanes_.push_back(std::move(lane));
+}
+
+BatchResult BatchEngine::RetireLane(Lane& lane, bool partial) {
+  std::sort(lane.done.begin(), lane.done.end(), ScoredItemOrder);
+  if (static_cast<int>(lane.done.size()) > lane.top_n) {
+    lane.done.resize(static_cast<size_t>(lane.top_n));
+  }
+  BatchMetrics& bm = BatchMetrics::Get();
+  bm.retired.Increment();
+  if (partial) bm.partial.Increment();
+  return {lane.tag, std::move(lane.done), lane.ticks,
+          lane.decode_us,   partial,      lane.beam};
 }
 
 std::vector<BatchResult> BatchEngine::Tick() {
   if (lanes_.empty()) return {};
   obs::ScopedSpan span("llm.batch_tick");
   double tick_start_us = obs::NowMicros();
+
+  // Phase 0: retire lanes whose deadline has already passed before
+  // spending any forward work on them. They return whatever beams
+  // finished on earlier ticks (partial decode).
+  std::vector<BatchResult> finished;
+  {
+    std::vector<Lane> live;
+    live.reserve(lanes_.size());
+    for (Lane& lane : lanes_) {
+      if (lane.deadline_us > 0.0 && tick_start_us >= lane.deadline_us) {
+        finished.push_back(RetireLane(lane, /*partial=*/true));
+      } else {
+        live.push_back(std::move(lane));
+      }
+    }
+    lanes_ = std::move(live);
+  }
+  if (lanes_.empty()) return finished;
+
   BatchMetrics& bm = BatchMetrics::Get();
   bm.ticks.Increment();
   bm.lanes_per_tick.Observe(static_cast<double>(lanes_.size()));
@@ -101,7 +143,9 @@ std::vector<BatchResult> BatchEngine::Tick() {
       }
     }
     std::sort(cand.begin(), cand.end(), BeamCandidateOrder);
-    if (static_cast<int>(cand.size()) > beam_size_) cand.resize(beam_size_);
+    if (static_cast<int>(cand.size()) > lane.beam) {
+      cand.resize(static_cast<size_t>(lane.beam));
+    }
     children[i].reserve(cand.size());
     for (const BeamCandidate& c : cand) {
       Beam child;
@@ -166,7 +210,6 @@ std::vector<BatchResult> BatchEngine::Tick() {
                                        static_cast<int64_t>(n), fed_tokens);
 
   // Phase 3: retire completed children, advance depths, finish lanes.
-  std::vector<BatchResult> finished;
   std::vector<Lane> still_running;
   still_running.reserve(n);
   for (size_t i = 0; i < n; ++i) {
@@ -190,13 +233,7 @@ std::vector<BatchResult> BatchEngine::Tick() {
       complete = lane.depth >= max_depth_ || lane.active.empty();
     }
     if (complete) {
-      std::sort(lane.done.begin(), lane.done.end(), ScoredItemOrder);
-      if (static_cast<int>(lane.done.size()) > lane.top_n) {
-        lane.done.resize(static_cast<size_t>(lane.top_n));
-      }
-      finished.push_back(
-          {lane.tag, std::move(lane.done), lane.ticks, lane.decode_us});
-      bm.retired.Increment();
+      finished.push_back(RetireLane(lane, /*partial=*/false));
     } else {
       still_running.push_back(std::move(lane));
     }

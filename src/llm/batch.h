@@ -19,6 +19,24 @@ struct BatchResult {
   std::vector<ScoredItem> items;
   int ticks = 0;          // ticks this lane participated in
   double decode_us = 0.0; // fair-share decode time across those ticks
+  /// True when the lane was retired at its deadline before the search
+  /// completed: `items` holds whatever finished beams existed by then
+  /// (possibly none). Deadline enforcement is tick-granular, so a lane
+  /// overshoots its deadline by at most one tick.
+  bool partial = false;
+  int beam_used = 0;      // effective beam width the lane ran with
+};
+
+/// Per-lane knobs for Admit(). Defaults reproduce the unconstrained
+/// engine exactly (no deadline, engine-wide beam).
+struct LaneOptions {
+  /// Absolute retire-by time (obs::NowMicros base). At the first tick
+  /// that starts past this, the lane is retired with partial results.
+  /// 0 = no deadline.
+  double deadline_us = 0.0;
+  /// Beam-width cap for this lane; 0 = the engine's beam_size. A capped
+  /// lane trades recall for ticks — the budget-capped degrade tier.
+  int beam_cap = 0;
 };
 
 /// Continuous-batching engine for trie-constrained beam search: every
@@ -47,6 +65,9 @@ class BatchEngine {
   /// Adds a decode lane. `tag` is an opaque caller id returned with the
   /// lane's BatchResult; `prompt` must be non-empty.
   void Admit(uint64_t tag, std::vector<int> prompt, int top_n);
+  /// Adds a decode lane with a deadline budget and/or beam cap.
+  void Admit(uint64_t tag, std::vector<int> prompt, int top_n,
+             const LaneOptions& opts);
 
   int ActiveLanes() const { return static_cast<int>(lanes_.size()); }
   bool Idle() const { return lanes_.empty(); }
@@ -71,9 +92,14 @@ class BatchEngine {
     int depth = 0;
     int ticks = 0;           // tick-attribution accumulators (BatchResult)
     double decode_us = 0.0;
+    double deadline_us = 0.0;  // absolute; 0 = none
+    int beam = 0;              // effective beam width (<= engine beam)
     std::vector<Beam> active;
     std::vector<ScoredItem> done;
   };
+
+  /// Sorts/caps `lane.done` and moves it into a BatchResult.
+  BatchResult RetireLane(Lane& lane, bool partial);
 
   const MiniLlm& model_;
   const quant::PrefixTrie& trie_;

@@ -32,6 +32,12 @@ const char* FrKindName(FrKind kind) {
       return "long_hold";
     case FrKind::kMark:
       return "mark";
+    case FrKind::kDegrade:
+      return "degrade";
+    case FrKind::kBreaker:
+      return "breaker";
+    case FrKind::kWatchdog:
+      return "watchdog";
   }
   return "unknown";
 }

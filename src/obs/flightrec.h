@@ -21,6 +21,9 @@ enum class FrKind : uint8_t {
   kLockOrder,     // lock-order cycle finding (obs::Mutex detector)
   kLongHold,      // mutex held over threshold; detail = name, a = hold_us
   kMark,          // free-form annotation from tests/tools
+  kDegrade,       // degraded response; detail = tier, a = request id
+  kBreaker,       // circuit-breaker transition; detail = new state
+  kWatchdog,      // scheduler stall; a = stall_us
 };
 
 const char* FrKindName(FrKind kind);

@@ -1,0 +1,37 @@
+#include "obs/inject.h"
+
+namespace lcrec::obs {
+
+bool ParseInjectRate(const std::string& text, double* rate) {
+  if (text.empty()) return false;
+  // Accept only [0-9.] so "1e9", "+1", and "0x1" are rejected — the
+  // grammar wants a plain decimal probability.
+  int dots = 0;
+  for (char c : text) {
+    if (c == '.') {
+      if (++dots > 1) return false;
+    } else if (c < '0' || c > '9') {
+      return false;
+    }
+  }
+  if (text == ".") return false;
+  double value = std::stod(text);
+  if (value <= 0.0 || value > 1.0) return false;
+  *rate = value;
+  return true;
+}
+
+double InjectRng::NextUniform() {
+  // splitmix64 (Steele et al.): one fetch_add of the golden-gamma keeps
+  // the stream deterministic under concurrency.
+  uint64_t z = state_.fetch_add(0x9e3779b97f4a7c15ull,
+                                std::memory_order_relaxed) +
+               0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z ^= z >> 31;
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(z >> 11) * (1.0 / 9007199254740992.0);
+}
+
+}  // namespace lcrec::obs

@@ -1,0 +1,51 @@
+#ifndef LCREC_OBS_INJECT_H_
+#define LCREC_OBS_INJECT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace lcrec::obs {
+
+/// Shared grammar + randomness for the repo's fault injectors
+/// (ckpt::faultfs's LCREC_FAULT and serve::chaos's LCREC_CHAOS). Both
+/// specs express probabilistic firing as a rate in (0, 1], parsed and
+/// sampled the same way, so an operator learns one grammar and a test
+/// that seeds one injector reasons about the other identically. Lives in
+/// obs (layer 1) because ckpt (layer 2) cannot include serve (layer 6).
+
+/// Parses a probability in (0, 1] ("0.1", ".5", "1"). False on
+/// malformed input, zero, or anything above 1.
+bool ParseInjectRate(const std::string& text, double* rate);
+
+/// Deterministic Bernoulli sampler for injection decisions: a splitmix64
+/// stream mapped to [0, 1). Thread-safe — the state advance is one
+/// atomic fetch_add, so concurrent callers draw distinct, reproducible
+/// samples (the multiset of draws depends only on the seed and call
+/// count, not on interleaving).
+class InjectRng {
+ public:
+  explicit InjectRng(uint64_t seed) : state_(seed) {}
+
+  /// Reseeds and restarts the stream (injector re-arm).
+  void Reset(uint64_t seed) {
+    state_.store(seed, std::memory_order_relaxed);
+  }
+
+  /// One sample in [0, 1).
+  double NextUniform();
+
+  /// True with probability `rate`. Rates <= 0 never fire; >= 1 always.
+  bool Fire(double rate) {
+    if (rate <= 0.0) return false;
+    if (rate >= 1.0) return true;
+    return NextUniform() < rate;
+  }
+
+ private:
+  std::atomic<uint64_t> state_;
+};
+
+}  // namespace lcrec::obs
+
+#endif  // LCREC_OBS_INJECT_H_

@@ -1,0 +1,130 @@
+#include "serve/breaker.h"
+
+#include <cstdio>
+
+#include "obs/trace.h"
+
+namespace lcrec::serve {
+
+const char* BreakerStateName(BreakerState s) {
+  switch (s) {
+    case BreakerState::kClosed: return "closed";
+    case BreakerState::kOpen: return "open";
+    case BreakerState::kHalfOpen: return "half_open";
+  }
+  return "?";
+}
+
+CircuitBreaker::CircuitBreaker(const BreakerOptions& opts)
+    : opts_(opts), mu_("serve.breaker", 26) {}
+
+void CircuitBreaker::SetStateLocked(BreakerState next) {
+  if (state_ == next) return;
+  state_ = next;
+  if (opts_.on_transition) opts_.on_transition(next);
+}
+
+bool CircuitBreaker::Allow() {
+  double now = opts_.now_us ? opts_.now_us() : obs::NowMicros();
+  obs::MutexLock lock(mu_);
+  bool ok = AllowLocked(now);
+  if (!ok) stats_.short_circuits++;
+  return ok;
+}
+
+bool CircuitBreaker::AllowLocked(double now) {
+  switch (state_) {
+    case BreakerState::kClosed:
+      return true;
+    case BreakerState::kOpen: {
+      if (now - opened_us_ < opts_.open_cooldown_ms * 1000.0) return false;
+      SetStateLocked(BreakerState::kHalfOpen);
+      consecutive_successes_ = 0;
+      probes_inflight_ = 0;
+      [[fallthrough]];
+    }
+    case BreakerState::kHalfOpen: {
+      if (probes_inflight_ >= opts_.half_open_probes) return false;
+      probes_inflight_++;
+      stats_.probes++;
+      return true;
+    }
+  }
+  return true;
+}
+
+void CircuitBreaker::TripLocked(double now) {
+  SetStateLocked(BreakerState::kOpen);
+  opened_us_ = now;
+  consecutive_failures_ = 0;
+  consecutive_successes_ = 0;
+  probes_inflight_ = 0;
+  stats_.trips++;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  obs::MutexLock lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_ = 0;
+      break;
+    case BreakerState::kHalfOpen:
+      if (probes_inflight_ > 0) probes_inflight_--;
+      consecutive_successes_++;
+      if (consecutive_successes_ >= opts_.success_threshold) {
+        SetStateLocked(BreakerState::kClosed);
+        consecutive_failures_ = 0;
+        consecutive_successes_ = 0;
+        stats_.recoveries++;
+      }
+      break;
+    case BreakerState::kOpen:
+      // A success reported after the breaker tripped (the outcome raced
+      // the trip). Ignore: recovery goes through half-open probes.
+      break;
+  }
+}
+
+void CircuitBreaker::RecordFailure() {
+  double now = opts_.now_us ? opts_.now_us() : obs::NowMicros();
+  obs::MutexLock lock(mu_);
+  switch (state_) {
+    case BreakerState::kClosed:
+      consecutive_failures_++;
+      if (consecutive_failures_ >= opts_.failure_threshold) TripLocked(now);
+      break;
+    case BreakerState::kHalfOpen:
+      // One failed probe is enough evidence the engine is still sick.
+      TripLocked(now);
+      break;
+    case BreakerState::kOpen:
+      break;
+  }
+}
+
+BreakerState CircuitBreaker::state() const {
+  obs::MutexLock lock(mu_);
+  return state_;
+}
+
+BreakerStats CircuitBreaker::stats() const {
+  obs::MutexLock lock(mu_);
+  return stats_;
+}
+
+std::string CircuitBreaker::StatusText() const {
+  obs::MutexLock lock(mu_);
+  char line[160];
+  std::snprintf(line, sizeof(line),
+                "breaker: %s failures=%d/%d trips=%lld recoveries=%lld "
+                "short_circuits=%lld probes=%lld",
+                BreakerStateName(state_), consecutive_failures_,
+                opts_.failure_threshold,
+                static_cast<long long>(stats_.trips),
+                static_cast<long long>(stats_.recoveries),
+                static_cast<long long>(stats_.short_circuits),
+                static_cast<long long>(stats_.probes));
+  return line;
+}
+
+}  // namespace lcrec::serve

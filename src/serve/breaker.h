@@ -1,0 +1,92 @@
+#ifndef LCREC_SERVE_BREAKER_H_
+#define LCREC_SERVE_BREAKER_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "obs/sync.h"
+
+namespace lcrec::serve {
+
+enum class BreakerState { kClosed, kOpen, kHalfOpen };
+
+const char* BreakerStateName(BreakerState s);
+
+struct BreakerOptions {
+  /// Consecutive decode failures that trip the breaker open.
+  int failure_threshold = 5;
+  /// Consecutive half-open probe successes that close it again.
+  int success_threshold = 2;
+  /// How long the breaker stays open before letting probes through.
+  double open_cooldown_ms = 250.0;
+  /// Probes allowed in flight at once while half-open.
+  int half_open_probes = 1;
+  /// Clock override for tests (microseconds, NowMicros time base).
+  /// Defaults to obs::NowMicros.
+  std::function<double()> now_us;
+  /// Invoked on every state transition with the new state (under the
+  /// breaker lock — keep it cheap and lock-free: flight events, metric
+  /// bumps).
+  std::function<void(BreakerState)> on_transition;
+};
+
+/// Counters snapshot; see CircuitBreaker::stats().
+struct BreakerStats {
+  int64_t trips = 0;           // -> open transitions
+  int64_t recoveries = 0;      // half-open -> closed transitions
+  int64_t short_circuits = 0;  // Allow() == false decisions
+  int64_t probes = 0;          // half-open probe slots granted
+};
+
+/// Circuit breaker over the decode path. Closed is the healthy state:
+/// every request passes and consecutive failures are counted. Reaching
+/// failure_threshold trips the breaker open — requests short-circuit to
+/// the fallback tier without touching the engine. After open_cooldown_ms
+/// the breaker turns half-open: a bounded number of probe requests run
+/// the real decode, and success_threshold consecutive successes close
+/// the breaker (any probe failure re-opens it and restarts the
+/// cooldown).
+///
+/// Success/failure is reported only for decode *outcomes* (a retired
+/// lane, an exhausted retry loop, a deadline timeout inside the engine).
+/// Cache hits and sheds never touch the breaker: they say nothing about
+/// engine health.
+class CircuitBreaker {
+ public:
+  explicit CircuitBreaker(const BreakerOptions& opts);
+
+  /// Decision point, consulted before a decode attempt. True = run the
+  /// real decode (and report the outcome back); false = short-circuit
+  /// to fallback. Open->half-open promotion happens here once the
+  /// cooldown elapses.
+  bool Allow();
+
+  /// Reports a decode outcome previously admitted by Allow().
+  void RecordSuccess();
+  void RecordFailure();
+
+  BreakerState state() const;
+  BreakerStats stats() const;
+
+  /// One-line "breaker: closed failures=0/5 trips=0 ..." for /statusz.
+  std::string StatusText() const;
+
+ private:
+  bool AllowLocked(double now) LCREC_REQUIRES(mu_);
+  void TripLocked(double now) LCREC_REQUIRES(mu_);
+  void SetStateLocked(BreakerState next) LCREC_REQUIRES(mu_);
+
+  const BreakerOptions opts_;
+  mutable obs::Mutex mu_;  // rank 26: above server.state (20), below metrics
+  BreakerState state_ LCREC_GUARDED_BY(mu_) = BreakerState::kClosed;
+  int consecutive_failures_ LCREC_GUARDED_BY(mu_) = 0;
+  int consecutive_successes_ LCREC_GUARDED_BY(mu_) = 0;
+  int probes_inflight_ LCREC_GUARDED_BY(mu_) = 0;
+  double opened_us_ LCREC_GUARDED_BY(mu_) = 0.0;
+  BreakerStats stats_ LCREC_GUARDED_BY(mu_);
+};
+
+}  // namespace lcrec::serve
+
+#endif  // LCREC_SERVE_BREAKER_H_

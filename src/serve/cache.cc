@@ -1,5 +1,7 @@
 #include "serve/cache.h"
 
+#include "obs/trace.h"
+
 namespace lcrec::serve {
 
 uint64_t RequestKey(const std::vector<int>& prompt_tokens, int top_n,
@@ -19,11 +21,25 @@ uint64_t RequestKey(const std::vector<int>& prompt_tokens, int top_n,
   return h;
 }
 
+ResultCache::ResultCache(size_t capacity, double ttl_ms,
+                         std::function<double()> now_us)
+    : capacity_(capacity), ttl_ms_(ttl_ms), now_us_(std::move(now_us)) {}
+
+double ResultCache::Now() const {
+  return now_us_ ? now_us_() : obs::NowMicros();
+}
+
+bool ResultCache::FreshLocked(const Entry& e, double now) const {
+  if (ttl_ms_ <= 0.0) return true;  // infinite TTL: nothing ever stales
+  return now - e.put_us <= ttl_ms_ * 1000.0;
+}
+
 bool ResultCache::Get(uint64_t key, std::vector<llm::ScoredItem>* out) {
   if (capacity_ == 0) return false;
+  double now = Now();
   obs::UniqueLock lock(mu_);
   auto it = index_.find(key);
-  if (it == index_.end()) {
+  if (it == index_.end() || !FreshLocked(*it->second, now)) {
     ++misses_;
     return false;
   }
@@ -33,16 +49,33 @@ bool ResultCache::Get(uint64_t key, std::vector<llm::ScoredItem>* out) {
   return true;
 }
 
+bool ResultCache::GetWithStaleness(uint64_t key,
+                                   std::vector<llm::ScoredItem>* out,
+                                   double* age_ms) {
+  if (capacity_ == 0) return false;
+  double now = Now();
+  obs::UniqueLock lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  if (!FreshLocked(*it->second, now)) ++stale_serves_;
+  *out = it->second->items;
+  *age_ms = (now - it->second->put_us) / 1000.0;
+  return true;
+}
+
 void ResultCache::Put(uint64_t key, const std::vector<llm::ScoredItem>& items) {
   if (capacity_ == 0) return;
+  double now = Now();
   obs::UniqueLock lock(mu_);
   auto it = index_.find(key);
   if (it != index_.end()) {
     it->second->items = items;
+    it->second->put_us = now;
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
-  lru_.push_front({key, items});
+  lru_.push_front({key, items, now});
   index_[key] = lru_.begin();
   if (lru_.size() > capacity_) {
     index_.erase(lru_.back().key);
@@ -63,6 +96,11 @@ int64_t ResultCache::hits() const {
 int64_t ResultCache::misses() const {
   obs::UniqueLock lock(mu_);
   return misses_;
+}
+
+int64_t ResultCache::stale_serves() const {
+  obs::UniqueLock lock(mu_);
+  return stale_serves_;
 }
 
 }  // namespace lcrec::serve

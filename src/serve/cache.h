@@ -2,6 +2,7 @@
 #define LCREC_SERVE_CACHE_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <unordered_map>
 #include <vector>
@@ -22,29 +23,54 @@ uint64_t RequestKey(const std::vector<int>& prompt_tokens, int top_n,
 /// need no guards. Keys are RequestKey() hashes; a collision would serve
 /// the wrong list, which at 64 bits over thousands of live entries is
 /// vanishingly unlikely (and bounded by the LRU horizon).
+///
+/// Entries carry their insertion time. With a finite TTL, Get() serves
+/// only fresh entries — but a stale entry is NOT evicted: it stays
+/// servable through GetWithStaleness() so the degradation ladder can
+/// prefer a stale ranking over no ranking when the engine is sick. With
+/// the default infinite TTL (`ttl_ms <= 0`) every entry is fresh forever
+/// and behaviour is identical to the pre-TTL cache.
 class ResultCache {
  public:
-  explicit ResultCache(size_t capacity) : capacity_(capacity) {}
+  /// `ttl_ms <= 0` = infinite. `now_us` is a test clock override
+  /// (microseconds, obs::NowMicros base).
+  explicit ResultCache(size_t capacity, double ttl_ms = 0.0,
+                       std::function<double()> now_us = {});
 
-  /// True on hit; copies the cached ranking into `out` and refreshes the
-  /// entry's recency.
+  /// True on a FRESH hit; copies the cached ranking into `out` and
+  /// refreshes the entry's recency. A stale entry counts as a miss here
+  /// (without eviction).
   bool Get(uint64_t key, std::vector<llm::ScoredItem>* out);
 
-  /// Inserts or refreshes `items` under `key`, evicting the least
-  /// recently used entry when full.
+  /// True on any hit, fresh or stale; `*age_ms` gets the entry's age.
+  /// Serving a stale entry bumps stale_serves(). Recency is refreshed
+  /// either way (a stale entry being served is still in demand).
+  bool GetWithStaleness(uint64_t key, std::vector<llm::ScoredItem>* out,
+                        double* age_ms);
+
+  /// Inserts or refreshes `items` under `key` (timestamped now),
+  /// evicting the least recently used entry when full.
   void Put(uint64_t key, const std::vector<llm::ScoredItem>& items);
 
   size_t size() const;
   int64_t hits() const;
   int64_t misses() const;
+  /// Stale entries served through GetWithStaleness().
+  int64_t stale_serves() const;
 
  private:
   struct Entry {
     uint64_t key = 0;
     std::vector<llm::ScoredItem> items;
+    double put_us = 0.0;  // insertion/refresh time
   };
 
+  double Now() const;
+  bool FreshLocked(const Entry& e, double now) const LCREC_REQUIRES(mu_);
+
   const size_t capacity_;
+  const double ttl_ms_;
+  const std::function<double()> now_us_;
   mutable obs::Mutex mu_{"serve.cache", 22};
   // Most-recently-used at the front; map values point into the list.
   std::list<Entry> lru_ LCREC_GUARDED_BY(mu_);
@@ -52,6 +78,7 @@ class ResultCache {
       LCREC_GUARDED_BY(mu_);
   int64_t hits_ LCREC_GUARDED_BY(mu_) = 0;
   int64_t misses_ LCREC_GUARDED_BY(mu_) = 0;
+  int64_t stale_serves_ LCREC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace lcrec::serve

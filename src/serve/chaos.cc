@@ -1,0 +1,252 @@
+#include "serve/chaos.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <vector>
+
+#include "obs/inject.h"
+#include "obs/log.h"
+#include "obs/sync.h"
+
+namespace lcrec::serve::chaos {
+
+namespace {
+
+/// One armed spec plus its fire counter. Counters are read by
+/// ChaosStatusText and the max_fires cap.
+struct ArmedSpec {
+  ChaosSpec spec;
+  std::atomic<int> fires{0};
+};
+
+struct Injector {
+  // Guards (re-)arming only; the consultation fast path reads `armed`
+  // and walks immutable `specs` without the lock. Re-arming while the
+  // server is live is a test-only pattern and tests quiesce first.
+  obs::Mutex arm_mu{"serve.chaos.arm", 28};
+  std::vector<ArmedSpec*> specs;
+  obs::InjectRng rng{1};
+  std::atomic<bool> armed{false};
+  bool env_checked = false;
+};
+
+Injector& G() {
+  static Injector* g = new Injector;
+  return *g;
+}
+
+void ArmLocked(Injector& g, const std::vector<ChaosSpec>& specs,
+               uint64_t seed) {
+  for (ArmedSpec* s : g.specs) delete s;
+  g.specs.clear();
+  g.specs.reserve(specs.size());
+  for (const ChaosSpec& s : specs) {
+    ArmedSpec* armed = new ArmedSpec;
+    armed->spec = s;
+    g.specs.push_back(armed);
+  }
+  g.rng.Reset(seed);
+  g.armed.store(!g.specs.empty(), std::memory_order_release);
+}
+
+void EnsureEnvParsed() {
+  Injector& g = G();
+  obs::MutexLock lock(g.arm_mu);
+  if (g.env_checked) return;
+  g.env_checked = true;
+  const char* env = std::getenv("LCREC_CHAOS");
+  if (env == nullptr || env[0] == '\0') return;
+  std::vector<ChaosSpec> specs;
+  if (!ParseChaosSpecs(env, &specs)) {
+    obs::Log(obs::LogLevel::kWarn,
+             "[serve] malformed LCREC_CHAOS spec \"%s\" ignored", env);
+    return;
+  }
+  uint64_t seed = 1;
+  if (const char* s = std::getenv("LCREC_CHAOS_SEED")) {
+    seed = static_cast<uint64_t>(std::atoll(s));
+  }
+  ArmLocked(g, specs, seed);
+  obs::Log(obs::LogLevel::kInfo, "[serve] chaos injection armed: %s", env);
+}
+
+/// True when `s` fires this consultation: Bernoulli draw at s->spec.rate,
+/// subject to the optional max_fires cap.
+bool SpecFires(Injector& g, ArmedSpec* s) {
+  if (!g.rng.Fire(s->spec.rate)) return false;
+  if (s->spec.max_fires > 0) {
+    // CAS loop so concurrent callers can neither overshoot the cap nor
+    // inflate the fire counter with capped (non-firing) attempts.
+    int cur = s->fires.load(std::memory_order_relaxed);
+    do {
+      if (cur >= s->spec.max_fires) return false;
+    } while (!s->fires.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_relaxed));
+    return true;
+  }
+  s->fires.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+const char* SiteName(ChaosSpec::Site site) {
+  return site == ChaosSpec::Site::kDecode ? "decode" : "queue";
+}
+
+const char* ModeName(ChaosSpec::Mode mode) {
+  switch (mode) {
+    case ChaosSpec::Mode::kDelay: return "delay";
+    case ChaosSpec::Mode::kFail: return "fail";
+    case ChaosSpec::Mode::kFull: return "full";
+  }
+  return "?";
+}
+
+/// Splits `text` on `sep`, keeping empty pieces (so "a::b" parses as a
+/// malformed middle field rather than silently collapsing).
+std::vector<std::string> Split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(sep, start);
+    if (pos == std::string::npos) {
+      out.push_back(text.substr(start));
+      return out;
+    }
+    out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+bool ParseOneSpec(const std::string& text, ChaosSpec* spec) {
+  std::vector<std::string> fields = Split(text, ':');
+  if (fields.size() < 3 || fields.size() > 4) return false;
+  ChaosSpec out;
+  if (fields[0] == "decode") {
+    out.site = ChaosSpec::Site::kDecode;
+  } else if (fields[0] == "queue") {
+    out.site = ChaosSpec::Site::kQueue;
+  } else {
+    return false;
+  }
+  if (fields[1] == "delay") {
+    out.mode = ChaosSpec::Mode::kDelay;
+  } else if (fields[1] == "fail") {
+    out.mode = ChaosSpec::Mode::kFail;
+  } else if (fields[1] == "full") {
+    out.mode = ChaosSpec::Mode::kFull;
+  } else {
+    return false;
+  }
+  // Mode/site compatibility: queue pressure is the only queue mode, and
+  // it is queue-only.
+  bool queue = out.site == ChaosSpec::Site::kQueue;
+  bool full = out.mode == ChaosSpec::Mode::kFull;
+  if (queue != full) return false;
+  if (!obs::ParseInjectRate(fields[2], &out.rate)) return false;
+  if (fields.size() == 4) {
+    if (out.mode != ChaosSpec::Mode::kDelay) return false;
+    const std::string& ms = fields[3];
+    if (ms.empty()) return false;
+    for (char c : ms) {
+      if (c < '0' || c > '9') return false;
+    }
+    out.param_ms = std::atof(ms.c_str());
+    if (out.param_ms <= 0.0) return false;
+  }
+  *spec = out;
+  return true;
+}
+
+}  // namespace
+
+bool ParseChaosSpecs(const std::string& text, std::vector<ChaosSpec>* specs) {
+  if (text.empty()) return false;
+  std::vector<ChaosSpec> out;
+  for (const std::string& piece : Split(text, ',')) {
+    ChaosSpec spec;
+    if (!ParseOneSpec(piece, &spec)) return false;
+    out.push_back(spec);
+  }
+  *specs = out;
+  return true;
+}
+
+void ArmChaos(const std::vector<ChaosSpec>& specs, uint64_t seed) {
+  Injector& g = G();
+  obs::MutexLock lock(g.arm_mu);
+  g.env_checked = true;  // explicit arm overrides the env
+  ArmLocked(g, specs, seed);
+}
+
+void ArmChaosFromEnv() {
+  Injector& g = G();
+  {
+    obs::MutexLock lock(g.arm_mu);
+    ArmLocked(g, {}, 1);
+    g.env_checked = false;
+  }
+  EnsureEnvParsed();
+}
+
+void DisarmChaos() { ArmChaos({}, 1); }
+
+bool ChaosArmed() {
+  EnsureEnvParsed();
+  return G().armed.load(std::memory_order_acquire);
+}
+
+int64_t ChaosFires() {
+  Injector& g = G();
+  obs::MutexLock lock(g.arm_mu);
+  int64_t total = 0;
+  for (const ArmedSpec* s : g.specs) {
+    total += s->fires.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::string ChaosStatusText() {
+  EnsureEnvParsed();
+  Injector& g = G();
+  obs::MutexLock lock(g.arm_mu);
+  if (g.specs.empty()) return "chaos: off";
+  std::string out = "chaos:";
+  for (const ArmedSpec* s : g.specs) {
+    out += ' ';
+    out += SiteName(s->spec.site);
+    out += ':';
+    out += ModeName(s->spec.mode);
+    out += ":" + std::to_string(s->spec.rate) + " fires=" +
+           std::to_string(s->fires.load(std::memory_order_relaxed));
+  }
+  return out;
+}
+
+DecodeChaos OnDecode() {
+  DecodeChaos action;
+  Injector& g = G();
+  if (!ChaosArmed()) return action;
+  for (ArmedSpec* s : g.specs) {
+    if (s->spec.site != ChaosSpec::Site::kDecode) continue;
+    if (!SpecFires(g, s)) continue;
+    if (s->spec.mode == ChaosSpec::Mode::kFail) {
+      action.fail = true;
+    } else {
+      action.delay_us = s->spec.param_ms * 1000.0;
+    }
+    return action;  // at most one action per consultation
+  }
+  return action;
+}
+
+bool OnQueueAdmit() {
+  Injector& g = G();
+  if (!ChaosArmed()) return false;
+  for (ArmedSpec* s : g.specs) {
+    if (s->spec.site != ChaosSpec::Site::kQueue) continue;
+    if (SpecFires(g, s)) return true;
+  }
+  return false;
+}
+
+}  // namespace lcrec::serve::chaos

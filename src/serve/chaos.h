@@ -1,0 +1,87 @@
+#ifndef LCREC_SERVE_CHAOS_H_
+#define LCREC_SERVE_CHAOS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace lcrec::serve::chaos {
+
+/// Chaos-injection layer for the serving path — the serving twin of
+/// ckpt::faultfs. The server consults the functions below at its
+/// injection points; whether anything fires is decided here, from a
+/// process-wide injector armed either from the `LCREC_CHAOS` environment
+/// variable (parsed lazily on first use; `LCREC_CHAOS_SEED` seeds the
+/// draw stream) or programmatically via ArmChaos. The env literal and
+/// every injection decision live in this file only (lcrec_lint's
+/// chaos-site rule pins it), so production code paths contain calls, not
+/// scattered getenv checks.
+///
+/// Spec grammar (comma-separated list; rate grammar shared with
+/// LCREC_FAULT's p-mode via obs/inject.h):
+///
+///   LCREC_CHAOS=<site>:<mode>:<rate>[:<param_ms>][,<spec>...]
+///     site   decode | queue
+///     mode   delay  (decode only: a latency spike of param_ms,
+///                    default 20 ms — a stalled batch tick)
+///            fail   (decode only: the decode attempt errors; the
+///                    server's retry/breaker/fallback machinery reacts)
+///            full   (queue only: admission behaves as if the queue
+///                    were at capacity — queue pressure)
+///     rate   fire probability in (0, 1] per consultation
+///
+/// Examples: `LCREC_CHAOS=decode:fail:0.1`,
+///           `LCREC_CHAOS=decode:delay:0.05:40,queue:full:0.02`.
+struct ChaosSpec {
+  enum class Site { kDecode, kQueue };
+  enum class Mode { kDelay, kFail, kFull };
+  Site site = Site::kDecode;
+  Mode mode = Mode::kFail;
+  double rate = 0.0;
+  double param_ms = 20.0;  // delay amplitude
+  /// Programmatic-only cap on how often this spec fires (0 = unlimited).
+  /// Tests use it to stage exactly one stall or N failures.
+  int max_fires = 0;
+};
+
+/// Parses the grammar above into `specs` (replaced, not appended).
+/// False on malformed input (and `specs` is left untouched).
+bool ParseChaosSpecs(const std::string& text, std::vector<ChaosSpec>* specs);
+
+/// Arms the process-wide injector with `specs` and restarts the seeded
+/// draw stream. An empty list disarms.
+void ArmChaos(const std::vector<ChaosSpec>& specs, uint64_t seed = 1);
+
+/// Re-reads LCREC_CHAOS / LCREC_CHAOS_SEED (unset disarms).
+void ArmChaosFromEnv();
+
+/// Disarms injection; subsequent consultations are no-ops.
+void DisarmChaos();
+
+/// True when at least one spec is armed (after lazy env parsing).
+bool ChaosArmed();
+
+/// Total injections fired since the last (re-)arm.
+int64_t ChaosFires();
+
+/// One-line arming summary for /statusz ("chaos: off" or the spec list
+/// with fire counts).
+std::string ChaosStatusText();
+
+/// Decision for one decode attempt. At most one action fires per
+/// consultation; `delay_us` and `fail` are mutually exclusive.
+struct DecodeChaos {
+  bool fail = false;
+  double delay_us = 0.0;
+};
+
+/// Consulted once per decode attempt (inline decode or scheduler
+/// admission). Returns the injected action, if any.
+DecodeChaos OnDecode();
+
+/// Consulted once per queue admission. True = simulate a full queue.
+bool OnQueueAdmit();
+
+}  // namespace lcrec::serve::chaos
+
+#endif  // LCREC_SERVE_CHAOS_H_

@@ -24,12 +24,30 @@ struct RecommendRequest {
 
 enum class Status {
   kOk = 0,
-  kShedQueueFull,   // admission queue at capacity
-  kShedDeadline,    // deadline expired before decoding started
-  kShutdown,        // server stopped while the request waited
+  kShedQueueFull,     // admission queue at capacity
+  kShedDeadline,      // deadline expired before decoding started
+  kShutdown,          // server stopped while the request waited
+  kShedDecodeFailure, // decode failed past its retry budget (or the
+                      // breaker was open) with fallbacks disabled
 };
 
 std::string StatusName(Status s);
+
+/// The degradation ladder: which serving tier produced a kOk response.
+/// Level 0 is the healthy full decode; each higher level trades result
+/// quality for availability, and the server walks down the ladder only
+/// as far as it must. Every kOk response is labeled with its tier (see
+/// RecommendResponse::degrade / degrade_label) so clients and the
+/// lcrec.serve.degrade.* metrics can tell a real ranking from a
+/// fallback.
+enum class DegradeLevel {
+  kFull = 0,        // full constrained beam decode
+  kBudgetCapped,    // reduced beam or deadline-truncated partial decode
+  kStaleCache,      // TTL-expired result-cache entry
+  kPopularity,      // precomputed popularity prior (always available)
+};
+
+const char* DegradeLevelName(DegradeLevel level);
 
 /// Per-request observability payload carried back on every response:
 /// the request's identity, its gap-free stage breakdown (stage durations
@@ -50,6 +68,14 @@ struct RecommendResponse {
   bool coalesced = false;      // joined an identical in-flight request
   bool inline_path = false;    // decoded on the caller thread (idle server)
   double latency_ms = 0.0;     // submission to completion, wall clock
+  /// Which ladder tier served this response (kFull on every healthy
+  /// path). Meaningful only for kOk.
+  DegradeLevel degrade = DegradeLevel::kFull;
+  /// Human-readable tier label: the DegradeLevelName, except
+  /// "partial_decode" for a level-1 response truncated by its deadline
+  /// (vs "budget_capped" for a reduced-beam decode that ran to
+  /// completion).
+  const char* degrade_label = "full";
   RequestDebug debug;
 };
 

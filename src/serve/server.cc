@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <utility>
 
@@ -11,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "serve/chaos.h"
 
 namespace lcrec::serve {
 
@@ -26,6 +28,14 @@ struct ServeMetrics {
   obs::Counter& shed_queue_full;
   obs::Counter& shed_deadline;
   obs::Counter& batch_ticks;
+  obs::Counter& degrade_budget_capped;
+  obs::Counter& degrade_stale_cache;
+  obs::Counter& degrade_popularity;
+  obs::Counter& breaker_trips;
+  obs::Counter& breaker_short_circuits;
+  obs::Counter& decode_failures;
+  obs::Counter& decode_retries;
+  obs::Counter& watchdog_fires;
   obs::Gauge& queue_depth;
   obs::Histogram& latency_ms;
   obs::Histogram& batch_occupancy;
@@ -42,6 +52,14 @@ struct ServeMetrics {
           r.GetCounter("lcrec.serve.shed_queue_full"),
           r.GetCounter("lcrec.serve.shed_deadline"),
           r.GetCounter("lcrec.serve.batch_ticks"),
+          r.GetCounter("lcrec.serve.degrade.budget_capped"),
+          r.GetCounter("lcrec.serve.degrade.stale_cache"),
+          r.GetCounter("lcrec.serve.degrade.popularity"),
+          r.GetCounter("lcrec.serve.breaker.trips"),
+          r.GetCounter("lcrec.serve.breaker.short_circuits"),
+          r.GetCounter("lcrec.serve.decode.failures"),
+          r.GetCounter("lcrec.serve.decode.retries"),
+          r.GetCounter("lcrec.serve.watchdog.fires"),
           r.GetGauge("lcrec.serve.queue_depth"),
           r.GetHistogram("lcrec.serve.latency_ms",
                          obs::Histogram::ExponentialBounds(0.05, 1.6, 32)),
@@ -59,6 +77,27 @@ RecommendResponse MakeShed(Status status) {
   return resp;
 }
 
+void SleepUs(double us) {
+  if (us <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(us)));
+}
+
+/// Wraps the user's breaker options so every state transition also lands
+/// in the flight recorder and the lcrec.serve.breaker.* metrics.
+BreakerOptions WithBreakerTelemetry(BreakerOptions opts) {
+  std::function<void(BreakerState)> user_hook = opts.on_transition;
+  opts.on_transition = [user_hook](BreakerState s) {
+    obs::FlightRecorder::Global().Record(obs::FrKind::kBreaker,
+                                         BreakerStateName(s));
+    if (s == BreakerState::kOpen) {
+      ServeMetrics::Get().breaker_trips.Increment();
+    }
+    if (user_hook) user_hook(s);
+  };
+  return opts;
+}
+
 }  // namespace
 
 std::string StatusName(Status s) {
@@ -71,6 +110,22 @@ std::string StatusName(Status s) {
       return "shed_deadline";
     case Status::kShutdown:
       return "shutdown";
+    case Status::kShedDecodeFailure:
+      return "shed_decode_failure";
+  }
+  return "unknown";
+}
+
+const char* DegradeLevelName(DegradeLevel level) {
+  switch (level) {
+    case DegradeLevel::kFull:
+      return "full";
+    case DegradeLevel::kBudgetCapped:
+      return "budget_capped";
+    case DegradeLevel::kStaleCache:
+      return "stale_cache";
+    case DegradeLevel::kPopularity:
+      return "popularity";
   }
   return "unknown";
 }
@@ -83,13 +138,16 @@ Server::Server(const llm::MiniLlm& model, const quant::PrefixTrie& trie,
       token_map_(token_map),
       prompt_builder_(std::move(prompt_builder)),
       options_(options),
-      cache_(options.cache_capacity),
+      cache_(options.cache_capacity, options.cache_ttl_ms),
       queue_(static_cast<size_t>(std::max(options.max_queue, 1))),
       slo_(options.slo),
-      engine_(model, trie, token_map, options.beam_size) {
+      engine_(model, trie, token_map, options.beam_size),
+      breaker_(WithBreakerTelemetry(options.breaker)) {
   LCREC_CHECK(prompt_builder_ != nullptr);
   LCREC_CHECK_GT(options_.max_batch_lanes, 0);
   LCREC_CHECK_GT(options_.top_n_cap, 0);
+  LCREC_CHECK_GT(options_.degraded_beam, 0);
+  LCREC_CHECK_GE(options_.decode_retries, 0);
   slo_.StartReporter();  // no-op unless options.slo.report_every_s > 0
   if (options_.debug_port >= 0) {
     std::string error;
@@ -117,11 +175,26 @@ void Server::Start() {
   bool expected = false;
   if (!running_.compare_exchange_strong(expected, true)) return;
   scheduler_ = std::thread([this] { SchedulerLoop(); });
+  if (options_.watchdog_stall_ms > 0.0 && !watchdog_.joinable()) {
+    {
+      obs::UniqueLock lock(watchdog_mu_);
+      watchdog_stop_ = false;
+    }
+    watchdog_ = std::thread([this] { WatchdogLoop(); });
+  }
 }
 
 void Server::Stop() {
   queue_.Close();
   if (scheduler_.joinable()) scheduler_.join();
+  if (watchdog_.joinable()) {
+    {
+      obs::UniqueLock lock(watchdog_mu_);
+      watchdog_stop_ = true;
+    }
+    watchdog_cv_.NotifyAll();
+    watchdog_.join();
+  }
   running_.store(false);
 }
 
@@ -203,20 +276,18 @@ RecommendResponse Server::Recommend(const RecommendRequest& request) {
   }
 
   pending->timeline.Mark("queue_wait");
-  if (!queue_.TryPush(pending)) {
-    Status shed = queue_.closed() ? Status::kShutdown : Status::kShedQueueFull;
-    if (shed == Status::kShedQueueFull) {
-      sm.shed_queue_full.Increment();
-      stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
-      obs::FlightRecorder::Global().Record(
-          obs::FrKind::kShed, "shed_queue_full",
-          static_cast<int64_t>(request_id),
-          static_cast<int64_t>(queue_.size()));
+  // chaos::OnQueueAdmit simulates queue pressure: an injected "full"
+  // admission takes exactly the real queue-full path.
+  if (chaos::OnQueueAdmit() || !queue_.TryPush(pending)) {
+    if (queue_.closed()) {
+      stats_.shed_shutdown.fetch_add(1, std::memory_order_relaxed);
+      pending->timeline.Mark("shed");
+      // Resolve (not just return): followers may already be parked on
+      // this pending and must observe the shed too.
+      Resolve(pending, MakeShed(Status::kShutdown));
+    } else {
+      DegradeOrShed(pending, Status::kShedQueueFull, "shed_queue_full");
     }
-    pending->timeline.Mark("shed");
-    // Resolve (not just return): followers may already be parked on this
-    // pending and must observe the shed too.
-    Resolve(pending, MakeShed(shed));
     return WaitDone(pending, t0_us, /*coalesced=*/false, &pending->timeline);
   }
   sm.queue_depth.Set(static_cast<double>(queue_.size()));
@@ -280,10 +351,189 @@ void Server::Resolve(const PendingPtr& pending, RecommendResponse response) {
   done_cv_.NotifyAll();
 }
 
+bool Server::PassChaosDecode() {
+  ServeMetrics& sm = ServeMetrics::Get();
+  for (int attempt = 0;; ++attempt) {
+    chaos::DecodeChaos c = chaos::OnDecode();
+    if (c.delay_us > 0.0) SleepUs(c.delay_us);  // injected latency spike
+    if (!c.fail) return true;
+    sm.decode_failures.Increment();
+    stats_.decode_failures.fetch_add(1, std::memory_order_relaxed);
+    if (attempt >= options_.decode_retries) return false;
+    sm.decode_retries.Increment();
+    stats_.decode_retries.fetch_add(1, std::memory_order_relaxed);
+    SleepUs(options_.retry_backoff_ms * 1000.0 *
+            static_cast<double>(attempt + 1));  // linear backoff
+  }
+}
+
+std::vector<llm::ScoredItem> Server::PopularityFallback(int top_n) const {
+  std::vector<llm::ScoredItem> items;
+  size_t n = static_cast<size_t>(std::max(top_n, 0));
+  if (!options_.popularity_items.empty()) {
+    for (size_t i = 0; i < options_.popularity_items.size() && items.size() < n;
+         ++i) {
+      items.push_back({options_.popularity_items[i], -static_cast<float>(i)});
+    }
+    return items;
+  }
+  // No prior configured: item ids in index order keep the tier available.
+  int num_items = trie_.num_items();
+  for (int i = 0; i < num_items && items.size() < n; ++i) {
+    items.push_back({i, -static_cast<float>(i)});
+  }
+  return items;
+}
+
+void Server::ResolveDegraded(const PendingPtr& pending, RecommendResponse resp,
+                             const char* label) {
+  ServeMetrics& sm = ServeMetrics::Get();
+  resp.degrade_label = label;
+  switch (resp.degrade) {
+    case DegradeLevel::kBudgetCapped:
+      sm.degrade_budget_capped.Increment();
+      stats_.degraded_budget_capped.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradeLevel::kStaleCache:
+      sm.degrade_stale_cache.Increment();
+      stats_.degraded_stale_cache.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradeLevel::kPopularity:
+      sm.degrade_popularity.Increment();
+      stats_.degraded_popularity.fetch_add(1, std::memory_order_relaxed);
+      break;
+    case DegradeLevel::kFull:
+      break;
+  }
+  if (resp.degrade != DegradeLevel::kFull) {
+    obs::FlightRecorder::Global().Record(
+        obs::FrKind::kDegrade, label,
+        static_cast<int64_t>(pending->timeline.request_id()),
+        static_cast<int64_t>(resp.degrade));
+  }
+  Resolve(pending, std::move(resp));
+}
+
+void Server::DegradeOrShed(const PendingPtr& pending, Status shed_status,
+                           const char* reason) {
+  ServeMetrics& sm = ServeMetrics::Get();
+  if (!options_.degraded_fallbacks) {
+    switch (shed_status) {
+      case Status::kShedQueueFull:
+        sm.shed_queue_full.Increment();
+        stats_.shed_queue_full.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::kShedDeadline:
+        stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
+        sm.shed_deadline.Increment();
+        break;
+      case Status::kShedDecodeFailure:
+        // Counted via decode_failures when the attempt failed.
+        break;
+      case Status::kShutdown:
+        stats_.shed_shutdown.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case Status::kOk:
+        break;
+    }
+    obs::FlightRecorder::Global().Record(
+        obs::FrKind::kShed, reason,
+        static_cast<int64_t>(pending->timeline.request_id()),
+        static_cast<int64_t>(queue_.size()));
+    pending->timeline.Mark("shed");
+    Resolve(pending, MakeShed(shed_status));
+    return;
+  }
+  pending->timeline.Mark("degrade");
+  RecommendResponse resp;
+  resp.status = Status::kOk;
+  double age_ms = 0.0;
+  if (cache_.GetWithStaleness(pending->key, &resp.items, &age_ms)) {
+    // The entry may be fresh (e.g. an identical request completed since
+    // the healthy lookup): still a level-2 serve — this request's own
+    // decode never ran, and the tier label must say so.
+    resp.degrade = DegradeLevel::kStaleCache;
+    ResolveDegraded(pending, std::move(resp), "stale_cache");
+    return;
+  }
+  resp.items = PopularityFallback(pending->top_n);
+  resp.degrade = DegradeLevel::kPopularity;
+  ResolveDegraded(pending, std::move(resp), "popularity");
+}
+
 void Server::DecodeInline(const PendingPtr& pending) {
+  ServeMetrics& sm = ServeMetrics::Get();
+  if (!breaker_.Allow()) {
+    sm.breaker_short_circuits.Increment();
+    stats_.breaker_short_circuits.fetch_add(1, std::memory_order_relaxed);
+    DegradeOrShed(pending, Status::kShedDecodeFailure, "breaker_open");
+    return;
+  }
+  if (!PassChaosDecode()) {
+    breaker_.RecordFailure();
+    DegradeOrShed(pending, Status::kShedDecodeFailure, "decode_failed");
+    return;
+  }
+  if (pending->deadline_ms > 0.0 && options_.degraded_fallbacks) {
+    // Deadline-bearing inline decode: run a private one-lane engine so
+    // the deadline budget is enforced tick by tick (partial decode
+    // instead of a late full one).
+    double deadline_us = pending->submit_us + pending->deadline_ms * 1000.0;
+    double remaining_us = deadline_us - obs::NowMicros();
+    llm::LaneOptions lane;
+    lane.deadline_us = deadline_us;
+    if (remaining_us <
+        options_.budget_cap_fraction * pending->deadline_ms * 1000.0) {
+      lane.beam_cap = options_.degraded_beam;
+      pending->beam_capped = true;
+    }
+    llm::BatchEngine local(model_, trie_, token_map_, options_.beam_size);
+    local.Admit(1, pending->prompt, pending->top_n, lane);
+    llm::BatchResult result;
+    while (!local.Idle()) {
+      for (llm::BatchResult& r : local.Tick()) result = std::move(r);
+    }
+    stats_.decoded.fetch_add(1, std::memory_order_relaxed);
+    if (result.partial) {
+      breaker_.RecordFailure();
+      if (result.items.empty()) {
+        DegradeOrShed(pending, Status::kShedDeadline, "deadline_decode");
+        return;
+      }
+      pending->timeline.Mark("respond");
+      RecommendResponse resp;
+      resp.status = Status::kOk;
+      resp.inline_path = true;
+      resp.degrade = DegradeLevel::kBudgetCapped;
+      resp.items = std::move(result.items);
+      ResolveDegraded(pending, std::move(resp), "partial_decode");
+      return;
+    }
+    breaker_.RecordSuccess();
+    pending->timeline.Mark("respond");
+    // Only a full-beam, complete decode may populate the cache: the key
+    // hashes the full beam width, and degraded rankings must never
+    // impersonate full ones.
+    if (result.beam_used == options_.beam_size) {
+      cache_.Put(pending->key, result.items);
+    }
+    RecommendResponse resp;
+    resp.status = Status::kOk;
+    resp.inline_path = true;
+    if (pending->beam_capped) {
+      resp.degrade = DegradeLevel::kBudgetCapped;
+      resp.items = std::move(result.items);
+      ResolveDegraded(pending, std::move(resp), "budget_capped");
+      return;
+    }
+    resp.items = std::move(result.items);
+    Resolve(pending, std::move(resp));
+    return;
+  }
   std::vector<llm::ScoredItem> items =
       llm::GenerateItems(model_, pending->prompt, trie_, token_map_,
                          options_.beam_size, pending->top_n);
+  breaker_.RecordSuccess();
   stats_.decoded.fetch_add(1, std::memory_order_relaxed);
   pending->timeline.Mark("respond");
   cache_.Put(pending->key, items);
@@ -297,23 +547,42 @@ void Server::DecodeInline(const PendingPtr& pending) {
 void Server::AdmitOrShed(PendingPtr pending,
                          std::unordered_map<uint64_t, PendingPtr>* by_tag) {
   pending->timeline.Mark("admit");  // closes queue_wait at pop time
+  double now_us = obs::NowMicros();
   if (pending->deadline_ms > 0.0) {
-    double waited_ms = (obs::NowMicros() - pending->submit_us) / 1000.0;
+    double waited_ms = (now_us - pending->submit_us) / 1000.0;
     if (waited_ms > pending->deadline_ms) {
-      ServeMetrics::Get().shed_deadline.Increment();
-      stats_.shed_deadline.fetch_add(1, std::memory_order_relaxed);
-      obs::FlightRecorder::Global().Record(
-          obs::FrKind::kShed, "shed_deadline",
-          static_cast<int64_t>(pending->timeline.request_id()),
-          static_cast<int64_t>(waited_ms * 1000.0));
-      pending->timeline.Mark("shed");
-      Resolve(pending, MakeShed(Status::kShedDeadline));
+      DegradeOrShed(pending, Status::kShedDeadline, "shed_deadline");
       return;
+    }
+  }
+  if (!breaker_.Allow()) {
+    ServeMetrics::Get().breaker_short_circuits.Increment();
+    stats_.breaker_short_circuits.fetch_add(1, std::memory_order_relaxed);
+    DegradeOrShed(pending, Status::kShedDecodeFailure, "breaker_open");
+    return;
+  }
+  if (!PassChaosDecode()) {
+    breaker_.RecordFailure();
+    DegradeOrShed(pending, Status::kShedDecodeFailure, "decode_failed");
+    return;
+  }
+  llm::LaneOptions lane;
+  if (pending->deadline_ms > 0.0 && options_.degraded_fallbacks) {
+    // Thread the deadline budget into the engine: the lane retires (with
+    // partial results) at the first tick past its deadline, and a lane
+    // admitted with most of its budget already burned decodes at the
+    // reduced beam — fewer forwards per tick buys more depth per ms.
+    lane.deadline_us = pending->submit_us + pending->deadline_ms * 1000.0;
+    double remaining_us = lane.deadline_us - now_us;
+    if (remaining_us <
+        options_.budget_cap_fraction * pending->deadline_ms * 1000.0) {
+      lane.beam_cap = options_.degraded_beam;
+      pending->beam_capped = true;
     }
   }
   uint64_t tag = next_tag_.fetch_add(1, std::memory_order_relaxed);
   pending->timeline.Mark("decode");
-  engine_.Admit(tag, std::move(pending->prompt), pending->top_n);
+  engine_.Admit(tag, std::move(pending->prompt), pending->top_n, lane);
   (*by_tag)[tag] = std::move(pending);
 }
 
@@ -325,9 +594,15 @@ void Server::SchedulerLoop() {
   while (true) {
     if (engine_.Idle()) {
       active_lanes_.store(0, std::memory_order_relaxed);
+      tick_start_us_.store(0.0, std::memory_order_relaxed);  // parked
       PendingPtr first;
       if (!queue_.Pop(&first)) break;  // closed and drained
+      tick_start_us_.store(obs::NowMicros(), std::memory_order_relaxed);
       AdmitOrShed(std::move(first), &by_tag);
+    } else {
+      // New work episode: the watchdog measures from here, so a stuck
+      // admission or tick below is a stall, an empty queue is not.
+      tick_start_us_.store(obs::NowMicros(), std::memory_order_relaxed);
     }
     // Continuous batching: top up free lanes from the queue every tick,
     // so retiring requests make room without draining the batch.
@@ -351,22 +626,78 @@ void Server::SchedulerLoop() {
       by_tag.erase(it);
       stats_.decoded.fetch_add(1, std::memory_order_relaxed);
       p->timeline.Mark("retire");
-      cache_.Put(p->key, r.items);
+      if (r.partial) {
+        // Deadline budget exhausted mid-decode: the engine is too slow
+        // for this request's budget — a breaker-visible outcome.
+        breaker_.RecordFailure();
+        if (r.items.empty() || !options_.degraded_fallbacks) {
+          DegradeOrShed(p, Status::kShedDeadline, "deadline_decode");
+          continue;
+        }
+        RecommendResponse resp;
+        resp.status = Status::kOk;
+        resp.degrade = DegradeLevel::kBudgetCapped;
+        resp.items = std::move(r.items);
+        resp.debug.decode_ticks = r.ticks;
+        resp.debug.decode_share_us = r.decode_us;
+        p->timeline.Mark("respond");
+        ResolveDegraded(p, std::move(resp), "partial_decode");
+        continue;
+      }
+      breaker_.RecordSuccess();
+      // Degraded (reduced-beam) rankings never enter the cache: the key
+      // hashes the full beam width.
+      if (r.beam_used == options_.beam_size) cache_.Put(p->key, r.items);
       RecommendResponse resp;
       resp.status = Status::kOk;
       resp.items = std::move(r.items);
       resp.debug.decode_ticks = r.ticks;
       resp.debug.decode_share_us = r.decode_us;
       p->timeline.Mark("respond");  // resolve-to-wakeup latency
-      Resolve(p, std::move(resp));
+      if (p->beam_capped) {
+        resp.degrade = DegradeLevel::kBudgetCapped;
+        ResolveDegraded(p, std::move(resp), "budget_capped");
+      } else {
+        Resolve(p, std::move(resp));
+      }
     }
   }
+  tick_start_us_.store(0.0, std::memory_order_relaxed);
   // Defensive: the loop only exits with an idle engine, so by_tag should
   // be empty; release any stragglers rather than strand their waiters.
   for (auto& [tag, p] : by_tag) {
+    stats_.shed_shutdown.fetch_add(1, std::memory_order_relaxed);
     Resolve(p, MakeShed(Status::kShutdown));
   }
   by_tag.clear();
+}
+
+void Server::WatchdogLoop() {
+  // Fires once per stall episode: remembers the episode start it fired
+  // for, and re-arms when the scheduler moves on to a new episode.
+  double fired_for_us = 0.0;
+  obs::UniqueLock lock(watchdog_mu_);
+  while (true) {
+    bool stop = watchdog_cv_.WaitFor(
+        lock, std::chrono::milliseconds(20), [this] { return watchdog_stop_; });
+    if (stop) return;
+    double start = tick_start_us_.load(std::memory_order_relaxed);
+    if (start == 0.0 || start == fired_for_us) continue;
+    double stalled_us = obs::NowMicros() - start;
+    if (stalled_us < options_.watchdog_stall_ms * 1000.0) continue;
+    fired_for_us = start;
+    stats_.watchdog_fires.fetch_add(1, std::memory_order_relaxed);
+    ServeMetrics::Get().watchdog_fires.Increment();
+    obs::FlightRecorder::Global().Record(
+        obs::FrKind::kWatchdog, "scheduler_stall",
+        static_cast<int64_t>(stalled_us),
+        static_cast<int64_t>(options_.watchdog_stall_ms * 1000.0));
+    obs::Log(obs::LogLevel::kWarn,
+             "[serve] watchdog: scheduler stalled for %.1f ms "
+             "(threshold %.1f ms), dumping flight recorder",
+             stalled_us / 1000.0, options_.watchdog_stall_ms);
+    obs::FlightRecorder::Global().DumpToStderr("serve watchdog");
+  }
 }
 
 std::string Server::Statusz() const {
@@ -404,10 +735,30 @@ std::string Server::Statusz() const {
                 static_cast<long long>(s.batch_ticks));
   out += line;
   std::snprintf(line, sizeof(line),
-                "shed: queue_full %lld | deadline %lld\n",
+                "shed: queue_full %lld | deadline %lld | shutdown %lld\n",
                 static_cast<long long>(s.shed_queue_full),
-                static_cast<long long>(s.shed_deadline));
+                static_cast<long long>(s.shed_deadline),
+                static_cast<long long>(s.shed_shutdown));
   out += line;
+  std::snprintf(line, sizeof(line),
+                "degrade: budget_capped %lld | stale_cache %lld | "
+                "popularity %lld\n",
+                static_cast<long long>(s.degraded_budget_capped),
+                static_cast<long long>(s.degraded_stale_cache),
+                static_cast<long long>(s.degraded_popularity));
+  out += line;
+  out += breaker_.StatusText();
+  out += "\n";
+  std::snprintf(line, sizeof(line),
+                "decode faults: failures %lld | retries %lld | "
+                "watchdog_fires %lld | cache_stale_serves %lld\n",
+                static_cast<long long>(s.decode_failures),
+                static_cast<long long>(s.decode_retries),
+                static_cast<long long>(s.watchdog_fires),
+                static_cast<long long>(cache_.stale_serves()));
+  out += line;
+  out += chaos::ChaosStatusText();
+  out += "\n";
   return out;
 }
 
@@ -422,6 +773,18 @@ ServerStats Server::stats() const {
   s.shed_queue_full = stats_.shed_queue_full.load(std::memory_order_relaxed);
   s.shed_deadline = stats_.shed_deadline.load(std::memory_order_relaxed);
   s.batch_ticks = stats_.batch_ticks.load(std::memory_order_relaxed);
+  s.degraded_budget_capped =
+      stats_.degraded_budget_capped.load(std::memory_order_relaxed);
+  s.degraded_stale_cache =
+      stats_.degraded_stale_cache.load(std::memory_order_relaxed);
+  s.degraded_popularity =
+      stats_.degraded_popularity.load(std::memory_order_relaxed);
+  s.shed_shutdown = stats_.shed_shutdown.load(std::memory_order_relaxed);
+  s.decode_failures = stats_.decode_failures.load(std::memory_order_relaxed);
+  s.decode_retries = stats_.decode_retries.load(std::memory_order_relaxed);
+  s.breaker_short_circuits =
+      stats_.breaker_short_circuits.load(std::memory_order_relaxed);
+  s.watchdog_fires = stats_.watchdog_fires.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -214,12 +214,30 @@ TEST(FaultSpec, ParsesTheGrammar) {
   EXPECT_EQ(spec.op, FaultSpec::Op::kFsync);
   EXPECT_EQ(spec.mode, FaultSpec::Mode::kFail);
 
+  // Probabilistic mode: `<op>:p:<rate>[:<mode>]`, rate grammar shared
+  // with LCREC_CHAOS via obs::ParseInjectRate.
+  ASSERT_TRUE(ParseFaultSpec("write:p:0.05:enospc", &spec));
+  EXPECT_EQ(spec.op, FaultSpec::Op::kWrite);
+  EXPECT_EQ(spec.nth, 0);
+  EXPECT_DOUBLE_EQ(spec.rate, 0.05);
+  EXPECT_EQ(spec.mode, FaultSpec::Mode::kEnospc);
+  ASSERT_TRUE(ParseFaultSpec("fsync:p:1", &spec));
+  EXPECT_EQ(spec.op, FaultSpec::Op::kFsync);
+  EXPECT_EQ(spec.nth, 0);
+  EXPECT_DOUBLE_EQ(spec.rate, 1.0);
+  EXPECT_EQ(spec.mode, FaultSpec::Mode::kFail);
+
   EXPECT_FALSE(ParseFaultSpec("", &spec));
   EXPECT_FALSE(ParseFaultSpec("write", &spec));
   EXPECT_FALSE(ParseFaultSpec("chmod:1", &spec));
   EXPECT_FALSE(ParseFaultSpec("write:0", &spec));
   EXPECT_FALSE(ParseFaultSpec("write:x", &spec));
   EXPECT_FALSE(ParseFaultSpec("write:1:explode", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:p", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:p:0", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:p:1.5", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:p:x", &spec));
+  EXPECT_FALSE(ParseFaultSpec("write:p:0.5:explode", &spec));
 }
 
 /// Arms one fault, attempts a save on top of an existing good checkpoint,
@@ -270,6 +288,28 @@ TEST(FaultInjection, FailedFsyncLeavesPreviousLatest) {
 
 TEST(FaultInjection, FailedRenameLeavesPreviousLatest) {
   ExpectFailedSaveLeavesDirClean("rename:1:fail", "rename_fail");
+}
+
+TEST(FaultInjection, ProbabilisticRateOneFailsTheSave) {
+  // p-mode at rate 1 is deterministic (every write fires), so the full
+  // dir-clean contract is checkable just like the nth-mode faults.
+  ExpectFailedSaveLeavesDirClean("write:p:1", "write_p_always");
+}
+
+TEST(FaultInjection, ProbabilisticNegligibleRateLeavesSavesAlone) {
+  // The other edge: a rate so small it will not fire in a handful of
+  // draws must leave the protocol untouched (armed != failing).
+  std::string dir = ScratchDir("write_p_never");
+  FaultSpec spec;
+  ASSERT_TRUE(ParseFaultSpec("write:p:0.000000001", &spec));
+  ArmFaults(spec);
+  std::string error;
+  bool ok = SaveToDir(dir, MakeCheckpoint(1), 3, &error);
+  DisarmFaults();
+  ASSERT_TRUE(ok) << error;
+  Checkpoint out;
+  ASSERT_TRUE(LoadLatestValid(dir, &out));
+  EXPECT_EQ(out.step, 1);
 }
 
 TEST(FaultCrashDeathTest, CrashDuringWriteNeverPublishesTornFile) {

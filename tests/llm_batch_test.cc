@@ -3,7 +3,9 @@
 // reproduce GenerateItems exactly — the serving layer treats batched ==
 // sequential as a hard contract.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -12,6 +14,7 @@
 #include "llm/batch.h"
 #include "llm/generate.h"
 #include "llm/minillm.h"
+#include "obs/trace.h"
 #include "quant/indexing.h"
 #include "text/vocab.h"
 
@@ -200,6 +203,61 @@ TEST_F(BatchGenTest, TieBreaksRankTiedItemsByAscendingId) {
                                     *trie_, *token_map_, 12, 12);
   ASSERT_EQ(batched.size(), 1u);
   ExpectSameRanking(batched[0], first);
+}
+
+TEST_F(BatchGenTest, ExpiredDeadlineRetiresLanePartialBeforeForward) {
+  // A lane whose deadline has already passed must be retired as partial
+  // on the next Tick() without paying any forward work — the engine's
+  // side of the server's deadline-budget contract.
+  BatchEngine engine(*model_, *trie_, *token_map_, /*beam=*/8);
+  LaneOptions lane;
+  // NowMicros is process-relative, so "1ms ago" could be negative (= no
+  // deadline) in a fresh process: take "now" and let it pass instead.
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  lane.deadline_us = obs::NowMicros();
+  engine.Admit(0, {text::Vocabulary::kBos}, 6, lane);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  std::vector<BatchResult> results = engine.Tick();
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].partial);
+  EXPECT_TRUE(results[0].items.empty()) << "no beam ever finished";
+  EXPECT_EQ(results[0].ticks, 0) << "retired before any forward";
+  EXPECT_TRUE(engine.Idle());
+}
+
+TEST_F(BatchGenTest, BeamCapMatchesSequentialAtTheCappedWidth) {
+  // A capped lane is the sequential decoder at the capped width — the
+  // bit-identical contract holds at EVERY beam, not just the engine's —
+  // and an uncapped lane in the same batch is unperturbed by it.
+  std::vector<std::vector<int>> prompts = Prompts();
+  BatchEngine engine(*model_, *trie_, *token_map_, /*beam=*/8);
+  LaneOptions capped;
+  capped.beam_cap = 2;
+  engine.Admit(0, prompts[0], 6, capped);
+  engine.Admit(1, prompts[1], 6);  // full engine beam alongside
+
+  std::vector<BatchResult> results;
+  for (int t = 0; t < 1000 && !engine.Idle(); ++t) {
+    for (BatchResult& r : engine.Tick()) results.push_back(std::move(r));
+  }
+  EXPECT_TRUE(engine.Idle());
+  ASSERT_EQ(results.size(), 2u);
+  std::sort(results.begin(), results.end(),
+            [](const BatchResult& a, const BatchResult& b) {
+              return a.tag < b.tag;
+            });
+
+  EXPECT_FALSE(results[0].partial);
+  EXPECT_EQ(results[0].beam_used, 2);
+  ExpectSameRanking(results[0].items,
+                    GenerateItems(*model_, prompts[0], *trie_, *token_map_,
+                                  /*beam=*/2, /*top_n=*/6));
+  EXPECT_FALSE(results[1].partial);
+  EXPECT_EQ(results[1].beam_used, 8);
+  ExpectSameRanking(results[1].items,
+                    GenerateItems(*model_, prompts[1], *trie_, *token_map_,
+                                  /*beam=*/8, /*top_n=*/6));
 }
 
 }  // namespace

@@ -239,6 +239,7 @@ TEST_F(ServeObsTest, QueuedDecodeCarriesBatchAttribution) {
 
 TEST_F(ServeObsTest, ShedRequestTimelineEndsInShed) {
   ServerOptions opts;
+  opts.degraded_fallbacks = false;  // this test asserts the shed contract
   opts.beam_size = 4;
   opts.inline_fast_path = false;
   opts.start_scheduler = false;
@@ -266,6 +267,7 @@ TEST_F(ServeObsTest, ShedRequestTimelineEndsInShed) {
 
 TEST_F(ServeObsTest, DumpFlightRecorderContainsRecentSheds) {
   ServerOptions opts;
+  opts.degraded_fallbacks = false;  // this test asserts the shed contract
   opts.beam_size = 4;
   opts.inline_fast_path = false;
   opts.start_scheduler = false;
@@ -329,6 +331,7 @@ TEST_F(ServeObsTest, SloMonitorTracksCompletions) {
 
 TEST_F(ServeObsTest, ShedsCountAgainstTheSlo) {
   ServerOptions opts;
+  opts.degraded_fallbacks = false;  // this test asserts the shed contract
   opts.beam_size = 4;
   opts.inline_fast_path = false;
   opts.start_scheduler = false;
@@ -481,6 +484,7 @@ TEST_F(ServeObsTest, CrashDumpNamesTheRecentSheds) {
   ::testing::FLAGS_gtest_death_test_style = "threadsafe";
   auto force_sheds_then_crash = [this] {
     ServerOptions opts;
+    opts.degraded_fallbacks = false;  // shed contract
     opts.beam_size = 4;
     opts.inline_fast_path = false;
     opts.start_scheduler = false;

@@ -204,6 +204,7 @@ TEST_F(ServeTest, IdenticalInFlightRequestsAreCoalescedSingleFlight) {
 
 TEST_F(ServeTest, FullQueueShedsWithReasonInsteadOfBlocking) {
   ServerOptions opts;
+  opts.degraded_fallbacks = false;  // this test asserts the shed contract
   opts.beam_size = 6;
   opts.start_scheduler = false;
   opts.inline_fast_path = false;
@@ -242,6 +243,7 @@ TEST_F(ServeTest, FullQueueShedsWithReasonInsteadOfBlocking) {
 
 TEST_F(ServeTest, ExpiredDeadlineIsShedAtAdmission) {
   ServerOptions opts;
+  opts.degraded_fallbacks = false;  // this test asserts the shed contract
   opts.beam_size = 6;
   opts.start_scheduler = false;
   opts.inline_fast_path = false;

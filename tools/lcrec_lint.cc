@@ -44,6 +44,12 @@
 //                                   exported namespace stays uniform
 //                                   (tests/bench may use scratch names;
 //                                   non-literal names are not checked).
+//   chaos-site             (src/)   getenv of an LCREC_CHAOS* variable
+//                                   outside src/serve/chaos.*: the env
+//                                   contract (grammar, seeding, lazy
+//                                   parse) has exactly one owner, the
+//                                   chaos injector; everything else
+//                                   consults serve::chaos hooks.
 //   raw-sync               (src/ minus src/obs/sync.*)  std::mutex,
 //                                   lock_guard, unique_lock,
 //                                   condition_variable and friends:
@@ -449,6 +455,28 @@ void LintFile(const std::string& rel_path, const std::string& text,
               "metric name \"" + name +
                   "\" must match lcrec\\.[a-z0-9_.]+ (the exported "
                   "namespace is uniform by construction)");
+        }
+      }
+    }
+    if (in_src && !StartsWith(rel_path, "src/serve/chaos.") &&
+        ContainsCall(line, "getenv")) {
+      // Same two-step as metric-name: the stripped line proves a real
+      // getenv call; the variable name is read from the raw line.
+      const std::string& raw = raw_lines[i];
+      size_t cpos = raw.find("getenv");
+      size_t q0 = cpos == std::string::npos ? std::string::npos
+                                            : raw.find('"', cpos);
+      size_t q1 = q0 == std::string::npos ? std::string::npos
+                                          : raw.find('"', q0 + 1);
+      if (q1 != std::string::npos) {
+        std::string var = raw.substr(q0 + 1, q1 - q0 - 1);
+        if (StartsWith(var, "LCREC_CHAOS")) {
+          add(line_no, "chaos-site",
+              "getenv(\"" + var +
+                  "\") outside src/serve/chaos.* — the chaos env contract "
+                  "has one owner; use the serve::chaos hooks "
+                  "(ArmChaosFromEnv / OnDecode / OnQueueAdmit) instead of "
+                  "re-reading the env");
         }
       }
     }

@@ -1,0 +1,26 @@
+// Fixture: the LCREC_CHAOS env contract (grammar, seed, lazy parse) is
+// owned by src/serve/chaos.*; any other src/ file reading the variable
+// directly forks the contract. Other env variables, comment mentions,
+// and suppressed lines must stay quiet. Never compiled, only scanned.
+
+namespace lcrec::fixture {
+
+const char* ReadChaosEnv() {
+  return std::getenv("LCREC_CHAOS");  // expect-lint: chaos-site
+}
+
+const char* ReadChaosSeed() {
+  return std::getenv("LCREC_CHAOS_SEED");  // expect-lint: chaos-site
+}
+
+const char* SuppressedRead() {
+  return std::getenv("LCREC_CHAOS");  // lint:allow(chaos-site)
+}
+
+const char* OtherEnv() {
+  return std::getenv("LCREC_DEBUG_PORT");  // unrelated env: quiet
+}
+
+// A comment mentioning std::getenv("LCREC_CHAOS") is not a call: quiet.
+
+}  // namespace lcrec::fixture

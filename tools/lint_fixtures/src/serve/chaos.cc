@@ -1,0 +1,15 @@
+// Fixture: the chaos injector itself owns the LCREC_CHAOS contract, so
+// the src/serve/chaos.* prefix is exempt from the chaos-site rule.
+// Never compiled, only scanned.
+
+namespace lcrec::fixture {
+
+const char* InjectorOwnsTheEnv() {
+  return std::getenv("LCREC_CHAOS");  // exempt prefix: quiet
+}
+
+const char* InjectorOwnsTheSeedToo() {
+  return std::getenv("LCREC_CHAOS_SEED");  // exempt prefix: quiet
+}
+
+}  // namespace lcrec::fixture

@@ -1,0 +1,11 @@
+// Fixture: this file is NOT exempt (only src/serve/chaos.* is), so the
+// rule must still fire inside src/serve/ when the file is not the
+// injector itself. Never compiled, only scanned.
+
+namespace lcrec::fixture {
+
+const char* ServeButNotChaosModule() {
+  return std::getenv("LCREC_CHAOS");  // expect-lint: chaos-site
+}
+
+}  // namespace lcrec::fixture
