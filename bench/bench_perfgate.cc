@@ -27,6 +27,8 @@
 #include "core/rng.h"
 #include "core/tensor.h"
 #include "llm/minillm.h"
+#include "net/rpc.h"
+#include "net/service.h"
 #include "obs/export.h"
 #include "obs/perfgate.h"
 #include "obs/sync.h"
@@ -314,6 +316,41 @@ obs::PerfRecord RunSuite(int reps) {
                      : request_ms[static_cast<size_t>(
                            0.95 * static_cast<double>(request_ms.size() - 1))];
     rec.metrics["serve/p95_ms"] = {p95, kLatencyTolerance};
+  }
+
+  {
+    // Loopback RPC round-trips (ISSUE 10): 32 Ping echoes through
+    // net::RpcServer's poll loop + dispatcher pool and back, on one warm
+    // channel. Holds the per-call wire overhead — frame encode/decode,
+    // CRC, poll wakeups, syscalls — to a baseline alongside the
+    // in-process serve numbers above (bench_serve --net measures the
+    // full sharded path; this is the irreducible per-frame cost).
+    net::RpcServer rpc;
+    rpc.Handle(net::kMethodPing,
+               [](const std::string& request, std::string* response,
+                  std::string* /*error*/) {
+                 *response = request;
+                 return true;
+               });
+    if (!rpc.Start()) std::abort();
+    net::RpcClientOptions copts;
+    copts.port = rpc.port();
+    net::RpcClient client(copts);
+    std::string err;
+    if (!net::CallPing(&client, &err)) std::abort();  // warm the channel
+    KernelTiming t = TimeKernel(
+        [&] {
+          for (int i = 0; i < 32; ++i) {
+            std::string error;
+            if (!net::CallPing(&client, &error)) std::abort();
+          }
+        },
+        reps);
+    AddLatency(&rec, "net_rpc32", t);
+    double p50_s = t.Quantile(0.50) / 1e3;
+    rec.metrics["net_rpc32/roundtrips_per_sec"] = {
+        p50_s > 0.0 ? 32.0 / p50_s : 0.0, kThroughputTolerance};
+    rpc.Stop();
   }
 
   return rec;

@@ -81,10 +81,10 @@ if [[ "${mode}" == "tsan" ]]; then
   cmake --build "${build_dir}" -j "${jobs}" \
     --target obs_test obs_sync_test obs_http_test obs_prof_test \
     obs_flightrec_test obs_slo_test llm_test llm_batch_test serve_test \
-    serve_resilience_test
+    serve_resilience_test net_rpc_test net_router_test
   for t in obs_test obs_sync_test obs_http_test obs_prof_test \
            obs_flightrec_test obs_slo_test llm_test llm_batch_test \
-           serve_test serve_resilience_test; do
+           serve_test serve_resilience_test net_rpc_test net_router_test; do
     echo "check_sanitize(tsan): running ${t}"
     tsan_opts="halt_on_error=1"
     if [[ "${t}" == "obs_sync_test" ]]; then

@@ -6,7 +6,8 @@
 #   scripts/ci.sh            # tier-1 tests, fault suite, serve smoke,
 #                            # flightrec crash-dump smoke, debugz probe,
 #                            # deadlock-detector probe, chaos-injection
-#                            # probe, lint, strict build, ASan+UBSan
+#                            # probe, sharded-cluster drain handoff,
+#                            # lint, strict build, ASan+UBSan
 #   scripts/ci.sh debugz     # just the named gate(s) — build runs first
 #                            # automatically unless it was named
 #   LCREC_CI_PERF=1 scripts/ci.sh   # additionally run the perf gate
@@ -153,6 +154,113 @@ gate_chaos() {
   LCREC_CHAOS= "${build_dir}/tools/chaos_probe" --healthy
 }
 
+gate_net() {
+  # Sharded-cluster gate (ISSUE 10): a router process fronting two real
+  # worker processes takes an open-loop socket load burst while one
+  # worker is SIGTERMed mid-load. The drain handoff contract: the killed
+  # worker finishes its in-flight requests and exits 0 ("drained
+  # clean"), the load generator sees zero failed requests
+  # (bench_serve --net-target exits non-zero otherwise), and the
+  # router's debugz /statusz names both shards with the right health —
+  # the killed shard down, the survivor up.
+  local dir="${build_dir}/net_gate"
+  rm -rf "${dir}" && mkdir -p "${dir}"
+  local worker_a worker_b router_pid bench_pid
+  "${build_dir}/tools/lcrec_worker" --port-file="${dir}/wa.port" \
+    >"${dir}/worker_a.log" 2>&1 &
+  worker_a=$!
+  "${build_dir}/tools/lcrec_worker" --port-file="${dir}/wb.port" \
+    >"${dir}/worker_b.log" 2>&1 &
+  worker_b=$!
+  local i
+  for i in $(seq 1 100); do
+    [[ -s "${dir}/wa.port" && -s "${dir}/wb.port" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "${dir}/wa.port" || ! -s "${dir}/wb.port" ]]; then
+    echo "net: workers did not write port files"
+    kill "${worker_a}" "${worker_b}" 2>/dev/null
+    return 1
+  fi
+  local pa pb
+  pa="$(cat "${dir}/wa.port")"
+  pb="$(cat "${dir}/wb.port")"
+  "${build_dir}/tools/lcrec_router" \
+    --workers="127.0.0.1:${pa},127.0.0.1:${pb}" \
+    --port-file="${dir}/router.port" \
+    --debug-port=0 --debug-port-file="${dir}/debug.port" \
+    >"${dir}/router.log" 2>&1 &
+  router_pid=$!
+  for i in $(seq 1 100); do
+    [[ -s "${dir}/router.port" && -s "${dir}/debug.port" ]] && break
+    sleep 0.1
+  done
+  if [[ ! -s "${dir}/router.port" || ! -s "${dir}/debug.port" ]]; then
+    echo "net: router did not write its port files"
+    kill "${router_pid}" "${worker_a}" "${worker_b}" 2>/dev/null
+    return 1
+  fi
+  local rport dport
+  rport="$(cat "${dir}/router.port")"
+  dport="$(cat "${dir}/debug.port")"
+
+  "${build_dir}/bench/bench_serve" --net-target="127.0.0.1:${rport}" \
+    --requests=240 --qps=400 --concurrency=8 \
+    >"${dir}/bench.log" 2>&1 &
+  bench_pid=$!
+  sleep 0.3
+  kill -TERM "${worker_a}"
+  local worker_rc=0 bench_rc=0
+  wait "${worker_a}" || worker_rc=$?
+  wait "${bench_pid}" || bench_rc=$?
+  local fail=0
+  if [[ ${worker_rc} -ne 0 ]] ||
+     ! grep -q "drained clean" "${dir}/worker_a.log"; then
+    echo "net: killed worker did not drain clean (rc ${worker_rc})"
+    cat "${dir}/worker_a.log"
+    fail=1
+  fi
+  if [[ ${bench_rc} -ne 0 ]]; then
+    echo "net: requests failed across the drain handoff (rc ${bench_rc})"
+    cat "${dir}/bench.log"
+    fail=1
+  fi
+
+  # Per-shard health over the router's debugz (bash /dev/tcp: no curl
+  # dependency; the server closes after the response, so cat sees EOF).
+  local statusz=""
+  if exec 3<>"/dev/tcp/127.0.0.1/${dport}" 2>/dev/null; then
+    printf 'GET /statusz HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' >&3
+    statusz="$(cat <&3)"
+    exec 3<&- 3>&-
+  fi
+  if ! grep -q "shard 0 127.0.0.1:${pa} down" <<<"${statusz}"; then
+    echo "net: /statusz does not show the killed shard down"
+    grep "shard" <<<"${statusz}" || printf '%s\n' "${statusz}" | head -20
+    fail=1
+  fi
+  if ! grep -q "shard 1 127.0.0.1:${pb} up" <<<"${statusz}"; then
+    echo "net: /statusz does not show the surviving shard up"
+    grep "shard" <<<"${statusz}" || printf '%s\n' "${statusz}" | head -20
+    fail=1
+  fi
+
+  kill -TERM "${router_pid}" "${worker_b}" 2>/dev/null
+  local router_rc=0 wb_rc=0
+  wait "${router_pid}" || router_rc=$?
+  wait "${worker_b}" || wb_rc=$?
+  if [[ ${router_rc} -ne 0 || ${wb_rc} -ne 0 ]]; then
+    echo "net: clean shutdown failed (router rc ${router_rc}, worker B" \
+         "rc ${wb_rc})"
+    fail=1
+  fi
+  if [[ ${fail} -eq 0 ]]; then
+    echo "net: drain handoff clean (worker drained, zero failed requests," \
+         "per-shard health correct)"
+  fi
+  return ${fail}
+}
+
 gate_flightrec() {
   # Flight-recorder smoke: a forced LCREC_CHECK failure in a child
   # process must leave a parseable black-box dump on stderr containing
@@ -199,7 +307,7 @@ gate_flightrec() {
 # build gate is prepended automatically — everything needs binaries).
 # Unknown names fail fast so a typo can't silently skip a gate.
 known_gates="build tier1_tests fault serve_smoke flightrec debugz \
-deadlock chaos lcrec_lint check_warnings asan_ubsan tsan perf_regress"
+deadlock chaos net lcrec_lint check_warnings asan_ubsan tsan perf_regress"
 selected=("$@")
 if [[ ${#selected[@]} -gt 0 ]]; then
   for g in "${selected[@]}"; do
@@ -227,6 +335,7 @@ wants flightrec      && { run_gate "flightrec"      gate_flightrec || overall=1;
 wants debugz         && { run_gate "debugz"         gate_debugz    || overall=1; }
 wants deadlock       && { run_gate "deadlock"       gate_deadlock  || overall=1; }
 wants chaos          && { run_gate "chaos"          gate_chaos     || overall=1; }
+wants net            && { run_gate "net"            gate_net       || overall=1; }
 wants lcrec_lint     && { run_gate "lcrec_lint"     gate_lint      || overall=1; }
 wants check_warnings && { run_gate "check_warnings" gate_warnings  || overall=1; }
 wants asan_ubsan     && { run_gate "asan_ubsan"     gate_asan      || overall=1; }

@@ -1,0 +1,153 @@
+#include "net/codec.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "llm/generate.h"
+#include "net/frame.h"
+
+namespace lcrec::net {
+namespace {
+
+// Streams are untrusted: a length prefix is only believed after it is
+// checked against the bytes actually present (WireReader) AND against a
+// sanity ceiling, so a flipped length bit cannot force a huge allocation.
+constexpr uint32_t kMaxHistoryLen = 1u << 16;
+constexpr uint32_t kMaxItems = 1u << 16;
+constexpr uint32_t kMaxLabelLen = 64;
+
+constexpr uint8_t kFlagCacheHit = 1u << 0;
+constexpr uint8_t kFlagCoalesced = 1u << 1;
+constexpr uint8_t kFlagInlinePath = 1u << 2;
+
+/// Re-interns a wire label into the closed set of static label strings
+/// the serving ladder emits (RecommendResponse::degrade_label points at
+/// static storage, so the decoded string must not own the bytes).
+const char* InternLabel(const std::string& label,
+                        serve::DegradeLevel degrade) {
+  static const char* kLabels[] = {"full", "budget_capped", "partial_decode",
+                                  "stale_cache", "popularity"};
+  for (const char* known : kLabels) {
+    if (label == known) return known;
+  }
+  return serve::DegradeLevelName(degrade);
+}
+
+bool Fail(std::string* error, const char* what) {
+  if (error) *error = what;
+  return false;
+}
+
+}  // namespace
+
+std::string EncodeRecommendRequest(const serve::RecommendRequest& req) {
+  std::string out;
+  out.reserve(12 + 4 * req.history.size() + 8);
+  PutU32(&out, static_cast<uint32_t>(req.history.size()));
+  for (int id : req.history) PutI32(&out, id);
+  PutI32(&out, req.top_n);
+  PutF64(&out, req.deadline_ms);
+  return out;
+}
+
+bool DecodeRecommendRequest(const std::string& payload,
+                            serve::RecommendRequest* out, std::string* error) {
+  WireReader r(payload);
+  uint32_t n = 0;
+  if (!r.ReadU32(&n)) return Fail(error, "request: truncated history length");
+  if (n > kMaxHistoryLen) return Fail(error, "request: history too long");
+  if (r.remaining() < 4u * n + 4 + 8) {
+    return Fail(error, "request: truncated body");
+  }
+  std::vector<int> history(n);
+  for (uint32_t i = 0; i < n; ++i) {
+    int32_t id = 0;
+    if (!r.ReadI32(&id)) return Fail(error, "request: truncated history");
+    history[i] = id;
+  }
+  int32_t top_n = 0;
+  double deadline_ms = 0.0;
+  if (!r.ReadI32(&top_n)) return Fail(error, "request: truncated top_n");
+  if (!r.ReadF64(&deadline_ms)) {
+    return Fail(error, "request: truncated deadline");
+  }
+  if (!r.done()) return Fail(error, "request: trailing bytes");
+  if (top_n <= 0 || top_n > static_cast<int32_t>(kMaxItems)) {
+    return Fail(error, "request: top_n out of range");
+  }
+  out->history = std::move(history);
+  out->top_n = top_n;
+  out->deadline_ms = deadline_ms;
+  return true;
+}
+
+std::string EncodeRecommendResponse(const serve::RecommendResponse& resp) {
+  std::string out;
+  out.reserve(32 + 8 * resp.items.size());
+  PutU8(&out, static_cast<uint8_t>(resp.status));
+  PutU8(&out, static_cast<uint8_t>(resp.degrade));
+  uint8_t flags = 0;
+  if (resp.cache_hit) flags |= kFlagCacheHit;
+  if (resp.coalesced) flags |= kFlagCoalesced;
+  if (resp.inline_path) flags |= kFlagInlinePath;
+  PutU8(&out, flags);
+  const std::string label = resp.degrade_label ? resp.degrade_label : "full";
+  PutU8(&out, static_cast<uint8_t>(label.size()));
+  out.append(label);
+  PutF64(&out, resp.latency_ms);
+  PutU32(&out, static_cast<uint32_t>(resp.items.size()));
+  for (const llm::ScoredItem& it : resp.items) {
+    PutI32(&out, it.item);
+    PutF32(&out, it.logprob);
+  }
+  return out;
+}
+
+bool DecodeRecommendResponse(const std::string& payload,
+                             serve::RecommendResponse* out,
+                             std::string* error) {
+  WireReader r(payload);
+  uint8_t status = 0, degrade = 0, flags = 0, label_len = 0;
+  if (!r.ReadU8(&status) || !r.ReadU8(&degrade) || !r.ReadU8(&flags) ||
+      !r.ReadU8(&label_len)) {
+    return Fail(error, "response: truncated header");
+  }
+  if (status > static_cast<uint8_t>(serve::Status::kShedDecodeFailure)) {
+    return Fail(error, "response: unknown status");
+  }
+  if (degrade > static_cast<uint8_t>(serve::DegradeLevel::kPopularity)) {
+    return Fail(error, "response: unknown degrade level");
+  }
+  if (label_len > kMaxLabelLen) return Fail(error, "response: label too long");
+  std::string label;
+  if (!r.ReadBytes(label_len, &label)) {
+    return Fail(error, "response: truncated label");
+  }
+  double latency_ms = 0.0;
+  if (!r.ReadF64(&latency_ms)) return Fail(error, "response: truncated latency");
+  uint32_t n_items = 0;
+  if (!r.ReadU32(&n_items)) return Fail(error, "response: truncated item count");
+  if (n_items > kMaxItems) return Fail(error, "response: too many items");
+  if (r.remaining() != 8u * n_items) {
+    return Fail(error, "response: item bytes mismatch");
+  }
+  std::vector<llm::ScoredItem> items(n_items);
+  for (uint32_t i = 0; i < n_items; ++i) {
+    if (!r.ReadI32(&items[i].item) || !r.ReadF32(&items[i].logprob)) {
+      return Fail(error, "response: truncated items");
+    }
+  }
+
+  out->status = static_cast<serve::Status>(status);
+  out->degrade = static_cast<serve::DegradeLevel>(degrade);
+  out->cache_hit = (flags & kFlagCacheHit) != 0;
+  out->coalesced = (flags & kFlagCoalesced) != 0;
+  out->inline_path = (flags & kFlagInlinePath) != 0;
+  out->degrade_label = InternLabel(label, out->degrade);
+  out->latency_ms = latency_ms;
+  out->items = std::move(items);
+  return true;
+}
+
+}  // namespace lcrec::net

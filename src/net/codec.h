@@ -1,0 +1,37 @@
+#ifndef LCREC_NET_CODEC_H_
+#define LCREC_NET_CODEC_H_
+
+#include <string>
+
+#include "serve/request.h"
+
+namespace lcrec::net {
+
+/// Wire codecs for the serve::Recommend contract. The full in-process
+/// surface crosses the socket: shed reasons (Status), degrade tier +
+/// label, deadline budgets, cache/coalesce/inline flags and per-request
+/// latency, so a remote caller sees exactly what an in-process caller
+/// sees and the router can hand back worker responses byte-for-byte.
+/// Decoders are two-phase: validate into locals, then assign, so a
+/// malformed payload never leaves a partially-written struct behind.
+
+std::string EncodeRecommendRequest(const serve::RecommendRequest& req);
+
+/// Returns false (and fills *error) on malformed bytes; bounds every
+/// length field before trusting it.
+bool DecodeRecommendRequest(const std::string& payload,
+                            serve::RecommendRequest* out, std::string* error);
+
+std::string EncodeRecommendResponse(const serve::RecommendResponse& resp);
+
+/// The degrade label travels as a string and is re-interned into the
+/// closed label set on decode (RecommendResponse::degrade_label is a
+/// `const char*` pointing at static storage); an unrecognized label
+/// falls back to DegradeLevelName(degrade).
+bool DecodeRecommendResponse(const std::string& payload,
+                             serve::RecommendResponse* out,
+                             std::string* error);
+
+}  // namespace lcrec::net
+
+#endif  // LCREC_NET_CODEC_H_

@@ -1,0 +1,200 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "ckpt/checkpoint.h"
+
+namespace lcrec::net {
+namespace {
+
+uint16_t LoadU16(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint16_t>(b[0] | (b[1] << 8));
+}
+
+uint32_t LoadU32(const char* p) {
+  const auto* b = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<uint32_t>(b[0]) | (static_cast<uint32_t>(b[1]) << 8) |
+         (static_cast<uint32_t>(b[2]) << 16) |
+         (static_cast<uint32_t>(b[3]) << 24);
+}
+
+uint64_t LoadU64(const char* p) {
+  return static_cast<uint64_t>(LoadU32(p)) |
+         (static_cast<uint64_t>(LoadU32(p + 4)) << 32);
+}
+
+}  // namespace
+
+void PutU8(std::string* out, uint8_t v) {
+  out->push_back(static_cast<char>(v));
+}
+
+void PutU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xFF));
+  out->push_back(static_cast<char>((v >> 8) & 0xFF));
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  PutU16(out, static_cast<uint16_t>(v & 0xFFFF));
+  PutU16(out, static_cast<uint16_t>(v >> 16));
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  PutU32(out, static_cast<uint32_t>(v & 0xFFFFFFFFu));
+  PutU32(out, static_cast<uint32_t>(v >> 32));
+}
+
+void PutI32(std::string* out, int32_t v) {
+  PutU32(out, static_cast<uint32_t>(v));
+}
+
+void PutF32(std::string* out, float v) {
+  uint32_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU32(out, bits);
+}
+
+void PutF64(std::string* out, double v) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  PutU64(out, bits);
+}
+
+bool WireReader::ReadU8(uint8_t* v) {
+  if (remaining() < 1) return false;
+  *v = static_cast<uint8_t>(data_[pos_]);
+  pos_ += 1;
+  return true;
+}
+
+bool WireReader::ReadU16(uint16_t* v) {
+  if (remaining() < 2) return false;
+  *v = LoadU16(data_ + pos_);
+  pos_ += 2;
+  return true;
+}
+
+bool WireReader::ReadU32(uint32_t* v) {
+  if (remaining() < 4) return false;
+  *v = LoadU32(data_ + pos_);
+  pos_ += 4;
+  return true;
+}
+
+bool WireReader::ReadU64(uint64_t* v) {
+  if (remaining() < 8) return false;
+  *v = LoadU64(data_ + pos_);
+  pos_ += 8;
+  return true;
+}
+
+bool WireReader::ReadI32(int32_t* v) {
+  uint32_t u = 0;
+  if (!ReadU32(&u)) return false;
+  *v = static_cast<int32_t>(u);
+  return true;
+}
+
+bool WireReader::ReadF32(float* v) {
+  uint32_t bits = 0;
+  if (!ReadU32(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool WireReader::ReadF64(double* v) {
+  uint64_t bits = 0;
+  if (!ReadU64(&bits)) return false;
+  std::memcpy(v, &bits, sizeof(*v));
+  return true;
+}
+
+bool WireReader::ReadBytes(size_t n, std::string* v) {
+  if (remaining() < n) return false;
+  v->assign(data_ + pos_, n);
+  pos_ += n;
+  return true;
+}
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + frame.payload.size() + kFrameTrailerBytes);
+  PutU32(&out, kFrameMagic);
+  PutU16(&out, kFrameVersion);
+  PutU16(&out, static_cast<uint16_t>(frame.type));
+  PutU32(&out, frame.method);
+  PutU64(&out, frame.request_id);
+  PutU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  out.append(frame.payload);
+  // CRC over everything after the magic (version..payload inclusive), so
+  // a corrupted header field is caught the same as a corrupted payload.
+  const uint32_t crc = ckpt::Crc32(out.data() + 4, out.size() - 4);
+  PutU32(&out, crc);
+  return out;
+}
+
+FrameStatus DecodeFrame(const char* data, size_t size, Frame* out,
+                        size_t* frame_len, std::string* error,
+                        size_t max_payload) {
+  if (size < 4) return FrameStatus::kNeedMore;
+  if (LoadU32(data) != kFrameMagic) {
+    if (error) *error = "bad frame magic";
+    return FrameStatus::kBad;
+  }
+  if (size < kFrameHeaderBytes) return FrameStatus::kNeedMore;
+
+  const uint16_t version = LoadU16(data + 4);
+  const uint16_t type = LoadU16(data + 6);
+  const uint32_t method = LoadU32(data + 8);
+  const uint64_t request_id = LoadU64(data + 12);
+  const uint32_t payload_len = LoadU32(data + 20);
+
+  if (version != kFrameVersion) {
+    if (error) *error = "unsupported frame version";
+    return FrameStatus::kBad;
+  }
+  if (type != static_cast<uint16_t>(FrameType::kRequest) &&
+      type != static_cast<uint16_t>(FrameType::kResponse) &&
+      type != static_cast<uint16_t>(FrameType::kError)) {
+    if (error) *error = "unknown frame type";
+    return FrameStatus::kBad;
+  }
+  if (payload_len > max_payload) {
+    // Bounded reject: surface who asked so the server can answer with an
+    // error frame instead of buffering an attacker-controlled length.
+    out->type = static_cast<FrameType>(type);
+    out->method = method;
+    out->request_id = request_id;
+    out->payload.clear();
+    if (error) *error = "frame payload over limit";
+    return FrameStatus::kTooLarge;
+  }
+
+  const size_t total =
+      kFrameHeaderBytes + static_cast<size_t>(payload_len) + kFrameTrailerBytes;
+  if (size < total) return FrameStatus::kNeedMore;
+
+  const uint32_t want_crc = LoadU32(data + kFrameHeaderBytes + payload_len);
+  const uint32_t got_crc =
+      ckpt::Crc32(data + 4, kFrameHeaderBytes - 4 + payload_len);
+  if (want_crc != got_crc) {
+    if (error) *error = "frame crc mismatch";
+    return FrameStatus::kBad;
+  }
+
+  out->type = static_cast<FrameType>(type);
+  out->method = method;
+  out->request_id = request_id;
+  out->payload.assign(data + kFrameHeaderBytes, payload_len);
+  *frame_len = total;
+  return FrameStatus::kOk;
+}
+
+FrameStatus DecodeFrame(const std::string& buf, Frame* out, size_t* frame_len,
+                        std::string* error, size_t max_payload) {
+  return DecodeFrame(buf.data(), buf.size(), out, frame_len, error,
+                     max_payload);
+}
+
+}  // namespace lcrec::net

@@ -1,0 +1,118 @@
+#ifndef LCREC_NET_FRAME_H_
+#define LCREC_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lcrec::net {
+
+/// Binary RPC wire format (DESIGN.md §15): length-prefixed frames over a
+/// TCP byte stream, CRC-checksummed so a torn or bit-flipped frame is
+/// rejected rather than misparsed. One frame on the wire:
+///
+///   u32 magic "LRPC"   u16 version   u16 type
+///   u32 method         u64 request_id
+///   u32 payload_len    payload bytes
+///   u32 crc32 over every byte after the magic and before the crc
+///
+/// All integers little-endian. A request and its response share a
+/// request id (per-connection, chosen by the client); an error frame
+/// carries a human-readable reason as its payload. The decoder is
+/// two-phase in the style of ckpt::DecodeCheckpoint: it validates the
+/// complete frame (bounds, version, type, CRC) before writing anything
+/// to the output, so a bad frame never leaves a partially-mutated
+/// result behind.
+
+inline constexpr uint32_t kFrameMagic = 0x4350524Cu;  // "LRPC" little-endian
+inline constexpr uint16_t kFrameVersion = 1;
+/// Fixed header bytes before the payload (magic..payload_len).
+inline constexpr size_t kFrameHeaderBytes = 24;
+/// Trailer: the CRC32.
+inline constexpr size_t kFrameTrailerBytes = 4;
+/// Default ceiling on payload size; a peer announcing more is rejected
+/// without buffering (bounded reject — the stream is then untrusted).
+inline constexpr size_t kDefaultMaxPayload = 1u << 20;
+
+enum class FrameType : uint16_t {
+  kRequest = 1,
+  kResponse = 2,
+  /// Response-direction frame whose payload is an error string (unknown
+  /// method, undecodable request payload, handler failure).
+  kError = 3,
+};
+
+struct Frame {
+  FrameType type = FrameType::kRequest;
+  uint32_t method = 0;
+  uint64_t request_id = 0;
+  std::string payload;
+};
+
+/// Serializes `frame` to wire bytes (header + payload + crc).
+std::string EncodeFrame(const Frame& frame);
+
+enum class FrameStatus {
+  kOk = 0,     // one complete valid frame decoded
+  kNeedMore,   // prefix of a plausible frame; read more bytes
+  kBad,        // stream is broken (bad magic/version/type/CRC): close it
+  kTooLarge,   // announced payload over max_payload; header fields of
+               // the offending frame are filled in so the server can
+               // answer with a bounded error frame before closing
+};
+
+/// Decodes the first frame in `data[0, size)`. On kOk fills `*out` and
+/// `*frame_len` (bytes consumed). On kTooLarge fills the header fields
+/// of `*out` (type/method/request_id; payload empty) and leaves
+/// `*frame_len` untouched. On kBad/kNeedMore nothing is written except
+/// `*error` (kBad only). Never reads past `size`, whatever the bytes.
+FrameStatus DecodeFrame(const char* data, size_t size, Frame* out,
+                        size_t* frame_len, std::string* error,
+                        size_t max_payload = kDefaultMaxPayload);
+
+/// String-buffer convenience over the pointer form.
+FrameStatus DecodeFrame(const std::string& buf, Frame* out, size_t* frame_len,
+                        std::string* error,
+                        size_t max_payload = kDefaultMaxPayload);
+
+// --- Payload primitives (shared by the codecs in codec.h) ----------------
+
+void PutU8(std::string* out, uint8_t v);
+void PutU16(std::string* out, uint16_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI32(std::string* out, int32_t v);
+void PutF32(std::string* out, float v);
+void PutF64(std::string* out, double v);
+
+/// Bounds-checked forward-only cursor over a byte buffer. Every Read
+/// returns false (leaving the output untouched) instead of reading past
+/// the end, so decode loops stay total on arbitrary input.
+class WireReader {
+ public:
+  WireReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit WireReader(const std::string& buf)
+      : data_(buf.data()), size_(buf.size()) {}
+
+  size_t remaining() const { return size_ - pos_; }
+  bool done() const { return pos_ == size_; }
+
+  bool ReadU8(uint8_t* v);
+  bool ReadU16(uint16_t* v);
+  bool ReadU32(uint32_t* v);
+  bool ReadU64(uint64_t* v);
+  bool ReadI32(int32_t* v);
+  bool ReadF32(float* v);
+  bool ReadF64(double* v);
+  /// Reads `n` raw bytes into `*v` (replacing its contents).
+  bool ReadBytes(size_t n, std::string* v);
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace lcrec::net
+
+#endif  // LCREC_NET_FRAME_H_

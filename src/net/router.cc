@@ -1,0 +1,225 @@
+#include "net/router.h"
+
+#include <cstdlib>
+#include <utility>
+
+#include "net/codec.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+
+namespace lcrec::net {
+
+namespace {
+
+struct RouterMetrics {
+  obs::Counter& requests;
+  obs::Counter& failovers;
+  obs::Counter& failures;  // requests no shard could serve
+
+  static RouterMetrics& Get() {
+    static RouterMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new RouterMetrics{
+          r.GetCounter("lcrec.net.router.requests"),
+          r.GetCounter("lcrec.net.router.failovers"),
+          r.GetCounter("lcrec.net.router.failures"),
+      };
+    }();
+    return *m;
+  }
+};
+
+}  // namespace
+
+bool ParseEndpoint(const std::string& text, std::string* host, int* port) {
+  const size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= text.size()) {
+    return false;
+  }
+  const std::string port_text = text.substr(colon + 1);
+  for (char c : port_text) {
+    if (c < '0' || c > '9') return false;
+  }
+  const long p = std::atol(port_text.c_str());
+  if (p <= 0 || p > 65535) return false;
+  *host = text.substr(0, colon);
+  *port = static_cast<int>(p);
+  return true;
+}
+
+Router::Router(RouterOptions options) : options_(std::move(options)),
+                                        server_(options_.server) {}
+
+Router::~Router() { Stop(); }
+
+uint64_t Router::UserHash(const serve::RecommendRequest& request) {
+  // FNV-1a over the history's little-endian bytes: cheap, stable across
+  // processes, and spreads consecutive item ids across shards.
+  uint64_t h = 1469598103934665603ull;
+  for (int id : request.history) {
+    uint32_t u = static_cast<uint32_t>(id);
+    for (int b = 0; b < 4; ++b) {
+      h ^= (u >> (8 * b)) & 0xFFu;
+      h *= 1099511628211ull;
+    }
+  }
+  return h;
+}
+
+size_t Router::ShardOf(const serve::RecommendRequest& request) const {
+  if (shards_.empty()) return 0;
+  return static_cast<size_t>(UserHash(request) % shards_.size());
+}
+
+bool Router::Start(std::string* error) {
+  if (options_.workers.empty()) {
+    if (error != nullptr) *error = "router needs at least one worker";
+    return false;
+  }
+  if (shards_.empty()) {
+    for (const std::string& endpoint : options_.workers) {
+      auto shard = std::make_unique<Shard>();
+      if (!ParseEndpoint(endpoint, &shard->host, &shard->port)) {
+        if (error != nullptr) *error = "bad worker endpoint '" + endpoint + "'";
+        shards_.clear();
+        return false;
+      }
+      RpcClientOptions copts = options_.client;
+      copts.host = shard->host;
+      copts.port = shard->port;
+      shard->client = std::make_unique<RpcClient>(copts);
+      shards_.push_back(std::move(shard));
+    }
+  }
+  server_.Handle(
+      kMethodPing,
+      [](const std::string& request, std::string* response,
+         std::string* /*error*/) {
+        *response = request;
+        return true;
+      });
+  server_.Handle(
+      kMethodRecommend,
+      [this](const std::string& request, std::string* response,
+             std::string* err) {
+        serve::RecommendRequest req;
+        if (!DecodeRecommendRequest(request, &req, err)) return false;
+        serve::RecommendResponse resp;
+        if (!Forward(req, &resp, err)) return false;
+        *response = EncodeRecommendResponse(resp);
+        return true;
+      });
+  if (!server_.Start(error)) return false;
+  obs::Log(obs::LogLevel::kInfo, "[net] router on port %d over %zu workers",
+           server_.port(), shards_.size());
+  return true;
+}
+
+void Router::BeginDrain() { server_.BeginDrain(); }
+
+bool Router::WaitDrained(double timeout_s) {
+  return server_.WaitDrained(timeout_s);
+}
+
+void Router::Stop() { server_.Stop(); }
+
+bool Router::Forward(const serve::RecommendRequest& request,
+                     serve::RecommendResponse* response, std::string* error) {
+  if (shards_.empty()) {
+    if (error != nullptr) *error = "router not started";
+    return false;
+  }
+  const size_t n = shards_.size();
+  const size_t home = ShardOf(request);
+
+  // Snapshot the rotation: ring order from the home shard, with shards
+  // inside their dead-cooldown window demoted to last-resort (they are
+  // still tried if everything else fails — a cooling shard beats a
+  // dropped request).
+  std::vector<size_t> order;
+  std::vector<size_t> cooling;
+  order.reserve(n);
+  {
+    const double now = obs::NowMicros();
+    obs::MutexLock lock(mu_);
+    for (size_t off = 0; off < n; ++off) {
+      const size_t idx = (home + off) % n;
+      const Shard& s = *shards_[idx];
+      if (!s.healthy && now < s.dead_until_us) {
+        cooling.push_back(idx);
+      } else {
+        order.push_back(idx);
+      }
+    }
+  }
+  order.insert(order.end(), cooling.begin(), cooling.end());
+
+  std::string last_error = "no shard reachable";
+  for (size_t idx : order) {
+    Shard& s = *shards_[idx];
+    std::string err;
+    serve::RecommendResponse resp;
+    if (CallRecommend(s.client.get(), request, &resp, &err)) {
+      RouterMetrics::Get().requests.Increment();
+      {
+        obs::MutexLock lock(mu_);
+        s.healthy = true;
+        s.requests++;
+        if (idx != home) shards_[home]->failovers++;
+      }
+      if (idx != home) RouterMetrics::Get().failovers.Increment();
+      *response = std::move(resp);
+      return true;
+    }
+    last_error = err;
+    {
+      obs::MutexLock lock(mu_);
+      s.healthy = false;
+      s.dead_until_us =
+          obs::NowMicros() + options_.reprobe_after_ms * 1000.0;
+      s.failures++;
+    }
+    obs::Log(obs::LogLevel::kWarn,
+             "[net] shard %zu (%s:%d) failed (%s); failing over", idx,
+             s.host.c_str(), s.port, err.c_str());
+  }
+  RouterMetrics::Get().failures.Increment();
+  if (error != nullptr) *error = "all shards failed: " + last_error;
+  return false;
+}
+
+std::vector<Router::ShardStats> Router::shard_stats() const {
+  std::vector<ShardStats> out;
+  out.reserve(shards_.size());
+  obs::MutexLock lock(mu_);
+  for (const auto& shard : shards_) {
+    ShardStats s;
+    s.endpoint = shard->host + ":" + std::to_string(shard->port);
+    s.healthy = shard->healthy;
+    s.requests = shard->requests;
+    s.failures = shard->failures;
+    s.failovers = shard->failovers;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Router::StatuszText() const {
+  std::string out = "shards " + std::to_string(shards_.size()) + "\n";
+  const std::vector<ShardStats> stats = shard_stats();
+  for (size_t i = 0; i < stats.size(); ++i) {
+    const ShardStats& s = stats[i];
+    out += "shard " + std::to_string(i) + " " + s.endpoint + " ";
+    out += s.healthy ? "up" : "down";
+    out += " requests=" + std::to_string(s.requests) +
+           " failures=" + std::to_string(s.failures) +
+           " failovers=" + std::to_string(s.failovers) + "\n";
+  }
+  out += "front: ";
+  out += server_.StatuszText();
+  return out;
+}
+
+}  // namespace lcrec::net

@@ -1,0 +1,104 @@
+#ifndef LCREC_NET_ROUTER_H_
+#define LCREC_NET_ROUTER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/rpc.h"
+#include "net/service.h"
+#include "obs/sync.h"
+#include "serve/request.h"
+
+namespace lcrec::net {
+
+/// Shards Recommend traffic across N model-worker processes by user
+/// hash. The router is itself an RpcServer speaking the same protocol,
+/// so a client cannot tell a router from a single worker — the fan-out
+/// is an implementation detail behind one port.
+///
+/// Failure handling: a worker call that fails after the client's own
+/// retry-with-backoff marks the shard down for `reprobe_after_ms` and
+/// the request fails over to the next alive worker in ring order (a
+/// draining worker refuses new connections, so its in-flight requests
+/// finish on the old connection while new ones re-resolve — zero
+/// dropped requests across a graceful worker shutdown). Down shards are
+/// re-probed by real traffic after the cooldown.
+struct RouterOptions {
+  /// Worker endpoints, "host:port". Shard i = workers[i].
+  std::vector<std::string> workers;
+  /// The front listener (port 0 = ephemeral).
+  RpcServerOptions server;
+  /// Per-worker channel defaults; host/port are overridden per shard.
+  RpcClientOptions client;
+  /// How long a failed shard stays out of the rotation.
+  double reprobe_after_ms = 500.0;
+};
+
+class Router {
+ public:
+  explicit Router(RouterOptions options);
+  ~Router();
+
+  bool Start(std::string* error = nullptr);
+  void BeginDrain();
+  bool WaitDrained(double timeout_s);
+  void Stop();
+
+  int port() const { return server_.port(); }
+  size_t n_shards() const { return shards_.size(); }
+
+  /// FNV-1a over the history bytes: the request's user identity.
+  static uint64_t UserHash(const serve::RecommendRequest& request);
+  size_t ShardOf(const serve::RecommendRequest& request) const;
+
+  /// Routes one request: home shard first, ring-order failover across
+  /// the remaining workers. Also the front server's Recommend handler.
+  bool Forward(const serve::RecommendRequest& request,
+               serve::RecommendResponse* response, std::string* error);
+
+  struct ShardStats {
+    std::string endpoint;
+    bool healthy = true;
+    int64_t requests = 0;   // served by this shard
+    int64_t failures = 0;   // failed calls against this shard
+    int64_t failovers = 0;  // home requests this shard lost to another
+  };
+  std::vector<ShardStats> shard_stats() const;
+
+  /// Per-shard health block for the router's debugz /statusz
+  /// ("net.router" section): one "shard <i> <endpoint> <up|down> ..."
+  /// line per worker, then the front server's own counters.
+  std::string StatuszText() const;
+
+ private:
+  struct Shard {
+    std::string host;
+    int port = 0;
+    std::unique_ptr<RpcClient> client;
+    bool healthy = true;          // under mu_
+    double dead_until_us = 0.0;   // under mu_
+    int64_t requests = 0;         // under mu_
+    int64_t failures = 0;         // under mu_
+    int64_t failovers = 0;        // under mu_
+  };
+
+  RouterOptions options_;
+  RpcServer server_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Guards shard health + counters. Never held across a worker call:
+  /// Forward snapshots the rotation under the lock, releases, then does
+  /// socket I/O (rank 19 sits above the client pool's 18 — see the rank
+  /// comment in rpc.h — and I/O under a router-wide lock would
+  /// serialize the fan-out anyway).
+  mutable obs::Mutex mu_{"net.router", 19};
+};
+
+/// Parses "host:port" (host may be a dotted quad only — the net layer
+/// is resolver-free by design). False on malformed input.
+bool ParseEndpoint(const std::string& text, std::string* host, int* port);
+
+}  // namespace lcrec::net
+
+#endif  // LCREC_NET_ROUTER_H_

@@ -1,0 +1,728 @@
+#include "net/rpc.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <utility>
+
+#include "core/check.h"
+#include "obs/log.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
+#include "serve/chaos.h"
+
+namespace lcrec::net {
+
+namespace {
+
+/// Cached metric handles for the RPC layer (lcrec.net.*). Process-wide:
+/// a router process aggregates its front server and every worker
+/// channel into the same counters.
+struct NetMetrics {
+  obs::Counter& requests;
+  obs::Counter& errors;      // error frames sent
+  obs::Counter& bad_frames;  // garbage magic / CRC / oversized / type
+  obs::Histogram& handle_us;
+  obs::Counter& client_calls;
+  obs::Counter& client_retries;
+  obs::Counter& client_failures;
+
+  static NetMetrics& Get() {
+    static NetMetrics* m = [] {
+      obs::MetricsRegistry& r = obs::MetricsRegistry::Global();
+      return new NetMetrics{
+          r.GetCounter("lcrec.net.rpc.requests"),
+          r.GetCounter("lcrec.net.rpc.errors"),
+          r.GetCounter("lcrec.net.rpc.bad_frames"),
+          r.GetHistogram("lcrec.net.rpc.handle_us",
+                         obs::Histogram::ExponentialBounds(10.0, 2.0, 24)),
+          r.GetCounter("lcrec.net.client.calls"),
+          r.GetCounter("lcrec.net.client.retries"),
+          r.GetCounter("lcrec.net.client.failures"),
+      };
+    }();
+    return *m;
+  }
+};
+
+bool SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+void SleepUs(double us) {
+  if (us <= 0.0) return;
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(static_cast<int64_t>(us)));
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// RpcServer
+
+RpcServer::RpcServer(RpcServerOptions options) : options_(std::move(options)) {
+  LCREC_CHECK_GT(options_.max_connections, 0);
+  LCREC_CHECK_GT(options_.dispatch_threads, 0);
+  LCREC_CHECK_GT(options_.max_payload_bytes, size_t{0});
+}
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::Handle(uint32_t method, RpcHandler handler) {
+  obs::MutexLock lock(handlers_mu_);
+  handlers_[method] = std::move(handler);
+}
+
+bool RpcServer::Start(std::string* error) {
+  auto fail = [this, error](const std::string& why) {
+    if (error != nullptr) *error = why + ": " + std::strerror(errno);
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    listen_fd_ = -1;
+    for (int& fd : wake_fds_) {
+      if (fd >= 0) ::close(fd);
+      fd = -1;
+    }
+    return false;
+  };
+  if (running()) return true;
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options_.port));
+  if (inet_pton(AF_INET, options_.bind_host.c_str(), &addr.sin_addr) != 1) {
+    if (error != nullptr) *error = "bad bind host '" + options_.bind_host + "'";
+    return false;
+  }
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) return fail("socket");
+  int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    return fail("bind");
+  }
+  if (::listen(listen_fd_, options_.max_connections) != 0) {
+    return fail("listen");
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len) !=
+      0) {
+    return fail("getsockname");
+  }
+  if (!SetNonBlocking(listen_fd_)) return fail("fcntl");
+  if (::pipe(wake_fds_) != 0) return fail("pipe");
+  SetNonBlocking(wake_fds_[0]);
+
+  {
+    obs::MutexLock lock(work_mu_);
+    stopping_ = false;
+  }
+  {
+    obs::MutexLock lock(drain_mu_);
+    drained_ = false;
+  }
+  draining_.store(false, std::memory_order_release);
+  inflight_.store(0, std::memory_order_release);
+  port_.store(ntohs(addr.sin_port), std::memory_order_release);
+  running_.store(true, std::memory_order_release);
+  loop_thread_ = std::thread([this] { Loop(); });
+  dispatchers_.reserve(static_cast<size_t>(options_.dispatch_threads));
+  for (int i = 0; i < options_.dispatch_threads; ++i) {
+    dispatchers_.emplace_back([this] { DispatchLoop(); });
+  }
+  return true;
+}
+
+void RpcServer::BeginDrain() {
+  if (!running()) return;
+  draining_.store(true, std::memory_order_release);
+  WakeLoop();
+}
+
+bool RpcServer::WaitDrained(double timeout_s) {
+  obs::UniqueLock lock(drain_mu_);
+  return drain_cv_.WaitFor(
+      lock,
+      std::chrono::microseconds(static_cast<int64_t>(timeout_s * 1e6)),
+      [this]() LCREC_REQUIRES(drain_mu_) { return drained_; });
+}
+
+void RpcServer::Stop() {
+  const bool was_running =
+      running_.exchange(false, std::memory_order_acq_rel);
+  if (loop_thread_.joinable()) {
+    WakeLoop();
+    loop_thread_.join();
+  }
+  {
+    obs::MutexLock lock(work_mu_);
+    stopping_ = true;
+  }
+  work_cv_.NotifyAll();
+  for (std::thread& t : dispatchers_) {
+    if (t.joinable()) t.join();
+  }
+  dispatchers_.clear();
+  for (int& fd : wake_fds_) {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (was_running) port_.store(-1, std::memory_order_release);
+}
+
+RpcServer::Stats RpcServer::stats() const {
+  Stats s;
+  s.conns_accepted = conns_accepted_.load(std::memory_order_relaxed);
+  s.conns_dropped = conns_dropped_.load(std::memory_order_relaxed);
+  s.frames_in = frames_in_.load(std::memory_order_relaxed);
+  s.bad_frames = bad_frames_.load(std::memory_order_relaxed);
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.errors = errors_.load(std::memory_order_relaxed);
+  return s;
+}
+
+std::string RpcServer::StatuszText() const {
+  Stats s = stats();
+  std::string out;
+  out += "port " + std::to_string(port()) + " state ";
+  out += !running() ? "stopped" : (draining() ? "draining" : "serving");
+  out += "\nconns accepted=" + std::to_string(s.conns_accepted) +
+         " dropped=" + std::to_string(s.conns_dropped);
+  out += "\nframes in=" + std::to_string(s.frames_in) +
+         " bad=" + std::to_string(s.bad_frames);
+  out += "\nrequests=" + std::to_string(s.requests) +
+         " errors=" + std::to_string(s.errors) +
+         " inflight=" + std::to_string(inflight_.load(std::memory_order_relaxed));
+  out += "\n";
+  return out;
+}
+
+void RpcServer::WakeLoop() {
+  if (wake_fds_[1] < 0) return;
+  char byte = 'x';
+  ssize_t ignored = ::write(wake_fds_[1], &byte, 1);
+  (void)ignored;
+}
+
+RpcServer::Conn* RpcServer::FindConn(uint64_t id) {
+  for (Conn& c : conns_) {
+    if (c.id == id) return &c;
+  }
+  return nullptr;
+}
+
+void RpcServer::QueueErrorFrame(Conn* conn, uint32_t method,
+                                uint64_t request_id, const std::string& text) {
+  Frame f;
+  f.type = FrameType::kError;
+  f.method = method;
+  f.request_id = request_id;
+  f.payload = text;
+  conn->out += EncodeFrame(f);
+  errors_.fetch_add(1, std::memory_order_relaxed);
+  NetMetrics::Get().errors.Increment();
+}
+
+bool RpcServer::ReadFrames(Conn* conn) {
+  char buf[4096];
+  for (;;) {
+    ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      conn->in.append(buf, static_cast<size_t>(n));
+      conn->last_active_us = obs::NowMicros();
+      continue;
+    }
+    if (n == 0) return false;  // peer closed
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  if (conn->closing) return true;  // already rejecting; ignore the bytes
+  for (;;) {
+    Frame f;
+    size_t used = 0;
+    std::string err;
+    FrameStatus st =
+        DecodeFrame(conn->in.data(), conn->in.size(), &f, &used, &err,
+                    options_.max_payload_bytes);
+    if (st == FrameStatus::kNeedMore) break;
+    if (st == FrameStatus::kBad) {
+      // The byte stream itself is untrustworthy (garbage magic, CRC
+      // mismatch): nothing sensible can be answered on it. Close.
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::Get().bad_frames.Increment();
+      return false;
+    }
+    if (st == FrameStatus::kTooLarge) {
+      // Bounded reject: the header is intact, so answer the request id
+      // with an error frame, then close without buffering the payload.
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::Get().bad_frames.Increment();
+      QueueErrorFrame(conn, f.method, f.request_id,
+                      "frame payload over " +
+                          std::to_string(options_.max_payload_bytes) +
+                          " bytes");
+      conn->closing = true;
+      conn->in.clear();
+      break;
+    }
+    conn->in.erase(0, used);
+    if (f.type != FrameType::kRequest) {
+      bad_frames_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::Get().bad_frames.Increment();
+      return false;
+    }
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+    NetMetrics::Get().requests.Increment();
+    conn->inflight++;
+    inflight_.fetch_add(1, std::memory_order_acq_rel);
+    {
+      obs::MutexLock lock(work_mu_);
+      work_.push_back(Work{conn->id, std::move(f)});
+    }
+    work_cv_.NotifyOne();
+  }
+  return true;
+}
+
+bool RpcServer::WriteSome(Conn* conn) {
+  while (conn->sent < conn->out.size()) {
+    ssize_t n = ::send(conn->fd, conn->out.data() + conn->sent,
+                       conn->out.size() - conn->sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn->sent += static_cast<size_t>(n);
+      conn->last_active_us = obs::NowMicros();
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  // Fully flushed: reclaim the buffer (it only ever grows by append).
+  conn->out.clear();
+  conn->sent = 0;
+  return true;
+}
+
+void RpcServer::MergeCompletions() {
+  std::vector<Completion> done;
+  {
+    obs::MutexLock lock(done_mu_);
+    done.swap(done_);
+  }
+  for (Completion& c : done) {
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    Conn* conn = FindConn(c.conn_id);
+    if (conn == nullptr) continue;  // connection died while the handler ran
+    conn->inflight--;
+    conn->out += c.bytes;
+    conn->last_active_us = obs::NowMicros();
+  }
+}
+
+void RpcServer::AcceptPending() {
+  for (;;) {
+    int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN/EINTR/...: back to poll
+    if (conns_.size() >= static_cast<size_t>(options_.max_connections)) {
+      // Over capacity: refuse outright. A binary-protocol peer treats
+      // the closed connection as a transport failure and backs off.
+      conns_dropped_.fetch_add(1, std::memory_order_relaxed);
+      ::close(fd);
+      continue;
+    }
+    SetNonBlocking(fd);
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Conn conn;
+    conn.id = next_conn_id_++;
+    conn.fd = fd;
+    conn.last_active_us = obs::NowMicros();
+    conns_.push_back(std::move(conn));
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void RpcServer::Loop() {
+  std::vector<pollfd> pfds;
+  for (;;) {
+    pfds.clear();
+    pfds.push_back({wake_fds_[0], POLLIN, 0});
+    size_t listen_idx = 0;  // 0 = listener absent (index 0 is the pipe)
+    if (listen_fd_ >= 0) {
+      listen_idx = pfds.size();
+      pfds.push_back({listen_fd_, POLLIN, 0});
+    }
+    const size_t conn_base = pfds.size();
+    for (const Conn& c : conns_) {
+      short events = POLLIN;
+      if (c.sent < c.out.size()) events |= POLLOUT;
+      pfds.push_back({c.fd, events, 0});
+    }
+    int rc = ::poll(pfds.data(), pfds.size(), /*timeout_ms=*/250);
+    if (!running_.load(std::memory_order_acquire)) break;
+    if (rc < 0 && errno != EINTR) break;
+
+    if ((pfds[0].revents & POLLIN) != 0) {
+      char buf[64];
+      while (::read(wake_fds_[0], buf, sizeof(buf)) > 0) {
+      }
+    }
+
+    // Drain step 1: close the listener so the router re-resolves the
+    // shard; queued work keeps flowing below until the backlog is dry.
+    if (draining_.load(std::memory_order_acquire) && listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      listen_idx = 0;
+    }
+
+    MergeCompletions();
+
+    const bool draining = draining_.load(std::memory_order_acquire);
+    const double now = obs::NowMicros();
+    size_t keep = 0;
+    for (size_t i = 0; i < conns_.size(); ++i) {
+      Conn& c = conns_[i];
+      const short rev = pfds[conn_base + i].revents;
+      bool alive = (rev & POLLNVAL) == 0;
+      if (alive && (rev & POLLIN) != 0) alive = ReadFrames(&c);
+      if (alive && c.sent < c.out.size() &&
+          (rev & (POLLOUT | POLLERR | POLLHUP)) != 0) {
+        alive = WriteSome(&c);
+      }
+      const bool flushed = c.sent >= c.out.size();
+      if (alive && (rev & (POLLERR | POLLHUP)) != 0 && (rev & POLLIN) == 0 &&
+          flushed) {
+        alive = false;
+      }
+      if (alive && flushed && c.inflight == 0 && (c.closing || draining)) {
+        alive = false;  // drain step 2: quiet connection, polite close
+      }
+      if (alive && c.inflight == 0 &&
+          now - c.last_active_us > options_.idle_timeout_s * 1e6) {
+        alive = false;
+      }
+      if (alive) {
+        if (keep != i) conns_[keep] = std::move(c);
+        ++keep;
+      } else {
+        ::close(c.fd);
+      }
+    }
+    conns_.resize(keep);
+
+    if (listen_idx != 0 && (pfds[listen_idx].revents & POLLIN) != 0) {
+      AcceptPending();
+    }
+
+    // Drain step 3: every connection closed, every dispatched request
+    // completed and flushed — the worker is quiet. Announce and exit.
+    if (draining && conns_.empty() &&
+        inflight_.load(std::memory_order_acquire) == 0) {
+      obs::Log(obs::LogLevel::kInfo, "[net] rpc server on port %d drained",
+               port());
+      {
+        obs::MutexLock lock(drain_mu_);
+        drained_ = true;
+      }
+      drain_cv_.NotifyAll();
+      break;
+    }
+  }
+  for (Conn& c : conns_) ::close(c.fd);
+  conns_.clear();
+}
+
+void RpcServer::DispatchLoop() {
+  for (;;) {
+    Work w;
+    {
+      obs::UniqueLock lock(work_mu_);
+      work_cv_.Wait(lock, [this]() LCREC_REQUIRES(work_mu_) {
+        return stopping_ || !work_.empty();
+      });
+      if (work_.empty()) return;  // stopping and no backlog left
+      w = std::move(work_.front());
+      work_.pop_front();
+    }
+    const double t0 = obs::NowMicros();
+    RpcHandler handler;
+    {
+      obs::MutexLock lock(handlers_mu_);
+      auto it = handlers_.find(w.frame.method);
+      if (it != handlers_.end()) handler = it->second;
+    }
+    Frame out;
+    out.method = w.frame.method;
+    out.request_id = w.frame.request_id;
+    std::string response;
+    std::string err;
+    if (handler == nullptr) {
+      out.type = FrameType::kError;
+      out.payload = "unknown method " + std::to_string(w.frame.method);
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::Get().errors.Increment();
+    } else if (handler(w.frame.payload, &response, &err)) {
+      out.type = FrameType::kResponse;
+      out.payload = std::move(response);
+    } else {
+      out.type = FrameType::kError;
+      out.payload = err.empty() ? "handler failed" : err;
+      errors_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::Get().errors.Increment();
+    }
+    NetMetrics::Get().handle_us.Observe(obs::NowMicros() - t0);
+    {
+      obs::MutexLock lock(done_mu_);
+      done_.push_back(Completion{w.conn_id, EncodeFrame(out)});
+    }
+    WakeLoop();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RpcChannel
+
+RpcChannel::RpcChannel(std::string host, int port,
+                       const RpcClientOptions& options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+RpcChannel::~RpcChannel() { Close(); }
+
+void RpcChannel::Close() {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = -1;
+  in_.clear();
+}
+
+bool RpcChannel::Connect(std::string* error) {
+  auto fail = [this, error](const std::string& why) {
+    Close();
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (fd_ >= 0) return true;
+
+  const serve::chaos::ConnChaos chaos = serve::chaos::OnNetConnect();
+  if (chaos.delay_us > 0.0) SleepUs(chaos.delay_us);
+  if (chaos.fail) return fail("chaos: injected connect failure");
+
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port_));
+  if (inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    return fail("bad host '" + host_ + "'");
+  }
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) return fail("socket failed");
+  SetNonBlocking(fd_);
+  int one = 1;
+  ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    if (errno != EINPROGRESS) return fail("connect failed");
+    pollfd p{fd_, POLLOUT, 0};
+    if (::poll(&p, 1, static_cast<int>(options_.connect_timeout_s * 1000.0)) <=
+        0) {
+      return fail("connect timeout");
+    }
+    int soerr = 0;
+    socklen_t len = sizeof(soerr);
+    ::getsockopt(fd_, SOL_SOCKET, SO_ERROR, &soerr, &len);
+    if (soerr != 0) return fail("connect refused");
+  }
+  return true;
+}
+
+bool RpcChannel::SendAll(const std::string& bytes, double deadline_us,
+                         std::string* error) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      pollfd p{fd_, POLLOUT, 0};
+      int wait_ms =
+          static_cast<int>((deadline_us - obs::NowMicros()) / 1000.0);
+      if (wait_ms <= 0 || ::poll(&p, 1, wait_ms) <= 0) {
+        if (error != nullptr) *error = "send timeout";
+        return false;
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (error != nullptr) *error = "send failed";
+    return false;
+  }
+  return true;
+}
+
+bool RpcChannel::Call(uint32_t method, const std::string& request,
+                      std::string* response, std::string* error) {
+  auto fail = [this, error](const std::string& why) {
+    Close();
+    if (error != nullptr) *error = why;
+    return false;
+  };
+  if (fd_ < 0 && !Connect(error)) return false;
+
+  Frame req;
+  req.type = FrameType::kRequest;
+  req.method = method;
+  req.request_id = next_request_id_++;
+  req.payload = request;
+  const std::string bytes = EncodeFrame(req);
+  const double deadline_us =
+      obs::NowMicros() + options_.call_timeout_s * 1e6;
+
+  if (serve::chaos::OnNetFrameSend()) {
+    // Torn write: ship a prefix of the frame and drop the connection.
+    // The peer's length/CRC checks must reject it; this caller fails
+    // over to the retry path.
+    SendAll(bytes.substr(0, bytes.size() / 2), deadline_us, nullptr);
+    return fail("chaos: torn frame");
+  }
+  if (!SendAll(bytes, deadline_us, error)) {
+    Close();
+    return false;
+  }
+
+  for (;;) {
+    Frame f;
+    size_t used = 0;
+    std::string err;
+    FrameStatus st =
+        DecodeFrame(in_, &f, &used, &err, options_.max_payload_bytes);
+    if (st == FrameStatus::kOk) {
+      in_.erase(0, used);
+      // A response to an earlier call this channel abandoned (timeout)
+      // can still be in the stream; skip until our id comes up.
+      if (f.request_id != req.request_id) continue;
+      if (f.type == FrameType::kResponse) {
+        *response = std::move(f.payload);
+        return true;
+      }
+      if (f.type == FrameType::kError) {
+        // A definitive answer, not a transport failure: the channel
+        // stays connected, and RpcClient will not retry.
+        if (error != nullptr) {
+          *error = f.payload.empty() ? "rpc error" : f.payload;
+        }
+        return false;
+      }
+      return fail("unexpected frame type");
+    }
+    if (st == FrameStatus::kBad || st == FrameStatus::kTooLarge) {
+      return fail("bad response frame: " + err);
+    }
+    // kNeedMore: pull more bytes within the call budget.
+    char buf[4096];
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      in_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return fail("connection closed by server");
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      pollfd p{fd_, POLLIN, 0};
+      int wait_ms =
+          static_cast<int>((deadline_us - obs::NowMicros()) / 1000.0);
+      if (wait_ms <= 0 || ::poll(&p, 1, wait_ms) <= 0) {
+        return fail("call timeout");
+      }
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return fail("recv failed");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// RpcClient
+
+RpcClient::RpcClient(RpcClientOptions options) : options_(std::move(options)) {
+  LCREC_CHECK_GE(options_.max_retries, 0);
+}
+
+RpcClient::~RpcClient() = default;
+
+RpcClient::Stats RpcClient::stats() const {
+  Stats s;
+  s.calls = calls_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.failures = failures_.load(std::memory_order_relaxed);
+  return s;
+}
+
+bool RpcClient::Call(uint32_t method, const std::string& request,
+                     std::string* response, std::string* error) {
+  calls_.fetch_add(1, std::memory_order_relaxed);
+  NetMetrics::Get().client_calls.Increment();
+  double backoff_ms = options_.backoff_ms;
+  std::string last_error = "rpc call failed";
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      retries_.fetch_add(1, std::memory_order_relaxed);
+      NetMetrics::Get().client_retries.Increment();
+      SleepUs(backoff_ms * 1000.0);
+      backoff_ms *= 2.0;
+    }
+    std::unique_ptr<RpcChannel> channel;
+    {
+      obs::MutexLock lock(pool_mu_);
+      if (!pool_.empty()) {
+        channel = std::move(pool_.back());
+        pool_.pop_back();
+      }
+    }
+    if (channel == nullptr) {
+      channel =
+          std::make_unique<RpcChannel>(options_.host, options_.port, options_);
+    }
+    std::string err;
+    const bool ok = channel->Call(method, request, response, &err);
+    if (ok || channel->connected()) {
+      // Success, or a definitive server error frame: either way the
+      // channel is healthy — return it to the pool and stop retrying.
+      {
+        obs::MutexLock lock(pool_mu_);
+        pool_.push_back(std::move(channel));
+      }
+      if (!ok) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        NetMetrics::Get().client_failures.Increment();
+        if (error != nullptr) *error = err;
+      }
+      return ok;
+    }
+    last_error = err;  // transport failure: channel closed itself; retry
+  }
+  failures_.fetch_add(1, std::memory_order_relaxed);
+  NetMetrics::Get().client_failures.Increment();
+  if (error != nullptr) {
+    *error = last_error + " (after " + std::to_string(options_.max_retries) +
+             " retries)";
+  }
+  return false;
+}
+
+}  // namespace lcrec::net

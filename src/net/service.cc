@@ -1,0 +1,52 @@
+#include "net/service.h"
+
+#include <utility>
+
+#include "net/codec.h"
+#include "serve/server.h"
+
+namespace lcrec::net {
+
+void RegisterRecommendService(RpcServer* rpc, serve::Server* server) {
+  rpc->Handle(kMethodPing,
+              [](const std::string& request, std::string* response,
+                 std::string* /*error*/) {
+                *response = request;
+                return true;
+              });
+  rpc->Handle(kMethodRecommend,
+              [server](const std::string& request, std::string* response,
+                       std::string* error) {
+                serve::RecommendRequest req;
+                if (!DecodeRecommendRequest(request, &req, error)) {
+                  return false;  // malformed payload → error frame
+                }
+                *response = EncodeRecommendResponse(server->Recommend(req));
+                return true;
+              });
+}
+
+bool CallRecommend(RpcClient* client, const serve::RecommendRequest& request,
+                   serve::RecommendResponse* response, std::string* error) {
+  std::string payload;
+  if (!client->Call(kMethodRecommend, EncodeRecommendRequest(request),
+                    &payload, error)) {
+    return false;
+  }
+  serve::RecommendResponse decoded;
+  if (!DecodeRecommendResponse(payload, &decoded, error)) return false;
+  *response = std::move(decoded);
+  return true;
+}
+
+bool CallPing(RpcClient* client, std::string* error) {
+  std::string payload;
+  if (!client->Call(kMethodPing, "ping", &payload, error)) return false;
+  if (payload != "ping") {
+    if (error != nullptr) *error = "ping payload mismatch";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace lcrec::net

@@ -1,0 +1,41 @@
+#ifndef LCREC_NET_SERVICE_H_
+#define LCREC_NET_SERVICE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "net/rpc.h"
+#include "serve/request.h"
+
+namespace lcrec::serve {
+class Server;
+}  // namespace lcrec::serve
+
+namespace lcrec::net {
+
+/// Method ids for the lcrec RPC surface. Wire-stable: append, never
+/// renumber.
+inline constexpr uint32_t kMethodPing = 1;
+inline constexpr uint32_t kMethodRecommend = 2;
+
+/// Registers the serving surface on `rpc`:
+///   Ping       — echoes its payload (liveness + round-trip probe).
+///   Recommend  — codec.h request/response around server->Recommend.
+/// `server` must outlive `rpc`. Handlers run on the RPC dispatcher
+/// pool, so concurrent remote callers reach the batch engine
+/// concurrently, exactly like in-process threads.
+void RegisterRecommendService(RpcServer* rpc, serve::Server* server);
+
+/// Client-side convenience: one Recommend over `client`. On transport
+/// or server failure returns false with `*error` set and `*response`
+/// untouched; a shed (kShedQueueFull etc.) is a successful call whose
+/// response carries the shed status, same as in-process.
+bool CallRecommend(RpcClient* client, const serve::RecommendRequest& request,
+                   serve::RecommendResponse* response, std::string* error);
+
+/// Liveness probe: Ping round-trip with a small payload.
+bool CallPing(RpcClient* client, std::string* error);
+
+}  // namespace lcrec::net
+
+#endif  // LCREC_NET_SERVICE_H_

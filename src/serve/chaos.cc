@@ -89,7 +89,13 @@ bool SpecFires(Injector& g, ArmedSpec* s) {
 }
 
 const char* SiteName(ChaosSpec::Site site) {
-  return site == ChaosSpec::Site::kDecode ? "decode" : "queue";
+  switch (site) {
+    case ChaosSpec::Site::kDecode: return "decode";
+    case ChaosSpec::Site::kQueue: return "queue";
+    case ChaosSpec::Site::kConn: return "conn";
+    case ChaosSpec::Site::kFrame: return "frame";
+  }
+  return "?";
 }
 
 const char* ModeName(ChaosSpec::Mode mode) {
@@ -97,6 +103,7 @@ const char* ModeName(ChaosSpec::Mode mode) {
     case ChaosSpec::Mode::kDelay: return "delay";
     case ChaosSpec::Mode::kFail: return "fail";
     case ChaosSpec::Mode::kFull: return "full";
+    case ChaosSpec::Mode::kTruncate: return "truncate";
   }
   return "?";
 }
@@ -125,6 +132,10 @@ bool ParseOneSpec(const std::string& text, ChaosSpec* spec) {
     out.site = ChaosSpec::Site::kDecode;
   } else if (fields[0] == "queue") {
     out.site = ChaosSpec::Site::kQueue;
+  } else if (fields[0] == "conn") {
+    out.site = ChaosSpec::Site::kConn;
+  } else if (fields[0] == "frame") {
+    out.site = ChaosSpec::Site::kFrame;
   } else {
     return false;
   }
@@ -134,14 +145,28 @@ bool ParseOneSpec(const std::string& text, ChaosSpec* spec) {
     out.mode = ChaosSpec::Mode::kFail;
   } else if (fields[1] == "full") {
     out.mode = ChaosSpec::Mode::kFull;
+  } else if (fields[1] == "truncate") {
+    out.mode = ChaosSpec::Mode::kTruncate;
   } else {
     return false;
   }
-  // Mode/site compatibility: queue pressure is the only queue mode, and
-  // it is queue-only.
-  bool queue = out.site == ChaosSpec::Site::kQueue;
-  bool full = out.mode == ChaosSpec::Mode::kFull;
-  if (queue != full) return false;
+  // Mode/site compatibility: decode and conn take delay|fail, queue
+  // pressure is queue-only, torn writes are frame-only.
+  switch (out.site) {
+    case ChaosSpec::Site::kDecode:
+    case ChaosSpec::Site::kConn:
+      if (out.mode != ChaosSpec::Mode::kDelay &&
+          out.mode != ChaosSpec::Mode::kFail) {
+        return false;
+      }
+      break;
+    case ChaosSpec::Site::kQueue:
+      if (out.mode != ChaosSpec::Mode::kFull) return false;
+      break;
+    case ChaosSpec::Site::kFrame:
+      if (out.mode != ChaosSpec::Mode::kTruncate) return false;
+      break;
+  }
   if (!obs::ParseInjectRate(fields[2], &out.rate)) return false;
   if (fields.size() == 4) {
     if (out.mode != ChaosSpec::Mode::kDelay) return false;
@@ -244,6 +269,33 @@ bool OnQueueAdmit() {
   if (!ChaosArmed()) return false;
   for (ArmedSpec* s : g.specs) {
     if (s->spec.site != ChaosSpec::Site::kQueue) continue;
+    if (SpecFires(g, s)) return true;
+  }
+  return false;
+}
+
+ConnChaos OnNetConnect() {
+  ConnChaos action;
+  Injector& g = G();
+  if (!ChaosArmed()) return action;
+  for (ArmedSpec* s : g.specs) {
+    if (s->spec.site != ChaosSpec::Site::kConn) continue;
+    if (!SpecFires(g, s)) continue;
+    if (s->spec.mode == ChaosSpec::Mode::kFail) {
+      action.fail = true;
+    } else {
+      action.delay_us = s->spec.param_ms * 1000.0;
+    }
+    return action;  // at most one action per consultation
+  }
+  return action;
+}
+
+bool OnNetFrameSend() {
+  Injector& g = G();
+  if (!ChaosArmed()) return false;
+  for (ArmedSpec* s : g.specs) {
+    if (s->spec.site != ChaosSpec::Site::kFrame) continue;
     if (SpecFires(g, s)) return true;
   }
   return false;

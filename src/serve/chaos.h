@@ -21,20 +21,29 @@ namespace lcrec::serve::chaos {
 /// LCREC_FAULT's p-mode via obs/inject.h):
 ///
 ///   LCREC_CHAOS=<site>:<mode>:<rate>[:<param_ms>][,<spec>...]
-///     site   decode | queue
-///     mode   delay  (decode only: a latency spike of param_ms,
-///                    default 20 ms — a stalled batch tick)
-///            fail   (decode only: the decode attempt errors; the
-///                    server's retry/breaker/fallback machinery reacts)
+///     site   decode | queue | conn | frame
+///     mode   delay  (decode: a latency spike of param_ms, default
+///                    20 ms — a stalled batch tick; conn: a slow
+///                    connect — network latency)
+///            fail   (decode: the decode attempt errors; the server's
+///                    retry/breaker/fallback machinery reacts.
+///                    conn: the RPC connect attempt fails — a dead or
+///                    flapping worker; the client's retry-with-backoff
+///                    and the router's failover react)
 ///            full   (queue only: admission behaves as if the queue
 ///                    were at capacity — queue pressure)
+///            truncate (frame only: an outbound RPC frame is cut short
+///                    mid-send and the connection dropped — a torn
+///                    write; the peer's CRC/length checks must reject
+///                    the partial frame, never misparse it)
 ///     rate   fire probability in (0, 1] per consultation
 ///
 /// Examples: `LCREC_CHAOS=decode:fail:0.1`,
-///           `LCREC_CHAOS=decode:delay:0.05:40,queue:full:0.02`.
+///           `LCREC_CHAOS=decode:delay:0.05:40,queue:full:0.02`,
+///           `LCREC_CHAOS=conn:fail:0.3,frame:truncate:0.05`.
 struct ChaosSpec {
-  enum class Site { kDecode, kQueue };
-  enum class Mode { kDelay, kFail, kFull };
+  enum class Site { kDecode, kQueue, kConn, kFrame };
+  enum class Mode { kDelay, kFail, kFull, kTruncate };
   Site site = Site::kDecode;
   Mode mode = Mode::kFail;
   double rate = 0.0;
@@ -81,6 +90,20 @@ DecodeChaos OnDecode();
 
 /// Consulted once per queue admission. True = simulate a full queue.
 bool OnQueueAdmit();
+
+/// Decision for one RPC connect attempt (net::RpcChannel). Mirrors
+/// DecodeChaos: at most one action per consultation.
+struct ConnChaos {
+  bool fail = false;
+  double delay_us = 0.0;
+};
+
+/// Consulted once per outbound RPC connect.
+ConnChaos OnNetConnect();
+
+/// Consulted once per outbound RPC frame. True = truncate the frame
+/// mid-send and drop the connection (torn write).
+bool OnNetFrameSend();
 
 }  // namespace lcrec::serve::chaos
 

@@ -1,0 +1,346 @@
+// Byte-level tests for the RPC wire format (net/frame.h) and the
+// Recommend codecs (net/codec.h): round-trips, truncation at every
+// prefix, single-bit-flip fuzzing against the CRC, bounded rejection of
+// oversized frames, and the no-partial-mutation guarantee of the
+// two-phase decoders.
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "net/codec.h"
+#include "net/frame.h"
+#include "serve/request.h"
+
+namespace lcrec::net {
+namespace {
+
+Frame MakeFrame(const std::string& payload) {
+  Frame f;
+  f.type = FrameType::kRequest;
+  f.method = 7;
+  f.request_id = 0x1122334455667788ull;
+  f.payload = payload;
+  return f;
+}
+
+/// A sentinel-filled frame: any decoder write is detectable.
+Frame Sentinel() {
+  Frame f;
+  f.type = FrameType::kError;
+  f.method = 0xDEADBEEFu;
+  f.request_id = 0xCAFEBABEull;
+  f.payload = "sentinel";
+  return f;
+}
+
+bool IsSentinel(const Frame& f) {
+  return f.type == FrameType::kError && f.method == 0xDEADBEEFu &&
+         f.request_id == 0xCAFEBABEull && f.payload == "sentinel";
+}
+
+TEST(FrameTest, RoundTrip) {
+  const Frame in = MakeFrame("hello, wire");
+  const std::string bytes = EncodeFrame(in);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + in.payload.size() +
+                              kFrameTrailerBytes);
+
+  Frame out;
+  size_t used = 0;
+  std::string error;
+  ASSERT_EQ(DecodeFrame(bytes, &out, &used, &error), FrameStatus::kOk)
+      << error;
+  EXPECT_EQ(used, bytes.size());
+  EXPECT_EQ(out.type, in.type);
+  EXPECT_EQ(out.method, in.method);
+  EXPECT_EQ(out.request_id, in.request_id);
+  EXPECT_EQ(out.payload, in.payload);
+}
+
+TEST(FrameTest, EmptyPayloadRoundTrips) {
+  const std::string bytes = EncodeFrame(MakeFrame(""));
+  Frame out;
+  size_t used = 0;
+  ASSERT_EQ(DecodeFrame(bytes, &out, &used, nullptr), FrameStatus::kOk);
+  EXPECT_TRUE(out.payload.empty());
+  EXPECT_EQ(used, bytes.size());
+}
+
+TEST(FrameTest, ConcatenatedFramesDecodeInSequence) {
+  std::string stream;
+  for (int i = 0; i < 5; ++i) {
+    Frame f = MakeFrame("payload " + std::to_string(i));
+    f.request_id = static_cast<uint64_t>(i);
+    stream += EncodeFrame(f);
+  }
+  for (int i = 0; i < 5; ++i) {
+    Frame out;
+    size_t used = 0;
+    ASSERT_EQ(DecodeFrame(stream, &out, &used, nullptr), FrameStatus::kOk);
+    EXPECT_EQ(out.request_id, static_cast<uint64_t>(i));
+    EXPECT_EQ(out.payload, "payload " + std::to_string(i));
+    stream.erase(0, used);
+  }
+  EXPECT_TRUE(stream.empty());
+}
+
+TEST(FrameTest, EveryTruncationNeedsMoreAndNeverMutates) {
+  const std::string bytes = EncodeFrame(MakeFrame("truncation probe"));
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    Frame out = Sentinel();
+    size_t used = 0xABCD;
+    std::string error;
+    FrameStatus st =
+        DecodeFrame(bytes.data(), cut, &out, &used, &error);
+    EXPECT_EQ(st, FrameStatus::kNeedMore) << "cut at " << cut;
+    EXPECT_TRUE(IsSentinel(out)) << "mutated at cut " << cut;
+    EXPECT_EQ(used, 0xABCDu) << "frame_len written at cut " << cut;
+  }
+}
+
+TEST(FrameTest, GarbageMagicIsBad) {
+  std::string bytes = EncodeFrame(MakeFrame("x"));
+  bytes[0] = 'G';
+  Frame out = Sentinel();
+  size_t used = 0;
+  std::string error;
+  EXPECT_EQ(DecodeFrame(bytes, &out, &used, &error), FrameStatus::kBad);
+  EXPECT_FALSE(error.empty());
+  EXPECT_TRUE(IsSentinel(out));
+}
+
+TEST(FrameTest, BadVersionAndTypeAreBad) {
+  {
+    std::string bytes = EncodeFrame(MakeFrame("x"));
+    bytes[4] = static_cast<char>(0xFF);  // version low byte
+    Frame out;
+    size_t used = 0;
+    EXPECT_EQ(DecodeFrame(bytes, &out, &used, nullptr), FrameStatus::kBad);
+  }
+  {
+    std::string bytes = EncodeFrame(MakeFrame("x"));
+    bytes[6] = 0;  // type = 0: outside the enum
+    Frame out;
+    size_t used = 0;
+    EXPECT_EQ(DecodeFrame(bytes, &out, &used, nullptr), FrameStatus::kBad);
+  }
+}
+
+TEST(FrameTest, SingleBitFlipNeverDecodesOk) {
+  // CRC32 detects every single-bit error, so no flipped frame may parse
+  // as a valid frame. kBad (CRC/magic/version), kNeedMore (length grew)
+  // and kTooLarge (length grew past max) are all acceptable rejections.
+  const std::string bytes = EncodeFrame(MakeFrame("bit flip fuzz target"));
+  for (size_t byte = 0; byte < bytes.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string flipped = bytes;
+      flipped[byte] = static_cast<char>(flipped[byte] ^ (1 << bit));
+      Frame out;
+      size_t used = 0;
+      std::string error;
+      FrameStatus st = DecodeFrame(flipped, &out, &used, &error);
+      EXPECT_NE(st, FrameStatus::kOk)
+          << "bit " << bit << " of byte " << byte << " slipped through";
+    }
+  }
+}
+
+TEST(FrameTest, OversizedPayloadIsBoundedReject) {
+  Frame big = MakeFrame(std::string(256, 'p'));
+  const std::string bytes = EncodeFrame(big);
+  Frame out;
+  size_t used = 0xABCD;
+  std::string error;
+  // A ceiling below the announced payload: reject without buffering,
+  // but recover the header so the server can answer the request id.
+  EXPECT_EQ(DecodeFrame(bytes.data(), bytes.size(), &out, &used, &error,
+                        /*max_payload=*/64),
+            FrameStatus::kTooLarge);
+  EXPECT_EQ(out.method, big.method);
+  EXPECT_EQ(out.request_id, big.request_id);
+  EXPECT_TRUE(out.payload.empty());
+  EXPECT_EQ(used, 0xABCDu);  // nothing consumed
+  // The same bytes under the default ceiling are fine.
+  EXPECT_EQ(DecodeFrame(bytes, &out, &used, &error), FrameStatus::kOk);
+}
+
+TEST(FrameTest, WireReaderBoundsChecks) {
+  std::string buf;
+  PutU32(&buf, 77);
+  PutF64(&buf, 2.5);
+  WireReader r(buf);
+  uint32_t u = 0;
+  double d = 0.0;
+  EXPECT_TRUE(r.ReadU32(&u));
+  EXPECT_EQ(u, 77u);
+  EXPECT_TRUE(r.ReadF64(&d));
+  EXPECT_EQ(d, 2.5);
+  EXPECT_TRUE(r.done());
+  uint64_t big = 123;
+  EXPECT_FALSE(r.ReadU64(&big));
+  EXPECT_EQ(big, 123u);  // failed reads leave the output untouched
+
+  WireReader short_reader(buf.data(), 3);
+  uint32_t v = 55;
+  EXPECT_FALSE(short_reader.ReadU32(&v));
+  EXPECT_EQ(v, 55u);
+  std::string bytes_out = "keep";
+  EXPECT_FALSE(short_reader.ReadBytes(4, &bytes_out));
+  EXPECT_EQ(bytes_out, "keep");
+}
+
+TEST(CodecTest, RequestRoundTrip) {
+  serve::RecommendRequest in;
+  in.history = {3, 1, 4, 1, 5, 9, 2, 6};
+  in.top_n = 12;
+  in.deadline_ms = 37.5;
+  serve::RecommendRequest out;
+  std::string error;
+  ASSERT_TRUE(DecodeRecommendRequest(EncodeRecommendRequest(in), &out, &error))
+      << error;
+  EXPECT_EQ(out.history, in.history);
+  EXPECT_EQ(out.top_n, in.top_n);
+  EXPECT_EQ(out.deadline_ms, in.deadline_ms);
+}
+
+TEST(CodecTest, RequestRejectsMalformedPayloads) {
+  serve::RecommendRequest req;
+  req.history = {1, 2, 3};
+  req.top_n = 5;
+  const std::string good = EncodeRecommendRequest(req);
+
+  serve::RecommendRequest out;
+  std::string error;
+  // Truncated at every prefix.
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(
+        DecodeRecommendRequest(good.substr(0, cut), &out, &error))
+        << "cut " << cut;
+  }
+  // Trailing garbage.
+  EXPECT_FALSE(DecodeRecommendRequest(good + "x", &out, &error));
+  // Absurd history length prefix must be rejected before allocation.
+  std::string huge;
+  PutU32(&huge, 0xFFFFFFFFu);
+  EXPECT_FALSE(DecodeRecommendRequest(huge, &out, &error));
+  // top_n = 0 is out of range.
+  serve::RecommendRequest zero = req;
+  zero.top_n = 0;
+  EXPECT_FALSE(DecodeRecommendRequest(EncodeRecommendRequest(zero), &out,
+                                      &error));
+}
+
+TEST(CodecTest, RequestDecodeFailureLeavesOutputUntouched) {
+  serve::RecommendRequest out;
+  out.history = {42, 43};
+  out.top_n = 99;
+  out.deadline_ms = 7.0;
+  std::string error;
+  ASSERT_FALSE(DecodeRecommendRequest("garbage", &out, &error));
+  EXPECT_EQ(out.history, (std::vector<int>{42, 43}));
+  EXPECT_EQ(out.top_n, 99);
+  EXPECT_EQ(out.deadline_ms, 7.0);
+}
+
+TEST(CodecTest, ResponseRoundTripsFullContract) {
+  // Every status, every degrade tier, every flag and the full label set
+  // must survive the wire bit-for-bit: a remote caller sees exactly
+  // what an in-process caller sees.
+  const serve::Status statuses[] = {
+      serve::Status::kOk, serve::Status::kShedQueueFull,
+      serve::Status::kShedDeadline, serve::Status::kShutdown,
+      serve::Status::kShedDecodeFailure};
+  const serve::DegradeLevel degrades[] = {
+      serve::DegradeLevel::kFull, serve::DegradeLevel::kBudgetCapped,
+      serve::DegradeLevel::kStaleCache, serve::DegradeLevel::kPopularity};
+  const char* labels[] = {"full", "budget_capped", "partial_decode",
+                          "stale_cache", "popularity"};
+  for (serve::Status status : statuses) {
+    for (serve::DegradeLevel degrade : degrades) {
+      for (const char* label : labels) {
+        serve::RecommendResponse in;
+        in.status = status;
+        in.degrade = degrade;
+        in.degrade_label = label;
+        in.cache_hit = true;
+        in.coalesced = false;
+        in.inline_path = true;
+        in.latency_ms = 3.25;
+        in.items = {{5, -0.5f}, {9, -1.25f}, {0, -3.75f}};
+
+        serve::RecommendResponse out;
+        std::string error;
+        ASSERT_TRUE(DecodeRecommendResponse(EncodeRecommendResponse(in),
+                                            &out, &error))
+            << error;
+        EXPECT_EQ(out.status, in.status);
+        EXPECT_EQ(out.degrade, in.degrade);
+        EXPECT_STREQ(out.degrade_label, label);
+        EXPECT_EQ(out.cache_hit, in.cache_hit);
+        EXPECT_EQ(out.coalesced, in.coalesced);
+        EXPECT_EQ(out.inline_path, in.inline_path);
+        EXPECT_EQ(out.latency_ms, in.latency_ms);
+        ASSERT_EQ(out.items.size(), in.items.size());
+        for (size_t i = 0; i < in.items.size(); ++i) {
+          EXPECT_EQ(out.items[i].item, in.items[i].item);
+          // Bit-identical floats, not approximately-equal ones.
+          uint32_t a = 0, b = 0;
+          std::memcpy(&a, &out.items[i].logprob, 4);
+          std::memcpy(&b, &in.items[i].logprob, 4);
+          EXPECT_EQ(a, b);
+        }
+      }
+    }
+  }
+}
+
+TEST(CodecTest, ResponseRejectsMalformedPayloads) {
+  serve::RecommendResponse resp;
+  resp.items = {{1, -0.5f}, {2, -1.0f}};
+  const std::string good = EncodeRecommendResponse(resp);
+
+  serve::RecommendResponse out;
+  std::string error;
+  for (size_t cut = 0; cut < good.size(); ++cut) {
+    EXPECT_FALSE(DecodeRecommendResponse(good.substr(0, cut), &out, &error))
+        << "cut " << cut;
+  }
+  EXPECT_FALSE(DecodeRecommendResponse(good + "x", &out, &error));
+  // Unknown status byte.
+  std::string bad_status = good;
+  bad_status[0] = 17;
+  EXPECT_FALSE(DecodeRecommendResponse(bad_status, &out, &error));
+  // Unknown degrade byte.
+  std::string bad_degrade = good;
+  bad_degrade[1] = 9;
+  EXPECT_FALSE(DecodeRecommendResponse(bad_degrade, &out, &error));
+}
+
+TEST(CodecTest, ResponseDecodeFailureLeavesOutputUntouched) {
+  serve::RecommendResponse out;
+  out.status = serve::Status::kShedDeadline;
+  out.items = {{11, -2.0f}};
+  out.latency_ms = 4.5;
+  std::string error;
+  ASSERT_FALSE(DecodeRecommendResponse("nope", &out, &error));
+  EXPECT_EQ(out.status, serve::Status::kShedDeadline);
+  ASSERT_EQ(out.items.size(), 1u);
+  EXPECT_EQ(out.items[0].item, 11);
+  EXPECT_EQ(out.latency_ms, 4.5);
+}
+
+TEST(CodecTest, UnknownLabelFallsBackToTierName) {
+  serve::RecommendResponse in;
+  in.degrade = serve::DegradeLevel::kStaleCache;
+  in.degrade_label = "some_future_label";
+  serve::RecommendResponse out;
+  std::string error;
+  ASSERT_TRUE(
+      DecodeRecommendResponse(EncodeRecommendResponse(in), &out, &error));
+  EXPECT_STREQ(out.degrade_label,
+               serve::DegradeLevelName(serve::DegradeLevel::kStaleCache));
+}
+
+}  // namespace
+}  // namespace lcrec::net

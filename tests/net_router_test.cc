@@ -1,0 +1,321 @@
+// Integration tests for net::Router over real worker stacks: sharding
+// by user hash, bit-identical parity with a direct in-process
+// serve::Server, ring-order failover when a worker dies, the
+// graceful-drain handoff, and chaos-driven flaky-worker retries.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "llm/minillm.h"
+#include "net/router.h"
+#include "net/rpc.h"
+#include "net/service.h"
+#include "quant/indexing.h"
+#include "serve/chaos.h"
+#include "serve/request.h"
+#include "serve/server.h"
+#include "text/vocab.h"
+
+namespace lcrec::net {
+namespace {
+
+/// Same tiny deterministic system as tools/lcrec_worker: every stack
+/// built from it holds bit-identical weights, which is what makes
+/// router-vs-direct parity an exact (not approximate) assertion.
+struct System {
+  text::Vocabulary vocab;
+  quant::ItemIndexing indexing = quant::ItemIndexing::VanillaId(1);
+  std::unique_ptr<quant::PrefixTrie> trie;
+  std::unique_ptr<llm::MiniLlm> model;
+  std::unique_ptr<llm::IndexTokenMap> token_map;
+
+  explicit System(uint64_t seed = 7) {
+    core::Rng rng(seed);
+    indexing = quant::ItemIndexing::Random(/*items=*/48, /*levels=*/3,
+                                           /*codes=*/6, rng);
+    trie = std::make_unique<quant::PrefixTrie>(indexing);
+    for (const std::string& tok : indexing.AllTokenStrings()) {
+      vocab.AddToken(tok);
+    }
+    llm::MiniLlmConfig cfg;
+    cfg.vocab_size = vocab.size();
+    cfg.d_model = 32;
+    cfg.n_heads = 4;
+    cfg.n_layers = 2;
+    cfg.d_ff = 64;
+    cfg.max_seq = 64;
+    cfg.seed = 3;
+    model = std::make_unique<llm::MiniLlm>(cfg);
+    token_map = std::make_unique<llm::IndexTokenMap>(indexing, vocab);
+  }
+
+  serve::PromptBuilder Builder() const {
+    int v = vocab.size();
+    return [v](const std::vector<int>& history) {
+      std::vector<int> prompt = {text::Vocabulary::kBos};
+      for (int item : history) prompt.push_back(4 + (item % (v - 4)));
+      return prompt;
+    };
+  }
+};
+
+serve::ServerOptions ServeOptions() {
+  serve::ServerOptions opts;
+  opts.beam_size = 4;
+  opts.slow_request_ms = 0.0;
+  return opts;
+}
+
+/// One worker: a serve::Server behind a net::RpcServer, both owned.
+struct WorkerStack {
+  serve::Server server;
+  RpcServer rpc;
+
+  explicit WorkerStack(const System& system)
+      : server(*system.model, *system.trie, *system.token_map,
+               system.Builder(), ServeOptions()) {
+    RegisterRecommendService(&rpc, &server);
+    std::string error;
+    EXPECT_TRUE(rpc.Start(&error)) << error;
+  }
+  ~WorkerStack() {
+    rpc.Stop();
+    server.Stop();
+  }
+  std::string endpoint() const {
+    return "127.0.0.1:" + std::to_string(rpc.port());
+  }
+};
+
+RouterOptions RouterOver(const std::vector<const WorkerStack*>& workers) {
+  RouterOptions opts;
+  for (const WorkerStack* w : workers) opts.workers.push_back(w->endpoint());
+  opts.client.max_retries = 2;
+  opts.client.backoff_ms = 1.0;
+  opts.client.connect_timeout_s = 2.0;
+  return opts;
+}
+
+serve::RecommendRequest MakeRequest(int user) {
+  serve::RecommendRequest req;
+  req.history = {user % 48, (user * 7 + 3) % 48, (user * 13 + 5) % 48};
+  req.top_n = 5;
+  return req;
+}
+
+void ExpectSameAnswer(const serve::RecommendResponse& got,
+                      const serve::RecommendResponse& want, int user) {
+  EXPECT_EQ(got.status, want.status) << "user " << user;
+  EXPECT_EQ(got.degrade, want.degrade) << "user " << user;
+  ASSERT_EQ(got.items.size(), want.items.size()) << "user " << user;
+  for (size_t i = 0; i < want.items.size(); ++i) {
+    EXPECT_EQ(got.items[i].item, want.items[i].item)
+        << "user " << user << " rank " << i;
+    // Bit-identical scores: same weights, same deterministic decode.
+    EXPECT_EQ(got.items[i].logprob, want.items[i].logprob)
+        << "user " << user << " rank " << i;
+  }
+}
+
+TEST(RouterTest, ParseEndpoint) {
+  std::string host;
+  int port = 0;
+  EXPECT_TRUE(ParseEndpoint("127.0.0.1:8080", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1", &host, &port));
+  EXPECT_FALSE(ParseEndpoint(":8080", &host, &port));
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1:", &host, &port));
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1:abc", &host, &port));
+  EXPECT_FALSE(ParseEndpoint("127.0.0.1:70000", &host, &port));
+}
+
+TEST(RouterTest, UserHashIsDeterministicAndSpreads) {
+  serve::RecommendRequest a = MakeRequest(1);
+  serve::RecommendRequest b = MakeRequest(2);
+  EXPECT_EQ(Router::UserHash(a), Router::UserHash(a));
+  EXPECT_NE(Router::UserHash(a), Router::UserHash(b));
+  // Over many users both shards of a 2-way split must see traffic.
+  int on_shard0 = 0;
+  for (int user = 0; user < 64; ++user) {
+    if (Router::UserHash(MakeRequest(user)) % 2 == 0) ++on_shard0;
+  }
+  EXPECT_GT(on_shard0, 8);
+  EXPECT_LT(on_shard0, 56);
+}
+
+TEST(RouterTest, RouterMatchesDirectServeExactly) {
+  System system;
+  WorkerStack a(system), b(system);
+  serve::Server direct(*system.model, *system.trie, *system.token_map,
+                       system.Builder(), ServeOptions());
+
+  Router router(RouterOver({&a, &b}));
+  std::string error;
+  ASSERT_TRUE(router.Start(&error)) << error;
+  ASSERT_EQ(router.n_shards(), 2u);
+
+  for (int user = 0; user < 24; ++user) {
+    const serve::RecommendRequest req = MakeRequest(user);
+    serve::RecommendResponse via_router;
+    ASSERT_TRUE(router.Forward(req, &via_router, &error))
+        << "user " << user << ": " << error;
+    const serve::RecommendResponse want = direct.Recommend(req);
+    ExpectSameAnswer(via_router, want, user);
+  }
+  direct.Stop();
+}
+
+TEST(RouterTest, RequestsLandOnTheirHomeShard) {
+  System system;
+  WorkerStack a(system), b(system);
+  Router router(RouterOver({&a, &b}));
+  ASSERT_TRUE(router.Start());
+
+  std::vector<int64_t> expected(2, 0);
+  for (int user = 0; user < 32; ++user) {
+    const serve::RecommendRequest req = MakeRequest(user);
+    expected[router.ShardOf(req)]++;
+    serve::RecommendResponse resp;
+    std::string error;
+    ASSERT_TRUE(router.Forward(req, &resp, &error)) << error;
+  }
+  const std::vector<Router::ShardStats> stats = router.shard_stats();
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_EQ(stats[0].requests, expected[0]);
+  EXPECT_EQ(stats[1].requests, expected[1]);
+  EXPECT_EQ(stats[0].failovers + stats[1].failovers, 0);
+}
+
+TEST(RouterTest, FrontServerSpeaksTheSameProtocol) {
+  // A client cannot tell a router from a worker: the full stack —
+  // client → router front server → worker → serve::Server — returns
+  // exactly the direct in-process answer.
+  System system;
+  WorkerStack a(system), b(system);
+  serve::Server direct(*system.model, *system.trie, *system.token_map,
+                       system.Builder(), ServeOptions());
+  Router router(RouterOver({&a, &b}));
+  ASSERT_TRUE(router.Start());
+
+  RpcClientOptions copts;
+  copts.host = "127.0.0.1";
+  copts.port = router.port();
+  RpcClient client(copts);
+  std::string error;
+  EXPECT_TRUE(CallPing(&client, &error)) << error;
+  for (int user = 0; user < 8; ++user) {
+    const serve::RecommendRequest req = MakeRequest(user);
+    serve::RecommendResponse via_wire;
+    ASSERT_TRUE(CallRecommend(&client, req, &via_wire, &error)) << error;
+    const serve::RecommendResponse want = direct.Recommend(req);
+    ExpectSameAnswer(via_wire, want, user);
+  }
+  direct.Stop();
+}
+
+TEST(RouterTest, FailsOverWhenAWorkerDiesHard) {
+  System system;
+  WorkerStack a(system), b(system);
+  serve::Server direct(*system.model, *system.trie, *system.token_map,
+                       system.Builder(), ServeOptions());
+  Router router(RouterOver({&a, &b}));
+  ASSERT_TRUE(router.Start());
+
+  b.rpc.Stop();  // hard death: no drain, connections torn down
+
+  int failed_over = 0;
+  for (int user = 0; user < 24; ++user) {
+    const serve::RecommendRequest req = MakeRequest(user);
+    if (router.ShardOf(req) == 1) ++failed_over;
+    serve::RecommendResponse resp;
+    std::string error;
+    // Every request still succeeds: shard 1's traffic rides shard 0.
+    ASSERT_TRUE(router.Forward(req, &resp, &error))
+        << "user " << user << ": " << error;
+    ExpectSameAnswer(resp, direct.Recommend(req), user);
+  }
+  ASSERT_GT(failed_over, 0) << "hash spread left shard 1 unused; add users";
+  const std::vector<Router::ShardStats> stats = router.shard_stats();
+  EXPECT_FALSE(stats[1].healthy);
+  EXPECT_EQ(stats[1].failovers, failed_over);
+  EXPECT_EQ(stats[0].requests + stats[1].requests, 24);
+  direct.Stop();
+}
+
+TEST(RouterTest, GracefulDrainHandsOffWithZeroFailures) {
+  System system;
+  WorkerStack a(system), b(system);
+  Router router(RouterOver({&a, &b}));
+  ASSERT_TRUE(router.Start());
+
+  // Warm both shards so the router holds live channels to b.
+  for (int user = 0; user < 8; ++user) {
+    serve::RecommendResponse resp;
+    std::string error;
+    ASSERT_TRUE(router.Forward(MakeRequest(user), &resp, &error)) << error;
+  }
+
+  // Drain b: listener closes first, existing connections finish and
+  // close. From here every request must still succeed — shard 1 traffic
+  // re-resolves to shard 0.
+  b.rpc.BeginDrain();
+  ASSERT_TRUE(b.rpc.WaitDrained(/*timeout_s=*/10.0));
+  for (int user = 0; user < 24; ++user) {
+    serve::RecommendResponse resp;
+    std::string error;
+    ASSERT_TRUE(router.Forward(MakeRequest(user), &resp, &error))
+        << "user " << user << ": " << error;
+  }
+}
+
+TEST(RouterTest, ChaosFlakyWorkerIsRetriedAway) {
+  System system;
+  WorkerStack a(system), b(system);
+  // Fresh router per arm so the injected failures hit real connect
+  // attempts (channels are pooled once opened).
+  Router router(RouterOver({&a, &b}));
+  ASSERT_TRUE(router.Start());
+
+  serve::chaos::ChaosSpec spec;
+  spec.site = serve::chaos::ChaosSpec::Site::kConn;
+  spec.mode = serve::chaos::ChaosSpec::Mode::kFail;
+  spec.rate = 1.0;
+  spec.max_fires = 2;
+  serve::chaos::ArmChaos({spec});
+
+  // The first request eats both injected connect failures inside the
+  // client's retry-with-backoff and still lands; nothing ever surfaces
+  // to the router's failover path as a lost request.
+  for (int user = 0; user < 8; ++user) {
+    serve::RecommendResponse resp;
+    std::string error;
+    ASSERT_TRUE(router.Forward(MakeRequest(user), &resp, &error))
+        << "user " << user << ": " << error;
+  }
+  EXPECT_EQ(serve::chaos::ChaosFires(), 2);
+  serve::chaos::DisarmChaos();
+}
+
+TEST(RouterTest, StatuszShowsPerShardHealth) {
+  System system;
+  WorkerStack a(system), b(system);
+  Router router(RouterOver({&a, &b}));
+  ASSERT_TRUE(router.Start());
+  serve::RecommendResponse resp;
+  std::string error;
+  ASSERT_TRUE(router.Forward(MakeRequest(1), &resp, &error)) << error;
+
+  const std::string text = router.StatuszText();
+  EXPECT_NE(text.find("shards 2"), std::string::npos) << text;
+  EXPECT_NE(text.find("shard 0 127.0.0.1:"), std::string::npos) << text;
+  EXPECT_NE(text.find("shard 1 127.0.0.1:"), std::string::npos) << text;
+  EXPECT_NE(text.find(" up "), std::string::npos) << text;
+  EXPECT_NE(text.find("front: "), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace lcrec::net

@@ -30,14 +30,22 @@
 //                                   carries an explicit lint:allow), not
 //                                   ad-hoc streams that can tear on
 //                                   crash.
-//   raw-thread             (src/ minus src/serve/ and src/obs/)
-//                                   spawning std::thread: all
+//   raw-thread             (src/ minus src/serve/, src/net/ and
+//                                   src/obs/) spawning std::thread: all
 //                                   concurrency lives in the serving
-//                                   layer (and obs test scaffolding);
-//                                   the model/training core stays
-//                                   single-threaded by design.
+//                                   and networking layers (and obs test
+//                                   scaffolding); the model/training
+//                                   core stays single-threaded by
+//                                   design.
 //                                   std::thread::hardware_concurrency()
 //                                   queries are exempt.
+//   raw-socket             (all minus src/obs/http* and src/net/)
+//                                   calling the POSIX socket API
+//                                   (socket/bind/listen/accept/connect):
+//                                   all networking funnels through the
+//                                   two audited event loops,
+//                                   obs::HttpServer/HttpGet and
+//                                   net::RpcServer/RpcClient.
 //   metric-name            (src/)   a string-literal metric name passed
 //                                   to GetCounter/GetGauge/GetHistogram
 //                                   must match lcrec\.[a-z0-9_.]+ so the
@@ -364,6 +372,7 @@ void LintFile(const std::string& rel_path, const std::string& text,
   const bool in_ckpt = StartsWith(rel_path, "src/ckpt/");
   const bool in_serve = StartsWith(rel_path, "src/serve/");
   const bool in_http = StartsWith(rel_path, "src/obs/http");
+  const bool in_net = StartsWith(rel_path, "src/net/");
 
   std::vector<std::string> raw_lines = SplitLines(text);
   std::vector<std::string> code_lines =
@@ -418,12 +427,13 @@ void LintFile(const std::string& rel_path, const std::string& text,
           "binary state writes must go through lcrec::ckpt (atomic + "
           "CRC32) or core/serialize.cc, not a raw std::ofstream");
     }
-    if (in_src && !in_serve && !in_obs && ContainsWord(line, "std::thread") &&
+    if (in_src && !in_serve && !in_obs && !in_net &&
+        ContainsWord(line, "std::thread") &&
         line.find("hardware_concurrency") == std::string::npos) {
       add(line_no, "raw-thread",
-          "threads belong in src/serve/ (scheduler) or src/obs/ (test "
-          "scaffolding); the model/training core is single-threaded by "
-          "design");
+          "threads belong in src/serve/ (scheduler), src/net/ (RPC event "
+          "loop), or src/obs/ (test scaffolding); the model/training core "
+          "is single-threaded by design");
     }
     if (in_src && !StartsWith(rel_path, "src/obs/sync.")) {
       std::string which;
@@ -480,16 +490,17 @@ void LintFile(const std::string& rel_path, const std::string& text,
         }
       }
     }
-    if (!in_http) {
+    if (!in_http && !in_net) {
       static const char* kSocketCalls[] = {"socket", "bind", "listen",
                                            "accept", "connect"};
       for (const char* call : kSocketCalls) {
         if (ContainsSocketCall(line, call)) {
           add(line_no, "raw-socket",
               std::string(call) +
-                  "() outside src/obs/http — all networking funnels "
-                  "through the one audited event loop (obs::HttpServer / "
-                  "obs::HttpGet)");
+                  "() outside src/obs/http and src/net — all networking "
+                  "funnels through the two audited event loops "
+                  "(obs::HttpServer / obs::HttpGet and net::RpcServer / "
+                  "net::RpcClient)");
           break;  // one finding per line even when several names match
         }
       }

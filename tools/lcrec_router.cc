@@ -1,0 +1,136 @@
+// Router process for the sharded serving cluster: speaks the same
+// binary RPC protocol as a worker on its front port, shards each
+// Recommend by user hash across the given workers, and fails over in
+// ring order when a shard is down or draining. Per-shard health and
+// counters are served at /statusz on the debug port ("net.router"
+// section).
+//
+//   lcrec_router --workers=HOST:PORT[,HOST:PORT...]
+//                [--port=N] [--port-file=PATH]
+//                [--debug-port=N] [--debug-port-file=PATH]
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/router.h"
+#include "obs/debugz.h"
+#include "obs/log.h"
+
+namespace {
+
+using namespace lcrec;
+
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void OnSignal(int) { g_shutdown = 1; }
+
+bool FlagValue(const char* arg, const char* name, const char** value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+bool WritePortFile(const std::string& path, int port) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) return false;
+  std::fprintf(f, "%d\n", port);
+  std::fclose(f);
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+std::vector<std::string> SplitCommas(const std::string& text) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = text.find(',', start);
+    if (pos == std::string::npos) {
+      if (start < text.size()) out.push_back(text.substr(start));
+      return out;
+    }
+    if (pos > start) out.push_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  net::RouterOptions opts;
+  std::string port_file;
+  int debug_port = -1;
+  std::string debug_port_file;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if (FlagValue(argv[i], "--workers", &v)) {
+      opts.workers = SplitCommas(v);
+    } else if (FlagValue(argv[i], "--port", &v)) {
+      opts.server.port = std::atoi(v);
+    } else if (FlagValue(argv[i], "--port-file", &v)) {
+      port_file = v;
+    } else if (FlagValue(argv[i], "--debug-port", &v)) {
+      debug_port = std::atoi(v);
+    } else if (FlagValue(argv[i], "--debug-port-file", &v)) {
+      debug_port_file = v;
+    } else {
+      std::fprintf(stderr,
+                   "usage: lcrec_router --workers=HOST:PORT[,...] "
+                   "[--port=N] [--port-file=PATH] [--debug-port=N] "
+                   "[--debug-port-file=PATH]\n");
+      return 2;
+    }
+  }
+  if (opts.workers.empty()) {
+    std::fprintf(stderr, "lcrec_router: --workers is required\n");
+    return 2;
+  }
+
+  std::signal(SIGTERM, OnSignal);
+  std::signal(SIGINT, OnSignal);
+
+  net::Router router(opts);
+  std::string error;
+  if (!router.Start(&error)) {
+    std::fprintf(stderr, "lcrec_router: start failed: %s\n", error.c_str());
+    return 1;
+  }
+
+  if (debug_port >= 0) {
+    obs::DebugServer& dbg = obs::DebugServer::Global();
+    if (dbg.Start(debug_port, &error)) {
+      if (!debug_port_file.empty()) WritePortFile(debug_port_file, dbg.port());
+    } else {
+      std::fprintf(stderr, "lcrec_router: debugz start failed: %s\n",
+                   error.c_str());
+    }
+  }
+  obs::RegisterStatuszSection("net.router",
+                              [&router] { return router.StatuszText(); });
+
+  if (!port_file.empty() && !WritePortFile(port_file, router.port())) {
+    std::fprintf(stderr, "lcrec_router: cannot write port file %s\n",
+                 port_file.c_str());
+    return 1;
+  }
+
+  while (g_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+
+  obs::Log(obs::LogLevel::kInfo, "[router] draining front listener");
+  router.BeginDrain();
+  const bool drained = router.WaitDrained(/*timeout_s=*/15.0);
+  router.Stop();
+  if (!drained) {
+    std::fprintf(stderr, "lcrec_router: drain timed out\n");
+    return 1;
+  }
+  std::printf("lcrec_router: drained clean\n");
+  return 0;
+}

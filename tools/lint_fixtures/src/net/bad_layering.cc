@@ -1,0 +1,11 @@
+// Fixture: the net exemption is scoped, not a free-for-all — net (layer
+// 7) must not reach sideways into baselines (also layer 7; equal layers
+// have no declared order), and the thread/socket allowances do not
+// extend to std::mutex. Never compiled, only scanned.
+
+#include "baselines/pop.h"  // expect-lint: module-layering
+
+void StillRanked() {
+  std::mutex mu;  // expect-lint: raw-sync
+  (void)mu;
+}

@@ -1,0 +1,20 @@
+// Fixture: src/net/ is the second blessed home of the socket API (the
+// binary RPC event loop) and may spawn its own threads — none of these
+// must be flagged. Including serve/ is a downward edge (net layer 7 ->
+// serve layer 6), so the layering rule stays quiet too. Never compiled,
+// only scanned.
+
+#include "serve/request.h"
+
+void BlessedRpcSetup() {
+  int fd = ::socket(2, 1, 0);
+  ::bind(fd, nullptr, 0);
+  ::listen(fd, 16);
+  ::accept(fd, nullptr, nullptr);
+  ::connect(fd, nullptr, 0);
+}
+
+void BlessedDispatcherPool() {
+  std::thread loop([] {});
+  loop.join();
+}
